@@ -1,0 +1,203 @@
+#ifndef CHEF_BENCH_BENCH_COMMON_H_
+#define CHEF_BENCH_BENCH_COMMON_H_
+
+/// \file
+/// Shared harness for the evaluation benchmarks (one binary per paper
+/// table/figure). The paper runs 30 minutes x 15 repetitions per
+/// configuration on a 48-core machine; these benches run scaled-down
+/// budgets (seconds per configuration, CHEF_BENCH_REPS repetitions,
+/// default 2) and report the same rows/series so the shapes can be
+/// compared. See EXPERIMENTS.md.
+
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chef/engine.h"
+#include "workloads/packages.h"
+
+namespace chef::bench {
+
+// Re-exports so bench binaries can reference everything through
+// chef::bench after a single using-directive in main().
+namespace workloads = chef::workloads;
+namespace interp = chef::interp;
+using chef::Engine;
+using chef::EngineStats;
+using chef::StrategyKind;
+using chef::StrategyKindName;
+using chef::TestCase;
+using workloads::LuaPackage;
+using workloads::LuaPackages;
+using workloads::PyPackage;
+using workloads::PyPackages;
+
+/// The four Figure-8/9 configurations.
+struct EvalConfig {
+    const char* name;
+    bool cupa;       ///< CUPA vs. random state selection.
+    bool optimized;  ///< Optimized vs. vanilla interpreter build.
+};
+
+inline const std::vector<EvalConfig>&
+EvalConfigs()
+{
+    static const std::vector<EvalConfig> configs = {
+        {"cupa+opt", true, true},
+        {"opt-only", false, true},
+        {"cupa-only", true, false},
+        {"baseline", false, false},
+    };
+    return configs;
+}
+
+/// Scaled-down exploration budgets (env-overridable).
+struct Budget {
+    uint64_t max_runs = 150;
+    double max_seconds = 1.5;
+    uint64_t max_steps_per_run = 60'000;
+    int reps = 2;
+};
+
+inline Budget
+DefaultBudget()
+{
+    Budget budget;
+    if (const char* reps = std::getenv("CHEF_BENCH_REPS")) {
+        budget.reps = std::max(1, std::atoi(reps));
+    }
+    if (const char* secs = std::getenv("CHEF_BENCH_SECONDS")) {
+        budget.max_seconds = std::atof(secs);
+    }
+    return budget;
+}
+
+/// Result of one exploration.
+struct RunOutcome {
+    uint64_t ll_paths = 0;
+    uint64_t hl_paths = 0;
+    uint64_t hangs = 0;
+    double seconds = 0.0;
+    double coverage_fraction = 0.0;  ///< Filled when requested.
+    std::vector<EngineStats::Sample> timeline;
+    std::vector<TestCase> tests;
+};
+
+/// Runs one Python package under a strategy/build pair.
+inline RunOutcome
+RunPy(const PyPackage& package, StrategyKind strategy,
+      interp::InterpBuildOptions build, const Budget& budget,
+      uint64_t seed, bool measure_coverage)
+{
+    auto program = workloads::CompilePyOrDie(package.test.source);
+    Engine::Options options;
+    options.strategy = strategy;
+    options.seed = seed;
+    options.max_runs = budget.max_runs;
+    options.max_seconds = budget.max_seconds;
+    options.max_steps_per_run = budget.max_steps_per_run;
+    Engine engine(options);
+    RunOutcome outcome;
+    outcome.tests =
+        engine.Explore(workloads::MakePyRunFn(program, package.test, build));
+    outcome.ll_paths = engine.stats().ll_paths;
+    outcome.hl_paths = engine.stats().hl_paths;
+    outcome.hangs = engine.stats().hangs;
+    outcome.seconds = engine.stats().elapsed_seconds;
+    outcome.timeline = engine.stats().timeline;
+    if (measure_coverage) {
+        std::set<int> covered;
+        for (const TestCase& test : outcome.tests) {
+            if (!test.new_hl_path || test.outcome_kind == "hang") {
+                continue;
+            }
+            const auto replay =
+                workloads::ReplayPy(program, package.test, test.inputs);
+            covered.insert(replay.covered_lines.begin(),
+                           replay.covered_lines.end());
+        }
+        const size_t coverable = workloads::CoverableLines(*program);
+        outcome.coverage_fraction =
+            coverable == 0 ? 0.0
+                           : static_cast<double>(covered.size()) /
+                                 static_cast<double>(coverable);
+    }
+    return outcome;
+}
+
+/// Runs one Lua package under a strategy/build pair.
+inline RunOutcome
+RunLua(const LuaPackage& package, StrategyKind strategy,
+       interp::InterpBuildOptions build, const Budget& budget,
+       uint64_t seed, bool measure_coverage)
+{
+    auto chunk = workloads::ParseLuaOrDie(package.test.source);
+    Engine::Options options;
+    options.strategy = strategy;
+    options.seed = seed;
+    options.max_runs = budget.max_runs;
+    options.max_seconds = budget.max_seconds;
+    options.max_steps_per_run = budget.max_steps_per_run;
+    Engine engine(options);
+    RunOutcome outcome;
+    outcome.tests = engine.Explore(
+        workloads::MakeLuaRunFn(chunk, package.test, build));
+    outcome.ll_paths = engine.stats().ll_paths;
+    outcome.hl_paths = engine.stats().hl_paths;
+    outcome.hangs = engine.stats().hangs;
+    outcome.seconds = engine.stats().elapsed_seconds;
+    outcome.timeline = engine.stats().timeline;
+    if (measure_coverage) {
+        std::set<int> covered;
+        for (const TestCase& test : outcome.tests) {
+            if (!test.new_hl_path || test.outcome_kind == "hang") {
+                continue;
+            }
+            const auto replay =
+                workloads::ReplayLua(chunk, package.test, test.inputs);
+            covered.insert(replay.covered_lines.begin(),
+                           replay.covered_lines.end());
+        }
+        const size_t coverable = chunk->coverable_lines.size();
+        outcome.coverage_fraction =
+            coverable == 0 ? 0.0
+                           : static_cast<double>(covered.size()) /
+                                 static_cast<double>(coverable);
+    }
+    return outcome;
+}
+
+/// Strategy/build for an EvalConfig (path- or coverage-optimized CUPA).
+inline StrategyKind
+StrategyFor(const EvalConfig& config, bool coverage_optimized)
+{
+    if (!config.cupa) {
+        return StrategyKind::kRandom;
+    }
+    return coverage_optimized ? StrategyKind::kCupaCoverage
+                              : StrategyKind::kCupaPath;
+}
+
+inline interp::InterpBuildOptions
+BuildFor(const EvalConfig& config)
+{
+    return config.optimized ? interp::InterpBuildOptions::FullyOptimized()
+                            : interp::InterpBuildOptions::Vanilla();
+}
+
+inline double
+Mean(const std::vector<double>& values)
+{
+    if (values.empty()) {
+        return 0.0;
+    }
+    return std::accumulate(values.begin(), values.end(), 0.0) /
+           static_cast<double>(values.size());
+}
+
+}  // namespace chef::bench
+
+#endif  // CHEF_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,185 @@
+/// \file
+/// Table 4: language feature support of the CHEF-derived engine vs.
+/// dedicated Python engines. The CHEF and NICE-like columns are verified
+/// live by running feature-probe guests through each engine; the CutiePy
+/// and Commuter columns reproduce the paper's reported assessment (those
+/// engines are not reimplemented here; see DESIGN.md).
+
+#include "bench_common.h"
+#include "dedicated/nice_engine.h"
+
+namespace chef::bench {
+namespace {
+
+/// A probe program exercising one language feature symbolically; support
+/// is "full" if the engine explores it without aborting.
+struct FeatureProbe {
+    const char* feature;
+    const char* source;
+    const char* entry;
+};
+
+const FeatureProbe kProbes[] = {
+    {"integers", R"(def probe(x):
+    if x + 1 > 10:
+        return 1
+    return 0
+)",
+     "probe"},
+    {"strings", R"(def probe(x):
+    s = 'ab'
+    t = s + 'c'
+    if t.find('b') == 1 and x > 0:
+        return t.upper()
+    return s
+)",
+     "probe"},
+    {"lists and maps", R"(def probe(x):
+    l = [1, 2, 3]
+    d = {}
+    d[x] = l
+    if x in d:
+        return len(d[x])
+    return 0
+)",
+     "probe"},
+    {"user-defined classes", R"(class Box:
+    def __init__(self, v):
+        self.v = v
+    def get(self):
+        return self.v
+
+def probe(x):
+    b = Box(x)
+    if b.get() > 5:
+        return 1
+    return 0
+)",
+     "probe"},
+    {"basic control flow", R"(def helper(x):
+    return x * 2
+
+def probe(x):
+    t = 0
+    for i in range(3):
+        t = t + helper(x)
+    if t > 100:
+        t = t - 100
+    return t
+)",
+     "probe"},
+    {"advanced control flow", R"(def probe(x):
+    try:
+        if x > 10:
+            raise ValueError('big')
+        return 0
+    except ValueError:
+        return 1
+)",
+     "probe"},
+    {"native methods", R"(def probe(x):
+    s = str(x)
+    return len(s.strip())
+)",
+     "probe"},
+};
+
+/// Runs a probe through the CHEF-derived engine.
+bool
+ChefSupports(const FeatureProbe& probe)
+{
+    auto program = workloads::CompilePyOrDie(probe.source);
+    workloads::PySymbolicTest spec;
+    spec.source = probe.source;
+    spec.entry = probe.entry;
+    spec.args = {workloads::SymbolicArg::Int("x", 3)};
+    Engine::Options options;
+    options.max_runs = 40;
+    options.max_seconds = 5.0;
+    Engine engine(options);
+    const auto tests = engine.Explore(workloads::MakePyRunFn(
+        program, spec, interp::InterpBuildOptions::FullyOptimized()));
+    if (tests.empty() || engine.stats().hl_paths == 0) {
+        return false;
+    }
+    for (const TestCase& test : tests) {
+        if (test.outcome_kind == "abort") {
+            return false;
+        }
+    }
+    return true;
+}
+
+/// Runs a probe through the dedicated NICE-like engine.
+bool
+NiceSupports(const FeatureProbe& probe)
+{
+    dedicated::NicePyEngine::Options options;
+    options.max_runs = 40;
+    options.max_seconds = 5.0;
+    dedicated::NicePyEngine engine(probe.source, options);
+    const auto result = engine.Explore(probe.entry, {{"x", 3}});
+    if (result.tests.empty()) {
+        return false;
+    }
+    for (const TestCase& test : result.tests) {
+        if (test.outcome_kind == "abort") {
+            return false;
+        }
+    }
+    return true;
+}
+
+/// Paper-reported columns for the engines not reimplemented here.
+const char*
+PaperReported(const std::string& feature, const std::string& engine)
+{
+    // CutiePy: concrete-complete, symbolic support partial for most.
+    if (engine == "CutiePy") {
+        if (feature == "integers" || feature == "basic control flow") {
+            return "full";
+        }
+        if (feature == "advanced control flow") {
+            return "none";
+        }
+        return "partial";
+    }
+    // Commuter: model-based engine with rich symbolic collections but no
+    // native methods.
+    if (feature == "native methods") {
+        return "none";
+    }
+    if (feature == "user-defined classes" ||
+        feature == "advanced control flow") {
+        return "partial";
+    }
+    return "full";
+}
+
+}  // namespace
+}  // namespace chef::bench
+
+int
+main()
+{
+    using namespace chef::bench;
+    std::printf("CHEF reproduction -- Table 4: language feature support\n");
+    std::printf("(CHEF and NICE columns measured live; CutiePy and "
+                "Commuter columns reproduce the paper's reported "
+                "assessment)\n\n");
+    std::printf("%-24s %10s %10s %10s %10s\n", "feature", "CHEF",
+                "CutiePy", "NICE", "Commuter");
+    for (const FeatureProbe& probe : kProbes) {
+        const bool chef_full = ChefSupports(probe);
+        const bool nice_full = NiceSupports(probe);
+        std::printf("%-24s %10s %10s %10s %10s\n", probe.feature,
+                    chef_full ? "full" : "partial",
+                    PaperReported(probe.feature, "CutiePy"),
+                    nice_full ? "full" : "none",
+                    PaperReported(probe.feature, "Commuter"));
+    }
+    std::printf("\npaper: CHEF full across the board except floats "
+                "(concrete-only; MiniPy likewise rejects float literals), "
+                "NICE full only for integers\nand basic control flow.\n");
+    return 0;
+}

@@ -1,0 +1,179 @@
+#include "chef/engine.h"
+
+#include "support/diagnostics.h"
+
+namespace chef {
+
+const char*
+StrategyKindName(StrategyKind kind)
+{
+    switch (kind) {
+      case StrategyKind::kRandom: return "random";
+      case StrategyKind::kDfs: return "dfs";
+      case StrategyKind::kBfs: return "bfs";
+      case StrategyKind::kCupaPath: return "cupa-path";
+      case StrategyKind::kCupaCoverage: return "cupa-coverage";
+      case StrategyKind::kCupaPathInverted: return "cupa-path-inverted";
+    }
+    return "?";
+}
+
+Engine::Engine(Options options)
+    : options_(options),
+      rng_(options.seed),
+      solver_(options.solver_options),
+      tree_(),
+      runtime_(&tree_, &solver_,
+               lowlevel::LowLevelRuntime::Options{
+                   options.max_steps_per_run, options.fork_weight_decay}),
+      tracker_()
+{
+    tracker_.Attach(&runtime_);
+    strategy_ = MakeStrategy();
+    tree_.set_on_pending_removed(
+        [this](lowlevel::StateId id) { strategy_->OnStateRemoved(id); });
+    runtime_.set_state_added_hook(
+        [this](const lowlevel::AlternateState& state) {
+            strategy_->OnStateAdded(state);
+        });
+}
+
+std::unique_ptr<cupa::SearchStrategy>
+Engine::MakeStrategy()
+{
+    switch (options_.strategy) {
+      case StrategyKind::kRandom:
+        return std::make_unique<cupa::RandomStrategy>(&rng_);
+      case StrategyKind::kDfs:
+        return std::make_unique<cupa::DfsStrategy>();
+      case StrategyKind::kBfs:
+        return std::make_unique<cupa::BfsStrategy>();
+      case StrategyKind::kCupaPath:
+        return cupa::MakePathOptimizedCupa(&tree_, &rng_);
+      case StrategyKind::kCupaPathInverted:
+        return cupa::MakeInvertedPathCupa(&tree_, &rng_);
+      case StrategyKind::kCupaCoverage:
+        return cupa::MakeCoverageOptimizedCupa(
+            &tree_, &rng_, [this](uint64_t static_hlpc) {
+                return tracker_.cfg().DistanceWeight(static_hlpc);
+            });
+    }
+    CHEF_UNREACHABLE("unknown strategy kind");
+}
+
+solver::Assignment
+Engine::CompleteInputs() const
+{
+    // Merge the run's assignment over the per-variable defaults so that a
+    // test case report always lists a concrete value for every input.
+    solver::Assignment complete;
+    const auto& variables = runtime_.variables();
+    for (size_t i = 0; i < variables.size(); ++i) {
+        const uint32_t var_id = static_cast<uint32_t>(i + 1);
+        complete.Set(var_id, runtime_.inputs().Has(var_id)
+                                 ? runtime_.inputs().Get(var_id)
+                                 : variables[i].default_value);
+    }
+    return complete;
+}
+
+std::vector<TestCase>
+Engine::Explore(const RunFn& run)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto start = Clock::now();
+    auto elapsed = [&start] {
+        return std::chrono::duration<double>(Clock::now() - start).count();
+    };
+
+    std::vector<TestCase> test_cases;
+    solver::Assignment assignment;  // First run uses declared defaults.
+
+    while (stats_.ll_paths < options_.max_runs &&
+           elapsed() < options_.max_seconds) {
+        runtime_.BeginRun(assignment);
+        tracker_.BeginRun();
+        GuestOutcome outcome = run(runtime_);
+        const lowlevel::RunStats run_stats = runtime_.EndRun();
+        const hll::HlPathInfo hl_info = tracker_.EndRun();
+        stats_.states_registered += run_stats.registered_states;
+
+        if (run_stats.status == lowlevel::PathStatus::kAssumeViolated) {
+            // The inputs violate a test assumption. Re-solve the current
+            // path condition (which includes the assumption) and rerun.
+            ++stats_.assume_retries;
+            solver::Assignment model;
+            if (solver_.Solve(tree_.current_path_condition(), &model) !=
+                solver::QueryResult::kSat) {
+                // The symbolic test's assumptions are unsatisfiable on
+                // this path prefix; fall through to state selection.
+            } else {
+                assignment = model;
+                continue;
+            }
+        } else {
+            TestCase test_case;
+            test_case.inputs = CompleteInputs();
+            test_case.status = run_stats.status;
+            test_case.new_hl_path = hl_info.is_new_path;
+            test_case.hl_final_node = hl_info.final_node;
+            test_case.hl_length = hl_info.length;
+            test_case.ll_steps = run_stats.steps;
+            if (run_stats.status == lowlevel::PathStatus::kHang) {
+                ++stats_.hangs;
+                test_case.outcome_kind = "hang";
+                test_case.outcome_detail = outcome.detail;
+            } else {
+                test_case.outcome_kind = outcome.kind;
+                test_case.outcome_detail = outcome.detail;
+            }
+            ++stats_.ll_paths;
+            if (hl_info.is_new_path) {
+                ++stats_.hl_paths;
+            }
+            test_cases.push_back(std::move(test_case));
+
+            if (options_.collect_timeline) {
+                stats_.timeline.push_back(
+                    {elapsed(), stats_.ll_paths, stats_.hl_paths});
+            }
+        }
+
+        // Coverage-optimized CUPA consults CFG distances; refresh the
+        // analysis with the newly observed edges.
+        if (options_.strategy == StrategyKind::kCupaCoverage) {
+            tracker_.cfg().RecomputeAnalysis(
+                options_.branch_opcode_drop_fraction);
+        }
+
+        // Select the next feasible alternate state. The wall-clock budget
+        // applies here too: draining a large pool of infeasible states
+        // (runaway loops) must not stall the session.
+        bool found = false;
+        while (!strategy_->empty() && elapsed() < options_.max_seconds) {
+            const lowlevel::StateId id = strategy_->SelectState();
+            lowlevel::AlternateState state = tree_.TakePending(id);
+            solver::Assignment model;
+            const solver::QueryResult result =
+                solver_.Solve(state.path_condition, &model);
+            if (result == solver::QueryResult::kSat) {
+                assignment = model;
+                found = true;
+                break;
+            }
+            tree_.MarkInfeasible(state);
+            if (result == solver::QueryResult::kUnsat) {
+                ++stats_.infeasible_states;
+            } else {
+                ++stats_.solver_failures;
+            }
+        }
+        if (!found) {
+            break;  // Exploration exhausted.
+        }
+    }
+    stats_.elapsed_seconds = elapsed();
+    return test_cases;
+}
+
+}  // namespace chef

@@ -1,0 +1,141 @@
+#ifndef CHEF_CHEF_ENGINE_H_
+#define CHEF_CHEF_ENGINE_H_
+
+/// \file
+/// The CHEF engine: drives concolic iterations over an instrumented
+/// interpreter and produces high-level test cases (Figure 4 of the paper).
+///
+/// One Engine instance corresponds to one symbolic test session. Each
+/// iteration: run the interpreter under the current input assignment, let
+/// the low-level runtime record the path and register alternate states,
+/// classify the run's high-level path, then ask the search strategy for the
+/// next alternate state, validate its path condition with the solver, and
+/// re-run under the satisfying assignment.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cupa/strategy.h"
+#include "hll/hl_tracker.h"
+#include "lowlevel/exec_tree.h"
+#include "lowlevel/runtime.h"
+#include "solver/solver.h"
+#include "support/rng.h"
+
+namespace chef {
+
+/// Available state selection strategies.
+enum class StrategyKind {
+    kRandom,
+    kDfs,
+    kBfs,
+    kCupaPath,          ///< Path-optimized CUPA (§3.3).
+    kCupaCoverage,      ///< Coverage-optimized CUPA (§3.4).
+    kCupaPathInverted,  ///< Level-order ablation of path CUPA.
+};
+
+const char* StrategyKindName(StrategyKind kind);
+
+/// A concrete test case produced from one completed concolic run.
+struct TestCase {
+    /// Input values, one per declared variable (complete: defaults merged).
+    solver::Assignment inputs;
+    lowlevel::PathStatus status = lowlevel::PathStatus::kFinished;
+    /// True if this run covered a high-level path not seen before — these
+    /// are the paper's "relevant high-level test cases".
+    bool new_hl_path = false;
+    uint32_t hl_final_node = 0;
+    size_t hl_length = 0;
+    uint64_t ll_steps = 0;
+    /// Guest-visible outcome: "ok", "exception", "hang", "abort".
+    std::string outcome_kind;
+    /// Detail string, e.g. the exception type name.
+    std::string outcome_detail;
+};
+
+/// Engine statistics, including the Figure-10 timeline.
+struct EngineStats {
+    uint64_t ll_paths = 0;
+    uint64_t hl_paths = 0;
+    uint64_t hangs = 0;
+    uint64_t assume_retries = 0;
+    uint64_t infeasible_states = 0;
+    uint64_t solver_failures = 0;
+    uint64_t states_registered = 0;
+    double elapsed_seconds = 0.0;
+
+    struct Sample {
+        double t = 0.0;
+        uint64_t ll_paths = 0;
+        uint64_t hl_paths = 0;
+    };
+    std::vector<Sample> timeline;
+};
+
+/// The engine. Owns the execution tree, solver, runtime, tracker, and
+/// search strategy for one symbolic test.
+class Engine
+{
+  public:
+    struct Options {
+        StrategyKind strategy = StrategyKind::kCupaPath;
+        uint64_t seed = 1;
+        /// Exploration stops after this many completed low-level runs.
+        uint64_t max_runs = 2000;
+        /// ... or after this much wall time.
+        double max_seconds = 30.0;
+        /// Per-run low-level step budget (hang detector). Also bounds the
+        /// depth of loop-carried symbolic expression chains, which are
+        /// processed recursively.
+        uint64_t max_steps_per_run = 500'000;
+        double fork_weight_decay = 0.75;
+        /// §3.4 least-frequent branching opcode cutoff.
+        double branch_opcode_drop_fraction = 0.10;
+        solver::Solver::Options solver_options = {};
+        bool collect_timeline = true;
+    };
+
+    /// Outcome descriptor returned by the guest adapter after one run.
+    struct GuestOutcome {
+        std::string kind = "ok";
+        std::string detail;
+    };
+
+    /// Executes the target program once under the given runtime; called by
+    /// the engine for every concolic iteration.
+    using RunFn = std::function<GuestOutcome(lowlevel::LowLevelRuntime&)>;
+
+    Engine() : Engine(Options{}) {}
+    explicit Engine(Options options);
+
+    /// Runs the exploration loop and returns every completed run as a test
+    /// case (filter on new_hl_path for the paper's relevant test cases).
+    std::vector<TestCase> Explore(const RunFn& run);
+
+    const EngineStats& stats() const { return stats_; }
+    const lowlevel::ExecutionTree& tree() const { return tree_; }
+    const hll::HlpcTracker& tracker() const { return tracker_; }
+    solver::Solver& constraint_solver() { return solver_; }
+    const Options& options() const { return options_; }
+
+  private:
+    std::unique_ptr<cupa::SearchStrategy> MakeStrategy();
+    solver::Assignment CompleteInputs() const;
+
+    Options options_;
+    Rng rng_;
+    solver::Solver solver_;
+    lowlevel::ExecutionTree tree_;
+    lowlevel::LowLevelRuntime runtime_;
+    hll::HlpcTracker tracker_;
+    std::unique_ptr<cupa::SearchStrategy> strategy_;
+    EngineStats stats_;
+};
+
+}  // namespace chef
+
+#endif  // CHEF_CHEF_ENGINE_H_

@@ -1,0 +1,63 @@
+#include "dedicated/mac_controller.h"
+
+namespace chef::dedicated {
+
+std::string
+MacControllerSource(int num_frames)
+{
+    std::string source = R"PY(table = {}
+
+def learn(src, port):
+    table[src] = port
+
+def lookup(dst):
+    if dst in table:
+        return table[dst]
+    return -1
+
+)PY";
+    source += "def process(";
+    for (int i = 0; i < num_frames; ++i) {
+        if (i > 0) {
+            source += ", ";
+        }
+        source += "src" + std::to_string(i) + ", dst" + std::to_string(i);
+    }
+    source += "):\n    out = 0\n";
+    for (int i = 0; i < num_frames; ++i) {
+        source += "    learn(src" + std::to_string(i) + ", " +
+                  std::to_string(i) + ")\n";
+        source += "    out = out + lookup(dst" + std::to_string(i) +
+                  ")\n";
+    }
+    source += "    return out\n";
+    return source;
+}
+
+std::vector<NiceArg>
+MacControllerArgs(int num_frames)
+{
+    std::vector<NiceArg> args;
+    for (int i = 0; i < num_frames; ++i) {
+        args.push_back({"src" + std::to_string(i), 10 + i});
+        args.push_back({"dst" + std::to_string(i), 20 + i});
+    }
+    return args;
+}
+
+workloads::PySymbolicTest
+MacControllerPyTest(int num_frames)
+{
+    workloads::PySymbolicTest test;
+    test.source = MacControllerSource(num_frames);
+    test.entry = "process";
+    for (int i = 0; i < num_frames; ++i) {
+        test.args.push_back(workloads::SymbolicArg::Int(
+            "src" + std::to_string(i), 10 + i));
+        test.args.push_back(workloads::SymbolicArg::Int(
+            "dst" + std::to_string(i), 20 + i));
+    }
+    return test;
+}
+
+}  // namespace chef::dedicated

@@ -1,0 +1,31 @@
+#ifndef CHEF_DEDICATED_MAC_CONTROLLER_H_
+#define CHEF_DEDICATED_MAC_CONTROLLER_H_
+
+/// \file
+/// The Figure-12 workload: an OpenFlow MAC-learning switch controller
+/// (NICE's experimental setup, §6.6). The controller receives a sequence
+/// of Ethernet frames with symbolic source/destination addresses, learns
+/// the source port, and forwards by table lookup (flooding on a miss).
+/// One MiniPy source serves both engines: the CHEF-derived engine executes
+/// it through the full interpreter, the dedicated engine directly.
+
+#include <string>
+#include <vector>
+
+#include "dedicated/nice_engine.h"
+#include "workloads/py_harness.h"
+
+namespace chef::dedicated {
+
+/// Guest source processing \p num_frames frames (2 symbolic ints each).
+std::string MacControllerSource(int num_frames);
+
+/// Argument declarations for the dedicated engine.
+std::vector<NiceArg> MacControllerArgs(int num_frames);
+
+/// Symbolic test specification for the CHEF-derived Python engine.
+workloads::PySymbolicTest MacControllerPyTest(int num_frames);
+
+}  // namespace chef::dedicated
+
+#endif  // CHEF_DEDICATED_MAC_CONTROLLER_H_

@@ -1,0 +1,655 @@
+#include "dedicated/nice_engine.h"
+
+#include <unordered_map>
+
+#include "support/diagnostics.h"
+
+namespace chef::dedicated {
+
+using namespace chef::lowlevel;  // NOLINT
+using minipy::Ast;
+using minipy::AstKind;
+
+namespace {
+
+/// A native symbolic value: integer/bool SymValue, or a dict mapping
+/// (symbolically compared) integer keys to values.
+struct NiceValue {
+    enum class Type : uint8_t { kNone, kInt, kDict };
+    Type type = Type::kNone;
+    SymValue num{0, 64};
+    /// Association list; lookups compare keys symbolically via Branch.
+    std::shared_ptr<std::vector<std::pair<SymValue, SymValue>>> dict;
+
+    static NiceValue Int(SymValue v)
+    {
+        NiceValue value;
+        value.type = Type::kInt;
+        value.num = v.width() == 64 ? v : SvSExt(v, 64);
+        return value;
+    }
+    static NiceValue Dict()
+    {
+        NiceValue value;
+        value.type = Type::kDict;
+        value.dict = std::make_shared<
+            std::vector<std::pair<SymValue, SymValue>>>();
+        return value;
+    }
+};
+
+/// Direct AST executor over native symbolic values.
+class Executor
+{
+  public:
+    Executor(const Ast& module, LowLevelRuntime* rt, bool seeded_not_bug)
+        : module_(module), rt_(rt), seeded_not_bug_(seeded_not_bug)
+    {
+    }
+
+    /// Runs the module body (function defs + globals).
+    bool RunModule()
+    {
+        for (const minipy::AstPtr& stmt : module_.kids) {
+            if (!ExecStmt(*stmt, &globals_)) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    bool CallEntry(const std::string& name, std::vector<NiceValue> args)
+    {
+        auto it = functions_.find(name);
+        if (it == functions_.end()) {
+            Fatal("dedicated engine: entry function not found: " + name);
+        }
+        NiceValue result;
+        return CallFunction(*it->second, std::move(args), &result);
+    }
+
+    bool failed() const { return failed_; }
+    const std::string& failure() const { return failure_; }
+
+  private:
+    using Scope = std::unordered_map<std::string, NiceValue>;
+
+    void Unsupported(const std::string& what)
+    {
+        if (!failed_) {
+            failed_ = true;
+            failure_ = "unsupported by dedicated engine: " + what;
+        }
+    }
+
+    bool CallFunction(const Ast& def, std::vector<NiceValue> args,
+                      NiceValue* result)
+    {
+        if (++depth_ > 32) {
+            --depth_;
+            Unsupported("deep recursion");
+            return false;
+        }
+        Scope locals;
+        for (size_t i = 0; i < def.strings.size(); ++i) {
+            locals[def.strings[i]] =
+                i < args.size() ? args[i] : NiceValue();
+        }
+        const bool ok = ExecBody(*def.kids[0], &locals);
+        --depth_;
+        if (returned_) {
+            *result = return_value_;
+            returned_ = false;
+            return true;
+        }
+        return ok;
+    }
+
+    bool ExecBody(const Ast& body, Scope* scope)
+    {
+        for (const minipy::AstPtr& stmt : body.kids) {
+            if (!rt_->running() || failed_) {
+                return false;
+            }
+            if (!ExecStmt(*stmt, scope)) {
+                return false;
+            }
+            if (returned_ || broke_) {
+                return true;
+            }
+        }
+        return true;
+    }
+
+    bool ExecStmt(const Ast& stmt, Scope* scope)
+    {
+        // The dedicated engine "knows" the guest structure natively: each
+        // statement is one high-level instruction.
+        rt_->LogPc(reinterpret_cast<uintptr_t>(&stmt) & 0xffffffff,
+                   static_cast<uint32_t>(stmt.kind));
+        switch (stmt.kind) {
+          case AstKind::kBody:
+            return ExecBody(stmt, scope);
+          case AstKind::kDef:
+            functions_[stmt.name] = &stmt;
+            return true;
+          case AstKind::kPass:
+          case AstKind::kGlobal:
+            return true;
+          case AstKind::kExprStmt: {
+            NiceValue ignored;
+            return Eval(*stmt.kids[0], scope, &ignored);
+          }
+          case AstKind::kAssign: {
+            NiceValue value;
+            if (!Eval(*stmt.kids[1], scope, &value)) {
+                return false;
+            }
+            return Store(*stmt.kids[0], scope, value);
+          }
+          case AstKind::kAugAssign: {
+            NiceValue current;
+            NiceValue delta;
+            if (!Eval(*stmt.kids[0], scope, &current) ||
+                !Eval(*stmt.kids[1], scope, &delta)) {
+                return false;
+            }
+            NiceValue updated = NiceValue::Int(
+                stmt.op == minipy::TokKind::kPlusEq
+                    ? SvAdd(current.num, delta.num)
+                    : SvSub(current.num, delta.num));
+            return Store(*stmt.kids[0], scope, updated);
+          }
+          case AstKind::kIf: {
+            bool taken = false;
+            if (!EvalCondAndBranch(*stmt.kids[0], scope, &taken)) {
+                return false;
+            }
+            if (taken) {
+                return ExecBody(*stmt.kids[1], scope);
+            }
+            if (stmt.kids.size() > 2) {
+                return ExecBody(*stmt.kids[2], scope);
+            }
+            return true;
+          }
+          case AstKind::kWhile: {
+            for (;;) {
+                if (!rt_->running()) {
+                    return false;
+                }
+                bool taken = false;
+                if (!EvalCondAndBranch(*stmt.kids[0], scope, &taken)) {
+                    return false;
+                }
+                if (!taken) {
+                    return true;
+                }
+                if (!ExecBody(*stmt.kids[1], scope)) {
+                    return false;
+                }
+                if (returned_) {
+                    return true;
+                }
+                if (broke_) {
+                    broke_ = false;
+                    return true;
+                }
+            }
+          }
+          case AstKind::kFor: {
+            // Only `for i in range(...)` is supported.
+            const Ast& iter = *stmt.kids[1];
+            if (iter.kind != AstKind::kCall ||
+                iter.kids[0]->kind != AstKind::kName ||
+                iter.kids[0]->name != "range") {
+                Unsupported("for over non-range iterable");
+                return false;
+            }
+            NiceValue stop;
+            NiceValue start = NiceValue::Int(SymValue(0, 64));
+            if (iter.kids.size() == 2) {
+                if (!Eval(*iter.kids[1], scope, &stop)) {
+                    return false;
+                }
+            } else if (iter.kids.size() == 3) {
+                if (!Eval(*iter.kids[1], scope, &start) ||
+                    !Eval(*iter.kids[2], scope, &stop)) {
+                    return false;
+                }
+            } else {
+                Unsupported("range() with step");
+                return false;
+            }
+            SymValue position = start.num;
+            for (;;) {
+                if (!rt_->running()) {
+                    return false;
+                }
+                if (!rt_->Branch(SvSlt(position, stop.num), CHEF_LLPC)) {
+                    return true;
+                }
+                if (stmt.kids[0]->kind == AstKind::kName) {
+                    (*scope)[stmt.kids[0]->name] =
+                        NiceValue::Int(position);
+                }
+                if (!ExecBody(*stmt.kids[2], scope)) {
+                    return false;
+                }
+                if (returned_) {
+                    return true;
+                }
+                if (broke_) {
+                    broke_ = false;
+                    return true;
+                }
+                position = SvAdd(position, SymValue(1, 64));
+            }
+          }
+          case AstKind::kReturn: {
+            if (!stmt.kids.empty()) {
+                if (!Eval(*stmt.kids[0], scope, &return_value_)) {
+                    return false;
+                }
+            } else {
+                return_value_ = NiceValue();
+            }
+            returned_ = true;
+            return true;
+          }
+          case AstKind::kBreak:
+            broke_ = true;
+            return true;
+          case AstKind::kTry:
+          case AstKind::kRaise:
+          case AstKind::kClass:
+            Unsupported("exceptions/classes");
+            return false;
+          default:
+            Unsupported("statement");
+            return false;
+        }
+    }
+
+    /// Branches on a condition, with the optional seeded `if not` bug.
+    bool EvalCondAndBranch(const Ast& cond, Scope* scope, bool* taken)
+    {
+        if (seeded_not_bug_ && cond.kind == AstKind::kUnaryOp &&
+            cond.op == minipy::TokKind::kKwNot) {
+            // BUG (reintroduced per §6.6): the engine forgets to negate
+            // the symbolic condition for `if not <expr>` while following
+            // the correct concrete arm. The recorded constraint has the
+            // wrong polarity, so the "alternate" the strategy later
+            // selects solves to inputs that re-drive the already-explored
+            // path: redundant test cases, and the other feasible path is
+            // never generated.
+            NiceValue inner;
+            if (!Eval(*cond.kids[0], scope, &inner)) {
+                return false;
+            }
+            const SymValue truth = ToBool(inner);
+            const bool concrete_not = !truth.ConcreteTruth();
+            const SymValue wrong_polarity(concrete_not ? 1 : 0, 1,
+                                          truth.ToExpr());
+            *taken = rt_->Branch(wrong_polarity, CHEF_LLPC);
+            return true;
+        }
+        NiceValue value;
+        if (!Eval(cond, scope, &value)) {
+            return false;
+        }
+        *taken = rt_->Branch(ToBool(value), CHEF_LLPC);
+        return true;
+    }
+
+    static SymValue ToBool(const NiceValue& value)
+    {
+        if (value.type == NiceValue::Type::kInt) {
+            return value.num.width() == 1
+                       ? value.num
+                       : SvNe(value.num, SymValue(0, 64));
+        }
+        return SymValue(value.type != NiceValue::Type::kNone ? 1 : 0, 1);
+    }
+
+    bool Eval(const Ast& expr, Scope* scope, NiceValue* out)
+    {
+        switch (expr.kind) {
+          case AstKind::kIntLit:
+            *out = NiceValue::Int(
+                SymValue(static_cast<uint64_t>(expr.int_value), 64));
+            return true;
+          case AstKind::kBoolLit:
+            *out = NiceValue::Int(SymValue(expr.int_value, 64));
+            return true;
+          case AstKind::kNoneLit:
+            *out = NiceValue();
+            return true;
+          case AstKind::kName: {
+            auto local = scope->find(expr.name);
+            if (local != scope->end()) {
+                *out = local->second;
+                return true;
+            }
+            auto global = globals_.find(expr.name);
+            if (global != globals_.end()) {
+                *out = global->second;
+                return true;
+            }
+            Unsupported("undefined name " + expr.name);
+            return false;
+          }
+          case AstKind::kBinOp: {
+            NiceValue lhs;
+            NiceValue rhs;
+            if (!Eval(*expr.kids[0], scope, &lhs) ||
+                !Eval(*expr.kids[1], scope, &rhs)) {
+                return false;
+            }
+            switch (expr.op) {
+              case minipy::TokKind::kPlus:
+                *out = NiceValue::Int(SvAdd(lhs.num, rhs.num));
+                return true;
+              case minipy::TokKind::kMinus:
+                *out = NiceValue::Int(SvSub(lhs.num, rhs.num));
+                return true;
+              case minipy::TokKind::kStar:
+                *out = NiceValue::Int(SvMul(lhs.num, rhs.num));
+                return true;
+              case minipy::TokKind::kAmp:
+                *out = NiceValue::Int(SvAnd(lhs.num, rhs.num));
+                return true;
+              case minipy::TokKind::kPipe:
+                *out = NiceValue::Int(SvOr(lhs.num, rhs.num));
+                return true;
+              default:
+                Unsupported("binary operator");
+                return false;
+            }
+          }
+          case AstKind::kUnaryOp: {
+            NiceValue inner;
+            if (!Eval(*expr.kids[0], scope, &inner)) {
+                return false;
+            }
+            if (expr.op == minipy::TokKind::kKwNot) {
+                *out = NiceValue::Int(
+                    SvZExt(SvBoolNot(ToBool(inner)), 64));
+                return true;
+            }
+            if (expr.op == minipy::TokKind::kMinus) {
+                *out = NiceValue::Int(SvNeg(inner.num));
+                return true;
+            }
+            Unsupported("unary operator");
+            return false;
+          }
+          case AstKind::kCompare: {
+            NiceValue lhs;
+            if (!Eval(*expr.kids[0], scope, &lhs)) {
+                return false;
+            }
+            const std::string& op = expr.strings[0];
+            if (op == "in" || op == "not in") {
+                NiceValue container;
+                if (!Eval(*expr.kids[1], scope, &container)) {
+                    return false;
+                }
+                if (container.type != NiceValue::Type::kDict) {
+                    Unsupported("'in' over non-dict");
+                    return false;
+                }
+                // Native symbolic membership: probe entries with
+                // symbolic equality (forks per entry, but no hashing).
+                bool found = false;
+                for (const auto& [key, value] : *container.dict) {
+                    if (rt_->Branch(SvEq(key, lhs.num), CHEF_LLPC)) {
+                        found = true;
+                        break;
+                    }
+                    if (!rt_->running()) {
+                        return false;
+                    }
+                }
+                const bool in_result = (op == "in") ? found : !found;
+                *out = NiceValue::Int(SymValue(in_result ? 1 : 0, 64));
+                return true;
+            }
+            NiceValue rhs;
+            if (!Eval(*expr.kids[1], scope, &rhs)) {
+                return false;
+            }
+            SymValue result;
+            if (op == "==") result = SvEq(lhs.num, rhs.num);
+            else if (op == "!=") result = SvNe(lhs.num, rhs.num);
+            else if (op == "<") result = SvSlt(lhs.num, rhs.num);
+            else if (op == "<=") result = SvSle(lhs.num, rhs.num);
+            else if (op == ">") result = SvSgt(lhs.num, rhs.num);
+            else if (op == ">=") result = SvSge(lhs.num, rhs.num);
+            else {
+                Unsupported("comparison " + op);
+                return false;
+            }
+            *out = NiceValue::Int(SvZExt(result, 64));
+            return true;
+          }
+          case AstKind::kBoolOp: {
+            // Short-circuit via concrete branches.
+            const bool is_and = expr.op == minipy::TokKind::kKwAnd;
+            NiceValue value;
+            for (const minipy::AstPtr& operand : expr.kids) {
+                if (!Eval(*operand, scope, &value)) {
+                    return false;
+                }
+                const bool truth =
+                    rt_->Branch(ToBool(value), CHEF_LLPC);
+                if (is_and && !truth) {
+                    break;
+                }
+                if (!is_and && truth) {
+                    break;
+                }
+            }
+            *out = value;
+            return true;
+          }
+          case AstKind::kDictLit: {
+            NiceValue dict = NiceValue::Dict();
+            for (size_t i = 0; i + 1 < expr.kids.size(); i += 2) {
+                NiceValue key;
+                NiceValue value;
+                if (!Eval(*expr.kids[i], scope, &key) ||
+                    !Eval(*expr.kids[i + 1], scope, &value)) {
+                    return false;
+                }
+                dict.dict->push_back({key.num, value.num});
+            }
+            *out = dict;
+            return true;
+          }
+          case AstKind::kSubscript: {
+            NiceValue dict;
+            NiceValue key;
+            if (!Eval(*expr.kids[0], scope, &dict) ||
+                !Eval(*expr.kids[1], scope, &key)) {
+                return false;
+            }
+            if (dict.type != NiceValue::Type::kDict) {
+                Unsupported("subscript of non-dict");
+                return false;
+            }
+            for (const auto& [entry_key, entry_value] : *dict.dict) {
+                if (rt_->Branch(SvEq(entry_key, key.num), CHEF_LLPC)) {
+                    *out = NiceValue::Int(entry_value);
+                    return true;
+                }
+                if (!rt_->running()) {
+                    return false;
+                }
+            }
+            Unsupported("KeyError (dedicated engine has no exceptions)");
+            return false;
+          }
+          case AstKind::kCall: {
+            if (expr.kids[0]->kind != AstKind::kName) {
+                Unsupported("indirect call");
+                return false;
+            }
+            const std::string& name = expr.kids[0]->name;
+            auto function = functions_.find(name);
+            if (function != functions_.end()) {
+                std::vector<NiceValue> args;
+                for (size_t i = 1; i < expr.kids.size(); ++i) {
+                    NiceValue arg;
+                    if (!Eval(*expr.kids[i], scope, &arg)) {
+                        return false;
+                    }
+                    args.push_back(std::move(arg));
+                }
+                return CallFunction(*function->second, std::move(args),
+                                    out);
+            }
+            if (name == "abs" && expr.kids.size() == 2) {
+                NiceValue arg;
+                if (!Eval(*expr.kids[1], scope, &arg)) {
+                    return false;
+                }
+                const SymValue negative =
+                    SvSlt(arg.num, SymValue(0, 64));
+                *out = NiceValue::Int(
+                    SvIte(negative, SvNeg(arg.num), arg.num));
+                return true;
+            }
+            Unsupported("builtin " + name);
+            return false;
+          }
+          default:
+            Unsupported("expression");
+            return false;
+        }
+    }
+
+    bool Store(const Ast& target, Scope* scope, const NiceValue& value)
+    {
+        if (target.kind == AstKind::kName) {
+            // Module-level globals mutated from functions use the global
+            // scope if already defined there (NICE-style controllers put
+            // state in module globals).
+            if (scope != &globals_ && !scope->count(target.name) &&
+                globals_.count(target.name)) {
+                globals_[target.name] = value;
+                return true;
+            }
+            (*scope)[target.name] = value;
+            return true;
+        }
+        if (target.kind == AstKind::kSubscript) {
+            NiceValue dict;
+            NiceValue key;
+            if (!Eval(*target.kids[0], scope, &dict) ||
+                !Eval(*target.kids[1], scope, &key)) {
+                return false;
+            }
+            if (dict.type != NiceValue::Type::kDict) {
+                Unsupported("subscript store on non-dict");
+                return false;
+            }
+            // Update an existing entry (symbolic key probe) or append.
+            for (auto& [entry_key, entry_value] : *dict.dict) {
+                if (rt_->Branch(SvEq(entry_key, key.num), CHEF_LLPC)) {
+                    entry_value = value.num;
+                    return true;
+                }
+                if (!rt_->running()) {
+                    return false;
+                }
+            }
+            dict.dict->push_back({key.num, value.num});
+            return true;
+        }
+        Unsupported("assignment target");
+        return false;
+    }
+
+    const Ast& module_;
+    LowLevelRuntime* rt_;
+    bool seeded_not_bug_;
+
+    Scope globals_;
+    std::unordered_map<std::string, const Ast*> functions_;
+    NiceValue return_value_;
+    bool returned_ = false;
+    bool broke_ = false;
+    bool failed_ = false;
+    std::string failure_;
+    int depth_ = 0;
+};
+
+}  // namespace
+
+NicePyEngine::NicePyEngine(const std::string& source, Options options)
+    : options_(options), source_(source)
+{
+    minipy::ParseResult parsed = minipy::Parse(source);
+    if (!parsed.ok) {
+        Fatal("dedicated engine: guest parse error: " + parsed.error);
+    }
+    module_ = std::shared_ptr<minipy::Ast>(parsed.module.release());
+}
+
+NiceResult
+NicePyEngine::Explore(const std::string& entry,
+                      const std::vector<NiceArg>& args)
+{
+    Engine::Options engine_options;
+    engine_options.seed = options_.seed;
+    engine_options.max_runs = options_.max_runs;
+    engine_options.max_seconds = options_.max_seconds;
+    // Exploring a small controller: random selection suffices (the paper
+    // notes strategy choice is irrelevant at this scale, §6.6).
+    engine_options.strategy = StrategyKind::kCupaPath;
+    Engine engine(engine_options);
+
+    const Ast* module = module_.get();
+    const bool seeded = options_.seeded_not_bug;
+    NiceResult result;
+    result.tests = engine.Explore(
+        [module, entry, args, seeded](LowLevelRuntime& rt)
+            -> Engine::GuestOutcome {
+            Executor executor(*module, &rt, seeded);
+            if (!executor.RunModule()) {
+                return {"abort", executor.failure()};
+            }
+            std::vector<NiceValue> call_args;
+            for (const NiceArg& arg : args) {
+                call_args.push_back(NiceValue::Int(SvSExt(
+                    rt.MakeSymbolicValue(
+                        arg.name, 32,
+                        static_cast<uint64_t>(arg.default_value)),
+                    64)));
+            }
+            if (!executor.CallEntry(entry, std::move(call_args))) {
+                if (executor.failed()) {
+                    return {"abort", executor.failure()};
+                }
+            }
+            return {"ok", ""};
+        });
+    result.stats = engine.stats();
+    result.hl_paths = engine.stats().hl_paths;
+    return result;
+}
+
+bool
+NicePyEngine::SupportsFeature(const std::string& feature)
+{
+    // Table 4's NICE column: integers full; lists/dicts partial (wrapped
+    // types); strings/floats/classes/exceptions/native unsupported.
+    if (feature == "int" || feature == "basic-control-flow" ||
+        feature == "data-manipulation") {
+        return true;
+    }
+    return false;
+}
+
+}  // namespace chef::dedicated

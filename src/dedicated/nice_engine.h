@@ -1,0 +1,80 @@
+#ifndef CHEF_DEDICATED_NICE_ENGINE_H_
+#define CHEF_DEDICATED_NICE_ENGINE_H_
+
+/// \file
+/// A hand-written ("dedicated") symbolic execution engine for a MiniPy
+/// subset, in the mold of NICE-PySE (§6.6, Table 4, Figure 12).
+///
+/// Unlike the CHEF-derived engine — which symbolically executes the whole
+/// MiniPy interpreter, paying for dispatch, bignum normalization, hash
+/// circuits and interning — this engine walks the guest AST directly and
+/// manipulates symbolic values natively. It is much faster per high-level
+/// path, but supports only the language subset its authors bothered to
+/// implement: integers and booleans, dicts keyed by integers, basic
+/// control flow, and a handful of builtins. Strings, classes, exceptions
+/// and native methods are unsupported (Table 4's half/empty bullets).
+///
+/// The engine can also be built with the *seeded NICE bug* the paper found
+/// via cross-checking (§6.6): `if not <expr>` mishandles the branch
+/// alternate by recording the constraint of the un-negated expression, so
+/// the negated query re-explores an old path and a feasible path is lost.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chef/engine.h"
+#include "minipy/ast.h"
+
+namespace chef::dedicated {
+
+/// Symbolic input declaration: the dedicated engine supports integer
+/// inputs only (NICE's symbolic types wrap ints).
+struct NiceArg {
+    std::string name;
+    int64_t default_value = 0;
+};
+
+/// Result of exploration.
+struct NiceResult {
+    EngineStats stats;
+    std::vector<TestCase> tests;
+    /// Distinct high-level path signatures (guest branch sequences).
+    uint64_t hl_paths = 0;
+};
+
+/// Hand-written symbolic executor for the MiniPy subset.
+class NicePyEngine
+{
+  public:
+    struct Options {
+        uint64_t seed = 1;
+        uint64_t max_runs = 2000;
+        double max_seconds = 30.0;
+        /// Reintroduce the `if not <expr>` branch-selection bug the paper
+        /// found in NICE (§6.6).
+        bool seeded_not_bug = false;
+    };
+
+    /// Parses the guest program; Fatal on parse errors or on constructs
+    /// outside the supported subset that appear at module level.
+    NicePyEngine(const std::string& source, Options options);
+
+    /// Explores `entry(args...)` symbolically.
+    NiceResult Explore(const std::string& entry,
+                       const std::vector<NiceArg>& args);
+
+    /// True if the engine supports the given language feature (Table 4
+    /// probe; names: "int", "str", "float", "list", "dict", "class",
+    /// "exceptions", "native").
+    static bool SupportsFeature(const std::string& feature);
+
+  private:
+    std::shared_ptr<minipy::Ast> module_;
+    Options options_;
+    std::string source_;
+};
+
+}  // namespace chef::dedicated
+
+#endif  // CHEF_DEDICATED_NICE_ENGINE_H_

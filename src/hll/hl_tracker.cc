@@ -1,0 +1,231 @@
+#include "hll/hl_tracker.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/diagnostics.h"
+
+namespace chef::hll {
+
+HlExecutionTree::HlExecutionTree()
+{
+    Reset();
+}
+
+void
+HlExecutionTree::Reset()
+{
+    nodes_.clear();
+    nodes_.push_back(Node{});
+    num_terminals_ = 0;
+}
+
+uint32_t
+HlExecutionTree::Advance(uint32_t node, uint64_t hlpc)
+{
+    CHEF_CHECK(node < nodes_.size());
+    auto it = nodes_[node].children.find(hlpc);
+    if (it != nodes_[node].children.end()) {
+        return it->second;
+    }
+    const uint32_t child = static_cast<uint32_t>(nodes_.size());
+    Node fresh;
+    fresh.hlpc = hlpc;
+    nodes_.push_back(std::move(fresh));
+    nodes_[node].children.emplace(hlpc, child);
+    return child;
+}
+
+bool
+HlExecutionTree::MarkTerminal(uint32_t node)
+{
+    CHEF_CHECK(node < nodes_.size());
+    if (nodes_[node].terminal) {
+        return false;
+    }
+    nodes_[node].terminal = true;
+    ++num_terminals_;
+    return true;
+}
+
+void
+HlCfg::Reset()
+{
+    nodes_.clear();
+    branching_opcodes_.clear();
+    potential_points_.clear();
+    distance_.clear();
+}
+
+void
+HlCfg::RecordNode(uint64_t hlpc, uint32_t opcode)
+{
+    NodeInfo& info = nodes_[hlpc];
+    info.opcode = opcode;
+    ++info.exec_count;
+}
+
+void
+HlCfg::RecordEdge(uint64_t from, uint64_t to)
+{
+    nodes_[from].successors.insert(to);
+    nodes_[to].predecessors.insert(from);
+}
+
+void
+HlCfg::RecomputeAnalysis(double drop_fraction)
+{
+    branching_opcodes_.clear();
+    potential_points_.clear();
+    distance_.clear();
+
+    // Step 1 (§3.4): candidate branching opcodes are those of instructions
+    // observed with out-degree >= 2.
+    std::unordered_map<uint32_t, uint64_t> opcode_counts;
+    for (const auto& [hlpc, info] : nodes_) {
+        if (info.successors.size() >= 2) {
+            opcode_counts[info.opcode] += info.exec_count;
+        }
+    }
+    // Step 2: eliminate the least frequent opcodes (default 10%), which
+    // correspond to exceptions and other rare control-flow events.
+    uint64_t total = 0;
+    for (const auto& [opcode, count] : opcode_counts) {
+        total += count;
+    }
+    std::vector<std::pair<uint64_t, uint32_t>> by_count;
+    by_count.reserve(opcode_counts.size());
+    for (const auto& [opcode, count] : opcode_counts) {
+        by_count.push_back({count, opcode});
+    }
+    std::sort(by_count.begin(), by_count.end());
+    uint64_t dropped = 0;
+    for (const auto& [count, opcode] : by_count) {
+        if (total > 0 &&
+            static_cast<double>(dropped + count) <=
+                drop_fraction * static_cast<double>(total)) {
+            dropped += count;
+            continue;
+        }
+        branching_opcodes_.insert(opcode);
+    }
+
+    // Step 3: potential branching points have a branching opcode but only
+    // one successor so far.
+    for (const auto& [hlpc, info] : nodes_) {
+        if (info.successors.size() == 1 &&
+            branching_opcodes_.count(info.opcode)) {
+            potential_points_.insert(hlpc);
+        }
+    }
+
+    // Step 4: multi-source BFS on reversed edges computes, for every
+    // instruction, the forward distance to the nearest potential branching
+    // point.
+    std::deque<uint64_t> queue;
+    for (uint64_t hlpc : potential_points_) {
+        distance_[hlpc] = 0;
+        queue.push_back(hlpc);
+    }
+    while (!queue.empty()) {
+        const uint64_t hlpc = queue.front();
+        queue.pop_front();
+        const uint32_t d = distance_[hlpc];
+        auto it = nodes_.find(hlpc);
+        if (it == nodes_.end()) {
+            continue;
+        }
+        for (uint64_t pred : it->second.predecessors) {
+            if (!distance_.count(pred)) {
+                distance_[pred] = d + 1;
+                queue.push_back(pred);
+            }
+        }
+    }
+}
+
+bool
+HlCfg::IsBranchingOpcode(uint32_t opcode) const
+{
+    return branching_opcodes_.count(opcode) > 0;
+}
+
+bool
+HlCfg::IsPotentialBranchPoint(uint64_t hlpc) const
+{
+    return potential_points_.count(hlpc) > 0;
+}
+
+uint32_t
+HlCfg::DistanceToBranchPoint(uint64_t hlpc) const
+{
+    auto it = distance_.find(hlpc);
+    return it == distance_.end() ? UINT32_MAX : it->second;
+}
+
+double
+HlCfg::DistanceWeight(uint64_t hlpc) const
+{
+    const uint32_t d = DistanceToBranchPoint(hlpc);
+    if (d == UINT32_MAX) {
+        // Unreachable from any potential branching point: keep a small
+        // residual weight so such classes are not starved entirely.
+        return 1e-3;
+    }
+    return 1.0 / static_cast<double>(1 + d);
+}
+
+HlpcTracker::HlpcTracker() = default;
+
+void
+HlpcTracker::Attach(lowlevel::LowLevelRuntime* runtime)
+{
+    runtime_ = runtime;
+    runtime->set_log_pc_hook(
+        [this](uint64_t hlpc, uint32_t opcode) { OnLogPc(hlpc, opcode); });
+}
+
+void
+HlpcTracker::Reset()
+{
+    tree_.Reset();
+    cfg_.Reset();
+    BeginRun();
+}
+
+void
+HlpcTracker::BeginRun()
+{
+    current_node_ = 0;
+    last_hlpc_ = 0;
+    has_last_ = false;
+    trace_.clear();
+}
+
+HlPathInfo
+HlpcTracker::EndRun()
+{
+    HlPathInfo info;
+    info.final_node = current_node_;
+    info.length = trace_.size();
+    info.is_new_path = tree_.MarkTerminal(current_node_);
+    return info;
+}
+
+void
+HlpcTracker::OnLogPc(uint64_t hlpc, uint32_t opcode)
+{
+    current_node_ = tree_.Advance(current_node_, hlpc);
+    cfg_.RecordNode(hlpc, opcode);
+    if (has_last_) {
+        cfg_.RecordEdge(last_hlpc_, hlpc);
+    }
+    last_hlpc_ = hlpc;
+    has_last_ = true;
+    trace_.push_back(hlpc);
+    if (runtime_ != nullptr) {
+        runtime_->SetHlPosition(hlpc, current_node_, opcode);
+    }
+}
+
+}  // namespace chef::hll

@@ -1,0 +1,161 @@
+#ifndef CHEF_HLL_HL_TRACKER_H_
+#define CHEF_HLL_HL_TRACKER_H_
+
+/// \file
+/// High-level program tracking (§3.1, Figure 3 of the paper).
+///
+/// The interpreter's dispatch loop reports (HLPC, opcode) pairs through
+/// log_pc. From the stream of reports, CHEF reconstructs:
+///  - the *high-level execution tree*: the unfolded prefix tree of HLPC
+///    sequences; a node is a "dynamic HLPC", the occurrence of a static
+///    HLPC along a particular high-level path;
+///  - the *high-level CFG*, discovered dynamically: static HLPCs with the
+///    set of observed successors and execution counts;
+///  - the branching-opcode inference and distance-to-potential-branching-
+///    point analysis used by coverage-optimized CUPA (§3.4).
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "lowlevel/runtime.h"
+
+namespace chef::hll {
+
+/// Prefix tree over HLPC sequences. Node ids are dense indices; node 0 is
+/// the root (before the first high-level instruction).
+class HlExecutionTree
+{
+  public:
+    HlExecutionTree();
+
+    void Reset();
+
+    /// Returns the child of \p node labeled \p hlpc, creating it if absent.
+    uint32_t Advance(uint32_t node, uint64_t hlpc);
+
+    /// Marks that a run ended at \p node; returns true if this is the first
+    /// run to end exactly there (i.e., the run covered a new high-level
+    /// path).
+    bool MarkTerminal(uint32_t node);
+
+    uint64_t hlpc_of(uint32_t node) const { return nodes_[node].hlpc; }
+    size_t num_nodes() const { return nodes_.size(); }
+    uint64_t num_terminal_paths() const { return num_terminals_; }
+
+  private:
+    struct Node {
+        uint64_t hlpc = 0;
+        std::unordered_map<uint64_t, uint32_t> children;
+        bool terminal = false;
+    };
+
+    std::vector<Node> nodes_;
+    uint64_t num_terminals_ = 0;
+};
+
+/// Dynamically discovered high-level control-flow graph.
+class HlCfg
+{
+  public:
+    void Reset();
+
+    /// Records execution of the instruction at \p hlpc with \p opcode.
+    void RecordNode(uint64_t hlpc, uint32_t opcode);
+
+    /// Records an observed control transfer between consecutive HLPCs.
+    void RecordEdge(uint64_t from, uint64_t to);
+
+    /// Re-runs the branching-opcode inference and the distance analysis.
+    /// \p drop_fraction is the paper's cutoff eliminating the least
+    /// frequent candidate opcodes (10% by default).
+    void RecomputeAnalysis(double drop_fraction = 0.10);
+
+    /// True if \p opcode was inferred to be a branching opcode.
+    bool IsBranchingOpcode(uint32_t opcode) const;
+
+    /// True if the instruction is a potential branching point: it has a
+    /// branching opcode but only one observed successor.
+    bool IsPotentialBranchPoint(uint64_t hlpc) const;
+
+    /// Distance in CFG hops from \p hlpc to the nearest potential branching
+    /// point; UINT32_MAX if none is reachable.
+    uint32_t DistanceToBranchPoint(uint64_t hlpc) const;
+
+    /// The paper's class weight for a static HLPC: 1/d with d the distance
+    /// (capped below by 1 so potential branch points themselves weigh 1.0).
+    double DistanceWeight(uint64_t hlpc) const;
+
+    size_t num_nodes() const { return nodes_.size(); }
+    size_t num_potential_branch_points() const
+    {
+        return potential_points_.size();
+    }
+
+  private:
+    struct NodeInfo {
+        uint32_t opcode = 0;
+        uint64_t exec_count = 0;
+        std::unordered_set<uint64_t> successors;
+        std::unordered_set<uint64_t> predecessors;
+    };
+
+    std::unordered_map<uint64_t, NodeInfo> nodes_;
+    std::unordered_set<uint32_t> branching_opcodes_;
+    std::unordered_set<uint64_t> potential_points_;
+    std::unordered_map<uint64_t, uint32_t> distance_;
+};
+
+/// Per-run summary produced by the tracker.
+struct HlPathInfo {
+    uint32_t final_node = 0;      ///< Dynamic HLPC where the run ended.
+    size_t length = 0;            ///< Number of high-level instructions.
+    bool is_new_path = false;     ///< First run to end at final_node.
+};
+
+/// Consumes log_pc events from the low-level runtime and maintains the
+/// high-level structures. Install with Attach().
+class HlpcTracker
+{
+  public:
+    HlpcTracker();
+
+    /// Wires this tracker into the runtime's log_pc hook.
+    void Attach(lowlevel::LowLevelRuntime* runtime);
+
+    /// Clears all high-level state (new symbolic test session).
+    void Reset();
+
+    /// Begins a run (rewinds the dynamic position to the tree root).
+    void BeginRun();
+
+    /// Finishes the run and reports on the high-level path covered.
+    HlPathInfo EndRun();
+
+    /// The log_pc event handler.
+    void OnLogPc(uint64_t hlpc, uint32_t opcode);
+
+    const HlExecutionTree& tree() const { return tree_; }
+    HlCfg& cfg() { return cfg_; }
+    const HlCfg& cfg() const { return cfg_; }
+
+    /// Current dynamic HLPC (execution tree node of the last log_pc).
+    uint32_t current_node() const { return current_node_; }
+
+    /// The trace of static HLPCs reported so far in the current run.
+    const std::vector<uint64_t>& current_trace() const { return trace_; }
+
+  private:
+    lowlevel::LowLevelRuntime* runtime_ = nullptr;
+    HlExecutionTree tree_;
+    HlCfg cfg_;
+    uint32_t current_node_ = 0;
+    uint64_t last_hlpc_ = 0;
+    bool has_last_ = false;
+    std::vector<uint64_t> trace_;
+};
+
+}  // namespace chef::hll
+
+#endif  // CHEF_HLL_HL_TRACKER_H_

@@ -1,0 +1,88 @@
+#ifndef CHEF_INTERP_BUILD_OPTIONS_H_
+#define CHEF_INTERP_BUILD_OPTIONS_H_
+
+/// \file
+/// Interpreter build configurations (§4.2 of the paper).
+///
+/// The paper prepares several builds of each interpreter, adding the
+/// symbolic-execution optimizations one by one (Figure 11 / Figure 12):
+///   1. vanilla (no optimizations),
+///   2. + symbolic pointer avoidance (allocation-size concretization via
+///      upper_bound, interning and caching eliminated),
+///   3. + hash neutralization,
+///   4. + fast-path elimination (no short-circuits in string comparison
+///      and similar input-dependent early exits).
+/// In our reproduction these are runtime flags rather than compile-time
+/// `./configure --with-symbex` builds, which lets one binary sweep all
+/// configurations.
+
+namespace chef::interp {
+
+/// One interpreter build configuration.
+struct InterpBuildOptions {
+    /// Concretize symbolic allocation sizes using upper_bound and disable
+    /// value interning / small-value caches (§4.2 "Avoiding Symbolic
+    /// Pointers").
+    bool avoid_symbolic_pointers = true;
+
+    /// Replace hash functions with a degenerate constant function (§4.2
+    /// "Neutralizing Hash Functions").
+    bool neutralize_hashes = true;
+
+    /// Remove input-dependent short-circuit returns (§4.2 "Avoiding Fast
+    /// Paths").
+    bool eliminate_fast_paths = true;
+
+    /// The unmodified interpreter.
+    static InterpBuildOptions Vanilla()
+    {
+        return {false, false, false};
+    }
+
+    /// All optimizations on (the paper's -with-symbex build).
+    static InterpBuildOptions FullyOptimized()
+    {
+        return {true, true, true};
+    }
+
+    /// The Figure-11 incremental builds, level 0..3.
+    static InterpBuildOptions Level(int level)
+    {
+        InterpBuildOptions options = Vanilla();
+        if (level >= 1) {
+            options.avoid_symbolic_pointers = true;
+        }
+        if (level >= 2) {
+            options.neutralize_hashes = true;
+        }
+        if (level >= 3) {
+            options.eliminate_fast_paths = true;
+        }
+        return options;
+    }
+
+    const char* Name() const
+    {
+        if (!avoid_symbolic_pointers && !neutralize_hashes &&
+            !eliminate_fast_paths) {
+            return "vanilla";
+        }
+        if (avoid_symbolic_pointers && !neutralize_hashes &&
+            !eliminate_fast_paths) {
+            return "+sym-ptr-avoidance";
+        }
+        if (avoid_symbolic_pointers && neutralize_hashes &&
+            !eliminate_fast_paths) {
+            return "+hash-neutralization";
+        }
+        if (avoid_symbolic_pointers && neutralize_hashes &&
+            eliminate_fast_paths) {
+            return "+fast-path-elimination";
+        }
+        return "custom";
+    }
+};
+
+}  // namespace chef::interp
+
+#endif  // CHEF_INTERP_BUILD_OPTIONS_H_

@@ -1,0 +1,115 @@
+#include "interp/int_ops.h"
+
+namespace chef::interp {
+
+using namespace chef::lowlevel;  // NOLINT
+
+int
+NormalizeBignum(LowLevelRuntime* rt, const SymValue& value)
+{
+    if (!value.IsSymbolic()) {
+        return 1;
+    }
+    // Magnitude of the two's complement value.
+    const SymValue negative =
+        SvSlt(value, SymValue(0, value.width()));
+    const SymValue magnitude = SvIte(negative, SvNeg(value), value);
+    // ob_size |digits| loop: strip leading zero digits.
+    int digits = 1;
+    const int max_digits =
+        (value.width() + kBignumDigitBits - 1) / kBignumDigitBits;
+    while (digits < max_digits) {
+        const SymValue threshold(
+            1ull << (static_cast<unsigned>(kBignumDigitBits) * digits),
+            value.width());
+        if (!rt->Branch(SvUge(magnitude, threshold), CHEF_LLPC)) {
+            break;
+        }
+        ++digits;
+    }
+    return digits;
+}
+
+void
+SmallIntCacheLookup(LowLevelRuntime* rt, const SymValue& value,
+                    const InterpBuildOptions& options)
+{
+    if (options.avoid_symbolic_pointers || !value.IsSymbolic()) {
+        return;
+    }
+    // CHECK_SMALL_INT: if -5 <= v <= 256, return the cached singleton. The
+    // branch itself forks; the singleton's address then encodes the value
+    // (a symbolic pointer), which subsequent identity checks would fork on
+    // again -- the branch here is the dominant cost and what we model.
+    const SymValue in_cache =
+        SvBoolAnd(SvSge(value, SymValue(static_cast<uint64_t>(-5),
+                                        value.width())),
+                  SvSle(value, SymValue(256, value.width())));
+    rt->Branch(in_cache, CHEF_LLPC);
+}
+
+bool
+ParseInt(StrOps& ops, const SymStr& s, int start, int end, SymValue* out)
+{
+    LowLevelRuntime* rt = ops.runtime();
+    int i = start;
+    bool negative = false;
+    if (i < end) {
+        if (rt->Branch(SvEq(s[i], SymValue('-', 8)), CHEF_LLPC)) {
+            negative = true;
+            ++i;
+        } else if (rt->Branch(SvEq(s[i], SymValue('+', 8)), CHEF_LLPC)) {
+            ++i;
+        }
+    }
+    if (i >= end) {
+        return false;
+    }
+    SymValue value(0, 64);
+    for (; i < end; ++i) {
+        if (!rt->Branch(ops.IsDigit(s[i]), CHEF_LLPC)) {
+            return false;
+        }
+        const SymValue digit =
+            SvZExt(SvSub(s[i], SymValue('0', 8)), 64);
+        value = SvAdd(SvMul(value, SymValue(10, 64)), digit);
+        if (!rt->running()) {
+            return false;
+        }
+    }
+    *out = negative ? SvNeg(value) : value;
+    return true;
+}
+
+SymStr
+FormatInt(LowLevelRuntime* rt, const SymValue& value)
+{
+    SymStr digits;
+    SymValue v = value;
+    const bool negative =
+        rt->Branch(SvSlt(v, SymValue(0, v.width())), CHEF_LLPC);
+    if (negative) {
+        v = SvNeg(v);
+    }
+    // Emit digits least-significant first; the loop's trip count (the
+    // string length) is decided by forking on v != 0.
+    do {
+        const SymValue digit = SvURem(v, SymValue(10, v.width()));
+        digits.push_back(
+            SvAdd(SvTrunc(digit, 8), SymValue('0', 8)));
+        v = SvUDiv(v, SymValue(10, v.width()));
+        if (!rt->running()) {
+            break;
+        }
+    } while (rt->Branch(SvNe(v, SymValue(0, v.width())), CHEF_LLPC));
+    SymStr out;
+    if (negative) {
+        out.emplace_back('-', 8);
+    }
+    for (size_t i = digits.size(); i > 0; --i) {
+        out.push_back(digits[i - 1]);
+    }
+    return out;
+}
+
+}  // namespace chef::interp

@@ -1,0 +1,54 @@
+#ifndef CHEF_INTERP_INT_OPS_H_
+#define CHEF_INTERP_INT_OPS_H_
+
+/// \file
+/// Instrumented integer primitives: bignum digit normalization, the small-
+/// integer cache, and number/string conversions.
+///
+/// MiniPy models CPython's arbitrary-precision integers: after every
+/// arithmetic operation the interpreter normalizes the digit vector, a loop
+/// over 15-bit digits whose trip count depends on the value — the paper's
+/// `average` example, where a single high-level path spawns many low-level
+/// paths. CPython additionally caches small integers (-5..256), which makes
+/// the result's identity depend on its value; the optimized build removes
+/// the cache (§4.2 "caching and interning can be eliminated").
+
+#include "interp/build_options.h"
+#include "interp/str_ops.h"
+#include "lowlevel/runtime.h"
+#include "lowlevel/symvalue.h"
+
+namespace chef::interp {
+
+/// CPython digit width (30 bits on 64-bit builds; 15 historically — we use
+/// 15 so 64-bit values span up to 5 digits and the loop is observable).
+inline constexpr int kBignumDigitBits = 15;
+
+/// Runs the bignum digit-count normalization loop on an arithmetic result.
+/// Concrete values cost nothing; symbolic values fork at each digit
+/// boundary. Returns the digit count on the current path.
+int NormalizeBignum(lowlevel::LowLevelRuntime* rt,
+                    const lowlevel::SymValue& value);
+
+/// Models CPython's small-int cache lookup on integer creation: a branch
+/// deciding whether the value lands in the cache (identity then depends on
+/// the value). Disabled by the optimized build.
+void SmallIntCacheLookup(lowlevel::LowLevelRuntime* rt,
+                         const lowlevel::SymValue& value,
+                         const InterpBuildOptions& options);
+
+/// Parses a decimal integer from s[start, end). Forks on sign/digit
+/// checks. Returns false (and leaves *out untouched) if the text is not a
+/// valid integer on the current path.
+bool ParseInt(StrOps& ops, const SymStr& s, int start, int end,
+              lowlevel::SymValue* out);
+
+/// Formats a 64-bit integer as its decimal string. The digits of a
+/// symbolic value are symbolic bytes; the length is concrete per path
+/// (digit-count loop forks).
+SymStr FormatInt(lowlevel::LowLevelRuntime* rt,
+                 const lowlevel::SymValue& value);
+
+}  // namespace chef::interp
+
+#endif  // CHEF_INTERP_INT_OPS_H_

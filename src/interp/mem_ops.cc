@@ -1,0 +1,94 @@
+#include "interp/mem_ops.h"
+
+namespace chef::interp {
+
+using namespace chef::lowlevel;  // NOLINT
+
+uint64_t
+ResolveAllocationSize(LowLevelRuntime* rt, const SymValue& size,
+                      const InterpBuildOptions& options, uint64_t cap)
+{
+    if (!size.IsSymbolic()) {
+        return size.concrete();
+    }
+    if (options.avoid_symbolic_pointers) {
+        // Figure 6: reserve the maximum feasible size; the size variable
+        // itself stays symbolic so no completeness is lost.
+        return rt->UpperBound(size);
+    }
+    // Vanilla: the allocator computes the block address from the size, so
+    // the symbolic size becomes a symbolic pointer; the low-level engine
+    // enumerates candidates.
+    for (uint64_t candidate = 0; candidate < cap; ++candidate) {
+        if (rt->Branch(SvEq(size, SymValue(candidate, size.width())),
+                       CHEF_LLPC)) {
+            return candidate;
+        }
+        if (!rt->running()) {
+            break;
+        }
+    }
+    return size.concrete();
+}
+
+uint64_t
+ResolveBucket(LowLevelRuntime* rt, const SymValue& hash,
+              uint64_t num_buckets)
+{
+    const SymValue index =
+        SvURem(hash, SymValue(num_buckets, hash.width()));
+    if (!index.IsSymbolic()) {
+        return index.concrete();
+    }
+    for (uint64_t bucket = 0; bucket + 1 < num_buckets; ++bucket) {
+        if (rt->Branch(SvEq(index, SymValue(bucket, index.width())),
+                       CHEF_LLPC)) {
+            return bucket;
+        }
+        if (!rt->running()) {
+            break;
+        }
+    }
+    return num_buckets - 1;
+}
+
+uint64_t
+ResolveIndex(LowLevelRuntime* rt, const SymValue& index, uint64_t len)
+{
+    if (!index.IsSymbolic() || len == 0) {
+        return index.concrete();
+    }
+    for (uint64_t candidate = 0; candidate + 1 < len; ++candidate) {
+        if (rt->Branch(SvEq(index, SymValue(candidate, index.width())),
+                       CHEF_LLPC)) {
+            return candidate;
+        }
+        if (!rt->running()) {
+            break;
+        }
+    }
+    return len - 1;
+}
+
+void
+InternTable::Intern(const SymStr& s)
+{
+    LowLevelRuntime* rt = ops_->runtime();
+    const SymValue hash = ops_->Hash(s);
+    const uint64_t bucket = ResolveBucket(rt, hash, kBuckets);
+    for (const SymStr& existing : buckets_[bucket]) {
+        if (existing.size() != s.size()) {
+            continue;
+        }
+        if (rt->Branch(ops_->Eq(existing, s), CHEF_LLPC)) {
+            return;  // Already interned (on this path).
+        }
+        if (!rt->running()) {
+            return;
+        }
+    }
+    buckets_[bucket].push_back(s);
+    ++count_;
+}
+
+}  // namespace chef::interp

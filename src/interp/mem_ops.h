@@ -1,0 +1,68 @@
+#ifndef CHEF_INTERP_MEM_OPS_H_
+#define CHEF_INTERP_MEM_OPS_H_
+
+/// \file
+/// Instrumented memory-shaped operations: symbolic allocation sizes,
+/// hash-bucket selection, and symbolic index resolution.
+///
+/// These model the §4.2 "Avoiding Symbolic Pointers" behaviours: a vanilla
+/// interpreter forks per concrete candidate (that is what a low-level
+/// engine does with a symbolic pointer), while the optimized build
+/// concretizes allocation sizes via upper_bound and sidesteps the forks.
+
+#include <cstdint>
+
+#include "interp/build_options.h"
+#include "interp/str_ops.h"
+#include "lowlevel/runtime.h"
+#include "lowlevel/symvalue.h"
+
+namespace chef::interp {
+
+/// Resolves an allocation size. Optimized build: reserve upper_bound(size)
+/// bytes and keep the size symbolic (paper Figure 6). Vanilla build: the
+/// allocator's address computation turns the size into a symbolic pointer;
+/// the engine forks per candidate size up to \p cap.
+uint64_t ResolveAllocationSize(lowlevel::LowLevelRuntime* rt,
+                               const lowlevel::SymValue& size,
+                               const InterpBuildOptions& options,
+                               uint64_t cap = 4096);
+
+/// Resolves a hash-table bucket index for a (possibly symbolic) hash
+/// value: forks on each feasible bucket (§4.2: "causes the exploration to
+/// fork on each possible hash bucket the value could fall into").
+uint64_t ResolveBucket(lowlevel::LowLevelRuntime* rt,
+                       const lowlevel::SymValue& hash, uint64_t num_buckets);
+
+/// Resolves a (possibly symbolic) index known to be in [0, len): forks per
+/// candidate position, the standard low-level treatment of a symbolic
+/// pointer dereference.
+uint64_t ResolveIndex(lowlevel::LowLevelRuntime* rt,
+                      const lowlevel::SymValue& index, uint64_t len);
+
+/// Interpreter-internal string interning table (Lua interns every string;
+/// CPython interns small strings). Interning a symbolic string costs a
+/// hash computation plus equality probes; the optimized build removes the
+/// mechanism entirely (callers gate on the build options).
+class InternTable
+{
+  public:
+    explicit InternTable(StrOps* ops) : ops_(ops) {}
+
+    /// Performs the interning lookup (and insertion on miss) with all its
+    /// instrumented side effects.
+    void Intern(const SymStr& s);
+
+    size_t size() const { return count_; }
+
+  private:
+    static constexpr uint64_t kBuckets = 8;
+    StrOps* ops_;
+    std::vector<std::vector<SymStr>> buckets_{
+        std::vector<std::vector<SymStr>>(kBuckets)};
+    size_t count_ = 0;
+};
+
+}  // namespace chef::interp
+
+#endif  // CHEF_INTERP_MEM_OPS_H_

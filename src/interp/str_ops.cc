@@ -1,0 +1,201 @@
+#include "interp/str_ops.h"
+
+#include "support/diagnostics.h"
+
+namespace chef::interp {
+
+using namespace chef::lowlevel;  // NOLINT: Sv* helpers used pervasively.
+
+SymStr
+ConcreteStr(const std::string& text)
+{
+    SymStr s;
+    s.reserve(text.size());
+    for (char c : text) {
+        s.emplace_back(static_cast<uint8_t>(c), 8);
+    }
+    return s;
+}
+
+std::string
+ConcreteView(const SymStr& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const SymValue& byte : s) {
+        out.push_back(static_cast<char>(byte.concrete()));
+    }
+    return out;
+}
+
+bool
+AnySymbolic(const SymStr& s)
+{
+    for (const SymValue& byte : s) {
+        if (byte.IsSymbolic()) {
+            return true;
+        }
+    }
+    return false;
+}
+
+SymValue
+StrOps::Eq(const SymStr& a, const SymStr& b)
+{
+    // Length check is concrete: lengths are always concrete in our string
+    // representation, so this never forks (it is nonetheless the "fast
+    // path" CPython has; with unequal lengths both builds exit early).
+    if (a.size() != b.size()) {
+        return SymValue(0, 1);
+    }
+    if (options_.eliminate_fast_paths) {
+        // Optimized build: single pass, accumulate a symbolic mismatch
+        // flag, no data-dependent control flow.
+        SymValue mismatch(0, 1);
+        for (size_t i = 0; i < a.size(); ++i) {
+            rt_->CountStep();
+            mismatch = SvBoolOr(mismatch, SvNe(a[i], b[i]));
+        }
+        return SvBoolNot(mismatch);
+    }
+    // Vanilla build: short-circuit on the first mismatching byte; each
+    // comparison of a symbolic byte forks.
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (rt_->Branch(SvNe(a[i], b[i]), CHEF_LLPC)) {
+            return SymValue(0, 1);
+        }
+    }
+    return SymValue(1, 1);
+}
+
+int
+StrOps::Compare(const SymStr& a, const SymStr& b)
+{
+    const size_t common = std::min(a.size(), b.size());
+    for (size_t i = 0; i < common; ++i) {
+        if (rt_->Branch(SvUlt(a[i], b[i]), CHEF_LLPC)) {
+            return -1;
+        }
+        if (rt_->Branch(SvUgt(a[i], b[i]), CHEF_LLPC)) {
+            return 1;
+        }
+    }
+    if (a.size() < b.size()) {
+        return -1;
+    }
+    return a.size() > b.size() ? 1 : 0;
+}
+
+int
+StrOps::FindChar(const SymStr& s, const SymValue& ch, int start)
+{
+    for (size_t i = static_cast<size_t>(start); i < s.size(); ++i) {
+        if (rt_->Branch(SvEq(s[i], ch), CHEF_LLPC)) {
+            return static_cast<int>(i);
+        }
+    }
+    return -1;
+}
+
+int
+StrOps::Find(const SymStr& s, const SymStr& needle, int start)
+{
+    if (needle.empty()) {
+        return start <= static_cast<int>(s.size()) ? start : -1;
+    }
+    for (size_t i = static_cast<size_t>(start);
+         i + needle.size() <= s.size(); ++i) {
+        const SymValue matched = StartsWith(s, needle, static_cast<int>(i));
+        if (rt_->Branch(matched, CHEF_LLPC)) {
+            return static_cast<int>(i);
+        }
+    }
+    return -1;
+}
+
+SymValue
+StrOps::StartsWith(const SymStr& s, const SymStr& prefix, int offset)
+{
+    if (offset + prefix.size() > s.size()) {
+        return SymValue(0, 1);
+    }
+    if (options_.eliminate_fast_paths) {
+        SymValue mismatch(0, 1);
+        for (size_t i = 0; i < prefix.size(); ++i) {
+            rt_->CountStep();
+            mismatch = SvBoolOr(mismatch, SvNe(s[offset + i], prefix[i]));
+        }
+        return SvBoolNot(mismatch);
+    }
+    for (size_t i = 0; i < prefix.size(); ++i) {
+        if (rt_->Branch(SvNe(s[offset + i], prefix[i]), CHEF_LLPC)) {
+            return SymValue(0, 1);
+        }
+    }
+    return SymValue(1, 1);
+}
+
+SymValue
+StrOps::Hash(const SymStr& s)
+{
+    if (options_.neutralize_hashes) {
+        // Degenerate hash: constant for all values. Honors the hash
+        // contract (equal strings hash equal) and turns hash-table lookups
+        // into list traversals.
+        return SymValue(0, 64);
+    }
+    // FNV-1a over the bytes; on symbolic strings this builds the nested
+    // multiply-xor expression the constraint solver then has to reverse.
+    SymValue h(1469598103934665603ull, 64);
+    for (const SymValue& byte : s) {
+        rt_->CountStep();
+        h = SvMul(SvXor(h, SvZExt(byte, 64)),
+                  SymValue(1099511628211ull, 64));
+    }
+    return h;
+}
+
+SymValue
+StrOps::IsDigit(const SymValue& ch)
+{
+    return SvBoolAnd(SvUge(ch, SymValue('0', 8)),
+                     SvUle(ch, SymValue('9', 8)));
+}
+
+SymValue
+StrOps::IsAlpha(const SymValue& ch)
+{
+    const SymValue lower = SvBoolAnd(SvUge(ch, SymValue('a', 8)),
+                                     SvUle(ch, SymValue('z', 8)));
+    const SymValue upper = SvBoolAnd(SvUge(ch, SymValue('A', 8)),
+                                     SvUle(ch, SymValue('Z', 8)));
+    return SvBoolOr(lower, upper);
+}
+
+SymValue
+StrOps::IsSpace(const SymValue& ch)
+{
+    SymValue space = SvEq(ch, SymValue(' ', 8));
+    space = SvBoolOr(space, SvEq(ch, SymValue('\t', 8)));
+    space = SvBoolOr(space, SvEq(ch, SymValue('\n', 8)));
+    space = SvBoolOr(space, SvEq(ch, SymValue('\r', 8)));
+    return space;
+}
+
+SymValue
+StrOps::ToLower(const SymValue& ch)
+{
+    const SymValue is_upper = SvBoolAnd(SvUge(ch, SymValue('A', 8)),
+                                        SvUle(ch, SymValue('Z', 8)));
+    return SvIte(is_upper, SvAdd(ch, SymValue(32, 8)), ch);
+}
+
+SymValue
+StrOps::ToUpper(const SymValue& ch)
+{
+    const SymValue is_lower = SvBoolAnd(SvUge(ch, SymValue('a', 8)),
+                                        SvUle(ch, SymValue('z', 8)));
+    return SvIte(is_lower, SvSub(ch, SymValue(32, 8)), ch);
+}
+
+}  // namespace chef::interp

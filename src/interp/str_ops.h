@@ -1,0 +1,104 @@
+#ifndef CHEF_INTERP_STR_OPS_H_
+#define CHEF_INTERP_STR_OPS_H_
+
+/// \file
+/// Instrumented byte-wise string primitives shared by the interpreters.
+///
+/// These are the interpreter-internal routines whose low-level control flow
+/// the paper's evaluation revolves around: comparison loops, find loops,
+/// and hash functions. Every guest-data-dependent branch goes through the
+/// low-level runtime with a stable LLPC, so one high-level string operation
+/// can fork many low-level states — unless an interpreter build optimization
+/// (fast-path elimination, hash neutralization) changes the circuit.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "interp/build_options.h"
+#include "lowlevel/runtime.h"
+#include "lowlevel/symvalue.h"
+
+namespace chef::interp {
+
+using lowlevel::LowLevelRuntime;
+using lowlevel::SymValue;
+
+/// Guest string payload: a fixed-length vector of 8-bit concolic bytes.
+/// Lengths are always concrete (the paper's prototype supports strings of
+/// fixed length as symbolic inputs, §6.1).
+using SymStr = std::vector<SymValue>;
+
+/// Builds a fully concrete SymStr from a C++ string.
+SymStr ConcreteStr(const std::string& text);
+
+/// Extracts the concrete bytes of a SymStr (under the current assignment).
+std::string ConcreteView(const SymStr& s);
+
+/// True if any byte of the string carries a symbolic expression.
+bool AnySymbolic(const SymStr& s);
+
+/// Instrumented string routines; stateless, parameterized by the
+/// interpreter build options.
+class StrOps
+{
+  public:
+    StrOps(LowLevelRuntime* rt, const InterpBuildOptions& options)
+        : rt_(rt), options_(options)
+    {
+    }
+
+    /// Equality. Vanilla build: length fast path plus a short-circuiting
+    /// byte loop (forks per byte). Fast-path-eliminated build: accumulates
+    /// a symbolic mismatch flag over the full buffers and returns one
+    /// (possibly symbolic) boolean.
+    SymValue Eq(const SymStr& a, const SymStr& b);
+
+    /// Three-way lexicographic comparison; the result is concrete on the
+    /// current path (ordering forks through the byte loop).
+    int Compare(const SymStr& a, const SymStr& b);
+
+    /// First index of byte \p ch in s at or after \p start; -1 if absent.
+    /// Forks once per scanned byte (the paper's validateEmail example).
+    int FindChar(const SymStr& s, const SymValue& ch, int start = 0);
+
+    /// First index of \p needle in s at or after \p start; -1 if absent.
+    int Find(const SymStr& s, const SymStr& needle, int start = 0);
+
+    /// Whether s starts with \p prefix at offset \p offset (concrete
+    /// result via forks, or symbolic under fast-path elimination).
+    SymValue StartsWith(const SymStr& s, const SymStr& prefix,
+                        int offset = 0);
+
+    /// String hash (FNV-style byte loop). With hash neutralization the
+    /// result is the constant 0 and no symbolic expression is built.
+    SymValue Hash(const SymStr& s);
+
+    /// Character classification; returns a width-1 concolic value.
+    SymValue IsDigit(const SymValue& ch);
+    SymValue IsAlpha(const SymValue& ch);
+    SymValue IsSpace(const SymValue& ch);
+
+    /// ASCII case conversion of one byte.
+    SymValue ToLower(const SymValue& ch);
+    SymValue ToUpper(const SymValue& ch);
+
+    /// Decides the truth of a width-1 concolic value by branching on it at
+    /// the call site's LLPC. This is the single point where symbolic
+    /// booleans produced by the optimized routines become control flow.
+    bool Decide(const SymValue& cond, uint64_t llpc)
+    {
+        return rt_->Branch(cond, llpc);
+    }
+
+    LowLevelRuntime* runtime() { return rt_; }
+    const InterpBuildOptions& options() const { return options_; }
+
+  private:
+    LowLevelRuntime* rt_;
+    InterpBuildOptions options_;
+};
+
+}  // namespace chef::interp
+
+#endif  // CHEF_INTERP_STR_OPS_H_

@@ -1,0 +1,156 @@
+#ifndef CHEF_LOWLEVEL_EXEC_TREE_H_
+#define CHEF_LOWLEVEL_EXEC_TREE_H_
+
+/// \file
+/// The low-level symbolic execution tree.
+///
+/// Nodes are symbolic branch points encountered during concolic runs, in the
+/// order a deterministic execution meets them (Figure 1 of the paper). Each
+/// direction of a node is either unexplored, explored by some completed run,
+/// pending as a registered alternate state, or proven infeasible. Alternate
+/// states carry the bookkeeping CUPA needs: the forking low-level PC, the
+/// static and dynamic high-level PC at the fork, and the fork weight.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "solver/expr.h"
+
+namespace chef::lowlevel {
+
+/// Identifier of a pending alternate state.
+using StateId = uint64_t;
+
+/// A not-yet-explored branch direction, scheduled for exploration.
+/// This is the paper's "symbolic execution state" from the point of view of
+/// the search strategy.
+struct AlternateState {
+    StateId id = 0;
+    /// Conjunction describing the alternate path (prefix + negated branch).
+    std::vector<solver::ExprRef> path_condition;
+    /// Position in the tree: node index and the direction to take there.
+    uint32_t node = 0;
+    bool direction = false;
+    /// Low-level program counter of the forking branch site.
+    uint64_t llpc = 0;
+    /// Static high-level PC (value of the last log_pc) at fork time.
+    uint64_t static_hlpc = 0;
+    /// Dynamic high-level PC: the occurrence of static_hlpc in the unfolded
+    /// high-level execution tree (node id assigned by the HL tracker).
+    uint64_t dynamic_hlpc = 0;
+    /// Opcode reported by the last log_pc before the fork.
+    uint32_t hl_opcode = 0;
+    /// Paper §3.4: states forked consecutively at the same low-level PC get
+    /// geometrically decaying weights; the most recent fork has weight 1.
+    double fork_weight = 1.0;
+    /// Depth in the low-level tree (number of symbolic branches en route).
+    uint32_t depth = 0;
+};
+
+/// Exploration status of one direction of a branch node.
+enum class EdgeStatus : uint8_t {
+    kUnknown,     ///< Never taken, no alternate registered.
+    kExplored,    ///< Some completed run went this way.
+    kRegistered,  ///< Alternate state pending in the strategy queue.
+    kInfeasible,  ///< Solver proved the direction's path condition UNSAT.
+};
+
+/// The concolic execution tree plus the pool of pending alternate states.
+class ExecutionTree
+{
+  public:
+    ExecutionTree();
+
+    /// Drops all nodes and pending states.
+    void Reset();
+
+    /// Starts a new run from the root. Returns a cursor used by Advance.
+    void BeginRun();
+
+    /// Result of advancing the run cursor through a symbolic branch.
+    struct AdvanceResult {
+        /// Non-null when a new alternate state was registered for the
+        /// not-taken direction; the caller fills in the HL bookkeeping.
+        AlternateState* registered = nullptr;
+    };
+
+    /// Records that the current run took direction \p taken at a symbolic
+    /// branch with the given site \p llpc and branch condition (already in
+    /// taken-form, i.e. the constraint that holds on this run). The
+    /// alternate's path condition is the current prefix plus the negated
+    /// constraint.
+    AdvanceResult Advance(uint64_t llpc, bool taken,
+                          const solver::ExprRef& taken_constraint,
+                          const solver::ExprRef& negated_constraint);
+
+    /// The path condition of the current run so far.
+    const std::vector<solver::ExprRef>& current_path_condition() const
+    {
+        return current_pc_;
+    }
+
+    /// Adds an assumption to the current run's path condition (not a
+    /// branch; no forking).
+    void AddConstraint(const solver::ExprRef& constraint);
+
+    /// Number of symbolic branches the current run has passed.
+    uint32_t current_depth() const { return current_depth_; }
+
+    /// Removes and returns a pending state (strategy selected it).
+    /// The state stays recorded as kRegistered in the tree until the caller
+    /// reports the outcome via MarkInfeasible or a subsequent run exploring
+    /// it.
+    AlternateState TakePending(StateId id);
+
+    /// Marks a previously taken state's direction as infeasible.
+    void MarkInfeasible(const AlternateState& state);
+
+    /// Looks up a pending state (for strategies). Null if absent.
+    const AlternateState* FindPending(StateId id) const;
+
+    /// All pending states (insertion order not guaranteed).
+    const std::unordered_map<StateId, AlternateState>& pending() const
+    {
+        return pending_;
+    }
+
+    /// Multiplies the fork weight of a pending state (fork streak decay).
+    void ScaleForkWeight(StateId id, double factor);
+
+    size_t num_nodes() const { return nodes_.size(); }
+    uint64_t total_registered() const { return next_state_id_ - 1; }
+
+    /// Observer invoked whenever a pending state disappears from the pool
+    /// (selected by the strategy, overtaken by natural exploration, or
+    /// proven infeasible). Used by search strategies for bookkeeping.
+    void set_on_pending_removed(std::function<void(StateId)> hook)
+    {
+        on_pending_removed_ = std::move(hook);
+    }
+
+  private:
+    struct Node {
+        uint64_t llpc = 0;
+        int32_t child[2] = {-1, -1};
+        EdgeStatus status[2] = {EdgeStatus::kUnknown, EdgeStatus::kUnknown};
+        StateId pending_id[2] = {0, 0};
+    };
+
+    std::vector<Node> nodes_;
+    std::unordered_map<StateId, AlternateState> pending_;
+    StateId next_state_id_ = 1;
+    std::function<void(StateId)> on_pending_removed_;
+
+    // Run cursor state.
+    int32_t cursor_ = 0;
+    bool at_root_ = true;
+    bool last_direction_ = false;
+    std::vector<solver::ExprRef> current_pc_;
+    uint32_t current_depth_ = 0;
+};
+
+}  // namespace chef::lowlevel
+
+#endif  // CHEF_LOWLEVEL_EXEC_TREE_H_

@@ -1,0 +1,366 @@
+#include "lowlevel/symvalue.h"
+
+#include "support/diagnostics.h"
+
+namespace chef::lowlevel {
+
+using solver::ExprRef;
+using solver::SignExtend;
+using solver::WidthMask;
+
+SymValue
+MakeSymBool(bool concrete, ExprRef expr)
+{
+    return SymValue(concrete ? 1 : 0, 1, std::move(expr));
+}
+
+namespace {
+
+/// Implements a binary concolic operator given the concrete function and
+/// the expression factory.
+template <typename ConcreteFn, typename ExprFn>
+SymValue
+BinOp(const SymValue& a, const SymValue& b, int result_width,
+      ConcreteFn&& concrete_fn, ExprFn&& expr_fn)
+{
+    CHEF_CHECK(a.width() == b.width());
+    const uint64_t concrete =
+        concrete_fn(a.concrete(), b.concrete()) & WidthMask(result_width);
+    if (!a.IsSymbolic() && !b.IsSymbolic()) {
+        return SymValue(concrete, result_width);
+    }
+    return SymValue(concrete, result_width,
+                    expr_fn(a.ToExpr(), b.ToExpr()));
+}
+
+}  // namespace
+
+SymValue
+SvAdd(const SymValue& a, const SymValue& b)
+{
+    return BinOp(a, b, a.width(),
+                 [](uint64_t x, uint64_t y) { return x + y; },
+                 solver::MakeAdd);
+}
+
+SymValue
+SvSub(const SymValue& a, const SymValue& b)
+{
+    return BinOp(a, b, a.width(),
+                 [](uint64_t x, uint64_t y) { return x - y; },
+                 solver::MakeSub);
+}
+
+SymValue
+SvMul(const SymValue& a, const SymValue& b)
+{
+    return BinOp(a, b, a.width(),
+                 [](uint64_t x, uint64_t y) { return x * y; },
+                 solver::MakeMul);
+}
+
+SymValue
+SvUDiv(const SymValue& a, const SymValue& b)
+{
+    const int w = a.width();
+    return BinOp(a, b, w,
+                 [w](uint64_t x, uint64_t y) {
+                     return y == 0 ? WidthMask(w) : x / y;
+                 },
+                 solver::MakeUDiv);
+}
+
+SymValue
+SvSDiv(const SymValue& a, const SymValue& b)
+{
+    const int w = a.width();
+    return BinOp(a, b, w,
+                 [w](uint64_t x, uint64_t y) -> uint64_t {
+                     const int64_t sx = SignExtend(x, w);
+                     const int64_t sy = SignExtend(y, w);
+                     if (sy == 0) {
+                         return sx < 0 ? 1 : WidthMask(w);
+                     }
+                     if (sx == INT64_MIN && sy == -1) {
+                         return x;
+                     }
+                     return static_cast<uint64_t>(sx / sy);
+                 },
+                 solver::MakeSDiv);
+}
+
+SymValue
+SvURem(const SymValue& a, const SymValue& b)
+{
+    return BinOp(a, b, a.width(),
+                 [](uint64_t x, uint64_t y) { return y == 0 ? x : x % y; },
+                 solver::MakeURem);
+}
+
+SymValue
+SvSRem(const SymValue& a, const SymValue& b)
+{
+    const int w = a.width();
+    return BinOp(a, b, w,
+                 [w](uint64_t x, uint64_t y) -> uint64_t {
+                     const int64_t sx = SignExtend(x, w);
+                     const int64_t sy = SignExtend(y, w);
+                     if (sy == 0) {
+                         return x;
+                     }
+                     if (sx == INT64_MIN && sy == -1) {
+                         return 0;
+                     }
+                     return static_cast<uint64_t>(sx % sy);
+                 },
+                 solver::MakeSRem);
+}
+
+SymValue
+SvAnd(const SymValue& a, const SymValue& b)
+{
+    return BinOp(a, b, a.width(),
+                 [](uint64_t x, uint64_t y) { return x & y; },
+                 solver::MakeAnd);
+}
+
+SymValue
+SvOr(const SymValue& a, const SymValue& b)
+{
+    return BinOp(a, b, a.width(),
+                 [](uint64_t x, uint64_t y) { return x | y; },
+                 solver::MakeOr);
+}
+
+SymValue
+SvXor(const SymValue& a, const SymValue& b)
+{
+    return BinOp(a, b, a.width(),
+                 [](uint64_t x, uint64_t y) { return x ^ y; },
+                 solver::MakeXor);
+}
+
+SymValue
+SvShl(const SymValue& a, const SymValue& b)
+{
+    const int w = a.width();
+    return BinOp(a, b, w,
+                 [w](uint64_t x, uint64_t y) -> uint64_t {
+                     return y >= static_cast<uint64_t>(w) ? 0 : x << y;
+                 },
+                 solver::MakeShl);
+}
+
+SymValue
+SvLShr(const SymValue& a, const SymValue& b)
+{
+    const int w = a.width();
+    return BinOp(a, b, w,
+                 [w](uint64_t x, uint64_t y) -> uint64_t {
+                     return y >= static_cast<uint64_t>(w)
+                                ? 0
+                                : (x & WidthMask(w)) >> y;
+                 },
+                 solver::MakeLShr);
+}
+
+SymValue
+SvAShr(const SymValue& a, const SymValue& b)
+{
+    const int w = a.width();
+    return BinOp(a, b, w,
+                 [w](uint64_t x, uint64_t y) -> uint64_t {
+                     const int64_t sx = SignExtend(x, w);
+                     if (y >= static_cast<uint64_t>(w)) {
+                         return sx < 0 ? WidthMask(w) : 0;
+                     }
+                     return static_cast<uint64_t>(sx >> y);
+                 },
+                 solver::MakeAShr);
+}
+
+SymValue
+SvNot(const SymValue& a)
+{
+    if (!a.IsSymbolic()) {
+        return SymValue(~a.concrete(), a.width());
+    }
+    return SymValue(~a.concrete() & WidthMask(a.width()), a.width(),
+                    solver::MakeNot(a.ToExpr()));
+}
+
+SymValue
+SvNeg(const SymValue& a)
+{
+    if (!a.IsSymbolic()) {
+        return SymValue(-a.concrete(), a.width());
+    }
+    return SymValue(-a.concrete() & WidthMask(a.width()), a.width(),
+                    solver::MakeNeg(a.ToExpr()));
+}
+
+SymValue
+SvEq(const SymValue& a, const SymValue& b)
+{
+    return BinOp(a, b, 1,
+                 [](uint64_t x, uint64_t y) -> uint64_t { return x == y; },
+                 solver::MakeEq);
+}
+
+SymValue
+SvNe(const SymValue& a, const SymValue& b)
+{
+    return BinOp(a, b, 1,
+                 [](uint64_t x, uint64_t y) -> uint64_t { return x != y; },
+                 solver::MakeNe);
+}
+
+SymValue
+SvUlt(const SymValue& a, const SymValue& b)
+{
+    return BinOp(a, b, 1,
+                 [](uint64_t x, uint64_t y) -> uint64_t { return x < y; },
+                 solver::MakeUlt);
+}
+
+SymValue
+SvUle(const SymValue& a, const SymValue& b)
+{
+    return BinOp(a, b, 1,
+                 [](uint64_t x, uint64_t y) -> uint64_t { return x <= y; },
+                 solver::MakeUle);
+}
+
+SymValue
+SvUgt(const SymValue& a, const SymValue& b)
+{
+    return SvUlt(b, a);
+}
+
+SymValue
+SvUge(const SymValue& a, const SymValue& b)
+{
+    return SvUle(b, a);
+}
+
+SymValue
+SvSlt(const SymValue& a, const SymValue& b)
+{
+    const int w = a.width();
+    return BinOp(a, b, 1,
+                 [w](uint64_t x, uint64_t y) -> uint64_t {
+                     return SignExtend(x, w) < SignExtend(y, w);
+                 },
+                 solver::MakeSlt);
+}
+
+SymValue
+SvSle(const SymValue& a, const SymValue& b)
+{
+    const int w = a.width();
+    return BinOp(a, b, 1,
+                 [w](uint64_t x, uint64_t y) -> uint64_t {
+                     return SignExtend(x, w) <= SignExtend(y, w);
+                 },
+                 solver::MakeSle);
+}
+
+SymValue
+SvSgt(const SymValue& a, const SymValue& b)
+{
+    return SvSlt(b, a);
+}
+
+SymValue
+SvSge(const SymValue& a, const SymValue& b)
+{
+    return SvSle(b, a);
+}
+
+SymValue
+SvBoolAnd(const SymValue& a, const SymValue& b)
+{
+    CHEF_CHECK(a.width() == 1 && b.width() == 1);
+    return BinOp(a, b, 1,
+                 [](uint64_t x, uint64_t y) { return x & y; },
+                 solver::MakeBoolAnd);
+}
+
+SymValue
+SvBoolOr(const SymValue& a, const SymValue& b)
+{
+    CHEF_CHECK(a.width() == 1 && b.width() == 1);
+    return BinOp(a, b, 1,
+                 [](uint64_t x, uint64_t y) { return x | y; },
+                 solver::MakeBoolOr);
+}
+
+SymValue
+SvBoolNot(const SymValue& a)
+{
+    CHEF_CHECK(a.width() == 1);
+    if (!a.IsSymbolic()) {
+        return SymValue(a.concrete() ? 0 : 1, 1);
+    }
+    return SymValue(a.concrete() ? 0 : 1, 1,
+                    solver::MakeBoolNot(a.ToExpr()));
+}
+
+SymValue
+SvZExt(const SymValue& a, int width)
+{
+    if (width == a.width()) {
+        return a;
+    }
+    if (!a.IsSymbolic()) {
+        return SymValue(a.concrete(), width);
+    }
+    return SymValue(a.concrete(), width,
+                    solver::MakeZExt(a.ToExpr(), width));
+}
+
+SymValue
+SvSExt(const SymValue& a, int width)
+{
+    if (width == a.width()) {
+        return a;
+    }
+    if (!a.IsSymbolic()) {
+        return SymValue(static_cast<uint64_t>(a.concrete_signed()), width);
+    }
+    return SymValue(static_cast<uint64_t>(a.concrete_signed()), width,
+                    solver::MakeSExt(a.ToExpr(), width));
+}
+
+SymValue
+SvTrunc(const SymValue& a, int width)
+{
+    CHEF_CHECK(width <= a.width());
+    if (width == a.width()) {
+        return a;
+    }
+    if (!a.IsSymbolic()) {
+        return SymValue(a.concrete(), width);
+    }
+    return SymValue(a.concrete(), width,
+                    solver::MakeExtract(a.ToExpr(), 0, width));
+}
+
+SymValue
+SvIte(const SymValue& cond, const SymValue& then_value,
+      const SymValue& else_value)
+{
+    CHEF_CHECK(cond.width() == 1);
+    CHEF_CHECK(then_value.width() == else_value.width());
+    const uint64_t concrete = cond.ConcreteTruth() ? then_value.concrete()
+                                                   : else_value.concrete();
+    if (!cond.IsSymbolic() && !then_value.IsSymbolic() &&
+        !else_value.IsSymbolic()) {
+        return SymValue(concrete, then_value.width());
+    }
+    return SymValue(concrete, then_value.width(),
+                    solver::MakeIte(cond.ToExpr(), then_value.ToExpr(),
+                                    else_value.ToExpr()));
+}
+
+}  // namespace chef::lowlevel

@@ -1,0 +1,126 @@
+#ifndef CHEF_LOWLEVEL_SYMVALUE_H_
+#define CHEF_LOWLEVEL_SYMVALUE_H_
+
+/// \file
+/// Concolic values: a concrete value paired with an optional symbolic
+/// expression.
+///
+/// Interpreter code computes on SymValues exactly as S2E guest code computes
+/// on machine words: fully concrete values carry no expression and cost
+/// nothing symbolically; values derived from symbolic inputs carry both the
+/// concrete value (under the current input assignment) and the expression
+/// over input variables.
+
+#include <cstdint>
+#include <string>
+
+#include "solver/expr.h"
+
+namespace chef::lowlevel {
+
+/// A machine word under concolic execution.
+class SymValue
+{
+  public:
+    SymValue() : concrete_(0), width_(32) {}
+
+    /// Concrete-only value.
+    SymValue(uint64_t concrete, int width)
+        : concrete_(concrete & solver::WidthMask(width)), width_(width)
+    {
+    }
+
+    /// Concolic value; \p expr may be null for concrete values.
+    SymValue(uint64_t concrete, int width, solver::ExprRef expr)
+        : concrete_(concrete & solver::WidthMask(width)),
+          width_(width),
+          expr_(std::move(expr))
+    {
+        // Constant expressions are dropped: they carry no information
+        // beyond the concrete value and would bloat path conditions.
+        if (expr_ && expr_->IsConstant()) {
+            expr_ = nullptr;
+        }
+    }
+
+    uint64_t concrete() const { return concrete_; }
+    int width() const { return width_; }
+    bool IsSymbolic() const { return expr_ != nullptr; }
+
+    /// Signed view of the concrete value.
+    int64_t concrete_signed() const
+    {
+        return solver::SignExtend(concrete_, width_);
+    }
+
+    /// The symbolic expression, materializing a constant if concrete.
+    solver::ExprRef ToExpr() const
+    {
+        return expr_ ? expr_ : solver::MakeConst(concrete_, width_);
+    }
+
+    /// The raw expression pointer (null if concrete).
+    const solver::ExprRef& expr() const { return expr_; }
+
+    /// True if width-1 value is concretely true.
+    bool ConcreteTruth() const { return concrete_ != 0; }
+
+  private:
+    uint64_t concrete_;
+    int width_;
+    solver::ExprRef expr_;
+};
+
+/// Builds a boolean (width-1) SymValue from parts.
+SymValue MakeSymBool(bool concrete, solver::ExprRef expr);
+
+// ---------------------------------------------------------------------------
+// Concolic operator helpers. Each computes the concrete result directly and
+// builds the expression only when at least one operand is symbolic.
+// ---------------------------------------------------------------------------
+
+SymValue SvAdd(const SymValue& a, const SymValue& b);
+SymValue SvSub(const SymValue& a, const SymValue& b);
+SymValue SvMul(const SymValue& a, const SymValue& b);
+SymValue SvUDiv(const SymValue& a, const SymValue& b);
+SymValue SvSDiv(const SymValue& a, const SymValue& b);
+SymValue SvURem(const SymValue& a, const SymValue& b);
+SymValue SvSRem(const SymValue& a, const SymValue& b);
+SymValue SvAnd(const SymValue& a, const SymValue& b);
+SymValue SvOr(const SymValue& a, const SymValue& b);
+SymValue SvXor(const SymValue& a, const SymValue& b);
+SymValue SvShl(const SymValue& a, const SymValue& b);
+SymValue SvLShr(const SymValue& a, const SymValue& b);
+SymValue SvAShr(const SymValue& a, const SymValue& b);
+SymValue SvNot(const SymValue& a);
+SymValue SvNeg(const SymValue& a);
+
+// Comparisons produce width-1 values.
+SymValue SvEq(const SymValue& a, const SymValue& b);
+SymValue SvNe(const SymValue& a, const SymValue& b);
+SymValue SvUlt(const SymValue& a, const SymValue& b);
+SymValue SvUle(const SymValue& a, const SymValue& b);
+SymValue SvUgt(const SymValue& a, const SymValue& b);
+SymValue SvUge(const SymValue& a, const SymValue& b);
+SymValue SvSlt(const SymValue& a, const SymValue& b);
+SymValue SvSle(const SymValue& a, const SymValue& b);
+SymValue SvSgt(const SymValue& a, const SymValue& b);
+SymValue SvSge(const SymValue& a, const SymValue& b);
+
+// Boolean connectives on width-1 values.
+SymValue SvBoolAnd(const SymValue& a, const SymValue& b);
+SymValue SvBoolOr(const SymValue& a, const SymValue& b);
+SymValue SvBoolNot(const SymValue& a);
+
+// Width adjustment.
+SymValue SvZExt(const SymValue& a, int width);
+SymValue SvSExt(const SymValue& a, int width);
+SymValue SvTrunc(const SymValue& a, int width);
+
+/// Select between two values: cond must have width 1.
+SymValue SvIte(const SymValue& cond, const SymValue& then_value,
+               const SymValue& else_value);
+
+}  // namespace chef::lowlevel
+
+#endif  // CHEF_LOWLEVEL_SYMVALUE_H_

@@ -1,0 +1,95 @@
+#ifndef CHEF_MINILUA_LUA_AST_H_
+#define CHEF_MINILUA_LUA_AST_H_
+
+/// \file
+/// MiniLua front end: tokens and AST.
+///
+/// MiniLua is a Lua-5.2-shaped guest language. Numbers are integers (the
+/// paper configures the Lua interpreter for integer numbers because S2E's
+/// solver lacks symbolic floats, §5.2). The interpreter is a tree walker;
+/// every AST node carries a unique id that serves as the high-level PC
+/// reported through log_pc, with the node kind as the opcode.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace chef::minilua {
+
+enum class LuaAstKind : uint8_t {
+    // Expressions.
+    kNil,
+    kTrue,
+    kFalse,
+    kNumber,     ///< int_value.
+    kString,     ///< str_value.
+    kVararg,     ///< `...` (supported only as "no value" placeholder).
+    kName,       ///< name.
+    kIndex,      ///< kids = {object, key-expr}.
+    kCall,       ///< kids = {callee, args...}.
+    kMethodCall, ///< name = method; kids = {object, args...}.
+    kFunction,   ///< strings = params; kids = {body}.
+    kBinOp,      ///< name = operator spelling; kids = {lhs, rhs}.
+    kUnOp,       ///< name = operator spelling; kids = {operand}.
+    kTable,      ///< kids alternate key, value; null key = array entry.
+    // Statements.
+    kBlock,      ///< kids = statements.
+    kLocal,      ///< strings = names; kids = value exprs.
+    kAssign,     ///< extra = targets; kids = value exprs.
+    kExprStat,   ///< kids = {call expr}.
+    kIf,         ///< kids = {cond, then-block, [cond, block]..., else?};
+                 ///< int_value = number of (cond, block) pairs.
+    kWhile,      ///< kids = {cond, body}.
+    kRepeat,     ///< kids = {body, cond}.
+    kForNum,     ///< name = var; kids = {start, stop, [step], body}.
+    kForIn,      ///< strings = vars; kids = {iter-expr, body}.
+    kFunctionStat,   ///< extra = {target}; kids = {function literal}.
+    kLocalFunction,  ///< name; kids = {function literal}.
+    kReturn,     ///< kids = value exprs.
+    kBreak,
+};
+
+const char* LuaAstKindName(LuaAstKind kind);
+
+struct LuaAst;
+using LuaAstPtr = std::unique_ptr<LuaAst>;
+
+struct LuaAst {
+    LuaAstKind kind;
+    int line = 0;
+    /// Unique node id (per compiled chunk); the high-level PC.
+    uint32_t node_id = 0;
+    std::string name;
+    std::string str_value;
+    int64_t int_value = 0;
+    std::vector<LuaAstPtr> kids;
+    std::vector<LuaAstPtr> extra;
+    std::vector<std::string> strings;
+
+    explicit LuaAst(LuaAstKind k, int source_line = 0)
+        : kind(k), line(source_line)
+    {
+    }
+};
+
+/// A parsed chunk plus front-end metadata.
+struct LuaChunk {
+    LuaAstPtr body;             ///< kBlock.
+    uint32_t num_nodes = 0;
+    std::vector<int> coverable_lines;
+};
+
+struct LuaParseResult {
+    bool ok = true;
+    std::string error;
+    int error_line = 0;
+    std::shared_ptr<LuaChunk> chunk;
+};
+
+/// Parses MiniLua source.
+LuaParseResult LuaParse(const std::string& source);
+
+}  // namespace chef::minilua
+
+#endif  // CHEF_MINILUA_LUA_AST_H_

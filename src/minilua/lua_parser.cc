@@ -1,0 +1,965 @@
+#include <cctype>
+#include <functional>
+#include <set>
+#include <unordered_map>
+
+#include "minilua/lua_ast.h"
+
+namespace chef::minilua {
+
+const char*
+LuaAstKindName(LuaAstKind kind)
+{
+    switch (kind) {
+      case LuaAstKind::kNil: return "nil";
+      case LuaAstKind::kTrue: return "true";
+      case LuaAstKind::kFalse: return "false";
+      case LuaAstKind::kNumber: return "number";
+      case LuaAstKind::kString: return "string";
+      case LuaAstKind::kVararg: return "vararg";
+      case LuaAstKind::kName: return "name";
+      case LuaAstKind::kIndex: return "index";
+      case LuaAstKind::kCall: return "call";
+      case LuaAstKind::kMethodCall: return "methodcall";
+      case LuaAstKind::kFunction: return "function";
+      case LuaAstKind::kBinOp: return "binop";
+      case LuaAstKind::kUnOp: return "unop";
+      case LuaAstKind::kTable: return "table";
+      case LuaAstKind::kBlock: return "block";
+      case LuaAstKind::kLocal: return "local";
+      case LuaAstKind::kAssign: return "assign";
+      case LuaAstKind::kExprStat: return "exprstat";
+      case LuaAstKind::kIf: return "if";
+      case LuaAstKind::kWhile: return "while";
+      case LuaAstKind::kRepeat: return "repeat";
+      case LuaAstKind::kForNum: return "fornum";
+      case LuaAstKind::kForIn: return "forin";
+      case LuaAstKind::kFunctionStat: return "functionstat";
+      case LuaAstKind::kLocalFunction: return "localfunction";
+      case LuaAstKind::kReturn: return "return";
+      case LuaAstKind::kBreak: return "break";
+    }
+    return "?";
+}
+
+namespace {
+
+enum class T : uint8_t {
+    kEof, kName, kNumber, kString,
+    kPlus, kMinus, kStar, kSlash, kPercent,
+    kEq, kNe, kLt, kLe, kGt, kGe, kAssign,
+    kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+    kSemi, kColon, kComma, kDot, kConcat, kEllipsis, kHash,
+    // Keywords.
+    kAnd, kBreak, kDo, kElse, kElseif, kEnd, kFalse, kFor, kFunction,
+    kIf, kIn, kLocal, kNil, kNot, kOr, kRepeat, kReturn, kThen, kTrue,
+    kUntil, kWhile,
+};
+
+struct LuaToken {
+    T kind = T::kEof;
+    std::string text;
+    int64_t number = 0;
+    int line = 1;
+};
+
+const std::unordered_map<std::string, T>&
+LuaKeywords()
+{
+    static const std::unordered_map<std::string, T> keywords = {
+        {"and", T::kAnd},       {"break", T::kBreak},
+        {"do", T::kDo},         {"else", T::kElse},
+        {"elseif", T::kElseif}, {"end", T::kEnd},
+        {"false", T::kFalse},   {"for", T::kFor},
+        {"function", T::kFunction}, {"if", T::kIf},
+        {"in", T::kIn},         {"local", T::kLocal},
+        {"nil", T::kNil},       {"not", T::kNot},
+        {"or", T::kOr},         {"repeat", T::kRepeat},
+        {"return", T::kReturn}, {"then", T::kThen},
+        {"true", T::kTrue},     {"until", T::kUntil},
+        {"while", T::kWhile},
+    };
+    return keywords;
+}
+
+class LuaLexer
+{
+  public:
+    explicit LuaLexer(const std::string& source) : src_(source) {}
+
+    bool Run(std::vector<LuaToken>* tokens, std::string* error,
+             int* error_line)
+    {
+        while (pos_ < src_.size()) {
+            const char c = src_[pos_];
+            if (c == '\n') {
+                ++line_;
+                ++pos_;
+                continue;
+            }
+            if (std::isspace(static_cast<unsigned char>(c))) {
+                ++pos_;
+                continue;
+            }
+            if (c == '-' && pos_ + 1 < src_.size() &&
+                src_[pos_ + 1] == '-') {
+                pos_ += 2;
+                // Long comment --[[ ... ]] or line comment.
+                if (pos_ + 1 < src_.size() && src_[pos_] == '[' &&
+                    src_[pos_ + 1] == '[') {
+                    pos_ += 2;
+                    while (pos_ + 1 < src_.size() &&
+                           !(src_[pos_] == ']' && src_[pos_ + 1] == ']')) {
+                        if (src_[pos_] == '\n') {
+                            ++line_;
+                        }
+                        ++pos_;
+                    }
+                    pos_ += 2;
+                } else {
+                    while (pos_ < src_.size() && src_[pos_] != '\n') {
+                        ++pos_;
+                    }
+                }
+                continue;
+            }
+            if (c == '\'' || c == '"') {
+                if (!LexString(c, tokens, error)) {
+                    *error_line = line_;
+                    return false;
+                }
+                continue;
+            }
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                LexNumber(tokens, error);
+                if (!error->empty()) {
+                    *error_line = line_;
+                    return false;
+                }
+                continue;
+            }
+            if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+                std::string name;
+                while (pos_ < src_.size() &&
+                       (std::isalnum(static_cast<unsigned char>(
+                            src_[pos_])) ||
+                        src_[pos_] == '_')) {
+                    name.push_back(src_[pos_++]);
+                }
+                auto it = LuaKeywords().find(name);
+                LuaToken token;
+                token.line = line_;
+                if (it != LuaKeywords().end()) {
+                    token.kind = it->second;
+                } else {
+                    token.kind = T::kName;
+                    token.text = std::move(name);
+                }
+                tokens->push_back(std::move(token));
+                continue;
+            }
+            if (!LexOperator(tokens, error)) {
+                *error_line = line_;
+                return false;
+            }
+        }
+        tokens->push_back({T::kEof, "", 0, line_});
+        return true;
+    }
+
+  private:
+    bool LexString(char quote, std::vector<LuaToken>* tokens,
+                   std::string* error)
+    {
+        ++pos_;
+        std::string decoded;
+        while (pos_ < src_.size() && src_[pos_] != quote) {
+            char c = src_[pos_++];
+            if (c == '\n') {
+                *error = "unterminated string";
+                return false;
+            }
+            if (c != '\\') {
+                decoded.push_back(c);
+                continue;
+            }
+            if (pos_ >= src_.size()) {
+                *error = "unterminated escape";
+                return false;
+            }
+            const char escape = src_[pos_++];
+            switch (escape) {
+              case 'n': decoded.push_back('\n'); break;
+              case 't': decoded.push_back('\t'); break;
+              case 'r': decoded.push_back('\r'); break;
+              case '\\': decoded.push_back('\\'); break;
+              case '\'': decoded.push_back('\''); break;
+              case '"': decoded.push_back('"'); break;
+              case '0': decoded.push_back('\0'); break;
+              default: decoded.push_back(escape);
+            }
+        }
+        if (pos_ >= src_.size()) {
+            *error = "unterminated string";
+            return false;
+        }
+        ++pos_;  // Closing quote.
+        tokens->push_back({T::kString, std::move(decoded), 0, line_});
+        return true;
+    }
+
+    void LexNumber(std::vector<LuaToken>* tokens, std::string* error)
+    {
+        int64_t value = 0;
+        if (src_[pos_] == '0' && pos_ + 1 < src_.size() &&
+            (src_[pos_ + 1] == 'x' || src_[pos_ + 1] == 'X')) {
+            pos_ += 2;
+            while (pos_ < src_.size() &&
+                   std::isxdigit(
+                       static_cast<unsigned char>(src_[pos_]))) {
+                const char c = src_[pos_++];
+                int digit = (c >= '0' && c <= '9')
+                                ? c - '0'
+                                : std::tolower(c) - 'a' + 10;
+                value = value * 16 + digit;
+            }
+        } else {
+            while (pos_ < src_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(src_[pos_]))) {
+                value = value * 10 + (src_[pos_++] - '0');
+            }
+            if (pos_ < src_.size() && src_[pos_] == '.') {
+                *error = "MiniLua is an integer-number build (the paper "
+                         "configures Lua for integers, §5.2); "
+                         "floating-point literals are not supported";
+                return;
+            }
+        }
+        tokens->push_back({T::kNumber, "", value, line_});
+    }
+
+    bool LexOperator(std::vector<LuaToken>* tokens, std::string* error)
+    {
+        const char c = src_[pos_++];
+        auto push = [this, tokens](T kind) {
+            tokens->push_back({kind, "", 0, line_});
+        };
+        auto two = [this, push](char next, T yes, T no) {
+            if (pos_ < src_.size() && src_[pos_] == next) {
+                ++pos_;
+                push(yes);
+            } else {
+                push(no);
+            }
+        };
+        switch (c) {
+          case '+': push(T::kPlus); return true;
+          case '-': push(T::kMinus); return true;
+          case '*': push(T::kStar); return true;
+          case '/': push(T::kSlash); return true;
+          case '%': push(T::kPercent); return true;
+          case '#': push(T::kHash); return true;
+          case '(': push(T::kLParen); return true;
+          case ')': push(T::kRParen); return true;
+          case '{': push(T::kLBrace); return true;
+          case '}': push(T::kRBrace); return true;
+          case '[': push(T::kLBracket); return true;
+          case ']': push(T::kRBracket); return true;
+          case ';': push(T::kSemi); return true;
+          case ':': push(T::kColon); return true;
+          case ',': push(T::kComma); return true;
+          case '=': two('=', T::kEq, T::kAssign); return true;
+          case '<': two('=', T::kLe, T::kLt); return true;
+          case '>': two('=', T::kGe, T::kGt); return true;
+          case '~':
+            if (pos_ < src_.size() && src_[pos_] == '=') {
+                ++pos_;
+                push(T::kNe);
+                return true;
+            }
+            *error = "unexpected '~'";
+            return false;
+          case '.':
+            if (pos_ + 1 < src_.size() && src_[pos_] == '.' &&
+                src_[pos_ + 1] == '.') {
+                pos_ += 2;
+                push(T::kEllipsis);
+                return true;
+            }
+            if (pos_ < src_.size() && src_[pos_] == '.') {
+                ++pos_;
+                push(T::kConcat);
+                return true;
+            }
+            push(T::kDot);
+            return true;
+          default:
+            *error = std::string("unexpected character '") + c + "'";
+            return false;
+        }
+    }
+
+    const std::string& src_;
+    size_t pos_ = 0;
+    int line_ = 1;
+};
+
+class LuaParser
+{
+  public:
+    explicit LuaParser(std::vector<LuaToken> tokens)
+        : toks_(std::move(tokens))
+    {
+    }
+
+    LuaParseResult Run()
+    {
+        auto chunk = std::make_shared<LuaChunk>();
+        chunk->body = Block({T::kEof});
+        LuaParseResult result;
+        result.ok = ok_;
+        result.error = error_;
+        result.error_line = error_line_;
+        if (ok_) {
+            // Assign node ids and collect coverable lines.
+            std::set<int> lines;
+            uint32_t next_id = 1;
+            AssignIds(chunk->body.get(), &next_id, &lines);
+            chunk->num_nodes = next_id;
+            chunk->coverable_lines.assign(lines.begin(), lines.end());
+            result.chunk = std::move(chunk);
+        }
+        return result;
+    }
+
+  private:
+    void AssignIds(LuaAst* node, uint32_t* next_id, std::set<int>* lines)
+    {
+        node->node_id = (*next_id)++;
+        if (node->line > 0 && node->kind != LuaAstKind::kBlock) {
+            lines->insert(node->line);
+        }
+        for (auto& kid : node->kids) {
+            if (kid) {
+                AssignIds(kid.get(), next_id, lines);
+            }
+        }
+        for (auto& kid : node->extra) {
+            if (kid) {
+                AssignIds(kid.get(), next_id, lines);
+            }
+        }
+    }
+
+    const LuaToken& Cur() const { return toks_[pos_]; }
+    bool At(T kind) const { return Cur().kind == kind; }
+
+    const LuaToken& Advance()
+    {
+        const LuaToken& token = toks_[pos_];
+        if (pos_ + 1 < toks_.size()) {
+            ++pos_;
+        }
+        return token;
+    }
+
+    bool Accept(T kind)
+    {
+        if (At(kind)) {
+            Advance();
+            return true;
+        }
+        return false;
+    }
+
+    void Expect(T kind, const char* what)
+    {
+        if (!Accept(kind)) {
+            Error(std::string("expected ") + what);
+        }
+    }
+
+    void Error(const std::string& message)
+    {
+        if (ok_) {
+            ok_ = false;
+            error_ = message;
+            error_line_ = Cur().line;
+        }
+        pos_ = toks_.size() - 1;
+    }
+
+    LuaAstPtr Node(LuaAstKind kind)
+    {
+        return std::make_unique<LuaAst>(kind, Cur().line);
+    }
+
+    bool BlockEnds(const std::vector<T>& terminators) const
+    {
+        for (T t : terminators) {
+            if (Cur().kind == t) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    LuaAstPtr Block(const std::vector<T>& terminators)
+    {
+        auto block = Node(LuaAstKind::kBlock);
+        while (ok_ && !BlockEnds(terminators)) {
+            if (Accept(T::kSemi)) {
+                continue;
+            }
+            block->kids.push_back(Statement());
+            // return/break must be the last statement of a block.
+            if (!block->kids.empty() &&
+                (block->kids.back()->kind == LuaAstKind::kReturn ||
+                 block->kids.back()->kind == LuaAstKind::kBreak)) {
+                Accept(T::kSemi);
+                break;
+            }
+        }
+        return block;
+    }
+
+    LuaAstPtr Statement();
+    LuaAstPtr IfStatement();
+    LuaAstPtr ForStatement();
+    LuaAstPtr FunctionBody();
+
+    std::vector<LuaAstPtr> ExprList();
+    LuaAstPtr Expr() { return OrExpr(); }
+    LuaAstPtr OrExpr();
+    LuaAstPtr AndExpr();
+    LuaAstPtr CmpExpr();
+    LuaAstPtr ConcatExpr();
+    LuaAstPtr AddExpr();
+    LuaAstPtr MulExpr();
+    LuaAstPtr UnaryExpr();
+    LuaAstPtr PostfixExpr();
+    LuaAstPtr PrimaryExpr();
+    LuaAstPtr TableConstructor();
+
+    std::vector<LuaToken> toks_;
+    size_t pos_ = 0;
+    bool ok_ = true;
+    std::string error_;
+    int error_line_ = 0;
+};
+
+LuaAstPtr
+LuaParser::Statement()
+{
+    switch (Cur().kind) {
+      case T::kIf:
+        return IfStatement();
+      case T::kWhile: {
+        auto node = Node(LuaAstKind::kWhile);
+        Advance();
+        node->kids.push_back(Expr());
+        Expect(T::kDo, "'do'");
+        node->kids.push_back(Block({T::kEnd}));
+        Expect(T::kEnd, "'end'");
+        return node;
+      }
+      case T::kRepeat: {
+        auto node = Node(LuaAstKind::kRepeat);
+        Advance();
+        node->kids.push_back(Block({T::kUntil}));
+        Expect(T::kUntil, "'until'");
+        node->kids.push_back(Expr());
+        return node;
+      }
+      case T::kFor:
+        return ForStatement();
+      case T::kDo: {
+        Advance();
+        auto block = Block({T::kEnd});
+        Expect(T::kEnd, "'end'");
+        return block;
+      }
+      case T::kReturn: {
+        auto node = Node(LuaAstKind::kReturn);
+        Advance();
+        if (!BlockEnds({T::kEnd, T::kElse, T::kElseif, T::kUntil,
+                        T::kEof, T::kSemi})) {
+            node->kids = ExprList();
+        }
+        return node;
+      }
+      case T::kBreak: {
+        auto node = Node(LuaAstKind::kBreak);
+        Advance();
+        return node;
+      }
+      case T::kLocal: {
+        Advance();
+        if (Accept(T::kFunction)) {
+            auto node = Node(LuaAstKind::kLocalFunction);
+            if (!At(T::kName)) {
+                Error("expected function name");
+                return node;
+            }
+            node->name = Advance().text;
+            node->kids.push_back(FunctionBody());
+            return node;
+        }
+        auto node = Node(LuaAstKind::kLocal);
+        do {
+            if (!At(T::kName)) {
+                Error("expected local name");
+                return node;
+            }
+            node->strings.push_back(Advance().text);
+        } while (Accept(T::kComma));
+        if (Accept(T::kAssign)) {
+            node->kids = ExprList();
+        }
+        return node;
+      }
+      case T::kFunction: {
+        auto node = Node(LuaAstKind::kFunctionStat);
+        Advance();
+        // funcname: Name {'.' Name} [':' Name]
+        if (!At(T::kName)) {
+            Error("expected function name");
+            return node;
+        }
+        LuaAstPtr target = Node(LuaAstKind::kName);
+        target->name = Advance().text;
+        bool is_method = false;
+        while (At(T::kDot) || At(T::kColon)) {
+            is_method = At(T::kColon);
+            Advance();
+            if (!At(T::kName)) {
+                Error("expected name");
+                return node;
+            }
+            auto index = Node(LuaAstKind::kIndex);
+            auto key = Node(LuaAstKind::kString);
+            key->str_value = Advance().text;
+            index->kids.push_back(std::move(target));
+            index->kids.push_back(std::move(key));
+            target = std::move(index);
+            if (is_method) {
+                break;
+            }
+        }
+        node->extra.push_back(std::move(target));
+        LuaAstPtr function = FunctionBody();
+        if (is_method) {
+            function->strings.insert(function->strings.begin(), "self");
+        }
+        node->kids.push_back(std::move(function));
+        return node;
+      }
+      default: {
+        // exprstat or assignment.
+        LuaAstPtr first = PostfixExpr();
+        if (At(T::kAssign) || At(T::kComma)) {
+            auto node = std::make_unique<LuaAst>(LuaAstKind::kAssign,
+                                                 first->line);
+            node->extra.push_back(std::move(first));
+            while (Accept(T::kComma)) {
+                node->extra.push_back(PostfixExpr());
+            }
+            Expect(T::kAssign, "'='");
+            node->kids = ExprList();
+            return node;
+        }
+        if (first->kind != LuaAstKind::kCall &&
+            first->kind != LuaAstKind::kMethodCall) {
+            Error("syntax error: expression is not a statement");
+        }
+        auto node = std::make_unique<LuaAst>(LuaAstKind::kExprStat,
+                                             first->line);
+        node->kids.push_back(std::move(first));
+        return node;
+      }
+    }
+}
+
+LuaAstPtr
+LuaParser::IfStatement()
+{
+    auto node = Node(LuaAstKind::kIf);
+    Advance();  // if / elseif
+    int pairs = 0;
+    for (;;) {
+        node->kids.push_back(Expr());
+        Expect(T::kThen, "'then'");
+        node->kids.push_back(
+            Block({T::kEnd, T::kElse, T::kElseif}));
+        ++pairs;
+        if (Accept(T::kElseif)) {
+            continue;
+        }
+        break;
+    }
+    node->int_value = pairs;
+    if (Accept(T::kElse)) {
+        node->kids.push_back(Block({T::kEnd}));
+    }
+    Expect(T::kEnd, "'end'");
+    return node;
+}
+
+LuaAstPtr
+LuaParser::ForStatement()
+{
+    Advance();  // for
+    if (!At(T::kName)) {
+        Error("expected loop variable");
+        return Node(LuaAstKind::kBlock);
+    }
+    const std::string first_name = Advance().text;
+    if (Accept(T::kAssign)) {
+        auto node = Node(LuaAstKind::kForNum);
+        node->name = first_name;
+        node->kids.push_back(Expr());
+        Expect(T::kComma, "','");
+        node->kids.push_back(Expr());
+        if (Accept(T::kComma)) {
+            node->kids.push_back(Expr());
+        }
+        Expect(T::kDo, "'do'");
+        node->kids.push_back(Block({T::kEnd}));
+        Expect(T::kEnd, "'end'");
+        return node;
+    }
+    auto node = Node(LuaAstKind::kForIn);
+    node->strings.push_back(first_name);
+    while (Accept(T::kComma)) {
+        if (!At(T::kName)) {
+            Error("expected name");
+            return node;
+        }
+        node->strings.push_back(Advance().text);
+    }
+    Expect(T::kIn, "'in'");
+    node->kids.push_back(Expr());
+    Expect(T::kDo, "'do'");
+    node->kids.push_back(Block({T::kEnd}));
+    Expect(T::kEnd, "'end'");
+    return node;
+}
+
+LuaAstPtr
+LuaParser::FunctionBody()
+{
+    auto node = Node(LuaAstKind::kFunction);
+    Expect(T::kLParen, "'('");
+    while (ok_ && !Accept(T::kRParen)) {
+        if (Accept(T::kEllipsis)) {
+            Expect(T::kRParen, "')' after '...'");
+            break;
+        }
+        if (!At(T::kName)) {
+            Error("expected parameter name");
+            break;
+        }
+        node->strings.push_back(Advance().text);
+        if (!Accept(T::kComma) && !At(T::kRParen)) {
+            Error("expected ',' or ')'");
+            break;
+        }
+    }
+    node->kids.push_back(Block({T::kEnd}));
+    Expect(T::kEnd, "'end'");
+    return node;
+}
+
+std::vector<LuaAstPtr>
+LuaParser::ExprList()
+{
+    std::vector<LuaAstPtr> exprs;
+    exprs.push_back(Expr());
+    while (Accept(T::kComma)) {
+        exprs.push_back(Expr());
+    }
+    return exprs;
+}
+
+namespace {
+
+template <typename Sub, typename Match>
+LuaAstPtr
+LeftAssoc(Sub&& sub, Match&& match)
+{
+    LuaAstPtr left = sub();
+    for (;;) {
+        const char* op = match();
+        if (op == nullptr) {
+            return left;
+        }
+        auto node = std::make_unique<LuaAst>(LuaAstKind::kBinOp,
+                                             left->line);
+        node->name = op;
+        node->kids.push_back(std::move(left));
+        node->kids.push_back(sub());
+        left = std::move(node);
+    }
+}
+
+}  // namespace
+
+LuaAstPtr
+LuaParser::OrExpr()
+{
+    return LeftAssoc([this] { return AndExpr(); },
+                     [this]() -> const char* {
+                         return Accept(T::kOr) ? "or" : nullptr;
+                     });
+}
+
+LuaAstPtr
+LuaParser::AndExpr()
+{
+    return LeftAssoc([this] { return CmpExpr(); },
+                     [this]() -> const char* {
+                         return Accept(T::kAnd) ? "and" : nullptr;
+                     });
+}
+
+LuaAstPtr
+LuaParser::CmpExpr()
+{
+    return LeftAssoc([this] { return ConcatExpr(); },
+                     [this]() -> const char* {
+                         if (Accept(T::kEq)) return "==";
+                         if (Accept(T::kNe)) return "~=";
+                         if (Accept(T::kLt)) return "<";
+                         if (Accept(T::kLe)) return "<=";
+                         if (Accept(T::kGt)) return ">";
+                         if (Accept(T::kGe)) return ">=";
+                         return nullptr;
+                     });
+}
+
+LuaAstPtr
+LuaParser::ConcatExpr()
+{
+    // Right associative.
+    LuaAstPtr left = AddExpr();
+    if (!Accept(T::kConcat)) {
+        return left;
+    }
+    auto node =
+        std::make_unique<LuaAst>(LuaAstKind::kBinOp, left->line);
+    node->name = "..";
+    node->kids.push_back(std::move(left));
+    node->kids.push_back(ConcatExpr());
+    return node;
+}
+
+LuaAstPtr
+LuaParser::AddExpr()
+{
+    return LeftAssoc([this] { return MulExpr(); },
+                     [this]() -> const char* {
+                         if (Accept(T::kPlus)) return "+";
+                         if (Accept(T::kMinus)) return "-";
+                         return nullptr;
+                     });
+}
+
+LuaAstPtr
+LuaParser::MulExpr()
+{
+    return LeftAssoc([this] { return UnaryExpr(); },
+                     [this]() -> const char* {
+                         if (Accept(T::kStar)) return "*";
+                         if (Accept(T::kSlash)) return "/";
+                         if (Accept(T::kPercent)) return "%";
+                         return nullptr;
+                     });
+}
+
+LuaAstPtr
+LuaParser::UnaryExpr()
+{
+    const char* op = nullptr;
+    if (Accept(T::kNot)) {
+        op = "not";
+    } else if (Accept(T::kMinus)) {
+        op = "-";
+    } else if (Accept(T::kHash)) {
+        op = "#";
+    }
+    if (op != nullptr) {
+        auto node = Node(LuaAstKind::kUnOp);
+        node->name = op;
+        node->kids.push_back(UnaryExpr());
+        return node;
+    }
+    return PostfixExpr();
+}
+
+LuaAstPtr
+LuaParser::PostfixExpr()
+{
+    LuaAstPtr value = PrimaryExpr();
+    for (;;) {
+        if (Accept(T::kDot)) {
+            if (!At(T::kName)) {
+                Error("expected field name");
+                return value;
+            }
+            auto node = std::make_unique<LuaAst>(LuaAstKind::kIndex,
+                                                 value->line);
+            auto key = Node(LuaAstKind::kString);
+            key->str_value = Advance().text;
+            node->kids.push_back(std::move(value));
+            node->kids.push_back(std::move(key));
+            value = std::move(node);
+        } else if (Accept(T::kLBracket)) {
+            auto node = std::make_unique<LuaAst>(LuaAstKind::kIndex,
+                                                 value->line);
+            node->kids.push_back(std::move(value));
+            node->kids.push_back(Expr());
+            Expect(T::kRBracket, "']'");
+            value = std::move(node);
+        } else if (At(T::kLParen) || At(T::kString) || At(T::kLBrace)) {
+            auto node = std::make_unique<LuaAst>(LuaAstKind::kCall,
+                                                 value->line);
+            node->kids.push_back(std::move(value));
+            if (Accept(T::kLParen)) {
+                while (ok_ && !Accept(T::kRParen)) {
+                    node->kids.push_back(Expr());
+                    if (!Accept(T::kComma) && !At(T::kRParen)) {
+                        Error("expected ',' or ')'");
+                        break;
+                    }
+                }
+            } else if (At(T::kString)) {
+                auto arg = Node(LuaAstKind::kString);
+                arg->str_value = Advance().text;
+                node->kids.push_back(std::move(arg));
+            } else {
+                node->kids.push_back(TableConstructor());
+            }
+            value = std::move(node);
+        } else if (Accept(T::kColon)) {
+            if (!At(T::kName)) {
+                Error("expected method name");
+                return value;
+            }
+            auto node = std::make_unique<LuaAst>(
+                LuaAstKind::kMethodCall, value->line);
+            node->name = Advance().text;
+            node->kids.push_back(std::move(value));
+            if (Accept(T::kLParen)) {
+                while (ok_ && !Accept(T::kRParen)) {
+                    node->kids.push_back(Expr());
+                    if (!Accept(T::kComma) && !At(T::kRParen)) {
+                        Error("expected ',' or ')'");
+                        break;
+                    }
+                }
+            } else if (At(T::kString)) {
+                auto arg = Node(LuaAstKind::kString);
+                arg->str_value = Advance().text;
+                node->kids.push_back(std::move(arg));
+            } else {
+                Error("expected method arguments");
+            }
+            value = std::move(node);
+        } else {
+            return value;
+        }
+    }
+}
+
+LuaAstPtr
+LuaParser::PrimaryExpr()
+{
+    switch (Cur().kind) {
+      case T::kNil: Advance(); return Node(LuaAstKind::kNil);
+      case T::kTrue: Advance(); return Node(LuaAstKind::kTrue);
+      case T::kFalse: Advance(); return Node(LuaAstKind::kFalse);
+      case T::kNumber: {
+        auto node = Node(LuaAstKind::kNumber);
+        node->int_value = Advance().number;
+        return node;
+      }
+      case T::kString: {
+        auto node = Node(LuaAstKind::kString);
+        node->str_value = Advance().text;
+        return node;
+      }
+      case T::kEllipsis:
+        Advance();
+        return Node(LuaAstKind::kVararg);
+      case T::kName: {
+        auto node = Node(LuaAstKind::kName);
+        node->name = Advance().text;
+        return node;
+      }
+      case T::kLParen: {
+        Advance();
+        LuaAstPtr inner = Expr();
+        Expect(T::kRParen, "')'");
+        return inner;
+      }
+      case T::kLBrace:
+        return TableConstructor();
+      case T::kFunction:
+        Advance();
+        return FunctionBody();
+      default:
+        Error(std::string("unexpected token in expression"));
+        return Node(LuaAstKind::kNil);
+    }
+}
+
+LuaAstPtr
+LuaParser::TableConstructor()
+{
+    auto node = Node(LuaAstKind::kTable);
+    Expect(T::kLBrace, "'{'");
+    while (ok_ && !Accept(T::kRBrace)) {
+        if (At(T::kName) && toks_[pos_ + 1].kind == T::kAssign) {
+            auto key = Node(LuaAstKind::kString);
+            key->str_value = Advance().text;
+            Advance();  // '='
+            node->kids.push_back(std::move(key));
+            node->kids.push_back(Expr());
+        } else if (Accept(T::kLBracket)) {
+            node->kids.push_back(Expr());
+            Expect(T::kRBracket, "']'");
+            Expect(T::kAssign, "'='");
+            node->kids.push_back(Expr());
+        } else {
+            node->kids.push_back(nullptr);  // Array-style entry.
+            node->kids.push_back(Expr());
+        }
+        if (!Accept(T::kComma) && !Accept(T::kSemi) && !At(T::kRBrace)) {
+            Error("expected ',' or '}'");
+            break;
+        }
+    }
+    return node;
+}
+
+}  // namespace
+
+LuaParseResult
+LuaParse(const std::string& source)
+{
+    LuaLexer lexer(source);
+    std::vector<LuaToken> tokens;
+    std::string error;
+    int error_line = 0;
+    if (!lexer.Run(&tokens, &error, &error_line)) {
+        LuaParseResult result;
+        result.ok = false;
+        result.error = error;
+        result.error_line = error_line;
+        return result;
+    }
+    return LuaParser(std::move(tokens)).Run();
+}
+
+}  // namespace chef::minilua

@@ -1,0 +1,97 @@
+#ifndef CHEF_MINIPY_AST_H_
+#define CHEF_MINIPY_AST_H_
+
+/// \file
+/// MiniPy abstract syntax tree.
+///
+/// A single tagged node type keeps the front end compact. Child-slot
+/// conventions per kind are documented on the enumerators; optional
+/// children are null unique_ptrs.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "minipy/lexer.h"
+
+namespace chef::minipy {
+
+enum class AstKind : uint8_t {
+    // Expressions.
+    kIntLit,     ///< int_value.
+    kStrLit,     ///< str_value.
+    kBoolLit,    ///< int_value (0/1).
+    kNoneLit,
+    kName,       ///< name.
+    kBinOp,      ///< op; kids = {lhs, rhs}.
+    kUnaryOp,    ///< op (kMinus/kTilde/kKwNot); kids = {operand}.
+    kBoolOp,     ///< op (kKwAnd/kKwOr); kids = operands (>= 2).
+    kCompare,    ///< kids = {left, comp...}; strings = op spellings.
+    kCall,       ///< kids = {func, pos args...}; strings = kw names,
+                 ///< extra = kw value exprs.
+    kAttribute,  ///< name; kids = {object}.
+    kSubscript,  ///< kids = {object, index}.
+    kSlice,      ///< kids = {object, start?, stop?} (null = omitted).
+    kListLit,    ///< kids = elements.
+    kTupleLit,   ///< kids = elements.
+    kDictLit,    ///< kids alternate key, value.
+    kLambda,     ///< strings = params; kids = {expr}.
+    // Statements.
+    kModule,     ///< kids = statements.
+    kBody,       ///< kids = statements.
+    kExprStmt,   ///< kids = {expr}.
+    kAssign,     ///< kids = {target, value}.
+    kAugAssign,  ///< op; kids = {target, value}.
+    kIf,         ///< kids = {cond, then-body, else-body?}.
+    kWhile,      ///< kids = {cond, body}.
+    kFor,        ///< kids = {target, iterable, body}.
+    kDef,        ///< name; strings = params; extra = trailing defaults;
+                 ///< kids = {body}.
+    kReturn,     ///< kids = {expr?}.
+    kRaise,      ///< kids = {expr?}.
+    kAssert,     ///< kids = {test, message?}.
+    kTry,        ///< kids = {body}; extra = handlers (kHandler).
+    kHandler,    ///< name = bound variable (may be empty);
+                 ///< kids = {class-expr?, body}.
+    kClass,      ///< name; kids = {base?, body}.
+    kGlobal,     ///< strings = names.
+    kBreak,
+    kContinue,
+    kPass,
+};
+
+struct Ast;
+using AstPtr = std::unique_ptr<Ast>;
+
+struct Ast {
+    AstKind kind;
+    int line = 0;
+    std::string name;
+    std::string str_value;
+    int64_t int_value = 0;
+    TokKind op = TokKind::kEof;
+    std::vector<AstPtr> kids;
+    std::vector<AstPtr> extra;
+    std::vector<std::string> strings;
+
+    explicit Ast(AstKind k, int source_line = 0)
+        : kind(k), line(source_line)
+    {
+    }
+};
+
+/// Result of parsing: a kModule root or an error.
+struct ParseResult {
+    bool ok = true;
+    std::string error;
+    int error_line = 0;
+    AstPtr module;
+};
+
+/// Parses MiniPy source into an AST.
+ParseResult Parse(const std::string& source);
+
+}  // namespace chef::minipy
+
+#endif  // CHEF_MINIPY_AST_H_

@@ -1,0 +1,68 @@
+#ifndef CHEF_MINIPY_BUILTIN_IDS_H_
+#define CHEF_MINIPY_BUILTIN_IDS_H_
+
+/// \file
+/// Identifiers for builtin functions and builtin methods (shared between
+/// the VM dispatch and the builtin library implementation).
+
+namespace chef::minipy {
+
+enum BuiltinFn : int {
+    kFnLen = 1,
+    kFnOrd,
+    kFnChr,
+    kFnStr,
+    kFnInt,
+    kFnBool,
+    kFnRange,
+    kFnPrint,
+    kFnIsinstance,
+    kFnMin,
+    kFnMax,
+    kFnAbs,
+    kFnRepr,
+    kFnList,
+    kFnDict,
+    kFnTuple,
+};
+
+enum BuiltinMethod : int {
+    // str methods.
+    kStrFind = 100,
+    kStrSplit,
+    kStrStrip,
+    kStrLstrip,
+    kStrRstrip,
+    kStrStartswith,
+    kStrEndswith,
+    kStrLower,
+    kStrUpper,
+    kStrJoin,
+    kStrReplace,
+    kStrCount,
+    kStrIsdigit,
+    kStrIsalpha,
+    kStrIsspace,
+    kStrIndex,
+    // list methods.
+    kListAppend = 200,
+    kListPop,
+    kListExtend,
+    kListInsert,
+    kListIndex,
+    kListRemove,
+    kListReverse,
+    kListCount,
+    // dict methods.
+    kDictGet = 300,
+    kDictKeys,
+    kDictValues,
+    kDictItems,
+    kDictSetdefault,
+    kDictPop,
+    kDictUpdate,
+};
+
+}  // namespace chef::minipy
+
+#endif  // CHEF_MINIPY_BUILTIN_IDS_H_

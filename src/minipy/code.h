@@ -1,0 +1,130 @@
+#ifndef CHEF_MINIPY_CODE_H_
+#define CHEF_MINIPY_CODE_H_
+
+/// \file
+/// MiniPy bytecode: opcodes, code objects, and compiled programs.
+///
+/// MiniPy compiles to a CPython-style stack machine. The dispatch loop of
+/// the VM reports (HLPC, opcode) for every instruction executed; the HLPC
+/// is the concatenation of the code-object id and the instruction offset,
+/// exactly the paper's Python HLPC definition (§5.1: "the concatenation of
+/// the unique block address of the top frame and the current instruction
+/// offset inside the block").
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace chef::minipy {
+
+enum class Op : uint8_t {
+    kLoadConst,      ///< arg: const index.
+    kLoadLocal,      ///< arg: local slot.
+    kStoreLocal,     ///< arg: local slot.
+    kLoadName,       ///< arg: name index (module/class namespace).
+    kStoreName,      ///< arg: name index.
+    kLoadGlobal,     ///< arg: name index (explicit global or builtin).
+    kStoreGlobal,    ///< arg: name index.
+    kBinaryOp,       ///< arg: BinOpKind.
+    kUnaryOp,        ///< arg: UnOpKind.
+    kCompareOp,      ///< arg: CmpOpKind.
+    kJump,           ///< arg: target offset.
+    kPopJumpIfFalse, ///< arg: target offset.
+    kPopJumpIfTrue,  ///< arg: target offset.
+    kJumpIfFalseOrPop,  ///< arg: target (for `and`).
+    kJumpIfTrueOrPop,   ///< arg: target (for `or`).
+    kPop,
+    kDup,
+    kRot2,
+    kBuildList,      ///< arg: element count.
+    kBuildTuple,     ///< arg: element count.
+    kBuildDict,      ///< arg: pair count.
+    kIndexLoad,
+    kIndexStore,     ///< Stack: value, obj, index -> (pops all three).
+    kSliceLoad,      ///< arg: bit0 = has start, bit1 = has stop.
+    kLoadAttr,       ///< arg: name index.
+    kStoreAttr,      ///< arg: name index. Stack: value, obj.
+    kCall,           ///< arg: positional argc; kw names tuple on stack if
+                     ///< arg2 != 0 (encoded: argc | (kwcount << 16)).
+    kReturn,
+    kGetIter,
+    kForIter,        ///< arg: jump target when exhausted.
+    kUnpack,         ///< arg: element count (tuple/list unpacking).
+    kMakeFunction,   ///< arg: const index of code id; arg2: default count
+                     ///< (encoded in high bits). Defaults are on stack.
+    kMakeClass,      ///< Stack: namespace dict, base-or-None; arg: name
+                     ///< index.
+    kSetupExcept,    ///< arg: handler offset.
+    kPopBlock,
+    kRaise,          ///< arg: 0 = bare re-raise (unsupported), 1 = value.
+    kExcMatch,       ///< Stack: exc, class -> exc, bool.
+    kNop,
+};
+
+const char* OpName(Op op);
+
+enum class BinOpKind : uint8_t {
+    kAdd, kSub, kMul, kDiv, kFloorDiv, kMod,
+    kAnd, kOr, kXor, kShl, kShr,
+};
+
+enum class UnOpKind : uint8_t { kNeg, kNot, kInvert };
+
+enum class CmpOpKind : uint8_t {
+    kEq, kNe, kLt, kLe, kGt, kGe, kIn, kNotIn, kIs, kIsNot,
+};
+
+/// One bytecode instruction.
+struct Instr {
+    Op op = Op::kNop;
+    int32_t arg = 0;
+    int32_t line = 0;
+};
+
+/// Constant pool entry.
+struct Const {
+    enum class Kind : uint8_t { kNone, kBool, kInt, kStr, kCode } kind =
+        Kind::kNone;
+    int64_t int_value = 0;
+    std::string str_value;
+    int32_t code_id = 0;
+};
+
+/// A compiled block: module, function, class body, or lambda.
+struct CodeObject {
+    int32_t id = 0;
+    std::string name;
+    /// kFunction uses slot-addressed fast locals; module and class bodies
+    /// use name-addressed namespaces.
+    bool is_function = false;
+    std::vector<std::string> params;
+    int32_t num_defaults = 0;
+    std::vector<std::string> local_names;  ///< Slot -> name.
+    std::vector<Instr> instrs;
+    std::vector<Const> consts;
+    std::vector<std::string> names;
+};
+
+/// A compiled program: all code objects; id 0 is the module body.
+struct Program {
+    std::vector<std::unique_ptr<CodeObject>> code;
+    /// Source lines that carry at least one instruction ("coverable").
+    std::vector<int> coverable_lines;
+};
+
+/// Compilation outcome.
+struct CompileResult {
+    bool ok = true;
+    std::string error;
+    int error_line = 0;
+    std::shared_ptr<Program> program;
+};
+
+/// Compiles MiniPy source to bytecode.
+CompileResult Compile(const std::string& source,
+                      const std::string& module_name = "<module>");
+
+}  // namespace chef::minipy
+
+#endif  // CHEF_MINIPY_CODE_H_

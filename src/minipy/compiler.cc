@@ -1,0 +1,899 @@
+#include <set>
+#include <unordered_map>
+
+#include "minipy/ast.h"
+#include "minipy/code.h"
+#include "support/diagnostics.h"
+
+namespace chef::minipy {
+
+const char*
+OpName(Op op)
+{
+    switch (op) {
+      case Op::kLoadConst: return "LOAD_CONST";
+      case Op::kLoadLocal: return "LOAD_LOCAL";
+      case Op::kStoreLocal: return "STORE_LOCAL";
+      case Op::kLoadName: return "LOAD_NAME";
+      case Op::kStoreName: return "STORE_NAME";
+      case Op::kLoadGlobal: return "LOAD_GLOBAL";
+      case Op::kStoreGlobal: return "STORE_GLOBAL";
+      case Op::kBinaryOp: return "BINARY_OP";
+      case Op::kUnaryOp: return "UNARY_OP";
+      case Op::kCompareOp: return "COMPARE_OP";
+      case Op::kJump: return "JUMP";
+      case Op::kPopJumpIfFalse: return "POP_JUMP_IF_FALSE";
+      case Op::kPopJumpIfTrue: return "POP_JUMP_IF_TRUE";
+      case Op::kJumpIfFalseOrPop: return "JUMP_IF_FALSE_OR_POP";
+      case Op::kJumpIfTrueOrPop: return "JUMP_IF_TRUE_OR_POP";
+      case Op::kPop: return "POP";
+      case Op::kDup: return "DUP";
+      case Op::kRot2: return "ROT2";
+      case Op::kBuildList: return "BUILD_LIST";
+      case Op::kBuildTuple: return "BUILD_TUPLE";
+      case Op::kBuildDict: return "BUILD_DICT";
+      case Op::kIndexLoad: return "INDEX_LOAD";
+      case Op::kIndexStore: return "INDEX_STORE";
+      case Op::kSliceLoad: return "SLICE_LOAD";
+      case Op::kLoadAttr: return "LOAD_ATTR";
+      case Op::kStoreAttr: return "STORE_ATTR";
+      case Op::kCall: return "CALL";
+      case Op::kReturn: return "RETURN";
+      case Op::kGetIter: return "GET_ITER";
+      case Op::kForIter: return "FOR_ITER";
+      case Op::kUnpack: return "UNPACK";
+      case Op::kMakeFunction: return "MAKE_FUNCTION";
+      case Op::kMakeClass: return "MAKE_CLASS";
+      case Op::kSetupExcept: return "SETUP_EXCEPT";
+      case Op::kPopBlock: return "POP_BLOCK";
+      case Op::kRaise: return "RAISE";
+      case Op::kExcMatch: return "EXC_MATCH";
+      case Op::kNop: return "NOP";
+    }
+    return "?";
+}
+
+namespace {
+
+/// Collects names assigned in a scope body (without descending into nested
+/// function/class scopes) and names declared global.
+void
+CollectAssigned(const Ast& node, std::set<std::string>* assigned,
+                std::set<std::string>* declared_global)
+{
+    switch (node.kind) {
+      case AstKind::kAssign:
+      case AstKind::kAugAssign: {
+        const Ast* target = node.kids[0].get();
+        std::vector<const Ast*> targets{target};
+        while (!targets.empty()) {
+            const Ast* t = targets.back();
+            targets.pop_back();
+            if (t == nullptr) {
+                continue;
+            }
+            if (t->kind == AstKind::kName) {
+                assigned->insert(t->name);
+            } else if (t->kind == AstKind::kTupleLit ||
+                       t->kind == AstKind::kListLit) {
+                for (const AstPtr& kid : t->kids) {
+                    targets.push_back(kid.get());
+                }
+            }
+        }
+        break;
+      }
+      case AstKind::kFor: {
+        const Ast* target = node.kids[0].get();
+        if (target->kind == AstKind::kName) {
+            assigned->insert(target->name);
+        } else if (target->kind == AstKind::kTupleLit) {
+            for (const AstPtr& kid : target->kids) {
+                if (kid && kid->kind == AstKind::kName) {
+                    assigned->insert(kid->name);
+                }
+            }
+        }
+        break;
+      }
+      case AstKind::kDef:
+      case AstKind::kClass:
+        assigned->insert(node.name);
+        return;  // Do not descend into the nested scope.
+      case AstKind::kHandler:
+        if (!node.name.empty()) {
+            assigned->insert(node.name);
+        }
+        break;
+      case AstKind::kGlobal:
+        for (const std::string& name : node.strings) {
+            declared_global->insert(name);
+        }
+        break;
+      case AstKind::kLambda:
+        return;
+      default:
+        break;
+    }
+    for (const AstPtr& kid : node.kids) {
+        if (kid) {
+            CollectAssigned(*kid, assigned, declared_global);
+        }
+    }
+    for (const AstPtr& kid : node.extra) {
+        if (kid) {
+            CollectAssigned(*kid, assigned, declared_global);
+        }
+    }
+}
+
+class Compiler
+{
+  public:
+    CompileResult Run(const Ast& module, const std::string& module_name);
+
+  private:
+    struct Scope {
+        CodeObject* code = nullptr;
+        bool is_function = false;
+        std::unordered_map<std::string, int> local_slots;
+        std::set<std::string> declared_global;
+        // Loop patch lists.
+        struct Loop {
+            int start = 0;
+            std::vector<int> break_jumps;
+            std::vector<int> continue_jumps;  ///< For FOR loops only.
+            bool is_for = false;
+            int try_depth = 0;  ///< Except-block depth at loop entry.
+        };
+        std::vector<Loop> loops;
+        int try_depth = 0;
+    };
+
+    void Error(const std::string& message, int line)
+    {
+        if (ok_) {
+            ok_ = false;
+            error_ = message;
+            error_line_ = line;
+        }
+    }
+
+    CodeObject* NewCode(const std::string& name, bool is_function);
+
+    int Emit(Op op, int arg = 0)
+    {
+        scope().code->instrs.push_back({op, arg, current_line_});
+        return static_cast<int>(scope().code->instrs.size()) - 1;
+    }
+    int Here() const
+    {
+        return static_cast<int>(scope().code->instrs.size());
+    }
+    void Patch(int instr_index, int target)
+    {
+        scope().code->instrs[instr_index].arg = target;
+    }
+
+    Scope& scope() { return scopes_.back(); }
+    const Scope& scope() const { return scopes_.back(); }
+
+    int ConstNone();
+    int ConstBool(bool value);
+    int ConstInt(int64_t value);
+    int ConstStr(const std::string& value);
+    int ConstCode(int code_id);
+    int NameIndex(const std::string& name);
+
+    void EmitLoadName(const std::string& name, int line);
+    void EmitStoreName(const std::string& name, int line);
+
+    void CompileBody(const Ast& body);
+    void CompileStatement(const Ast& stmt);
+    void CompileExpr(const Ast& expr);
+    void CompileStoreTarget(const Ast& target);
+    void CompileFunction(const Ast& def);
+    void CompileClass(const Ast& cls);
+    void CompileTry(const Ast& try_stmt);
+    void CompileFor(const Ast& for_stmt);
+
+    std::shared_ptr<Program> program_;
+    std::vector<Scope> scopes_;
+    int current_line_ = 0;
+    bool ok_ = true;
+    std::string error_;
+    int error_line_ = 0;
+};
+
+CodeObject*
+Compiler::NewCode(const std::string& name, bool is_function)
+{
+    auto code = std::make_unique<CodeObject>();
+    code->id = static_cast<int32_t>(program_->code.size());
+    code->name = name;
+    code->is_function = is_function;
+    CodeObject* raw = code.get();
+    program_->code.push_back(std::move(code));
+    return raw;
+}
+
+int
+Compiler::ConstNone()
+{
+    auto& consts = scope().code->consts;
+    for (size_t i = 0; i < consts.size(); ++i) {
+        if (consts[i].kind == Const::Kind::kNone) {
+            return static_cast<int>(i);
+        }
+    }
+    consts.push_back({Const::Kind::kNone, 0, "", 0});
+    return static_cast<int>(consts.size()) - 1;
+}
+
+int
+Compiler::ConstBool(bool value)
+{
+    auto& consts = scope().code->consts;
+    for (size_t i = 0; i < consts.size(); ++i) {
+        if (consts[i].kind == Const::Kind::kBool &&
+            consts[i].int_value == (value ? 1 : 0)) {
+            return static_cast<int>(i);
+        }
+    }
+    consts.push_back({Const::Kind::kBool, value ? 1 : 0, "", 0});
+    return static_cast<int>(consts.size()) - 1;
+}
+
+int
+Compiler::ConstInt(int64_t value)
+{
+    auto& consts = scope().code->consts;
+    for (size_t i = 0; i < consts.size(); ++i) {
+        if (consts[i].kind == Const::Kind::kInt &&
+            consts[i].int_value == value) {
+            return static_cast<int>(i);
+        }
+    }
+    consts.push_back({Const::Kind::kInt, value, "", 0});
+    return static_cast<int>(consts.size()) - 1;
+}
+
+int
+Compiler::ConstStr(const std::string& value)
+{
+    auto& consts = scope().code->consts;
+    for (size_t i = 0; i < consts.size(); ++i) {
+        if (consts[i].kind == Const::Kind::kStr &&
+            consts[i].str_value == value) {
+            return static_cast<int>(i);
+        }
+    }
+    consts.push_back({Const::Kind::kStr, 0, value, 0});
+    return static_cast<int>(consts.size()) - 1;
+}
+
+int
+Compiler::ConstCode(int code_id)
+{
+    auto& consts = scope().code->consts;
+    consts.push_back({Const::Kind::kCode, 0, "", code_id});
+    return static_cast<int>(consts.size()) - 1;
+}
+
+int
+Compiler::NameIndex(const std::string& name)
+{
+    auto& names = scope().code->names;
+    for (size_t i = 0; i < names.size(); ++i) {
+        if (names[i] == name) {
+            return static_cast<int>(i);
+        }
+    }
+    names.push_back(name);
+    return static_cast<int>(names.size()) - 1;
+}
+
+void
+Compiler::EmitLoadName(const std::string& name, int line)
+{
+    if (scope().is_function) {
+        auto it = scope().local_slots.find(name);
+        if (it != scope().local_slots.end()) {
+            Emit(Op::kLoadLocal, it->second);
+            return;
+        }
+        Emit(Op::kLoadGlobal, NameIndex(name));
+        return;
+    }
+    Emit(Op::kLoadName, NameIndex(name));
+}
+
+void
+Compiler::EmitStoreName(const std::string& name, int line)
+{
+    if (scope().is_function) {
+        auto it = scope().local_slots.find(name);
+        if (it != scope().local_slots.end()) {
+            Emit(Op::kStoreLocal, it->second);
+            return;
+        }
+        Emit(Op::kStoreGlobal, NameIndex(name));
+        return;
+    }
+    Emit(Op::kStoreName, NameIndex(name));
+}
+
+void
+Compiler::CompileBody(const Ast& body)
+{
+    for (const AstPtr& stmt : body.kids) {
+        if (ok_ && stmt) {
+            CompileStatement(*stmt);
+        }
+    }
+}
+
+void
+Compiler::CompileStoreTarget(const Ast& target)
+{
+    switch (target.kind) {
+      case AstKind::kName:
+        EmitStoreName(target.name, target.line);
+        break;
+      case AstKind::kAttribute:
+        CompileExpr(*target.kids[0]);
+        Emit(Op::kStoreAttr, NameIndex(target.name));
+        break;
+      case AstKind::kSubscript:
+        CompileExpr(*target.kids[0]);
+        CompileExpr(*target.kids[1]);
+        Emit(Op::kIndexStore);
+        break;
+      case AstKind::kTupleLit:
+      case AstKind::kListLit: {
+        Emit(Op::kUnpack, static_cast<int>(target.kids.size()));
+        for (const AstPtr& element : target.kids) {
+            CompileStoreTarget(*element);
+        }
+        break;
+      }
+      default:
+        Error("invalid assignment target", target.line);
+    }
+}
+
+void
+Compiler::CompileStatement(const Ast& stmt)
+{
+    current_line_ = stmt.line;
+    switch (stmt.kind) {
+      case AstKind::kBody:
+        CompileBody(stmt);
+        break;
+      case AstKind::kExprStmt:
+        CompileExpr(*stmt.kids[0]);
+        Emit(Op::kPop);
+        break;
+      case AstKind::kAssign:
+        CompileExpr(*stmt.kids[1]);
+        CompileStoreTarget(*stmt.kids[0]);
+        break;
+      case AstKind::kAugAssign: {
+        const Ast& target = *stmt.kids[0];
+        // Load current value (re-evaluates subexpressions; MiniPy
+        // documents this deviation for attribute/subscript targets).
+        CompileExpr(target);
+        CompileExpr(*stmt.kids[1]);
+        BinOpKind kind;
+        switch (stmt.op) {
+          case TokKind::kPlusEq: kind = BinOpKind::kAdd; break;
+          case TokKind::kMinusEq: kind = BinOpKind::kSub; break;
+          case TokKind::kStarEq: kind = BinOpKind::kMul; break;
+          case TokKind::kSlashEq: kind = BinOpKind::kDiv; break;
+          case TokKind::kSlashSlashEq:
+            kind = BinOpKind::kFloorDiv;
+            break;
+          case TokKind::kPercentEq: kind = BinOpKind::kMod; break;
+          case TokKind::kAmpEq: kind = BinOpKind::kAnd; break;
+          case TokKind::kPipeEq: kind = BinOpKind::kOr; break;
+          default:
+            Error("unsupported augmented assignment", stmt.line);
+            return;
+        }
+        Emit(Op::kBinaryOp, static_cast<int>(kind));
+        CompileStoreTarget(target);
+        break;
+      }
+      case AstKind::kIf: {
+        CompileExpr(*stmt.kids[0]);
+        const int jump_false = Emit(Op::kPopJumpIfFalse);
+        CompileStatement(*stmt.kids[1]);
+        if (stmt.kids.size() > 2) {
+            const int jump_end = Emit(Op::kJump);
+            Patch(jump_false, Here());
+            CompileStatement(*stmt.kids[2]);
+            Patch(jump_end, Here());
+        } else {
+            Patch(jump_false, Here());
+        }
+        break;
+      }
+      case AstKind::kWhile: {
+        const int start = Here();
+        scope().loops.push_back({start, {}, {}, false,
+                                 scope().try_depth});
+        CompileExpr(*stmt.kids[0]);
+        const int jump_exit = Emit(Op::kPopJumpIfFalse);
+        CompileStatement(*stmt.kids[1]);
+        Emit(Op::kJump, start);
+        const int exit = Here();
+        Patch(jump_exit, exit);
+        for (int index : scope().loops.back().break_jumps) {
+            Patch(index, exit);
+        }
+        scope().loops.pop_back();
+        break;
+      }
+      case AstKind::kFor:
+        CompileFor(stmt);
+        break;
+      case AstKind::kDef:
+        CompileFunction(stmt);
+        break;
+      case AstKind::kClass:
+        CompileClass(stmt);
+        break;
+      case AstKind::kReturn:
+        if (!scope().is_function) {
+            Error("'return' outside function", stmt.line);
+            return;
+        }
+        if (!stmt.kids.empty()) {
+            CompileExpr(*stmt.kids[0]);
+        } else {
+            Emit(Op::kLoadConst, ConstNone());
+        }
+        Emit(Op::kReturn);
+        break;
+      case AstKind::kRaise:
+        if (stmt.kids.empty()) {
+            Error("bare 'raise' is not supported", stmt.line);
+            return;
+        }
+        CompileExpr(*stmt.kids[0]);
+        Emit(Op::kRaise, 1);
+        break;
+      case AstKind::kAssert: {
+        CompileExpr(*stmt.kids[0]);
+        const int jump_ok = Emit(Op::kPopJumpIfTrue);
+        EmitLoadName("AssertionError", stmt.line);
+        int argc = 0;
+        if (stmt.kids.size() > 1) {
+            CompileExpr(*stmt.kids[1]);
+            argc = 1;
+        }
+        Emit(Op::kCall, argc);
+        Emit(Op::kRaise, 1);
+        Patch(jump_ok, Here());
+        break;
+      }
+      case AstKind::kTry:
+        CompileTry(stmt);
+        break;
+      case AstKind::kBreak: {
+        if (scope().loops.empty()) {
+            Error("'break' outside loop", stmt.line);
+            return;
+        }
+        Scope::Loop& loop = scope().loops.back();
+        // Jumping out of enclosing try blocks must unwind them.
+        for (int d = scope().try_depth; d > loop.try_depth; --d) {
+            Emit(Op::kPopBlock);
+        }
+        loop.break_jumps.push_back(Emit(Op::kJump));
+        break;
+      }
+      case AstKind::kContinue: {
+        if (scope().loops.empty()) {
+            Error("'continue' outside loop", stmt.line);
+            return;
+        }
+        Scope::Loop& loop = scope().loops.back();
+        for (int d = scope().try_depth; d > loop.try_depth; --d) {
+            Emit(Op::kPopBlock);
+        }
+        Emit(Op::kJump, loop.start);
+        break;
+      }
+      case AstKind::kGlobal:
+      case AstKind::kPass:
+        break;
+      default:
+        Error("unexpected statement node", stmt.line);
+    }
+}
+
+void
+Compiler::CompileFor(const Ast& stmt)
+{
+    CompileExpr(*stmt.kids[1]);
+    Emit(Op::kGetIter);
+    const int start = Here();
+    scope().loops.push_back({start, {}, {}, true, scope().try_depth});
+    const int for_iter = Emit(Op::kForIter);
+    CompileStoreTarget(*stmt.kids[0]);
+    CompileStatement(*stmt.kids[2]);
+    Emit(Op::kJump, start);
+    const int exit = Here();
+    Patch(for_iter, exit);
+    for (int index : scope().loops.back().break_jumps) {
+        // break must also discard the iterator: FOR_ITER pops it when
+        // exhausted, so breaks jump to a small epilogue that pops it.
+        Patch(index, exit + 1);
+    }
+    const bool had_breaks = !scope().loops.back().break_jumps.empty();
+    scope().loops.pop_back();
+    if (had_breaks) {
+        // Exhausted loops jump over the iterator-pop epilogue.
+        // Layout: exit: JUMP done; exit+1: POP; done:
+        // We need to insert; instead emit: at exit, the FOR_ITER target.
+        // Simpler scheme: FOR_ITER pops the iterator itself on
+        // exhaustion, and breaks jump to an epilogue popping it.
+        const int jump_done = Emit(Op::kJump);
+        CHEF_CHECK(Here() == exit + 1);
+        Emit(Op::kPop);  // Discard the iterator on break.
+        Patch(jump_done, Here());
+    }
+}
+
+void
+Compiler::CompileTry(const Ast& stmt)
+{
+    const int setup = Emit(Op::kSetupExcept);
+    ++scope().try_depth;
+    CompileStatement(*stmt.kids[0]);
+    --scope().try_depth;
+    Emit(Op::kPopBlock);
+    const int jump_end = Emit(Op::kJump);
+    Patch(setup, Here());
+    // Handler entry: VM pushes the exception instance.
+    std::vector<int> end_jumps{jump_end};
+    for (size_t i = 0; i < stmt.extra.size(); ++i) {
+        const Ast& handler = *stmt.extra[i];
+        int jump_next = -1;
+        if (handler.kids[0] != nullptr) {
+            Emit(Op::kDup);
+            CompileExpr(*handler.kids[0]);
+            Emit(Op::kExcMatch);
+            jump_next = Emit(Op::kPopJumpIfFalse);
+        }
+        if (!handler.name.empty()) {
+            EmitStoreName(handler.name, handler.line);
+        } else {
+            Emit(Op::kPop);  // Discard the exception instance.
+        }
+        CompileStatement(*handler.kids[1]);
+        end_jumps.push_back(Emit(Op::kJump));
+        if (jump_next >= 0) {
+            Patch(jump_next, Here());
+        } else {
+            break;  // A bare except is terminal.
+        }
+    }
+    // No handler matched: re-raise the exception on the stack.
+    Emit(Op::kRaise, 0);
+    const int end = Here();
+    for (int index : end_jumps) {
+        Patch(index, end);
+    }
+}
+
+void
+Compiler::CompileFunction(const Ast& def)
+{
+    CodeObject* code = NewCode(def.name, /*is_function=*/true);
+    code->params = def.strings;
+    code->num_defaults = static_cast<int32_t>(def.extra.size());
+
+    // Defaults are evaluated in the enclosing scope, pushed left to right.
+    for (const AstPtr& default_expr : def.extra) {
+        CompileExpr(*default_expr);
+    }
+
+    Scope function_scope;
+    function_scope.code = code;
+    function_scope.is_function = true;
+    std::set<std::string> assigned;
+    std::set<std::string> declared_global;
+    for (const std::string& param : def.strings) {
+        assigned.insert(param);
+    }
+    CollectAssigned(*def.kids[0], &assigned, &declared_global);
+    // Params get the first slots, in order.
+    for (const std::string& param : def.strings) {
+        function_scope.local_slots[param] =
+            static_cast<int>(function_scope.local_slots.size());
+        code->local_names.push_back(param);
+    }
+    for (const std::string& name : assigned) {
+        if (declared_global.count(name) ||
+            function_scope.local_slots.count(name)) {
+            continue;
+        }
+        function_scope.local_slots[name] =
+            static_cast<int>(function_scope.local_slots.size());
+        code->local_names.push_back(name);
+    }
+    function_scope.declared_global = declared_global;
+
+    const int defaults_count = static_cast<int>(def.extra.size());
+    scopes_.push_back(std::move(function_scope));
+    CompileStatement(*def.kids[0]);
+    current_line_ = def.line;
+    Emit(Op::kLoadConst, ConstNone());
+    Emit(Op::kReturn);
+    scopes_.pop_back();
+
+    const int code_const = ConstCode(code->id);
+    Emit(Op::kMakeFunction, code_const | (defaults_count << 16));
+    EmitStoreName(def.name, def.line);
+}
+
+void
+Compiler::CompileClass(const Ast& cls)
+{
+    CodeObject* code = NewCode(cls.name, /*is_function=*/false);
+
+    // Base class (or None).
+    if (cls.kids[0] != nullptr) {
+        CompileExpr(*cls.kids[0]);
+    } else {
+        Emit(Op::kLoadConst, ConstNone());
+    }
+
+    Scope class_scope;
+    class_scope.code = code;
+    class_scope.is_function = false;
+    scopes_.push_back(std::move(class_scope));
+    CompileStatement(*cls.kids[1]);
+    current_line_ = cls.line;
+    Emit(Op::kLoadConst, ConstNone());
+    Emit(Op::kReturn);
+    scopes_.pop_back();
+
+    const int code_const = ConstCode(code->id);
+    Emit(Op::kLoadConst, code_const);
+    Emit(Op::kMakeClass, NameIndex(cls.name));
+    EmitStoreName(cls.name, cls.line);
+}
+
+void
+Compiler::CompileExpr(const Ast& expr)
+{
+    if (!ok_) {
+        return;
+    }
+    current_line_ = expr.line ? expr.line : current_line_;
+    switch (expr.kind) {
+      case AstKind::kIntLit:
+        Emit(Op::kLoadConst, ConstInt(expr.int_value));
+        break;
+      case AstKind::kStrLit:
+        Emit(Op::kLoadConst, ConstStr(expr.str_value));
+        break;
+      case AstKind::kBoolLit:
+        Emit(Op::kLoadConst, ConstBool(expr.int_value != 0));
+        break;
+      case AstKind::kNoneLit:
+        Emit(Op::kLoadConst, ConstNone());
+        break;
+      case AstKind::kName:
+        EmitLoadName(expr.name, expr.line);
+        break;
+      case AstKind::kBinOp: {
+        CompileExpr(*expr.kids[0]);
+        CompileExpr(*expr.kids[1]);
+        BinOpKind kind;
+        switch (expr.op) {
+          case TokKind::kPlus: kind = BinOpKind::kAdd; break;
+          case TokKind::kMinus: kind = BinOpKind::kSub; break;
+          case TokKind::kStar: kind = BinOpKind::kMul; break;
+          case TokKind::kSlash: kind = BinOpKind::kDiv; break;
+          case TokKind::kSlashSlash: kind = BinOpKind::kFloorDiv; break;
+          case TokKind::kPercent: kind = BinOpKind::kMod; break;
+          case TokKind::kAmp: kind = BinOpKind::kAnd; break;
+          case TokKind::kPipe: kind = BinOpKind::kOr; break;
+          case TokKind::kCaret: kind = BinOpKind::kXor; break;
+          case TokKind::kShl: kind = BinOpKind::kShl; break;
+          case TokKind::kShr: kind = BinOpKind::kShr; break;
+          default:
+            Error("unsupported binary operator", expr.line);
+            return;
+        }
+        Emit(Op::kBinaryOp, static_cast<int>(kind));
+        break;
+      }
+      case AstKind::kUnaryOp: {
+        CompileExpr(*expr.kids[0]);
+        UnOpKind kind;
+        switch (expr.op) {
+          case TokKind::kMinus: kind = UnOpKind::kNeg; break;
+          case TokKind::kKwNot: kind = UnOpKind::kNot; break;
+          case TokKind::kTilde: kind = UnOpKind::kInvert; break;
+          default:
+            Error("unsupported unary operator", expr.line);
+            return;
+        }
+        Emit(Op::kUnaryOp, static_cast<int>(kind));
+        break;
+      }
+      case AstKind::kBoolOp: {
+        const Op jump_op = (expr.op == TokKind::kKwAnd)
+                               ? Op::kJumpIfFalseOrPop
+                               : Op::kJumpIfTrueOrPop;
+        std::vector<int> jumps;
+        for (size_t i = 0; i < expr.kids.size(); ++i) {
+            CompileExpr(*expr.kids[i]);
+            if (i + 1 < expr.kids.size()) {
+                jumps.push_back(Emit(jump_op));
+            }
+        }
+        const int end = Here();
+        for (int index : jumps) {
+            Patch(index, end);
+        }
+        break;
+      }
+      case AstKind::kCompare: {
+        if (expr.strings.size() != 1) {
+            Error("chained comparisons are not supported; split with "
+                  "'and'",
+                  expr.line);
+            return;
+        }
+        CompileExpr(*expr.kids[0]);
+        CompileExpr(*expr.kids[1]);
+        const std::string& op = expr.strings[0];
+        CmpOpKind kind;
+        if (op == "==") kind = CmpOpKind::kEq;
+        else if (op == "!=") kind = CmpOpKind::kNe;
+        else if (op == "<") kind = CmpOpKind::kLt;
+        else if (op == "<=") kind = CmpOpKind::kLe;
+        else if (op == ">") kind = CmpOpKind::kGt;
+        else if (op == ">=") kind = CmpOpKind::kGe;
+        else if (op == "in") kind = CmpOpKind::kIn;
+        else if (op == "not in") kind = CmpOpKind::kNotIn;
+        else if (op == "is") kind = CmpOpKind::kIs;
+        else kind = CmpOpKind::kIsNot;
+        Emit(Op::kCompareOp, static_cast<int>(kind));
+        break;
+      }
+      case AstKind::kCall: {
+        CompileExpr(*expr.kids[0]);
+        for (size_t i = 1; i < expr.kids.size(); ++i) {
+            CompileExpr(*expr.kids[i]);
+        }
+        for (size_t i = 0; i < expr.strings.size(); ++i) {
+            Emit(Op::kLoadConst, ConstStr(expr.strings[i]));
+            CompileExpr(*expr.extra[i]);
+        }
+        const int argc = static_cast<int>(expr.kids.size()) - 1;
+        const int kwc = static_cast<int>(expr.strings.size());
+        Emit(Op::kCall, argc | (kwc << 16));
+        break;
+      }
+      case AstKind::kAttribute:
+        CompileExpr(*expr.kids[0]);
+        Emit(Op::kLoadAttr, NameIndex(expr.name));
+        break;
+      case AstKind::kSubscript:
+        CompileExpr(*expr.kids[0]);
+        CompileExpr(*expr.kids[1]);
+        Emit(Op::kIndexLoad);
+        break;
+      case AstKind::kSlice: {
+        CompileExpr(*expr.kids[0]);
+        int flags = 0;
+        if (expr.kids[1] != nullptr) {
+            CompileExpr(*expr.kids[1]);
+            flags |= 1;
+        }
+        if (expr.kids[2] != nullptr) {
+            CompileExpr(*expr.kids[2]);
+            flags |= 2;
+        }
+        Emit(Op::kSliceLoad, flags);
+        break;
+      }
+      case AstKind::kListLit:
+        for (const AstPtr& element : expr.kids) {
+            CompileExpr(*element);
+        }
+        Emit(Op::kBuildList, static_cast<int>(expr.kids.size()));
+        break;
+      case AstKind::kTupleLit:
+        for (const AstPtr& element : expr.kids) {
+            CompileExpr(*element);
+        }
+        Emit(Op::kBuildTuple, static_cast<int>(expr.kids.size()));
+        break;
+      case AstKind::kDictLit:
+        for (const AstPtr& element : expr.kids) {
+            CompileExpr(*element);
+        }
+        Emit(Op::kBuildDict,
+             static_cast<int>(expr.kids.size()) / 2);
+        break;
+      case AstKind::kLambda: {
+        CodeObject* code = NewCode("<lambda>", /*is_function=*/true);
+        code->params = expr.strings;
+        Scope lambda_scope;
+        lambda_scope.code = code;
+        lambda_scope.is_function = true;
+        for (const std::string& param : expr.strings) {
+            lambda_scope.local_slots[param] =
+                static_cast<int>(lambda_scope.local_slots.size());
+            code->local_names.push_back(param);
+        }
+        scopes_.push_back(std::move(lambda_scope));
+        CompileExpr(*expr.kids[0]);
+        Emit(Op::kReturn);
+        scopes_.pop_back();
+        Emit(Op::kMakeFunction, ConstCode(code->id));
+        break;
+      }
+      default:
+        Error("unexpected expression node", expr.line);
+    }
+}
+
+CompileResult
+Compiler::Run(const Ast& module, const std::string& module_name)
+{
+    program_ = std::make_shared<Program>();
+    CodeObject* code = NewCode(module_name, /*is_function=*/false);
+    Scope module_scope;
+    module_scope.code = code;
+    module_scope.is_function = false;
+    scopes_.push_back(std::move(module_scope));
+    CompileBody(module);
+    Emit(Op::kLoadConst, ConstNone());
+    Emit(Op::kReturn);
+    scopes_.pop_back();
+
+    CompileResult result;
+    result.ok = ok_;
+    result.error = error_;
+    result.error_line = error_line_;
+    if (ok_) {
+        std::set<int> lines;
+        for (const auto& code_object : program_->code) {
+            for (const Instr& instr : code_object->instrs) {
+                if (instr.line > 0) {
+                    lines.insert(instr.line);
+                }
+            }
+        }
+        program_->coverable_lines.assign(lines.begin(), lines.end());
+        result.program = program_;
+    }
+    return result;
+}
+
+}  // namespace
+
+CompileResult
+Compile(const std::string& source, const std::string& module_name)
+{
+    ParseResult parsed = Parse(source);
+    if (!parsed.ok) {
+        CompileResult result;
+        result.ok = false;
+        result.error = parsed.error;
+        result.error_line = parsed.error_line;
+        return result;
+    }
+    return Compiler().Run(*parsed.module, module_name);
+}
+
+}  // namespace chef::minipy

@@ -1,0 +1,476 @@
+#include "minipy/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace chef::minipy {
+
+const char*
+TokKindName(TokKind kind)
+{
+    switch (kind) {
+      case TokKind::kEof: return "eof";
+      case TokKind::kNewline: return "newline";
+      case TokKind::kIndent: return "indent";
+      case TokKind::kDedent: return "dedent";
+      case TokKind::kName: return "name";
+      case TokKind::kInt: return "int";
+      case TokKind::kString: return "string";
+      case TokKind::kLParen: return "(";
+      case TokKind::kRParen: return ")";
+      case TokKind::kLBracket: return "[";
+      case TokKind::kRBracket: return "]";
+      case TokKind::kLBrace: return "{";
+      case TokKind::kRBrace: return "}";
+      case TokKind::kComma: return ",";
+      case TokKind::kColon: return ":";
+      case TokKind::kSemicolon: return ";";
+      case TokKind::kDot: return ".";
+      case TokKind::kAssign: return "=";
+      case TokKind::kPlus: return "+";
+      case TokKind::kMinus: return "-";
+      case TokKind::kStar: return "*";
+      case TokKind::kSlash: return "/";
+      case TokKind::kSlashSlash: return "//";
+      case TokKind::kPercent: return "%";
+      case TokKind::kAmp: return "&";
+      case TokKind::kPipe: return "|";
+      case TokKind::kCaret: return "^";
+      case TokKind::kTilde: return "~";
+      case TokKind::kShl: return "<<";
+      case TokKind::kShr: return ">>";
+      case TokKind::kEq: return "==";
+      case TokKind::kNe: return "!=";
+      case TokKind::kLt: return "<";
+      case TokKind::kLe: return "<=";
+      case TokKind::kGt: return ">";
+      case TokKind::kGe: return ">=";
+      case TokKind::kPlusEq: return "+=";
+      case TokKind::kMinusEq: return "-=";
+      case TokKind::kStarEq: return "*=";
+      case TokKind::kSlashEq: return "/=";
+      case TokKind::kSlashSlashEq: return "//=";
+      case TokKind::kPercentEq: return "%=";
+      case TokKind::kAmpEq: return "&=";
+      case TokKind::kPipeEq: return "|=";
+      case TokKind::kKwDef: return "def";
+      case TokKind::kKwReturn: return "return";
+      case TokKind::kKwIf: return "if";
+      case TokKind::kKwElif: return "elif";
+      case TokKind::kKwElse: return "else";
+      case TokKind::kKwWhile: return "while";
+      case TokKind::kKwFor: return "for";
+      case TokKind::kKwIn: return "in";
+      case TokKind::kKwNot: return "not";
+      case TokKind::kKwAnd: return "and";
+      case TokKind::kKwOr: return "or";
+      case TokKind::kKwBreak: return "break";
+      case TokKind::kKwContinue: return "continue";
+      case TokKind::kKwPass: return "pass";
+      case TokKind::kKwRaise: return "raise";
+      case TokKind::kKwTry: return "try";
+      case TokKind::kKwExcept: return "except";
+      case TokKind::kKwFinally: return "finally";
+      case TokKind::kKwAs: return "as";
+      case TokKind::kKwClass: return "class";
+      case TokKind::kKwNone: return "None";
+      case TokKind::kKwTrue: return "True";
+      case TokKind::kKwFalse: return "False";
+      case TokKind::kKwAssert: return "assert";
+      case TokKind::kKwIs: return "is";
+      case TokKind::kKwDel: return "del";
+      case TokKind::kKwGlobal: return "global";
+      case TokKind::kKwImport: return "import";
+      case TokKind::kKwFrom: return "from";
+      case TokKind::kKwLambda: return "lambda";
+    }
+    return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string, TokKind>&
+Keywords()
+{
+    static const std::unordered_map<std::string, TokKind> keywords = {
+        {"def", TokKind::kKwDef},         {"return", TokKind::kKwReturn},
+        {"if", TokKind::kKwIf},           {"elif", TokKind::kKwElif},
+        {"else", TokKind::kKwElse},       {"while", TokKind::kKwWhile},
+        {"for", TokKind::kKwFor},         {"in", TokKind::kKwIn},
+        {"not", TokKind::kKwNot},         {"and", TokKind::kKwAnd},
+        {"or", TokKind::kKwOr},           {"break", TokKind::kKwBreak},
+        {"continue", TokKind::kKwContinue}, {"pass", TokKind::kKwPass},
+        {"raise", TokKind::kKwRaise},     {"try", TokKind::kKwTry},
+        {"except", TokKind::kKwExcept},   {"finally", TokKind::kKwFinally},
+        {"as", TokKind::kKwAs},           {"class", TokKind::kKwClass},
+        {"None", TokKind::kKwNone},       {"True", TokKind::kKwTrue},
+        {"False", TokKind::kKwFalse},     {"assert", TokKind::kKwAssert},
+        {"is", TokKind::kKwIs},           {"del", TokKind::kKwDel},
+        {"global", TokKind::kKwGlobal},   {"import", TokKind::kKwImport},
+        {"from", TokKind::kKwFrom},       {"lambda", TokKind::kKwLambda},
+    };
+    return keywords;
+}
+
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string& source) : src_(source) {}
+
+    LexResult Run();
+
+  private:
+    char Peek(int ahead = 0) const
+    {
+        return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+    }
+    char Get()
+    {
+        const char c = Peek();
+        ++pos_;
+        if (c == '\n') {
+            ++line_;
+            line_start_ = pos_;
+        }
+        return c;
+    }
+    int Column() const { return static_cast<int>(pos_ - line_start_) + 1; }
+
+    void Error(const std::string& message)
+    {
+        if (result_.ok) {
+            result_.ok = false;
+            result_.error = message;
+            result_.error_line = line_;
+        }
+    }
+
+    void Emit(TokKind kind, std::string text = "", int64_t value = 0)
+    {
+        Token token;
+        token.kind = kind;
+        token.text = std::move(text);
+        token.int_value = value;
+        token.line = line_;
+        token.column = Column();
+        result_.tokens.push_back(std::move(token));
+    }
+
+    void LexString(char quote);
+    void LexNumber();
+    void LexOperator();
+    bool HandleIndentation();
+
+    const std::string& src_;
+    size_t pos_ = 0;
+    size_t line_start_ = 0;
+    int line_ = 1;
+    int bracket_depth_ = 0;
+    bool at_line_start_ = true;
+    std::vector<int> indent_stack_{0};
+    LexResult result_;
+};
+
+bool
+Lexer::HandleIndentation()
+{
+    // Measure the indentation of the upcoming logical line; blank lines
+    // and comment-only lines produce no tokens.
+    for (;;) {
+        size_t scan = pos_;
+        int width = 0;
+        while (scan < src_.size() &&
+               (src_[scan] == ' ' || src_[scan] == '\t')) {
+            width += (src_[scan] == '\t') ? 8 - (width % 8) : 1;
+            ++scan;
+        }
+        if (scan >= src_.size()) {
+            pos_ = scan;
+            return false;
+        }
+        if (src_[scan] == '\n') {
+            // Blank line.
+            while (pos_ <= scan) {
+                Get();
+            }
+            continue;
+        }
+        if (src_[scan] == '#') {
+            while (pos_ < src_.size() && Peek() != '\n') {
+                Get();
+            }
+            if (pos_ < src_.size()) {
+                Get();  // Consume the newline.
+            }
+            continue;
+        }
+        // A real line: emit INDENT/DEDENT as needed.
+        while (pos_ < scan) {
+            Get();
+        }
+        if (width > indent_stack_.back()) {
+            indent_stack_.push_back(width);
+            Emit(TokKind::kIndent);
+        } else {
+            while (width < indent_stack_.back()) {
+                indent_stack_.pop_back();
+                Emit(TokKind::kDedent);
+            }
+            if (width != indent_stack_.back()) {
+                Error("inconsistent dedent");
+                return false;
+            }
+        }
+        return true;
+    }
+}
+
+void
+Lexer::LexString(char quote)
+{
+    std::string decoded;
+    Get();  // Opening quote.
+    for (;;) {
+        if (pos_ >= src_.size() || Peek() == '\n') {
+            Error("unterminated string literal");
+            return;
+        }
+        char c = Get();
+        if (c == quote) {
+            break;
+        }
+        if (c != '\\') {
+            decoded.push_back(c);
+            continue;
+        }
+        const char escape = Get();
+        switch (escape) {
+          case 'n': decoded.push_back('\n'); break;
+          case 't': decoded.push_back('\t'); break;
+          case 'r': decoded.push_back('\r'); break;
+          case '0': decoded.push_back('\0'); break;
+          case '\\': decoded.push_back('\\'); break;
+          case '\'': decoded.push_back('\''); break;
+          case '"': decoded.push_back('"'); break;
+          case 'x': {
+            int value = 0;
+            for (int i = 0; i < 2; ++i) {
+                const char h = Get();
+                if (h >= '0' && h <= '9') {
+                    value = value * 16 + (h - '0');
+                } else if (h >= 'a' && h <= 'f') {
+                    value = value * 16 + (h - 'a' + 10);
+                } else if (h >= 'A' && h <= 'F') {
+                    value = value * 16 + (h - 'A' + 10);
+                } else {
+                    Error("invalid \\x escape");
+                    return;
+                }
+            }
+            decoded.push_back(static_cast<char>(value));
+            break;
+          }
+          default:
+            // Unknown escapes keep the backslash, like Python.
+            decoded.push_back('\\');
+            decoded.push_back(escape);
+        }
+    }
+    Emit(TokKind::kString, std::move(decoded));
+}
+
+void
+Lexer::LexNumber()
+{
+    int64_t value = 0;
+    if (Peek() == '0' && (Peek(1) == 'x' || Peek(1) == 'X')) {
+        Get();
+        Get();
+        bool any = false;
+        while (std::isxdigit(static_cast<unsigned char>(Peek()))) {
+            const char c = Get();
+            int digit;
+            if (c >= '0' && c <= '9') {
+                digit = c - '0';
+            } else {
+                digit = (std::tolower(c) - 'a') + 10;
+            }
+            value = value * 16 + digit;
+            any = true;
+        }
+        if (!any) {
+            Error("invalid hex literal");
+            return;
+        }
+    } else {
+        while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+            value = value * 10 + (Get() - '0');
+        }
+        if (Peek() == '.') {
+            Error("floating point literals are not supported by MiniPy "
+                  "(the engine executes floats concretely only; see "
+                  "DESIGN.md)");
+            return;
+        }
+    }
+    Emit(TokKind::kInt, "", value);
+}
+
+void
+Lexer::LexOperator()
+{
+    const char c = Get();
+    auto two = [this](char next, TokKind yes, TokKind no) {
+        if (Peek() == next) {
+            Get();
+            Emit(yes);
+        } else {
+            Emit(no);
+        }
+    };
+    switch (c) {
+      case '(': ++bracket_depth_; Emit(TokKind::kLParen); break;
+      case ')': --bracket_depth_; Emit(TokKind::kRParen); break;
+      case '[': ++bracket_depth_; Emit(TokKind::kLBracket); break;
+      case ']': --bracket_depth_; Emit(TokKind::kRBracket); break;
+      case '{': ++bracket_depth_; Emit(TokKind::kLBrace); break;
+      case '}': --bracket_depth_; Emit(TokKind::kRBrace); break;
+      case ',': Emit(TokKind::kComma); break;
+      case ':': Emit(TokKind::kColon); break;
+      case ';': Emit(TokKind::kSemicolon); break;
+      case '.': Emit(TokKind::kDot); break;
+      case '~': Emit(TokKind::kTilde); break;
+      case '+': two('=', TokKind::kPlusEq, TokKind::kPlus); break;
+      case '-': two('=', TokKind::kMinusEq, TokKind::kMinus); break;
+      case '*': two('=', TokKind::kStarEq, TokKind::kStar); break;
+      case '%': two('=', TokKind::kPercentEq, TokKind::kPercent); break;
+      case '&': two('=', TokKind::kAmpEq, TokKind::kAmp); break;
+      case '|': two('=', TokKind::kPipeEq, TokKind::kPipe); break;
+      case '^': Emit(TokKind::kCaret); break;
+      case '=': two('=', TokKind::kEq, TokKind::kAssign); break;
+      case '!':
+        if (Peek() == '=') {
+            Get();
+            Emit(TokKind::kNe);
+        } else {
+            Error("unexpected '!'");
+        }
+        break;
+      case '<':
+        if (Peek() == '=') {
+            Get();
+            Emit(TokKind::kLe);
+        } else if (Peek() == '<') {
+            Get();
+            Emit(TokKind::kShl);
+        } else {
+            Emit(TokKind::kLt);
+        }
+        break;
+      case '>':
+        if (Peek() == '=') {
+            Get();
+            Emit(TokKind::kGe);
+        } else if (Peek() == '>') {
+            Get();
+            Emit(TokKind::kShr);
+        } else {
+            Emit(TokKind::kGt);
+        }
+        break;
+      case '/':
+        if (Peek() == '/') {
+            Get();
+            two('=', TokKind::kSlashSlashEq, TokKind::kSlashSlash);
+        } else {
+            two('=', TokKind::kSlashEq, TokKind::kSlash);
+        }
+        break;
+      default:
+        Error(std::string("unexpected character '") + c + "'");
+    }
+}
+
+LexResult
+Lexer::Run()
+{
+    while (result_.ok && pos_ < src_.size()) {
+        if (at_line_start_ && bracket_depth_ == 0) {
+            at_line_start_ = false;
+            if (!HandleIndentation()) {
+                break;
+            }
+            continue;
+        }
+        const char c = Peek();
+        if (c == '\n') {
+            Get();
+            if (bracket_depth_ == 0) {
+                Emit(TokKind::kNewline);
+                at_line_start_ = true;
+            }
+            continue;
+        }
+        if (c == ' ' || c == '\t' || c == '\r') {
+            Get();
+            continue;
+        }
+        if (c == '#') {
+            while (pos_ < src_.size() && Peek() != '\n') {
+                Get();
+            }
+            continue;
+        }
+        if (c == '\\' && Peek(1) == '\n') {
+            Get();
+            Get();  // Explicit line continuation.
+            continue;
+        }
+        if (c == '\'' || c == '"') {
+            LexString(c);
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            LexNumber();
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::string name;
+            while (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                   Peek() == '_') {
+                name.push_back(Get());
+            }
+            auto it = Keywords().find(name);
+            if (it != Keywords().end()) {
+                Emit(it->second, name);
+            } else {
+                Emit(TokKind::kName, std::move(name));
+            }
+            continue;
+        }
+        LexOperator();
+    }
+    if (result_.ok) {
+        // Close the final line and any open indentation.
+        if (!result_.tokens.empty() &&
+            result_.tokens.back().kind != TokKind::kNewline) {
+            Emit(TokKind::kNewline);
+        }
+        while (indent_stack_.size() > 1) {
+            indent_stack_.pop_back();
+            Emit(TokKind::kDedent);
+        }
+        Emit(TokKind::kEof);
+    }
+    return std::move(result_);
+}
+
+}  // namespace
+
+LexResult
+Lex(const std::string& source)
+{
+    return Lexer(source).Run();
+}
+
+}  // namespace chef::minipy

@@ -1,0 +1,63 @@
+#ifndef CHEF_MINIPY_LEXER_H_
+#define CHEF_MINIPY_LEXER_H_
+
+/// \file
+/// MiniPy lexer: tokenizes Python-style source with significant
+/// indentation (INDENT/DEDENT tokens), line continuation inside brackets,
+/// and comments.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chef::minipy {
+
+enum class TokKind : uint8_t {
+    kEof,
+    kNewline,
+    kIndent,
+    kDedent,
+    kName,
+    kInt,
+    kString,
+    // Punctuation and operators.
+    kLParen, kRParen, kLBracket, kRBracket, kLBrace, kRBrace,
+    kComma, kColon, kSemicolon, kDot,
+    kAssign,          // =
+    kPlus, kMinus, kStar, kSlash, kSlashSlash, kPercent,
+    kAmp, kPipe, kCaret, kTilde, kShl, kShr,
+    kEq, kNe, kLt, kLe, kGt, kGe,
+    kPlusEq, kMinusEq, kStarEq, kSlashEq, kSlashSlashEq, kPercentEq,
+    kAmpEq, kPipeEq,
+    // Keywords.
+    kKwDef, kKwReturn, kKwIf, kKwElif, kKwElse, kKwWhile, kKwFor, kKwIn,
+    kKwNot, kKwAnd, kKwOr, kKwBreak, kKwContinue, kKwPass, kKwRaise,
+    kKwTry, kKwExcept, kKwFinally, kKwAs, kKwClass, kKwNone, kKwTrue,
+    kKwFalse, kKwAssert, kKwIs, kKwDel, kKwGlobal, kKwImport, kKwFrom,
+    kKwLambda,
+};
+
+const char* TokKindName(TokKind kind);
+
+struct Token {
+    TokKind kind = TokKind::kEof;
+    std::string text;     ///< Name text or decoded string literal.
+    int64_t int_value = 0;
+    int line = 0;
+    int column = 0;
+};
+
+/// Result of lexing: tokens or an error message with position.
+struct LexResult {
+    bool ok = true;
+    std::string error;
+    int error_line = 0;
+    std::vector<Token> tokens;
+};
+
+/// Tokenizes MiniPy source. Tabs in indentation count as 8 columns.
+LexResult Lex(const std::string& source);
+
+}  // namespace chef::minipy
+
+#endif  // CHEF_MINIPY_LEXER_H_

@@ -1,0 +1,810 @@
+#include "minipy/ast.h"
+
+#include <functional>
+
+namespace chef::minipy {
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+    ParseResult Run()
+    {
+        auto module = std::make_unique<Ast>(AstKind::kModule, 1);
+        while (ok_ && !At(TokKind::kEof)) {
+            if (Accept(TokKind::kNewline)) {
+                continue;
+            }
+            module->kids.push_back(Statement());
+        }
+        ParseResult result;
+        result.ok = ok_;
+        result.error = error_;
+        result.error_line = error_line_;
+        if (ok_) {
+            result.module = std::move(module);
+        }
+        return result;
+    }
+
+  private:
+    const Token& Cur() const { return toks_[pos_]; }
+    bool At(TokKind kind) const { return Cur().kind == kind; }
+
+    const Token& Advance()
+    {
+        const Token& token = toks_[pos_];
+        if (pos_ + 1 < toks_.size()) {
+            ++pos_;
+        }
+        return token;
+    }
+
+    bool Accept(TokKind kind)
+    {
+        if (At(kind)) {
+            Advance();
+            return true;
+        }
+        return false;
+    }
+
+    void Expect(TokKind kind, const char* context)
+    {
+        if (!Accept(kind)) {
+            Error(std::string("expected '") + TokKindName(kind) + "' " +
+                  context + ", got '" + TokKindName(Cur().kind) + "'");
+        }
+    }
+
+    void Error(const std::string& message)
+    {
+        if (ok_) {
+            ok_ = false;
+            error_ = message;
+            error_line_ = Cur().line;
+        }
+        // Skip to EOF so parsing terminates promptly.
+        pos_ = toks_.size() - 1;
+    }
+
+    AstPtr Node(AstKind kind) const
+    {
+        return std::make_unique<Ast>(kind, Cur().line);
+    }
+
+    // -- Statements ---------------------------------------------------------
+
+    AstPtr Statement();
+    AstPtr SimpleStatement();
+    AstPtr Suite();  ///< NEWLINE INDENT stmt+ DEDENT, or inline stmt.
+
+    AstPtr IfStatement();
+    AstPtr WhileStatement();
+    AstPtr ForStatement();
+    AstPtr DefStatement();
+    AstPtr TryStatement();
+    AstPtr ClassStatement();
+
+    // -- Expressions --------------------------------------------------------
+
+    AstPtr ExpressionList();  ///< expr (, expr)* [,] -> tuple if comma.
+    AstPtr Expression() { return OrExpr(); }
+    AstPtr OrExpr();
+    AstPtr AndExpr();
+    AstPtr NotExpr();
+    AstPtr Comparison();
+    AstPtr BitOr();
+    AstPtr BitXor();
+    AstPtr BitAnd();
+    AstPtr Shift();
+    AstPtr Arith();
+    AstPtr Term();
+    AstPtr Unary();
+    AstPtr Postfix();
+    AstPtr Atom();
+
+    std::vector<Token> toks_;
+    size_t pos_ = 0;
+    bool ok_ = true;
+    std::string error_;
+    int error_line_ = 0;
+};
+
+AstPtr
+Parser::Suite()
+{
+    Expect(TokKind::kColon, "before suite");
+    auto body = Node(AstKind::kBody);
+    if (Accept(TokKind::kNewline)) {
+        Expect(TokKind::kIndent, "to start block");
+        while (ok_ && !Accept(TokKind::kDedent)) {
+            if (Accept(TokKind::kNewline)) {
+                continue;
+            }
+            body->kids.push_back(Statement());
+        }
+    } else {
+        // Inline suite: one or more simple statements on the same line.
+        body->kids.push_back(SimpleStatement());
+        while (Accept(TokKind::kSemicolon) && !At(TokKind::kNewline)) {
+            body->kids.push_back(SimpleStatement());
+        }
+        Expect(TokKind::kNewline, "after inline suite");
+    }
+    return body;
+}
+
+AstPtr
+Parser::Statement()
+{
+    switch (Cur().kind) {
+      case TokKind::kKwIf: return IfStatement();
+      case TokKind::kKwWhile: return WhileStatement();
+      case TokKind::kKwFor: return ForStatement();
+      case TokKind::kKwDef: return DefStatement();
+      case TokKind::kKwTry: return TryStatement();
+      case TokKind::kKwClass: return ClassStatement();
+      default: {
+        AstPtr stmt = SimpleStatement();
+        while (Accept(TokKind::kSemicolon) && !At(TokKind::kNewline)) {
+            // Additional statements on the line are wrapped in a body so
+            // the caller still receives one node.
+            auto body = std::make_unique<Ast>(AstKind::kBody, stmt->line);
+            body->kids.push_back(std::move(stmt));
+            do {
+                body->kids.push_back(SimpleStatement());
+            } while (Accept(TokKind::kSemicolon) &&
+                     !At(TokKind::kNewline));
+            stmt = std::move(body);
+            break;
+        }
+        Expect(TokKind::kNewline, "after statement");
+        return stmt;
+      }
+    }
+}
+
+AstPtr
+Parser::SimpleStatement()
+{
+    switch (Cur().kind) {
+      case TokKind::kKwReturn: {
+        auto node = Node(AstKind::kReturn);
+        Advance();
+        if (!At(TokKind::kNewline) && !At(TokKind::kSemicolon)) {
+            node->kids.push_back(ExpressionList());
+        }
+        return node;
+      }
+      case TokKind::kKwRaise: {
+        auto node = Node(AstKind::kRaise);
+        Advance();
+        if (!At(TokKind::kNewline) && !At(TokKind::kSemicolon)) {
+            node->kids.push_back(Expression());
+        }
+        return node;
+      }
+      case TokKind::kKwAssert: {
+        auto node = Node(AstKind::kAssert);
+        Advance();
+        node->kids.push_back(Expression());
+        if (Accept(TokKind::kComma)) {
+            node->kids.push_back(Expression());
+        }
+        return node;
+      }
+      case TokKind::kKwPass: Advance(); return Node(AstKind::kPass);
+      case TokKind::kKwBreak: Advance(); return Node(AstKind::kBreak);
+      case TokKind::kKwContinue:
+        Advance();
+        return Node(AstKind::kContinue);
+      case TokKind::kKwGlobal: {
+        auto node = Node(AstKind::kGlobal);
+        Advance();
+        do {
+            if (!At(TokKind::kName)) {
+                Error("expected name after 'global'");
+                break;
+            }
+            node->strings.push_back(Advance().text);
+        } while (Accept(TokKind::kComma));
+        return node;
+      }
+      case TokKind::kKwImport:
+      case TokKind::kKwFrom: {
+        // Imports are accepted and ignored: workloads are self-contained,
+        // mirroring how symbolic tests load the package under test into
+        // the interpreter VM beforehand.
+        while (!At(TokKind::kNewline) && !At(TokKind::kEof)) {
+            Advance();
+        }
+        return Node(AstKind::kPass);
+      }
+      case TokKind::kKwDel: {
+        // Treated as assignment of None (frees the reference).
+        Advance();
+        auto node = Node(AstKind::kAssign);
+        node->kids.push_back(Postfix());
+        auto none = Node(AstKind::kNoneLit);
+        node->kids.push_back(std::move(none));
+        return node;
+      }
+      default:
+        break;
+    }
+
+    AstPtr expr = ExpressionList();
+    if (At(TokKind::kAssign)) {
+        auto node = std::make_unique<Ast>(AstKind::kAssign, expr->line);
+        Advance();
+        node->kids.push_back(std::move(expr));
+        node->kids.push_back(ExpressionList());
+        // Chained assignment a = b = v is not supported.
+        if (At(TokKind::kAssign)) {
+            Error("chained assignment is not supported");
+        }
+        return node;
+    }
+    const TokKind op = Cur().kind;
+    if (op == TokKind::kPlusEq || op == TokKind::kMinusEq ||
+        op == TokKind::kStarEq || op == TokKind::kSlashEq ||
+        op == TokKind::kSlashSlashEq || op == TokKind::kPercentEq ||
+        op == TokKind::kAmpEq || op == TokKind::kPipeEq) {
+        auto node = std::make_unique<Ast>(AstKind::kAugAssign, expr->line);
+        node->op = op;
+        Advance();
+        node->kids.push_back(std::move(expr));
+        node->kids.push_back(ExpressionList());
+        return node;
+    }
+    auto node = std::make_unique<Ast>(AstKind::kExprStmt, expr->line);
+    node->kids.push_back(std::move(expr));
+    return node;
+}
+
+AstPtr
+Parser::IfStatement()
+{
+    auto node = Node(AstKind::kIf);
+    Advance();  // if / elif
+    node->kids.push_back(Expression());
+    node->kids.push_back(Suite());
+    if (At(TokKind::kKwElif)) {
+        auto else_body = Node(AstKind::kBody);
+        else_body->kids.push_back(IfStatement());
+        node->kids.push_back(std::move(else_body));
+    } else if (Accept(TokKind::kKwElse)) {
+        node->kids.push_back(Suite());
+    }
+    return node;
+}
+
+AstPtr
+Parser::WhileStatement()
+{
+    auto node = Node(AstKind::kWhile);
+    Advance();
+    node->kids.push_back(Expression());
+    node->kids.push_back(Suite());
+    return node;
+}
+
+AstPtr
+Parser::ForStatement()
+{
+    auto node = Node(AstKind::kFor);
+    Advance();
+    // Target: name or comma-separated name tuple.
+    auto first = Postfix();
+    if (At(TokKind::kComma)) {
+        auto tuple = std::make_unique<Ast>(AstKind::kTupleLit, first->line);
+        tuple->kids.push_back(std::move(first));
+        while (Accept(TokKind::kComma) && !At(TokKind::kKwIn)) {
+            tuple->kids.push_back(Postfix());
+        }
+        first = std::move(tuple);
+    }
+    node->kids.push_back(std::move(first));
+    Expect(TokKind::kKwIn, "in for statement");
+    node->kids.push_back(ExpressionList());
+    node->kids.push_back(Suite());
+    return node;
+}
+
+AstPtr
+Parser::DefStatement()
+{
+    auto node = Node(AstKind::kDef);
+    Advance();
+    if (!At(TokKind::kName)) {
+        Error("expected function name");
+        return node;
+    }
+    node->name = Advance().text;
+    Expect(TokKind::kLParen, "after function name");
+    while (ok_ && !Accept(TokKind::kRParen)) {
+        if (!At(TokKind::kName)) {
+            Error("expected parameter name");
+            break;
+        }
+        node->strings.push_back(Advance().text);
+        if (Accept(TokKind::kAssign)) {
+            node->extra.push_back(Expression());
+        } else if (!node->extra.empty()) {
+            Error("non-default parameter after default parameter");
+            break;
+        }
+        if (!Accept(TokKind::kComma) && !At(TokKind::kRParen)) {
+            Error("expected ',' or ')' in parameter list");
+            break;
+        }
+    }
+    node->kids.push_back(Suite());
+    return node;
+}
+
+AstPtr
+Parser::TryStatement()
+{
+    auto node = Node(AstKind::kTry);
+    Advance();
+    node->kids.push_back(Suite());
+    if (!At(TokKind::kKwExcept)) {
+        Error("'try' requires at least one 'except' clause (finally-only "
+              "try is not supported)");
+        return node;
+    }
+    while (Accept(TokKind::kKwExcept)) {
+        auto handler = Node(AstKind::kHandler);
+        if (!At(TokKind::kColon)) {
+            handler->kids.push_back(Expression());
+            if (Accept(TokKind::kKwAs)) {
+                if (!At(TokKind::kName)) {
+                    Error("expected name after 'as'");
+                    return node;
+                }
+                handler->name = Advance().text;
+            }
+        } else {
+            handler->kids.push_back(nullptr);  // Bare except.
+        }
+        handler->kids.push_back(Suite());
+        node->extra.push_back(std::move(handler));
+    }
+    if (Accept(TokKind::kKwFinally)) {
+        Error("'finally' is not supported by MiniPy");
+    }
+    if (Accept(TokKind::kKwElse)) {
+        Error("'try/else' is not supported by MiniPy");
+    }
+    return node;
+}
+
+AstPtr
+Parser::ClassStatement()
+{
+    auto node = Node(AstKind::kClass);
+    Advance();
+    if (!At(TokKind::kName)) {
+        Error("expected class name");
+        return node;
+    }
+    node->name = Advance().text;
+    if (Accept(TokKind::kLParen)) {
+        if (!At(TokKind::kRParen)) {
+            node->kids.push_back(Expression());
+        } else {
+            node->kids.push_back(nullptr);
+        }
+        Expect(TokKind::kRParen, "after base class");
+    } else {
+        node->kids.push_back(nullptr);
+    }
+    node->kids.push_back(Suite());
+    return node;
+}
+
+AstPtr
+Parser::ExpressionList()
+{
+    AstPtr first = Expression();
+    if (!At(TokKind::kComma)) {
+        return first;
+    }
+    auto tuple = std::make_unique<Ast>(AstKind::kTupleLit, first->line);
+    tuple->kids.push_back(std::move(first));
+    while (Accept(TokKind::kComma)) {
+        if (At(TokKind::kNewline) || At(TokKind::kAssign) ||
+            At(TokKind::kRParen) || At(TokKind::kRBracket) ||
+            At(TokKind::kEof) || At(TokKind::kSemicolon)) {
+            break;  // Trailing comma.
+        }
+        tuple->kids.push_back(Expression());
+    }
+    return tuple;
+}
+
+AstPtr
+Parser::OrExpr()
+{
+    AstPtr left = AndExpr();
+    if (!At(TokKind::kKwOr)) {
+        return left;
+    }
+    auto node = std::make_unique<Ast>(AstKind::kBoolOp, left->line);
+    node->op = TokKind::kKwOr;
+    node->kids.push_back(std::move(left));
+    while (Accept(TokKind::kKwOr)) {
+        node->kids.push_back(AndExpr());
+    }
+    return node;
+}
+
+AstPtr
+Parser::AndExpr()
+{
+    AstPtr left = NotExpr();
+    if (!At(TokKind::kKwAnd)) {
+        return left;
+    }
+    auto node = std::make_unique<Ast>(AstKind::kBoolOp, left->line);
+    node->op = TokKind::kKwAnd;
+    node->kids.push_back(std::move(left));
+    while (Accept(TokKind::kKwAnd)) {
+        node->kids.push_back(NotExpr());
+    }
+    return node;
+}
+
+AstPtr
+Parser::NotExpr()
+{
+    if (At(TokKind::kKwNot)) {
+        auto node = Node(AstKind::kUnaryOp);
+        node->op = TokKind::kKwNot;
+        Advance();
+        node->kids.push_back(NotExpr());
+        return node;
+    }
+    return Comparison();
+}
+
+AstPtr
+Parser::Comparison()
+{
+    AstPtr left = BitOr();
+    auto spelling_of = [this]() -> const char* {
+        switch (Cur().kind) {
+          case TokKind::kEq: return "==";
+          case TokKind::kNe: return "!=";
+          case TokKind::kLt: return "<";
+          case TokKind::kLe: return "<=";
+          case TokKind::kGt: return ">";
+          case TokKind::kGe: return ">=";
+          case TokKind::kKwIn: return "in";
+          case TokKind::kKwIs: return "is";
+          case TokKind::kKwNot:
+            return toks_[pos_ + 1].kind == TokKind::kKwIn ? "not in"
+                                                          : nullptr;
+          default: return nullptr;
+        }
+    };
+    if (spelling_of() == nullptr) {
+        return left;
+    }
+    auto node = std::make_unique<Ast>(AstKind::kCompare, left->line);
+    node->kids.push_back(std::move(left));
+    for (;;) {
+        const char* spelling = spelling_of();
+        if (spelling == nullptr) {
+            break;
+        }
+        std::string op = spelling;
+        Advance();
+        if (op == "not in") {
+            Advance();  // The 'in' token.
+        } else if (op == "is" && Accept(TokKind::kKwNot)) {
+            op = "is not";
+        }
+        node->strings.push_back(op);
+        node->kids.push_back(BitOr());
+    }
+    return node;
+}
+
+namespace {
+
+/// Builds a left-associative binary operator chain.
+template <typename Sub, typename Match>
+AstPtr
+LeftAssoc(Parser* parser, Sub&& sub, Match&& match)
+{
+    AstPtr left = sub();
+    for (;;) {
+        const TokKind op = match();
+        if (op == TokKind::kEof) {
+            return left;
+        }
+        auto node = std::make_unique<Ast>(AstKind::kBinOp, left->line);
+        node->op = op;
+        node->kids.push_back(std::move(left));
+        node->kids.push_back(sub());
+        left = std::move(node);
+    }
+}
+
+}  // namespace
+
+AstPtr
+Parser::BitOr()
+{
+    return LeftAssoc(
+        this, [this] { return BitXor(); },
+        [this]() -> TokKind {
+            return Accept(TokKind::kPipe) ? TokKind::kPipe : TokKind::kEof;
+        });
+}
+
+AstPtr
+Parser::BitXor()
+{
+    return LeftAssoc(
+        this, [this] { return BitAnd(); },
+        [this]() -> TokKind {
+            return Accept(TokKind::kCaret) ? TokKind::kCaret
+                                           : TokKind::kEof;
+        });
+}
+
+AstPtr
+Parser::BitAnd()
+{
+    return LeftAssoc(
+        this, [this] { return Shift(); },
+        [this]() -> TokKind {
+            return Accept(TokKind::kAmp) ? TokKind::kAmp : TokKind::kEof;
+        });
+}
+
+AstPtr
+Parser::Shift()
+{
+    return LeftAssoc(
+        this, [this] { return Arith(); },
+        [this]() -> TokKind {
+            if (Accept(TokKind::kShl)) return TokKind::kShl;
+            if (Accept(TokKind::kShr)) return TokKind::kShr;
+            return TokKind::kEof;
+        });
+}
+
+AstPtr
+Parser::Arith()
+{
+    return LeftAssoc(
+        this, [this] { return Term(); },
+        [this]() -> TokKind {
+            if (Accept(TokKind::kPlus)) return TokKind::kPlus;
+            if (Accept(TokKind::kMinus)) return TokKind::kMinus;
+            return TokKind::kEof;
+        });
+}
+
+AstPtr
+Parser::Term()
+{
+    return LeftAssoc(
+        this, [this] { return Unary(); },
+        [this]() -> TokKind {
+            if (Accept(TokKind::kStar)) return TokKind::kStar;
+            if (Accept(TokKind::kSlash)) return TokKind::kSlash;
+            if (Accept(TokKind::kSlashSlash)) return TokKind::kSlashSlash;
+            if (Accept(TokKind::kPercent)) return TokKind::kPercent;
+            return TokKind::kEof;
+        });
+}
+
+AstPtr
+Parser::Unary()
+{
+    if (At(TokKind::kMinus) || At(TokKind::kTilde) || At(TokKind::kPlus)) {
+        const TokKind op = Cur().kind;
+        auto node = Node(AstKind::kUnaryOp);
+        node->op = (op == TokKind::kPlus) ? TokKind::kEof : op;
+        Advance();
+        node->kids.push_back(Unary());
+        if (node->op == TokKind::kEof) {
+            return std::move(node->kids[0]);  // Unary plus is identity.
+        }
+        return node;
+    }
+    return Postfix();
+}
+
+AstPtr
+Parser::Postfix()
+{
+    AstPtr value = Atom();
+    for (;;) {
+        if (Accept(TokKind::kDot)) {
+            if (!At(TokKind::kName)) {
+                Error("expected attribute name after '.'");
+                return value;
+            }
+            auto node =
+                std::make_unique<Ast>(AstKind::kAttribute, value->line);
+            node->name = Advance().text;
+            node->kids.push_back(std::move(value));
+            value = std::move(node);
+        } else if (Accept(TokKind::kLParen)) {
+            auto node = std::make_unique<Ast>(AstKind::kCall, value->line);
+            node->kids.push_back(std::move(value));
+            while (ok_ && !Accept(TokKind::kRParen)) {
+                if (At(TokKind::kName) &&
+                    toks_[pos_ + 1].kind == TokKind::kAssign) {
+                    node->strings.push_back(Advance().text);
+                    Advance();  // '='
+                    node->extra.push_back(Expression());
+                } else {
+                    if (!node->strings.empty()) {
+                        Error("positional argument after keyword "
+                              "argument");
+                        break;
+                    }
+                    node->kids.push_back(Expression());
+                }
+                if (!Accept(TokKind::kComma) && !At(TokKind::kRParen)) {
+                    Error("expected ',' or ')' in call");
+                    break;
+                }
+            }
+            value = std::move(node);
+        } else if (Accept(TokKind::kLBracket)) {
+            // Index or slice.
+            AstPtr start;
+            bool is_slice = false;
+            if (!At(TokKind::kColon)) {
+                start = ExpressionList();
+            }
+            if (Accept(TokKind::kColon)) {
+                is_slice = true;
+            }
+            if (is_slice) {
+                auto node =
+                    std::make_unique<Ast>(AstKind::kSlice, value->line);
+                node->kids.push_back(std::move(value));
+                node->kids.push_back(std::move(start));
+                if (!At(TokKind::kRBracket)) {
+                    node->kids.push_back(Expression());
+                } else {
+                    node->kids.push_back(nullptr);
+                }
+                Expect(TokKind::kRBracket, "after slice");
+                value = std::move(node);
+            } else {
+                auto node =
+                    std::make_unique<Ast>(AstKind::kSubscript,
+                                          value->line);
+                node->kids.push_back(std::move(value));
+                node->kids.push_back(std::move(start));
+                Expect(TokKind::kRBracket, "after subscript");
+                value = std::move(node);
+            }
+        } else {
+            return value;
+        }
+    }
+}
+
+AstPtr
+Parser::Atom()
+{
+    switch (Cur().kind) {
+      case TokKind::kInt: {
+        auto node = Node(AstKind::kIntLit);
+        node->int_value = Advance().int_value;
+        return node;
+      }
+      case TokKind::kString: {
+        auto node = Node(AstKind::kStrLit);
+        node->str_value = Advance().text;
+        // Adjacent string literals concatenate.
+        while (At(TokKind::kString)) {
+            node->str_value += Advance().text;
+        }
+        return node;
+      }
+      case TokKind::kName: {
+        auto node = Node(AstKind::kName);
+        node->name = Advance().text;
+        return node;
+      }
+      case TokKind::kKwNone: Advance(); return Node(AstKind::kNoneLit);
+      case TokKind::kKwTrue: {
+        auto node = Node(AstKind::kBoolLit);
+        node->int_value = 1;
+        Advance();
+        return node;
+      }
+      case TokKind::kKwFalse: {
+        auto node = Node(AstKind::kBoolLit);
+        node->int_value = 0;
+        Advance();
+        return node;
+      }
+      case TokKind::kKwLambda: {
+        auto node = Node(AstKind::kLambda);
+        Advance();
+        while (At(TokKind::kName)) {
+            node->strings.push_back(Advance().text);
+            if (!Accept(TokKind::kComma)) {
+                break;
+            }
+        }
+        Expect(TokKind::kColon, "in lambda");
+        node->kids.push_back(Expression());
+        return node;
+      }
+      case TokKind::kLParen: {
+        Advance();
+        if (Accept(TokKind::kRParen)) {
+            return Node(AstKind::kTupleLit);  // Empty tuple.
+        }
+        AstPtr inner = ExpressionList();
+        Expect(TokKind::kRParen, "after parenthesized expression");
+        return inner;
+      }
+      case TokKind::kLBracket: {
+        auto node = Node(AstKind::kListLit);
+        Advance();
+        while (ok_ && !Accept(TokKind::kRBracket)) {
+            node->kids.push_back(Expression());
+            if (!Accept(TokKind::kComma) && !At(TokKind::kRBracket)) {
+                Error("expected ',' or ']' in list literal");
+                break;
+            }
+        }
+        return node;
+      }
+      case TokKind::kLBrace: {
+        auto node = Node(AstKind::kDictLit);
+        Advance();
+        while (ok_ && !Accept(TokKind::kRBrace)) {
+            node->kids.push_back(Expression());
+            Expect(TokKind::kColon, "in dict literal");
+            node->kids.push_back(Expression());
+            if (!Accept(TokKind::kComma) && !At(TokKind::kRBrace)) {
+                Error("expected ',' or '}' in dict literal");
+                break;
+            }
+        }
+        return node;
+      }
+      default:
+        Error(std::string("unexpected token '") +
+              TokKindName(Cur().kind) + "'");
+        return Node(AstKind::kNoneLit);
+    }
+}
+
+}  // namespace
+
+ParseResult
+Parse(const std::string& source)
+{
+    LexResult lexed = Lex(source);
+    if (!lexed.ok) {
+        ParseResult result;
+        result.ok = false;
+        result.error = lexed.error;
+        result.error_line = lexed.error_line;
+        return result;
+    }
+    return Parser(std::move(lexed.tokens)).Run();
+}
+
+}  // namespace chef::minipy

@@ -1,0 +1,382 @@
+#include "solver/sat.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/diagnostics.h"
+
+namespace chef::solver {
+
+void
+CnfFormula::AddClause(std::vector<Lit> lits)
+{
+    // Normalize: drop duplicate literals; detect tautologies.
+    std::sort(lits.begin(), lits.end(),
+              [](Lit a, Lit b) { return std::abs(a) < std::abs(b) ||
+                                        (std::abs(a) == std::abs(b) && a < b); });
+    std::vector<Lit> normalized;
+    for (size_t i = 0; i < lits.size(); ++i) {
+        CHEF_CHECK(lits[i] != 0 && std::abs(lits[i]) <= num_vars_);
+        if (i > 0 && lits[i] == lits[i - 1]) {
+            continue;  // Duplicate literal.
+        }
+        if (i > 0 && lits[i] == -lits[i - 1]) {
+            return;  // Tautology; clause is always satisfied.
+        }
+        normalized.push_back(lits[i]);
+    }
+    if (normalized.empty()) {
+        trivially_unsat_ = true;
+        return;
+    }
+    clauses_.push_back(std::move(normalized));
+}
+
+SatSolver::SatSolver(Options options) : options_(options) {}
+
+SatSolver::ILit
+SatSolver::Encode(Lit lit)
+{
+    CHEF_CHECK(lit != 0);
+    const uint32_t var = static_cast<uint32_t>(std::abs(lit)) - 1;
+    return (var << 1) | (lit < 0 ? 1u : 0u);
+}
+
+uint8_t
+SatSolver::ValueOf(ILit lit) const
+{
+    const uint8_t v = assign_[VarOf(lit)];
+    if (v == kUndef) {
+        return kUndef;
+    }
+    return v ^ static_cast<uint8_t>(lit & 1);
+}
+
+bool
+SatSolver::AttachClause(uint32_t clause_index)
+{
+    Clause& clause = clauses_[clause_index];
+    CHEF_CHECK(clause.lits.size() >= 2);
+    watches_[NegateLit(clause.lits[0])].push_back(
+        {clause_index, clause.lits[1]});
+    watches_[NegateLit(clause.lits[1])].push_back(
+        {clause_index, clause.lits[0]});
+    return true;
+}
+
+bool
+SatSolver::Enqueue(ILit lit, int32_t reason)
+{
+    const uint8_t value = ValueOf(lit);
+    if (value != kUndef) {
+        return value == 1;
+    }
+    const uint32_t var = VarOf(lit);
+    assign_[var] = static_cast<uint8_t>(1 ^ (lit & 1));
+    phase_[var] = assign_[var];
+    reason_[var] = reason;
+    level_[var] = static_cast<int32_t>(trail_limits_.size());
+    trail_.push_back(lit);
+    return true;
+}
+
+int32_t
+SatSolver::Propagate()
+{
+    while (propagate_head_ < trail_.size()) {
+        const ILit lit = trail_[propagate_head_++];
+        ++stats_.propagations;
+        std::vector<Watcher>& watch_list = watches_[lit];
+        size_t keep = 0;
+        for (size_t i = 0; i < watch_list.size(); ++i) {
+            const Watcher watcher = watch_list[i];
+            // Fast path: the blocker literal is already true.
+            if (ValueOf(watcher.blocker) == 1) {
+                watch_list[keep++] = watcher;
+                continue;
+            }
+            Clause& clause = clauses_[watcher.clause_index];
+            // Ensure the falsified literal is in slot 1.
+            const ILit false_lit = NegateLit(lit);
+            if (clause.lits[0] == false_lit) {
+                std::swap(clause.lits[0], clause.lits[1]);
+            }
+            const ILit first = clause.lits[0];
+            if (first != watcher.blocker && ValueOf(first) == 1) {
+                watch_list[keep++] = {watcher.clause_index, first};
+                continue;
+            }
+            // Look for a new literal to watch.
+            bool found = false;
+            for (size_t k = 2; k < clause.lits.size(); ++k) {
+                if (ValueOf(clause.lits[k]) != 0) {
+                    std::swap(clause.lits[1], clause.lits[k]);
+                    watches_[NegateLit(clause.lits[1])].push_back(
+                        {watcher.clause_index, first});
+                    found = true;
+                    break;
+                }
+            }
+            if (found) {
+                continue;  // This watcher moves to another list.
+            }
+            // Clause is unit or conflicting.
+            watch_list[keep++] = {watcher.clause_index, first};
+            if (!Enqueue(first,
+                         static_cast<int32_t>(watcher.clause_index))) {
+                // Conflict: restore the remaining watchers and report.
+                for (size_t k = i + 1; k < watch_list.size(); ++k) {
+                    watch_list[keep++] = watch_list[k];
+                }
+                watch_list.resize(keep);
+                propagate_head_ = trail_.size();
+                return static_cast<int32_t>(watcher.clause_index);
+            }
+        }
+        watch_list.resize(keep);
+    }
+    return -1;
+}
+
+void
+SatSolver::Analyze(int32_t conflict_index, std::vector<ILit>* learned,
+                   int* backtrack_level)
+{
+    learned->clear();
+    learned->push_back(0);  // Placeholder for the asserting literal.
+
+    int counter = 0;
+    ILit asserting = 0;
+    bool first_round = true;
+    int32_t clause_index = conflict_index;
+    size_t trail_pos = trail_.size();
+    const int current_level = static_cast<int>(trail_limits_.size());
+
+    for (;;) {
+        CHEF_CHECK(clause_index >= 0);
+        const Clause& clause = clauses_[clause_index];
+        // Skip lits[0] on non-conflict rounds: it is the asserting literal
+        // whose reason we are expanding.
+        const size_t start = first_round ? 0 : 1;
+        first_round = false;
+        for (size_t i = start; i < clause.lits.size(); ++i) {
+            const ILit q = clause.lits[i];
+            const uint32_t var = VarOf(q);
+            if (seen_[var] || level_[var] == 0) {
+                continue;
+            }
+            seen_[var] = 1;
+            BumpVar(var);
+            if (level_[var] == current_level) {
+                ++counter;
+            } else {
+                learned->push_back(q);
+            }
+        }
+        // Find the next literal on the trail to expand.
+        do {
+            CHEF_CHECK(trail_pos > 0);
+            --trail_pos;
+        } while (!seen_[VarOf(trail_[trail_pos])]);
+        asserting = trail_[trail_pos];
+        const uint32_t var = VarOf(asserting);
+        seen_[var] = 0;
+        --counter;
+        if (counter == 0) {
+            break;
+        }
+        clause_index = reason_[var];
+    }
+    (*learned)[0] = NegateLit(asserting);
+
+    // Clear the seen flags for the learned clause literals.
+    for (size_t i = 1; i < learned->size(); ++i) {
+        seen_[VarOf((*learned)[i])] = 0;
+    }
+
+    // Compute the backtrack level: the highest level among the non-
+    // asserting literals.
+    if (learned->size() == 1) {
+        *backtrack_level = 0;
+    } else {
+        size_t max_index = 1;
+        for (size_t i = 2; i < learned->size(); ++i) {
+            if (level_[VarOf((*learned)[i])] >
+                level_[VarOf((*learned)[max_index])]) {
+                max_index = i;
+            }
+        }
+        std::swap((*learned)[1], (*learned)[max_index]);
+        *backtrack_level = level_[VarOf((*learned)[1])];
+    }
+}
+
+void
+SatSolver::Backtrack(int target_level)
+{
+    if (static_cast<int>(trail_limits_.size()) <= target_level) {
+        return;
+    }
+    const size_t new_size = trail_limits_[target_level];
+    for (size_t i = trail_.size(); i > new_size; --i) {
+        const uint32_t var = VarOf(trail_[i - 1]);
+        assign_[var] = kUndef;
+        reason_[var] = -1;
+    }
+    trail_.resize(new_size);
+    trail_limits_.resize(target_level);
+    propagate_head_ = new_size;
+}
+
+void
+SatSolver::BumpVar(uint32_t var)
+{
+    activity_[var] += activity_inc_;
+    if (activity_[var] > 1e100) {
+        for (double& activity : activity_) {
+            activity *= 1e-100;
+        }
+        activity_inc_ *= 1e-100;
+    }
+}
+
+void
+SatSolver::DecayActivities()
+{
+    activity_inc_ /= options_.var_decay;
+}
+
+SatSolver::ILit
+SatSolver::PickBranchLit()
+{
+    // Linear scan over activities; fine at our scale and keeps the solver
+    // simple (no heap rebuilds on backtrack).
+    double best_activity = -1.0;
+    int best_var = -1;
+    for (int var = 0; var < num_vars_; ++var) {
+        if (assign_[var] == kUndef && activity_[var] > best_activity) {
+            best_activity = activity_[var];
+            best_var = var;
+        }
+    }
+    CHEF_CHECK(best_var >= 0);
+    const uint32_t uvar = static_cast<uint32_t>(best_var);
+    // Phase saving: re-use the last assigned polarity.
+    return (uvar << 1) | (phase_[uvar] == 1 ? 0u : 1u);
+}
+
+bool
+SatSolver::AllAssigned() const
+{
+    return trail_.size() == static_cast<size_t>(num_vars_);
+}
+
+SatStatus
+SatSolver::Solve(const CnfFormula& formula)
+{
+    if (formula.trivially_unsat()) {
+        return SatStatus::kUnsat;
+    }
+    num_vars_ = formula.num_vars();
+    assign_.assign(num_vars_, kUndef);
+    phase_.assign(num_vars_, 0);
+    reason_.assign(num_vars_, -1);
+    level_.assign(num_vars_, 0);
+    activity_.assign(num_vars_, 0.0);
+    seen_.assign(num_vars_, 0);
+    watches_.assign(2 * static_cast<size_t>(num_vars_), {});
+    trail_.clear();
+    trail_limits_.clear();
+    propagate_head_ = 0;
+
+    // Load clauses; units go straight onto the trail.
+    clauses_.clear();
+    clauses_.reserve(formula.clauses().size());
+    for (const std::vector<Lit>& clause : formula.clauses()) {
+        if (clause.size() == 1) {
+            if (!Enqueue(Encode(clause[0]), -1)) {
+                return SatStatus::kUnsat;
+            }
+            continue;
+        }
+        Clause internal;
+        internal.lits.reserve(clause.size());
+        for (Lit lit : clause) {
+            internal.lits.push_back(Encode(lit));
+        }
+        clauses_.push_back(std::move(internal));
+        AttachClause(static_cast<uint32_t>(clauses_.size() - 1));
+        // Bump variables that appear in clauses so branching prefers
+        // constrained variables.
+        for (Lit lit : clause) {
+            activity_[static_cast<uint32_t>(std::abs(lit)) - 1] += 1.0;
+        }
+    }
+
+    if (Propagate() >= 0) {
+        return SatStatus::kUnsat;
+    }
+
+    uint64_t restart_limit = options_.restart_base;
+    uint64_t conflicts_since_restart = 0;
+    std::vector<ILit> learned;
+
+    for (;;) {
+        const int32_t conflict = Propagate();
+        if (conflict >= 0) {
+            ++stats_.conflicts;
+            ++conflicts_since_restart;
+            if (trail_limits_.empty()) {
+                return SatStatus::kUnsat;
+            }
+            if (options_.max_conflicts != 0 &&
+                stats_.conflicts >= options_.max_conflicts) {
+                return SatStatus::kUnknown;
+            }
+            int backtrack_level = 0;
+            Analyze(conflict, &learned, &backtrack_level);
+            Backtrack(backtrack_level);
+            if (learned.size() == 1) {
+                CHEF_CHECK(Enqueue(learned[0], -1));
+            } else {
+                Clause clause;
+                clause.lits = learned;
+                clause.learned = true;
+                clauses_.push_back(std::move(clause));
+                ++stats_.learned_clauses;
+                const auto index =
+                    static_cast<uint32_t>(clauses_.size() - 1);
+                AttachClause(index);
+                CHEF_CHECK(Enqueue(learned[0],
+                                   static_cast<int32_t>(index)));
+            }
+            DecayActivities();
+            continue;
+        }
+        if (AllAssigned()) {
+            return SatStatus::kSat;
+        }
+        if (conflicts_since_restart >= restart_limit) {
+            ++stats_.restarts;
+            conflicts_since_restart = 0;
+            restart_limit = static_cast<uint64_t>(
+                static_cast<double>(restart_limit) *
+                options_.restart_growth);
+            Backtrack(0);
+            continue;
+        }
+        ++stats_.decisions;
+        trail_limits_.push_back(trail_.size());
+        CHEF_CHECK(Enqueue(PickBranchLit(), -1));
+    }
+}
+
+bool
+SatSolver::ModelValue(int var) const
+{
+    CHEF_CHECK(var >= 1 && var <= num_vars_);
+    const uint8_t v = assign_[var - 1];
+    return v == 1;
+}
+
+}  // namespace chef::solver

@@ -1,0 +1,138 @@
+#ifndef CHEF_SOLVER_SAT_H_
+#define CHEF_SOLVER_SAT_H_
+
+/// \file
+/// A from-scratch CDCL SAT solver (the backend below the bit-blaster).
+///
+/// Implements the standard conflict-driven clause learning loop: two-watched-
+/// literal propagation, 1UIP conflict analysis, VSIDS-style branching with
+/// phase saving, and geometric restarts. Sized for the CNF instances produced
+/// by bit-blasting path conditions over tens to hundreds of input bytes.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace chef::solver {
+
+/// DIMACS-style literal: +v or -v for 1-based variable v.
+using Lit = int32_t;
+
+/// Outcome of a SAT call.
+enum class SatStatus {
+    kSat,
+    kUnsat,
+    kUnknown,  ///< Resource limit exceeded.
+};
+
+/// Accumulates a CNF formula.
+class CnfFormula
+{
+  public:
+    /// Allocates a fresh variable and returns its (positive) index.
+    int NewVar() { return ++num_vars_; }
+
+    int num_vars() const { return num_vars_; }
+
+    /// Adds a clause given as DIMACS literals. Empty clauses make the
+    /// formula trivially unsatisfiable.
+    void AddClause(std::vector<Lit> lits);
+    void AddUnit(Lit a) { AddClause({a}); }
+    void AddBinary(Lit a, Lit b) { AddClause({a, b}); }
+    void AddTernary(Lit a, Lit b, Lit c) { AddClause({a, b, c}); }
+
+    const std::vector<std::vector<Lit>>& clauses() const { return clauses_; }
+    bool trivially_unsat() const { return trivially_unsat_; }
+
+  private:
+    int num_vars_ = 0;
+    bool trivially_unsat_ = false;
+    std::vector<std::vector<Lit>> clauses_;
+};
+
+/// Solver statistics for one Solve() call.
+struct SatStats {
+    uint64_t decisions = 0;
+    uint64_t propagations = 0;
+    uint64_t conflicts = 0;
+    uint64_t restarts = 0;
+    uint64_t learned_clauses = 0;
+};
+
+/// CDCL solver. A fresh instance is used per query.
+class SatSolver
+{
+  public:
+    struct Options {
+        /// Give up after this many conflicts (0 = no limit).
+        uint64_t max_conflicts = 0;
+        double var_decay = 0.95;
+        /// Initial restart interval in conflicts; grows geometrically.
+        uint64_t restart_base = 100;
+        double restart_growth = 1.5;
+    };
+
+    SatSolver() : SatSolver(Options{}) {}
+    explicit SatSolver(Options options);
+
+    /// Solves the formula. On kSat, the model can be read via ModelValue().
+    SatStatus Solve(const CnfFormula& formula);
+
+    /// Returns the truth value of variable \p var (1-based) in the model.
+    bool ModelValue(int var) const;
+
+    const SatStats& stats() const { return stats_; }
+
+  private:
+    // Internal literal encoding: 2*var + (negated ? 1 : 0), var 0-based.
+    using ILit = uint32_t;
+
+    enum : uint8_t { kUndef = 2 };
+
+    struct Clause {
+        std::vector<ILit> lits;
+        bool learned = false;
+    };
+
+    struct Watcher {
+        uint32_t clause_index;
+        ILit blocker;
+    };
+
+    static ILit Encode(Lit lit);
+    ILit NegateLit(ILit lit) const { return lit ^ 1; }
+    uint32_t VarOf(ILit lit) const { return lit >> 1; }
+    uint8_t ValueOf(ILit lit) const;
+
+    bool AttachClause(uint32_t clause_index);
+    bool Enqueue(ILit lit, int32_t reason);
+    int32_t Propagate();
+    void Analyze(int32_t conflict_index, std::vector<ILit>* learned,
+                 int* backtrack_level);
+    void Backtrack(int level);
+    void BumpVar(uint32_t var);
+    void DecayActivities();
+    ILit PickBranchLit();
+    bool AllAssigned() const;
+
+    Options options_;
+    SatStats stats_;
+
+    int num_vars_ = 0;
+    std::vector<Clause> clauses_;
+    std::vector<std::vector<Watcher>> watches_;  // indexed by ILit
+    std::vector<uint8_t> assign_;                // per var: 0/1/kUndef
+    std::vector<uint8_t> phase_;                 // saved phase per var
+    std::vector<int32_t> reason_;                // clause index or -1
+    std::vector<int32_t> level_;
+    std::vector<ILit> trail_;
+    std::vector<size_t> trail_limits_;
+    size_t propagate_head_ = 0;
+    std::vector<double> activity_;
+    double activity_inc_ = 1.0;
+    std::vector<uint8_t> seen_;
+};
+
+}  // namespace chef::solver
+
+#endif  // CHEF_SOLVER_SAT_H_

@@ -1,0 +1,222 @@
+#include "solver/solver.h"
+
+#include <algorithm>
+
+#include "solver/bitblast.h"
+#include "support/diagnostics.h"
+#include "support/strings.h"
+
+namespace chef::solver {
+
+Solver::Solver(Options options) : options_(options) {}
+
+uint64_t
+Solver::QueryHash(const std::vector<ExprRef>& assertions)
+{
+    // Order-insensitive combination so permuted assertion sets hit the same
+    // cache line.
+    uint64_t combined = 0x51ed270b4d2d3c75ull;
+    for (const ExprRef& assertion : assertions) {
+        combined += assertion->hash() * 0x9e3779b97f4a7c15ull;
+    }
+    return combined;
+}
+
+std::vector<ExprRef>
+Solver::SortedByHash(std::vector<ExprRef> assertions)
+{
+    std::sort(assertions.begin(), assertions.end(),
+              [](const ExprRef& a, const ExprRef& b) {
+                  return a->hash() < b->hash();
+              });
+    return assertions;
+}
+
+bool
+Solver::SameAssertions(const std::vector<ExprRef>& sorted_a,
+                       const std::vector<ExprRef>& sorted_b)
+{
+    if (sorted_a.size() != sorted_b.size()) {
+        return false;
+    }
+    for (size_t i = 0; i < sorted_a.size(); ++i) {
+        if (!Expr::Equal(sorted_a[i], sorted_b[i])) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+Solver::AssertionsHoldUnder(const std::vector<ExprRef>& assertions,
+                            const Assignment& model) const
+{
+    // Evaluate newest-first: for concolic queries the violated assertion
+    // is almost always the freshly negated branch at the end.
+    for (size_t i = assertions.size(); i > 0; --i) {
+        if (EvalConcrete(assertions[i - 1], model) == 0) {
+            return false;
+        }
+    }
+    return true;
+}
+
+QueryResult
+Solver::Solve(const std::vector<ExprRef>& assertions, Assignment* model)
+{
+    ++stats_.queries;
+
+    // Constant-folded outcomes never reach the backend.
+    std::vector<ExprRef> live;
+    live.reserve(assertions.size());
+    for (const ExprRef& assertion : assertions) {
+        CHEF_CHECK(assertion->width() == 1);
+        if (assertion->IsTrue()) {
+            continue;
+        }
+        if (assertion->IsFalse()) {
+            ++stats_.unsat_results;
+            return QueryResult::kUnsat;
+        }
+        live.push_back(assertion);
+    }
+    if (live.empty()) {
+        if (model != nullptr) {
+            *model = Assignment();
+        }
+        ++stats_.sat_results;
+        return QueryResult::kSat;
+    }
+
+    // Syntactic contradiction fast path: concolic negation queries are
+    // frequently of the form {..., c, ..., !c} where the flipped branch
+    // condition already appears in the prefix (input-dependent loops that
+    // re-test one condition). Detect the pair structurally before paying
+    // for bit blasting.
+    {
+        const ExprRef& last = live.back();
+        const ExprRef negated_last = MakeBoolNot(last);
+        for (size_t i = 0; i + 1 < live.size(); ++i) {
+            if (Expr::Equal(live[i], negated_last)) {
+                ++stats_.unsat_results;
+                return QueryResult::kUnsat;
+            }
+        }
+    }
+
+    const uint64_t key = QueryHash(live);
+    const std::vector<ExprRef> sorted_live = SortedByHash(live);
+    if (options_.enable_query_cache) {
+        auto it = cache_.find(key);
+        if (it != cache_.end() &&
+            SameAssertions(it->second.key_assertions, sorted_live)) {
+            ++stats_.cache_hits;
+            if (it->second.result == QueryResult::kSat && model != nullptr) {
+                *model = it->second.model;
+            }
+            if (it->second.result == QueryResult::kSat) {
+                ++stats_.sat_results;
+            } else {
+                ++stats_.unsat_results;
+            }
+            return it->second.result;
+        }
+    }
+
+    if (options_.enable_model_reuse) {
+        for (const Assignment& candidate : recent_models_) {
+            if (AssertionsHoldUnder(live, candidate)) {
+                ++stats_.model_reuse_hits;
+                ++stats_.sat_results;
+                if (model != nullptr) {
+                    *model = candidate;
+                }
+                if (options_.enable_query_cache) {
+                    cache_[key] = {QueryResult::kSat, candidate,
+                                   sorted_live};
+                }
+                return QueryResult::kSat;
+            }
+        }
+    }
+
+    CnfFormula cnf;
+    BitBlaster blaster(&cnf);
+    for (const ExprRef& assertion : live) {
+        blaster.AssertTrue(assertion);
+    }
+    stats_.cnf_vars += cnf.num_vars();
+    stats_.cnf_clauses += cnf.clauses().size();
+
+    SatSolver::Options sat_options;
+    sat_options.max_conflicts = options_.max_conflicts;
+    SatSolver sat(sat_options);
+    ++stats_.sat_calls;
+    const SatStatus status = sat.Solve(cnf);
+
+    if (status == SatStatus::kUnknown) {
+        ++stats_.unknown_results;
+        return QueryResult::kUnknown;
+    }
+    if (status == SatStatus::kUnsat) {
+        ++stats_.unsat_results;
+        if (options_.enable_query_cache) {
+            cache_[key] = {QueryResult::kUnsat, Assignment(), sorted_live};
+        }
+        return QueryResult::kUnsat;
+    }
+
+    Assignment extracted;
+    for (const auto& [var_id, info] : blaster.variables()) {
+        extracted.Set(var_id, blaster.ModelValue(sat, var_id));
+    }
+    // Internal consistency: the extracted model must satisfy the query.
+    CHEF_CHECK_MSG(AssertionsHoldUnder(live, extracted),
+                   "bit-blasted model does not satisfy the query");
+
+    ++stats_.sat_results;
+    if (options_.enable_query_cache) {
+        cache_[key] = {QueryResult::kSat, extracted, sorted_live};
+    }
+    if (options_.enable_model_reuse) {
+        recent_models_.push_front(extracted);
+        if (recent_models_.size() > options_.model_reuse_window) {
+            recent_models_.pop_back();
+        }
+    }
+    if (model != nullptr) {
+        *model = std::move(extracted);
+    }
+    return QueryResult::kSat;
+}
+
+bool
+Solver::UpperBound(const std::vector<ExprRef>& assertions,
+                   const ExprRef& value, uint64_t* bound)
+{
+    Assignment model;
+    if (Solve(assertions, &model) != QueryResult::kSat) {
+        return false;
+    }
+    uint64_t low = EvalConcrete(value, model);   // Achievable.
+    uint64_t high = WidthMask(value->width());   // Inclusive upper limit.
+    // Binary search for the largest achievable value: invariant is that
+    // `low` is achievable and everything above `high` is not.
+    while (low < high) {
+        const uint64_t mid = low + (high - low + 1) / 2;
+        std::vector<ExprRef> augmented = assertions;
+        augmented.push_back(
+            MakeUge(value, MakeConst(mid, value->width())));
+        Assignment probe;
+        if (Solve(augmented, &probe) == QueryResult::kSat) {
+            low = EvalConcrete(value, probe);
+            CHEF_CHECK(low >= mid);
+        } else {
+            high = mid - 1;
+        }
+    }
+    *bound = low;
+    return true;
+}
+
+}  // namespace chef::solver

@@ -1,0 +1,100 @@
+#ifndef CHEF_SOLVER_SOLVER_H_
+#define CHEF_SOLVER_SOLVER_H_
+
+/// \file
+/// Constraint solver facade: the engine-facing entry point.
+///
+/// Wraps simplification, bit-blasting and the CDCL backend behind a single
+/// Solve() call, and adds two KLEE-style accelerations that matter for
+/// concolic workloads: an exact-match query cache, and counterexample reuse
+/// (recent satisfying models are tried against a new query before invoking
+/// the SAT solver; concolic negation queries are frequently satisfied by a
+/// sibling path's model).
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "solver/expr.h"
+#include "solver/sat.h"
+
+namespace chef::solver {
+
+/// Result of a satisfiability query.
+enum class QueryResult {
+    kSat,
+    kUnsat,
+    kUnknown,  ///< Backend resource limit exceeded.
+};
+
+/// Aggregate statistics across a Solver's lifetime.
+struct SolverStats {
+    uint64_t queries = 0;
+    uint64_t cache_hits = 0;
+    uint64_t model_reuse_hits = 0;
+    uint64_t sat_calls = 0;
+    uint64_t sat_results = 0;
+    uint64_t unsat_results = 0;
+    uint64_t unknown_results = 0;
+    uint64_t cnf_vars = 0;
+    uint64_t cnf_clauses = 0;
+};
+
+/// Constraint solver over bitvector assertions.
+class Solver
+{
+  public:
+    struct Options {
+        bool enable_query_cache = true;
+        bool enable_model_reuse = true;
+        size_t model_reuse_window = 16;
+        /// Conflict budget per SAT call (0 = unlimited).
+        uint64_t max_conflicts = 2'000'000;
+    };
+
+    Solver() : Solver(Options{}) {}
+    explicit Solver(Options options);
+
+    /// Checks the conjunction of \p assertions (width-1 expressions). On
+    /// kSat fills \p model (if non-null) with values for every variable
+    /// appearing in the assertions; absent variables are unconstrained and
+    /// default to zero.
+    QueryResult Solve(const std::vector<ExprRef>& assertions,
+                      Assignment* model);
+
+    /// Computes the maximum value the expression can take under the given
+    /// assertions (the paper's upper_bound API used by the symbolic-aware
+    /// allocator). Uses binary search over Solve() calls. Returns false if
+    /// the assertions themselves are unsatisfiable.
+    bool UpperBound(const std::vector<ExprRef>& assertions,
+                    const ExprRef& value, uint64_t* bound);
+
+    const SolverStats& stats() const { return stats_; }
+    const Options& options() const { return options_; }
+
+  private:
+    struct CacheEntry {
+        QueryResult result;
+        Assignment model;
+        /// Assertions sorted by hash, kept to reject hash collisions.
+        std::vector<ExprRef> key_assertions;
+    };
+
+    static std::vector<ExprRef> SortedByHash(std::vector<ExprRef> assertions);
+    static bool SameAssertions(const std::vector<ExprRef>& sorted_a,
+                               const std::vector<ExprRef>& sorted_b);
+
+    static uint64_t QueryHash(const std::vector<ExprRef>& assertions);
+    bool AssertionsHoldUnder(const std::vector<ExprRef>& assertions,
+                             const Assignment& model) const;
+
+    Options options_;
+    SolverStats stats_;
+    std::unordered_map<uint64_t, CacheEntry> cache_;
+    std::deque<Assignment> recent_models_;
+};
+
+}  // namespace chef::solver
+
+#endif  // CHEF_SOLVER_SOLVER_H_

@@ -1,0 +1,23 @@
+#include "support/diagnostics.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace chef {
+
+void
+Panic(const char* file, int line, const std::string& msg)
+{
+    std::fprintf(stderr, "chef: PANIC at %s:%d: %s\n", file, line,
+                 msg.c_str());
+    std::abort();
+}
+
+void
+Fatal(const std::string& msg)
+{
+    std::fprintf(stderr, "chef: fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+}  // namespace chef

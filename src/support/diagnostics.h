@@ -1,0 +1,47 @@
+#ifndef CHEF_SUPPORT_DIAGNOSTICS_H_
+#define CHEF_SUPPORT_DIAGNOSTICS_H_
+
+/// \file
+/// Internal-error checking and user-facing fatal error reporting.
+///
+/// Following the gem5 panic()/fatal() distinction:
+///  - CHEF_CHECK / Panic(): an internal invariant of the library broke; this
+///    is a bug in the engine itself and aborts.
+///  - Fatal(): the caller misused the library (bad configuration, malformed
+///    guest program where no diagnostic channel exists); exits cleanly.
+
+#include <cstdint>
+#include <string>
+
+namespace chef {
+
+/// Aborts with a formatted message; use for internal invariant violations.
+[[noreturn]] void Panic(const char* file, int line, const std::string& msg);
+
+/// Exits with a formatted message; use for unrecoverable user errors.
+[[noreturn]] void Fatal(const std::string& msg);
+
+}  // namespace chef
+
+/// Checks an internal invariant; aborts with location info on failure.
+#define CHEF_CHECK(cond)                                                   \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::chef::Panic(__FILE__, __LINE__,                              \
+                          "check failed: " #cond);                        \
+        }                                                                  \
+    } while (0)
+
+/// Checks an internal invariant with an explanatory message.
+#define CHEF_CHECK_MSG(cond, msg)                                          \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::chef::Panic(__FILE__, __LINE__,                              \
+                          std::string("check failed: " #cond ": ") +       \
+                              (msg));                                      \
+        }                                                                  \
+    } while (0)
+
+#define CHEF_UNREACHABLE(msg) ::chef::Panic(__FILE__, __LINE__, (msg))
+
+#endif  // CHEF_SUPPORT_DIAGNOSTICS_H_

@@ -1,0 +1,103 @@
+#include "support/rng.h"
+
+#include "support/diagnostics.h"
+
+namespace chef {
+
+namespace {
+
+uint64_t
+SplitMix64(uint64_t& x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+Rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t s = seed;
+    for (auto& word : state_) {
+        word = SplitMix64(s);
+    }
+}
+
+uint64_t
+Rng::Next()
+{
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::NextBelow(uint64_t bound)
+{
+    CHEF_CHECK(bound != 0);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+        const uint64_t r = Next();
+        if (r >= threshold) {
+            return r % bound;
+        }
+    }
+}
+
+double
+Rng::NextDouble()
+{
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::Chance(double p)
+{
+    if (p <= 0.0) {
+        return false;
+    }
+    if (p >= 1.0) {
+        return true;
+    }
+    return NextDouble() < p;
+}
+
+size_t
+Rng::PickWeighted(const std::vector<double>& weights)
+{
+    CHEF_CHECK(!weights.empty());
+    double total = 0.0;
+    for (double w : weights) {
+        total += (w > 0.0) ? w : 0.0;
+    }
+    if (total <= 0.0) {
+        return NextBelow(weights.size());
+    }
+    double point = NextDouble() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        const double w = (weights[i] > 0.0) ? weights[i] : 0.0;
+        if (point < w) {
+            return i;
+        }
+        point -= w;
+    }
+    return weights.size() - 1;
+}
+
+}  // namespace chef

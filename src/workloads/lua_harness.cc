@@ -1,0 +1,137 @@
+#include "workloads/lua_harness.h"
+
+#include "support/diagnostics.h"
+
+namespace chef::workloads {
+
+using lowlevel::SymValue;
+using minilua::LuaValue;
+
+std::shared_ptr<minilua::LuaChunk>
+ParseLuaOrDie(const std::string& source)
+{
+    minilua::LuaParseResult parsed = minilua::LuaParse(source);
+    if (!parsed.ok) {
+        Fatal("workload Lua guest failed to parse: " + parsed.error +
+              " at line " + std::to_string(parsed.error_line));
+    }
+    return parsed.chunk;
+}
+
+namespace {
+
+std::vector<LuaValue>
+BuildSymbolicArgs(lowlevel::LowLevelRuntime& rt,
+                  const LuaSymbolicTest& test)
+{
+    std::vector<LuaValue> args;
+    for (const SymbolicArg& arg : test.args) {
+        if (arg.kind == SymbolicArg::Kind::kStr) {
+            interp::SymStr bytes;
+            for (int i = 0; i < arg.length; ++i) {
+                const uint64_t fallback =
+                    i < static_cast<int>(arg.default_bytes.size())
+                        ? static_cast<uint8_t>(arg.default_bytes[i])
+                        : 0;
+                bytes.push_back(rt.MakeSymbolicValue(
+                    arg.name + "[" + std::to_string(i) + "]", 8,
+                    fallback));
+            }
+            args.push_back(LuaValue::Str(std::move(bytes)));
+        } else {
+            const SymValue value = rt.MakeSymbolicValue(
+                arg.name, 32, static_cast<uint64_t>(arg.default_int));
+            args.push_back(LuaValue::Int(SvSExt(value, 64)));
+        }
+    }
+    return args;
+}
+
+}  // namespace
+
+Engine::RunFn
+MakeLuaRunFn(std::shared_ptr<minilua::LuaChunk> chunk,
+             const LuaSymbolicTest& test, interp::InterpBuildOptions build)
+{
+    return [chunk, test, build](lowlevel::LowLevelRuntime& rt)
+               -> Engine::GuestOutcome {
+        minilua::LuaInterp::Options options;
+        options.build = build;
+        minilua::LuaInterp interp(&rt, chunk, options);
+        minilua::LuaOutcome module_outcome = interp.RunChunk();
+        if (!module_outcome.ok) {
+            return {"abort", module_outcome.error_message};
+        }
+        std::vector<LuaValue> args = BuildSymbolicArgs(rt, test);
+        minilua::LuaOutcome outcome =
+            interp.CallGlobal(test.entry, std::move(args));
+        if (!outcome.ok) {
+            if (outcome.aborted) {
+                return {"abort", ""};
+            }
+            return {"error", outcome.error_message};
+        }
+        return {"ok", ""};
+    };
+}
+
+LuaReplayResult
+ReplayLua(const std::shared_ptr<minilua::LuaChunk>& chunk,
+          const LuaSymbolicTest& test, const solver::Assignment& inputs)
+{
+    lowlevel::ExecutionTree tree;
+    solver::Solver solver;
+    lowlevel::LowLevelRuntime rt(&tree, &solver, {});
+    rt.BeginRun(solver::Assignment());
+
+    minilua::LuaInterp::Options options;
+    options.build = interp::InterpBuildOptions::Vanilla();
+    options.coverage = true;
+    minilua::LuaInterp interp(&rt, chunk, options);
+
+    LuaReplayResult result;
+    minilua::LuaOutcome module_outcome = interp.RunChunk();
+    if (!module_outcome.ok) {
+        result.ok = false;
+        result.error_message = module_outcome.error_message;
+        return result;
+    }
+
+    std::vector<LuaValue> args;
+    uint32_t var_id = 1;
+    for (const SymbolicArg& arg : test.args) {
+        if (arg.kind == SymbolicArg::Kind::kStr) {
+            interp::SymStr bytes;
+            for (int i = 0; i < arg.length; ++i) {
+                uint64_t value = 0;
+                if (inputs.Has(var_id)) {
+                    value = inputs.Get(var_id);
+                } else if (i < static_cast<int>(
+                                   arg.default_bytes.size())) {
+                    value = static_cast<uint8_t>(arg.default_bytes[i]);
+                }
+                ++var_id;
+                bytes.emplace_back(value, 8);
+            }
+            args.push_back(LuaValue::Str(std::move(bytes)));
+        } else {
+            uint64_t value = static_cast<uint64_t>(arg.default_int);
+            if (inputs.Has(var_id)) {
+                value = inputs.Get(var_id);
+            }
+            ++var_id;
+            args.push_back(LuaValue::Int(
+                SvSExt(SymValue(value, 32), 64)));
+        }
+    }
+
+    minilua::LuaOutcome outcome =
+        interp.CallGlobal(test.entry, std::move(args));
+    result.ok = outcome.ok;
+    result.error_message = outcome.error_message;
+    result.output = interp.output();
+    result.covered_lines = interp.covered_lines();
+    return result;
+}
+
+}  // namespace chef::workloads

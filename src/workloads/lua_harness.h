@@ -1,0 +1,48 @@
+#ifndef CHEF_WORKLOADS_LUA_HARNESS_H_
+#define CHEF_WORKLOADS_LUA_HARNESS_H_
+
+/// \file
+/// Symbolic test harness for MiniLua guests (mirror of py_harness.h).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chef/engine.h"
+#include "interp/build_options.h"
+#include "minilua/lua_interp.h"
+#include "workloads/py_harness.h"  // SymbolicArg
+
+namespace chef::workloads {
+
+/// A symbolic test specification for a MiniLua guest.
+struct LuaSymbolicTest {
+    std::string source;
+    std::string entry;
+    std::vector<SymbolicArg> args;
+};
+
+/// Parses the guest source; fatal on parse errors (fixtures).
+std::shared_ptr<minilua::LuaChunk> ParseLuaOrDie(
+    const std::string& source);
+
+/// Engine run-callback for a Lua symbolic test.
+Engine::RunFn MakeLuaRunFn(std::shared_ptr<minilua::LuaChunk> chunk,
+                           const LuaSymbolicTest& test,
+                           interp::InterpBuildOptions build);
+
+/// Concrete replay with coverage on the vanilla build.
+struct LuaReplayResult {
+    bool ok = true;
+    std::string error_message;
+    std::string output;
+    std::set<int> covered_lines;
+};
+
+LuaReplayResult ReplayLua(const std::shared_ptr<minilua::LuaChunk>& chunk,
+                          const LuaSymbolicTest& test,
+                          const solver::Assignment& inputs);
+
+}  // namespace chef::workloads
+
+#endif  // CHEF_WORKLOADS_LUA_HARNESS_H_

@@ -1,0 +1,623 @@
+/// \file
+/// The five MiniLua evaluation packages (Table 3). The JSON package
+/// faithfully reproduces the paper's real bug (§6.2): an unterminated
+/// `/*` or `//` comment never advances the scan position, so the parser
+/// spins forever — comments are a non-standard convenience extension, and
+/// an attacker can use a malformed one for denial of service.
+
+#include "workloads/packages.h"
+
+#include "support/diagnostics.h"
+
+namespace chef::workloads {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// cliargs -- command-line interface (paper: 370 LOC, System).
+// ---------------------------------------------------------------------------
+const char* kCliargsSource = R"LUA(function split_words(input)
+  local words = {}
+  local current = ''
+  for i = 1, #input do
+    local c = input:sub(i, i)
+    if c == ' ' then
+      if current ~= '' then
+        table.insert(words, current)
+      end
+      current = ''
+    else
+      current = current .. c
+    end
+  end
+  if current ~= '' then
+    table.insert(words, current)
+  end
+  return words
+end
+
+function parse_args(input)
+  local args = split_words(input)
+  local result = {}
+  local positional = 0
+  local i = 1
+  while i <= #args do
+    local a = args[i]
+    if a:sub(1, 2) == '--' then
+      local eq = a:find('=')
+      if eq then
+        local key = a:sub(3, eq - 1)
+        if key == '' then
+          error('malformed option: ' .. a)
+        end
+        result[key] = a:sub(eq + 1)
+      else
+        local key = a:sub(3)
+        if key == '' then
+          error('malformed option: ' .. a)
+        end
+        result[key] = true
+      end
+    elseif a:sub(1, 1) == '-' and #a > 1 then
+      if i + 1 > #args then
+        error('option requires a value: ' .. a)
+      end
+      result[a:sub(2)] = args[i + 1]
+      i = i + 1
+    else
+      positional = positional + 1
+      result[positional] = a
+    end
+    i = i + 1
+  end
+  return result
+end
+)LUA";
+
+// ---------------------------------------------------------------------------
+// haml -- HTML description markup (paper: 984 LOC, Web).
+// ---------------------------------------------------------------------------
+const char* kHamlSource = R"LUA(function split_lines(src)
+  local lines = {}
+  local current = ''
+  for i = 1, #src do
+    local c = src:sub(i, i)
+    if c == '\n' then
+      table.insert(lines, current)
+      current = ''
+    else
+      current = current .. c
+    end
+  end
+  table.insert(lines, current)
+  return lines
+end
+
+function render_haml(src)
+  local lines = split_lines(src)
+  local html = ''
+  local stack = {}
+  for idx = 1, #lines do
+    local line = lines[idx]
+    local indent = 0
+    while indent < #line and line:sub(indent + 1, indent + 1) == ' ' do
+      indent = indent + 1
+    end
+    if indent % 2 ~= 0 then
+      error('odd indentation')
+    end
+    local body = line:sub(indent + 1)
+    local depth = indent / 2
+    if body ~= '' then
+      if depth > #stack then
+        error('indentation skipped a level')
+      end
+      while #stack > depth do
+        html = html .. '</' .. table.remove(stack) .. '>'
+      end
+      if body:sub(1, 1) == '%' then
+        local space = body:find(' ')
+        local tag
+        local content = ''
+        if space then
+          tag = body:sub(2, space - 1)
+          content = body:sub(space + 1)
+        else
+          tag = body:sub(2)
+        end
+        if tag == '' then
+          error('missing tag name')
+        end
+        html = html .. '<' .. tag .. '>' .. content
+        table.insert(stack, tag)
+      elseif body:sub(1, 1) == '/' then
+        html = html .. '<!--' .. body:sub(2) .. '-->'
+      else
+        html = html .. body
+      end
+    end
+  end
+  while #stack > 0 do
+    html = html .. '</' .. table.remove(stack) .. '>'
+  end
+  return html
+end
+)LUA";
+
+// ---------------------------------------------------------------------------
+// sb-JSON -- JSON parser WITH the comment hang bug (paper: 454 LOC, Web).
+// ---------------------------------------------------------------------------
+const char* kJsonSource = R"LUA(function skip_ws(s, i)
+  while i <= #s do
+    local c = s:sub(i, i)
+    if c == ' ' or c == '\t' or c == '\n' or c == '\r' then
+      i = i + 1
+    elseif c == '/' and s:sub(i + 1, i + 1) == '/' then
+      local j = i + 2
+      while j <= #s and s:sub(j, j) ~= '\n' do
+        j = j + 1
+      end
+      if j <= #s then
+        i = j + 1
+      end
+      -- BUG (faithful to the paper, 6.2): an unterminated line comment
+      -- leaves i unchanged, so the scanner re-reads the same '/' forever.
+    elseif c == '/' and s:sub(i + 1, i + 1) == '*' then
+      local j = i + 2
+      while j <= #s do
+        if s:sub(j, j) == '*' and s:sub(j + 1, j + 1) == '/' then
+          break
+        end
+        j = j + 1
+      end
+      if j <= #s then
+        i = j + 2
+      end
+      -- BUG: an unterminated block comment also never advances i.
+    else
+      return i
+    end
+  end
+  return i
+end
+
+function decode_string(s, i)
+  i = i + 1
+  local out = ''
+  while true do
+    if i > #s then
+      error('unterminated string')
+    end
+    local c = s:sub(i, i)
+    if c == '"' then
+      return out, i + 1
+    end
+    if c == '\\' then
+      local e = s:sub(i + 1, i + 1)
+      if e == 'n' then
+        out = out .. '\n'
+      elseif e == 't' then
+        out = out .. '\t'
+      elseif e == '"' then
+        out = out .. '"'
+      elseif e == '\\' then
+        out = out .. '\\'
+      else
+        error('bad escape')
+      end
+      i = i + 2
+    else
+      out = out .. c
+      i = i + 1
+    end
+  end
+end
+
+function decode_number(s, i)
+  local start = i
+  if s:sub(i, i) == '-' then
+    i = i + 1
+  end
+  local digits = 0
+  while i <= #s do
+    local c = s:sub(i, i)
+    if c >= '0' and c <= '9' then
+      i = i + 1
+      digits = digits + 1
+    else
+      break
+    end
+  end
+  if digits == 0 then
+    error('bad number')
+  end
+  return tonumber(s:sub(start, i - 1)), i
+end
+
+function decode_value(s, i, depth)
+  if depth > 5 then
+    error('too deeply nested')
+  end
+  i = skip_ws(s, i)
+  if i > #s then
+    error('unexpected end of input')
+  end
+  local c = s:sub(i, i)
+  if c == '{' then
+    local obj = {}
+    i = skip_ws(s, i + 1)
+    if s:sub(i, i) == '}' then
+      return obj, i + 1
+    end
+    while true do
+      i = skip_ws(s, i)
+      if s:sub(i, i) ~= '"' then
+        error('expected object key')
+      end
+      local key
+      key, i = decode_string(s, i)
+      i = skip_ws(s, i)
+      if s:sub(i, i) ~= ':' then
+        error('expected colon')
+      end
+      local value
+      value, i = decode_value(s, i + 1, depth + 1)
+      obj[key] = value
+      i = skip_ws(s, i)
+      local t = s:sub(i, i)
+      if t == '}' then
+        return obj, i + 1
+      end
+      if t ~= ',' then
+        error('expected comma in object')
+      end
+      i = i + 1
+    end
+  elseif c == '[' then
+    local arr = {}
+    i = skip_ws(s, i + 1)
+    if s:sub(i, i) == ']' then
+      return arr, i + 1
+    end
+    while true do
+      local value
+      value, i = decode_value(s, i, depth + 1)
+      table.insert(arr, value)
+      i = skip_ws(s, i)
+      local t = s:sub(i, i)
+      if t == ']' then
+        return arr, i + 1
+      end
+      if t ~= ',' then
+        error('expected comma in array')
+      end
+      i = i + 1
+    end
+  elseif c == '"' then
+    return decode_string(s, i)
+  elseif c == 't' then
+    if s:sub(i, i + 3) == 'true' then
+      return true, i + 4
+    end
+    error('bad literal')
+  elseif c == 'f' then
+    if s:sub(i, i + 4) == 'false' then
+      return false, i + 5
+    end
+    error('bad literal')
+  elseif c == 'n' then
+    if s:sub(i, i + 3) == 'null' then
+      return nil, i + 4
+    end
+    error('bad literal')
+  else
+    return decode_number(s, i)
+  end
+end
+
+function decode(s)
+  local value, i = decode_value(s, 1, 0)
+  i = skip_ws(s, i)
+  if i <= #s then
+    error('trailing data')
+  end
+  return value
+end
+)LUA";
+
+// ---------------------------------------------------------------------------
+// markdown -- text-to-HTML conversion (paper: 1,057 LOC, Web).
+// ---------------------------------------------------------------------------
+const char* kMarkdownSource = R"LUA(function md_lines(src)
+  local lines = {}
+  local current = ''
+  for i = 1, #src do
+    local c = src:sub(i, i)
+    if c == '\n' then
+      table.insert(lines, current)
+      current = ''
+    else
+      current = current .. c
+    end
+  end
+  table.insert(lines, current)
+  return lines
+end
+
+function md_inline(text)
+  local out = ''
+  local bold = false
+  local code = false
+  for i = 1, #text do
+    local c = text:sub(i, i)
+    if c == '*' and not code then
+      if bold then
+        out = out .. '</b>'
+      else
+        out = out .. '<b>'
+      end
+      bold = not bold
+    elseif c == '`' then
+      if code then
+        out = out .. '</code>'
+      else
+        out = out .. '<code>'
+      end
+      code = not code
+    else
+      out = out .. c
+    end
+  end
+  if bold then
+    error('unbalanced emphasis')
+  end
+  if code then
+    error('unterminated code span')
+  end
+  return out
+end
+
+function render_markdown(src)
+  local lines = md_lines(src)
+  local html = ''
+  local in_list = false
+  for idx = 1, #lines do
+    local line = lines[idx]
+    if line:sub(1, 2) == '# ' then
+      if in_list then
+        html = html .. '</ul>'
+        in_list = false
+      end
+      html = html .. '<h1>' .. md_inline(line:sub(3)) .. '</h1>'
+    elseif line:sub(1, 3) == '## ' then
+      if in_list then
+        html = html .. '</ul>'
+        in_list = false
+      end
+      html = html .. '<h2>' .. md_inline(line:sub(4)) .. '</h2>'
+    elseif line:sub(1, 2) == '- ' then
+      if not in_list then
+        html = html .. '<ul>'
+        in_list = true
+      end
+      html = html .. '<li>' .. md_inline(line:sub(3)) .. '</li>'
+    elseif line == '' then
+      if in_list then
+        html = html .. '</ul>'
+        in_list = false
+      end
+    else
+      if in_list then
+        html = html .. '</ul>'
+        in_list = false
+      end
+      html = html .. '<p>' .. md_inline(line) .. '</p>'
+    end
+  end
+  if in_list then
+    html = html .. '</ul>'
+  end
+  return html
+end
+)LUA";
+
+// ---------------------------------------------------------------------------
+// moonscript -- a language that compiles to Lua (paper: 4,634 LOC,
+// System). A miniature indentation-based compiler emitting Lua text.
+// ---------------------------------------------------------------------------
+const char* kMoonscriptSource = R"LUA(function moon_lines(src)
+  local lines = {}
+  local current = ''
+  for i = 1, #src do
+    local c = src:sub(i, i)
+    if c == '\n' then
+      table.insert(lines, current)
+      current = ''
+    else
+      current = current .. c
+    end
+  end
+  table.insert(lines, current)
+  return lines
+end
+
+function moon_expr(text)
+  -- Validate an expression: names, numbers, operators, spaces, quotes.
+  local i = 1
+  while i <= #text do
+    local c = text:sub(i, i)
+    local ok = false
+    if c >= 'a' and c <= 'z' then
+      ok = true
+    elseif c >= 'A' and c <= 'Z' then
+      ok = true
+    elseif c >= '0' and c <= '9' then
+      ok = true
+    elseif c == ' ' or c == '_' or c == '+' or c == '-' or c == '*'
+        or c == '(' or c == ')' or c == '<' or c == '>' or c == '=' then
+      ok = true
+    elseif c == '"' then
+      local close = text:find('"', i + 1)
+      if not close then
+        error('unterminated string in expression')
+      end
+      i = close
+      ok = true
+    end
+    if not ok then
+      error('invalid character in expression: ' .. c)
+    end
+    i = i + 1
+  end
+  if text == '' then
+    error('empty expression')
+  end
+  return text
+end
+
+function compile_moon(src)
+  local lines = moon_lines(src)
+  local out = ''
+  local levels = {0}
+  for idx = 1, #lines do
+    local line = lines[idx]
+    local indent = 0
+    while indent < #line and line:sub(indent + 1, indent + 1) == ' ' do
+      indent = indent + 1
+    end
+    local body = line:sub(indent + 1)
+    if body ~= '' then
+      while indent < levels[#levels] do
+        out = out .. 'end\n'
+        table.remove(levels)
+      end
+      if indent ~= levels[#levels] then
+        error('bad indentation')
+      end
+      if body:sub(1, 3) == 'if ' then
+        out = out .. 'if ' .. moon_expr(body:sub(4)) .. ' then\n'
+        table.insert(levels, indent + 2)
+      elseif body:sub(1, 6) == 'while ' then
+        out = out .. 'while ' .. moon_expr(body:sub(7)) .. ' do\n'
+        table.insert(levels, indent + 2)
+      elseif body:sub(1, 6) == 'print ' then
+        out = out .. 'print(' .. moon_expr(body:sub(7)) .. ')\n'
+      else
+        local eq = body:find('=')
+        if eq then
+          local name = body:sub(1, eq - 1)
+          local trimmed = ''
+          for k = 1, #name do
+            local c = name:sub(k, k)
+            if c ~= ' ' then
+              trimmed = trimmed .. c
+            end
+          end
+          if trimmed == '' then
+            error('missing variable name')
+          end
+          for k = 1, #trimmed do
+            local c = trimmed:sub(k, k)
+            local is_name = (c >= 'a' and c <= 'z')
+                or (c >= 'A' and c <= 'Z') or c == '_'
+                or (c >= '0' and c <= '9')
+            if not is_name then
+              error('invalid variable name: ' .. trimmed)
+            end
+          end
+          out = out .. 'local ' .. trimmed .. ' = '
+              .. moon_expr(body:sub(eq + 1)) .. '\n'
+        else
+          error('unknown statement: ' .. body)
+        end
+      end
+    end
+  end
+  while #levels > 1 do
+    out = out .. 'end\n'
+    table.remove(levels)
+  end
+  return out
+end
+)LUA";
+
+std::vector<LuaPackage>
+BuildLuaPackages()
+{
+    std::vector<LuaPackage> packages;
+
+    {
+        LuaPackage p;
+        p.name = "cliargs";
+        p.category = "System";
+        p.description = "Command-line interface";
+        p.test.source = kCliargsSource;
+        p.test.entry = "parse_args";
+        p.test.args = {SymbolicArg::Str("argv", 6, "--a=b ")};
+        packages.push_back(std::move(p));
+    }
+    {
+        LuaPackage p;
+        p.name = "haml";
+        p.category = "Web";
+        p.description = "HTML description markup";
+        p.test.source = kHamlSource;
+        p.test.entry = "render_haml";
+        p.test.args = {SymbolicArg::Str("src", 6, "%p hi\n")};
+        packages.push_back(std::move(p));
+    }
+    {
+        LuaPackage p;
+        p.name = "JSON";
+        p.category = "Web";
+        p.description = "JSON format parser";
+        p.test.source = kJsonSource;
+        p.test.entry = "decode";
+        p.test.args = {SymbolicArg::Str("doc", 5, "[1,2]")};
+        p.expect_hang = true;  // The §6.2 comment bug.
+        packages.push_back(std::move(p));
+    }
+    {
+        LuaPackage p;
+        p.name = "markdown";
+        p.category = "Web";
+        p.description = "Text-to-HTML conversion";
+        p.test.source = kMarkdownSource;
+        p.test.entry = "render_markdown";
+        p.test.args = {SymbolicArg::Str("src", 6, "# hi\n")};
+        packages.push_back(std::move(p));
+    }
+    {
+        LuaPackage p;
+        p.name = "moonscript";
+        p.category = "System";
+        p.description = "Language that compiles to Lua";
+        p.test.source = kMoonscriptSource;
+        p.test.entry = "compile_moon";
+        p.test.args = {SymbolicArg::Str("src", 6, "x = 1\n")};
+        packages.push_back(std::move(p));
+    }
+    return packages;
+}
+
+}  // namespace
+
+const std::vector<LuaPackage>&
+LuaPackages()
+{
+    static const std::vector<LuaPackage> packages = BuildLuaPackages();
+    return packages;
+}
+
+const LuaPackage&
+LuaPackageByName(const std::string& name)
+{
+    for (const LuaPackage& package : LuaPackages()) {
+        if (package.name == name) {
+            return package;
+        }
+    }
+    Fatal("unknown Lua package: " + name);
+}
+
+}  // namespace chef::workloads

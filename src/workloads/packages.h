@@ -1,0 +1,55 @@
+#ifndef CHEF_WORKLOADS_PACKAGES_H_
+#define CHEF_WORKLOADS_PACKAGES_H_
+
+/// \file
+/// The evaluation workloads: miniature but functional re-implementations
+/// of the paper's 11 packages (Table 3), written in MiniPy / MiniLua guest
+/// source, each with its symbolic test specification (Figure 7) and its
+/// documented-exception list (used to classify discovered exceptions into
+/// documented vs. undocumented, §6.2).
+
+#include <string>
+#include <vector>
+
+#include "workloads/lua_harness.h"
+#include "workloads/py_harness.h"
+
+namespace chef::workloads {
+
+/// One MiniPy evaluation package.
+struct PyPackage {
+    std::string name;       ///< Paper's package name.
+    std::string category;   ///< System / Web / Office.
+    std::string description;
+    PySymbolicTest test;
+    /// Exception types listed in the package's documentation; anything
+    /// else discovered counts as undocumented (§6.2).
+    std::vector<std::string> documented_exceptions;
+};
+
+/// One MiniLua evaluation package.
+struct LuaPackage {
+    std::string name;
+    std::string category;
+    std::string description;
+    LuaSymbolicTest test;
+    /// True if the paper reports a hang for this package (sb-JSON).
+    bool expect_hang = false;
+};
+
+/// The six Python packages of Table 3.
+const std::vector<PyPackage>& PyPackages();
+
+/// The five Lua packages of Table 3.
+const std::vector<LuaPackage>& LuaPackages();
+
+/// Looks up a package by name (fatal if absent).
+const PyPackage& PyPackageByName(const std::string& name);
+const LuaPackage& LuaPackageByName(const std::string& name);
+
+/// Guest source line count (cloc-style: non-blank, non-comment).
+size_t GuestLoc(const std::string& source);
+
+}  // namespace chef::workloads
+
+#endif  // CHEF_WORKLOADS_PACKAGES_H_

@@ -1,0 +1,154 @@
+#include "workloads/py_harness.h"
+
+#include "support/diagnostics.h"
+
+namespace chef::workloads {
+
+using lowlevel::SymValue;
+using minipy::PyRef;
+
+std::shared_ptr<minipy::Program>
+CompilePyOrDie(const std::string& source)
+{
+    minipy::CompileResult compiled = minipy::Compile(source);
+    if (!compiled.ok) {
+        Fatal("workload guest failed to compile: " + compiled.error +
+              " at line " + std::to_string(compiled.error_line));
+    }
+    return compiled.program;
+}
+
+namespace {
+
+/// Builds the guest argument objects, declaring symbolic inputs in a
+/// deterministic order.
+std::vector<PyRef>
+BuildSymbolicArgs(lowlevel::LowLevelRuntime& rt, const PySymbolicTest& test)
+{
+    std::vector<PyRef> args;
+    for (const SymbolicArg& arg : test.args) {
+        if (arg.kind == SymbolicArg::Kind::kStr) {
+            interp::SymStr bytes;
+            for (int i = 0; i < arg.length; ++i) {
+                const uint64_t fallback =
+                    i < static_cast<int>(arg.default_bytes.size())
+                        ? static_cast<uint8_t>(arg.default_bytes[i])
+                        : 0;
+                bytes.push_back(rt.MakeSymbolicValue(
+                    arg.name + "[" + std::to_string(i) + "]", 8,
+                    fallback));
+            }
+            args.push_back(minipy::MakeStr(std::move(bytes)));
+        } else {
+            const SymValue value = rt.MakeSymbolicValue(
+                arg.name, 32, static_cast<uint64_t>(arg.default_int));
+            args.push_back(minipy::MakeInt(SvSExt(value, 64)));
+        }
+    }
+    return args;
+}
+
+}  // namespace
+
+Engine::RunFn
+MakePyRunFn(std::shared_ptr<minipy::Program> program,
+            const PySymbolicTest& test, interp::InterpBuildOptions build)
+{
+    return [program, test, build](lowlevel::LowLevelRuntime& rt)
+               -> Engine::GuestOutcome {
+        minipy::Vm::Options options;
+        options.build = build;
+        minipy::Vm vm(&rt, program, options);
+        minipy::VmOutcome module_outcome = vm.RunModule();
+        if (!module_outcome.ok) {
+            if (module_outcome.aborted) {
+                return {"abort", "module"};
+            }
+            return {"exception",
+                    module_outcome.exception_type + ": " +
+                        module_outcome.exception_message};
+        }
+        std::vector<PyRef> args = BuildSymbolicArgs(rt, test);
+        minipy::VmOutcome outcome = vm.CallGlobal(test.entry, args);
+        if (!outcome.ok) {
+            if (outcome.aborted) {
+                return {"abort", ""};
+            }
+            return {"exception", outcome.exception_type};
+        }
+        return {"ok", ""};
+    };
+}
+
+PyReplayResult
+ReplayPy(const std::shared_ptr<minipy::Program>& program,
+         const PySymbolicTest& test, const solver::Assignment& inputs)
+{
+    // A throwaway runtime: inputs are concrete, so nothing forks; the
+    // vanilla build with coverage mirrors the paper's replay on a pristine
+    // interpreter.
+    lowlevel::ExecutionTree tree;
+    solver::Solver solver;
+    lowlevel::LowLevelRuntime rt(&tree, &solver, {});
+    rt.BeginRun(solver::Assignment());
+
+    minipy::Vm::Options options;
+    options.build = interp::InterpBuildOptions::Vanilla();
+    options.coverage = true;
+    minipy::Vm vm(&rt, program, options);
+
+    PyReplayResult result;
+    minipy::VmOutcome module_outcome = vm.RunModule();
+    if (!module_outcome.ok) {
+        result.ok = false;
+        result.exception_type = module_outcome.exception_type;
+        result.exception_message = module_outcome.exception_message;
+        return result;
+    }
+
+    // Rebuild the arguments from the concrete assignment, following the
+    // same variable ordering the symbolic run used.
+    std::vector<PyRef> args;
+    uint32_t var_id = 1;
+    for (const SymbolicArg& arg : test.args) {
+        if (arg.kind == SymbolicArg::Kind::kStr) {
+            interp::SymStr bytes;
+            for (int i = 0; i < arg.length; ++i) {
+                uint64_t value = 0;
+                if (inputs.Has(var_id)) {
+                    value = inputs.Get(var_id);
+                } else if (i < static_cast<int>(
+                                   arg.default_bytes.size())) {
+                    value = static_cast<uint8_t>(arg.default_bytes[i]);
+                }
+                ++var_id;
+                bytes.emplace_back(value, 8);
+            }
+            args.push_back(minipy::MakeStr(std::move(bytes)));
+        } else {
+            uint64_t value = static_cast<uint64_t>(arg.default_int);
+            if (inputs.Has(var_id)) {
+                value = inputs.Get(var_id);
+            }
+            ++var_id;
+            args.push_back(minipy::MakeInt(
+                SvSExt(SymValue(value, 32), 64)));
+        }
+    }
+
+    minipy::VmOutcome outcome = vm.CallGlobal(test.entry, args);
+    result.ok = outcome.ok;
+    result.exception_type = outcome.exception_type;
+    result.exception_message = outcome.exception_message;
+    result.output = vm.output();
+    result.covered_lines = vm.covered_lines();
+    return result;
+}
+
+size_t
+CoverableLines(const minipy::Program& program)
+{
+    return program.coverable_lines.size();
+}
+
+}  // namespace chef::workloads

@@ -1,0 +1,93 @@
+#ifndef CHEF_WORKLOADS_PY_HARNESS_H_
+#define CHEF_WORKLOADS_PY_HARNESS_H_
+
+/// \file
+/// Symbolic test harness for MiniPy guests (the paper's SymbolicTest API,
+/// Figure 7).
+///
+/// A PySymbolicTest names a guest entry function and declares the symbolic
+/// inputs (fixed-length strings and integers, matching the prototype's
+/// §6.1 limitation). MakePyRunFn adapts it to the engine: each concolic
+/// iteration instantiates a fresh interpreter, runs the module body,
+/// builds the symbolic arguments via make_symbolic, and calls the entry.
+/// ReplayPy runs a test case's concrete inputs on a vanilla interpreter
+/// build and reports output plus line coverage.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chef/engine.h"
+#include "interp/build_options.h"
+#include "minipy/vm.h"
+
+namespace chef::workloads {
+
+/// One symbolic input declaration.
+struct SymbolicArg {
+    enum class Kind { kStr, kInt } kind = Kind::kStr;
+    std::string name;
+    /// For kStr: the fixed byte length (paper: getString("x", '\0' * n)).
+    int length = 0;
+    /// Default bytes (padded with NUL) or default integer value.
+    std::string default_bytes;
+    int64_t default_int = 0;
+
+    static SymbolicArg Str(const std::string& name, int length,
+                           const std::string& defaults = "")
+    {
+        SymbolicArg arg;
+        arg.kind = Kind::kStr;
+        arg.name = name;
+        arg.length = length;
+        arg.default_bytes = defaults;
+        return arg;
+    }
+    static SymbolicArg Int(const std::string& name, int64_t default_value = 0)
+    {
+        SymbolicArg arg;
+        arg.kind = Kind::kInt;
+        arg.name = name;
+        arg.default_int = default_value;
+        return arg;
+    }
+};
+
+/// A symbolic test specification for a MiniPy guest.
+struct PySymbolicTest {
+    std::string source;  ///< Guest program (package + glue).
+    std::string entry;   ///< Module-level function to drive.
+    std::vector<SymbolicArg> args;
+};
+
+/// Compiles the guest source; fails fatally on compile errors (workload
+/// sources are fixtures).
+std::shared_ptr<minipy::Program> CompilePyOrDie(const std::string& source);
+
+/// Builds the engine run-callback for a symbolic test under the given
+/// interpreter build.
+Engine::RunFn MakePyRunFn(std::shared_ptr<minipy::Program> program,
+                          const PySymbolicTest& test,
+                          interp::InterpBuildOptions build);
+
+/// Result of replaying one test case concretely.
+struct PyReplayResult {
+    bool ok = true;
+    std::string exception_type;
+    std::string exception_message;
+    std::string output;
+    std::set<int> covered_lines;
+};
+
+/// Replays concrete inputs (a solved test case) on a vanilla interpreter
+/// build with coverage collection, outside any symbolic engine.
+PyReplayResult ReplayPy(const std::shared_ptr<minipy::Program>& program,
+                        const PySymbolicTest& test,
+                        const solver::Assignment& inputs);
+
+/// Total coverable lines of the program (denominator for Figure 9).
+size_t CoverableLines(const minipy::Program& program);
+
+}  // namespace chef::workloads
+
+#endif  // CHEF_WORKLOADS_PY_HARNESS_H_

@@ -1,0 +1,581 @@
+/// \file
+/// The six MiniPy evaluation packages (Table 3), written as guest source.
+/// Each mirrors the corresponding real package's input language and error
+/// behaviour at reduced scale; mini_xlrd deliberately reaches the paper's
+/// four undocumented exception types (BadZipfile, IndexError, error,
+/// AssertionError) on malformed inputs (§6.2).
+
+#include "workloads/packages.h"
+
+#include "support/diagnostics.h"
+
+namespace chef::workloads {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// argparse -- command-line interface generator (paper: 1,466 LOC, System).
+// ---------------------------------------------------------------------------
+const char* kArgparseSource = R"PY(class ArgparseError(Exception):
+    pass
+
+class Argument:
+    def __init__(self, name):
+        self.name = name
+        self.is_flag = name.startswith('-')
+        dest = name
+        while dest.startswith('-'):
+            dest = dest[1:]
+        self.dest = dest
+
+class ArgumentParser:
+    def __init__(self):
+        self.positionals = []
+        self.optionals = []
+
+    def add_argument(self, name):
+        if name == '':
+            raise ArgparseError('empty argument name')
+        arg = Argument(name)
+        if arg.is_flag:
+            if arg.dest == '':
+                raise ArgparseError('invalid flag name: ' + name)
+            self.optionals.append(arg)
+        else:
+            self.positionals.append(arg)
+        return arg
+
+    def find_optional(self, token):
+        for arg in self.optionals:
+            if arg.name == token:
+                return arg
+        return None
+
+    def parse_args(self, argv):
+        result = {}
+        pos_index = 0
+        i = 0
+        while i < len(argv):
+            token = argv[i]
+            if token.startswith('-') and len(token) > 1:
+                eq = token.find('=')
+                if eq >= 0:
+                    name = token[:eq]
+                    value = token[eq + 1:]
+                    arg = self.find_optional(name)
+                    if arg is None:
+                        raise ArgparseError('unknown option: ' + name)
+                    result[arg.dest] = value
+                else:
+                    arg = self.find_optional(token)
+                    if arg is None:
+                        raise ArgparseError('unknown option: ' + token)
+                    if i + 1 >= len(argv):
+                        raise ArgparseError('option expects a value')
+                    result[arg.dest] = argv[i + 1]
+                    i = i + 1
+            else:
+                if pos_index >= len(self.positionals):
+                    raise ArgparseError('unexpected positional: ' + token)
+                result[self.positionals[pos_index].dest] = token
+                pos_index = pos_index + 1
+            i = i + 1
+        if pos_index < len(self.positionals):
+            missing = self.positionals[pos_index]
+            raise ArgparseError('missing positional: ' + missing.name)
+        return result
+
+def run_argparse(arg1_name, arg2_name, arg1, arg2):
+    parser = ArgumentParser()
+    parser.add_argument(arg1_name)
+    parser.add_argument(arg2_name)
+    return parser.parse_args([arg1, arg2])
+)PY";
+
+// ---------------------------------------------------------------------------
+// ConfigParser -- INI configuration parser (paper: 451 LOC, System).
+// ---------------------------------------------------------------------------
+const char* kConfigParserSource = R"PY(class ConfigError(Exception):
+    pass
+
+class MissingSectionHeaderError(ConfigError):
+    pass
+
+class DuplicateOptionError(ConfigError):
+    pass
+
+def parse_config(text):
+    sections = {}
+    current = None
+    for raw_line in text.split('\n'):
+        line = raw_line.strip()
+        if line == '' or line.startswith(';') or line.startswith('#'):
+            continue
+        if line.startswith('['):
+            end = line.find(']')
+            if end < 0:
+                raise ConfigError('unterminated section header')
+            name = line[1:end].strip()
+            if name == '':
+                raise ConfigError('empty section name')
+            current = name
+            if current not in sections:
+                sections[current] = {}
+        else:
+            eq = line.find('=')
+            colon = line.find(':')
+            if eq < 0 or (colon >= 0 and colon < eq):
+                eq = colon
+            if eq < 0:
+                raise ConfigError('line is not an assignment: ' + line)
+            if current is None:
+                raise MissingSectionHeaderError(
+                    'option appears before any section header')
+            key = line[:eq].strip()
+            value = line[eq + 1:].strip()
+            if key == '':
+                raise ConfigError('empty option name')
+            if key in sections[current]:
+                raise DuplicateOptionError('duplicate option: ' + key)
+            sections[current][key] = value
+    return sections
+)PY";
+
+// ---------------------------------------------------------------------------
+// HTMLParser -- HTML tag scanner (paper: 623 LOC, Web).
+// ---------------------------------------------------------------------------
+const char* kHtmlParserSource = R"PY(class HTMLParseError(Exception):
+    pass
+
+def parse_html(text):
+    events = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == '<':
+            if text[i + 1:i + 4] == '!--':
+                end = text.find('-->', i + 4)
+                if end < 0:
+                    raise HTMLParseError('unterminated comment')
+                events.append(('comment', text[i + 4:end]))
+                i = end + 3
+            elif i + 1 < n and text[i + 1] == '/':
+                end = text.find('>', i)
+                if end < 0:
+                    raise HTMLParseError('unterminated end tag')
+                name = text[i + 2:end].strip()
+                if name == '':
+                    raise HTMLParseError('malformed end tag')
+                events.append(('endtag', name.lower()))
+                i = end + 1
+            else:
+                end = text.find('>', i)
+                if end < 0:
+                    raise HTMLParseError('unterminated start tag')
+                inner = text[i + 1:end].strip()
+                if inner == '':
+                    raise HTMLParseError('empty tag')
+                parts = inner.split()
+                name = parts[0].lower()
+                attrs = []
+                for chunk in parts[1:]:
+                    eq = chunk.find('=')
+                    if eq >= 0:
+                        attrs.append((chunk[:eq], chunk[eq + 1:]))
+                    else:
+                        attrs.append((chunk, None))
+                events.append(('starttag', name, attrs))
+                i = end + 1
+        elif c == '&':
+            semi = text.find(';', i)
+            if semi < 0:
+                events.append(('data', c))
+                i = i + 1
+            else:
+                ref = text[i + 1:semi]
+                if ref == '':
+                    raise HTMLParseError('empty entity reference')
+                events.append(('entityref', ref))
+                i = semi + 1
+        else:
+            events.append(('data', c))
+            i = i + 1
+    return events
+)PY";
+
+// ---------------------------------------------------------------------------
+// simplejson -- JSON decoder (paper: 1,087 LOC, Web).
+// ---------------------------------------------------------------------------
+const char* kSimpleJsonSource = R"PY(class JSONDecodeError(ValueError):
+    pass
+
+def _skip_ws(s, i):
+    while i < len(s) and s[i].isspace():
+        i = i + 1
+    return i
+
+def _decode_string(s, i):
+    i = i + 1
+    out = ''
+    while True:
+        if i >= len(s):
+            raise JSONDecodeError('unterminated string')
+        c = s[i]
+        if c == '"':
+            return (out, i + 1)
+        if c == '\\':
+            if i + 1 >= len(s):
+                raise JSONDecodeError('truncated escape')
+            e = s[i + 1]
+            if e == 'n':
+                out = out + '\n'
+            elif e == 't':
+                out = out + '\t'
+            elif e == '"':
+                out = out + '"'
+            elif e == '\\':
+                out = out + '\\'
+            elif e == '/':
+                out = out + '/'
+            else:
+                raise JSONDecodeError('unknown escape')
+            i = i + 2
+        else:
+            out = out + c
+            i = i + 1
+
+def _decode_number(s, i):
+    start = i
+    if i < len(s) and s[i] == '-':
+        i = i + 1
+    digits = 0
+    while i < len(s) and s[i].isdigit():
+        i = i + 1
+        digits = digits + 1
+    if digits == 0:
+        raise JSONDecodeError('not a number')
+    return (int(s[start:i]), i)
+
+def _decode_array(s, i, depth):
+    items = []
+    i = _skip_ws(s, i + 1)
+    if i < len(s) and s[i] == ']':
+        return (items, i + 1)
+    while True:
+        value, i = _decode_value(s, i, depth + 1)
+        items.append(value)
+        i = _skip_ws(s, i)
+        if i >= len(s):
+            raise JSONDecodeError('unterminated array')
+        if s[i] == ']':
+            return (items, i + 1)
+        if s[i] != ',':
+            raise JSONDecodeError('expected , in array')
+        i = i + 1
+
+def _decode_object(s, i, depth):
+    obj = {}
+    i = _skip_ws(s, i + 1)
+    if i < len(s) and s[i] == '}':
+        return (obj, i + 1)
+    while True:
+        i = _skip_ws(s, i)
+        if i >= len(s) or s[i] != '"':
+            raise JSONDecodeError('expected object key')
+        key, i = _decode_string(s, i)
+        i = _skip_ws(s, i)
+        if i >= len(s) or s[i] != ':':
+            raise JSONDecodeError('expected : after key')
+        value, i = _decode_value(s, i + 1, depth + 1)
+        obj[key] = value
+        i = _skip_ws(s, i)
+        if i >= len(s):
+            raise JSONDecodeError('unterminated object')
+        if s[i] == '}':
+            return (obj, i + 1)
+        if s[i] != ',':
+            raise JSONDecodeError('expected , in object')
+        i = i + 1
+
+def _decode_value(s, i, depth):
+    if depth > 6:
+        raise JSONDecodeError('value too deeply nested')
+    i = _skip_ws(s, i)
+    if i >= len(s):
+        raise JSONDecodeError('unexpected end of input')
+    c = s[i]
+    if c == '{':
+        return _decode_object(s, i, depth)
+    if c == '[':
+        return _decode_array(s, i, depth)
+    if c == '"':
+        return _decode_string(s, i)
+    if c == 't':
+        if s[i:i + 4] == 'true':
+            return (True, i + 4)
+        raise JSONDecodeError('bad literal')
+    if c == 'f':
+        if s[i:i + 5] == 'false':
+            return (False, i + 5)
+        raise JSONDecodeError('bad literal')
+    if c == 'n':
+        if s[i:i + 4] == 'null':
+            return (None, i + 4)
+        raise JSONDecodeError('bad literal')
+    return _decode_number(s, i)
+
+def loads(s):
+    value, i = _decode_value(s, 0, 0)
+    i = _skip_ws(s, i)
+    if i != len(s):
+        raise JSONDecodeError('trailing data after document')
+    return value
+)PY";
+
+// ---------------------------------------------------------------------------
+// unicodecsv -- CSV parser (paper: 126 LOC, Office).
+// ---------------------------------------------------------------------------
+const char* kUnicodeCsvSource = R"PY(class CsvError(Exception):
+    pass
+
+def parse_csv(text):
+    rows = []
+    row = []
+    field = ''
+    in_quotes = False
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if in_quotes:
+            if c == '"':
+                if i + 1 < n and text[i + 1] == '"':
+                    field = field + '"'
+                    i = i + 2
+                else:
+                    in_quotes = False
+                    i = i + 1
+            else:
+                field = field + c
+                i = i + 1
+        elif c == '"':
+            if field != '':
+                raise CsvError('quote inside unquoted field')
+            in_quotes = True
+            i = i + 1
+        elif c == ',':
+            row.append(field)
+            field = ''
+            i = i + 1
+        elif c == '\n':
+            row.append(field)
+            field = ''
+            rows.append(row)
+            row = []
+            i = i + 1
+        else:
+            field = field + c
+            i = i + 1
+    if in_quotes:
+        raise CsvError('unterminated quoted field')
+    row.append(field)
+    rows.append(row)
+    return rows
+)PY";
+
+// ---------------------------------------------------------------------------
+// xlrd -- binary workbook reader (paper: 7,241 LOC, Office). Reaches the
+// paper's four undocumented exception types on malformed inputs.
+// ---------------------------------------------------------------------------
+const char* kXlrdSource = R"PY(class XLRDError(Exception):
+    pass
+
+class BadZipfile(Exception):
+    pass
+
+class error(Exception):
+    pass
+
+def _u8(data, i):
+    # Reading past the end raises IndexError -- an inner-component
+    # failure the public API does not document.
+    return ord(data[i])
+
+def _u16(data, i):
+    return _u8(data, i) + _u8(data, i + 1) * 256
+
+def parse_workbook(data):
+    if len(data) < 2:
+        raise XLRDError('file too short')
+    if data[0] == 'P' and data[1] == 'K':
+        # The file looks like a ZIP container (an .xlsx); the zip layer
+        # rejects it with its own exception type.
+        raise BadZipfile('File is not a zip file')
+    if data[0] != 'X' or data[1] != 'L':
+        raise XLRDError('unsupported file format')
+    book = {'sheets': [], 'cells': {}}
+    seen_bof = False
+    i = 2
+    while i < len(data):
+        rtype = _u8(data, i)
+        if rtype == 0:
+            break
+        rlen = _u8(data, i + 1)
+        payload = i + 2
+        if rtype == 1:
+            version = _u8(data, payload)
+            if version > 8:
+                raise XLRDError('unsupported BIFF version')
+            seen_bof = True
+        elif rtype == 2:
+            if not seen_bof:
+                raise error('SHEET record before BOF')
+            name = data[payload:payload + rlen]
+            if len(name) != rlen:
+                raise XLRDError('truncated sheet name')
+            book['sheets'].append(name)
+        elif rtype == 3:
+            assert seen_bof, 'CELL record before BOF'
+            row = _u8(data, payload)
+            col = _u8(data, payload + 1)
+            value = _u16(data, payload + 2)
+            book['cells'][(row, col)] = value
+        elif rtype == 4:
+            index = _u8(data, payload)
+            name = book['sheets'][index]
+            book['cells'][('formula', index)] = name
+        else:
+            raise XLRDError('unknown record type')
+        i = payload + rlen
+    if not seen_bof:
+        raise XLRDError('workbook has no BOF record')
+    return book
+)PY";
+
+std::vector<PyPackage>
+BuildPyPackages()
+{
+    std::vector<PyPackage> packages;
+
+    {
+        PyPackage p;
+        p.name = "argparse";
+        p.category = "System";
+        p.description = "Command-line interface";
+        p.test.source = kArgparseSource;
+        p.test.entry = "run_argparse";
+        // Figure 7's test: two 3-char symbolic argument names plus two
+        // 3-char symbolic argument values (12 symbolic characters).
+        p.test.args = {SymbolicArg::Str("arg1_name", 3),
+                       SymbolicArg::Str("arg2_name", 3),
+                       SymbolicArg::Str("arg1", 3),
+                       SymbolicArg::Str("arg2", 3)};
+        p.documented_exceptions = {"ArgparseError"};
+        packages.push_back(std::move(p));
+    }
+    {
+        PyPackage p;
+        p.name = "ConfigParser";
+        p.category = "System";
+        p.description = "Configuration file parser";
+        p.test.source = kConfigParserSource;
+        p.test.entry = "parse_config";
+        p.test.args = {SymbolicArg::Str("cfg", 8, "[s]\na=b\n")};
+        p.documented_exceptions = {"ConfigError",
+                                   "MissingSectionHeaderError",
+                                   "DuplicateOptionError"};
+        packages.push_back(std::move(p));
+    }
+    {
+        PyPackage p;
+        p.name = "HTMLParser";
+        p.category = "Web";
+        p.description = "HTML parser";
+        p.test.source = kHtmlParserSource;
+        p.test.entry = "parse_html";
+        p.test.args = {SymbolicArg::Str("html", 7, "<a>x</a")};
+        p.documented_exceptions = {"HTMLParseError"};
+        packages.push_back(std::move(p));
+    }
+    {
+        PyPackage p;
+        p.name = "simplejson";
+        p.category = "Web";
+        p.description = "JSON format parser";
+        p.test.source = kSimpleJsonSource;
+        p.test.entry = "loads";
+        p.test.args = {SymbolicArg::Str("doc", 6, "{\"a\":1")};
+        p.documented_exceptions = {"JSONDecodeError"};
+        packages.push_back(std::move(p));
+    }
+    {
+        PyPackage p;
+        p.name = "unicodecsv";
+        p.category = "Office";
+        p.description = "CSV file parser";
+        p.test.source = kUnicodeCsvSource;
+        p.test.entry = "parse_csv";
+        p.test.args = {SymbolicArg::Str("csv", 6, "a,b\nc,")};
+        p.documented_exceptions = {"CsvError"};
+        packages.push_back(std::move(p));
+    }
+    {
+        PyPackage p;
+        p.name = "xlrd";
+        p.category = "Office";
+        p.description = "Binary workbook reader";
+        p.test.source = kXlrdSource;
+        p.test.entry = "parse_workbook";
+        p.test.args = {SymbolicArg::Str("data", 8, "XL\x01\x01\x08")};
+        p.documented_exceptions = {"XLRDError"};
+        packages.push_back(std::move(p));
+    }
+    return packages;
+}
+
+}  // namespace
+
+const std::vector<PyPackage>&
+PyPackages()
+{
+    static const std::vector<PyPackage> packages = BuildPyPackages();
+    return packages;
+}
+
+const PyPackage&
+PyPackageByName(const std::string& name)
+{
+    for (const PyPackage& package : PyPackages()) {
+        if (package.name == name) {
+            return package;
+        }
+    }
+    Fatal("unknown Python package: " + name);
+}
+
+size_t
+GuestLoc(const std::string& source)
+{
+    size_t lines = 0;
+    size_t start = 0;
+    while (start < source.size()) {
+        size_t end = source.find('\n', start);
+        if (end == std::string::npos) {
+            end = source.size();
+        }
+        // Count non-blank, non-comment lines (cloc-style).
+        size_t i = start;
+        while (i < end && (source[i] == ' ' || source[i] == '\t')) {
+            ++i;
+        }
+        if (i < end && source[i] != '#' &&
+            !(source[i] == '-' && i + 1 < end && source[i + 1] == '-')) {
+            ++lines;
+        }
+        start = end + 1;
+    }
+    return lines;
+}
+
+}  // namespace chef::workloads

@@ -1,0 +1,216 @@
+/// \file
+/// Unit and property tests for the expression DAG and constant folder.
+
+#include "solver/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace chef::solver {
+namespace {
+
+TEST(ExprBasics, ConstantsAreMaskedToWidth)
+{
+    EXPECT_EQ(MakeConst(0x1ff, 8)->constant_value(), 0xffu);
+    EXPECT_EQ(MakeConst(~0ull, 64)->constant_value(), ~0ull);
+    EXPECT_EQ(MakeConst(2, 1)->constant_value(), 0u);
+}
+
+TEST(ExprBasics, WidthMask)
+{
+    EXPECT_EQ(WidthMask(1), 1u);
+    EXPECT_EQ(WidthMask(8), 0xffu);
+    EXPECT_EQ(WidthMask(64), ~0ull);
+}
+
+TEST(ExprBasics, SignExtend)
+{
+    EXPECT_EQ(SignExtend(0x80, 8), -128);
+    EXPECT_EQ(SignExtend(0x7f, 8), 127);
+    EXPECT_EQ(SignExtend(1, 1), -1);
+    EXPECT_EQ(SignExtend(~0ull, 64), -1);
+}
+
+TEST(ExprFolding, ArithmeticIdentities)
+{
+    const ExprRef x = MakeVar(1, "x", 32);
+    const ExprRef zero = MakeConst(0, 32);
+    const ExprRef one = MakeConst(1, 32);
+
+    EXPECT_EQ(MakeAdd(x, zero).get(), x.get());
+    EXPECT_EQ(MakeSub(x, zero).get(), x.get());
+    EXPECT_TRUE(MakeSub(x, x)->IsConstant());
+    EXPECT_EQ(MakeMul(x, one).get(), x.get());
+    EXPECT_TRUE(MakeMul(x, zero)->IsConstant());
+    EXPECT_EQ(MakeXor(x, zero).get(), x.get());
+    EXPECT_TRUE(MakeXor(x, x)->IsConstant());
+    EXPECT_EQ(MakeAnd(x, MakeConst(~0u, 32)).get(), x.get());
+    EXPECT_EQ(MakeOr(x, zero).get(), x.get());
+}
+
+TEST(ExprFolding, ComparisonsOnConstants)
+{
+    EXPECT_TRUE(MakeUlt(MakeConst(3, 8), MakeConst(5, 8))->IsTrue());
+    EXPECT_TRUE(MakeUlt(MakeConst(5, 8), MakeConst(3, 8))->IsFalse());
+    EXPECT_TRUE(MakeSlt(MakeConst(0xff, 8), MakeConst(0, 8))->IsTrue());
+    EXPECT_TRUE(MakeSle(MakeConst(0x80, 8), MakeConst(0x7f, 8))->IsTrue());
+    EXPECT_TRUE(MakeEq(MakeConst(7, 16), MakeConst(7, 16))->IsTrue());
+}
+
+TEST(ExprFolding, SelfComparisons)
+{
+    const ExprRef x = MakeVar(1, "x", 32);
+    EXPECT_TRUE(MakeEq(x, x)->IsTrue());
+    EXPECT_TRUE(MakeUlt(x, x)->IsFalse());
+    EXPECT_TRUE(MakeUle(x, x)->IsTrue());
+    EXPECT_TRUE(MakeSlt(x, x)->IsFalse());
+    EXPECT_TRUE(MakeSle(x, x)->IsTrue());
+}
+
+TEST(ExprFolding, DoubleNegationCancels)
+{
+    const ExprRef x = MakeVar(1, "x", 1);
+    EXPECT_EQ(MakeBoolNot(MakeBoolNot(x)).get(), x.get());
+}
+
+TEST(ExprFolding, IteWithConstantCondition)
+{
+    const ExprRef x = MakeVar(1, "x", 8);
+    const ExprRef y = MakeVar(2, "y", 8);
+    EXPECT_EQ(MakeIte(MakeBool(true), x, y).get(), x.get());
+    EXPECT_EQ(MakeIte(MakeBool(false), x, y).get(), y.get());
+    EXPECT_EQ(MakeIte(MakeVar(3, "c", 1), x, x).get(), x.get());
+}
+
+TEST(ExprFolding, BooleanIteCollapsesToCondition)
+{
+    const ExprRef c = MakeVar(1, "c", 1);
+    EXPECT_EQ(MakeIte(c, MakeBool(true), MakeBool(false)).get(), c.get());
+    const ExprRef negated = MakeIte(c, MakeBool(false), MakeBool(true));
+    EXPECT_EQ(negated->kind(), ExprKind::kNot);
+    EXPECT_EQ(negated->a().get(), c.get());
+}
+
+TEST(ExprFolding, ExtractThroughConcat)
+{
+    const ExprRef high = MakeVar(1, "h", 8);
+    const ExprRef low = MakeVar(2, "l", 8);
+    const ExprRef concat = MakeConcat(high, low);
+    EXPECT_EQ(MakeExtract(concat, 0, 8).get(), low.get());
+    EXPECT_EQ(MakeExtract(concat, 8, 8).get(), high.get());
+}
+
+TEST(ExprFolding, ExtractOfExtract)
+{
+    const ExprRef x = MakeVar(1, "x", 32);
+    const ExprRef inner = MakeExtract(x, 8, 16);
+    const ExprRef outer = MakeExtract(inner, 4, 8);
+    EXPECT_EQ(outer->kind(), ExprKind::kExtract);
+    EXPECT_EQ(outer->extract_offset(), 12);
+    EXPECT_EQ(outer->a().get(), x.get());
+}
+
+TEST(ExprFolding, DivisionSmtSemantics)
+{
+    // x udiv 0 = all-ones; x urem 0 = x.
+    EXPECT_EQ(MakeUDiv(MakeConst(5, 8), MakeConst(0, 8))->constant_value(),
+              0xffu);
+    EXPECT_EQ(MakeURem(MakeConst(5, 8), MakeConst(0, 8))->constant_value(),
+              5u);
+    // Signed division truncates toward zero.
+    EXPECT_EQ(MakeSDiv(MakeConst(0xf9, 8), MakeConst(2, 8))  // -7 / 2
+                  ->constant_value(),
+              0xfdu);  // -3
+    EXPECT_EQ(MakeSRem(MakeConst(0xf9, 8), MakeConst(2, 8))  // -7 % 2
+                  ->constant_value(),
+              0xffu);  // -1
+}
+
+TEST(ExprEquality, StructuralEqualityIgnoresNodeIdentity)
+{
+    const ExprRef x1 = MakeVar(1, "x", 32);
+    const ExprRef x2 = MakeVar(1, "x", 32);
+    const ExprRef e1 = MakeAdd(x1, MakeConst(3, 32));
+    const ExprRef e2 = MakeAdd(x2, MakeConst(3, 32));
+    EXPECT_TRUE(Expr::Equal(e1, e2));
+    EXPECT_EQ(e1->hash(), e2->hash());
+    const ExprRef e3 = MakeAdd(x1, MakeConst(4, 32));
+    EXPECT_FALSE(Expr::Equal(e1, e3));
+}
+
+TEST(ExprEval, EvaluatesUnderAssignment)
+{
+    const ExprRef x = MakeVar(1, "x", 32);
+    const ExprRef y = MakeVar(2, "y", 32);
+    const ExprRef e =
+        MakeAdd(MakeMul(x, MakeConst(3, 32)), y);  // 3x + y
+    Assignment assignment;
+    assignment.Set(1, 10);
+    assignment.Set(2, 7);
+    EXPECT_EQ(EvalConcrete(e, assignment), 37u);
+    const ExprRef cmp = MakeUgt(e, MakeConst(36, 32));
+    EXPECT_EQ(EvalConcrete(cmp, assignment), 1u);
+}
+
+TEST(ExprEval, UnassignedVariablesAreZero)
+{
+    const ExprRef x = MakeVar(9, "x", 16);
+    Assignment assignment;
+    EXPECT_EQ(EvalConcrete(x, assignment), 0u);
+}
+
+TEST(ExprVariables, CollectsDistinctVariables)
+{
+    const ExprRef x = MakeVar(1, "x", 8);
+    const ExprRef y = MakeVar(2, "y", 8);
+    const ExprRef e = MakeAdd(MakeXor(x, y), x);
+    std::vector<ExprRef> vars;
+    CollectVariables(e, &vars);
+    EXPECT_EQ(vars.size(), 2u);
+}
+
+/// Property test: folding must agree with EvalConcrete on random constant
+/// operands for every binary operator.
+class FoldEvalAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(FoldEvalAgreement, BinaryOpsOnConstants)
+{
+    const int width = GetParam();
+    Rng rng(width * 1234567u);
+    const Assignment empty;
+    using Maker = ExprRef (*)(const ExprRef&, const ExprRef&);
+    const Maker makers[] = {
+        MakeAdd, MakeSub, MakeMul, MakeUDiv, MakeSDiv, MakeURem, MakeSRem,
+        MakeAnd, MakeOr,  MakeXor, MakeShl,  MakeLShr, MakeAShr,
+        MakeEq,  MakeUlt, MakeUle, MakeSlt,  MakeSle,
+    };
+    for (int round = 0; round < 200; ++round) {
+        const uint64_t av = rng.Next() & WidthMask(width);
+        const uint64_t bv = rng.Next() & WidthMask(width);
+        for (const Maker make : makers) {
+            const ExprRef folded =
+                make(MakeConst(av, width), MakeConst(bv, width));
+            ASSERT_TRUE(folded->IsConstant());
+            // Folding and evaluation must produce the same value when the
+            // same operator is applied to variables bound to the operands.
+            const ExprRef xa = MakeVar(1, "a", width);
+            const ExprRef xb = MakeVar(2, "b", width);
+            Assignment assignment;
+            assignment.Set(1, av);
+            assignment.Set(2, bv);
+            const ExprRef symbolic = make(xa, xb);
+            EXPECT_EQ(folded->constant_value(),
+                      EvalConcrete(symbolic, assignment))
+                << "width=" << width << " op mismatch with a=" << av
+                << " b=" << bv;
+        }
+    }
+    (void)empty;
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, FoldEvalAgreement,
+                         ::testing::Values(1, 7, 8, 16, 32, 33, 64));
+
+}  // namespace
+}  // namespace chef::solver

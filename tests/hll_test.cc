@@ -1,0 +1,210 @@
+/// \file
+/// Tests for high-level tracking: the HL execution tree, the dynamic CFG,
+/// branching-opcode inference, and distance analysis.
+
+#include <gtest/gtest.h>
+
+#include "hll/hl_tracker.h"
+
+namespace chef::hll {
+namespace {
+
+enum FakeOpcode : uint32_t {
+    kOpLoad = 1,
+    kOpCmp = 2,
+    kOpJumpIf = 3,
+    kOpCall = 4,
+    kOpRaise = 5,
+};
+
+TEST(HlExecutionTree, AdvanceBuildsPrefixTree)
+{
+    HlExecutionTree tree;
+    const uint32_t a = tree.Advance(0, 100);
+    const uint32_t b = tree.Advance(a, 101);
+    // Replaying the same sequence reuses nodes.
+    EXPECT_EQ(tree.Advance(0, 100), a);
+    EXPECT_EQ(tree.Advance(a, 101), b);
+    // Diverging creates a new node.
+    const uint32_t c = tree.Advance(a, 102);
+    EXPECT_NE(c, b);
+    EXPECT_EQ(tree.num_nodes(), 4u);  // root + 3.
+}
+
+TEST(HlExecutionTree, SameHlpcDifferentContextIsDifferentNode)
+{
+    // The dynamic HLPC distinguishes occurrences of one static HLPC on
+    // different high-level paths (loop unrolling).
+    HlExecutionTree tree;
+    const uint32_t first = tree.Advance(0, 100);
+    const uint32_t second = tree.Advance(first, 100);
+    EXPECT_NE(first, second);
+    EXPECT_EQ(tree.hlpc_of(first), tree.hlpc_of(second));
+}
+
+TEST(HlExecutionTree, TerminalMarksCountNewPathsOnce)
+{
+    HlExecutionTree tree;
+    const uint32_t a = tree.Advance(0, 100);
+    EXPECT_TRUE(tree.MarkTerminal(a));
+    EXPECT_FALSE(tree.MarkTerminal(a));
+    EXPECT_EQ(tree.num_terminal_paths(), 1u);
+}
+
+TEST(HlCfg, BranchingOpcodeInference)
+{
+    HlCfg cfg;
+    // Instruction 10 (kOpJumpIf) has two successors; instruction 20
+    // (kOpLoad) has one.
+    for (int i = 0; i < 10; ++i) {
+        cfg.RecordNode(10, kOpJumpIf);
+        cfg.RecordNode(20, kOpLoad);
+    }
+    cfg.RecordEdge(10, 20);
+    cfg.RecordEdge(10, 30);
+    cfg.RecordEdge(20, 10);
+    cfg.RecomputeAnalysis();
+    EXPECT_TRUE(cfg.IsBranchingOpcode(kOpJumpIf));
+    EXPECT_FALSE(cfg.IsBranchingOpcode(kOpLoad));
+}
+
+TEST(HlCfg, RareOpcodesAreDropped)
+{
+    HlCfg cfg;
+    // kOpJumpIf branches frequently; kOpRaise branches once (a rare
+    // exception edge). With the 10% cutoff the rare opcode is eliminated.
+    for (int site = 0; site < 20; ++site) {
+        const uint64_t hlpc = 100 + site;
+        for (int n = 0; n < 10; ++n) {
+            cfg.RecordNode(hlpc, kOpJumpIf);
+        }
+        cfg.RecordEdge(hlpc, 1000 + site);
+        cfg.RecordEdge(hlpc, 2000 + site);
+    }
+    cfg.RecordNode(999, kOpRaise);
+    cfg.RecordEdge(999, 1);  // Two successors: 999 branches, but rarely.
+    cfg.RecordEdge(999, 2);
+    cfg.RecomputeAnalysis(0.10);
+    EXPECT_TRUE(cfg.IsBranchingOpcode(kOpJumpIf));
+    EXPECT_FALSE(cfg.IsBranchingOpcode(kOpRaise));
+}
+
+TEST(HlCfg, PotentialBranchPointsHaveOneSuccessor)
+{
+    HlCfg cfg;
+    // Site 10 branches (2 successors); site 11 has the same opcode but
+    // only one successor observed -> potential branching point.
+    for (int n = 0; n < 5; ++n) {
+        cfg.RecordNode(10, kOpJumpIf);
+        cfg.RecordNode(11, kOpJumpIf);
+        cfg.RecordNode(12, kOpLoad);
+    }
+    cfg.RecordEdge(10, 11);
+    cfg.RecordEdge(10, 12);
+    cfg.RecordEdge(11, 12);
+    cfg.RecomputeAnalysis();
+    EXPECT_FALSE(cfg.IsPotentialBranchPoint(10));
+    EXPECT_TRUE(cfg.IsPotentialBranchPoint(11));
+    EXPECT_FALSE(cfg.IsPotentialBranchPoint(12));
+}
+
+TEST(HlCfg, DistanceAnalysis)
+{
+    HlCfg cfg;
+    // Chain 1 -> 2 -> 3 -> 4 where 4 is a potential branching point, plus
+    // the branching site 0 with successors 1 and 5 establishing kOpJumpIf
+    // as a branching opcode.
+    for (int n = 0; n < 5; ++n) {
+        cfg.RecordNode(0, kOpJumpIf);
+        cfg.RecordNode(1, kOpLoad);
+        cfg.RecordNode(2, kOpLoad);
+        cfg.RecordNode(3, kOpLoad);
+        cfg.RecordNode(4, kOpJumpIf);
+        cfg.RecordNode(5, kOpLoad);
+    }
+    cfg.RecordEdge(0, 1);
+    cfg.RecordEdge(0, 5);
+    cfg.RecordEdge(1, 2);
+    cfg.RecordEdge(2, 3);
+    cfg.RecordEdge(3, 4);
+    cfg.RecordEdge(4, 5);  // Only one successor: 4 is potential.
+    cfg.RecomputeAnalysis();
+    ASSERT_TRUE(cfg.IsPotentialBranchPoint(4));
+    EXPECT_EQ(cfg.DistanceToBranchPoint(4), 0u);
+    EXPECT_EQ(cfg.DistanceToBranchPoint(3), 1u);
+    EXPECT_EQ(cfg.DistanceToBranchPoint(2), 2u);
+    EXPECT_EQ(cfg.DistanceToBranchPoint(1), 3u);
+    EXPECT_DOUBLE_EQ(cfg.DistanceWeight(4), 1.0);
+    EXPECT_DOUBLE_EQ(cfg.DistanceWeight(3), 0.5);
+    // Unreachable nodes get a small residual weight.
+    EXPECT_LT(cfg.DistanceWeight(5), 0.01);
+}
+
+TEST(HlpcTracker, TracksDynamicPositionIntoRuntime)
+{
+    lowlevel::ExecutionTree tree;
+    solver::Solver solver;
+    lowlevel::LowLevelRuntime runtime(&tree, &solver, {});
+    HlpcTracker tracker;
+    tracker.Attach(&runtime);
+    tracker.Reset();
+
+    runtime.BeginRun(solver::Assignment());
+    tracker.BeginRun();
+    runtime.LogPc(100, kOpLoad);
+    runtime.LogPc(101, kOpCmp);
+
+    // A symbolic branch after the second instruction snapshots HL state.
+    lowlevel::SymValue x = runtime.MakeSymbolicValue("x", 8, 5);
+    runtime.Branch(SvUgt(x, lowlevel::SymValue(10, 8)), 777);
+    ASSERT_EQ(tree.pending().size(), 1u);
+    const auto& state = tree.pending().begin()->second;
+    EXPECT_EQ(state.static_hlpc, 101u);
+    EXPECT_EQ(state.hl_opcode, static_cast<uint32_t>(kOpCmp));
+    EXPECT_NE(state.dynamic_hlpc, 0u);
+
+    const HlPathInfo info = tracker.EndRun();
+    EXPECT_TRUE(info.is_new_path);
+    EXPECT_EQ(info.length, 2u);
+}
+
+TEST(HlpcTracker, DistinguishesHlPaths)
+{
+    lowlevel::ExecutionTree tree;
+    solver::Solver solver;
+    lowlevel::LowLevelRuntime runtime(&tree, &solver, {});
+    HlpcTracker tracker;
+    tracker.Attach(&runtime);
+    tracker.Reset();
+
+    // Run 1: 100 -> 101.
+    runtime.BeginRun(solver::Assignment());
+    tracker.BeginRun();
+    runtime.LogPc(100, kOpLoad);
+    runtime.LogPc(101, kOpLoad);
+    EXPECT_TRUE(tracker.EndRun().is_new_path);
+
+    // Run 2 identical: not a new path.
+    runtime.BeginRun(solver::Assignment());
+    tracker.BeginRun();
+    runtime.LogPc(100, kOpLoad);
+    runtime.LogPc(101, kOpLoad);
+    EXPECT_FALSE(tracker.EndRun().is_new_path);
+
+    // Run 3 diverges: new path.
+    runtime.BeginRun(solver::Assignment());
+    tracker.BeginRun();
+    runtime.LogPc(100, kOpLoad);
+    runtime.LogPc(102, kOpLoad);
+    EXPECT_TRUE(tracker.EndRun().is_new_path);
+
+    // Run 4 is a strict prefix: it ends at an interior node that was never
+    // terminal, so it is also a distinct high-level path.
+    runtime.BeginRun(solver::Assignment());
+    tracker.BeginRun();
+    runtime.LogPc(100, kOpLoad);
+    EXPECT_TRUE(tracker.EndRun().is_new_path);
+}
+
+}  // namespace
+}  // namespace chef::hll

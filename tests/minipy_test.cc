@@ -1,0 +1,603 @@
+/// \file
+/// MiniPy interpreter tests: concrete execution of guest programs. These
+/// pin down the language semantics the symbolic engine then explores.
+
+#include <gtest/gtest.h>
+
+#include "minipy/vm.h"
+
+namespace chef::minipy {
+namespace {
+
+struct RunResult {
+    std::string output;
+    VmOutcome outcome;
+};
+
+RunResult
+RunPy(const std::string& source)
+{
+    lowlevel::ExecutionTree tree;
+    solver::Solver solver;
+    lowlevel::LowLevelRuntime rt(&tree, &solver, {});
+    rt.BeginRun(solver::Assignment());
+
+    CompileResult compiled = Compile(source);
+    if (!compiled.ok) {
+        return {"<compile error: " + compiled.error + " at line " +
+                    std::to_string(compiled.error_line) + ">",
+                {}};
+    }
+    Vm vm(&rt, compiled.program, Vm::Options{});
+    RunResult result;
+    result.outcome = vm.RunModule();
+    result.output = vm.output();
+    return result;
+}
+
+std::string
+Out(const std::string& source)
+{
+    return RunPy(source).output;
+}
+
+TEST(MiniPyBasics, PrintLiterals)
+{
+    EXPECT_EQ(Out("print(42)\n"), "42\n");
+    EXPECT_EQ(Out("print('hello')\n"), "hello\n");
+    EXPECT_EQ(Out("print(True, False, None)\n"), "True False None\n");
+    EXPECT_EQ(Out("print(-7)\n"), "-7\n");
+    EXPECT_EQ(Out("print(0x1f)\n"), "31\n");
+}
+
+TEST(MiniPyBasics, Arithmetic)
+{
+    EXPECT_EQ(Out("print(2 + 3 * 4)\n"), "14\n");
+    EXPECT_EQ(Out("print((2 + 3) * 4)\n"), "20\n");
+    EXPECT_EQ(Out("print(7 // 2, 7 % 2)\n"), "3 1\n");
+    EXPECT_EQ(Out("print(-7 // 2, -7 % 2)\n"), "-4 1\n");  // Floor div.
+    EXPECT_EQ(Out("print(7 // -2, 7 % -2)\n"), "-4 -1\n");
+    EXPECT_EQ(Out("print(2 - 5)\n"), "-3\n");
+    EXPECT_EQ(Out("print(1 << 4, 256 >> 2)\n"), "16 64\n");
+    EXPECT_EQ(Out("print(6 & 3, 6 | 3, 6 ^ 3)\n"), "2 7 5\n");
+    EXPECT_EQ(Out("print(~5)\n"), "-6\n");
+}
+
+TEST(MiniPyBasics, Comparisons)
+{
+    EXPECT_EQ(Out("print(1 < 2, 2 <= 2, 3 > 4, 4 >= 4)\n"),
+              "True True False True\n");
+    EXPECT_EQ(Out("print(1 == 1, 1 != 1)\n"), "True False\n");
+    EXPECT_EQ(Out("print('ab' == 'ab', 'ab' == 'ac')\n"),
+              "True False\n");
+    EXPECT_EQ(Out("print('ab' < 'b', 'abc' < 'abd')\n"), "True True\n");
+    EXPECT_EQ(Out("print(True == 1, False == 0)\n"), "True True\n");
+    EXPECT_EQ(Out("print(1 == '1')\n"), "False\n");
+    EXPECT_EQ(Out("print(None == None, None is None)\n"), "True True\n");
+}
+
+TEST(MiniPyBasics, BoolOpsShortCircuit)
+{
+    EXPECT_EQ(Out("print(1 and 2)\n"), "2\n");
+    EXPECT_EQ(Out("print(0 and 2)\n"), "0\n");
+    EXPECT_EQ(Out("print(0 or 'x')\n"), "x\n");
+    EXPECT_EQ(Out("print(not 0, not 'a')\n"), "True False\n");
+    // Short circuit avoids the crash.
+    EXPECT_EQ(Out("d = {}\n"
+                  "print(False and d['missing'])\n"),
+              "False\n");
+}
+
+TEST(MiniPyControlFlow, IfElifElse)
+{
+    const char* program = R"(x = 7
+if x > 10:
+    print('big')
+elif x > 5:
+    print('medium')
+else:
+    print('small')
+)";
+    EXPECT_EQ(Out(program), "medium\n");
+}
+
+TEST(MiniPyControlFlow, WhileWithBreakContinue)
+{
+    const char* program = R"(i = 0
+total = 0
+while True:
+    i = i + 1
+    if i > 10:
+        break
+    if i % 2 == 0:
+        continue
+    total = total + i
+print(total)
+)";
+    EXPECT_EQ(Out(program), "25\n");
+}
+
+TEST(MiniPyControlFlow, ForOverListAndRange)
+{
+    EXPECT_EQ(Out("for x in [1, 2, 3]:\n    print(x)\n"), "1\n2\n3\n");
+    EXPECT_EQ(Out("t = 0\nfor i in range(5):\n    t = t + i\nprint(t)\n"),
+              "10\n");
+    EXPECT_EQ(Out("for i in range(2, 5):\n    print(i)\n"), "2\n3\n4\n");
+    EXPECT_EQ(Out("for i in range(6, 0, -2):\n    print(i)\n"),
+              "6\n4\n2\n");
+    EXPECT_EQ(Out("for c in 'abc':\n    print(c)\n"), "a\nb\nc\n");
+}
+
+TEST(MiniPyControlFlow, ForWithBreakAndTupleUnpack)
+{
+    const char* program = R"(pairs = [(1, 'a'), (2, 'b'), (3, 'c')]
+for n, s in pairs:
+    if n == 2:
+        print('found', s)
+        break
+)";
+    EXPECT_EQ(Out(program), "found b\n");
+}
+
+TEST(MiniPyFunctions, DefCallReturn)
+{
+    const char* program = R"(def add(a, b):
+    return a + b
+print(add(2, 3))
+)";
+    EXPECT_EQ(Out(program), "5\n");
+}
+
+TEST(MiniPyFunctions, DefaultsAndKeywords)
+{
+    const char* program = R"(def greet(name, greeting='hello', punct='!'):
+    return greeting + ' ' + name + punct
+print(greet('world'))
+print(greet('bob', 'hi'))
+print(greet('eve', punct='?'))
+print(greet(name='zed', greeting='yo'))
+)";
+    EXPECT_EQ(Out(program), "hello world!\nhi bob!\nhello eve?\nyo zed!\n");
+}
+
+TEST(MiniPyFunctions, Recursion)
+{
+    const char* program = R"(def fib(n):
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+print(fib(10))
+)";
+    EXPECT_EQ(Out(program), "55\n");
+}
+
+TEST(MiniPyFunctions, RecursionLimit)
+{
+    const char* program = R"(def loop(n):
+    return loop(n + 1)
+try:
+    loop(0)
+except RecursionError:
+    print('caught')
+)";
+    EXPECT_EQ(Out(program), "caught\n");
+}
+
+TEST(MiniPyFunctions, GlobalsAndLocals)
+{
+    const char* program = R"(counter = 0
+def bump():
+    global counter
+    counter = counter + 1
+def shadow():
+    counter = 99
+    return counter
+bump()
+bump()
+print(counter, shadow(), counter)
+)";
+    EXPECT_EQ(Out(program), "2 99 2\n");
+}
+
+TEST(MiniPyFunctions, Lambda)
+{
+    EXPECT_EQ(Out("f = lambda x, y: x * y + 1\nprint(f(3, 4))\n"),
+              "13\n");
+}
+
+TEST(MiniPyStrings, MethodsBasics)
+{
+    EXPECT_EQ(Out("print('user@host'.find('@'))\n"), "4\n");
+    EXPECT_EQ(Out("print('abc'.find('z'))\n"), "-1\n");
+    EXPECT_EQ(Out("print('a,b,,c'.split(','))\n"),
+              "['a', 'b', '', 'c']\n");
+    EXPECT_EQ(Out("print('  hi  '.strip())\n"), "hi\n");
+    EXPECT_EQ(Out("print('Hello'.lower(), 'Hello'.upper())\n"),
+              "hello HELLO\n");
+    EXPECT_EQ(Out("print('ab cd'.startswith('ab'), "
+                  "'ab cd'.endswith('cd'))\n"),
+              "True True\n");
+    EXPECT_EQ(Out("print('-'.join(['a', 'b', 'c']))\n"), "a-b-c\n");
+    EXPECT_EQ(Out("print('aXbXc'.replace('X', '--'))\n"), "a--b--c\n");
+    EXPECT_EQ(Out("print('banana'.count('an'))\n"), "2\n");
+    EXPECT_EQ(Out("print('123'.isdigit(), '12a'.isdigit(), "
+                  "''.isdigit())\n"),
+              "True False False\n");
+    EXPECT_EQ(Out("print('one two'.split())\n"), "['one', 'two']\n");
+}
+
+TEST(MiniPyStrings, IndexSliceConcatRepeat)
+{
+    EXPECT_EQ(Out("s = 'hello'\nprint(s[0], s[4], s[-1])\n"),
+              "h o o\n");
+    EXPECT_EQ(Out("s = 'hello'\nprint(s[1:3], s[:2], s[3:], s[:])\n"),
+              "el he lo hello\n");
+    EXPECT_EQ(Out("print('ab' + 'cd')\n"), "abcd\n");
+    EXPECT_EQ(Out("print('ab' * 3)\n"), "ababab\n");
+    EXPECT_EQ(Out("print(len('chef'))\n"), "4\n");
+    EXPECT_EQ(Out("print('e' in 'chef', 'z' in 'chef')\n"),
+              "True False\n");
+    EXPECT_EQ(Out("print(ord('A'), chr(66))\n"), "65 B\n");
+}
+
+TEST(MiniPyStrings, Conversions)
+{
+    EXPECT_EQ(Out("print(int('42'), int('-17'), int(' 8 '))\n"),
+              "42 -17 8\n");
+    EXPECT_EQ(Out("print(str(42) + str(-3))\n"), "42-3\n");
+    EXPECT_EQ(Out("try:\n    int('4x')\nexcept ValueError:\n"
+                  "    print('bad')\n"),
+              "bad\n");
+}
+
+TEST(MiniPyLists, CoreOps)
+{
+    EXPECT_EQ(Out("l = [1, 2]\nl.append(3)\nprint(l, len(l))\n"),
+              "[1, 2, 3] 3\n");
+    EXPECT_EQ(Out("l = [1, 2, 3]\nprint(l.pop(), l)\n"), "3 [1, 2]\n");
+    EXPECT_EQ(Out("l = [1, 2, 3]\nprint(l.pop(0), l)\n"), "1 [2, 3]\n");
+    EXPECT_EQ(Out("l = [1]\nl.extend([2, 3])\nprint(l)\n"),
+              "[1, 2, 3]\n");
+    EXPECT_EQ(Out("l = [1, 3]\nl.insert(1, 2)\nprint(l)\n"),
+              "[1, 2, 3]\n");
+    EXPECT_EQ(Out("print([10, 20, 30].index(20))\n"), "1\n");
+    EXPECT_EQ(Out("l = [1, 2, 3]\nl.reverse()\nprint(l)\n"),
+              "[3, 2, 1]\n");
+    EXPECT_EQ(Out("print([1, 2, 2, 3].count(2))\n"), "2\n");
+    EXPECT_EQ(Out("l = [1, 2]\nl[0] = 9\nprint(l)\n"), "[9, 2]\n");
+    EXPECT_EQ(Out("print([1, 2] + [3])\n"), "[1, 2, 3]\n");
+    EXPECT_EQ(Out("print([0] * 4)\n"), "[0, 0, 0, 0]\n");
+    EXPECT_EQ(Out("print(2 in [1, 2], 5 in [1, 2])\n"), "True False\n");
+    EXPECT_EQ(Out("l = [1, 2, 3, 4]\nprint(l[1:3])\n"), "[2, 3]\n");
+}
+
+TEST(MiniPyDicts, CoreOps)
+{
+    EXPECT_EQ(Out("d = {'a': 1, 'b': 2}\nprint(d['a'], d['b'])\n"),
+              "1 2\n");
+    EXPECT_EQ(Out("d = {}\nd['x'] = 5\nd['x'] = 6\nprint(d['x'], "
+                  "len(d))\n"),
+              "6 1\n");
+    EXPECT_EQ(Out("d = {'a': 1}\nprint('a' in d, 'b' in d)\n"),
+              "True False\n");
+    EXPECT_EQ(Out("d = {'a': 1}\nprint(d.get('a'), d.get('b'), "
+                  "d.get('b', 9))\n"),
+              "1 None 9\n");
+    EXPECT_EQ(Out("d = {'a': 1, 'b': 2}\nprint(d.keys())\n"),
+              "['a', 'b']\n");
+    EXPECT_EQ(Out("d = {'a': 1, 'b': 2}\nprint(d.items())\n"),
+              "[('a', 1), ('b', 2)]\n");
+    EXPECT_EQ(Out("d = {}\nprint(d.setdefault('k', []), d)\n"),
+              "[] {'k': []}\n");
+    EXPECT_EQ(Out("d = {'a': 1}\nprint(d.pop('a'), len(d))\n"), "1 0\n");
+    EXPECT_EQ(Out("d = {1: 'x', 2: 'y'}\nprint(d[2])\n"), "y\n");
+    EXPECT_EQ(Out("d = {'a': 1}\ntry:\n    d['zz']\nexcept KeyError:\n"
+                  "    print('missing')\n"),
+              "missing\n");
+    EXPECT_EQ(Out("d = {}\nfor i in range(20):\n    d[i] = i * i\n"
+                  "print(len(d), d[7], d[19])\n"),
+              "20 49 361\n");  // Exercises rehashing.
+}
+
+TEST(MiniPyDicts, IterationOrder)
+{
+    EXPECT_EQ(Out("d = {'b': 2, 'a': 1}\nfor k in d:\n    print(k)\n"),
+              "b\na\n");
+}
+
+TEST(MiniPyExceptions, RaiseCatch)
+{
+    const char* program = R"(try:
+    raise ValueError('oops')
+except ValueError as e:
+    print('caught', e)
+)";
+    EXPECT_EQ(Out(program), "caught oops\n");
+}
+
+TEST(MiniPyExceptions, MatchingOrder)
+{
+    const char* program = R"(def f(k):
+    try:
+        if k == 0:
+            raise KeyError('k')
+        raise ValueError('v')
+    except KeyError:
+        return 'key'
+    except ValueError:
+        return 'value'
+print(f(0), f(1))
+)";
+    EXPECT_EQ(Out(program), "key value\n");
+}
+
+TEST(MiniPyExceptions, BaseClassCatches)
+{
+    const char* program = R"(try:
+    raise IndexError('x')
+except Exception as e:
+    print('generic', e)
+)";
+    EXPECT_EQ(Out(program), "generic x\n");
+}
+
+TEST(MiniPyExceptions, UncaughtPropagates)
+{
+    RunResult result = RunPy("raise RuntimeError('boom')\n");
+    EXPECT_FALSE(result.outcome.ok);
+    EXPECT_EQ(result.outcome.exception_type, "RuntimeError");
+    EXPECT_EQ(result.outcome.exception_message, "boom");
+}
+
+TEST(MiniPyExceptions, ZeroDivisionAndIndexError)
+{
+    EXPECT_EQ(Out("try:\n    x = 1 // 0\nexcept ZeroDivisionError:\n"
+                  "    print('div0')\n"),
+              "div0\n");
+    EXPECT_EQ(Out("l = [1]\ntry:\n    l[5]\nexcept IndexError:\n"
+                  "    print('oob')\n"),
+              "oob\n");
+}
+
+TEST(MiniPyExceptions, UserDefinedHierarchy)
+{
+    const char* program = R"(class AppError(Exception):
+    pass
+class ParseError(AppError):
+    pass
+try:
+    raise ParseError('bad input')
+except AppError as e:
+    print('app error:', e)
+)";
+    EXPECT_EQ(Out(program), "app error: bad input\n");
+}
+
+TEST(MiniPyExceptions, NestedTryReRaise)
+{
+    const char* program = R"(def risky():
+    try:
+        raise ValueError('inner')
+    except KeyError:
+        print('wrong handler')
+try:
+    risky()
+except ValueError as e:
+    print('outer caught', e)
+)";
+    EXPECT_EQ(Out(program), "outer caught inner\n");
+}
+
+TEST(MiniPyExceptions, AssertStatement)
+{
+    EXPECT_EQ(Out("try:\n    assert 1 == 2, 'nope'\n"
+                  "except AssertionError as e:\n    print('assert', e)\n"),
+              "assert nope\n");
+    EXPECT_EQ(Out("assert True\nprint('ok')\n"), "ok\n");
+}
+
+TEST(MiniPyClasses, BasicsAndMethods)
+{
+    const char* program = R"(class Point:
+    def __init__(self, x, y):
+        self.x = x
+        self.y = y
+    def dist2(self):
+        return self.x * self.x + self.y * self.y
+p = Point(3, 4)
+print(p.x, p.y, p.dist2())
+p.x = 6
+print(p.dist2())
+)";
+    EXPECT_EQ(Out(program), "3 4 25\n52\n");
+}
+
+TEST(MiniPyClasses, Inheritance)
+{
+    const char* program = R"(class Animal:
+    def __init__(self, name):
+        self.name = name
+    def speak(self):
+        return self.name + ' makes a sound'
+class Dog(Animal):
+    def speak(self):
+        return self.name + ' barks'
+a = Animal('cat')
+d = Dog('rex')
+print(a.speak())
+print(d.speak())
+print(isinstance(d, Animal), isinstance(a, Dog))
+)";
+    EXPECT_EQ(Out(program),
+              "cat makes a sound\nrex barks\nTrue False\n");
+}
+
+TEST(MiniPyClasses, ClassAttributes)
+{
+    const char* program = R"(class Config:
+    DEBUG = False
+    LIMIT = 10
+print(Config.DEBUG, Config.LIMIT)
+c = Config()
+print(c.LIMIT)
+)";
+    EXPECT_EQ(Out(program), "False 10\n10\n");
+}
+
+TEST(MiniPyBuiltins, MinMaxAbs)
+{
+    EXPECT_EQ(Out("print(min(3, 1, 2), max(3, 1, 2))\n"), "1 3\n");
+    EXPECT_EQ(Out("print(min([4, 2, 9]), max([4, 2, 9]))\n"), "2 9\n");
+    EXPECT_EQ(Out("print(abs(-5), abs(5))\n"), "5 5\n");
+}
+
+TEST(MiniPyBuiltins, ListTupleConstructors)
+{
+    EXPECT_EQ(Out("print(list('abc'))\n"), "['a', 'b', 'c']\n");
+    EXPECT_EQ(Out("print(list(range(3)))\n"), "[0, 1, 2]\n");
+    EXPECT_EQ(Out("print(tuple([1, 2]))\n"), "(1, 2)\n");
+}
+
+TEST(MiniPyMisc, TupleAssignmentAndSwap)
+{
+    EXPECT_EQ(Out("a, b = 1, 2\na, b = b, a\nprint(a, b)\n"), "2 1\n");
+}
+
+TEST(MiniPyMisc, AugmentedAssignment)
+{
+    EXPECT_EQ(Out("x = 10\nx += 5\nx -= 3\nx *= 2\nx //= 3\nprint(x)\n"),
+              "8\n");
+    EXPECT_EQ(Out("l = [1]\nl += [2]\nprint(l)\n"), "[1, 2]\n");
+    EXPECT_EQ(Out("d = {'n': 1}\nd['n'] += 9\nprint(d['n'])\n"), "10\n");
+}
+
+TEST(MiniPyMisc, NestedDataStructures)
+{
+    const char* program = R"(data = {'users': [{'name': 'ann'}, {'name': 'bob'}]}
+print(data['users'][1]['name'])
+data['users'].append({'name': 'carl'})
+print(len(data['users']))
+)";
+    EXPECT_EQ(Out(program), "bob\n3\n");
+}
+
+TEST(MiniPyMisc, CommentsAndBlankLines)
+{
+    const char* program = R"(# leading comment
+x = 1  # trailing comment
+
+# comment between statements
+
+print(x)
+)";
+    EXPECT_EQ(Out(program), "1\n");
+}
+
+TEST(MiniPyMisc, MultilineCollections)
+{
+    const char* program = R"(values = [
+    1,
+    2,
+    3,
+]
+table = {
+    'a': 1,
+    'b': 2,
+}
+print(len(values), len(table))
+)";
+    EXPECT_EQ(Out(program), "3 2\n");
+}
+
+TEST(MiniPyMisc, StringEscapes)
+{
+    EXPECT_EQ(Out("print(len('\\x00\\x01\\xff'))\n"), "3\n");
+    EXPECT_EQ(Out("print('a\\tb')\n"), "a\tb\n");
+    EXPECT_EQ(Out(R"(print('it\'s'))" "\n"), "it's\n");
+}
+
+TEST(MiniPyErrors, CompileErrors)
+{
+    EXPECT_NE(Out("def f(:\n    pass\n").find("<compile error"),
+              std::string::npos);
+    EXPECT_NE(Out("x = 1.5\n").find("<compile error"),
+              std::string::npos);  // Floats rejected.
+    EXPECT_NE(Out("return 5\n").find("<compile error"),
+              std::string::npos);
+}
+
+TEST(MiniPyErrors, NameErrors)
+{
+    RunResult result = RunPy("print(undefined_name)\n");
+    EXPECT_FALSE(result.outcome.ok);
+    EXPECT_EQ(result.outcome.exception_type, "NameError");
+}
+
+TEST(MiniPyErrors, TypeErrors)
+{
+    RunResult result = RunPy("x = 'a' + 1\n");
+    EXPECT_FALSE(result.outcome.ok);
+    EXPECT_EQ(result.outcome.exception_type, "TypeError");
+}
+
+/// A small end-to-end parser program, shaped like the evaluation
+/// workloads.
+TEST(MiniPyPrograms, CsvLikeParser)
+{
+    const char* program = R"(def parse_line(line):
+    fields = line.split(',')
+    out = []
+    for f in fields:
+        out.append(f.strip())
+    return out
+
+rows = []
+for line in ['a, b ,c', '1,2,3']:
+    rows.append(parse_line(line))
+print(rows)
+)";
+    EXPECT_EQ(Out(program),
+              "[['a', 'b', 'c'], ['1', '2', '3']]\n");
+}
+
+TEST(MiniPyPrograms, WordCount)
+{
+    const char* program = R"(text = 'the cat and the dog and the bird'
+counts = {}
+for word in text.split():
+    counts[word] = counts.get(word, 0) + 1
+print(counts['the'], counts['and'], counts.get('fish', 0))
+)";
+    EXPECT_EQ(Out(program), "3 2 0\n");
+}
+
+TEST(MiniPyPrograms, ValidateEmailFromPaper)
+{
+    // The paper's Figure 2 example, concretely.
+    const char* program = R"(class InvalidEmailError(Exception):
+    pass
+
+def validateEmail(email):
+    at_sign_pos = email.find('@')
+    if at_sign_pos < 3:
+        raise InvalidEmailError('bad email')
+    return True
+
+print(validateEmail('user@host'))
+try:
+    validateEmail('u@h')
+except InvalidEmailError:
+    print('rejected')
+)";
+    EXPECT_EQ(Out(program), "True\nrejected\n");
+}
+
+TEST(MiniPyPrograms, AverageFromPaper)
+{
+    EXPECT_EQ(Out("def average(x, y):\n    return (x + y) // 2\n"
+                  "print(average(10, 20))\n"),
+              "15\n");
+}
+
+}  // namespace
+}  // namespace chef::minipy

@@ -1,0 +1,239 @@
+/// \file
+/// Tests for the CDCL SAT solver, including a brute-force cross-check on
+/// random small instances.
+
+#include "solver/sat.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace chef::solver {
+namespace {
+
+TEST(Sat, EmptyFormulaIsSat)
+{
+    CnfFormula formula;
+    SatSolver solver;
+    EXPECT_EQ(solver.Solve(formula), SatStatus::kSat);
+}
+
+TEST(Sat, SingleUnit)
+{
+    CnfFormula formula;
+    const int x = formula.NewVar();
+    formula.AddUnit(x);
+    SatSolver solver;
+    ASSERT_EQ(solver.Solve(formula), SatStatus::kSat);
+    EXPECT_TRUE(solver.ModelValue(x));
+}
+
+TEST(Sat, ContradictoryUnitsAreUnsat)
+{
+    CnfFormula formula;
+    const int x = formula.NewVar();
+    formula.AddUnit(x);
+    formula.AddUnit(-x);
+    SatSolver solver;
+    EXPECT_EQ(solver.Solve(formula), SatStatus::kUnsat);
+}
+
+TEST(Sat, EmptyClauseIsUnsat)
+{
+    CnfFormula formula;
+    formula.AddClause({});
+    SatSolver solver;
+    EXPECT_EQ(solver.Solve(formula), SatStatus::kUnsat);
+}
+
+TEST(Sat, TautologicalClauseIsDropped)
+{
+    CnfFormula formula;
+    const int x = formula.NewVar();
+    formula.AddClause({x, -x});
+    EXPECT_EQ(formula.clauses().size(), 0u);
+}
+
+TEST(Sat, SimpleImplicationChain)
+{
+    CnfFormula formula;
+    const int a = formula.NewVar();
+    const int b = formula.NewVar();
+    const int c = formula.NewVar();
+    formula.AddUnit(a);
+    formula.AddBinary(-a, b);   // a -> b
+    formula.AddBinary(-b, c);   // b -> c
+    SatSolver solver;
+    ASSERT_EQ(solver.Solve(formula), SatStatus::kSat);
+    EXPECT_TRUE(solver.ModelValue(a));
+    EXPECT_TRUE(solver.ModelValue(b));
+    EXPECT_TRUE(solver.ModelValue(c));
+}
+
+TEST(Sat, RequiresConflictAnalysis)
+{
+    // (a | b) & (a | -b) & (-a | c) & (-a | -c) is unsat via two levels.
+    CnfFormula formula;
+    const int a = formula.NewVar();
+    const int b = formula.NewVar();
+    const int c = formula.NewVar();
+    formula.AddBinary(a, b);
+    formula.AddBinary(a, -b);
+    formula.AddBinary(-a, c);
+    formula.AddBinary(-a, -c);
+    SatSolver solver;
+    EXPECT_EQ(solver.Solve(formula), SatStatus::kUnsat);
+}
+
+/// Builds pigeonhole PHP(n+1, n): n+1 pigeons into n holes; always unsat.
+CnfFormula
+Pigeonhole(int holes)
+{
+    const int pigeons = holes + 1;
+    CnfFormula formula;
+    // var(p, h): pigeon p sits in hole h.
+    std::vector<std::vector<int>> var(pigeons, std::vector<int>(holes));
+    for (int p = 0; p < pigeons; ++p) {
+        for (int h = 0; h < holes; ++h) {
+            var[p][h] = formula.NewVar();
+        }
+    }
+    for (int p = 0; p < pigeons; ++p) {
+        std::vector<Lit> clause;
+        for (int h = 0; h < holes; ++h) {
+            clause.push_back(var[p][h]);
+        }
+        formula.AddClause(clause);
+    }
+    for (int h = 0; h < holes; ++h) {
+        for (int p1 = 0; p1 < pigeons; ++p1) {
+            for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+                formula.AddBinary(-var[p1][h], -var[p2][h]);
+            }
+        }
+    }
+    return formula;
+}
+
+TEST(Sat, PigeonholeUnsat)
+{
+    for (int holes = 2; holes <= 5; ++holes) {
+        SatSolver solver;
+        EXPECT_EQ(solver.Solve(Pigeonhole(holes)), SatStatus::kUnsat)
+            << "PHP with " << holes << " holes";
+    }
+}
+
+TEST(Sat, ModelSatisfiesAllClauses)
+{
+    // Random satisfiable instance: plant a solution, add clauses
+    // consistent with it.
+    Rng rng(42);
+    CnfFormula formula;
+    const int num_vars = 50;
+    std::vector<bool> planted(num_vars + 1);
+    for (int v = 1; v <= num_vars; ++v) {
+        formula.NewVar();
+        planted[v] = rng.Chance(0.5);
+    }
+    for (int i = 0; i < 300; ++i) {
+        std::vector<Lit> clause;
+        bool satisfied = false;
+        for (int k = 0; k < 3; ++k) {
+            const int v = 1 + static_cast<int>(rng.NextBelow(num_vars));
+            const bool positive = rng.Chance(0.5);
+            clause.push_back(positive ? v : -v);
+            satisfied |= (positive == planted[v]);
+        }
+        if (!satisfied) {
+            // Flip one literal to agree with the planted model.
+            const int v = std::abs(clause[0]);
+            clause[0] = planted[v] ? v : -v;
+        }
+        formula.AddClause(clause);
+    }
+    SatSolver solver;
+    ASSERT_EQ(solver.Solve(formula), SatStatus::kSat);
+    for (const auto& clause : formula.clauses()) {
+        bool satisfied = false;
+        for (Lit lit : clause) {
+            const bool value = solver.ModelValue(std::abs(lit));
+            satisfied |= (lit > 0) == value;
+        }
+        EXPECT_TRUE(satisfied);
+    }
+}
+
+/// Brute-force satisfiability for cross-checking (<= 16 variables).
+bool
+BruteForceSat(const CnfFormula& formula)
+{
+    const int n = formula.num_vars();
+    for (uint32_t bits = 0; bits < (1u << n); ++bits) {
+        bool all = true;
+        for (const auto& clause : formula.clauses()) {
+            bool sat = false;
+            for (Lit lit : clause) {
+                const bool value = (bits >> (std::abs(lit) - 1)) & 1;
+                sat |= (lit > 0) == value;
+            }
+            if (!sat) {
+                all = false;
+                break;
+            }
+        }
+        if (all) {
+            return true;
+        }
+    }
+    return false;
+}
+
+class SatRandomCrossCheck : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SatRandomCrossCheck, AgreesWithBruteForce)
+{
+    Rng rng(GetParam());
+    for (int round = 0; round < 40; ++round) {
+        CnfFormula formula;
+        const int num_vars = 4 + static_cast<int>(rng.NextBelow(8));
+        for (int v = 0; v < num_vars; ++v) {
+            formula.NewVar();
+        }
+        // Clause density around 4.3 makes roughly half the instances
+        // unsatisfiable.
+        const int num_clauses =
+            static_cast<int>(num_vars * 4.3) +
+            static_cast<int>(rng.NextBelow(4));
+        for (int i = 0; i < num_clauses; ++i) {
+            std::vector<Lit> clause;
+            for (int k = 0; k < 3; ++k) {
+                const int v =
+                    1 + static_cast<int>(rng.NextBelow(num_vars));
+                clause.push_back(rng.Chance(0.5) ? v : -v);
+            }
+            formula.AddClause(clause);
+        }
+        SatSolver solver;
+        const SatStatus status = solver.Solve(formula);
+        const bool expected = BruteForceSat(formula);
+        EXPECT_EQ(status,
+                  expected ? SatStatus::kSat : SatStatus::kUnsat)
+            << "seed=" << GetParam() << " round=" << round;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatRandomCrossCheck,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Sat, ConflictLimitReportsUnknown)
+{
+    SatSolver::Options options;
+    options.max_conflicts = 1;
+    SatSolver solver(options);
+    const SatStatus status = solver.Solve(Pigeonhole(6));
+    EXPECT_EQ(status, SatStatus::kUnknown);
+}
+
+}  // namespace
+}  // namespace chef::solver

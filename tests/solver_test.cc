@@ -1,0 +1,192 @@
+/// \file
+/// Tests for the Solver facade: caching, model reuse, upper bound search.
+
+#include "solver/solver.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace chef::solver {
+namespace {
+
+TEST(Solver, EmptyQueryIsSat)
+{
+    Solver solver;
+    Assignment model;
+    EXPECT_EQ(solver.Solve({}, &model), QueryResult::kSat);
+}
+
+TEST(Solver, TrivialTrueAssertionIsSat)
+{
+    Solver solver;
+    EXPECT_EQ(solver.Solve({MakeBool(true)}, nullptr), QueryResult::kSat);
+    EXPECT_EQ(solver.stats().sat_calls, 0u);
+}
+
+TEST(Solver, TrivialFalseAssertionIsUnsat)
+{
+    Solver solver;
+    EXPECT_EQ(solver.Solve({MakeBool(false)}, nullptr),
+              QueryResult::kUnsat);
+    EXPECT_EQ(solver.stats().sat_calls, 0u);
+}
+
+TEST(Solver, ModelSatisfiesQuery)
+{
+    Solver solver;
+    const ExprRef x = MakeVar(1, "x", 32);
+    const ExprRef y = MakeVar(2, "y", 32);
+    const std::vector<ExprRef> assertions = {
+        MakeUgt(x, MakeConst(100, 32)),
+        MakeUlt(x, MakeConst(110, 32)),
+        MakeEq(MakeAdd(x, y), MakeConst(300, 32)),
+    };
+    Assignment model;
+    ASSERT_EQ(solver.Solve(assertions, &model), QueryResult::kSat);
+    const uint64_t xv = model.Get(1);
+    const uint64_t yv = model.Get(2);
+    EXPECT_GT(xv, 100u);
+    EXPECT_LT(xv, 110u);
+    EXPECT_EQ((xv + yv) & 0xffffffffu, 300u);
+}
+
+TEST(Solver, ContradictionIsUnsat)
+{
+    Solver solver;
+    const ExprRef x = MakeVar(1, "x", 8);
+    EXPECT_EQ(solver.Solve({MakeUlt(x, MakeConst(5, 8)),
+                            MakeUgt(x, MakeConst(10, 8))},
+                           nullptr),
+              QueryResult::kUnsat);
+}
+
+TEST(Solver, QueryCacheHitsOnRepeat)
+{
+    Solver solver;
+    const ExprRef x = MakeVar(1, "x", 16);
+    const std::vector<ExprRef> assertions = {
+        MakeEq(x, MakeConst(77, 16))};
+    Assignment model;
+    ASSERT_EQ(solver.Solve(assertions, &model), QueryResult::kSat);
+    const uint64_t sat_calls = solver.stats().sat_calls;
+    // Structurally identical but freshly constructed assertion.
+    const ExprRef x2 = MakeVar(1, "x", 16);
+    Assignment model2;
+    ASSERT_EQ(solver.Solve({MakeEq(x2, MakeConst(77, 16))}, &model2),
+              QueryResult::kSat);
+    EXPECT_EQ(solver.stats().sat_calls, sat_calls);
+    EXPECT_GE(solver.stats().cache_hits, 1u);
+    EXPECT_EQ(model2.Get(1), 77u);
+}
+
+TEST(Solver, CacheIsOrderInsensitive)
+{
+    Solver solver;
+    const ExprRef x = MakeVar(1, "x", 16);
+    const ExprRef a = MakeUgt(x, MakeConst(10, 16));
+    const ExprRef b = MakeUlt(x, MakeConst(20, 16));
+    ASSERT_EQ(solver.Solve({a, b}, nullptr), QueryResult::kSat);
+    const uint64_t sat_calls = solver.stats().sat_calls;
+    ASSERT_EQ(solver.Solve({b, a}, nullptr), QueryResult::kSat);
+    EXPECT_EQ(solver.stats().sat_calls, sat_calls);
+}
+
+TEST(Solver, ModelReuseAvoidsSatCalls)
+{
+    Solver solver;
+    const ExprRef x = MakeVar(1, "x", 32);
+    Assignment model;
+    ASSERT_EQ(solver.Solve({MakeUgt(x, MakeConst(50, 32))}, &model),
+              QueryResult::kSat);
+    const uint64_t sat_calls = solver.stats().sat_calls;
+    // A weaker query is satisfied by the cached model without a SAT call.
+    ASSERT_EQ(solver.Solve({MakeUgt(x, MakeConst(10, 32))}, nullptr),
+              QueryResult::kSat);
+    EXPECT_EQ(solver.stats().sat_calls, sat_calls);
+    EXPECT_GE(solver.stats().model_reuse_hits, 1u);
+}
+
+TEST(Solver, DisablingCacheForcesResolve)
+{
+    Solver::Options options;
+    options.enable_query_cache = false;
+    options.enable_model_reuse = false;
+    Solver solver(options);
+    const ExprRef x = MakeVar(1, "x", 16);
+    ASSERT_EQ(solver.Solve({MakeEq(x, MakeConst(5, 16))}, nullptr),
+              QueryResult::kSat);
+    ASSERT_EQ(solver.Solve({MakeEq(x, MakeConst(5, 16))}, nullptr),
+              QueryResult::kSat);
+    EXPECT_EQ(solver.stats().sat_calls, 2u);
+}
+
+TEST(Solver, UpperBoundExact)
+{
+    Solver solver;
+    const ExprRef x = MakeVar(1, "x", 8);
+    uint64_t bound = 0;
+    // x < 57 constrains max to 56.
+    ASSERT_TRUE(solver.UpperBound({MakeUlt(x, MakeConst(57, 8))}, x,
+                                  &bound));
+    EXPECT_EQ(bound, 56u);
+}
+
+TEST(Solver, UpperBoundUnconstrained)
+{
+    Solver solver;
+    const ExprRef x = MakeVar(1, "x", 8);
+    uint64_t bound = 0;
+    ASSERT_TRUE(solver.UpperBound({}, x, &bound));
+    EXPECT_EQ(bound, 255u);
+}
+
+TEST(Solver, UpperBoundOfDerivedExpression)
+{
+    Solver solver;
+    const ExprRef x = MakeVar(1, "x", 8);
+    uint64_t bound = 0;
+    // max of 2*x for x < 10 is 18 (within 8 bits).
+    const ExprRef doubled = MakeMul(x, MakeConst(2, 8));
+    ASSERT_TRUE(solver.UpperBound({MakeUlt(x, MakeConst(10, 8))}, doubled,
+                                  &bound));
+    EXPECT_EQ(bound, 18u);
+}
+
+TEST(Solver, UpperBoundUnsatAssertions)
+{
+    Solver solver;
+    const ExprRef x = MakeVar(1, "x", 8);
+    uint64_t bound = 0;
+    EXPECT_FALSE(solver.UpperBound({MakeBool(false)}, x, &bound));
+}
+
+/// Property: for random interval constraints, the model returned lies in
+/// the interval and UpperBound returns the interval's top.
+class SolverIntervalProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SolverIntervalProperty, ModelsRespectIntervals)
+{
+    Rng rng(GetParam());
+    Solver solver;
+    for (int round = 0; round < 10; ++round) {
+        const uint64_t lo = rng.NextBelow(200);
+        const uint64_t hi = lo + 1 + rng.NextBelow(55);
+        const ExprRef x = MakeVar(1, "x", 8);
+        const std::vector<ExprRef> assertions = {
+            MakeUge(x, MakeConst(lo, 8)), MakeUle(x, MakeConst(hi, 8))};
+        Assignment model;
+        ASSERT_EQ(solver.Solve(assertions, &model), QueryResult::kSat);
+        EXPECT_GE(model.Get(1), lo);
+        EXPECT_LE(model.Get(1), hi);
+        uint64_t bound = 0;
+        ASSERT_TRUE(solver.UpperBound(assertions, x, &bound));
+        EXPECT_EQ(bound, std::min<uint64_t>(hi, 255));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverIntervalProperty,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace chef::solver

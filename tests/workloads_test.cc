@@ -1,0 +1,262 @@
+/// \file
+/// Validation of the 11 evaluation packages: guests compile, behave
+/// sensibly on concrete inputs, and are explorable symbolically. Includes
+/// the headline §6.2 checks: the Lua JSON comment-hang bug is found, and
+/// mini_xlrd's four undocumented exception types are reachable.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/packages.h"
+
+namespace chef::workloads {
+namespace {
+
+TEST(Workloads, AllPythonPackagesCompile)
+{
+    for (const PyPackage& package : PyPackages()) {
+        minipy::CompileResult compiled =
+            minipy::Compile(package.test.source);
+        EXPECT_TRUE(compiled.ok)
+            << package.name << ": " << compiled.error << " at line "
+            << compiled.error_line;
+    }
+    EXPECT_EQ(PyPackages().size(), 6u);
+}
+
+TEST(Workloads, AllLuaPackagesParse)
+{
+    for (const LuaPackage& package : LuaPackages()) {
+        minilua::LuaParseResult parsed =
+            minilua::LuaParse(package.test.source);
+        EXPECT_TRUE(parsed.ok) << package.name << ": " << parsed.error
+                               << " at line " << parsed.error_line;
+    }
+    EXPECT_EQ(LuaPackages().size(), 5u);
+}
+
+TEST(Workloads, PyDefaultInputsReplayCleanly)
+{
+    // Each package's default (seed) input should exercise the guest
+    // without crashing the interpreter itself.
+    for (const PyPackage& package : PyPackages()) {
+        auto program = CompilePyOrDie(package.test.source);
+        const PyReplayResult replay =
+            ReplayPy(program, package.test, solver::Assignment());
+        // Outcome may be a guest exception (inputs are short), but the
+        // interpreter must not abort, and coverage must be non-empty.
+        EXPECT_FALSE(replay.covered_lines.empty()) << package.name;
+        EXPECT_GT(CoverableLines(*program), 10u) << package.name;
+    }
+}
+
+TEST(Workloads, LuaDefaultInputsReplayCleanly)
+{
+    for (const LuaPackage& package : LuaPackages()) {
+        auto chunk = ParseLuaOrDie(package.test.source);
+        const LuaReplayResult replay =
+            ReplayLua(chunk, package.test, solver::Assignment());
+        EXPECT_FALSE(replay.covered_lines.empty()) << package.name;
+    }
+}
+
+TEST(Workloads, ArgparseParsesFlagsConcretely)
+{
+    const PyPackage& package = PyPackageByName("argparse");
+    auto program = CompilePyOrDie(package.test.source);
+    // Two positional arguments "aaa" and "bbb" bound to values "v1v",
+    // "v2v" parse successfully; an unknown flag "-zz" does not.
+    auto replay_with = [&](const std::string& a1n, const std::string& a2n,
+                           const std::string& a1, const std::string& a2) {
+        solver::Assignment inputs;
+        uint32_t var = 1;
+        for (const std::string* s : {&a1n, &a2n, &a1, &a2}) {
+            for (char c : *s) {
+                inputs.Set(var++, static_cast<uint8_t>(c));
+            }
+        }
+        return ReplayPy(program, package.test, inputs);
+    };
+    const PyReplayResult ok_case =
+        replay_with("aaa", "bbb", "v1v", "v2v");
+    EXPECT_TRUE(ok_case.ok)
+        << ok_case.exception_type << ": " << ok_case.exception_message;
+    const PyReplayResult bad_flag =
+        replay_with("aaa", "bbb", "-zz", "v2v");
+    EXPECT_FALSE(bad_flag.ok);
+    EXPECT_EQ(bad_flag.exception_type, "ArgparseError");
+    // A declared flag consuming its value leaves a positional missing.
+    const PyReplayResult flag_case =
+        replay_with("-ff", "bbb", "-ff", "vvv");
+    EXPECT_FALSE(flag_case.ok);
+    EXPECT_EQ(flag_case.exception_type, "ArgparseError");
+}
+
+TEST(Workloads, SimpleJsonAcceptsAndRejects)
+{
+    const PyPackage& package = PyPackageByName("simplejson");
+    auto program = CompilePyOrDie(package.test.source);
+    auto replay_with = [&](const std::string& doc) {
+        solver::Assignment inputs;
+        for (size_t i = 0; i < 6; ++i) {
+            inputs.Set(static_cast<uint32_t>(i + 1),
+                       i < doc.size() ? static_cast<uint8_t>(doc[i])
+                                      : ' ');
+        }
+        return ReplayPy(program, package.test, inputs);
+    };
+    EXPECT_TRUE(replay_with("{\"a\":1").ok == false);  // Unterminated.
+    EXPECT_TRUE(replay_with("[1,2] ").ok);
+    EXPECT_TRUE(replay_with("true  ").ok);
+    EXPECT_TRUE(replay_with("\"ab\"  ").ok);
+    const PyReplayResult bad = replay_with("{oops}");
+    EXPECT_FALSE(bad.ok);
+    EXPECT_EQ(bad.exception_type, "JSONDecodeError");
+}
+
+TEST(Workloads, XlrdUndocumentedExceptionsReachable)
+{
+    const PyPackage& package = PyPackageByName("xlrd");
+    auto program = CompilePyOrDie(package.test.source);
+    auto replay_with = [&](const std::string& data) {
+        solver::Assignment inputs;
+        for (size_t i = 0; i < 8; ++i) {
+            inputs.Set(static_cast<uint32_t>(i + 1),
+                       i < data.size() ? static_cast<uint8_t>(data[i])
+                                       : 0);
+        }
+        return ReplayPy(program, package.test, inputs);
+    };
+    // The paper's four undocumented exception types (§6.2).
+    EXPECT_EQ(replay_with("PK").exception_type, "BadZipfile");
+    EXPECT_EQ(replay_with(std::string("XL") + '\x02' + '\x01' + 'S')
+                  .exception_type,
+              "error");  // SHEET before BOF.
+    EXPECT_EQ(replay_with(std::string("XL") + '\x03').exception_type,
+              "AssertionError");  // CELL before BOF.
+    // Formula referencing a missing sheet: BOF, then record 4.
+    const std::string bof_then_formula =
+        std::string("XL") + '\x01' + '\x01' + '\x08' + '\x04' + '\x01' +
+        '\x00';
+    EXPECT_EQ(replay_with(bof_then_formula).exception_type, "IndexError");
+    // And the documented path.
+    EXPECT_EQ(replay_with("QQ").exception_type, "XLRDError");
+    EXPECT_TRUE(
+        replay_with(std::string("XL") + '\x01' + '\x01' + '\x05').ok);
+}
+
+TEST(Workloads, LuaJsonDecodesConcretely)
+{
+    const LuaPackage& package = LuaPackageByName("JSON");
+    auto chunk = ParseLuaOrDie(package.test.source);
+    auto replay_with = [&](const std::string& doc) {
+        solver::Assignment inputs;
+        for (size_t i = 0; i < 5; ++i) {
+            inputs.Set(static_cast<uint32_t>(i + 1),
+                       i < doc.size() ? static_cast<uint8_t>(doc[i])
+                                      : ' ');
+        }
+        return ReplayLua(chunk, package.test, inputs);
+    };
+    EXPECT_TRUE(replay_with("[1,2]").ok);
+    EXPECT_TRUE(replay_with("12345").ok);
+    EXPECT_FALSE(replay_with("[1,2 ").ok);
+    // Terminated comments are accepted (the convenience extension).
+    EXPECT_TRUE(replay_with("/**/1").ok);
+}
+
+TEST(Workloads, LuaJsonCommentHangIsFoundSymbolically)
+{
+    // The §6.2 headline bug: symbolic exploration discovers an input
+    // whose unterminated comment hangs the parser.
+    const LuaPackage& package = LuaPackageByName("JSON");
+    auto chunk = ParseLuaOrDie(package.test.source);
+    Engine::Options options;
+    options.max_runs = 400;
+    options.max_seconds = 60.0;
+    options.max_steps_per_run = 60'000;  // The paper's 60s per-path cap.
+    Engine engine(options);
+    const auto tests = engine.Explore(MakeLuaRunFn(
+        chunk, package.test, interp::InterpBuildOptions::FullyOptimized()));
+    bool hang_found = false;
+    std::string hang_input;
+    for (const TestCase& test : tests) {
+        if (test.outcome_kind != "hang") {
+            continue;
+        }
+        hang_found = true;
+        hang_input.clear();
+        for (uint32_t var = 1; var <= 5; ++var) {
+            hang_input.push_back(
+                static_cast<char>(test.inputs.Get(var)));
+        }
+        break;
+    }
+    ASSERT_TRUE(hang_found)
+        << "exploration did not find the comment hang";
+    // The hanging input must contain a comment opener.
+    const bool has_comment_opener =
+        hang_input.find("/*") != std::string::npos ||
+        hang_input.find("//") != std::string::npos;
+    EXPECT_TRUE(has_comment_opener) << "input: " << hang_input;
+}
+
+TEST(Workloads, EveryPyPackageExploresSymbolically)
+{
+    for (const PyPackage& package : PyPackages()) {
+        auto program = CompilePyOrDie(package.test.source);
+        Engine::Options options;
+        options.max_runs = 25;
+        options.max_seconds = 20.0;
+        options.max_steps_per_run = 60'000;
+        Engine engine(options);
+        const auto tests = engine.Explore(MakePyRunFn(
+            program, package.test,
+            interp::InterpBuildOptions::FullyOptimized()));
+        EXPECT_GT(engine.stats().ll_paths, 1u) << package.name;
+        EXPECT_GT(engine.stats().hl_paths, 1u) << package.name;
+        // Soundness spot check: replay the first three test cases.
+        size_t checked = 0;
+        for (const TestCase& test : tests) {
+            if (checked++ >= 3 || test.outcome_kind == "hang") {
+                continue;
+            }
+            const PyReplayResult replay =
+                ReplayPy(program, package.test, test.inputs);
+            if (test.outcome_kind == "ok") {
+                EXPECT_TRUE(replay.ok)
+                    << package.name << ": " << replay.exception_type;
+            } else {
+                EXPECT_EQ(replay.exception_type, test.outcome_detail)
+                    << package.name;
+            }
+        }
+    }
+}
+
+TEST(Workloads, EveryLuaPackageExploresSymbolically)
+{
+    for (const LuaPackage& package : LuaPackages()) {
+        auto chunk = ParseLuaOrDie(package.test.source);
+        Engine::Options options;
+        options.max_runs = 25;
+        options.max_seconds = 20.0;
+        options.max_steps_per_run = 60'000;
+        Engine engine(options);
+        engine.Explore(MakeLuaRunFn(
+            chunk, package.test,
+            interp::InterpBuildOptions::FullyOptimized()));
+        EXPECT_GT(engine.stats().ll_paths, 1u) << package.name;
+        EXPECT_GT(engine.stats().hl_paths, 1u) << package.name;
+    }
+}
+
+TEST(Workloads, GuestLocCountsLines)
+{
+    EXPECT_EQ(GuestLoc("a = 1\n\n# comment\nb = 2\n"), 2u);
+    EXPECT_GT(GuestLoc(PyPackageByName("xlrd").test.source), 40u);
+}
+
+}  // namespace
+}  // namespace chef::workloads
