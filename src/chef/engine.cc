@@ -85,12 +85,24 @@ Engine::Explore(const RunFn& run)
     auto elapsed = [&start] {
         return std::chrono::duration<double>(Clock::now() - start).count();
     };
+    auto stop_requested = [this] {
+        return options_.stop_requested && options_.stop_requested();
+    };
 
     std::vector<TestCase> test_cases;
     solver::Assignment assignment;  // First run uses declared defaults.
+    // Whether the loop actually exited because of the cancellation hook
+    // (recorded at the exit points: re-evaluating the hook after the loop
+    // would misreport a naturally completed session whose budget expires
+    // moments later).
+    bool stopped = false;
 
     while (stats_.ll_paths < options_.max_runs &&
            elapsed() < options_.max_seconds) {
+        if (stop_requested()) {
+            stopped = true;
+            break;
+        }
         runtime_.BeginRun(assignment);
         tracker_.BeginRun();
         GuestOutcome outcome = run(runtime_);
@@ -117,6 +129,7 @@ Engine::Explore(const RunFn& run)
             test_case.status = run_stats.status;
             test_case.new_hl_path = hl_info.is_new_path;
             test_case.hl_final_node = hl_info.final_node;
+            test_case.hl_path_fingerprint = hl_info.path_hash;
             test_case.hl_length = hl_info.length;
             test_case.ll_steps = run_stats.steps;
             if (run_stats.status == lowlevel::PathStatus::kHang) {
@@ -151,6 +164,10 @@ Engine::Explore(const RunFn& run)
         // (runaway loops) must not stall the session.
         bool found = false;
         while (!strategy_->empty() && elapsed() < options_.max_seconds) {
+            if (stop_requested()) {
+                stopped = true;
+                break;
+            }
             const lowlevel::StateId id = strategy_->SelectState();
             lowlevel::AlternateState state = tree_.TakePending(id);
             solver::Assignment model;
@@ -172,6 +189,8 @@ Engine::Explore(const RunFn& run)
             break;  // Exploration exhausted.
         }
     }
+    stats_.stopped = stopped;
+    stats_.solver_queries = solver_.stats().queries;
     stats_.elapsed_seconds = elapsed();
     return test_cases;
 }

@@ -49,6 +49,11 @@ struct TestCase {
     /// are the paper's "relevant high-level test cases".
     bool new_hl_path = false;
     uint32_t hl_final_node = 0;
+    /// Session-independent hash of the run's static-HLPC trace. Two runs
+    /// (in the same or different sessions) that follow the same high-level
+    /// path share the fingerprint, so corpora aggregated across parallel
+    /// sessions can deduplicate by it.
+    uint64_t hl_path_fingerprint = 0;
     size_t hl_length = 0;
     uint64_t ll_steps = 0;
     /// Guest-visible outcome: "ok", "exception", "hang", "abort".
@@ -66,6 +71,12 @@ struct EngineStats {
     uint64_t infeasible_states = 0;
     uint64_t solver_failures = 0;
     uint64_t states_registered = 0;
+    /// Total solver queries issued during the session (copied from the
+    /// solver at the end of Explore so callers can aggregate per-session
+    /// totals without reaching into the solver).
+    uint64_t solver_queries = 0;
+    /// True if Explore() returned because Options::stop_requested fired.
+    bool stopped = false;
     double elapsed_seconds = 0.0;
 
     struct Sample {
@@ -97,6 +108,14 @@ class Engine
         double branch_opcode_drop_fraction = 0.10;
         solver::Solver::Options solver_options = {};
         bool collect_timeline = true;
+        /// Cooperative cancellation hook. Checked between concolic
+        /// iterations and between state-selection solver calls; when it
+        /// returns true the exploration loop winds down and Explore()
+        /// returns the test cases produced so far. Used by the exploration
+        /// service to enforce service-wide wall-clock budgets and
+        /// user-requested shutdown without engine internals growing any
+        /// thread-awareness.
+        std::function<bool()> stop_requested;
     };
 
     /// Outcome descriptor returned by the guest adapter after one run.

@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "support/diagnostics.h"
+#include "support/strings.h"
 
 namespace chef::hll {
 
@@ -209,6 +210,8 @@ HlpcTracker::EndRun()
     info.final_node = current_node_;
     info.length = trace_.size();
     info.is_new_path = tree_.MarkTerminal(current_node_);
+    info.path_hash =
+        FnvHash(trace_.data(), trace_.size() * sizeof(uint64_t));
     return info;
 }
 

@@ -112,6 +112,11 @@ struct HlPathInfo {
     uint32_t final_node = 0;      ///< Dynamic HLPC where the run ended.
     size_t length = 0;            ///< Number of high-level instructions.
     bool is_new_path = false;     ///< First run to end at final_node.
+    /// FNV hash of the run's static-HLPC trace. Stable across sessions
+    /// (unlike final_node, which is an index into this session's dynamic
+    /// tree), so parallel sessions over the same guest can compare and
+    /// deduplicate high-level paths by it.
+    uint64_t path_hash = 0;
 };
 
 /// Consumes log_pc events from the low-level runtime and maintains the

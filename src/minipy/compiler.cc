@@ -294,7 +294,7 @@ Compiler::NameIndex(const std::string& name)
 }
 
 void
-Compiler::EmitLoadName(const std::string& name, int line)
+Compiler::EmitLoadName(const std::string& name, int /*line*/)
 {
     if (scope().is_function) {
         auto it = scope().local_slots.find(name);
@@ -309,7 +309,7 @@ Compiler::EmitLoadName(const std::string& name, int line)
 }
 
 void
-Compiler::EmitStoreName(const std::string& name, int line)
+Compiler::EmitStoreName(const std::string& name, int /*line*/)
 {
     if (scope().is_function) {
         auto it = scope().local_slots.find(name);

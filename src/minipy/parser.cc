@@ -521,7 +521,7 @@ namespace {
 /// Builds a left-associative binary operator chain.
 template <typename Sub, typename Match>
 AstPtr
-LeftAssoc(Parser* parser, Sub&& sub, Match&& match)
+LeftAssoc(Parser* /*parser*/, Sub&& sub, Match&& match)
 {
     AstPtr left = sub();
     for (;;) {

@@ -1,0 +1,90 @@
+#include "service/corpus.h"
+
+#include <algorithm>
+
+#include "support/strings.h"
+
+namespace chef::service {
+
+size_t
+TestCorpus::KeyHash::operator()(const Key& key) const
+{
+    return static_cast<size_t>(HashCombine(
+        FnvHash(key.first.data(), key.first.size()), key.second));
+}
+
+bool
+TestCorpus::Insert(Entry entry)
+{
+    Key key{entry.workload, entry.fingerprint};
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.emplace(std::move(key), std::move(entry)).second;
+}
+
+bool
+TestCorpus::Contains(const std::string& workload,
+                     uint64_t fingerprint) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.count(Key{workload, fingerprint}) > 0;
+}
+
+size_t
+TestCorpus::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::vector<TestCorpus::Entry>
+TestCorpus::Snapshot(size_t max_entries) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Order by identity first (pointers only), then copy just the
+    // requested prefix.
+    std::vector<const Entry*> ordered;
+    ordered.reserve(entries_.size());
+    for (const auto& [key, entry] : entries_) {
+        ordered.push_back(&entry);
+    }
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Entry* a, const Entry* b) {
+                  if (a->workload != b->workload) {
+                      return a->workload < b->workload;
+                  }
+                  return a->fingerprint < b->fingerprint;
+              });
+    if (max_entries > 0 && ordered.size() > max_entries) {
+        ordered.resize(max_entries);
+    }
+    std::vector<Entry> entries;
+    entries.reserve(ordered.size());
+    for (const Entry* entry : ordered) {
+        entries.push_back(*entry);
+    }
+    return entries;
+}
+
+std::vector<TestCorpus::Key>
+TestCorpus::Keys() const
+{
+    std::vector<Key> keys;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        keys.reserve(entries_.size());
+        for (const auto& [key, entry] : entries_) {
+            keys.push_back(key);
+        }
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+void
+TestCorpus::Clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+}
+
+}  // namespace chef::service

@@ -1,0 +1,81 @@
+#ifndef CHEF_SERVICE_CORPUS_H_
+#define CHEF_SERVICE_CORPUS_H_
+
+/// \file
+/// Shared, deduplicated test corpus.
+///
+/// Worker threads running independent symbolic-test sessions offer their
+/// relevant test cases here. Entries are keyed by (workload id, high-level
+/// path fingerprint), so the same high-level path rediscovered by another
+/// session — or the same session re-run under a different seed — collapses
+/// to one corpus entry. All operations are mutex-guarded; the corpus is
+/// the only data shared between workers.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace chef::service {
+
+class TestCorpus
+{
+  public:
+    /// One deduplicated high-level test case.
+    struct Entry {
+        std::string workload;
+        /// Session-independent high-level path fingerprint
+        /// (TestCase::hl_path_fingerprint).
+        uint64_t fingerprint = 0;
+        /// Job that first contributed the entry (scheduling-dependent).
+        size_t job_index = 0;
+        std::string outcome_kind;
+        std::string outcome_detail;
+        size_t hl_length = 0;
+        uint64_t ll_steps = 0;
+        /// Concrete input assignment (variable id, value) reproducing the
+        /// path.
+        std::vector<std::pair<uint32_t, uint64_t>> inputs;
+    };
+
+    /// The dedup identity. Entries are keyed on the actual pair (the
+    /// hash below is bucketing only), so distinct paths can never be
+    /// silently merged by a hash collision at this layer.
+    using Key = std::pair<std::string, uint64_t>;
+
+    /// Inserts the entry if its (workload, fingerprint) key is new.
+    /// Returns true on insertion, false if a duplicate was already
+    /// present (the existing entry is kept).
+    bool Insert(Entry entry);
+
+    bool Contains(const std::string& workload, uint64_t fingerprint) const;
+
+    size_t size() const;
+
+    /// Copy of entries ordered by (workload, fingerprint) — a stable
+    /// order independent of discovery interleaving. With max_entries > 0
+    /// only the first max_entries in that order are copied (entries can
+    /// carry large input vectors; don't copy a huge corpus to emit a
+    /// capped report).
+    std::vector<Entry> Snapshot(size_t max_entries = 0) const;
+
+    /// Sorted dedup keys. Two corpora built from the same jobs under
+    /// different worker counts compare equal here.
+    std::vector<Key> Keys() const;
+
+    void Clear();
+
+  private:
+    struct KeyHash {
+        size_t operator()(const Key& key) const;
+    };
+
+    mutable std::mutex mutex_;
+    std::unordered_map<Key, Entry, KeyHash> entries_;
+};
+
+}  // namespace chef::service
+
+#endif  // CHEF_SERVICE_CORPUS_H_

@@ -1,0 +1,98 @@
+#ifndef CHEF_SERVICE_JOB_H_
+#define CHEF_SERVICE_JOB_H_
+
+/// \file
+/// Job and statistics types for the parallel exploration service.
+///
+/// A job is one symbolic-test session described declaratively: a workload
+/// id resolved through the workload registry, the engine options for the
+/// session, and a seed. The service runs each job on a worker thread with
+/// its own Engine (engine internals stay single-threaded) and aggregates
+/// outcomes into JobResult / ServiceStats.
+
+#include <cstdint>
+#include <string>
+
+#include "chef/engine.h"
+#include "interp/build_options.h"
+
+namespace chef::service {
+
+/// Declarative description of one symbolic-test session.
+struct JobSpec {
+    /// Workload id resolved via chef::workloads::FindWorkload, e.g.
+    /// "py/argparse" or "lua/JSON".
+    std::string workload;
+    /// Engine configuration for the session. The seed field inside is
+    /// overwritten by the service's derived per-job seed; stop_requested
+    /// is chained with the service's cancellation/budget check.
+    Engine::Options options;
+    /// Interpreter build the session runs against.
+    interp::InterpBuildOptions build =
+        interp::InterpBuildOptions::FullyOptimized();
+    /// Optional job-specific seed material. 0 means "derive purely from
+    /// the service seed and the job index" — see
+    /// ExplorationService::DeriveJobSeed.
+    uint64_t seed = 0;
+    /// Display label; defaults to the workload id when empty.
+    std::string label;
+};
+
+/// Terminal state of one job.
+enum class JobStatus {
+    kCompleted,  ///< Session ran to its own exhaustion/budget.
+    kCancelled,  ///< Stopped early by service budget or RequestStop().
+    kFailed,     ///< Could not run (unknown workload, guest setup error).
+};
+
+const char* JobStatusName(JobStatus status);
+
+/// Outcome of one job.
+struct JobResult {
+    size_t job_index = 0;
+    std::string workload;
+    std::string label;
+    JobStatus status = JobStatus::kCompleted;
+    /// Human-readable failure reason when status == kFailed.
+    std::string error;
+    /// The seed the session actually ran with (derived, deterministic in
+    /// (service_seed, job_index, spec seed) and independent of worker
+    /// count or scheduling order).
+    uint64_t seed_used = 0;
+    /// All completed runs of the session.
+    size_t num_test_cases = 0;
+    /// Runs that covered a high-level path new to this session — the
+    /// paper's relevant test cases, and the candidates offered to the
+    /// shared corpus.
+    size_t num_relevant_test_cases = 0;
+    /// Candidates the shared corpus accepted as globally new. Depends on
+    /// cross-job insertion order, so it is *not* deterministic across
+    /// worker counts (the deduplicated corpus itself is).
+    size_t corpus_inserted = 0;
+    EngineStats engine_stats;
+};
+
+/// Aggregate statistics across every batch a service instance has run.
+struct ServiceStats {
+    size_t jobs_submitted = 0;
+    size_t jobs_completed = 0;
+    size_t jobs_cancelled = 0;
+    size_t jobs_failed = 0;
+    uint64_t ll_paths = 0;
+    uint64_t hl_paths = 0;
+    uint64_t hangs = 0;
+    uint64_t solver_queries = 0;
+    /// Size of the shared deduplicated corpus after the last batch.
+    size_t corpus_size = 0;
+    /// Sum of per-session engine wall times (CPU-side work measure).
+    double engine_seconds = 0.0;
+    /// Wall time spent inside RunBatch.
+    double wall_seconds = 0.0;
+    /// jobs_completed / wall_seconds (0 when no time has elapsed).
+    double jobs_per_second = 0.0;
+    size_t num_workers = 0;
+};
+
+}  // namespace chef::service
+
+#endif  // CHEF_SERVICE_JOB_H_

@@ -1,0 +1,275 @@
+#include "service/report.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <type_traits>
+
+namespace chef::service {
+
+namespace {
+
+/// Minimal append-only JSON builder. The report structure is fixed, so a
+/// full serializer would be overkill; this keeps key order stable and
+/// escaping in one place.
+class JsonWriter
+{
+  public:
+    std::string Take() { return std::move(out_); }
+
+    void BeginObject() { Punct('{'); }
+    void EndObject()
+    {
+        out_ += '}';
+        needs_comma_ = true;
+    }
+    void BeginArray() { Punct('['); }
+    void EndArray()
+    {
+        out_ += ']';
+        needs_comma_ = true;
+    }
+
+    void Key(const char* name)
+    {
+        Comma();
+        out_ += '"';
+        out_ += name;
+        out_ += "\":";
+        needs_comma_ = false;
+    }
+
+    void Value(const std::string& text)
+    {
+        Comma();
+        out_ += '"';
+        out_ += JsonEscape(text);
+        out_ += '"';
+        needs_comma_ = true;
+    }
+
+    /// Without this, a string literal would convert to bool (pointer ->
+    /// bool beats the user-defined conversion to std::string) and
+    /// silently serialize as `true`.
+    void Value(const char* text) { Value(std::string(text)); }
+
+    /// One template for every integral width/signedness (size_t is a
+    /// distinct type from uint64_t on some ABIs; separate overloads
+    /// would be ambiguous there). All report fields are non-negative.
+    template <typename T,
+              typename std::enable_if<std::is_integral<T>::value &&
+                                          !std::is_same<T, bool>::value,
+                                      int>::type = 0>
+    void Value(T value)
+    {
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%" PRIu64,
+                      static_cast<uint64_t>(value));
+        Raw(buffer);
+    }
+
+    /// 64-bit identities (fingerprints, seeds) go out as hex *strings*:
+    /// they routinely exceed 2^53 and would be silently rounded by
+    /// double-based JSON consumers, breaking cross-report comparison.
+    void HexValue(uint64_t value)
+    {
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "\"0x%016" PRIx64 "\"",
+                      value);
+        Raw(buffer);
+    }
+
+    void Value(double value)
+    {
+        char buffer[64];
+        std::snprintf(buffer, sizeof(buffer), "%.6f", value);
+        Raw(buffer);
+    }
+
+    void Value(bool value) { Raw(value ? "true" : "false"); }
+
+  private:
+    void Comma()
+    {
+        if (needs_comma_) {
+            out_ += ',';
+        }
+    }
+    void Punct(char c)
+    {
+        Comma();
+        out_ += c;
+        needs_comma_ = false;
+    }
+    void Raw(const char* text)
+    {
+        Comma();
+        out_ += text;
+        needs_comma_ = true;
+    }
+
+    std::string out_;
+    bool needs_comma_ = false;
+};
+
+void
+WriteStats(JsonWriter& json, const ServiceStats& stats)
+{
+    json.BeginObject();
+    json.Key("jobs_submitted"), json.Value(stats.jobs_submitted);
+    json.Key("jobs_completed"), json.Value(stats.jobs_completed);
+    json.Key("jobs_cancelled"), json.Value(stats.jobs_cancelled);
+    json.Key("jobs_failed"), json.Value(stats.jobs_failed);
+    json.Key("ll_paths"), json.Value(stats.ll_paths);
+    json.Key("hl_paths"), json.Value(stats.hl_paths);
+    json.Key("hangs"), json.Value(stats.hangs);
+    json.Key("solver_queries"), json.Value(stats.solver_queries);
+    json.Key("corpus_size"), json.Value(stats.corpus_size);
+    json.Key("engine_seconds"), json.Value(stats.engine_seconds);
+    json.Key("wall_seconds"), json.Value(stats.wall_seconds);
+    json.Key("jobs_per_second"), json.Value(stats.jobs_per_second);
+    json.Key("num_workers"), json.Value(stats.num_workers);
+    json.EndObject();
+}
+
+void
+WriteJob(JsonWriter& json, const JobResult& result)
+{
+    json.BeginObject();
+    json.Key("job_index"), json.Value(result.job_index);
+    json.Key("workload"), json.Value(result.workload);
+    json.Key("label"), json.Value(result.label);
+    json.Key("status"), json.Value(JobStatusName(result.status));
+    if (!result.error.empty()) {
+        json.Key("error"), json.Value(result.error);
+    }
+    json.Key("seed_used"), json.HexValue(result.seed_used);
+    json.Key("test_cases"), json.Value(result.num_test_cases);
+    json.Key("relevant_test_cases"),
+        json.Value(result.num_relevant_test_cases);
+    json.Key("corpus_inserted"), json.Value(result.corpus_inserted);
+    json.Key("ll_paths"), json.Value(result.engine_stats.ll_paths);
+    json.Key("hl_paths"), json.Value(result.engine_stats.hl_paths);
+    json.Key("hangs"), json.Value(result.engine_stats.hangs);
+    json.Key("solver_queries"),
+        json.Value(result.engine_stats.solver_queries);
+    json.Key("stopped"), json.Value(result.engine_stats.stopped);
+    json.Key("elapsed_seconds"),
+        json.Value(result.engine_stats.elapsed_seconds);
+    json.EndObject();
+}
+
+void
+WriteCorpusEntry(JsonWriter& json, const TestCorpus::Entry& entry,
+                 bool include_inputs)
+{
+    json.BeginObject();
+    json.Key("workload"), json.Value(entry.workload);
+    json.Key("fingerprint"), json.HexValue(entry.fingerprint);
+    json.Key("job_index"), json.Value(entry.job_index);
+    json.Key("outcome_kind"), json.Value(entry.outcome_kind);
+    if (!entry.outcome_detail.empty()) {
+        json.Key("outcome_detail"), json.Value(entry.outcome_detail);
+    }
+    json.Key("hl_length"), json.Value(entry.hl_length);
+    json.Key("ll_steps"), json.Value(entry.ll_steps);
+    if (include_inputs) {
+        json.Key("inputs");
+        json.BeginArray();
+        for (const auto& [var_id, value] : entry.inputs) {
+            json.BeginArray();
+            json.Value(static_cast<uint64_t>(var_id));
+            json.Value(value);
+            json.EndArray();
+        }
+        json.EndArray();
+    }
+    json.EndObject();
+}
+
+}  // namespace
+
+std::string
+JsonEscape(const std::string& text)
+{
+    std::string escaped;
+    escaped.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"': escaped += "\\\""; break;
+          case '\\': escaped += "\\\\"; break;
+          case '\b': escaped += "\\b"; break;
+          case '\f': escaped += "\\f"; break;
+          case '\n': escaped += "\\n"; break;
+          case '\r': escaped += "\\r"; break;
+          case '\t': escaped += "\\t"; break;
+          default:
+            // Escape control characters, and also bytes >= 0x7f: guest
+            // strings are raw byte strings (often built from symbolic
+            // input bytes), not guaranteed UTF-8, and the report must
+            // stay parseable. Escaping per byte keeps output pure ASCII.
+            if (static_cast<unsigned char>(c) < 0x20 ||
+                static_cast<unsigned char>(c) >= 0x7f) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                              static_cast<unsigned char>(c));
+                escaped += buffer;
+            } else {
+                escaped += c;
+            }
+        }
+    }
+    return escaped;
+}
+
+std::string
+RenderJsonReport(const ServiceStats& stats,
+                 const std::vector<JobResult>& results,
+                 const TestCorpus& corpus, const ReportOptions& options)
+{
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("report"), json.Value("chef-exploration-service");
+    json.Key("stats");
+    WriteStats(json, stats);
+    if (options.include_jobs) {
+        json.Key("jobs");
+        json.BeginArray();
+        for (const JobResult& result : results) {
+            WriteJob(json, result);
+        }
+        json.EndArray();
+    }
+    if (options.include_corpus) {
+        json.Key("corpus_size"), json.Value(corpus.size());
+        const std::vector<TestCorpus::Entry> entries =
+            corpus.Snapshot(options.max_corpus_entries);
+        json.Key("corpus");
+        json.BeginArray();
+        for (const TestCorpus::Entry& entry : entries) {
+            WriteCorpusEntry(json, entry, options.include_inputs);
+        }
+        json.EndArray();
+    }
+    json.EndObject();
+    return json.Take();
+}
+
+bool
+WriteJsonReportFile(const std::string& path, const ServiceStats& stats,
+                    const std::vector<JobResult>& results,
+                    const TestCorpus& corpus, const ReportOptions& options)
+{
+    const std::string report =
+        RenderJsonReport(stats, results, corpus, options);
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    if (file == nullptr) {
+        return false;
+    }
+    const size_t written =
+        std::fwrite(report.data(), 1, report.size(), file);
+    const bool flushed = std::fclose(file) == 0;
+    return written == report.size() && flushed;
+}
+
+}  // namespace chef::service

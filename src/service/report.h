@@ -1,0 +1,53 @@
+#ifndef CHEF_SERVICE_REPORT_H_
+#define CHEF_SERVICE_REPORT_H_
+
+/// \file
+/// JSON reporting for exploration-service batches.
+///
+/// Renders ServiceStats, per-job results, and the deduplicated corpus as
+/// one JSON document with stable key order, so benches, examples, and
+/// external tooling can consume a batch outcome without linking against
+/// the service types.
+
+#include <string>
+#include <vector>
+
+#include "service/corpus.h"
+#include "service/job.h"
+
+namespace chef::service {
+
+/// Controls how much of the batch goes into the report.
+struct ReportOptions {
+    bool include_jobs = true;
+    bool include_corpus = true;
+    /// Cap on emitted corpus entries (0 = unlimited). The report records
+    /// the full corpus size either way.
+    size_t max_corpus_entries = 0;
+    /// Include concrete input assignments per corpus entry.
+    bool include_inputs = true;
+};
+
+/// Renders the batch outcome as a JSON document (pure ASCII, no
+/// trailing newline). 64-bit identities (path fingerprints, seeds) are
+/// emitted as "0x..." hex strings, not numbers, so double-based JSON
+/// consumers cannot round them.
+std::string RenderJsonReport(const ServiceStats& stats,
+                             const std::vector<JobResult>& results,
+                             const TestCorpus& corpus,
+                             const ReportOptions& options = {});
+
+/// Writes the report to a file; returns false on I/O error.
+bool WriteJsonReportFile(const std::string& path,
+                         const ServiceStats& stats,
+                         const std::vector<JobResult>& results,
+                         const TestCorpus& corpus,
+                         const ReportOptions& options = {});
+
+/// Escapes a string for embedding in a JSON document (without the
+/// surrounding quotes). Exposed for tests.
+std::string JsonEscape(const std::string& text);
+
+}  // namespace chef::service
+
+#endif  // CHEF_SERVICE_REPORT_H_

@@ -1,0 +1,203 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "support/strings.h"
+#include "workloads/registry.h"
+
+namespace chef::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+SecondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+const char*
+JobStatusName(JobStatus status)
+{
+    switch (status) {
+      case JobStatus::kCompleted: return "completed";
+      case JobStatus::kCancelled: return "cancelled";
+      case JobStatus::kFailed: return "failed";
+    }
+    return "?";
+}
+
+ExplorationService::ExplorationService(Options options)
+    : options_(options)
+{
+    if (options_.num_workers == 0) {
+        options_.num_workers = 1;
+    }
+}
+
+uint64_t
+ExplorationService::DeriveJobSeed(uint64_t service_seed, size_t job_index,
+                                  uint64_t spec_seed)
+{
+    const uint64_t parts[3] = {service_seed,
+                               static_cast<uint64_t>(job_index), spec_seed};
+    return FnvHash(parts, sizeof(parts));
+}
+
+JobResult
+ExplorationService::RunJob(const JobSpec& spec, size_t job_index,
+                           double remaining_seconds)
+{
+    const auto start = Clock::now();
+
+    JobResult result;
+    result.job_index = job_index;
+    result.workload = spec.workload;
+    result.label = spec.label.empty() ? spec.workload : spec.label;
+    result.seed_used = DeriveJobSeed(options_.seed, job_index, spec.seed);
+
+    const workloads::WorkloadInfo* info =
+        workloads::FindWorkload(spec.workload);
+    if (info == nullptr) {
+        result.status = JobStatus::kFailed;
+        result.error = "unknown workload: " + spec.workload;
+        return result;
+    }
+
+    // The service budget is enforced purely through the stop hook (not by
+    // clamping max_seconds): a session that ends via the hook is
+    // unambiguously "cancelled", one that exhausts its own budget is
+    // "completed".
+    Engine::Options engine_options = spec.options;
+    engine_options.seed = result.seed_used;
+    const std::function<bool()> user_stop = spec.options.stop_requested;
+    engine_options.stop_requested = [this, user_stop, start,
+                                     remaining_seconds] {
+        if (stop_requested()) {
+            return true;
+        }
+        if (remaining_seconds > 0.0 &&
+            SecondsSince(start) >= remaining_seconds) {
+            return true;
+        }
+        return user_stop && user_stop();
+    };
+
+    try {
+        Engine engine(engine_options);
+        const Engine::RunFn run = info->make_run(spec.build);
+        const std::vector<TestCase> tests = engine.Explore(run);
+        result.engine_stats = engine.stats();
+        result.num_test_cases = tests.size();
+        for (const TestCase& test : tests) {
+            if (!test.new_hl_path) {
+                continue;
+            }
+            ++result.num_relevant_test_cases;
+            TestCorpus::Entry entry;
+            entry.workload = spec.workload;
+            entry.fingerprint = test.hl_path_fingerprint;
+            entry.job_index = job_index;
+            entry.outcome_kind = test.outcome_kind;
+            entry.outcome_detail = test.outcome_detail;
+            entry.hl_length = test.hl_length;
+            entry.ll_steps = test.ll_steps;
+            if (options_.record_corpus_inputs) {
+                entry.inputs = test.inputs.entries();
+            }
+            if (corpus_.Insert(std::move(entry))) {
+                ++result.corpus_inserted;
+            }
+        }
+        result.status = result.engine_stats.stopped
+                            ? JobStatus::kCancelled
+                            : JobStatus::kCompleted;
+    } catch (const std::exception& error) {
+        result.status = JobStatus::kFailed;
+        result.error = error.what();
+    }
+    return result;
+}
+
+std::vector<JobResult>
+ExplorationService::RunBatch(const std::vector<JobSpec>& jobs)
+{
+    const auto batch_start = Clock::now();
+
+    std::vector<JobResult> results(jobs.size());
+    std::atomic<size_t> next{0};
+
+    auto worker = [&] {
+        for (;;) {
+            const size_t index =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (index >= jobs.size()) {
+                return;
+            }
+            const double budget = options_.max_total_seconds;
+            const double remaining =
+                budget > 0.0 ? budget - SecondsSince(batch_start) : 0.0;
+            if (stop_requested() || (budget > 0.0 && remaining <= 0.0)) {
+                // Never dispatched: record a cancelled placeholder so the
+                // batch result still lists every submitted job.
+                JobResult& result = results[index];
+                result.job_index = index;
+                result.workload = jobs[index].workload;
+                result.label = jobs[index].label.empty()
+                                   ? jobs[index].workload
+                                   : jobs[index].label;
+                result.seed_used = DeriveJobSeed(options_.seed, index,
+                                                 jobs[index].seed);
+                result.status = JobStatus::kCancelled;
+                result.error = stop_requested()
+                                   ? "stop requested"
+                                   : "service budget exhausted";
+                continue;
+            }
+            results[index] = RunJob(jobs[index], index, remaining);
+        }
+    };
+
+    const size_t pool_size =
+        std::max<size_t>(1, std::min(options_.num_workers,
+                                     std::max<size_t>(1, jobs.size())));
+    std::vector<std::thread> pool;
+    pool.reserve(pool_size);
+    for (size_t i = 0; i < pool_size; ++i) {
+        pool.emplace_back(worker);
+    }
+    for (std::thread& thread : pool) {
+        thread.join();
+    }
+
+    stats_.jobs_submitted += jobs.size();
+    for (const JobResult& result : results) {
+        switch (result.status) {
+          case JobStatus::kCompleted: ++stats_.jobs_completed; break;
+          case JobStatus::kCancelled: ++stats_.jobs_cancelled; break;
+          case JobStatus::kFailed: ++stats_.jobs_failed; break;
+        }
+        stats_.ll_paths += result.engine_stats.ll_paths;
+        stats_.hl_paths += result.engine_stats.hl_paths;
+        stats_.hangs += result.engine_stats.hangs;
+        stats_.solver_queries += result.engine_stats.solver_queries;
+        stats_.engine_seconds += result.engine_stats.elapsed_seconds;
+    }
+    stats_.corpus_size = corpus_.size();
+    stats_.wall_seconds += SecondsSince(batch_start);
+    stats_.num_workers = options_.num_workers;
+    stats_.jobs_per_second =
+        stats_.wall_seconds > 0.0
+            ? static_cast<double>(stats_.jobs_completed) /
+                  stats_.wall_seconds
+            : 0.0;
+    return results;
+}
+
+}  // namespace chef::service

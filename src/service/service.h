@@ -1,0 +1,93 @@
+#ifndef CHEF_SERVICE_SERVICE_H_
+#define CHEF_SERVICE_SERVICE_H_
+
+/// \file
+/// The parallel exploration service.
+///
+/// Accepts a batch of JobSpecs and runs them on a fixed-size pool of
+/// worker threads — one Engine per job, so every engine (solver, runtime,
+/// strategy, RNG) stays single-threaded and workers share only the
+/// mutex-guarded TestCorpus and a handful of atomics. Per-job seeds are
+/// derived as hash(service_seed, job_index, spec_seed), which makes every
+/// job's session deterministic regardless of worker count or which worker
+/// picks it up — provided the session's work is bounded by max_runs (or
+/// exploration exhaustion) rather than wall clock: a session truncated by
+/// its own max_seconds or a service budget cuts off at a load-dependent
+/// point. Scheduling-dependent fields (corpus first-discoverer
+/// attribution) vary between runs either way.
+///
+/// Cancellation and budgets are cooperative: the service chains a check of
+/// its stop flag and wall-clock budget into each engine's
+/// Options::stop_requested hook, which the explore loop polls between
+/// concolic iterations and solver calls.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "service/corpus.h"
+#include "service/job.h"
+
+namespace chef::service {
+
+class ExplorationService
+{
+  public:
+    struct Options {
+        /// Worker threads in the pool (clamped to >= 1). Jobs are
+        /// dispatched from a shared queue in submission order.
+        size_t num_workers = 1;
+        /// Service seed; combined with each job's index and spec seed to
+        /// derive the per-job engine seed.
+        uint64_t seed = 1;
+        /// Service-wide wall-clock budget for one RunBatch call, in
+        /// seconds; 0 disables it. On expiry, running sessions are
+        /// cooperatively stopped (they still report their partial
+        /// results) and queued jobs are marked cancelled.
+        double max_total_seconds = 0.0;
+        /// Store concrete inputs in corpus entries (disable to shrink
+        /// memory for very large corpora).
+        bool record_corpus_inputs = true;
+    };
+
+    explicit ExplorationService(Options options);
+
+    /// Runs every job in the batch to completion (or cancellation) and
+    /// returns per-job results indexed by submission order. Blocks until
+    /// the batch drains. Serial reuse across batches accumulates stats
+    /// and corpus; concurrent calls are not supported.
+    std::vector<JobResult> RunBatch(const std::vector<JobSpec>& jobs);
+
+    /// Asks all running sessions to stop and cancels queued jobs. Safe to
+    /// call from any thread (e.g. a watchdog) while RunBatch blocks.
+    void RequestStop() { stop_.store(true, std::memory_order_relaxed); }
+
+    /// Re-arms a service that was stopped, for a subsequent batch.
+    void ClearStop() { stop_.store(false, std::memory_order_relaxed); }
+
+    bool stop_requested() const
+    {
+        return stop_.load(std::memory_order_relaxed);
+    }
+
+    const TestCorpus& corpus() const { return corpus_; }
+    const ServiceStats& stats() const { return stats_; }
+    const Options& options() const { return options_; }
+
+    /// The per-job seed derivation (exposed for determinism tests).
+    static uint64_t DeriveJobSeed(uint64_t service_seed, size_t job_index,
+                                  uint64_t spec_seed);
+
+  private:
+    JobResult RunJob(const JobSpec& spec, size_t job_index,
+                     double remaining_seconds);
+
+    Options options_;
+    std::atomic<bool> stop_{false};
+    TestCorpus corpus_;
+    ServiceStats stats_;
+};
+
+}  // namespace chef::service
+
+#endif  // CHEF_SERVICE_SERVICE_H_

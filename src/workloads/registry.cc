@@ -1,0 +1,96 @@
+#include "workloads/registry.h"
+
+#include "workloads/packages.h"
+
+namespace chef::workloads {
+
+namespace {
+
+WorkloadInfo
+MakePyEntry(const PyPackage& package)
+{
+    WorkloadInfo info;
+    info.id = "py/" + package.name;
+    info.language = "minipy";
+    info.description = package.description;
+    const std::string name = package.name;
+    info.make_run = [name](const interp::InterpBuildOptions& build) {
+        const PyPackage& p = PyPackageByName(name);
+        auto program = CompilePyOrDie(p.test.source);
+        return MakePyRunFn(std::move(program), p.test, build);
+    };
+    return info;
+}
+
+WorkloadInfo
+MakeLuaEntry(const LuaPackage& package)
+{
+    WorkloadInfo info;
+    info.id = "lua/" + package.name;
+    info.language = "minilua";
+    info.description = package.description;
+    const std::string name = package.name;
+    info.make_run = [name](const interp::InterpBuildOptions& build) {
+        const LuaPackage& p = LuaPackageByName(name);
+        auto chunk = ParseLuaOrDie(p.test.source);
+        return MakeLuaRunFn(std::move(chunk), p.test, build);
+    };
+    return info;
+}
+
+std::vector<WorkloadInfo>&
+MutableRegistry()
+{
+    static std::vector<WorkloadInfo> registry = [] {
+        std::vector<WorkloadInfo> entries;
+        for (const PyPackage& package : PyPackages()) {
+            entries.push_back(MakePyEntry(package));
+        }
+        for (const LuaPackage& package : LuaPackages()) {
+            entries.push_back(MakeLuaEntry(package));
+        }
+        return entries;
+    }();
+    return registry;
+}
+
+}  // namespace
+
+const std::vector<WorkloadInfo>&
+AllWorkloads()
+{
+    return MutableRegistry();
+}
+
+const WorkloadInfo*
+FindWorkload(const std::string& id)
+{
+    for (const WorkloadInfo& info : MutableRegistry()) {
+        if (info.id == id) {
+            return &info;
+        }
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+WorkloadIds()
+{
+    std::vector<std::string> ids;
+    for (const WorkloadInfo& info : MutableRegistry()) {
+        ids.push_back(info.id);
+    }
+    return ids;
+}
+
+bool
+RegisterWorkload(WorkloadInfo info)
+{
+    if (info.id.empty() || FindWorkload(info.id) != nullptr) {
+        return false;
+    }
+    MutableRegistry().push_back(std::move(info));
+    return true;
+}
+
+}  // namespace chef::workloads

@@ -1,0 +1,54 @@
+#ifndef CHEF_WORKLOADS_REGISTRY_H_
+#define CHEF_WORKLOADS_REGISTRY_H_
+
+/// \file
+/// Declarative workload registry.
+///
+/// Maps stable workload ids ("py/argparse", "lua/JSON") to factories that
+/// build the engine run-callback, so higher layers — notably the
+/// exploration service — can describe a job as data (id + options + seed)
+/// instead of holding closures. The built-in entries cover the 11 Table-3
+/// evaluation packages; RegisterWorkload adds custom scenarios.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "chef/engine.h"
+#include "interp/build_options.h"
+
+namespace chef::workloads {
+
+/// One runnable workload.
+struct WorkloadInfo {
+    /// Stable id, by convention "<language>/<package>".
+    std::string id;
+    /// "minipy", "minilua", or "custom".
+    std::string language;
+    std::string description;
+    /// Builds a fresh run-callback for the given interpreter build. Each
+    /// invocation compiles/parses its own guest program, so callbacks from
+    /// separate invocations share no state and may run on different worker
+    /// threads concurrently.
+    std::function<Engine::RunFn(const interp::InterpBuildOptions&)>
+        make_run;
+};
+
+/// All registered workloads: the 11 built-in evaluation packages plus any
+/// custom registrations, in registration order.
+const std::vector<WorkloadInfo>& AllWorkloads();
+
+/// Looks up a workload by id; nullptr if absent.
+const WorkloadInfo* FindWorkload(const std::string& id);
+
+/// The ids of all registered workloads, in registration order.
+std::vector<std::string> WorkloadIds();
+
+/// Registers a custom workload. Returns false (and registers nothing) if
+/// the id is already taken. Not thread-safe: register everything before
+/// starting any exploration service.
+bool RegisterWorkload(WorkloadInfo info);
+
+}  // namespace chef::workloads
+
+#endif  // CHEF_WORKLOADS_REGISTRY_H_
