@@ -1,0 +1,56 @@
+#ifndef CHEF_CACHE_CANONICAL_H_
+#define CHEF_CACHE_CANONICAL_H_
+
+/// \file
+/// Canonical form for solver queries, shared by the per-solver query
+/// cache and the cross-worker SharedSolverCache.
+///
+/// A query is the conjunction of a set of width-1 assertions; two queries
+/// are the same cache key iff they contain structurally equal assertions,
+/// in any order. The canonical form is (order-insensitive hash, assertions
+/// sorted by structural hash); the sorted vector is kept alongside the
+/// hash so lookups can reject hash collisions with an exact structural
+/// comparison. Hoisted out of Solver (which used private equivalents) so
+/// every cache layer agrees on one canonicalization.
+
+#include <cstdint>
+#include <vector>
+
+#include "solver/expr.h"
+
+namespace chef::cache {
+
+/// Order-insensitive combination of the assertions' structural hashes, so
+/// permuted assertion sets map to the same cache line.
+uint64_t QueryHash(const std::vector<solver::ExprRef>& assertions);
+
+/// Returns the assertions sorted by structural hash (the canonical order).
+std::vector<solver::ExprRef>
+SortedByHash(std::vector<solver::ExprRef> assertions);
+
+/// Exact structural equality of two hash-sorted assertion vectors; used to
+/// reject hash collisions.
+bool SameAssertions(const std::vector<solver::ExprRef>& sorted_a,
+                    const std::vector<solver::ExprRef>& sorted_b);
+
+/// A query in canonical form. Build via Canonicalize(); the fields are
+/// public so tests can fabricate colliding keys.
+struct CanonicalQuery {
+    uint64_t hash = 0;
+    /// Assertions sorted by structural hash.
+    std::vector<solver::ExprRef> sorted_assertions;
+};
+
+CanonicalQuery Canonicalize(std::vector<solver::ExprRef> assertions);
+
+/// True if every assertion evaluates to 1 under the model. Evaluates
+/// newest-first: for concolic negation queries the violated assertion is
+/// almost always the freshly flipped branch at the end. One definition
+/// serves both the solver's local model-reuse window and the shared
+/// counterexample store.
+bool ModelSatisfies(const std::vector<solver::ExprRef>& assertions,
+                    const solver::Assignment& model);
+
+}  // namespace chef::cache
+
+#endif  // CHEF_CACHE_CANONICAL_H_

@@ -1,0 +1,199 @@
+#include "cache/shared_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace chef::cache {
+
+namespace {
+
+/// Relaxed ordering everywhere: the counters are statistics, not
+/// synchronization; the shard mutexes order the data itself.
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+size_t
+RoundUpPow2(size_t n)
+{
+    size_t p = 1;
+    while (p < n) {
+        p <<= 1;
+    }
+    return p;
+}
+
+}  // namespace
+
+SharedSolverCache::SharedSolverCache(Options options) : options_(options)
+{
+    const size_t shards =
+        RoundUpPow2(options_.num_shards == 0 ? 1 : options_.num_shards);
+    options_.num_shards = shards;
+    shard_mask_ = shards - 1;
+    shard_budget_ = options_.max_bytes / shards;
+    shards_.reserve(shards);
+    for (size_t i = 0; i < shards; ++i) {
+        shards_.push_back(std::make_unique<Shard>());
+    }
+    models_ = std::make_shared<const std::vector<solver::Assignment>>();
+}
+
+SharedSolverCache::Shard&
+SharedSolverCache::ShardFor(uint64_t hash)
+{
+    // Fibonacci mixing before masking: QueryHash sums per-assertion
+    // hashes, so raw low bits cluster for small queries.
+    return *shards_[(hash * 0x9e3779b97f4a7c15ull >> 32) & shard_mask_];
+}
+
+size_t
+QueryEntryBytes(size_t num_assertions, size_t num_model_entries)
+{
+    constexpr size_t kEntryOverhead = 128;
+    return kEntryOverhead + num_assertions * sizeof(solver::ExprRef) +
+           num_model_entries * sizeof(std::pair<uint32_t, uint64_t>);
+}
+
+size_t
+SharedSolverCache::EntryBytes(const CanonicalQuery& query,
+                              const solver::Assignment& model,
+                              CachedResult result)
+{
+    return QueryEntryBytes(
+        query.sorted_assertions.size(),
+        result == CachedResult::kSat ? model.size() : 0);
+}
+
+bool
+SharedSolverCache::Lookup(const CanonicalQuery& query, CachedResult* result,
+                          solver::Assignment* model)
+{
+    lookups_.fetch_add(1, kRelaxed);
+    Shard& shard = ShardFor(query.hash);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(query.hash);
+    if (it == shard.map.end()) {
+        misses_.fetch_add(1, kRelaxed);
+        return false;
+    }
+    if (!SameAssertions(it->second.key_assertions,
+                        query.sorted_assertions)) {
+        collisions_.fetch_add(1, kRelaxed);
+        misses_.fetch_add(1, kRelaxed);
+        return false;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+    hits_.fetch_add(1, kRelaxed);
+    *result = it->second.result;
+    if (it->second.result == CachedResult::kSat && model != nullptr) {
+        *model = it->second.model;
+    }
+    return true;
+}
+
+void
+SharedSolverCache::Insert(const CanonicalQuery& query, CachedResult result,
+                          const solver::Assignment& model)
+{
+    const size_t entry_bytes = EntryBytes(query, model, result);
+    if (entry_bytes > shard_budget_) {
+        oversize_skips_.fetch_add(1, kRelaxed);
+        return;
+    }
+    Shard& shard = ShardFor(query.hash);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(query.hash);
+    if (it != shard.map.end()) {
+        // First writer wins, for both genuine re-insertion and hash
+        // collisions; the latter are counted so a pathological workload
+        // is visible in the stats.
+        if (!SameAssertions(it->second.key_assertions,
+                            query.sorted_assertions)) {
+            collisions_.fetch_add(1, kRelaxed);
+        }
+        return;
+    }
+    Entry entry;
+    entry.result = result;
+    if (result == CachedResult::kSat) {
+        entry.model = model;
+    }
+    entry.key_assertions = query.sorted_assertions;
+    entry.bytes = entry_bytes;
+    shard.lru.push_front(query.hash);
+    entry.lru_it = shard.lru.begin();
+    shard.map.emplace(query.hash, std::move(entry));
+    shard.bytes += entry_bytes;
+    inserts_.fetch_add(1, kRelaxed);
+    bytes_.fetch_add(entry_bytes, kRelaxed);
+    entries_.fetch_add(1, kRelaxed);
+    while (shard.bytes > shard_budget_ && shard.lru.size() > 1) {
+        const uint64_t victim = shard.lru.back();
+        shard.lru.pop_back();
+        auto victim_it = shard.map.find(victim);
+        shard.bytes -= victim_it->second.bytes;
+        bytes_.fetch_sub(victim_it->second.bytes, kRelaxed);
+        shard.map.erase(victim_it);
+        entries_.fetch_sub(1, kRelaxed);
+        evictions_.fetch_add(1, kRelaxed);
+    }
+}
+
+bool
+SharedSolverCache::TryCounterexamples(
+    const std::vector<solver::ExprRef>& assertions,
+    solver::Assignment* model)
+{
+    std::shared_ptr<const std::vector<solver::Assignment>> snapshot;
+    {
+        std::lock_guard<std::mutex> lock(models_mu_);
+        snapshot = models_;
+    }
+    for (const solver::Assignment& candidate : *snapshot) {
+        if (ModelSatisfies(assertions, candidate)) {
+            model_reuse_hits_.fetch_add(1, kRelaxed);
+            if (model != nullptr) {
+                *model = candidate;
+            }
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+SharedSolverCache::PublishModel(const solver::Assignment& model)
+{
+    std::lock_guard<std::mutex> lock(models_mu_);
+    auto next = std::make_shared<std::vector<solver::Assignment>>();
+    next->reserve(
+        std::min(models_->size() + 1, options_.max_counterexamples));
+    next->push_back(model);
+    for (const solver::Assignment& existing : *models_) {
+        if (next->size() >= options_.max_counterexamples) {
+            break;
+        }
+        next->push_back(existing);
+    }
+    models_ = std::move(next);
+    models_published_.fetch_add(1, kRelaxed);
+}
+
+SharedSolverCache::Stats
+SharedSolverCache::stats() const
+{
+    Stats stats;
+    stats.lookups = lookups_.load(kRelaxed);
+    stats.hits = hits_.load(kRelaxed);
+    stats.misses = misses_.load(kRelaxed);
+    stats.collisions = collisions_.load(kRelaxed);
+    stats.inserts = inserts_.load(kRelaxed);
+    stats.evictions = evictions_.load(kRelaxed);
+    stats.oversize_skips = oversize_skips_.load(kRelaxed);
+    stats.model_reuse_hits = model_reuse_hits_.load(kRelaxed);
+    stats.models_published = models_published_.load(kRelaxed);
+    stats.bytes = bytes_.load(kRelaxed);
+    stats.entries = entries_.load(kRelaxed);
+    return stats;
+}
+
+}  // namespace chef::cache

@@ -1,0 +1,170 @@
+#ifndef CHEF_CACHE_SHARED_CACHE_H_
+#define CHEF_CACHE_SHARED_CACHE_H_
+
+/// \file
+/// Cross-worker shared solver cache.
+///
+/// One SharedSolverCache is shared by every Solver in a batch of parallel
+/// exploration sessions (one engine per worker thread). It memoizes
+/// sat/unsat outcomes keyed by canonicalized assertion sets, and keeps a
+/// bounded store of recently published satisfying models so that one
+/// worker's counterexample can satisfy a sibling session's concolic
+/// negation query without a SAT call.
+///
+/// Concurrency: the query cache is lock-striped into power-of-two shards,
+/// each an LRU map under its own mutex with a per-shard byte budget
+/// (total budget / shards). The counterexample store is copy-on-write: a
+/// publish swaps in a new immutable snapshot, readers evaluate models
+/// without holding any lock. Counters are relaxed atomics.
+///
+/// Determinism: sat/unsat *outcomes* are cache-invariant — an entry is
+/// only ever a proven result, and kUnknown (budget-dependent) is never
+/// stored, so a query answers the same with or without the cache.
+/// *Models* are not canonical: a shared hit may return a different
+/// satisfying assignment than a fresh SAT call would, which steers a
+/// session's subsequent concrete runs down a different (still valid)
+/// path. Sharing is therefore opt-in at the service layer and off by
+/// default; see the determinism tests in tests/cache_test.cc.
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/canonical.h"
+#include "solver/expr.h"
+
+namespace chef::cache {
+
+/// Sat/unsat outcome stored in the cache. Mirrors solver::QueryResult
+/// minus kUnknown (never cached); kept as a separate enum so this module
+/// does not depend on solver.h (which depends back on this module).
+enum class CachedResult : uint8_t {
+    kSat,
+    kUnsat,
+};
+
+/// Approximate footprint of one cached query entry (structure overhead
+/// plus per-ref/per-binding costs — not deep DAG sizes, since expression
+/// nodes are shared across entries and with the engines' own trees).
+/// One definition for both the shared cache's byte budget and the local
+/// Solver cache's cache_bytes gauge, so the two accountings can't drift.
+/// Pass 0 model entries for results that store no model (unsat).
+size_t QueryEntryBytes(size_t num_assertions, size_t num_model_entries);
+
+class SharedSolverCache
+{
+  public:
+    struct Options {
+        /// Lock stripes; rounded up to a power of two, clamped to >= 1.
+        size_t num_shards = 16;
+        /// Total byte budget across all shards (approximate accounting:
+        /// per-entry structure overhead + refs, not deep DAG sizes, since
+        /// expression nodes are shared across entries).
+        size_t max_bytes = 64u << 20;
+        /// Bound on the shared counterexample (model) store.
+        size_t max_counterexamples = 64;
+    };
+
+    /// Snapshot of the cache's counters and gauges.
+    struct Stats {
+        uint64_t lookups = 0;
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        /// Lookups/inserts whose hash matched an entry with structurally
+        /// different assertions (rejected, never served).
+        uint64_t collisions = 0;
+        uint64_t inserts = 0;
+        uint64_t evictions = 0;
+        /// Entries skipped because a single entry exceeded the per-shard
+        /// byte budget.
+        uint64_t oversize_skips = 0;
+        /// Queries satisfied by a sibling session's published model.
+        uint64_t model_reuse_hits = 0;
+        uint64_t models_published = 0;
+        /// Current gauges.
+        size_t bytes = 0;
+        size_t entries = 0;
+    };
+
+    SharedSolverCache() : SharedSolverCache(Options{}) {}
+    explicit SharedSolverCache(Options options);
+
+    /// Looks up a canonicalized query. On hit fills \p result, and \p
+    /// model (if non-null) with the stored satisfying assignment for
+    /// kSat. Refreshes LRU position.
+    bool Lookup(const CanonicalQuery& query, CachedResult* result,
+                solver::Assignment* model);
+
+    /// Inserts a proven outcome. The model is stored only for kSat.
+    /// First writer wins: a colliding hash with different assertions is
+    /// dropped (counted), as is re-insertion of an existing key.
+    void Insert(const CanonicalQuery& query, CachedResult result,
+                const solver::Assignment& model);
+
+    /// Tries every model in the counterexample store against the
+    /// assertions (newest first); on success fills \p model (if non-null)
+    /// and returns true. Lock-free on the read side.
+    bool TryCounterexamples(const std::vector<solver::ExprRef>& assertions,
+                            solver::Assignment* model);
+
+    /// Publishes a satisfying model to the counterexample store
+    /// (newest-first, bounded by Options::max_counterexamples).
+    void PublishModel(const solver::Assignment& model);
+
+    Stats stats() const;
+    const Options& options() const { return options_; }
+
+  private:
+    struct Entry {
+        CachedResult result = CachedResult::kSat;
+        solver::Assignment model;
+        /// Assertions sorted by hash: rejects hash collisions.
+        std::vector<solver::ExprRef> key_assertions;
+        size_t bytes = 0;
+        /// Position in the shard's LRU list (front = most recent).
+        std::list<uint64_t>::iterator lru_it;
+    };
+
+    struct Shard {
+        std::mutex mu;
+        std::unordered_map<uint64_t, Entry> map;
+        /// Hashes, most-recently-used first.
+        std::list<uint64_t> lru;
+        size_t bytes = 0;
+    };
+
+    static size_t EntryBytes(const CanonicalQuery& query,
+                             const solver::Assignment& model,
+                             CachedResult result);
+    Shard& ShardFor(uint64_t hash);
+
+    Options options_;
+    size_t shard_mask_ = 0;
+    size_t shard_budget_ = 0;
+    std::vector<std::unique_ptr<Shard>> shards_;
+
+    /// Copy-on-write counterexample store: readers grab the snapshot
+    /// pointer under the mutex, then evaluate without it.
+    std::mutex models_mu_;
+    std::shared_ptr<const std::vector<solver::Assignment>> models_;
+
+    mutable std::atomic<uint64_t> lookups_{0};
+    mutable std::atomic<uint64_t> hits_{0};
+    mutable std::atomic<uint64_t> misses_{0};
+    mutable std::atomic<uint64_t> collisions_{0};
+    mutable std::atomic<uint64_t> inserts_{0};
+    mutable std::atomic<uint64_t> evictions_{0};
+    mutable std::atomic<uint64_t> oversize_skips_{0};
+    mutable std::atomic<uint64_t> model_reuse_hits_{0};
+    mutable std::atomic<uint64_t> models_published_{0};
+    mutable std::atomic<size_t> bytes_{0};
+    mutable std::atomic<size_t> entries_{0};
+};
+
+}  // namespace chef::cache
+
+#endif  // CHEF_CACHE_SHARED_CACHE_H_

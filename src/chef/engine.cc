@@ -191,6 +191,10 @@ Engine::Explore(const RunFn& run)
     }
     stats_.stopped = stopped;
     stats_.solver_queries = solver_.stats().queries;
+    stats_.solver_shared_hits = solver_.stats().shared_cache_hits;
+    stats_.solver_shared_model_hits =
+        solver_.stats().shared_model_reuse_hits;
+    stats_.solver_seconds = solver_.stats().solve_seconds;
     stats_.elapsed_seconds = elapsed();
     return test_cases;
 }

@@ -75,6 +75,14 @@ struct EngineStats {
     /// solver at the end of Explore so callers can aggregate per-session
     /// totals without reaching into the solver).
     uint64_t solver_queries = 0;
+    /// Queries answered by the batch-shared solver cache / satisfied by a
+    /// sibling session's published model (0 unless
+    /// Options::solver_options.shared_cache was set).
+    uint64_t solver_shared_hits = 0;
+    uint64_t solver_shared_model_hits = 0;
+    /// Wall time this session spent inside the solver (copied from the
+    /// solver, like solver_queries).
+    double solver_seconds = 0.0;
     /// True if Explore() returned because Options::stop_requested fired.
     bool stopped = false;
     double elapsed_seconds = 0.0;
@@ -106,6 +114,11 @@ class Engine
         double fork_weight_decay = 0.75;
         /// §3.4 least-frequent branching opcode cutoff.
         double branch_opcode_drop_fraction = 0.10;
+        /// Per-session solver configuration. Point
+        /// solver_options.shared_cache at a cache::SharedSolverCache to
+        /// share query results and counterexamples with sibling sessions
+        /// (the exploration service does this per batch when its
+        /// share_solver_cache option is on).
         solver::Solver::Options solver_options = {};
         bool collect_timeline = true;
         /// Cooperative cancellation hook. Checked between concolic

@@ -76,6 +76,11 @@ ExplorationService::RunJob(const JobSpec& spec, size_t job_index,
     // "completed".
     Engine::Options engine_options = spec.options;
     engine_options.seed = result.seed_used;
+    if (shared_cache_ != nullptr) {
+        // Batch-level sharing overrides any cache the spec carried: one
+        // cache per batch is the unit the stats and report describe.
+        engine_options.solver_options.shared_cache = shared_cache_.get();
+    }
     const std::function<bool()> user_stop = spec.options.stop_requested;
     engine_options.stop_requested = [this, user_stop, start,
                                      remaining_seconds] {
@@ -129,6 +134,20 @@ std::vector<JobResult>
 ExplorationService::RunBatch(const std::vector<JobSpec>& jobs)
 {
     const auto batch_start = Clock::now();
+
+    // A stop raised before this batch started targeted a *previous*
+    // batch; left set it would silently cancel every job here (the
+    // serial-reuse footgun). Stops raised after this line — i.e. during
+    // the batch — behave as documented.
+    ClearStop();
+
+    // One shared solver cache per batch (when enabled): jobs in a batch
+    // overlap heavily, across batches the workload may change entirely.
+    shared_cache_.reset();
+    if (options_.share_solver_cache) {
+        shared_cache_ = std::make_unique<cache::SharedSolverCache>(
+            options_.solver_cache_options);
+    }
 
     std::vector<JobResult> results(jobs.size());
     std::atomic<size_t> next{0};
@@ -187,7 +206,20 @@ ExplorationService::RunBatch(const std::vector<JobSpec>& jobs)
         stats_.hl_paths += result.engine_stats.hl_paths;
         stats_.hangs += result.engine_stats.hangs;
         stats_.solver_queries += result.engine_stats.solver_queries;
+        stats_.solver_seconds += result.engine_stats.solver_seconds;
         stats_.engine_seconds += result.engine_stats.elapsed_seconds;
+    }
+    stats_.solver_cache_shared = options_.share_solver_cache;
+    if (shared_cache_ != nullptr) {
+        const cache::SharedSolverCache::Stats cache_stats =
+            shared_cache_->stats();
+        stats_.shared_cache_hits += cache_stats.hits;
+        stats_.shared_cache_misses += cache_stats.misses;
+        stats_.shared_cache_inserts += cache_stats.inserts;
+        stats_.shared_cache_evictions += cache_stats.evictions;
+        stats_.shared_cache_model_hits += cache_stats.model_reuse_hits;
+        stats_.shared_cache_bytes = cache_stats.bytes;
+        stats_.shared_cache_entries = cache_stats.entries;
     }
     stats_.corpus_size = corpus_.size();
     stats_.wall_seconds += SecondsSince(batch_start);

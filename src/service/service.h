@@ -23,8 +23,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "cache/shared_cache.h"
 #include "service/corpus.h"
 #include "service/job.h"
 
@@ -48,6 +50,17 @@ class ExplorationService
         /// Store concrete inputs in corpus entries (disable to shrink
         /// memory for very large corpora).
         bool record_corpus_inputs = true;
+        /// Share one solver cache (query results + counterexamples)
+        /// across every job in a batch. Off by default because a shared
+        /// hit may hand a session a different satisfying model than a
+        /// fresh SAT call would, which makes per-job exploration depend
+        /// on sibling jobs (sat/unsat outcomes stay invariant; see
+        /// cache/shared_cache.h). A fresh cache is created per RunBatch
+        /// call and its stats land in ServiceStats / the JSON report.
+        bool share_solver_cache = false;
+        /// Configuration for the per-batch shared cache (shards, byte
+        /// budget, counterexample bound).
+        cache::SharedSolverCache::Options solver_cache_options = {};
     };
 
     explicit ExplorationService(Options options);
@@ -55,14 +68,21 @@ class ExplorationService
     /// Runs every job in the batch to completion (or cancellation) and
     /// returns per-job results indexed by submission order. Blocks until
     /// the batch drains. Serial reuse across batches accumulates stats
-    /// and corpus; concurrent calls are not supported.
+    /// and corpus; concurrent calls are not supported. A stop flag left
+    /// over from a previous batch's RequestStop() is stale and cleared on
+    /// entry, so serially reused services don't silently cancel the next
+    /// batch.
     std::vector<JobResult> RunBatch(const std::vector<JobSpec>& jobs);
 
     /// Asks all running sessions to stop and cancels queued jobs. Safe to
-    /// call from any thread (e.g. a watchdog) while RunBatch blocks.
+    /// call from any thread (e.g. a watchdog) while RunBatch blocks. The
+    /// flag only affects the batch in flight: RunBatch clears any stop
+    /// raised before it started.
     void RequestStop() { stop_.store(true, std::memory_order_relaxed); }
 
-    /// Re-arms a service that was stopped, for a subsequent batch.
+    /// Re-arms a service that was stopped. Retained for callers that want
+    /// to clear a stop between RequestStop() and the next batch
+    /// explicitly; RunBatch does this itself at entry.
     void ClearStop() { stop_.store(false, std::memory_order_relaxed); }
 
     bool stop_requested() const
@@ -73,6 +93,13 @@ class ExplorationService
     const TestCorpus& corpus() const { return corpus_; }
     const ServiceStats& stats() const { return stats_; }
     const Options& options() const { return options_; }
+
+    /// The last batch's shared solver cache (null when sharing is off or
+    /// no batch has run). Exposed for stats inspection and tests.
+    const cache::SharedSolverCache* shared_solver_cache() const
+    {
+        return shared_cache_.get();
+    }
 
     /// The per-job seed derivation (exposed for determinism tests).
     static uint64_t DeriveJobSeed(uint64_t service_seed, size_t job_index,
@@ -86,6 +113,9 @@ class ExplorationService
     std::atomic<bool> stop_{false};
     TestCorpus corpus_;
     ServiceStats stats_;
+    /// One cache per batch; rebuilt at each RunBatch entry when
+    /// share_solver_cache is on (kept afterwards for inspection).
+    std::unique_ptr<cache::SharedSolverCache> shared_cache_;
 };
 
 }  // namespace chef::service

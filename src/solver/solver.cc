@@ -1,69 +1,80 @@
 #include "solver/solver.h"
 
 #include <algorithm>
+#include <chrono>
 
+#include "cache/canonical.h"
+#include "cache/shared_cache.h"
 #include "solver/bitblast.h"
 #include "support/diagnostics.h"
 #include "support/strings.h"
 
 namespace chef::solver {
 
+namespace {
+
+/// Accumulates the enclosing scope's wall time into a stats field on every
+/// exit path (Solve returns from many places).
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(double* total) : total_(total) {}
+    ~ScopedTimer()
+    {
+        *total_ += std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count();
+    }
+
+  private:
+    double* total_;
+    std::chrono::steady_clock::time_point start_ =
+        std::chrono::steady_clock::now();
+};
+
+}  // namespace
+
 Solver::Solver(Options options) : options_(options) {}
 
-uint64_t
-Solver::QueryHash(const std::vector<ExprRef>& assertions)
+void
+Solver::StoreLocal(uint64_t key, QueryResult result,
+                   const Assignment& model,
+                   const std::vector<ExprRef>& sorted_assertions)
 {
-    // Order-insensitive combination so permuted assertion sets hit the same
-    // cache line.
-    uint64_t combined = 0x51ed270b4d2d3c75ull;
-    for (const ExprRef& assertion : assertions) {
-        combined += assertion->hash() * 0x9e3779b97f4a7c15ull;
+    if (!options_.enable_query_cache) {
+        return;
     }
-    return combined;
+    CacheEntry& entry = cache_[key];
+    if (!entry.key_assertions.empty()) {
+        // Overwriting a colliding entry: retire its bytes first (a real
+        // entry always has at least one assertion, so an empty key means
+        // the slot was just default-constructed).
+        stats_.cache_bytes -= cache::QueryEntryBytes(
+            entry.key_assertions.size(), entry.model.size());
+    }
+    entry.result = result;
+    entry.model = result == QueryResult::kSat ? model : Assignment();
+    entry.key_assertions = sorted_assertions;
+    stats_.cache_bytes += cache::QueryEntryBytes(
+        sorted_assertions.size(), entry.model.size());
 }
 
-std::vector<ExprRef>
-Solver::SortedByHash(std::vector<ExprRef> assertions)
+void
+Solver::RememberModel(const Assignment& model)
 {
-    std::sort(assertions.begin(), assertions.end(),
-              [](const ExprRef& a, const ExprRef& b) {
-                  return a->hash() < b->hash();
-              });
-    return assertions;
-}
-
-bool
-Solver::SameAssertions(const std::vector<ExprRef>& sorted_a,
-                       const std::vector<ExprRef>& sorted_b)
-{
-    if (sorted_a.size() != sorted_b.size()) {
-        return false;
+    if (!options_.enable_model_reuse) {
+        return;
     }
-    for (size_t i = 0; i < sorted_a.size(); ++i) {
-        if (!Expr::Equal(sorted_a[i], sorted_b[i])) {
-            return false;
-        }
+    recent_models_.push_front(model);
+    if (recent_models_.size() > options_.model_reuse_window) {
+        recent_models_.pop_back();
     }
-    return true;
-}
-
-bool
-Solver::AssertionsHoldUnder(const std::vector<ExprRef>& assertions,
-                            const Assignment& model) const
-{
-    // Evaluate newest-first: for concolic queries the violated assertion
-    // is almost always the freshly negated branch at the end.
-    for (size_t i = assertions.size(); i > 0; --i) {
-        if (EvalConcrete(assertions[i - 1], model) == 0) {
-            return false;
-        }
-    }
-    return true;
 }
 
 QueryResult
 Solver::Solve(const std::vector<ExprRef>& assertions, Assignment* model)
 {
+    const ScopedTimer timer(&stats_.solve_seconds);
     ++stats_.queries;
 
     // Constant-folded outcomes never reach the backend.
@@ -104,12 +115,12 @@ Solver::Solve(const std::vector<ExprRef>& assertions, Assignment* model)
         }
     }
 
-    const uint64_t key = QueryHash(live);
-    const std::vector<ExprRef> sorted_live = SortedByHash(live);
+    const uint64_t key = cache::QueryHash(live);
+    const std::vector<ExprRef> sorted_live = cache::SortedByHash(live);
     if (options_.enable_query_cache) {
         auto it = cache_.find(key);
         if (it != cache_.end() &&
-            SameAssertions(it->second.key_assertions, sorted_live)) {
+            cache::SameAssertions(it->second.key_assertions, sorted_live)) {
             ++stats_.cache_hits;
             if (it->second.result == QueryResult::kSat && model != nullptr) {
                 *model = it->second.model;
@@ -123,20 +134,68 @@ Solver::Solve(const std::vector<ExprRef>& assertions, Assignment* model)
         }
     }
 
+    // Built after the local-cache check so local hits (the steady-state
+    // majority) never pay the copy; reused by the shared lookup and both
+    // insert paths below.
+    cache::CanonicalQuery canonical;
+    if (options_.shared_cache != nullptr) {
+        canonical.hash = key;
+        canonical.sorted_assertions = sorted_live;
+    }
+
+    // Cross-worker shared cache: cheap (one striped lock) relative to
+    // everything below, and a hit also primes the local layers.
+    if (options_.shared_cache != nullptr) {
+        cache::CachedResult shared_result;
+        Assignment shared_model;
+        if (options_.shared_cache->Lookup(canonical, &shared_result,
+                                          &shared_model)) {
+            ++stats_.shared_cache_hits;
+            const QueryResult result =
+                shared_result == cache::CachedResult::kSat
+                    ? QueryResult::kSat
+                    : QueryResult::kUnsat;
+            StoreLocal(key, result, shared_model, sorted_live);
+            if (result == QueryResult::kSat) {
+                ++stats_.sat_results;
+                RememberModel(shared_model);
+                if (model != nullptr) {
+                    *model = std::move(shared_model);
+                }
+            } else {
+                ++stats_.unsat_results;
+            }
+            return result;
+        }
+    }
+
     if (options_.enable_model_reuse) {
         for (const Assignment& candidate : recent_models_) {
-            if (AssertionsHoldUnder(live, candidate)) {
+            if (cache::ModelSatisfies(live, candidate)) {
                 ++stats_.model_reuse_hits;
                 ++stats_.sat_results;
                 if (model != nullptr) {
                     *model = candidate;
                 }
-                if (options_.enable_query_cache) {
-                    cache_[key] = {QueryResult::kSat, candidate,
-                                   sorted_live};
-                }
+                StoreLocal(key, QueryResult::kSat, candidate, sorted_live);
                 return QueryResult::kSat;
             }
+        }
+    }
+
+    // Sibling sessions' counterexamples: a model another worker published
+    // often satisfies this worker's negation query outright.
+    if (options_.shared_cache != nullptr) {
+        Assignment candidate;
+        if (options_.shared_cache->TryCounterexamples(live, &candidate)) {
+            ++stats_.shared_model_reuse_hits;
+            ++stats_.sat_results;
+            StoreLocal(key, QueryResult::kSat, candidate, sorted_live);
+            RememberModel(candidate);
+            if (model != nullptr) {
+                *model = std::move(candidate);
+            }
+            return QueryResult::kSat;
         }
     }
 
@@ -160,8 +219,10 @@ Solver::Solve(const std::vector<ExprRef>& assertions, Assignment* model)
     }
     if (status == SatStatus::kUnsat) {
         ++stats_.unsat_results;
-        if (options_.enable_query_cache) {
-            cache_[key] = {QueryResult::kUnsat, Assignment(), sorted_live};
+        StoreLocal(key, QueryResult::kUnsat, Assignment(), sorted_live);
+        if (options_.shared_cache != nullptr) {
+            options_.shared_cache->Insert(
+                canonical, cache::CachedResult::kUnsat, Assignment());
         }
         return QueryResult::kUnsat;
     }
@@ -171,19 +232,17 @@ Solver::Solve(const std::vector<ExprRef>& assertions, Assignment* model)
         extracted.Set(var_id, blaster.ModelValue(sat, var_id));
     }
     // Internal consistency: the extracted model must satisfy the query.
-    CHEF_CHECK_MSG(AssertionsHoldUnder(live, extracted),
+    CHEF_CHECK_MSG(cache::ModelSatisfies(live, extracted),
                    "bit-blasted model does not satisfy the query");
 
     ++stats_.sat_results;
-    if (options_.enable_query_cache) {
-        cache_[key] = {QueryResult::kSat, extracted, sorted_live};
+    StoreLocal(key, QueryResult::kSat, extracted, sorted_live);
+    if (options_.shared_cache != nullptr) {
+        options_.shared_cache->Insert(canonical, cache::CachedResult::kSat,
+                                      extracted);
+        options_.shared_cache->PublishModel(extracted);
     }
-    if (options_.enable_model_reuse) {
-        recent_models_.push_front(extracted);
-        if (recent_models_.size() > options_.model_reuse_window) {
-            recent_models_.pop_back();
-        }
-    }
+    RememberModel(extracted);
     if (model != nullptr) {
         *model = std::move(extracted);
     }

@@ -10,6 +10,13 @@
 /// (recent satisfying models are tried against a new query before invoking
 /// the SAT solver; concolic negation queries are frequently satisfied by a
 /// sibling path's model).
+///
+/// Both accelerations also exist at batch scope: when Options::shared_cache
+/// points at a cache::SharedSolverCache, queries consult (and feed) the
+/// cross-worker cache between the local layers and the SAT call — the
+/// lookup order is local cache, shared cache, local model reuse, shared
+/// counterexample store, SAT. Query canonicalization lives in
+/// cache/canonical.h so every layer agrees on one key.
 
 #include <cstdint>
 #include <deque>
@@ -18,6 +25,10 @@
 
 #include "solver/expr.h"
 #include "solver/sat.h"
+
+namespace chef::cache {
+class SharedSolverCache;
+}  // namespace chef::cache
 
 namespace chef::solver {
 
@@ -33,12 +44,21 @@ struct SolverStats {
     uint64_t queries = 0;
     uint64_t cache_hits = 0;
     uint64_t model_reuse_hits = 0;
+    /// Queries answered by the cross-worker shared cache.
+    uint64_t shared_cache_hits = 0;
+    /// Queries satisfied by a sibling session's published model.
+    uint64_t shared_model_reuse_hits = 0;
     uint64_t sat_calls = 0;
     uint64_t sat_results = 0;
     uint64_t unsat_results = 0;
     uint64_t unknown_results = 0;
     uint64_t cnf_vars = 0;
     uint64_t cnf_clauses = 0;
+    /// Approximate bytes held by the local query cache (gauge; grows
+    /// monotonically since the local cache does not evict).
+    uint64_t cache_bytes = 0;
+    /// Wall time spent inside Solve(), including cache probes and SAT.
+    double solve_seconds = 0.0;
 };
 
 /// Constraint solver over bitvector assertions.
@@ -51,6 +71,14 @@ class Solver
         size_t model_reuse_window = 16;
         /// Conflict budget per SAT call (0 = unlimited).
         uint64_t max_conflicts = 2'000'000;
+        /// Optional cross-worker cache, owned by the caller (typically
+        /// one per ExplorationService batch) and shared by many Solvers.
+        /// Consulted after the local cache and fed after every proven SAT
+        /// call. Sat/unsat outcomes are cache-invariant; the satisfying
+        /// *model* a query returns may come from a sibling session, which
+        /// makes exploration order model-dependent — see
+        /// cache/shared_cache.h for the determinism contract.
+        cache::SharedSolverCache* shared_cache = nullptr;
     };
 
     Solver() : Solver(Options{}) {}
@@ -76,18 +104,21 @@ class Solver
   private:
     struct CacheEntry {
         QueryResult result;
+        /// Satisfying assignment; populated only for kSat results.
         Assignment model;
         /// Assertions sorted by hash, kept to reject hash collisions.
         std::vector<ExprRef> key_assertions;
     };
 
-    static std::vector<ExprRef> SortedByHash(std::vector<ExprRef> assertions);
-    static bool SameAssertions(const std::vector<ExprRef>& sorted_a,
-                               const std::vector<ExprRef>& sorted_b);
+    /// Inserts into the local query cache (no-op when disabled); stores
+    /// the model only for kSat and maintains the cache_bytes gauge.
+    void StoreLocal(uint64_t key, QueryResult result,
+                    const Assignment& model,
+                    const std::vector<ExprRef>& sorted_assertions);
 
-    static uint64_t QueryHash(const std::vector<ExprRef>& assertions);
-    bool AssertionsHoldUnder(const std::vector<ExprRef>& assertions,
-                             const Assignment& model) const;
+    /// Pushes a satisfying model into the bounded recent-model window
+    /// (no-op when model reuse is disabled).
+    void RememberModel(const Assignment& model);
 
     Options options_;
     SolverStats stats_;

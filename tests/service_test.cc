@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "lowlevel/runtime.h"
@@ -227,22 +228,53 @@ TEST(ExplorationService, BudgetCancelsHangHeavyJob)
     EXPECT_EQ(service.stats().jobs_completed, 0u);
 }
 
-TEST(ExplorationService, RequestStopCancelsQueuedJobs)
+TEST(ExplorationService, RequestStopDuringBatchCancelsRunningAndQueued)
 {
     EnsureTestWorkloads();
-    ExplorationService service({});
-    service.RequestStop();
+    ExplorationService::Options options;
+    options.num_workers = 1;  // Forces the second job to sit in the queue.
+    ExplorationService service(options);
 
     JobSpec spec;
     spec.workload = "test/hang-heavy";
+    spec.options.max_runs = 1'000'000;
+    spec.options.max_seconds = 20.0;
+    spec.options.collect_timeline = false;
+
+    std::thread watchdog([&service] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        service.RequestStop();
+    });
+    const std::vector<JobResult> results = service.RunBatch({spec, spec});
+    watchdog.join();
+
+    ASSERT_EQ(results.size(), 2u);
+    for (const JobResult& result : results) {
+        EXPECT_EQ(result.status, JobStatus::kCancelled);
+    }
+    // The queued job's placeholder still carries identity fields.
+    EXPECT_EQ(results[1].workload, "test/hang-heavy");
+    EXPECT_EQ(results[1].seed_used,
+              ExplorationService::DeriveJobSeed(service.options().seed, 1,
+                                                spec.seed));
+}
+
+/// Regression for the serial-reuse footgun: a stop raised against a
+/// previous batch must not silently cancel the next one. RunBatch treats
+/// a pre-existing stop flag as stale and clears it at entry.
+TEST(ExplorationService, StaleStopFlagDoesNotCancelNextBatch)
+{
+    ExplorationService service({});
+    service.RequestStop();  // No batch in flight: this stop is stale.
+
+    JobSpec spec;
+    spec.workload = "py/argparse";
+    spec.options.max_runs = 4;
+    spec.options.collect_timeline = false;
     const std::vector<JobResult> results = service.RunBatch({spec});
     ASSERT_EQ(results.size(), 1u);
-    EXPECT_EQ(results[0].status, JobStatus::kCancelled);
-    // Placeholder results still carry identity fields.
-    EXPECT_EQ(results[0].workload, "test/hang-heavy");
-    EXPECT_EQ(results[0].seed_used,
-              ExplorationService::DeriveJobSeed(service.options().seed, 0,
-                                                spec.seed));
+    EXPECT_EQ(results[0].status, JobStatus::kCompleted);
+    EXPECT_FALSE(service.stop_requested());
 }
 
 TEST(ExplorationService, UnknownWorkloadFailsGracefully)
@@ -297,6 +329,81 @@ TEST(ExplorationService, StatsTotalsEqualSumOfJobStats)
     EXPECT_EQ(stats.corpus_size, service.corpus().size());
     EXPECT_GT(stats.wall_seconds, 0.0);
     EXPECT_GT(stats.jobs_per_second, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Shared solver cache.
+// ---------------------------------------------------------------------------
+
+/// A same-workload batch with sharing on: sessions issue structurally
+/// identical early queries (the first run uses declared defaults), so
+/// later jobs must hit results the first job inserted — regardless of
+/// scheduling, because jobs run one after another on overlapping keys.
+TEST(ExplorationService, SharedSolverCacheProducesHits)
+{
+    std::vector<JobSpec> jobs;
+    for (int i = 0; i < 4; ++i) {
+        JobSpec spec;
+        spec.workload = "py/argparse";
+        spec.label = "argparse#" + std::to_string(i);
+        spec.options.max_runs = 10;
+        spec.options.max_seconds = 1e9;
+        spec.options.collect_timeline = false;
+        jobs.push_back(std::move(spec));
+    }
+
+    ExplorationService::Options options;
+    options.num_workers = 2;
+    options.seed = 9;
+    options.share_solver_cache = true;
+    ExplorationService service(options);
+    const std::vector<JobResult> results = service.RunBatch(jobs);
+
+    for (const JobResult& result : results) {
+        EXPECT_EQ(result.status, JobStatus::kCompleted);
+    }
+    ASSERT_NE(service.shared_solver_cache(), nullptr);
+    const ServiceStats& stats = service.stats();
+    EXPECT_TRUE(stats.solver_cache_shared);
+    EXPECT_GT(stats.shared_cache_inserts, 0u);
+    EXPECT_GT(stats.shared_cache_hits + stats.shared_cache_model_hits,
+              0u);
+    EXPECT_GT(stats.shared_cache_bytes, 0u);
+    EXPECT_GT(stats.solver_seconds, 0.0);
+
+    // The per-job shared-hit counters aggregate to the same signal.
+    uint64_t job_shared_hits = 0;
+    for (const JobResult& result : results) {
+        job_shared_hits += result.engine_stats.solver_shared_hits +
+                           result.engine_stats.solver_shared_model_hits;
+    }
+    EXPECT_GT(job_shared_hits, 0u);
+
+    // The report carries the sharing telemetry.
+    const std::string report =
+        RenderJsonReport(service.stats(), results, service.corpus());
+    for (const char* key :
+         {"\"solver_cache_shared\":true", "\"shared_cache_hits\"",
+          "\"shared_cache_inserts\"", "\"solver_seconds\"",
+          "\"solver_shared_hits\""}) {
+        EXPECT_NE(report.find(key), std::string::npos) << key;
+    }
+}
+
+/// Sharing must stay off by default: the determinism contract of
+/// ResultsIdenticalForOneAndFourWorkers depends on it.
+TEST(ExplorationService, SolverCacheSharingIsOptIn)
+{
+    ExplorationService service({});
+    EXPECT_FALSE(service.options().share_solver_cache);
+    JobSpec spec;
+    spec.workload = "py/argparse";
+    spec.options.max_runs = 4;
+    spec.options.collect_timeline = false;
+    service.RunBatch({spec});
+    EXPECT_EQ(service.shared_solver_cache(), nullptr);
+    EXPECT_FALSE(service.stats().solver_cache_shared);
+    EXPECT_EQ(service.stats().shared_cache_hits, 0u);
 }
 
 // ---------------------------------------------------------------------------

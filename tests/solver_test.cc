@@ -159,6 +159,79 @@ TEST(Solver, UpperBoundUnsatAssertions)
     const ExprRef x = MakeVar(1, "x", 8);
     uint64_t bound = 0;
     EXPECT_FALSE(solver.UpperBound({MakeBool(false)}, x, &bound));
+
+    // A non-trivially unsat assertion set also reports failure (and
+    // leaves the output untouched).
+    bound = 99;
+    EXPECT_FALSE(solver.UpperBound({MakeUlt(x, MakeConst(5, 8)),
+                                    MakeUgt(x, MakeConst(10, 8))},
+                                   x, &bound));
+    EXPECT_EQ(bound, 99u);
+}
+
+TEST(Solver, UpperBoundBinarySearchPopulatesQueryCache)
+{
+    // The binary search issues one query per probe; repeating the same
+    // UpperBound call must answer every probe from the query cache.
+    Solver solver;
+    const ExprRef x = MakeVar(1, "x", 8);
+    uint64_t bound = 0;
+    ASSERT_TRUE(solver.UpperBound({MakeUlt(x, MakeConst(57, 8))}, x,
+                                  &bound));
+    EXPECT_EQ(bound, 56u);
+    const uint64_t sat_calls = solver.stats().sat_calls;
+    const uint64_t cache_hits = solver.stats().cache_hits;
+
+    uint64_t bound_again = 0;
+    ASSERT_TRUE(solver.UpperBound({MakeUlt(x, MakeConst(57, 8))}, x,
+                                  &bound_again));
+    EXPECT_EQ(bound_again, 56u);
+    EXPECT_EQ(solver.stats().sat_calls, sat_calls);
+    EXPECT_GT(solver.stats().cache_hits, cache_hits);
+}
+
+TEST(Solver, UpperBoundWithCacheDisabledStillExact)
+{
+    Solver::Options options;
+    options.enable_query_cache = false;
+    options.enable_model_reuse = false;
+    Solver solver(options);
+    const ExprRef x = MakeVar(1, "x", 8);
+    uint64_t bound = 0;
+    ASSERT_TRUE(solver.UpperBound({MakeUlt(x, MakeConst(57, 8))}, x,
+                                  &bound));
+    EXPECT_EQ(bound, 56u);
+    EXPECT_EQ(solver.stats().cache_hits, 0u);
+    EXPECT_EQ(solver.stats().cache_bytes, 0u);
+}
+
+TEST(Solver, CacheBytesGaugeTracksInsertsAndSkipsUnsatModels)
+{
+    Solver solver;
+    EXPECT_EQ(solver.stats().cache_bytes, 0u);
+
+    const ExprRef x = MakeVar(1, "x", 16);
+    ASSERT_EQ(solver.Solve({MakeEq(x, MakeConst(5, 16))}, nullptr),
+              QueryResult::kSat);
+    const uint64_t after_sat = solver.stats().cache_bytes;
+    EXPECT_GT(after_sat, 0u);
+
+    // An unsat entry stores no model: despite holding *two* assertions
+    // to the sat entry's one, it must not cost more than the sat entry
+    // plus one assertion ref (it would if the model were also stored).
+    ASSERT_EQ(solver.Solve({MakeUlt(x, MakeConst(5, 16)),
+                            MakeUgt(x, MakeConst(10, 16))},
+                           nullptr),
+              QueryResult::kUnsat);
+    const uint64_t unsat_entry = solver.stats().cache_bytes - after_sat;
+    EXPECT_GT(unsat_entry, 0u);
+    EXPECT_LE(unsat_entry, after_sat + sizeof(ExprRef));
+
+    // A cache hit does not grow the gauge.
+    ASSERT_EQ(solver.Solve({MakeEq(x, MakeConst(5, 16))}, nullptr),
+              QueryResult::kSat);
+    EXPECT_EQ(solver.stats().cache_bytes, after_sat + unsat_entry);
+    EXPECT_GT(solver.stats().solve_seconds, 0.0);
 }
 
 /// Property: for random interval constraints, the model returned lies in
