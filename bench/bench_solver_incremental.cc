@@ -1,0 +1,311 @@
+/// \file
+/// Solver hot path: independence slicing + incremental SAT on deep-path
+/// concolic workloads.
+///
+/// Replays the query sequence a concolic session produces while marching
+/// down a deep path — for every depth k, the path prefix plus the negated
+/// branch condition at k — under two workload shapes:
+///
+///   independent-bytes  one byte-equality per branch (string matching);
+///                      every assertion touches its own variable, so
+///                      slicing answers the prefix from per-slice cache
+///                      entries and only solves the flipped branch.
+///   chained-adds       an accumulator chain x[i+1] == x[i] + c[i] with a
+///                      final comparison; every assertion shares variables
+///                      with its neighbor, so slicing cannot split and the
+///                      win comes from the incremental backend (the prefix
+///                      is blasted and CNF-loaded once per session).
+///
+/// Each shape runs under the baseline pipeline (slicing and incremental
+/// off — the PR 2 state) and the optimized one (both on), checking that
+/// sat/unsat outcomes agree under *all four* option combinations, then
+/// reports queries/s, SAT calls, and clauses loaded per query. A JSON
+/// report (default BENCH_solver.json) captures the numbers for the CI
+/// trajectory.
+///
+/// Usage: bench_solver_incremental [--smoke] [report.json]
+///   --smoke   shallow paths for CI; skips the (noise-sensitive) 2x
+///             wall-time check and enforces only outcome equivalence and
+///             the deterministic clauses-loaded reduction.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "solver/solver.h"
+
+namespace {
+
+using chef::solver::Assignment;
+using chef::solver::ExprRef;
+using chef::solver::QueryResult;
+using chef::solver::Solver;
+using chef::solver::SolverStats;
+
+using Query = std::vector<ExprRef>;
+
+/// Queries for a depth-N path over independent byte equalities: query k
+/// asserts bytes 0..k-1 match and flips branch k.
+std::vector<Query>
+IndependentBytesQueries(int depth)
+{
+    using namespace chef::solver;
+    std::vector<ExprRef> eqs;
+    for (int i = 0; i < depth; ++i) {
+        const ExprRef byte = MakeVar(static_cast<uint32_t>(i + 1),
+                                     "s" + std::to_string(i), 8);
+        eqs.push_back(MakeEq(byte, MakeConst('a' + (i % 26), 8)));
+    }
+    std::vector<Query> queries;
+    for (int k = 0; k < depth; ++k) {
+        Query q(eqs.begin(), eqs.begin() + k);
+        q.push_back(MakeBoolNot(eqs[k]));
+        queries.push_back(std::move(q));
+    }
+    return queries;
+}
+
+/// Queries for a depth-N accumulator chain: x[i+1] == x[i] + (i % 7 + 1),
+/// with query k asserting the prefix and flipping a bound on x[k]. The
+/// chain connects every assertion, so this shape defeats slicing on
+/// purpose.
+std::vector<Query>
+ChainedAddsQueries(int depth)
+{
+    using namespace chef::solver;
+    std::vector<ExprRef> xs;
+    for (int i = 0; i <= depth; ++i) {
+        xs.push_back(MakeVar(static_cast<uint32_t>(i + 1),
+                             "x" + std::to_string(i), 16));
+    }
+    std::vector<ExprRef> links;
+    for (int i = 0; i < depth; ++i) {
+        links.push_back(MakeEq(
+            xs[i + 1],
+            MakeAdd(xs[i], MakeConst(static_cast<uint64_t>(i % 7 + 1),
+                                     16))));
+    }
+    std::vector<Query> queries;
+    for (int k = 0; k < depth; ++k) {
+        Query q(links.begin(), links.begin() + k + 1);
+        // Alternate sat/unsat flavors: an achievable bound on the chain
+        // head vs. an impossible equality through the chain.
+        if (k % 2 == 0) {
+            q.push_back(MakeUlt(xs[0], MakeConst(100, 16)));
+        } else {
+            q.push_back(MakeEq(MakeSub(xs[k + 1], xs[k]),
+                               MakeConst(9, 16)));  // Step is never 9.
+        }
+        queries.push_back(std::move(q));
+    }
+    return queries;
+}
+
+struct RunOutcome {
+    std::vector<QueryResult> results;
+    SolverStats stats;
+    double seconds = 0.0;
+};
+
+RunOutcome
+RunQueries(const std::vector<Query>& queries, bool slicing,
+           bool incremental)
+{
+    Solver::Options options;
+    options.enable_independence_slicing = slicing;
+    options.enable_incremental_sat = incremental;
+    Solver solver(options);
+    RunOutcome outcome;
+    outcome.results.reserve(queries.size());
+    const auto start = std::chrono::steady_clock::now();
+    for (const Query& query : queries) {
+        Assignment model;
+        outcome.results.push_back(solver.Solve(query, &model));
+    }
+    outcome.seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    outcome.stats = solver.stats();
+    return outcome;
+}
+
+void
+AppendConfigJson(std::string* out, const char* name,
+                 const RunOutcome& run)
+{
+    char buffer[512];
+    const double qps =
+        run.seconds > 0.0
+            ? static_cast<double>(run.results.size()) / run.seconds
+            : 0.0;
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "\"%s\":{\"queries\":%zu,\"seconds\":%.6f,"
+        "\"queries_per_second\":%.1f,\"sat_calls\":%llu,"
+        "\"incremental_sat_calls\":%llu,\"sliced_queries\":%llu,"
+        "\"clauses_loaded\":%llu,\"clauses_loaded_per_query\":%.1f,"
+        "\"cache_hits\":%llu}",
+        name, run.results.size(), run.seconds, qps,
+        static_cast<unsigned long long>(run.stats.sat_calls),
+        static_cast<unsigned long long>(run.stats.incremental_sat_calls),
+        static_cast<unsigned long long>(run.stats.sliced_queries),
+        static_cast<unsigned long long>(run.stats.clauses_loaded),
+        run.results.empty()
+            ? 0.0
+            : static_cast<double>(run.stats.clauses_loaded) /
+                  static_cast<double>(run.results.size()),
+        static_cast<unsigned long long>(run.stats.cache_hits));
+    *out += buffer;
+}
+
+bool
+OutcomesMatch(const RunOutcome& a, const RunOutcome& b)
+{
+    return a.results == b.results;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool smoke = false;
+    std::string report_path = "BENCH_solver.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else {
+            report_path = argv[i];
+        }
+    }
+
+    const int depth = smoke ? 24 : 96;
+    struct Workload {
+        const char* name;
+        std::vector<Query> queries;
+    };
+    std::vector<Workload> workloads;
+    workloads.push_back({"independent-bytes",
+                         IndependentBytesQueries(depth)});
+    workloads.push_back({"chained-adds", ChainedAddsQueries(depth)});
+
+    std::printf("solver incremental bench: depth %d%s\n\n", depth,
+                smoke ? " [smoke]" : "");
+
+    bool ok = true;
+    std::string json = "{\"bench\":\"solver-incremental\",";
+    json += smoke ? "\"mode\":\"smoke\"," : "\"mode\":\"full\",";
+    char buffer[128];
+    std::snprintf(buffer, sizeof(buffer), "\"depth\":%d,\"workloads\":[",
+                  depth);
+    json += buffer;
+
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        const Workload& workload = workloads[w];
+        // All four combinations; outcomes must agree everywhere.
+        const RunOutcome baseline =
+            RunQueries(workload.queries, false, false);
+        const RunOutcome slicing_only =
+            RunQueries(workload.queries, true, false);
+        const RunOutcome incremental_only =
+            RunQueries(workload.queries, false, true);
+        const RunOutcome optimized =
+            RunQueries(workload.queries, true, true);
+
+        const bool outcomes_match =
+            OutcomesMatch(baseline, slicing_only) &&
+            OutcomesMatch(baseline, incremental_only) &&
+            OutcomesMatch(baseline, optimized);
+        const double speedup = optimized.seconds > 0.0
+                                   ? baseline.seconds / optimized.seconds
+                                   : 0.0;
+        const double clause_reduction =
+            optimized.stats.clauses_loaded > 0
+                ? static_cast<double>(baseline.stats.clauses_loaded) /
+                      static_cast<double>(optimized.stats.clauses_loaded)
+                : 0.0;
+
+        std::printf("%s (%zu queries)\n", workload.name,
+                    workload.queries.size());
+        std::printf("  %22s %12s %12s\n", "", "baseline", "optimized");
+        std::printf("  %22s %12.4f %12.4f\n", "seconds",
+                    baseline.seconds, optimized.seconds);
+        std::printf("  %22s %12llu %12llu\n", "sat_calls",
+                    static_cast<unsigned long long>(
+                        baseline.stats.sat_calls),
+                    static_cast<unsigned long long>(
+                        optimized.stats.sat_calls));
+        std::printf("  %22s %12llu %12llu\n", "clauses_loaded",
+                    static_cast<unsigned long long>(
+                        baseline.stats.clauses_loaded),
+                    static_cast<unsigned long long>(
+                        optimized.stats.clauses_loaded));
+        std::printf(
+            "  speedup: %.2fx; clauses-loaded reduction: %.1fx; "
+            "outcomes %s\n\n",
+            speedup, clause_reduction,
+            outcomes_match ? "match" : "DIFFER");
+
+        if (!outcomes_match) {
+            std::fprintf(stderr,
+                         "FAIL: %s: outcomes differ between option "
+                         "combinations\n",
+                         workload.name);
+            ok = false;
+        }
+        // Deterministic win: the optimized pipeline must load a fraction
+        // of the baseline's clauses even in smoke mode.
+        if (clause_reduction < 2.0) {
+            std::fprintf(stderr,
+                         "FAIL: %s: clauses-loaded reduction %.2fx < 2x\n",
+                         workload.name, clause_reduction);
+            ok = false;
+        }
+        // Timing win: enforced only in full mode (smoke runs are too
+        // short for stable wall-clock ratios).
+        if (!smoke && speedup < 2.0) {
+            std::fprintf(stderr,
+                         "FAIL: %s: solver wall-time speedup %.2fx < 2x\n",
+                         workload.name, speedup);
+            ok = false;
+        }
+
+        json += "{\"name\":\"";
+        json += workload.name;
+        json += "\",";
+        std::snprintf(buffer, sizeof(buffer),
+                      "\"speedup\":%.3f,\"clause_reduction\":%.3f,"
+                      "\"outcomes_match\":%s,",
+                      speedup, clause_reduction,
+                      outcomes_match ? "true" : "false");
+        json += buffer;
+        AppendConfigJson(&json, "baseline", baseline);
+        json += ",";
+        AppendConfigJson(&json, "slicing_only", slicing_only);
+        json += ",";
+        AppendConfigJson(&json, "incremental_only", incremental_only);
+        json += ",";
+        AppendConfigJson(&json, "optimized", optimized);
+        json += "}";
+        if (w + 1 < workloads.size()) {
+            json += ",";
+        }
+    }
+    json += "]}";
+
+    std::FILE* file = std::fopen(report_path.c_str(), "wb");
+    if (file == nullptr) {
+        std::fprintf(stderr, "failed to open %s\n", report_path.c_str());
+        return 1;
+    }
+    const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+    const bool flushed = std::fclose(file) == 0;
+    if (written != json.size() || !flushed) {
+        std::fprintf(stderr, "failed to write %s\n", report_path.c_str());
+        return 1;
+    }
+    std::printf("report: %s\n", report_path.c_str());
+    return ok ? 0 : 1;
+}

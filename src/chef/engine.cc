@@ -194,6 +194,10 @@ Engine::Explore(const RunFn& run)
     stats_.solver_shared_hits = solver_.stats().shared_cache_hits;
     stats_.solver_shared_model_hits =
         solver_.stats().shared_model_reuse_hits;
+    stats_.solver_sliced_queries = solver_.stats().sliced_queries;
+    stats_.solver_incremental_sat_calls =
+        solver_.stats().incremental_sat_calls;
+    stats_.solver_clauses_loaded = solver_.stats().clauses_loaded;
     stats_.solver_seconds = solver_.stats().solve_seconds;
     stats_.elapsed_seconds = elapsed();
     return test_cases;

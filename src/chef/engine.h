@@ -80,6 +80,13 @@ struct EngineStats {
     /// Options::solver_options.shared_cache was set).
     uint64_t solver_shared_hits = 0;
     uint64_t solver_shared_model_hits = 0;
+    /// Queries that independence slicing split into multiple slices, SAT
+    /// calls served by the persistent incremental session, and CNF
+    /// clauses loaded into the CDCL backend (all copied from the solver
+    /// at the end of Explore, like solver_queries).
+    uint64_t solver_sliced_queries = 0;
+    uint64_t solver_incremental_sat_calls = 0;
+    uint64_t solver_clauses_loaded = 0;
     /// Wall time this session spent inside the solver (copied from the
     /// solver, like solver_queries).
     double solver_seconds = 0.0;

@@ -82,6 +82,12 @@ struct ServiceStats {
     uint64_t hl_paths = 0;
     uint64_t hangs = 0;
     uint64_t solver_queries = 0;
+    /// Solver hot-path telemetry, summed across sessions: queries that
+    /// independence slicing split, SAT calls served incrementally, and
+    /// CNF clauses loaded into the CDCL backend.
+    uint64_t solver_sliced_queries = 0;
+    uint64_t solver_incremental_sat_calls = 0;
+    uint64_t solver_clauses_loaded = 0;
     /// Sum of per-session solver wall times (the quantity solver-cache
     /// sharing exists to shrink).
     double solver_seconds = 0.0;

@@ -124,6 +124,12 @@ WriteStats(JsonWriter& json, const ServiceStats& stats)
     json.Key("hl_paths"), json.Value(stats.hl_paths);
     json.Key("hangs"), json.Value(stats.hangs);
     json.Key("solver_queries"), json.Value(stats.solver_queries);
+    json.Key("solver_sliced_queries"),
+        json.Value(stats.solver_sliced_queries);
+    json.Key("solver_incremental_sat_calls"),
+        json.Value(stats.solver_incremental_sat_calls);
+    json.Key("solver_clauses_loaded"),
+        json.Value(stats.solver_clauses_loaded);
     json.Key("solver_seconds"), json.Value(stats.solver_seconds);
     json.Key("solver_cache_shared"),
         json.Value(stats.solver_cache_shared);
@@ -168,6 +174,12 @@ WriteJob(JsonWriter& json, const JobResult& result)
     json.Key("hangs"), json.Value(result.engine_stats.hangs);
     json.Key("solver_queries"),
         json.Value(result.engine_stats.solver_queries);
+    json.Key("solver_sliced_queries"),
+        json.Value(result.engine_stats.solver_sliced_queries);
+    json.Key("solver_incremental_sat_calls"),
+        json.Value(result.engine_stats.solver_incremental_sat_calls);
+    json.Key("solver_clauses_loaded"),
+        json.Value(result.engine_stats.solver_clauses_loaded);
     json.Key("solver_seconds"),
         json.Value(result.engine_stats.solver_seconds);
     json.Key("solver_shared_hits"),

@@ -206,6 +206,12 @@ ExplorationService::RunBatch(const std::vector<JobSpec>& jobs)
         stats_.hl_paths += result.engine_stats.hl_paths;
         stats_.hangs += result.engine_stats.hangs;
         stats_.solver_queries += result.engine_stats.solver_queries;
+        stats_.solver_sliced_queries +=
+            result.engine_stats.solver_sliced_queries;
+        stats_.solver_incremental_sat_calls +=
+            result.engine_stats.solver_incremental_sat_calls;
+        stats_.solver_clauses_loaded +=
+            result.engine_stats.solver_clauses_loaded;
         stats_.solver_seconds += result.engine_stats.solver_seconds;
         stats_.engine_seconds += result.engine_stats.elapsed_seconds;
     }

@@ -276,12 +276,19 @@ BitBlaster::Blast(const ExprRef& expr)
 {
     auto it = cache_.find(expr.get());
     if (it != cache_.end()) {
-        return it->second;
+        return it->second.bits;
     }
     std::vector<Lit> bits = BlastNode(expr.get());
     CHEF_CHECK(bits.size() == static_cast<size_t>(expr->width()));
-    cache_.emplace(expr.get(), bits);
+    cache_.emplace(expr.get(), BlastedNode{expr, bits});
     return bits;
+}
+
+Lit
+BitBlaster::BlastBool(const ExprRef& expr)
+{
+    CHEF_CHECK(expr->width() == 1);
+    return Blast(expr)[0];
 }
 
 std::vector<Lit>

@@ -20,6 +20,12 @@ namespace chef::solver {
 
 /// Lowers expressions into a CnfFormula and tracks input variables so a
 /// satisfying SAT model can be mapped back to bitvector values.
+///
+/// The node→literal memo owns a reference to every node it caches, so a
+/// BitBlaster may outlive the queries it served: a long-lived instance
+/// (the solver's incremental session) blasts a path's shared prefix once
+/// and answers later queries' repeated nodes from the memo, appending
+/// only the new nodes' clauses to the formula.
 class BitBlaster
 {
   public:
@@ -27,6 +33,12 @@ class BitBlaster
 
     /// Lowers \p expr; returns its literals, LSB first.
     std::vector<Lit> Blast(const ExprRef& expr);
+
+    /// Lowers the width-1 expression \p expr and returns its single
+    /// literal — used as an assumption by the incremental backend, which
+    /// must constrain the expression per-query without asserting it into
+    /// the formula permanently.
+    Lit BlastBool(const ExprRef& expr);
 
     /// Asserts that the width-1 expression \p expr is true.
     void AssertTrue(const ExprRef& expr);
@@ -82,9 +94,17 @@ class BitBlaster
 
     std::vector<Lit> BlastNode(const Expr* e);
 
+    /// Memo entry; owns the node so pointer-keyed entries stay valid for
+    /// the blaster's whole lifetime (a dead node's address could
+    /// otherwise be reused by a structurally different expression).
+    struct BlastedNode {
+        ExprRef node;
+        std::vector<Lit> bits;
+    };
+
     CnfFormula* cnf_;
     Lit true_lit_ = 0;
-    std::unordered_map<const Expr*, std::vector<Lit>> cache_;
+    std::unordered_map<const Expr*, BlastedNode> cache_;
     std::unordered_map<uint32_t, VarInfo> vars_;
 };
 

@@ -697,6 +697,24 @@ MakeBoolNot(const ExprRef& a)
     return MakeNot(a);
 }
 
+bool
+IsSyntacticNegation(const ExprRef& a, const ExprRef& b)
+{
+    CHEF_CHECK(a->width() == 1 && b->width() == 1);
+    // Mirrors MakeBoolNot's folding: the negation of a kNot node is its
+    // operand, the negation of anything else is a kNot wrapper, and
+    // constants fold. Checking both orientations covers MakeBoolNot's
+    // double-negation collapse without building a node.
+    if (a->kind() == ExprKind::kNot && Expr::Equal(a->a(), b)) {
+        return true;
+    }
+    if (b->kind() == ExprKind::kNot && Expr::Equal(b->a(), a)) {
+        return true;
+    }
+    return a->IsConstant() && b->IsConstant() &&
+           ((a->constant_value() ^ b->constant_value()) & 1) == 1;
+}
+
 ExprRef
 MakeIte(const ExprRef& cond, const ExprRef& then_expr,
         const ExprRef& else_expr)

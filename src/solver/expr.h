@@ -176,6 +176,12 @@ ExprRef MakeIte(const ExprRef& cond, const ExprRef& then_expr,
 /// masked to the expression width.
 uint64_t EvalConcrete(const ExprRef& expr, const Assignment& assignment);
 
+/// True iff the width-1 expressions are syntactic negations of each other
+/// — exactly when Expr::Equal(a, MakeBoolNot(b)) would hold — but decided
+/// without allocating the negated node. Used by the solver's syntactic-
+/// contradiction fast path, which runs on every query.
+bool IsSyntacticNegation(const ExprRef& a, const ExprRef& b);
+
 /// Collects the distinct variables referenced by the expression, appending
 /// them to \p out (deduplicated by variable id).
 void CollectVariables(const ExprRef& expr, std::vector<ExprRef>* out);

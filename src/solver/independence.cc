@@ -1,0 +1,119 @@
+#include "solver/independence.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace chef::solver {
+
+namespace {
+
+void
+CollectVarIdsImpl(const Expr* e, std::unordered_set<const Expr*>* visited,
+                  std::vector<uint32_t>* out)
+{
+    if (e == nullptr || !visited->insert(e).second) {
+        return;
+    }
+    if (e->kind() == ExprKind::kVariable) {
+        out->push_back(e->var_id());
+        return;
+    }
+    CollectVarIdsImpl(e->a().get(), visited, out);
+    CollectVarIdsImpl(e->b().get(), visited, out);
+    CollectVarIdsImpl(e->c().get(), visited, out);
+}
+
+/// Union-find over dense slot indices with path halving.
+class UnionFind
+{
+  public:
+    size_t MakeSet()
+    {
+        parent_.push_back(parent_.size());
+        return parent_.size() - 1;
+    }
+
+    size_t Find(size_t x)
+    {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+  private:
+    std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+void
+CollectVarIds(const ExprRef& expr, std::vector<uint32_t>* out)
+{
+    std::unordered_set<const Expr*> visited;
+    std::vector<uint32_t> found;
+    CollectVarIdsImpl(expr.get(), &visited, &found);
+    // Dedup against what the caller already has (set-based: callers
+    // accumulate across a whole query's assertions).
+    std::unordered_set<uint32_t> seen(out->begin(), out->end());
+    for (const uint32_t id : found) {
+        if (seen.insert(id).second) {
+            out->push_back(id);
+        }
+    }
+}
+
+std::vector<IndependentSlice>
+PartitionIndependent(const std::vector<ExprRef>& assertions)
+{
+    // One union-find slot per assertion plus one per distinct variable;
+    // each assertion is unioned with every variable it references, so two
+    // assertions end up in the same component iff they are transitively
+    // connected through shared variables.
+    UnionFind uf;
+    std::vector<size_t> assertion_slot(assertions.size());
+    std::unordered_map<uint32_t, size_t> var_slot;
+    std::vector<std::vector<uint32_t>> assertion_vars(assertions.size());
+
+    for (size_t i = 0; i < assertions.size(); ++i) {
+        assertion_slot[i] = uf.MakeSet();
+        CollectVarIds(assertions[i], &assertion_vars[i]);
+        for (const uint32_t id : assertion_vars[i]) {
+            auto [it, inserted] = var_slot.emplace(id, 0);
+            if (inserted) {
+                it->second = uf.MakeSet();
+            }
+            uf.Union(assertion_slot[i], it->second);
+        }
+    }
+
+    // Group assertions by component, ordered by first occurrence so the
+    // partition is deterministic in the input order.
+    std::vector<IndependentSlice> slices;
+    std::unordered_map<size_t, size_t> root_to_slice;
+    for (size_t i = 0; i < assertions.size(); ++i) {
+        const size_t root = uf.Find(assertion_slot[i]);
+        auto [it, inserted] = root_to_slice.emplace(root, slices.size());
+        if (inserted) {
+            slices.emplace_back();
+        }
+        IndependentSlice& slice = slices[it->second];
+        slice.assertions.push_back(assertions[i]);
+        for (const uint32_t id : assertion_vars[i]) {
+            slice.var_ids.push_back(id);
+        }
+    }
+    for (IndependentSlice& slice : slices) {
+        std::sort(slice.var_ids.begin(), slice.var_ids.end());
+        slice.var_ids.erase(
+            std::unique(slice.var_ids.begin(), slice.var_ids.end()),
+            slice.var_ids.end());
+    }
+    return slices;
+}
+
+}  // namespace chef::solver

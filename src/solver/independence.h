@@ -1,0 +1,51 @@
+#ifndef CHEF_SOLVER_INDEPENDENCE_H_
+#define CHEF_SOLVER_INDEPENDENCE_H_
+
+/// \file
+/// Constraint-independence slicing for solver queries.
+///
+/// A query is a conjunction of width-1 assertions; two assertions are
+/// dependent iff they share a variable (transitively). Partitioning a
+/// query into variable-disjoint slices lets the solver decide each slice
+/// on its own: the conjunction is sat iff every slice is sat, and the
+/// union of per-slice models is a model of the whole query (the slices
+/// constrain disjoint variables). For concolic negation queries this is
+/// the classic KLEE "independence" optimization — the freshly flipped
+/// branch condition usually touches a handful of input bytes, while the
+/// path prefix drags in every byte the run ever branched on; slicing
+/// keeps the SAT call (and, just as importantly, the cache key) down to
+/// the relevant bytes.
+
+#include <cstdint>
+#include <vector>
+
+#include "solver/expr.h"
+
+namespace chef::solver {
+
+/// One variable-disjoint group of assertions from a query.
+struct IndependentSlice {
+    /// The slice's assertions, in their original relative order.
+    std::vector<ExprRef> assertions;
+    /// Sorted distinct ids of the variables the slice constrains.
+    std::vector<uint32_t> var_ids;
+};
+
+/// Appends the distinct ids of the variables referenced by \p expr to
+/// \p out (walking every child edge, including kIte's condition and
+/// arms, kConcat's halves and kExtract/kSExt/kZExt operands). The result
+/// is deduplicated against ids already present in \p out.
+void CollectVarIds(const ExprRef& expr, std::vector<uint32_t>* out);
+
+/// Partitions \p assertions into independent slices via union-find over
+/// the variables each assertion references. Slices are ordered by the
+/// first assertion they contain, so the output is deterministic in the
+/// input order. Assertions referencing no variables (possible only for
+/// shapes the constant folder does not collapse) each form their own
+/// slice, which keeps the decomposition sound.
+std::vector<IndependentSlice>
+PartitionIndependent(const std::vector<ExprRef>& assertions);
+
+}  // namespace chef::solver
+
+#endif  // CHEF_SOLVER_INDEPENDENCE_H_

@@ -222,6 +222,7 @@ SatSolver::Backtrack(int target_level)
         const uint32_t var = VarOf(trail_[i - 1]);
         assign_[var] = kUndef;
         reason_[var] = -1;
+        HeapInsert(var);
     }
     trail_.resize(new_size);
     trail_limits_.resize(target_level);
@@ -229,14 +230,59 @@ SatSolver::Backtrack(int target_level)
 }
 
 void
+SatSolver::ResetState()
+{
+    loaded_clauses_ = 0;
+    root_unsat_ = false;
+    num_vars_ = 0;
+    clauses_.clear();
+    watches_.clear();
+    assign_.clear();
+    phase_.clear();
+    reason_.clear();
+    level_.clear();
+    activity_.clear();
+    seen_.clear();
+    heap_.clear();
+    heap_pos_.clear();
+    trail_.clear();
+    trail_limits_.clear();
+    propagate_head_ = 0;
+    activity_inc_ = 1.0;
+}
+
+void
+SatSolver::GrowVars(int num_vars)
+{
+    CHEF_CHECK(num_vars >= num_vars_);
+    const int old_vars = num_vars_;
+    num_vars_ = num_vars;
+    assign_.resize(num_vars_, kUndef);
+    phase_.resize(num_vars_, 0);
+    reason_.resize(num_vars_, -1);
+    level_.resize(num_vars_, 0);
+    activity_.resize(num_vars_, 0.0);
+    seen_.resize(num_vars_, 0);
+    heap_pos_.resize(num_vars_, -1);
+    watches_.resize(2 * static_cast<size_t>(num_vars_));
+    for (int var = old_vars; var < num_vars_; ++var) {
+        HeapInsert(static_cast<uint32_t>(var));
+    }
+}
+
+void
 SatSolver::BumpVar(uint32_t var)
 {
     activity_[var] += activity_inc_;
     if (activity_[var] > 1e100) {
+        // Uniform rescale preserves the heap order.
         for (double& activity : activity_) {
             activity *= 1e-100;
         }
         activity_inc_ *= 1e-100;
+    }
+    if (heap_pos_[var] >= 0) {
+        HeapUp(static_cast<size_t>(heap_pos_[var]));
     }
 }
 
@@ -246,23 +292,87 @@ SatSolver::DecayActivities()
     activity_inc_ /= options_.var_decay;
 }
 
+void
+SatSolver::HeapUp(size_t index)
+{
+    const uint32_t var = heap_[index];
+    while (index > 0) {
+        const size_t parent = (index - 1) / 2;
+        if (activity_[heap_[parent]] >= activity_[var]) {
+            break;
+        }
+        heap_[index] = heap_[parent];
+        heap_pos_[heap_[index]] = static_cast<int32_t>(index);
+        index = parent;
+    }
+    heap_[index] = var;
+    heap_pos_[var] = static_cast<int32_t>(index);
+}
+
+void
+SatSolver::HeapDown(size_t index)
+{
+    const uint32_t var = heap_[index];
+    for (;;) {
+        size_t child = 2 * index + 1;
+        if (child >= heap_.size()) {
+            break;
+        }
+        if (child + 1 < heap_.size() &&
+            activity_[heap_[child + 1]] > activity_[heap_[child]]) {
+            ++child;
+        }
+        if (activity_[heap_[child]] <= activity_[var]) {
+            break;
+        }
+        heap_[index] = heap_[child];
+        heap_pos_[heap_[index]] = static_cast<int32_t>(index);
+        index = child;
+    }
+    heap_[index] = var;
+    heap_pos_[var] = static_cast<int32_t>(index);
+}
+
+void
+SatSolver::HeapInsert(uint32_t var)
+{
+    if (heap_pos_[var] >= 0) {
+        return;
+    }
+    heap_.push_back(var);
+    heap_pos_[var] = static_cast<int32_t>(heap_.size() - 1);
+    HeapUp(heap_.size() - 1);
+}
+
+uint32_t
+SatSolver::HeapPopMax()
+{
+    const uint32_t top = heap_[0];
+    heap_pos_[top] = -1;
+    const uint32_t last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+        heap_[0] = last;
+        heap_pos_[last] = 0;
+        HeapDown(0);
+    }
+    return top;
+}
+
 SatSolver::ILit
 SatSolver::PickBranchLit()
 {
-    // Linear scan over activities; fine at our scale and keeps the solver
-    // simple (no heap rebuilds on backtrack).
-    double best_activity = -1.0;
-    int best_var = -1;
-    for (int var = 0; var < num_vars_; ++var) {
-        if (assign_[var] == kUndef && activity_[var] > best_activity) {
-            best_activity = activity_[var];
-            best_var = var;
+    // Pop assigned leftovers until an unassigned variable surfaces; every
+    // unassigned variable is in the heap by invariant.
+    for (;;) {
+        CHEF_CHECK(!heap_.empty());
+        const uint32_t var = HeapPopMax();
+        if (assign_[var] != kUndef) {
+            continue;
         }
+        // Phase saving: re-use the last assigned polarity.
+        return (var << 1) | (phase_[var] == 1 ? 0u : 1u);
     }
-    CHEF_CHECK(best_var >= 0);
-    const uint32_t uvar = static_cast<uint32_t>(best_var);
-    // Phase saving: re-use the last assigned polarity.
-    return (uvar << 1) | (phase_[uvar] == 1 ? 0u : 1u);
 }
 
 bool
@@ -271,31 +381,18 @@ SatSolver::AllAssigned() const
     return trail_.size() == static_cast<size_t>(num_vars_);
 }
 
-SatStatus
-SatSolver::Solve(const CnfFormula& formula)
+bool
+SatSolver::LoadIncrement(const CnfFormula& formula)
 {
-    if (formula.trivially_unsat()) {
-        return SatStatus::kUnsat;
-    }
-    num_vars_ = formula.num_vars();
-    assign_.assign(num_vars_, kUndef);
-    phase_.assign(num_vars_, 0);
-    reason_.assign(num_vars_, -1);
-    level_.assign(num_vars_, 0);
-    activity_.assign(num_vars_, 0.0);
-    seen_.assign(num_vars_, 0);
-    watches_.assign(2 * static_cast<size_t>(num_vars_), {});
-    trail_.clear();
-    trail_limits_.clear();
-    propagate_head_ = 0;
-
-    // Load clauses; units go straight onto the trail.
-    clauses_.clear();
-    clauses_.reserve(formula.clauses().size());
-    for (const std::vector<Lit>& clause : formula.clauses()) {
+    const std::vector<std::vector<Lit>>& clauses = formula.clauses();
+    clauses_.reserve(clauses_.size() + (clauses.size() - loaded_clauses_));
+    for (size_t i = loaded_clauses_; i < clauses.size(); ++i) {
+        const std::vector<Lit>& clause = clauses[i];
         if (clause.size() == 1) {
+            // Root-level unit: permanently true.
             if (!Enqueue(Encode(clause[0]), -1)) {
-                return SatStatus::kUnsat;
+                loaded_clauses_ = i + 1;
+                return false;
             }
             continue;
         }
@@ -304,19 +401,59 @@ SatSolver::Solve(const CnfFormula& formula)
         for (Lit lit : clause) {
             internal.lits.push_back(Encode(lit));
         }
+        // Root assignments are permanent, and watchers only fire on
+        // *future* enqueues — a clause attached with already-falsified
+        // watched literals would never propagate. Move two non-false
+        // literals (under the current root assignment) into the watch
+        // slots; clauses already unit or conflicting at load time are
+        // resolved here instead.
+        size_t nonfalse = 0;
+        for (size_t k = 0; k < internal.lits.size() && nonfalse < 2;
+             ++k) {
+            if (ValueOf(internal.lits[k]) != 0) {
+                std::swap(internal.lits[nonfalse], internal.lits[k]);
+                ++nonfalse;
+            }
+        }
+        if (nonfalse == 0) {
+            // Every literal is root-false: the database is unsat.
+            loaded_clauses_ = i + 1;
+            return false;
+        }
+        if (nonfalse == 1) {
+            // Unit under the root assignment: its surviving literal is
+            // forced (or already true, making the clause redundant
+            // forever — no need to attach it either way).
+            if (ValueOf(internal.lits[0]) == kUndef) {
+                clauses_.push_back(std::move(internal));
+                const auto index =
+                    static_cast<uint32_t>(clauses_.size() - 1);
+                CHEF_CHECK(Enqueue(clauses_[index].lits[0],
+                                   static_cast<int32_t>(index)));
+            }
+            continue;
+        }
         clauses_.push_back(std::move(internal));
         AttachClause(static_cast<uint32_t>(clauses_.size() - 1));
         // Bump variables that appear in clauses so branching prefers
         // constrained variables.
         for (Lit lit : clause) {
-            activity_[static_cast<uint32_t>(std::abs(lit)) - 1] += 1.0;
+            const uint32_t var =
+                static_cast<uint32_t>(std::abs(lit)) - 1;
+            activity_[var] += 1.0;
+            if (heap_pos_[var] >= 0) {
+                HeapUp(static_cast<size_t>(heap_pos_[var]));
+            }
         }
     }
+    loaded_clauses_ = clauses.size();
+    return true;
+}
 
-    if (Propagate() >= 0) {
-        return SatStatus::kUnsat;
-    }
-
+SatStatus
+SatSolver::Search(const std::vector<Lit>& assumptions)
+{
+    const uint64_t conflicts_at_entry = stats_.conflicts;
     uint64_t restart_limit = options_.restart_base;
     uint64_t conflicts_since_restart = 0;
     std::vector<ILit> learned;
@@ -327,10 +464,12 @@ SatSolver::Solve(const CnfFormula& formula)
             ++stats_.conflicts;
             ++conflicts_since_restart;
             if (trail_limits_.empty()) {
+                root_unsat_ = true;
                 return SatStatus::kUnsat;
             }
             if (options_.max_conflicts != 0 &&
-                stats_.conflicts >= options_.max_conflicts) {
+                stats_.conflicts - conflicts_at_entry >=
+                    options_.max_conflicts) {
                 return SatStatus::kUnknown;
             }
             int backtrack_level = 0;
@@ -353,6 +492,25 @@ SatSolver::Solve(const CnfFormula& formula)
             DecayActivities();
             continue;
         }
+        // Place pending assumptions as forced decisions before testing
+        // for completion: a full assignment that falsifies an unplaced
+        // assumption must still answer kUnsat.
+        if (trail_limits_.size() < assumptions.size()) {
+            const ILit next =
+                Encode(assumptions[trail_limits_.size()]);
+            const uint8_t value = ValueOf(next);
+            if (value == 0) {
+                // The clause database forces this assumption false:
+                // unsat under the assumptions (the database itself may
+                // still be satisfiable, so root_unsat_ stays clear).
+                return SatStatus::kUnsat;
+            }
+            trail_limits_.push_back(trail_.size());
+            if (value == kUndef) {
+                CHEF_CHECK(Enqueue(next, -1));
+            }
+            continue;
+        }
         if (AllAssigned()) {
             return SatStatus::kSat;
         }
@@ -362,6 +520,8 @@ SatSolver::Solve(const CnfFormula& formula)
             restart_limit = static_cast<uint64_t>(
                 static_cast<double>(restart_limit) *
                 options_.restart_growth);
+            // Restarting pops the assumption levels too; the decision
+            // loop above re-places them.
             Backtrack(0);
             continue;
         }
@@ -369,6 +529,30 @@ SatSolver::Solve(const CnfFormula& formula)
         trail_limits_.push_back(trail_.size());
         CHEF_CHECK(Enqueue(PickBranchLit(), -1));
     }
+}
+
+SatStatus
+SatSolver::Solve(const CnfFormula& formula)
+{
+    ResetState();
+    return SolveIncremental(formula, {});
+}
+
+SatStatus
+SatSolver::SolveIncremental(const CnfFormula& formula,
+                            const std::vector<Lit>& assumptions)
+{
+    if (root_unsat_ || formula.trivially_unsat()) {
+        root_unsat_ = true;
+        return SatStatus::kUnsat;
+    }
+    Backtrack(0);
+    GrowVars(formula.num_vars());
+    if (!LoadIncrement(formula) || Propagate() >= 0) {
+        root_unsat_ = true;
+        return SatStatus::kUnsat;
+    }
+    return Search(assumptions);
 }
 
 bool

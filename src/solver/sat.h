@@ -78,6 +78,23 @@ class SatSolver
     /// Solves the formula. On kSat, the model can be read via ModelValue().
     SatStatus Solve(const CnfFormula& formula);
 
+    /// Incremental interface. The solver stays bound to one logical
+    /// formula that only ever grows: each call loads the clauses appended
+    /// to \p formula since the previous call — keeping the learned-clause
+    /// database, variable activities and saved phases — and decides
+    /// satisfiability of formula AND assumptions. Assumptions are handled
+    /// Minisat-style, as forced first decisions, so learned clauses are
+    /// implied by the clause database alone and stay valid across calls
+    /// with different assumptions. The per-call conflict budget is
+    /// Options::max_conflicts. Do not mix with the one-shot Solve() on
+    /// the same instance (Solve() discards all incremental state).
+    SatStatus SolveIncremental(const CnfFormula& formula,
+                               const std::vector<Lit>& assumptions);
+
+    /// Formula clauses consumed by clause loading so far (total across
+    /// incremental calls; callers diff it to get per-call load counts).
+    size_t loaded_clauses() const { return loaded_clauses_; }
+
     /// Returns the truth value of variable \p var (1-based) in the model.
     bool ModelValue(int var) const;
 
@@ -104,6 +121,19 @@ class SatSolver
     uint32_t VarOf(ILit lit) const { return lit >> 1; }
     uint8_t ValueOf(ILit lit) const;
 
+    /// Discards every clause, assignment and heuristic state (the one-shot
+    /// Solve() entry point).
+    void ResetState();
+    /// Grows the per-variable arrays to \p num_vars (monotone).
+    void GrowVars(int num_vars);
+    /// Loads formula clauses [loaded_clauses_, end); root-level units go
+    /// straight onto the trail. Returns false on an immediate root
+    /// conflict.
+    bool LoadIncrement(const CnfFormula& formula);
+    /// The CDCL loop over the current clause database, with \p assumptions
+    /// placed as forced first decisions.
+    SatStatus Search(const std::vector<Lit>& assumptions);
+
     bool AttachClause(uint32_t clause_index);
     bool Enqueue(ILit lit, int32_t reason);
     int32_t Propagate();
@@ -115,8 +145,23 @@ class SatSolver
     ILit PickBranchLit();
     bool AllAssigned() const;
 
+    // Activity-ordered branching heap (indexed max-heap). Invariant:
+    // every unassigned variable is in the heap; assigned variables may
+    // linger and are skipped on pop. Keeps decisions O(log V) even when
+    // the incremental session's variable count grows across queries.
+    void HeapUp(size_t index);
+    void HeapDown(size_t index);
+    void HeapInsert(uint32_t var);
+    uint32_t HeapPopMax();
+
     Options options_;
     SatStats stats_;
+
+    /// Formula clauses consumed so far (incremental loading cursor).
+    size_t loaded_clauses_ = 0;
+    /// Latched when the clause database itself (no assumptions) is proven
+    /// unsatisfiable; every later call answers kUnsat immediately.
+    bool root_unsat_ = false;
 
     int num_vars_ = 0;
     std::vector<Clause> clauses_;
@@ -131,6 +176,8 @@ class SatSolver
     std::vector<double> activity_;
     double activity_inc_ = 1.0;
     std::vector<uint8_t> seen_;
+    std::vector<uint32_t> heap_;     // var indices, max activity at root
+    std::vector<int32_t> heap_pos_;  // var -> heap index, -1 if absent
 };
 
 }  // namespace chef::solver

@@ -6,6 +6,7 @@
 #include "cache/canonical.h"
 #include "cache/shared_cache.h"
 #include "solver/bitblast.h"
+#include "solver/independence.h"
 #include "support/diagnostics.h"
 #include "support/strings.h"
 
@@ -44,19 +45,40 @@ Solver::StoreLocal(uint64_t key, QueryResult result,
     if (!options_.enable_query_cache) {
         return;
     }
-    CacheEntry& entry = cache_[key];
-    if (!entry.key_assertions.empty()) {
-        // Overwriting a colliding entry: retire its bytes first (a real
-        // entry always has at least one assertion, so an empty key means
-        // the slot was just default-constructed).
+    auto [it, inserted] = cache_.try_emplace(key);
+    CacheEntry& entry = it->second;
+    if (inserted) {
+        lru_.push_front(key);
+        entry.lru_it = lru_.begin();
+    } else {
+        // Overwriting a colliding (or re-stored) entry: retire its bytes
+        // first and refresh its LRU position.
         stats_.cache_bytes -= cache::QueryEntryBytes(
             entry.key_assertions.size(), entry.model.size());
+        lru_.splice(lru_.begin(), lru_, entry.lru_it);
     }
     entry.result = result;
     entry.model = result == QueryResult::kSat ? model : Assignment();
     entry.key_assertions = sorted_assertions;
     stats_.cache_bytes += cache::QueryEntryBytes(
         sorted_assertions.size(), entry.model.size());
+
+    // Enforce the byte budget, least-recently-used first. The entry just
+    // stored sits at the LRU front, so it survives unless it alone
+    // exceeds the budget.
+    while (options_.max_cache_bytes != 0 &&
+           stats_.cache_bytes > options_.max_cache_bytes &&
+           !lru_.empty()) {
+        const uint64_t victim_key = lru_.back();
+        auto victim = cache_.find(victim_key);
+        CHEF_CHECK(victim != cache_.end());
+        stats_.cache_bytes -= cache::QueryEntryBytes(
+            victim->second.key_assertions.size(),
+            victim->second.model.size());
+        lru_.pop_back();
+        cache_.erase(victim);
+        ++stats_.cache_evictions;
+    }
 }
 
 void
@@ -102,19 +124,97 @@ Solver::Solve(const std::vector<ExprRef>& assertions, Assignment* model)
     // Syntactic contradiction fast path: concolic negation queries are
     // frequently of the form {..., c, ..., !c} where the flipped branch
     // condition already appears in the prefix (input-dependent loops that
-    // re-test one condition). Detect the pair structurally before paying
-    // for bit blasting.
+    // re-test one condition). Detect the pair structurally — without
+    // allocating the negated node — before paying for anything else.
     {
         const ExprRef& last = live.back();
-        const ExprRef negated_last = MakeBoolNot(last);
         for (size_t i = 0; i + 1 < live.size(); ++i) {
-            if (Expr::Equal(live[i], negated_last)) {
+            if (IsSyntacticNegation(live[i], last)) {
                 ++stats_.unsat_results;
                 return QueryResult::kUnsat;
             }
         }
     }
 
+    // Independence slicing: variable-disjoint slices are decided
+    // separately (the conjunction is sat iff each slice is, and the union
+    // of slice models is a model of the whole query). Prefix slices hit
+    // their per-slice cache entries; only the slice containing the
+    // freshly negated branch condition does real work.
+    if (options_.enable_independence_slicing) {
+        std::vector<IndependentSlice> slices = PartitionIndependent(live);
+        if (slices.size() > 1) {
+            ++stats_.sliced_queries;
+            stats_.slices_solved += slices.size();
+            Assignment merged;
+            bool unknown = false;
+            for (const IndependentSlice& slice : slices) {
+                Assignment slice_model;
+                const QueryResult result =
+                    SolveLeaf(slice.assertions, &slice_model);
+                if (result == QueryResult::kUnsat) {
+                    ++stats_.unsat_results;
+                    return QueryResult::kUnsat;
+                }
+                if (result == QueryResult::kUnknown) {
+                    // Keep going: a later unsat slice still decides the
+                    // whole query, which a budget-starved monolithic
+                    // solve could not.
+                    unknown = true;
+                    continue;
+                }
+                // Merge only the slice's own variables: a slice answered
+                // from the cache or model-reuse window can carry a full
+                // model whose stray entries would clobber other slices'
+                // assignments. Get() turns variables such a model
+                // satisfied *by absence* (absent evaluates as zero) into
+                // explicit zeros, so the caller never has to guess — the
+                // engine fills absent inputs with guest defaults, which
+                // are not zero.
+                for (const uint32_t var_id : slice.var_ids) {
+                    merged.Set(var_id, slice_model.Get(var_id));
+                }
+            }
+            if (unknown) {
+                ++stats_.unknown_results;
+                return QueryResult::kUnknown;
+            }
+            ++stats_.sat_results;
+            RememberModel(merged);
+            if (model != nullptr) {
+                *model = std::move(merged);
+            }
+            return QueryResult::kSat;
+        }
+    }
+
+    const QueryResult result = SolveLeaf(live, model);
+    if (result == QueryResult::kSat && model != nullptr) {
+        // A model served by the reuse layers can satisfy an assertion by
+        // *absence* (absent variables evaluate as zero). Make those zeros
+        // explicit so every constrained variable is assigned — callers
+        // (the engine) substitute their own defaults for absent inputs.
+        std::vector<uint32_t> var_ids;
+        for (const ExprRef& assertion : live) {
+            CollectVarIds(assertion, &var_ids);
+        }
+        for (const uint32_t var_id : var_ids) {
+            if (!model->Has(var_id)) {
+                model->Set(var_id, 0);
+            }
+        }
+    }
+    switch (result) {
+      case QueryResult::kSat: ++stats_.sat_results; break;
+      case QueryResult::kUnsat: ++stats_.unsat_results; break;
+      case QueryResult::kUnknown: ++stats_.unknown_results; break;
+    }
+    return result;
+}
+
+QueryResult
+Solver::SolveLeaf(const std::vector<ExprRef>& live, Assignment* model)
+{
     const uint64_t key = cache::QueryHash(live);
     const std::vector<ExprRef> sorted_live = cache::SortedByHash(live);
     if (options_.enable_query_cache) {
@@ -122,13 +222,9 @@ Solver::Solve(const std::vector<ExprRef>& assertions, Assignment* model)
         if (it != cache_.end() &&
             cache::SameAssertions(it->second.key_assertions, sorted_live)) {
             ++stats_.cache_hits;
+            lru_.splice(lru_.begin(), lru_, it->second.lru_it);
             if (it->second.result == QueryResult::kSat && model != nullptr) {
                 *model = it->second.model;
-            }
-            if (it->second.result == QueryResult::kSat) {
-                ++stats_.sat_results;
-            } else {
-                ++stats_.unsat_results;
             }
             return it->second.result;
         }
@@ -157,13 +253,10 @@ Solver::Solve(const std::vector<ExprRef>& assertions, Assignment* model)
                     : QueryResult::kUnsat;
             StoreLocal(key, result, shared_model, sorted_live);
             if (result == QueryResult::kSat) {
-                ++stats_.sat_results;
                 RememberModel(shared_model);
                 if (model != nullptr) {
                     *model = std::move(shared_model);
                 }
-            } else {
-                ++stats_.unsat_results;
             }
             return result;
         }
@@ -173,7 +266,6 @@ Solver::Solve(const std::vector<ExprRef>& assertions, Assignment* model)
         for (const Assignment& candidate : recent_models_) {
             if (cache::ModelSatisfies(live, candidate)) {
                 ++stats_.model_reuse_hits;
-                ++stats_.sat_results;
                 if (model != nullptr) {
                     *model = candidate;
                 }
@@ -189,7 +281,6 @@ Solver::Solve(const std::vector<ExprRef>& assertions, Assignment* model)
         Assignment candidate;
         if (options_.shared_cache->TryCounterexamples(live, &candidate)) {
             ++stats_.shared_model_reuse_hits;
-            ++stats_.sat_results;
             StoreLocal(key, QueryResult::kSat, candidate, sorted_live);
             RememberModel(candidate);
             if (model != nullptr) {
@@ -199,45 +290,99 @@ Solver::Solve(const std::vector<ExprRef>& assertions, Assignment* model)
         }
     }
 
-    CnfFormula cnf;
-    BitBlaster blaster(&cnf);
-    for (const ExprRef& assertion : live) {
-        blaster.AssertTrue(assertion);
-    }
-    stats_.cnf_vars += cnf.num_vars();
-    stats_.cnf_clauses += cnf.clauses().size();
+    return SolveViaSat(live, key, sorted_live, model);
+}
 
-    SatSolver::Options sat_options;
-    sat_options.max_conflicts = options_.max_conflicts;
-    SatSolver sat(sat_options);
-    ++stats_.sat_calls;
-    const SatStatus status = sat.Solve(cnf);
+QueryResult
+Solver::SolveViaSat(const std::vector<ExprRef>& live, uint64_t key,
+                    const std::vector<ExprRef>& sorted_live,
+                    Assignment* model)
+{
+    SatStatus status;
+    Assignment extracted;
+
+    if (options_.enable_incremental_sat) {
+        if (session_ == nullptr) {
+            SatSolver::Options sat_options;
+            sat_options.max_conflicts = options_.max_conflicts;
+            session_ = std::make_unique<SatSession>(sat_options);
+        }
+        const size_t clauses_before = session_->cnf.clauses().size();
+        const int vars_before = session_->cnf.num_vars();
+        std::vector<Lit> assumptions;
+        assumptions.reserve(live.size());
+        for (const ExprRef& assertion : live) {
+            assumptions.push_back(session_->blaster.BlastBool(assertion));
+        }
+        stats_.cnf_vars +=
+            static_cast<uint64_t>(session_->cnf.num_vars() - vars_before);
+        stats_.cnf_clauses += session_->cnf.clauses().size() - clauses_before;
+        ++stats_.sat_calls;
+        ++stats_.incremental_sat_calls;
+        const size_t loaded_before = session_->sat.loaded_clauses();
+        status = session_->sat.SolveIncremental(session_->cnf, assumptions);
+        stats_.clauses_loaded +=
+            session_->sat.loaded_clauses() - loaded_before;
+        if (status == SatStatus::kSat) {
+            // The session's blaster has seen every query of the session;
+            // extract only this query's variables (absent variables are
+            // unconstrained and default to zero, as in the fresh path).
+            std::vector<uint32_t> var_ids;
+            for (const ExprRef& assertion : live) {
+                CollectVarIds(assertion, &var_ids);
+            }
+            for (const uint32_t var_id : var_ids) {
+                extracted.Set(
+                    var_id,
+                    session_->blaster.ModelValue(session_->sat, var_id));
+            }
+        }
+    } else {
+        CnfFormula cnf;
+        BitBlaster blaster(&cnf);
+        for (const ExprRef& assertion : live) {
+            blaster.AssertTrue(assertion);
+        }
+        stats_.cnf_vars += cnf.num_vars();
+        stats_.cnf_clauses += cnf.clauses().size();
+        stats_.clauses_loaded += cnf.clauses().size();
+
+        SatSolver::Options sat_options;
+        sat_options.max_conflicts = options_.max_conflicts;
+        SatSolver sat(sat_options);
+        ++stats_.sat_calls;
+        status = sat.Solve(cnf);
+        if (status == SatStatus::kSat) {
+            for (const auto& [var_id, info] : blaster.variables()) {
+                extracted.Set(var_id, blaster.ModelValue(sat, var_id));
+            }
+        }
+    }
 
     if (status == SatStatus::kUnknown) {
-        ++stats_.unknown_results;
         return QueryResult::kUnknown;
     }
     if (status == SatStatus::kUnsat) {
-        ++stats_.unsat_results;
         StoreLocal(key, QueryResult::kUnsat, Assignment(), sorted_live);
         if (options_.shared_cache != nullptr) {
+            cache::CanonicalQuery canonical;
+            canonical.hash = key;
+            canonical.sorted_assertions = sorted_live;
             options_.shared_cache->Insert(
                 canonical, cache::CachedResult::kUnsat, Assignment());
         }
         return QueryResult::kUnsat;
     }
 
-    Assignment extracted;
-    for (const auto& [var_id, info] : blaster.variables()) {
-        extracted.Set(var_id, blaster.ModelValue(sat, var_id));
-    }
     // Internal consistency: the extracted model must satisfy the query.
     CHEF_CHECK_MSG(cache::ModelSatisfies(live, extracted),
                    "bit-blasted model does not satisfy the query");
 
-    ++stats_.sat_results;
     StoreLocal(key, QueryResult::kSat, extracted, sorted_live);
     if (options_.shared_cache != nullptr) {
+        cache::CanonicalQuery canonical;
+        canonical.hash = key;
+        canonical.sorted_assertions = sorted_live;
         options_.shared_cache->Insert(canonical, cache::CachedResult::kSat,
                                       extracted);
         options_.shared_cache->PublishModel(extracted);

@@ -4,25 +4,39 @@
 /// \file
 /// Constraint solver facade: the engine-facing entry point.
 ///
-/// Wraps simplification, bit-blasting and the CDCL backend behind a single
-/// Solve() call, and adds two KLEE-style accelerations that matter for
-/// concolic workloads: an exact-match query cache, and counterexample reuse
-/// (recent satisfying models are tried against a new query before invoking
-/// the SAT solver; concolic negation queries are frequently satisfied by a
-/// sibling path's model).
+/// Wraps simplification, independence slicing, bit-blasting and the CDCL
+/// backend behind a single Solve() call, and adds two KLEE-style
+/// accelerations that matter for concolic workloads: an exact-match query
+/// cache, and counterexample reuse (recent satisfying models are tried
+/// against a new query before invoking the SAT solver; concolic negation
+/// queries are frequently satisfied by a sibling path's model).
 ///
-/// Both accelerations also exist at batch scope: when Options::shared_cache
-/// points at a cache::SharedSolverCache, queries consult (and feed) the
-/// cross-worker cache between the local layers and the SAT call — the
-/// lookup order is local cache, shared cache, local model reuse, shared
-/// counterexample store, SAT. Query canonicalization lives in
-/// cache/canonical.h so every layer agrees on one key.
+/// A query is first partitioned into variable-disjoint slices
+/// (solver/independence.h); each slice then runs the cache pipeline on
+/// its own, so a path prefix that was proven satisfiable once is answered
+/// from the per-slice cache while only the slice containing the freshly
+/// negated branch condition does real work. Slices that miss every cache
+/// reach the SAT backend through a persistent incremental session: one
+/// BitBlaster + CDCL instance per Solver, queried under assumptions, so
+/// shared prefix nodes are blasted and CNF-loaded once per session and
+/// learned clauses carry over between queries.
+///
+/// The cache accelerations also exist at batch scope: when
+/// Options::shared_cache points at a cache::SharedSolverCache, slices
+/// consult (and feed) the cross-worker cache between the local layers and
+/// the SAT call — the lookup order is local cache, shared cache, local
+/// model reuse, shared counterexample store, SAT. Query canonicalization
+/// lives in cache/canonical.h so every layer agrees on one key; slicing
+/// shrinks those keys, which is what lifts local *and* shared hit rates.
 
 #include <cstdint>
 #include <deque>
+#include <list>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "solver/bitblast.h"
 #include "solver/expr.h"
 #include "solver/sat.h"
 
@@ -40,23 +54,43 @@ enum class QueryResult {
 };
 
 /// Aggregate statistics across a Solver's lifetime.
+///
+/// Outcome counters (sat/unsat/unknown_results) count top-level Solve()
+/// calls. Pipeline counters (cache_hits, model_reuse_hits, shared_*,
+/// sat_calls) count per *slice*, since each independent slice runs the
+/// cache pipeline on its own — so they can exceed `queries`.
 struct SolverStats {
     uint64_t queries = 0;
     uint64_t cache_hits = 0;
     uint64_t model_reuse_hits = 0;
-    /// Queries answered by the cross-worker shared cache.
+    /// Slices answered by the cross-worker shared cache.
     uint64_t shared_cache_hits = 0;
-    /// Queries satisfied by a sibling session's published model.
+    /// Slices satisfied by a sibling session's published model.
     uint64_t shared_model_reuse_hits = 0;
+    /// Queries that split into more than one independent slice, and the
+    /// total number of slices those queries produced.
+    uint64_t sliced_queries = 0;
+    uint64_t slices_solved = 0;
     uint64_t sat_calls = 0;
+    /// SAT calls served by the persistent incremental session (subset of
+    /// sat_calls; the remainder built a fresh CNF + CDCL instance).
+    uint64_t incremental_sat_calls = 0;
     uint64_t sat_results = 0;
     uint64_t unsat_results = 0;
     uint64_t unknown_results = 0;
+    /// CNF variables/clauses *built* for SAT calls. Incremental calls add
+    /// only the delta since the previous call (the point of the session).
     uint64_t cnf_vars = 0;
     uint64_t cnf_clauses = 0;
-    /// Approximate bytes held by the local query cache (gauge; grows
-    /// monotonically since the local cache does not evict).
+    /// Clauses actually loaded into a CDCL instance across all SAT calls:
+    /// the whole formula per fresh call, the newly appended delta per
+    /// incremental call.
+    uint64_t clauses_loaded = 0;
+    /// Approximate bytes held by the local query cache (gauge; bounded by
+    /// Options::max_cache_bytes via LRU eviction).
     uint64_t cache_bytes = 0;
+    /// Local cache entries evicted to respect the byte budget.
+    uint64_t cache_evictions = 0;
     /// Wall time spent inside Solve(), including cache probes and SAT.
     double solve_seconds = 0.0;
 };
@@ -68,7 +102,21 @@ class Solver
     struct Options {
         bool enable_query_cache = true;
         bool enable_model_reuse = true;
+        /// Partition each query into variable-disjoint slices and run the
+        /// cache pipeline per slice (independence optimization). Sound
+        /// for sat/unsat outcomes; satisfying models may differ from the
+        /// unsliced pipeline's (PR 2 determinism contract).
+        bool enable_independence_slicing = true;
+        /// Solve cache-missing slices through a persistent incremental
+        /// session (one BitBlaster + CDCL instance per Solver, queried
+        /// under assumptions) instead of re-blasting the whole slice and
+        /// running a fresh CDCL instance per call.
+        bool enable_incremental_sat = true;
         size_t model_reuse_window = 16;
+        /// Byte budget for the local query cache (approximate, the same
+        /// accounting as the shared cache); least-recently-used entries
+        /// are evicted beyond it. 0 = unbounded.
+        size_t max_cache_bytes = 8u << 20;
         /// Conflict budget per SAT call (0 = unlimited).
         uint64_t max_conflicts = 2'000'000;
         /// Optional cross-worker cache, owned by the caller (typically
@@ -85,9 +133,11 @@ class Solver
     explicit Solver(Options options);
 
     /// Checks the conjunction of \p assertions (width-1 expressions). On
-    /// kSat fills \p model (if non-null) with values for every variable
-    /// appearing in the assertions; absent variables are unconstrained and
-    /// default to zero.
+    /// kSat fills \p model (if non-null) with an explicit value for every
+    /// variable appearing in the assertions — including variables a cache
+    /// or reuse layer satisfied by absence, which are zero-filled so
+    /// callers with non-zero defaults (the engine) stay sound. Variables
+    /// not appearing at all are unconstrained and omitted.
     QueryResult Solve(const std::vector<ExprRef>& assertions,
                       Assignment* model);
 
@@ -108,10 +158,38 @@ class Solver
         Assignment model;
         /// Assertions sorted by hash, kept to reject hash collisions.
         std::vector<ExprRef> key_assertions;
+        /// Position in the LRU list (front = most recent).
+        std::list<uint64_t>::iterator lru_it;
     };
 
+    /// The persistent incremental backend: one formula that only grows,
+    /// one blaster memo keyed by expression node, one CDCL instance that
+    /// keeps its learned clauses. Created lazily on the first SAT call
+    /// when Options::enable_incremental_sat is set.
+    struct SatSession {
+        CnfFormula cnf;
+        BitBlaster blaster;
+        SatSolver sat;
+        SatSession(const SatSolver::Options& sat_options)
+            : blaster(&cnf), sat(sat_options) {}
+    };
+
+    /// Runs the cache pipeline for one independent slice (or for the
+    /// whole query when slicing is off or found a single slice): local
+    /// cache, shared cache, model reuse, shared counterexamples, SAT.
+    /// Does not touch the outcome counters — Solve() counts those once
+    /// per top-level query.
+    QueryResult SolveLeaf(const std::vector<ExprRef>& live,
+                          Assignment* model);
+
+    /// The SAT step of SolveLeaf: incremental session or fresh blast.
+    QueryResult SolveViaSat(const std::vector<ExprRef>& live, uint64_t key,
+                            const std::vector<ExprRef>& sorted_live,
+                            Assignment* model);
+
     /// Inserts into the local query cache (no-op when disabled); stores
-    /// the model only for kSat and maintains the cache_bytes gauge.
+    /// the model only for kSat, maintains the cache_bytes gauge and LRU
+    /// order, and evicts beyond Options::max_cache_bytes.
     void StoreLocal(uint64_t key, QueryResult result,
                     const Assignment& model,
                     const std::vector<ExprRef>& sorted_assertions);
@@ -123,7 +201,10 @@ class Solver
     Options options_;
     SolverStats stats_;
     std::unordered_map<uint64_t, CacheEntry> cache_;
+    /// Cache keys, most-recently-used first.
+    std::list<uint64_t> lru_;
     std::deque<Assignment> recent_models_;
+    std::unique_ptr<SatSession> session_;
 };
 
 }  // namespace chef::solver

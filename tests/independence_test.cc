@@ -1,0 +1,315 @@
+/// \file
+/// Tests for constraint-independence slicing: variable collection across
+/// every node kind that nests operands, transitive slice merging, the
+/// solver integration (per-slice caching, UpperBound), and outcome
+/// equivalence between the sliced and unsliced pipelines.
+
+#include "solver/independence.h"
+
+#include <gtest/gtest.h>
+
+#include "solver/solver.h"
+#include "support/rng.h"
+
+namespace chef::solver {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Variable collection.
+// ---------------------------------------------------------------------------
+
+TEST(CollectVarIds, WalksIteConditionAndBothArms)
+{
+    const ExprRef c = MakeVar(1, "c", 1);
+    const ExprRef t = MakeVar(2, "t", 8);
+    const ExprRef e = MakeVar(3, "e", 8);
+    std::vector<uint32_t> ids;
+    CollectVarIds(MakeIte(c, t, e), &ids);
+    EXPECT_EQ(ids.size(), 3u);
+    EXPECT_NE(std::find(ids.begin(), ids.end(), 1u), ids.end());
+    EXPECT_NE(std::find(ids.begin(), ids.end(), 2u), ids.end());
+    EXPECT_NE(std::find(ids.begin(), ids.end(), 3u), ids.end());
+}
+
+TEST(CollectVarIds, WalksConcatHalvesAndExtractOperand)
+{
+    const ExprRef high = MakeVar(7, "high", 8);
+    const ExprRef low = MakeVar(9, "low", 8);
+    std::vector<uint32_t> ids;
+    CollectVarIds(MakeExtract(MakeConcat(high, low), 4, 8), &ids);
+    EXPECT_EQ(ids.size(), 2u);
+    EXPECT_NE(std::find(ids.begin(), ids.end(), 7u), ids.end());
+    EXPECT_NE(std::find(ids.begin(), ids.end(), 9u), ids.end());
+}
+
+TEST(CollectVarIds, WalksSignAndZeroExtension)
+{
+    const ExprRef x = MakeVar(3, "x", 8);
+    const ExprRef y = MakeVar(4, "y", 8);
+    std::vector<uint32_t> ids;
+    CollectVarIds(MakeUlt(MakeSExt(x, 16), MakeZExt(y, 16)), &ids);
+    EXPECT_EQ(ids.size(), 2u);
+}
+
+TEST(CollectVarIds, DeduplicatesAgainstExistingEntries)
+{
+    const ExprRef x = MakeVar(5, "x", 8);
+    std::vector<uint32_t> ids = {5};
+    CollectVarIds(MakeEq(x, MakeConst(1, 8)), &ids);
+    EXPECT_EQ(ids.size(), 1u);
+    // A shared node referenced twice counts once.
+    CollectVarIds(MakeEq(MakeAdd(x, x), MakeConst(2, 8)), &ids);
+    EXPECT_EQ(ids.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Partitioning.
+// ---------------------------------------------------------------------------
+
+ExprRef
+ByteEq(uint32_t id, uint64_t value)
+{
+    return MakeEq(MakeVar(id, "b" + std::to_string(id), 8),
+                  MakeConst(value, 8));
+}
+
+TEST(PartitionIndependent, DisjointAssertionsEachFormASlice)
+{
+    const std::vector<ExprRef> assertions = {ByteEq(1, 10), ByteEq(2, 20),
+                                             ByteEq(3, 30)};
+    const auto slices = PartitionIndependent(assertions);
+    ASSERT_EQ(slices.size(), 3u);
+    // Ordered by first occurrence; each constrains exactly its variable.
+    for (size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(slices[i].assertions.size(), 1u);
+        ASSERT_EQ(slices[i].var_ids.size(), 1u);
+        EXPECT_EQ(slices[i].var_ids[0], static_cast<uint32_t>(i + 1));
+    }
+}
+
+TEST(PartitionIndependent, SharedVariableMergesTransitively)
+{
+    const ExprRef x = MakeVar(1, "x", 8);
+    const ExprRef y = MakeVar(2, "y", 8);
+    const ExprRef z = MakeVar(3, "z", 8);
+    // {x,y} and {y,z} chain into one slice even though x and z never
+    // appear together; the unrelated {w} stays separate.
+    const std::vector<ExprRef> assertions = {
+        MakeEq(MakeAdd(x, y), MakeConst(5, 8)),
+        MakeUlt(y, z),
+        ByteEq(9, 1),
+    };
+    const auto slices = PartitionIndependent(assertions);
+    ASSERT_EQ(slices.size(), 2u);
+    EXPECT_EQ(slices[0].assertions.size(), 2u);
+    EXPECT_EQ(slices[0].var_ids, (std::vector<uint32_t>{1, 2, 3}));
+    EXPECT_EQ(slices[1].assertions.size(), 1u);
+    EXPECT_EQ(slices[1].var_ids, (std::vector<uint32_t>{9}));
+}
+
+TEST(PartitionIndependent, LaterAssertionCanBridgeEarlierSlices)
+{
+    const ExprRef x = MakeVar(1, "x", 8);
+    const ExprRef y = MakeVar(2, "y", 8);
+    // {x} and {y} look independent until the third assertion links them.
+    const std::vector<ExprRef> assertions = {
+        MakeUlt(x, MakeConst(50, 8)),
+        MakeUlt(y, MakeConst(50, 8)),
+        MakeEq(MakeAdd(x, y), MakeConst(60, 8)),
+    };
+    const auto slices = PartitionIndependent(assertions);
+    ASSERT_EQ(slices.size(), 1u);
+    EXPECT_EQ(slices[0].assertions.size(), 3u);
+    // Original relative order is preserved inside the slice.
+    EXPECT_TRUE(Expr::Equal(slices[0].assertions[0], assertions[0]));
+    EXPECT_TRUE(Expr::Equal(slices[0].assertions[2], assertions[2]));
+}
+
+TEST(PartitionIndependent, VariableFreeAssertionFormsOwnSlice)
+{
+    // The solver's constant folder removes literal constants before
+    // partitioning, but the partition itself must stay sound for any
+    // variable-free shape it is handed.
+    const std::vector<ExprRef> assertions = {MakeBool(true), ByteEq(1, 2)};
+    const auto slices = PartitionIndependent(assertions);
+    ASSERT_EQ(slices.size(), 2u);
+    EXPECT_TRUE(slices[0].var_ids.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Solver integration.
+// ---------------------------------------------------------------------------
+
+TEST(SlicedSolver, PrefixSlicesAnswerFromCacheAcrossQueries)
+{
+    Solver solver;
+    // Query 1 proves {b1==11}; query 2 = {b1==11, b2==22} must only pay a
+    // SAT call for the new slice.
+    ASSERT_EQ(solver.Solve({ByteEq(1, 11)}, nullptr), QueryResult::kSat);
+    const uint64_t sat_calls = solver.stats().sat_calls;
+    Assignment model;
+    ASSERT_EQ(solver.Solve({ByteEq(1, 11), ByteEq(2, 22)}, &model),
+              QueryResult::kSat);
+    EXPECT_EQ(solver.stats().sat_calls, sat_calls + 1);
+    EXPECT_GE(solver.stats().cache_hits, 1u);
+    EXPECT_EQ(solver.stats().sliced_queries, 1u);
+    // The merged model assigns both slices' variables explicitly.
+    EXPECT_EQ(model.Get(1), 11u);
+    EXPECT_EQ(model.Get(2), 22u);
+    EXPECT_TRUE(model.Has(1));
+    EXPECT_TRUE(model.Has(2));
+}
+
+TEST(SlicedSolver, UnsatSliceDecidesTheWholeQuery)
+{
+    Solver solver;
+    const ExprRef x = MakeVar(1, "x", 8);
+    const std::vector<ExprRef> query = {
+        ByteEq(2, 7),
+        MakeUlt(x, MakeConst(5, 8)),
+        MakeUgt(x, MakeConst(10, 8)),
+    };
+    EXPECT_EQ(solver.Solve(query, nullptr), QueryResult::kUnsat);
+    EXPECT_EQ(solver.stats().sliced_queries, 1u);
+}
+
+TEST(SlicedSolver, SlicingShrinksCacheKeys)
+{
+    // With slicing, {a} and {a, b} share the per-slice entry for {a}; the
+    // unsliced pipeline caches the two queries under unrelated keys.
+    Solver::Options sliced_options;
+    sliced_options.enable_independence_slicing = true;
+    Solver sliced(sliced_options);
+    ASSERT_EQ(sliced.Solve({ByteEq(1, 1)}, nullptr), QueryResult::kSat);
+    ASSERT_EQ(sliced.Solve({ByteEq(1, 1), ByteEq(2, 2)}, nullptr),
+              QueryResult::kSat);
+    EXPECT_GE(sliced.stats().cache_hits, 1u);
+
+    Solver::Options unsliced_options;
+    unsliced_options.enable_independence_slicing = false;
+    Solver unsliced(unsliced_options);
+    ASSERT_EQ(unsliced.Solve({ByteEq(1, 1)}, nullptr), QueryResult::kSat);
+    ASSERT_EQ(unsliced.Solve({ByteEq(1, 1), ByteEq(2, 2)}, nullptr),
+              QueryResult::kSat);
+    EXPECT_EQ(unsliced.stats().cache_hits, 0u);
+}
+
+TEST(SlicedSolver, UpperBoundUnaffectedByIndependentClutter)
+{
+    // The binary search augments the query with constraints on `value`;
+    // the unrelated byte constraint lives in its own slice and must not
+    // perturb the bound.
+    Solver solver;
+    const ExprRef x = MakeVar(1, "x", 8);
+    uint64_t bound = 0;
+    ASSERT_TRUE(solver.UpperBound(
+        {MakeUlt(x, MakeConst(57, 8)), ByteEq(2, 3)}, x, &bound));
+    EXPECT_EQ(bound, 56u);
+    EXPECT_GT(solver.stats().sliced_queries, 0u);
+
+    // Repeating the search answers every probe from the cache.
+    const uint64_t sat_calls = solver.stats().sat_calls;
+    ASSERT_TRUE(solver.UpperBound(
+        {MakeUlt(x, MakeConst(57, 8)), ByteEq(2, 3)}, x, &bound));
+    EXPECT_EQ(bound, 56u);
+    EXPECT_EQ(solver.stats().sat_calls, sat_calls);
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence: sliced vs. unsliced outcomes on randomized queries.
+// ---------------------------------------------------------------------------
+
+/// Builds a random query mixing connected and independent assertions over
+/// a small pool of 8-bit variables, with shapes (ite/concat/extract/ext)
+/// the variable walk must handle.
+std::vector<ExprRef>
+RandomQuery(Rng& rng)
+{
+    std::vector<ExprRef> vars;
+    for (uint32_t id = 1; id <= 6; ++id) {
+        vars.push_back(MakeVar(id, "v" + std::to_string(id), 8));
+    }
+    std::vector<ExprRef> query;
+    const int n = 2 + static_cast<int>(rng.NextBelow(5));
+    for (int i = 0; i < n; ++i) {
+        const ExprRef& a = vars[rng.NextBelow(vars.size())];
+        const ExprRef& b = vars[rng.NextBelow(vars.size())];
+        const uint64_t k = rng.NextBelow(256);
+        ExprRef assertion;
+        switch (rng.NextBelow(6)) {
+          case 0:
+            assertion = MakeEq(a, MakeConst(k, 8));
+            break;
+          case 1:
+            assertion = MakeUlt(a, MakeConst(1 + k % 255, 8));
+            break;
+          case 2:
+            assertion = MakeEq(MakeAdd(a, b), MakeConst(k, 8));
+            break;
+          case 3:
+            assertion = MakeUlt(MakeExtract(MakeConcat(a, b), 4, 8),
+                                MakeConst(1 + k % 255, 8));
+            break;
+          case 4:
+            assertion = MakeSlt(MakeSExt(a, 16), MakeConst(k, 16));
+            break;
+          default:
+            assertion = MakeEq(
+                MakeIte(MakeUlt(a, MakeConst(128, 8)), a, b),
+                MakeConst(k, 8));
+            break;
+        }
+        query.push_back(assertion);
+    }
+    return query;
+}
+
+class SlicingEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SlicingEquivalence, AllOptionCombosAgreeOnOutcomes)
+{
+    Rng rng(GetParam());
+    std::vector<std::vector<ExprRef>> queries;
+    for (int i = 0; i < 30; ++i) {
+        queries.push_back(RandomQuery(rng));
+    }
+
+    // Reference: everything off (fresh blast per query, no slicing).
+    Solver::Options reference_options;
+    reference_options.enable_independence_slicing = false;
+    reference_options.enable_incremental_sat = false;
+    Solver reference(reference_options);
+
+    std::vector<Solver> variants;
+    for (const bool slicing : {false, true}) {
+        for (const bool incremental : {false, true}) {
+            Solver::Options options;
+            options.enable_independence_slicing = slicing;
+            options.enable_incremental_sat = incremental;
+            variants.emplace_back(options);
+        }
+    }
+
+    for (const auto& query : queries) {
+        Assignment reference_model;
+        const QueryResult expected =
+            reference.Solve(query, &reference_model);
+        for (Solver& variant : variants) {
+            Assignment model;
+            const QueryResult got = variant.Solve(query, &model);
+            EXPECT_EQ(got, expected);
+            if (got == QueryResult::kSat) {
+                for (const ExprRef& assertion : query) {
+                    EXPECT_EQ(EvalConcrete(assertion, model), 1u)
+                        << assertion->ToString();
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SlicingEquivalence,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace chef::solver

@@ -234,6 +234,85 @@ TEST(Solver, CacheBytesGaugeTracksInsertsAndSkipsUnsatModels)
     EXPECT_GT(solver.stats().solve_seconds, 0.0);
 }
 
+TEST(Solver, LocalCacheEvictsLruBeyondByteBudget)
+{
+    Solver::Options options;
+    // Tiny budget: a handful of entries at most.
+    options.max_cache_bytes = 600;
+    options.enable_model_reuse = false;  // Force distinct cache inserts.
+    Solver solver(options);
+
+    const ExprRef x = MakeVar(1, "x", 16);
+    ASSERT_EQ(solver.Solve({MakeEq(x, MakeConst(0, 16))}, nullptr),
+              QueryResult::kSat);
+    const uint64_t one_entry = solver.stats().cache_bytes;
+    ASSERT_GT(one_entry, 0u);
+
+    uint64_t peak = 0;
+    for (uint64_t v = 1; v < 40; ++v) {
+        ASSERT_EQ(solver.Solve({MakeEq(x, MakeConst(v, 16))}, nullptr),
+                  QueryResult::kSat);
+        peak = std::max(peak, solver.stats().cache_bytes);
+        // The gauge respects the budget at every step.
+        EXPECT_LE(solver.stats().cache_bytes, options.max_cache_bytes);
+    }
+    EXPECT_GT(solver.stats().cache_evictions, 0u);
+    // The gauge went *down* on eviction: at some point it held more than
+    // it would after evicting one entry.
+    EXPECT_LE(solver.stats().cache_bytes, peak);
+    EXPECT_GE(peak, one_entry * 2);
+
+    // Evicted (oldest) entries re-solve; the most recent still hits.
+    const uint64_t hits = solver.stats().cache_hits;
+    ASSERT_EQ(solver.Solve({MakeEq(x, MakeConst(39, 16))}, nullptr),
+              QueryResult::kSat);
+    EXPECT_EQ(solver.stats().cache_hits, hits + 1);
+    const uint64_t sat_calls = solver.stats().sat_calls;
+    ASSERT_EQ(solver.Solve({MakeEq(x, MakeConst(0, 16))}, nullptr),
+              QueryResult::kSat);
+    EXPECT_EQ(solver.stats().sat_calls, sat_calls + 1);
+}
+
+TEST(Solver, SyntacticContradictionShortCircuitsBothOrientations)
+{
+    const ExprRef x = MakeVar(1, "x", 8);
+    const ExprRef c = MakeUlt(x, MakeConst(5, 8));
+
+    // Plain condition in the prefix, negation last.
+    {
+        Solver solver;
+        EXPECT_EQ(solver.Solve({c, MakeBool(true), MakeBoolNot(c)},
+                               nullptr),
+                  QueryResult::kUnsat);
+        EXPECT_EQ(solver.stats().sat_calls, 0u);
+    }
+    // Negation in the prefix, plain condition last.
+    {
+        Solver solver;
+        EXPECT_EQ(solver.Solve({MakeBoolNot(c), c}, nullptr),
+                  QueryResult::kUnsat);
+        EXPECT_EQ(solver.stats().sat_calls, 0u);
+    }
+}
+
+TEST(Solver, DisablingSlicingAndIncrementalStillSolves)
+{
+    Solver::Options options;
+    options.enable_independence_slicing = false;
+    options.enable_incremental_sat = false;
+    Solver solver(options);
+    const ExprRef x = MakeVar(1, "x", 8);
+    Assignment model;
+    ASSERT_EQ(solver.Solve({MakeEq(x, MakeConst(9, 8)),
+                            MakeEq(MakeVar(2, "y", 8), MakeConst(4, 8))},
+                           &model),
+              QueryResult::kSat);
+    EXPECT_EQ(model.Get(1), 9u);
+    EXPECT_EQ(model.Get(2), 4u);
+    EXPECT_EQ(solver.stats().sliced_queries, 0u);
+    EXPECT_EQ(solver.stats().incremental_sat_calls, 0u);
+}
+
 /// Property: for random interval constraints, the model returned lies in
 /// the interval and UpperBound returns the interval's top.
 class SolverIntervalProperty : public ::testing::TestWithParam<uint64_t> {};
