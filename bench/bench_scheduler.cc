@@ -1,0 +1,303 @@
+/// \file
+/// Yield-weighted scheduling: equal-budget corpus coverage vs. FIFO.
+///
+/// Two phases over mixed py/lua batches:
+///
+/// 1. Equivalence (no wall budget, plateau off): FIFO and yield-priority
+///    dispatch must produce *identical per-job results* — ordering only
+///    permutes who runs when — and one completed-event per job in every
+///    mode.
+/// 2. Equal budget: a batch whose submission order front-loads duplicate
+///    jobs of one workload, run under the same service wall budget with
+///    (a) FIFO and (b) yield-priority + plateau cancellation. FIFO burns
+///    the budget re-exploring the duplicates; the scheduler tries every
+///    workload once first, then spends the rest where yield is climbing,
+///    so it must reach at least the FIFO corpus (typically more, or the
+///    same corpus in less wall time when plateau cancellation drains the
+///    duplicates early).
+///
+/// Emits one JSON document (default BENCH_scheduler.json) embedding both
+/// configurations' full service reports.
+///
+/// Usage: bench_scheduler [--smoke] [report.json]
+///   --smoke   small budgets for CI; enforces corpus_priority >=
+///             corpus_fifo (full mode additionally requires a strict
+///             corpus or wall-time win).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "service/report.h"
+#include "service/scheduler.h"
+#include "service/service.h"
+
+namespace {
+
+using chef::service::ExplorationService;
+using chef::service::JobEvent;
+using chef::service::JobEventQueue;
+using chef::service::JobResult;
+using chef::service::JobSpec;
+using chef::service::PlateauPolicy;
+using chef::service::SchedulePolicy;
+using chef::service::ServiceStats;
+
+JobSpec
+MakeJob(const char* workload, int copy, uint64_t max_runs)
+{
+    JobSpec spec;
+    spec.workload = workload;
+    spec.label = std::string(workload) + "#" + std::to_string(copy);
+    spec.seed = static_cast<uint64_t>(copy) + 1;
+    spec.options.max_runs = max_runs;
+    spec.options.max_seconds = 1e9;
+    spec.options.collect_timeline = false;
+    return spec;
+}
+
+/// Duplicate-heavy head, diverse tail: the adversarial order for FIFO.
+std::vector<JobSpec>
+MakeSkewedBatch(bool smoke)
+{
+    const int dups = smoke ? 6 : 10;
+    const uint64_t dup_runs = smoke ? 200 : 1000;
+    const uint64_t tail_runs = smoke ? 30 : 120;
+    std::vector<JobSpec> jobs;
+    for (int i = 0; i < dups; ++i) {
+        jobs.push_back(MakeJob("py/argparse", i, dup_runs));
+    }
+    int copy = 0;
+    for (const char* id :
+         {"py/simplejson", "lua/cliargs", "lua/haml", "lua/JSON"}) {
+        jobs.push_back(MakeJob(id, copy++, tail_runs));
+    }
+    return jobs;
+}
+
+std::vector<JobSpec>
+MakeBoundedBatch(bool smoke)
+{
+    const uint64_t max_runs = smoke ? 8 : 30;
+    std::vector<JobSpec> jobs;
+    int copy = 0;
+    for (const char* id : {"py/argparse", "py/simplejson", "lua/cliargs",
+                           "lua/haml", "py/argparse", "lua/JSON"}) {
+        jobs.push_back(MakeJob(id, copy++, max_runs));
+    }
+    return jobs;
+}
+
+struct ConfigOutcome {
+    ServiceStats stats;
+    std::vector<JobResult> results;
+    std::string report_json;
+    size_t completed_events = 0;
+    size_t corpus_size = 0;
+    std::vector<chef::service::TestCorpus::Key> corpus_keys;
+};
+
+ConfigOutcome
+RunConfig(const std::vector<JobSpec>& jobs, SchedulePolicy policy,
+          bool plateau, double budget_seconds, size_t workers)
+{
+    JobEventQueue events;
+    ExplorationService::Options options;
+    options.num_workers = workers;
+    options.seed = 2014;
+    options.max_total_seconds = budget_seconds;
+    options.schedule_policy = policy;
+    options.event_queue = &events;
+    if (plateau) {
+        options.plateau_policy.enabled = true;
+        options.plateau_policy.deprioritize_after = 1;
+        options.plateau_policy.cancel_after = 2;
+    }
+    ExplorationService service(options);
+
+    ConfigOutcome outcome;
+    outcome.results = service.RunBatch(jobs);
+    outcome.stats = service.stats();
+    outcome.report_json = chef::service::RenderJsonReport(
+        service.stats(), outcome.results, service.corpus());
+    outcome.corpus_size = service.corpus().size();
+    outcome.corpus_keys = service.corpus().Keys();
+    for (const JobEvent& event : events.Drain()) {
+        if (event.kind == JobEvent::Kind::kJobCompleted) {
+            ++outcome.completed_events;
+        }
+    }
+    return outcome;
+}
+
+bool
+SameJobResults(const std::vector<JobResult>& a,
+               const std::vector<JobResult>& b)
+{
+    if (a.size() != b.size()) {
+        return false;
+    }
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i].status != b[i].status ||
+            a[i].seed_used != b[i].seed_used ||
+            a[i].num_test_cases != b[i].num_test_cases ||
+            a[i].num_relevant_test_cases != b[i].num_relevant_test_cases ||
+            a[i].engine_stats.ll_paths != b[i].engine_stats.ll_paths ||
+            a[i].engine_stats.hl_paths != b[i].engine_stats.hl_paths ||
+            a[i].engine_stats.solver_queries !=
+                b[i].engine_stats.solver_queries) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+WriteCombinedReport(const std::string& path, bool smoke,
+                    bool equivalence_ok, const ConfigOutcome& fifo,
+                    const ConfigOutcome& priority)
+{
+    std::string combined;
+    combined += "{\"bench\":\"scheduler\",";
+    char buffer[256];
+    std::snprintf(buffer, sizeof(buffer),
+                  "\"smoke\":%s,\"equivalence_ok\":%s,"
+                  "\"corpus_fifo\":%zu,\"corpus_priority\":%zu,"
+                  "\"wall_fifo\":%.3f,\"wall_priority\":%.3f,",
+                  smoke ? "true" : "false",
+                  equivalence_ok ? "true" : "false", fifo.corpus_size,
+                  priority.corpus_size, fifo.stats.wall_seconds,
+                  priority.stats.wall_seconds);
+    combined += buffer;
+    combined += "\"fifo\":";
+    combined += fifo.report_json;
+    combined += ",\"priority_plateau\":";
+    combined += priority.report_json;
+    combined += "}";
+
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    if (file == nullptr) {
+        return false;
+    }
+    const size_t written =
+        std::fwrite(combined.data(), 1, combined.size(), file);
+    const bool flushed = std::fclose(file) == 0;
+    return written == combined.size() && flushed;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool smoke = false;
+    std::string report_path = "BENCH_scheduler.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else {
+            report_path = argv[i];
+        }
+    }
+    const size_t workers = smoke ? 2 : 4;
+    bool ok = true;
+
+    // --- Phase 1: dispatch order must not change per-job results. ------
+    const std::vector<JobSpec> bounded = MakeBoundedBatch(smoke);
+    const ConfigOutcome eq_fifo =
+        RunConfig(bounded, SchedulePolicy::kFifo, false, 0.0, workers);
+    const ConfigOutcome eq_priority = RunConfig(
+        bounded, SchedulePolicy::kYieldPriority, false, 0.0, workers);
+    const bool equivalence_ok =
+        SameJobResults(eq_fifo.results, eq_priority.results) &&
+        eq_fifo.corpus_keys == eq_priority.corpus_keys;
+    std::printf("equivalence (untruncated, %zu jobs): %s\n",
+                bounded.size(), equivalence_ok ? "identical" : "DIVERGED");
+    if (!equivalence_ok) {
+        std::fprintf(stderr,
+                     "FAIL: per-job results differ between FIFO and "
+                     "priority dispatch\n");
+        ok = false;
+    }
+    if (eq_fifo.completed_events != bounded.size() ||
+        eq_priority.completed_events != bounded.size()) {
+        std::fprintf(stderr,
+                     "FAIL: expected one completed-event per job "
+                     "(fifo: %zu, priority: %zu, jobs: %zu)\n",
+                     eq_fifo.completed_events,
+                     eq_priority.completed_events, bounded.size());
+        ok = false;
+    }
+
+    // --- Phase 2: equal wall budget on the duplicate-skewed batch. -----
+    const double budget = smoke ? 2.0 : 10.0;
+    const std::vector<JobSpec> skewed = MakeSkewedBatch(smoke);
+    std::printf(
+        "\nequal budget: %zu jobs (duplicate-heavy head), %.1fs, "
+        "%zu workers%s\n\n",
+        skewed.size(), budget, workers, smoke ? " [smoke]" : "");
+    const ConfigOutcome fifo =
+        RunConfig(skewed, SchedulePolicy::kFifo, false, budget, workers);
+    const ConfigOutcome priority = RunConfig(
+        skewed, SchedulePolicy::kYieldPriority, true, budget, workers);
+
+    std::printf("%26s %12s %18s\n", "", "fifo", "priority+plateau");
+    std::printf("%26s %12zu %18zu\n", "corpus_size", fifo.corpus_size,
+                priority.corpus_size);
+    std::printf("%26s %12.3f %18.3f\n", "wall_seconds",
+                fifo.stats.wall_seconds, priority.stats.wall_seconds);
+    std::printf("%26s %12zu %18zu\n", "jobs_completed",
+                fifo.stats.jobs_completed, priority.stats.jobs_completed);
+    std::printf("%26s %12zu %18zu\n", "jobs_cancelled",
+                fifo.stats.jobs_cancelled, priority.stats.jobs_cancelled);
+    std::printf("%26s %12zu %18zu\n", "jobs_plateau_cancelled",
+                fifo.stats.jobs_plateau_cancelled,
+                priority.stats.jobs_plateau_cancelled);
+    std::printf("%26s %12llu %18llu\n", "hl_paths",
+                static_cast<unsigned long long>(fifo.stats.hl_paths),
+                static_cast<unsigned long long>(priority.stats.hl_paths));
+
+    if (fifo.completed_events != skewed.size() ||
+        priority.completed_events != skewed.size()) {
+        std::fprintf(stderr,
+                     "FAIL: expected one completed-event per job under "
+                     "budget (fifo: %zu, priority: %zu, jobs: %zu)\n",
+                     fifo.completed_events, priority.completed_events,
+                     skewed.size());
+        ok = false;
+    }
+    if (priority.corpus_size < fifo.corpus_size) {
+        std::fprintf(stderr,
+                     "FAIL: priority+plateau corpus (%zu) below the FIFO "
+                     "baseline (%zu) at equal budget\n",
+                     priority.corpus_size, fifo.corpus_size);
+        ok = false;
+    }
+    const bool strict_win =
+        priority.corpus_size > fifo.corpus_size ||
+        (priority.corpus_size >= fifo.corpus_size &&
+         priority.stats.wall_seconds < fifo.stats.wall_seconds);
+    if (!smoke && !strict_win) {
+        // Smoke batches can drain fully inside the budget on a fast
+        // machine, legitimately tying both corpus and wall.
+        std::fprintf(stderr,
+                     "FAIL: no strict corpus or wall-time win over FIFO "
+                     "(corpus %zu vs %zu, wall %.3f vs %.3f)\n",
+                     priority.corpus_size, fifo.corpus_size,
+                     priority.stats.wall_seconds, fifo.stats.wall_seconds);
+        ok = false;
+    }
+    std::printf("\npriority+plateau vs FIFO: corpus %+zd, wall %+.3fs\n",
+                static_cast<ssize_t>(priority.corpus_size) -
+                    static_cast<ssize_t>(fifo.corpus_size),
+                priority.stats.wall_seconds - fifo.stats.wall_seconds);
+
+    if (!WriteCombinedReport(report_path, smoke, equivalence_ok, fifo,
+                             priority)) {
+        std::fprintf(stderr, "failed to write %s\n", report_path.c_str());
+        return 1;
+    }
+    std::printf("report: %s\n", report_path.c_str());
+    return ok ? 0 : 1;
+}

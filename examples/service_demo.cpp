@@ -35,13 +35,28 @@ main()
 
     // 2. Run them on 2 workers with a service-wide wall budget. One
     //    Engine per job; results aggregate into the shared deduplicated
-    //    corpus.
+    //    corpus. Dispatch is yield-weighted by default (workloads whose
+    //    corpus is still growing run first); streamed events arrive on a
+    //    dispatcher thread while RunBatch blocks, so a long batch can
+    //    feed a dashboard — here they just print as they land.
     ExplorationService::Options options;
     options.num_workers = 2;
     options.seed = 42;
     options.max_total_seconds = 60.0;
+    options.on_job_event = [](const JobEvent& event) {
+        if (event.kind != JobEvent::Kind::kJobCompleted) {
+            return;
+        }
+        std::printf("[stream] %-14s %-9s corpus+%-3zu (%zu/%zu done, "
+                    "corpus %zu, t=%.2fs)\n",
+                    event.label.c_str(), JobStatusName(event.status),
+                    event.corpus_inserted, event.jobs_finished,
+                    event.jobs_total, event.corpus_size,
+                    event.elapsed_seconds);
+    };
     ExplorationService service(options);
     const std::vector<JobResult> results = service.RunBatch(jobs);
+    std::printf("\n");
 
     // 3. Per-job summary.
     for (const JobResult& result : results) {

@@ -81,10 +81,39 @@ TestCorpus::Keys() const
 }
 
 void
+TestCorpus::RecordJobYield(const std::string& workload, size_t offered,
+                           size_t accepted)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    WorkloadYield& yield = yields_[workload];
+    yield.offered_total += offered;
+    yield.accepted_total += accepted;
+    // EWMA with the first job seeding the estimate outright; alpha = 0.5
+    // so the estimate tracks the (typically monotonically falling) yield
+    // curve within a couple of jobs.
+    yield.decayed_yield =
+        yield.jobs_recorded == 0
+            ? static_cast<double>(accepted)
+            : 0.5 * (yield.decayed_yield + static_cast<double>(accepted));
+    ++yield.jobs_recorded;
+    yield.consecutive_zero_yield =
+        accepted == 0 ? yield.consecutive_zero_yield + 1 : 0;
+}
+
+TestCorpus::WorkloadYield
+TestCorpus::YieldFor(const std::string& workload) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = yields_.find(workload);
+    return it == yields_.end() ? WorkloadYield{} : it->second;
+}
+
+void
 TestCorpus::Clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
+    yields_.clear();
 }
 
 }  // namespace chef::service

@@ -45,6 +45,25 @@ class TestCorpus
     /// silently merged by a hash collision at this layer.
     using Key = std::pair<std::string, uint64_t>;
 
+    /// Per-workload corpus-yield telemetry, recorded once per completed
+    /// job and read by the batch scheduler to weight pending jobs by
+    /// their workload's expected new-fingerprint yield.
+    struct WorkloadYield {
+        /// Completed jobs recorded for the workload so far.
+        uint64_t jobs_recorded = 0;
+        /// Candidates offered to / accepted by the corpus, summed over
+        /// those jobs.
+        uint64_t offered_total = 0;
+        uint64_t accepted_total = 0;
+        /// Exponentially decayed accepted-entries-per-job (the most
+        /// recent job weighs half): the scheduler's expected yield for
+        /// the workload's next job.
+        double decayed_yield = 0.0;
+        /// Completed jobs in a row that inserted nothing new (reset by
+        /// any accepted entry). Feeds PlateauPolicy.
+        uint64_t consecutive_zero_yield = 0;
+    };
+
     /// Inserts the entry if its (workload, fingerprint) key is new.
     /// Returns true on insertion, false if a duplicate was already
     /// present (the existing entry is kept).
@@ -65,6 +84,16 @@ class TestCorpus
     /// different worker counts compare equal here.
     std::vector<Key> Keys() const;
 
+    /// Records one completed job's corpus yield for its workload:
+    /// \p offered candidates were presented, \p accepted of them were
+    /// globally new.
+    void RecordJobYield(const std::string& workload, size_t offered,
+                        size_t accepted);
+
+    /// Yield state for a workload; zero-initialized (jobs_recorded == 0)
+    /// when no job has been recorded for it yet.
+    WorkloadYield YieldFor(const std::string& workload) const;
+
     void Clear();
 
   private:
@@ -74,6 +103,7 @@ class TestCorpus
 
     mutable std::mutex mutex_;
     std::unordered_map<Key, Entry, KeyHash> entries_;
+    std::unordered_map<std::string, WorkloadYield> yields_;
 };
 
 }  // namespace chef::service

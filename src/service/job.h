@@ -47,14 +47,79 @@ enum class JobStatus {
 
 const char* JobStatusName(JobStatus status);
 
+/// Order in which pending jobs are handed to free workers.
+enum class SchedulePolicy {
+    /// Submission order (the pre-scheduler dispatch behavior).
+    kFifo,
+    /// Highest expected new-fingerprint yield first, from the corpus's
+    /// per-workload yield tracking: workloads no job has completed for
+    /// yet come first (their yield is unknown, so exploring them
+    /// dominates), then tried workloads by decayed yield. Submission
+    /// order breaks every tie, so a batch with no recorded yields —
+    /// or one whose workloads all score equal — dispatches FIFO.
+    kYieldPriority,
+};
+
+const char* SchedulePolicyName(SchedulePolicy policy);
+
+/// Early-abort policy for workloads whose corpus yield has flattened.
+/// Off by default: cancelling pending jobs changes batch results, so
+/// callers opt in (unlike the ordering policy, which only permutes
+/// dispatch of jobs that all still run).
+struct PlateauPolicy {
+    bool enabled = false;
+    /// After this many consecutive zero-yield completed jobs, the
+    /// workload's remaining jobs sort behind every non-plateaued job.
+    size_t deprioritize_after = 2;
+    /// After this many, the workload's remaining jobs are cancelled
+    /// outright (status kCancelled, stop_source "plateau"). 0 keeps
+    /// deprioritizing without ever cancelling.
+    size_t cancel_after = 4;
+};
+
+/// One streamed batch notification, delivered while RunBatch is still
+/// blocked: to Options::on_job_event (on the dispatcher thread) and/or
+/// a caller-polled JobEventQueue. Every job produces exactly one
+/// kJobCompleted event — including jobs cancelled before dispatch.
+struct JobEvent {
+    enum class Kind {
+        kJobStarted,    ///< A worker began running the job.
+        kJobCompleted,  ///< The job reached a terminal status.
+        kBatchProgress, ///< Snapshot emitted after each completion.
+    };
+    Kind kind = Kind::kJobStarted;
+    size_t job_index = 0;
+    std::string workload;
+    std::string label;
+    /// Terminal status and its attribution (kJobCompleted only).
+    JobStatus status = JobStatus::kCompleted;
+    std::string stop_source;
+    size_t corpus_inserted = 0;
+    /// Batch snapshot at emit time (every kind).
+    size_t jobs_finished = 0;
+    size_t jobs_total = 0;
+    size_t corpus_size = 0;
+    double elapsed_seconds = 0.0;
+};
+
+const char* JobEventKindName(JobEvent::Kind kind);
+
 /// Outcome of one job.
 struct JobResult {
     size_t job_index = 0;
     std::string workload;
     std::string label;
     JobStatus status = JobStatus::kCompleted;
-    /// Human-readable failure reason when status == kFailed.
+    /// Human-readable failure reason when status == kFailed, or the
+    /// cancellation reason when status == kCancelled.
     std::string error;
+    /// What ended the session: "none" (ran to exhaustion/budget),
+    /// "service_stop" (RequestStop), "service_budget" (the service-wide
+    /// wall clock), "job_hook" (the spec's own stop_requested hook —
+    /// reported kCompleted, since the job's declared budget is not a
+    /// service cancellation), or "plateau" (PlateauPolicy cancelled the
+    /// job before dispatch).
+    std::string stop_source = "none";
     /// The seed the session actually ran with (derived, deterministic in
     /// (service_seed, job_index, spec seed) and independent of worker
     /// count or scheduling order).
@@ -78,6 +143,9 @@ struct ServiceStats {
     size_t jobs_completed = 0;
     size_t jobs_cancelled = 0;
     size_t jobs_failed = 0;
+    /// Jobs cancelled before dispatch because their workload crossed
+    /// PlateauPolicy::cancel_after (subset of jobs_cancelled).
+    size_t jobs_plateau_cancelled = 0;
     uint64_t ll_paths = 0;
     uint64_t hl_paths = 0;
     uint64_t hangs = 0;
@@ -113,6 +181,11 @@ struct ServiceStats {
     /// jobs_completed / wall_seconds (0 when no time has elapsed).
     double jobs_per_second = 0.0;
     size_t num_workers = 0;
+    /// Dispatch order of the last batch.
+    SchedulePolicy schedule_policy = SchedulePolicy::kYieldPriority;
+    /// Streamed events handed to Options::on_job_event / the event
+    /// queue, accumulated across batches (0 when streaming is off).
+    uint64_t events_delivered = 0;
 };
 
 }  // namespace chef::service

@@ -1,6 +1,7 @@
 #include "service/report.h"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <type_traits>
@@ -81,6 +82,15 @@ class JsonWriter
 
     void Value(double value)
     {
+        // %.6f prints NaN/Inf as bare `nan`/`inf`, which no strict JSON
+        // parser accepts (a rate over a zero wall time is enough to
+        // corrupt the whole report). Non-finite values serialize as
+        // null — "not a measurement" — rather than a clamped number a
+        // consumer could mistake for data.
+        if (!std::isfinite(value)) {
+            Raw("null");
+            return;
+        }
         char buffer[64];
         std::snprintf(buffer, sizeof(buffer), "%.6f", value);
         Raw(buffer);
@@ -119,6 +129,8 @@ WriteStats(JsonWriter& json, const ServiceStats& stats)
     json.Key("jobs_submitted"), json.Value(stats.jobs_submitted);
     json.Key("jobs_completed"), json.Value(stats.jobs_completed);
     json.Key("jobs_cancelled"), json.Value(stats.jobs_cancelled);
+    json.Key("jobs_plateau_cancelled"),
+        json.Value(stats.jobs_plateau_cancelled);
     json.Key("jobs_failed"), json.Value(stats.jobs_failed);
     json.Key("ll_paths"), json.Value(stats.ll_paths);
     json.Key("hl_paths"), json.Value(stats.hl_paths);
@@ -150,6 +162,9 @@ WriteStats(JsonWriter& json, const ServiceStats& stats)
     json.Key("wall_seconds"), json.Value(stats.wall_seconds);
     json.Key("jobs_per_second"), json.Value(stats.jobs_per_second);
     json.Key("num_workers"), json.Value(stats.num_workers);
+    json.Key("schedule_policy"),
+        json.Value(SchedulePolicyName(stats.schedule_policy));
+    json.Key("events_delivered"), json.Value(stats.events_delivered);
     json.EndObject();
 }
 
@@ -161,6 +176,7 @@ WriteJob(JsonWriter& json, const JobResult& result)
     json.Key("workload"), json.Value(result.workload);
     json.Key("label"), json.Value(result.label);
     json.Key("status"), json.Value(JobStatusName(result.status));
+    json.Key("stop_source"), json.Value(result.stop_source);
     if (!result.error.empty()) {
         json.Key("error"), json.Value(result.error);
     }
@@ -274,9 +290,18 @@ RenderJsonReport(const ServiceStats& stats,
         json.EndArray();
     }
     if (options.include_corpus) {
-        json.Key("corpus_size"), json.Value(corpus.size());
+        const size_t total_entries = corpus.size();
+        json.Key("corpus_size"), json.Value(total_entries);
         const std::vector<TestCorpus::Entry> entries =
             corpus.Snapshot(options.max_corpus_entries);
+        // Entries dropped by max_corpus_entries: without this count a
+        // capped snapshot is indistinguishable from a small corpus.
+        // Consumers check corpus_truncated == 0 before treating the
+        // array as complete.
+        json.Key("corpus_truncated"),
+            json.Value(total_entries > entries.size()
+                           ? total_entries - entries.size()
+                           : 0);
         json.Key("corpus");
         json.BeginArray();
         for (const TestCorpus::Entry& entry : entries) {

@@ -22,7 +22,9 @@ struct ReportOptions {
     bool include_jobs = true;
     bool include_corpus = true;
     /// Cap on emitted corpus entries (0 = unlimited). The report records
-    /// the full corpus size either way.
+    /// the full corpus size either way, and the `corpus_truncated` field
+    /// counts the entries the cap dropped (0 when the array is the whole
+    /// corpus) so consumers can tell a small corpus from a clipped one.
     size_t max_corpus_entries = 0;
     /// Include concrete input assignments per corpus entry.
     bool include_inputs = true;

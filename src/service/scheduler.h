@@ -1,0 +1,116 @@
+#ifndef CHEF_SERVICE_SCHEDULER_H_
+#define CHEF_SERVICE_SCHEDULER_H_
+
+/// \file
+/// Yield-weighted batch scheduling and the streaming event queue.
+///
+/// BatchScheduler replaces RunBatch's FIFO index-race: workers pull from
+/// a mutex-guarded priority queue whose order derives from the corpus's
+/// per-workload yield tracking (TestCorpus::WorkloadYield) — exploration
+/// time goes where high-level coverage is still climbing, the paper's
+/// CUPA argument lifted to the batch level. The queue re-sorts lazily as
+/// completed jobs land new yield data, and a PlateauPolicy first
+/// deprioritizes, then cancels, workloads whose yield has flattened.
+/// Ordering never changes *per-job* results for bounded jobs (each
+/// session is seeded independently), so the service's worker-count
+/// determinism contract is unaffected; only plateau cancellation (opt-in)
+/// changes what runs.
+///
+/// JobEventQueue is the pollable half of the streaming surface: workers
+/// produce JobEvents as jobs start and finish, a dispatcher thread
+/// delivers them (see ExplorationService::Options::on_job_event), and
+/// callers on any thread can poll or drain the queue while RunBatch is
+/// still blocked.
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "service/corpus.h"
+#include "service/job.h"
+
+namespace chef::service {
+
+/// Thread-safe queue of streamed batch events. The service pushes;
+/// callers poll from any thread (a dashboard ticker, a watchdog deciding
+/// to RequestStop). Unbounded: a batch emits at most ~3 events per job.
+class JobEventQueue
+{
+  public:
+    void Push(JobEvent event);
+
+    /// Pops the oldest event into \p event; false when empty.
+    bool Poll(JobEvent* event);
+
+    /// Pops everything at once (cheaper than a Poll loop under load).
+    std::vector<JobEvent> Drain();
+
+    size_t size() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::deque<JobEvent> events_;
+};
+
+/// Hands pending jobs of one batch to free workers, highest expected
+/// yield first. All jobs are known at construction; Acquire never
+/// blocks — an empty queue means the batch has drained.
+class BatchScheduler
+{
+  public:
+    struct Options {
+        SchedulePolicy policy = SchedulePolicy::kYieldPriority;
+        PlateauPolicy plateau;
+    };
+
+    struct Dispatch {
+        size_t job_index = 0;
+        /// The job was popped only to be reported cancelled: its
+        /// workload crossed PlateauPolicy::cancel_after before the job
+        /// was dispatched. The caller records a cancelled result instead
+        /// of running it.
+        bool plateau_cancelled = false;
+    };
+
+    /// \p workloads holds one workload id per submitted job (indexed by
+    /// job index). Yield state is recorded into and read from \p corpus,
+    /// which must outlive the scheduler.
+    BatchScheduler(std::vector<std::string> workloads, TestCorpus* corpus,
+                   Options options);
+
+    /// Pops the highest-priority pending job. Returns false when no
+    /// pending jobs remain.
+    bool Acquire(Dispatch* dispatch);
+
+    /// Records a dispatched job's corpus yield (\p offered candidates,
+    /// \p accepted new) and re-sorts pending jobs against the updated
+    /// expectations. Also advances the plateau state machine.
+    void OnJobCompleted(const std::string& workload, size_t offered,
+                        size_t accepted);
+
+    size_t pending() const;
+
+  private:
+    /// Re-sorts pending_ so the back holds the next job to dispatch.
+    void Resort();
+
+    Options options_;
+    std::vector<std::string> workloads_;
+    TestCorpus* corpus_;
+
+    mutable std::mutex mutex_;
+    /// Pending job indices, next-to-dispatch at the back.
+    std::vector<size_t> pending_;
+    /// Yield data landed since the last sort.
+    bool dirty_ = false;
+    /// Workloads past PlateauPolicy::cancel_after; their pending jobs
+    /// pop as plateau_cancelled.
+    std::unordered_set<std::string> cancelled_workloads_;
+};
+
+}  // namespace chef::service
+
+#endif  // CHEF_SERVICE_SCHEDULER_H_

@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
+#include <deque>
 #include <exception>
+#include <memory>
+#include <mutex>
 #include <thread>
+#include <utility>
 
 #include "support/strings.h"
 #include "workloads/registry.h"
@@ -18,6 +23,26 @@ double
 SecondsSince(Clock::time_point start)
 {
     return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Which check in a job's chained stop hook fired first.
+enum class StopSource {
+    kNone,
+    kServiceStop,
+    kServiceBudget,
+    kJobHook,
+};
+
+const char*
+StopSourceName(StopSource source)
+{
+    switch (source) {
+      case StopSource::kNone: return "none";
+      case StopSource::kServiceStop: return "service_stop";
+      case StopSource::kServiceBudget: return "service_budget";
+      case StopSource::kJobHook: return "job_hook";
+    }
+    return "?";
 }
 
 }  // namespace
@@ -48,6 +73,23 @@ ExplorationService::DeriveJobSeed(uint64_t service_seed, size_t job_index,
     const uint64_t parts[3] = {service_seed,
                                static_cast<uint64_t>(job_index), spec_seed};
     return FnvHash(parts, sizeof(parts));
+}
+
+JobResult
+ExplorationService::MakeCancelledPlaceholder(const JobSpec& spec,
+                                             size_t job_index,
+                                             const char* error,
+                                             const char* stop_source) const
+{
+    JobResult result;
+    result.job_index = job_index;
+    result.workload = spec.workload;
+    result.label = spec.label.empty() ? spec.workload : spec.label;
+    result.seed_used = DeriveJobSeed(options_.seed, job_index, spec.seed);
+    result.status = JobStatus::kCancelled;
+    result.error = error;
+    result.stop_source = stop_source;
+    return result;
 }
 
 JobResult
@@ -82,16 +124,30 @@ ExplorationService::RunJob(const JobSpec& spec, size_t job_index,
         engine_options.solver_options.shared_cache = shared_cache_.get();
     }
     const std::function<bool()> user_stop = spec.options.stop_requested;
+    // Latch which check fires first: a session ended by the spec's own
+    // hook is the job's declared budget, not a service cancellation, and
+    // must not be misreported as one. The hook only runs on the job's
+    // engine thread, so plain shared state suffices.
+    auto source = std::make_shared<StopSource>(StopSource::kNone);
     engine_options.stop_requested = [this, user_stop, start,
-                                     remaining_seconds] {
+                                     remaining_seconds, source] {
+        if (*source != StopSource::kNone) {
+            return true;
+        }
         if (stop_requested()) {
+            *source = StopSource::kServiceStop;
             return true;
         }
         if (remaining_seconds > 0.0 &&
             SecondsSince(start) >= remaining_seconds) {
+            *source = StopSource::kServiceBudget;
             return true;
         }
-        return user_stop && user_stop();
+        if (user_stop && user_stop()) {
+            *source = StopSource::kJobHook;
+            return true;
+        }
+        return false;
     };
 
     try {
@@ -120,9 +176,23 @@ ExplorationService::RunJob(const JobSpec& spec, size_t job_index,
                 ++result.corpus_inserted;
             }
         }
-        result.status = result.engine_stats.stopped
-                            ? JobStatus::kCancelled
-                            : JobStatus::kCompleted;
+        if (!result.engine_stats.stopped) {
+            result.status = JobStatus::kCompleted;
+        } else if (*source == StopSource::kJobHook) {
+            // The spec's own hook ended the session: completed within
+            // its declared budget, with the source on record.
+            result.status = JobStatus::kCompleted;
+            result.stop_source = StopSourceName(StopSource::kJobHook);
+        } else {
+            const StopSource attributed =
+                *source == StopSource::kNone ? StopSource::kServiceStop
+                                             : *source;
+            result.status = JobStatus::kCancelled;
+            result.stop_source = StopSourceName(attributed);
+            result.error = attributed == StopSource::kServiceBudget
+                               ? "service budget exhausted"
+                               : "stop requested";
+        }
     } catch (const std::exception& error) {
         result.status = JobStatus::kFailed;
         result.error = error.what();
@@ -150,36 +220,138 @@ ExplorationService::RunBatch(const std::vector<JobSpec>& jobs)
     }
 
     std::vector<JobResult> results(jobs.size());
-    std::atomic<size_t> next{0};
+
+    // Streamed events are produced by workers but delivered off the
+    // worker threads, by one dispatcher thread: a slow Options::
+    // on_job_event consumer back-pressures this (unbounded) queue, not
+    // the exploration.
+    struct EventPump {
+        std::mutex mutex;
+        std::condition_variable cv;
+        std::deque<JobEvent> queue;
+        bool done = false;
+        uint64_t delivered = 0;
+    };
+    const bool streaming = static_cast<bool>(options_.on_job_event) ||
+                           options_.event_queue != nullptr;
+    EventPump pump;
+    std::thread dispatcher;
+    if (streaming) {
+        dispatcher = std::thread([this, &pump] {
+            for (;;) {
+                JobEvent event;
+                {
+                    std::unique_lock<std::mutex> lock(pump.mutex);
+                    pump.cv.wait(lock, [&pump] {
+                        return !pump.queue.empty() || pump.done;
+                    });
+                    if (pump.queue.empty()) {
+                        return;  // done, and fully drained
+                    }
+                    event = std::move(pump.queue.front());
+                    pump.queue.pop_front();
+                    ++pump.delivered;
+                }
+                if (options_.on_job_event) {
+                    options_.on_job_event(event);
+                }
+                if (options_.event_queue != nullptr) {
+                    options_.event_queue->Push(std::move(event));
+                }
+            }
+        });
+    }
+    std::atomic<size_t> jobs_finished{0};
+    auto emit = [&](JobEvent event) {
+        if (!streaming) {
+            return;
+        }
+        event.jobs_total = jobs.size();
+        event.corpus_size = corpus_.size();
+        event.elapsed_seconds = SecondsSince(batch_start);
+        {
+            std::lock_guard<std::mutex> lock(pump.mutex);
+            pump.queue.push_back(std::move(event));
+        }
+        pump.cv.notify_one();
+    };
+
+    BatchScheduler::Options scheduler_options;
+    scheduler_options.policy = options_.schedule_policy;
+    scheduler_options.plateau = options_.plateau_policy;
+    std::vector<std::string> job_workloads;
+    job_workloads.reserve(jobs.size());
+    for (const JobSpec& spec : jobs) {
+        job_workloads.push_back(spec.workload);
+    }
+    BatchScheduler scheduler(std::move(job_workloads), &corpus_,
+                             scheduler_options);
 
     auto worker = [&] {
-        for (;;) {
-            const size_t index =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (index >= jobs.size()) {
-                return;
-            }
+        BatchScheduler::Dispatch dispatch;
+        while (scheduler.Acquire(&dispatch)) {
+            const size_t index = dispatch.job_index;
+            const JobSpec& spec = jobs[index];
             const double budget = options_.max_total_seconds;
             const double remaining =
                 budget > 0.0 ? budget - SecondsSince(batch_start) : 0.0;
-            if (stop_requested() || (budget > 0.0 && remaining <= 0.0)) {
+            if (dispatch.plateau_cancelled) {
+                results[index] = MakeCancelledPlaceholder(
+                    spec, index, "workload plateaued", "plateau");
+            } else if (stop_requested() ||
+                       (budget > 0.0 && remaining <= 0.0)) {
                 // Never dispatched: record a cancelled placeholder so the
                 // batch result still lists every submitted job.
-                JobResult& result = results[index];
-                result.job_index = index;
-                result.workload = jobs[index].workload;
-                result.label = jobs[index].label.empty()
-                                   ? jobs[index].workload
-                                   : jobs[index].label;
-                result.seed_used = DeriveJobSeed(options_.seed, index,
-                                                 jobs[index].seed);
-                result.status = JobStatus::kCancelled;
-                result.error = stop_requested()
-                                   ? "stop requested"
-                                   : "service budget exhausted";
-                continue;
+                const bool stopped = stop_requested();
+                results[index] = MakeCancelledPlaceholder(
+                    spec, index,
+                    stopped ? "stop requested" : "service budget exhausted",
+                    stopped ? StopSourceName(StopSource::kServiceStop)
+                            : StopSourceName(StopSource::kServiceBudget));
+            } else {
+                JobEvent started;
+                started.kind = JobEvent::Kind::kJobStarted;
+                started.job_index = index;
+                started.workload = spec.workload;
+                started.label =
+                    spec.label.empty() ? spec.workload : spec.label;
+                started.jobs_finished =
+                    jobs_finished.load(std::memory_order_relaxed);
+                emit(std::move(started));
+                results[index] = RunJob(spec, index, remaining);
+                if (results[index].status == JobStatus::kCompleted) {
+                    // Only completed sessions carry a yield signal:
+                    // failures never explored, and a session cut off
+                    // mid-run by a stop or the service budget would
+                    // record an artificially low yield into the
+                    // corpus's persistent per-workload state, polluting
+                    // priority order and plateau streaks for later
+                    // batches on a serially reused service.
+                    scheduler.OnJobCompleted(
+                        spec.workload,
+                        results[index].num_relevant_test_cases,
+                        results[index].corpus_inserted);
+                }
             }
-            results[index] = RunJob(jobs[index], index, remaining);
+            const size_t finished =
+                jobs_finished.fetch_add(1, std::memory_order_relaxed) + 1;
+            const JobResult& result = results[index];
+            JobEvent completed;
+            completed.kind = JobEvent::Kind::kJobCompleted;
+            completed.job_index = index;
+            completed.workload = result.workload;
+            completed.label = result.label;
+            completed.status = result.status;
+            completed.stop_source = result.stop_source;
+            completed.corpus_inserted = result.corpus_inserted;
+            completed.jobs_finished = finished;
+            emit(std::move(completed));
+            JobEvent progress;
+            progress.kind = JobEvent::Kind::kBatchProgress;
+            progress.job_index = index;
+            progress.workload = result.workload;
+            progress.jobs_finished = finished;
+            emit(std::move(progress));
         }
     };
 
@@ -194,6 +366,15 @@ ExplorationService::RunBatch(const std::vector<JobSpec>& jobs)
     for (std::thread& thread : pool) {
         thread.join();
     }
+    if (streaming) {
+        {
+            std::lock_guard<std::mutex> lock(pump.mutex);
+            pump.done = true;
+        }
+        pump.cv.notify_one();
+        dispatcher.join();
+        stats_.events_delivered += pump.delivered;
+    }
 
     stats_.jobs_submitted += jobs.size();
     for (const JobResult& result : results) {
@@ -201,6 +382,9 @@ ExplorationService::RunBatch(const std::vector<JobSpec>& jobs)
           case JobStatus::kCompleted: ++stats_.jobs_completed; break;
           case JobStatus::kCancelled: ++stats_.jobs_cancelled; break;
           case JobStatus::kFailed: ++stats_.jobs_failed; break;
+        }
+        if (result.stop_source == "plateau") {
+            ++stats_.jobs_plateau_cancelled;
         }
         stats_.ll_paths += result.engine_stats.ll_paths;
         stats_.hl_paths += result.engine_stats.hl_paths;
@@ -230,6 +414,7 @@ ExplorationService::RunBatch(const std::vector<JobSpec>& jobs)
     stats_.corpus_size = corpus_.size();
     stats_.wall_seconds += SecondsSince(batch_start);
     stats_.num_workers = options_.num_workers;
+    stats_.schedule_policy = options_.schedule_policy;
     stats_.jobs_per_second =
         stats_.wall_seconds > 0.0
             ? static_cast<double>(stats_.jobs_completed) /

@@ -19,16 +19,29 @@
 /// Cancellation and budgets are cooperative: the service chains a check of
 /// its stop flag and wall-clock budget into each engine's
 /// Options::stop_requested hook, which the explore loop polls between
-/// concolic iterations and solver calls.
+/// concolic iterations and solver calls. The chained hook latches which
+/// check fired first, so a session ended by the *spec's own* hook reports
+/// kCompleted (its declared budget) rather than a service cancellation —
+/// JobResult::stop_source carries the attribution either way.
+///
+/// Dispatch order comes from a BatchScheduler (service/scheduler.h):
+/// yield-weighted priorities by default, plain FIFO via
+/// Options::schedule_policy, optional plateau early-abort via
+/// Options::plateau_policy. Long batches can stream progress while
+/// RunBatch blocks: Options::on_job_event is invoked — off the worker
+/// threads, on one dispatcher thread — as jobs start and finish, and/or
+/// events land in a caller-polled JobEventQueue.
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "cache/shared_cache.h"
 #include "service/corpus.h"
 #include "service/job.h"
+#include "service/scheduler.h"
 
 namespace chef::service {
 
@@ -61,6 +74,24 @@ class ExplorationService
         /// Configuration for the per-batch shared cache (shards, byte
         /// budget, counterexample bound).
         cache::SharedSolverCache::Options solver_cache_options = {};
+        /// Dispatch order for pending jobs. Yield-weighted by default;
+        /// ordering does not change per-job results for bounded jobs
+        /// (sessions are seeded independently), so the worker-count
+        /// determinism contract holds under either policy.
+        SchedulePolicy schedule_policy = SchedulePolicy::kYieldPriority;
+        /// Early-abort for flat-yield workloads (off by default — when
+        /// enabled, pending jobs can be cancelled, which *does* change
+        /// batch results).
+        PlateauPolicy plateau_policy = {};
+        /// Streaming callback, invoked for every JobEvent on a dedicated
+        /// dispatcher thread (never a worker thread, so a slow consumer
+        /// does not stall exploration; events queue up instead). Events
+        /// for one batch arrive in emit order; each job produces exactly
+        /// one kJobCompleted event.
+        std::function<void(const JobEvent&)> on_job_event;
+        /// Caller-owned pollable queue receiving the same events (either
+        /// or both sinks may be set). Must outlive RunBatch.
+        JobEventQueue* event_queue = nullptr;
     };
 
     explicit ExplorationService(Options options);
@@ -108,6 +139,12 @@ class ExplorationService
   private:
     JobResult RunJob(const JobSpec& spec, size_t job_index,
                      double remaining_seconds);
+
+    /// Identity-only result for a job that never ran (queued at stop /
+    /// budget expiry, or plateau-cancelled).
+    JobResult MakeCancelledPlaceholder(const JobSpec& spec,
+                                       size_t job_index, const char* error,
+                                       const char* stop_source) const;
 
     Options options_;
     std::atomic<bool> stop_{false};

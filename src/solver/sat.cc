@@ -235,6 +235,7 @@ SatSolver::ResetState()
     loaded_clauses_ = 0;
     root_unsat_ = false;
     num_vars_ = 0;
+    num_learned_ = 0;
     clauses_.clear();
     watches_.clear();
     assign_.clear();
@@ -381,6 +382,110 @@ SatSolver::AllAssigned() const
     return trail_.size() == static_cast<size_t>(num_vars_);
 }
 
+void
+SatSolver::PurgeLearned()
+{
+    CHEF_CHECK(trail_limits_.empty());
+
+    // Clauses locked as the reason for a root assignment must survive
+    // (conflict analysis may still expand them).
+    std::vector<uint8_t> locked(clauses_.size(), 0);
+    for (const ILit lit : trail_) {
+        const int32_t reason = reason_[VarOf(lit)];
+        if (reason >= 0) {
+            locked[static_cast<size_t>(reason)] = 1;
+        }
+    }
+
+    // Score learned clauses by the mean VSIDS activity of their
+    // variables: a clause over currently hot variables is the one likely
+    // to prune again, and normalizing by length keeps a long stale
+    // clause from outscoring a tight one by volume. The newest clause
+    // (this conflict's lesson) is exempt so a purge can never erase the
+    // conflict that triggered it.
+    struct Candidate {
+        uint32_t index;
+        double score;
+    };
+    std::vector<Candidate> candidates;
+    candidates.reserve(num_learned_);
+    for (uint32_t i = 0; i + 1 < clauses_.size(); ++i) {
+        const Clause& clause = clauses_[i];
+        if (!clause.learned || locked[i]) {
+            continue;
+        }
+        double score = 0.0;
+        for (const ILit lit : clause.lits) {
+            score += activity_[VarOf(lit)];
+        }
+        candidates.push_back(
+            {i, score / static_cast<double>(clause.lits.size())});
+    }
+    const size_t target = std::min(candidates.size(), num_learned_ / 2);
+    if (target == 0) {
+        return;
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                  return a.score < b.score ||
+                         (a.score == b.score && a.index < b.index);
+              });
+    std::vector<uint8_t> drop(clauses_.size(), 0);
+    for (size_t i = 0; i < target; ++i) {
+        drop[candidates[i].index] = 1;
+    }
+
+    // Compact the clause vector and remap the root reasons.
+    std::vector<int32_t> remap(clauses_.size(), -1);
+    size_t out = 0;
+    for (size_t i = 0; i < clauses_.size(); ++i) {
+        if (drop[i]) {
+            continue;
+        }
+        remap[i] = static_cast<int32_t>(out);
+        if (i != out) {
+            clauses_[out] = std::move(clauses_[i]);
+        }
+        ++out;
+    }
+    const size_t removed = clauses_.size() - out;
+    clauses_.resize(out);
+    num_learned_ -= removed;
+    stats_.purged_clauses += removed;
+    for (const ILit lit : trail_) {
+        int32_t& reason = reason_[VarOf(lit)];
+        if (reason >= 0) {
+            reason = remap[reason];
+            CHEF_CHECK(reason >= 0);
+        }
+    }
+
+    // Rebuild the watch lists. Watchers only fire on future enqueues, so
+    // (as in LoadIncrement) each clause must watch two literals that are
+    // non-false under the surviving root assignment; a clause with only
+    // one such literal is permanently satisfied at root — propagation ran
+    // to fixpoint before the purge, so that literal can only be true —
+    // and needs no watchers at all.
+    for (std::vector<Watcher>& list : watches_) {
+        list.clear();
+    }
+    for (uint32_t i = 0; i < clauses_.size(); ++i) {
+        Clause& clause = clauses_[i];
+        size_t nonfalse = 0;
+        for (size_t k = 0; k < clause.lits.size() && nonfalse < 2; ++k) {
+            if (ValueOf(clause.lits[k]) != 0) {
+                std::swap(clause.lits[nonfalse], clause.lits[k]);
+                ++nonfalse;
+            }
+        }
+        if (nonfalse >= 2) {
+            AttachClause(i);
+        } else {
+            CHEF_CHECK(nonfalse == 1 && ValueOf(clause.lits[0]) == 1);
+        }
+    }
+}
+
 bool
 SatSolver::LoadIncrement(const CnfFormula& formula)
 {
@@ -483,6 +588,7 @@ SatSolver::Search(const std::vector<Lit>& assumptions)
                 clause.learned = true;
                 clauses_.push_back(std::move(clause));
                 ++stats_.learned_clauses;
+                ++num_learned_;
                 const auto index =
                     static_cast<uint32_t>(clauses_.size() - 1);
                 AttachClause(index);
@@ -490,6 +596,15 @@ SatSolver::Search(const std::vector<Lit>& assumptions)
                                    static_cast<int32_t>(index)));
             }
             DecayActivities();
+            if (options_.max_learned_clauses != 0 &&
+                num_learned_ >= options_.max_learned_clauses) {
+                // Purging needs the root level; the backtrack discards
+                // this conflict's asserting assignment (the clause that
+                // implies it is kept), which is the same price a restart
+                // pays.
+                Backtrack(0);
+                PurgeLearned();
+            }
             continue;
         }
         // Place pending assumptions as forced decisions before testing

@@ -57,6 +57,9 @@ struct SatStats {
     uint64_t conflicts = 0;
     uint64_t restarts = 0;
     uint64_t learned_clauses = 0;
+    /// Learned clauses dropped by the activity-based purge
+    /// (Options::max_learned_clauses).
+    uint64_t purged_clauses = 0;
 };
 
 /// CDCL solver. A fresh instance is used per query.
@@ -70,6 +73,17 @@ class SatSolver
         /// Initial restart interval in conflicts; grows geometrically.
         uint64_t restart_base = 100;
         double restart_growth = 1.5;
+        /// Learned-clause cap (0 = unbounded). When the database holds
+        /// this many learned clauses, the lowest-activity half is purged
+        /// — essential for persistent incremental sessions, whose
+        /// learned clauses would otherwise accumulate across a long
+        /// session without bound. Purging never affects soundness (a
+        /// learned clause is implied by the problem clauses), only how
+        /// much past search effort is remembered: each purge restarts
+        /// from the root level, so caps near zero degrade search badly
+        /// (every conflict becomes a blind restart). Use hundreds to
+        /// tens of thousands.
+        size_t max_learned_clauses = 0;
     };
 
     SatSolver() : SatSolver(Options{}) {}
@@ -135,6 +149,11 @@ class SatSolver
     SatStatus Search(const std::vector<Lit>& assumptions);
 
     bool AttachClause(uint32_t clause_index);
+    /// Drops the lowest-scoring half of the learned clauses (score: mean
+    /// VSIDS activity of a clause's variables) and rebuilds watches and
+    /// reason indices. Requires the trail at root level with propagation
+    /// complete; clauses locked as root-assignment reasons are kept.
+    void PurgeLearned();
     bool Enqueue(ILit lit, int32_t reason);
     int32_t Propagate();
     void Analyze(int32_t conflict_index, std::vector<ILit>* learned,
@@ -164,6 +183,8 @@ class SatSolver
     bool root_unsat_ = false;
 
     int num_vars_ = 0;
+    /// Learned clauses currently in clauses_ (purge trigger gauge).
+    size_t num_learned_ = 0;
     std::vector<Clause> clauses_;
     std::vector<std::vector<Watcher>> watches_;  // indexed by ILit
     std::vector<uint8_t> assign_;                // per var: 0/1/kUndef

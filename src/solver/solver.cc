@@ -305,6 +305,7 @@ Solver::SolveViaSat(const std::vector<ExprRef>& live, uint64_t key,
         if (session_ == nullptr) {
             SatSolver::Options sat_options;
             sat_options.max_conflicts = options_.max_conflicts;
+            sat_options.max_learned_clauses = options_.max_learned_clauses;
             session_ = std::make_unique<SatSession>(sat_options);
         }
         const size_t clauses_before = session_->cnf.clauses().size();
@@ -320,9 +321,12 @@ Solver::SolveViaSat(const std::vector<ExprRef>& live, uint64_t key,
         ++stats_.sat_calls;
         ++stats_.incremental_sat_calls;
         const size_t loaded_before = session_->sat.loaded_clauses();
+        const uint64_t purged_before = session_->sat.stats().purged_clauses;
         status = session_->sat.SolveIncremental(session_->cnf, assumptions);
         stats_.clauses_loaded +=
             session_->sat.loaded_clauses() - loaded_before;
+        stats_.learned_clauses_purged +=
+            session_->sat.stats().purged_clauses - purged_before;
         if (status == SatStatus::kSat) {
             // The session's blaster has seen every query of the session;
             // extract only this query's variables (absent variables are
@@ -349,9 +353,11 @@ Solver::SolveViaSat(const std::vector<ExprRef>& live, uint64_t key,
 
         SatSolver::Options sat_options;
         sat_options.max_conflicts = options_.max_conflicts;
+        sat_options.max_learned_clauses = options_.max_learned_clauses;
         SatSolver sat(sat_options);
         ++stats_.sat_calls;
         status = sat.Solve(cnf);
+        stats_.learned_clauses_purged += sat.stats().purged_clauses;
         if (status == SatStatus::kSat) {
             for (const auto& [var_id, info] : blaster.variables()) {
                 extracted.Set(var_id, blaster.ModelValue(sat, var_id));

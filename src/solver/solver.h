@@ -91,6 +91,10 @@ struct SolverStats {
     uint64_t cache_bytes = 0;
     /// Local cache entries evicted to respect the byte budget.
     uint64_t cache_evictions = 0;
+    /// Learned clauses dropped by the SAT backend's activity-based purge
+    /// (Options::max_learned_clauses); bounds the persistent incremental
+    /// session's memory over a long session.
+    uint64_t learned_clauses_purged = 0;
     /// Wall time spent inside Solve(), including cache probes and SAT.
     double solve_seconds = 0.0;
 };
@@ -119,6 +123,13 @@ class Solver
         size_t max_cache_bytes = 8u << 20;
         /// Conflict budget per SAT call (0 = unlimited).
         uint64_t max_conflicts = 2'000'000;
+        /// Learned-clause cap for the SAT backend (0 = unbounded). The
+        /// persistent incremental session keeps learned clauses across
+        /// every query of a Solver's lifetime; without a cap a long
+        /// session's clause database grows without bound. At the cap the
+        /// backend purges the lowest-activity half
+        /// (SolverStats::learned_clauses_purged counts the drops).
+        size_t max_learned_clauses = 50'000;
         /// Optional cross-worker cache, owned by the caller (typically
         /// one per ExplorationService batch) and shared by many Solvers.
         /// Consulted after the local cache and fed after every proven SAT

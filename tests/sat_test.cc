@@ -390,5 +390,70 @@ TEST(SatIncremental, AgreesWithOneShotAcrossGrowingFormula)
     }
 }
 
+TEST(SatIncremental, LearnedClausePurgeBoundsLongSession)
+{
+    // A persistent session accumulates learned clauses across every
+    // query; with a cap the lowest-activity half is purged while every
+    // answer stays identical to a fresh (uncapped) one-shot solve. The
+    // planted-solution formula keeps the database satisfiable forever, so
+    // root-unsat never latches and conflict-heavy contrary assumptions
+    // keep the learning rate up for the whole session.
+    Rng rng(2014);
+    CnfFormula formula;
+    const int num_vars = 60;
+    std::vector<bool> planted(num_vars + 1);
+    for (int v = 1; v <= num_vars; ++v) {
+        formula.NewVar();
+        planted[v] = rng.Chance(0.5);
+    }
+
+    SatSolver::Options capped;
+    capped.max_learned_clauses = 25;
+    SatSolver session(capped);
+
+    for (int step = 0; step < 30; ++step) {
+        for (int i = 0; i < 8; ++i) {
+            std::vector<Lit> clause;
+            bool satisfied = false;
+            for (int k = 0; k < 3; ++k) {
+                const int v =
+                    1 + static_cast<int>(rng.NextBelow(num_vars));
+                const bool positive = rng.Chance(0.5);
+                clause.push_back(positive ? v : -v);
+                satisfied |= (positive == planted[v]);
+            }
+            if (!satisfied) {
+                const int v = std::abs(clause[0]);
+                clause[0] = planted[v] ? v : -v;
+            }
+            formula.AddClause(clause);
+        }
+        // Assume against the planted model to force conflict analysis.
+        std::vector<Lit> assumptions;
+        for (int k = 0; k < 3; ++k) {
+            const int v = 1 + static_cast<int>(rng.NextBelow(num_vars));
+            assumptions.push_back(planted[v] ? -v : v);
+        }
+        CnfFormula augmented = formula;
+        for (const Lit assumption : assumptions) {
+            augmented.AddUnit(assumption);
+        }
+        SatSolver fresh;  // Uncapped reference.
+        EXPECT_EQ(session.SolveIncremental(formula, assumptions),
+                  fresh.Solve(augmented))
+            << "step " << step;
+        // The session must stay usable for satisfiable queries too.
+        EXPECT_EQ(session.SolveIncremental(formula, {}), SatStatus::kSat);
+    }
+
+    EXPECT_GT(session.stats().learned_clauses, 25u);
+    EXPECT_GT(session.stats().purged_clauses, 0u);
+    // The database stays bounded: live learned clauses (learned minus
+    // purged) never outgrow the cap by more than the purge slack.
+    EXPECT_LE(session.stats().learned_clauses -
+                  session.stats().purged_clauses,
+              2 * capped.max_learned_clauses);
+}
+
 }  // namespace
 }  // namespace chef::solver

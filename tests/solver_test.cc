@@ -121,6 +121,40 @@ TEST(Solver, DisablingCacheForcesResolve)
     EXPECT_EQ(solver.stats().sat_calls, 2u);
 }
 
+TEST(Solver, TinyLearnedClauseCapKeepsOutcomesCorrect)
+{
+    // An aggressive purge cap must never change sat/unsat answers — only
+    // how much past search effort the persistent session remembers. (64
+    // forces several purges on this battery but is not degenerate: caps
+    // near zero turn every conflict into a root restart.)
+    Solver::Options options;
+    options.max_learned_clauses = 64;
+    options.enable_query_cache = false;
+    options.enable_model_reuse = false;
+    Solver capped(options);
+    Solver reference;
+
+    const ExprRef x = MakeVar(1, "x", 16);
+    const ExprRef y = MakeVar(2, "y", 16);
+    Rng rng(7);
+    for (int i = 0; i < 12; ++i) {
+        const uint64_t sum = 100 + rng.NextBelow(400);
+        const uint64_t low = rng.NextBelow(300);
+        std::vector<ExprRef> assertions = {
+            MakeEq(MakeAdd(x, y), MakeConst(sum, 16)),
+            MakeUgt(x, MakeConst(low, 16)),
+            MakeUlt(y, MakeConst(50 + rng.NextBelow(200), 16)),
+        };
+        Assignment model;
+        const QueryResult expected = reference.Solve(assertions, nullptr);
+        ASSERT_EQ(capped.Solve(assertions, &model), expected) << i;
+    }
+    // The capped session really purged (so the equal outcomes above
+    // exercised the purge path); the uncapped reference never did.
+    EXPECT_GT(capped.stats().learned_clauses_purged, 0u);
+    EXPECT_EQ(reference.stats().learned_clauses_purged, 0u);
+}
+
 TEST(Solver, UpperBoundExact)
 {
     Solver solver;
