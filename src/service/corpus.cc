@@ -6,6 +6,19 @@
 
 namespace chef::service {
 
+namespace {
+
+bool
+EntryOrder(const TestCorpus::Entry& a, const TestCorpus::Entry& b)
+{
+    if (a.workload != b.workload) {
+        return a.workload < b.workload;
+    }
+    return a.fingerprint < b.fingerprint;
+}
+
+}  // namespace
+
 size_t
 TestCorpus::KeyHash::operator()(const Key& key) const
 {
@@ -18,7 +31,19 @@ TestCorpus::Insert(Entry entry)
 {
     Key key{entry.workload, entry.fingerprint};
     std::lock_guard<std::mutex> lock(mutex_);
-    return entries_.emplace(std::move(key), std::move(entry)).second;
+    entry.remote = false;
+    entry.sequence = next_sequence_ + 1;
+    auto [it, inserted] = entries_.emplace(std::move(key), std::move(entry));
+    if (inserted) {
+        ++next_sequence_;
+        return true;
+    }
+    if (it->second.remote) {
+        // A shard rediscovered a path that gossip already delivered:
+        // the duplicate exploration this layer exists to measure.
+        ++remote_duplicate_hits_;
+    }
+    return false;
 }
 
 bool
@@ -49,10 +74,7 @@ TestCorpus::Snapshot(size_t max_entries) const
     }
     std::sort(ordered.begin(), ordered.end(),
               [](const Entry* a, const Entry* b) {
-                  if (a->workload != b->workload) {
-                      return a->workload < b->workload;
-                  }
-                  return a->fingerprint < b->fingerprint;
+                  return EntryOrder(*a, *b);
               });
     if (max_entries > 0 && ordered.size() > max_entries) {
         ordered.resize(max_entries);
@@ -63,6 +85,70 @@ TestCorpus::Snapshot(size_t max_entries) const
         entries.push_back(*entry);
     }
     return entries;
+}
+
+TestCorpus::Delta
+TestCorpus::Snapshot(const std::string& source,
+                     uint64_t since_sequence) const
+{
+    Delta delta;
+    delta.source = source;
+    std::lock_guard<std::mutex> lock(mutex_);
+    delta.sequence = next_sequence_;
+    for (const auto& [key, entry] : entries_) {
+        if (!entry.remote && entry.sequence > since_sequence) {
+            delta.entries.push_back(entry);
+        }
+    }
+    std::sort(delta.entries.begin(), delta.entries.end(), EntryOrder);
+    for (const auto& [workload, yield] : yields_) {
+        delta.yields.emplace(workload, yield);
+    }
+    return delta;
+}
+
+TestCorpus::MergeStats
+TestCorpus::MergeFrom(const Delta& delta)
+{
+    MergeStats stats;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Entry& incoming : delta.entries) {
+        Key key{incoming.workload, incoming.fingerprint};
+        Entry entry = incoming;
+        entry.remote = true;
+        entry.sequence = next_sequence_ + 1;
+        auto [it, inserted] =
+            entries_.emplace(std::move(key), std::move(entry));
+        if (inserted) {
+            ++next_sequence_;
+            ++remote_entries_;
+            ++stats.inserted;
+        } else {
+            ++stats.duplicates;
+        }
+    }
+    // Replace (not accumulate) this source's yield view: deltas carry
+    // the source's full cumulative state, so replacement keeps repeated
+    // gossip idempotent and the combined view order-independent.
+    remote_yields_[delta.source] = delta.yields;
+    // Report the merged view for the workloads this delta touched —
+    // the ones whose merged state can have changed. Bounding the work
+    // to O(delta) matters: the gossip path merges up to dozens of
+    // deltas per second while workers contend on this mutex, and that
+    // path discards the map anyway (YieldFor serves the same view on
+    // demand for everything else).
+    for (const auto& [workload, yield] : delta.yields) {
+        (void)yield;
+        stats.merged_yields.emplace(workload,
+                                    CombinedYieldLocked(workload));
+    }
+    for (const Entry& incoming : delta.entries) {
+        if (stats.merged_yields.count(incoming.workload) == 0) {
+            stats.merged_yields.emplace(
+                incoming.workload, CombinedYieldLocked(incoming.workload));
+        }
+    }
+    return stats;
 }
 
 std::vector<TestCorpus::Key>
@@ -101,11 +187,72 @@ TestCorpus::RecordJobYield(const std::string& workload, size_t offered,
 }
 
 TestCorpus::WorkloadYield
+TestCorpus::CombinedYieldLocked(const std::string& workload) const
+{
+    // Commutative combine across {local} ∪ remote sources: sums for the
+    // counters, max for the zero-yield streak (any shard seeing the
+    // workload flat is plateau evidence), jobs-weighted mean for the
+    // decayed yield. Every operator is symmetric and associative, so
+    // the merged view cannot depend on the order deltas arrived in.
+    WorkloadYield combined;
+    double yield_weight = 0.0;
+    double yield_sum = 0.0;
+    const auto accumulate = [&](const WorkloadYield& yield) {
+        combined.jobs_recorded += yield.jobs_recorded;
+        combined.offered_total += yield.offered_total;
+        combined.accepted_total += yield.accepted_total;
+        combined.consecutive_zero_yield = std::max(
+            combined.consecutive_zero_yield, yield.consecutive_zero_yield);
+        yield_weight += static_cast<double>(yield.jobs_recorded);
+        yield_sum += yield.decayed_yield *
+                     static_cast<double>(yield.jobs_recorded);
+    };
+    const auto local = yields_.find(workload);
+    if (local != yields_.end()) {
+        accumulate(local->second);
+    }
+    for (const auto& [source, yields] : remote_yields_) {
+        (void)source;
+        const auto it = yields.find(workload);
+        if (it != yields.end()) {
+            accumulate(it->second);
+        }
+    }
+    combined.decayed_yield =
+        yield_weight > 0.0 ? yield_sum / yield_weight : 0.0;
+    return combined;
+}
+
+TestCorpus::WorkloadYield
 TestCorpus::YieldFor(const std::string& workload) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = yields_.find(workload);
-    return it == yields_.end() ? WorkloadYield{} : it->second;
+    return CombinedYieldLocked(workload);
+}
+
+TestCorpus::YieldMap
+TestCorpus::LocalYields() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    YieldMap yields;
+    for (const auto& [workload, yield] : yields_) {
+        yields.emplace(workload, yield);
+    }
+    return yields;
+}
+
+size_t
+TestCorpus::remote_entries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return remote_entries_;
+}
+
+size_t
+TestCorpus::remote_duplicate_hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return remote_duplicate_hits_;
 }
 
 void
@@ -114,6 +261,10 @@ TestCorpus::Clear()
     std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
     yields_.clear();
+    remote_yields_.clear();
+    next_sequence_ = 0;
+    remote_entries_ = 0;
+    remote_duplicate_hits_ = 0;
 }
 
 }  // namespace chef::service

@@ -34,6 +34,13 @@ struct JobSpec {
     /// the service seed and the job index" — see
     /// ExplorationService::DeriveJobSeed.
     uint64_t seed = 0;
+    /// Use \p seed verbatim as the session seed instead of deriving it
+    /// from (service seed, local job index, seed). The shard layer sets
+    /// this after deriving seeds from *global* batch indices, so a job
+    /// runs the identical session no matter which shard (or local queue
+    /// position) it lands on — partitioning cannot change per-job
+    /// results.
+    bool exact_seed = false;
     /// Display label; defaults to the workload id when empty.
     std::string label;
 };

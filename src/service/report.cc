@@ -1,129 +1,20 @@
 #include "service/report.h"
 
-#include <cinttypes>
-#include <cmath>
 #include <cstdio>
 #include <string>
-#include <type_traits>
+
+#include "support/json.h"
 
 namespace chef::service {
 
 namespace {
 
-/// Minimal append-only JSON builder. The report structure is fixed, so a
-/// full serializer would be overkill; this keeps key order stable and
-/// escaping in one place.
-class JsonWriter
-{
-  public:
-    std::string Take() { return std::move(out_); }
+using support::JsonWriter;
 
-    void BeginObject() { Punct('{'); }
-    void EndObject()
-    {
-        out_ += '}';
-        needs_comma_ = true;
-    }
-    void BeginArray() { Punct('['); }
-    void EndArray()
-    {
-        out_ += ']';
-        needs_comma_ = true;
-    }
-
-    void Key(const char* name)
-    {
-        Comma();
-        out_ += '"';
-        out_ += name;
-        out_ += "\":";
-        needs_comma_ = false;
-    }
-
-    void Value(const std::string& text)
-    {
-        Comma();
-        out_ += '"';
-        out_ += JsonEscape(text);
-        out_ += '"';
-        needs_comma_ = true;
-    }
-
-    /// Without this, a string literal would convert to bool (pointer ->
-    /// bool beats the user-defined conversion to std::string) and
-    /// silently serialize as `true`.
-    void Value(const char* text) { Value(std::string(text)); }
-
-    /// One template for every integral width/signedness (size_t is a
-    /// distinct type from uint64_t on some ABIs; separate overloads
-    /// would be ambiguous there). All report fields are non-negative.
-    template <typename T,
-              typename std::enable_if<std::is_integral<T>::value &&
-                                          !std::is_same<T, bool>::value,
-                                      int>::type = 0>
-    void Value(T value)
-    {
-        char buffer[32];
-        std::snprintf(buffer, sizeof(buffer), "%" PRIu64,
-                      static_cast<uint64_t>(value));
-        Raw(buffer);
-    }
-
-    /// 64-bit identities (fingerprints, seeds) go out as hex *strings*:
-    /// they routinely exceed 2^53 and would be silently rounded by
-    /// double-based JSON consumers, breaking cross-report comparison.
-    void HexValue(uint64_t value)
-    {
-        char buffer[32];
-        std::snprintf(buffer, sizeof(buffer), "\"0x%016" PRIx64 "\"",
-                      value);
-        Raw(buffer);
-    }
-
-    void Value(double value)
-    {
-        // %.6f prints NaN/Inf as bare `nan`/`inf`, which no strict JSON
-        // parser accepts (a rate over a zero wall time is enough to
-        // corrupt the whole report). Non-finite values serialize as
-        // null — "not a measurement" — rather than a clamped number a
-        // consumer could mistake for data.
-        if (!std::isfinite(value)) {
-            Raw("null");
-            return;
-        }
-        char buffer[64];
-        std::snprintf(buffer, sizeof(buffer), "%.6f", value);
-        Raw(buffer);
-    }
-
-    void Value(bool value) { Raw(value ? "true" : "false"); }
-
-  private:
-    void Comma()
-    {
-        if (needs_comma_) {
-            out_ += ',';
-        }
-    }
-    void Punct(char c)
-    {
-        Comma();
-        out_ += c;
-        needs_comma_ = false;
-    }
-    void Raw(const char* text)
-    {
-        Comma();
-        out_ += text;
-        needs_comma_ = true;
-    }
-
-    std::string out_;
-    bool needs_comma_ = false;
-};
+}  // namespace
 
 void
-WriteStats(JsonWriter& json, const ServiceStats& stats)
+WriteServiceStats(JsonWriter& json, const ServiceStats& stats)
 {
     json.BeginObject();
     json.Key("jobs_submitted"), json.Value(stats.jobs_submitted);
@@ -169,7 +60,7 @@ WriteStats(JsonWriter& json, const ServiceStats& stats)
 }
 
 void
-WriteJob(JsonWriter& json, const JobResult& result)
+WriteJobResult(JsonWriter& json, const JobResult& result)
 {
     json.BeginObject();
     json.Key("job_index"), json.Value(result.job_index);
@@ -208,6 +99,8 @@ WriteJob(JsonWriter& json, const JobResult& result)
     json.EndObject();
 }
 
+namespace {
+
 void
 WriteCorpusEntry(JsonWriter& json, const TestCorpus::Entry& entry,
                  bool include_inputs)
@@ -239,39 +132,6 @@ WriteCorpusEntry(JsonWriter& json, const TestCorpus::Entry& entry,
 }  // namespace
 
 std::string
-JsonEscape(const std::string& text)
-{
-    std::string escaped;
-    escaped.reserve(text.size());
-    for (const char c : text) {
-        switch (c) {
-          case '"': escaped += "\\\""; break;
-          case '\\': escaped += "\\\\"; break;
-          case '\b': escaped += "\\b"; break;
-          case '\f': escaped += "\\f"; break;
-          case '\n': escaped += "\\n"; break;
-          case '\r': escaped += "\\r"; break;
-          case '\t': escaped += "\\t"; break;
-          default:
-            // Escape control characters, and also bytes >= 0x7f: guest
-            // strings are raw byte strings (often built from symbolic
-            // input bytes), not guaranteed UTF-8, and the report must
-            // stay parseable. Escaping per byte keeps output pure ASCII.
-            if (static_cast<unsigned char>(c) < 0x20 ||
-                static_cast<unsigned char>(c) >= 0x7f) {
-                char buffer[8];
-                std::snprintf(buffer, sizeof(buffer), "\\u%04x",
-                              static_cast<unsigned char>(c));
-                escaped += buffer;
-            } else {
-                escaped += c;
-            }
-        }
-    }
-    return escaped;
-}
-
-std::string
 RenderJsonReport(const ServiceStats& stats,
                  const std::vector<JobResult>& results,
                  const TestCorpus& corpus, const ReportOptions& options)
@@ -280,12 +140,12 @@ RenderJsonReport(const ServiceStats& stats,
     json.BeginObject();
     json.Key("report"), json.Value("chef-exploration-service");
     json.Key("stats");
-    WriteStats(json, stats);
+    WriteServiceStats(json, stats);
     if (options.include_jobs) {
         json.Key("jobs");
         json.BeginArray();
         for (const JobResult& result : results) {
-            WriteJob(json, result);
+            WriteJobResult(json, result);
         }
         json.EndArray();
     }

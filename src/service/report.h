@@ -14,6 +14,7 @@
 
 #include "service/corpus.h"
 #include "service/job.h"
+#include "support/json.h"
 
 namespace chef::service {
 
@@ -39,6 +40,16 @@ std::string RenderJsonReport(const ServiceStats& stats,
                              const TestCorpus& corpus,
                              const ReportOptions& options = {});
 
+/// Writes one ServiceStats object into an in-progress document — the
+/// same key set RenderJsonReport emits under "stats". Exposed so the
+/// shard layer's wire format and merged coordinator report serialize
+/// per-shard stats with the identical schema.
+void WriteServiceStats(support::JsonWriter& json, const ServiceStats& stats);
+
+/// Writes one per-job result object — the element schema of
+/// RenderJsonReport's "jobs" array. Exposed for the shard wire format.
+void WriteJobResult(support::JsonWriter& json, const JobResult& result);
+
 /// Writes the report to a file; returns false on I/O error.
 bool WriteJsonReportFile(const std::string& path,
                          const ServiceStats& stats,
@@ -46,9 +57,9 @@ bool WriteJsonReportFile(const std::string& path,
                          const TestCorpus& corpus,
                          const ReportOptions& options = {});
 
-/// Escapes a string for embedding in a JSON document (without the
-/// surrounding quotes). Exposed for tests.
-std::string JsonEscape(const std::string& text);
+/// The escaping/writing machinery lives in support/json.h now (shared
+/// with the shard wire format); this keeps existing call sites working.
+using support::JsonEscape;
 
 }  // namespace chef::service
 

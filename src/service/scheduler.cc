@@ -165,6 +165,29 @@ BatchScheduler::OnJobCompleted(const std::string& workload, size_t offered,
     }
 }
 
+void
+BatchScheduler::NotifyYieldsChanged()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    dirty_ = true;
+    if (!options_.plateau.enabled || options_.plateau.cancel_after == 0) {
+        return;
+    }
+    // Remote yield can push a pending workload past cancel_after without
+    // any local job completing; OnJobCompleted would never see it.
+    for (const size_t index : pending_) {
+        const std::string& workload = workloads_[index];
+        if (cancelled_workloads_.count(workload) != 0) {
+            continue;
+        }
+        const TestCorpus::WorkloadYield yield =
+            corpus_->YieldFor(workload);
+        if (yield.consecutive_zero_yield >= options_.plateau.cancel_after) {
+            cancelled_workloads_.insert(workload);
+        }
+    }
+}
+
 size_t
 BatchScheduler::pending() const
 {

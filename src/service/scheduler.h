@@ -91,6 +91,15 @@ class BatchScheduler
     void OnJobCompleted(const std::string& workload, size_t offered,
                         size_t accepted);
 
+    /// Re-reads every pending workload's (merged) yield state from the
+    /// corpus: marks the queue for a re-sort and re-runs the plateau
+    /// cancellation check. Called when yield state changed *outside* a
+    /// local job completion — the shard layer merging a remote gossip
+    /// delta — so a workload another shard has already flattened is
+    /// deprioritized or cancelled here without burning local jobs to
+    /// rediscover the plateau.
+    void NotifyYieldsChanged();
+
     size_t pending() const;
 
   private:

@@ -45,6 +45,18 @@ StopSourceName(StopSource source)
     return "?";
 }
 
+/// The seed the session runs with: the spec's verbatim seed when the
+/// shard layer pre-derived it from the global batch index, the local
+/// derivation otherwise.
+uint64_t
+SessionSeed(const JobSpec& spec, uint64_t service_seed, size_t job_index)
+{
+    return spec.exact_seed
+               ? spec.seed
+               : ExplorationService::DeriveJobSeed(service_seed, job_index,
+                                                   spec.seed);
+}
+
 }  // namespace
 
 const char*
@@ -75,6 +87,15 @@ ExplorationService::DeriveJobSeed(uint64_t service_seed, size_t job_index,
     return FnvHash(parts, sizeof(parts));
 }
 
+void
+ExplorationService::NotifyYieldsChanged()
+{
+    std::lock_guard<std::mutex> lock(scheduler_mutex_);
+    if (active_scheduler_ != nullptr) {
+        active_scheduler_->NotifyYieldsChanged();
+    }
+}
+
 JobResult
 ExplorationService::MakeCancelledPlaceholder(const JobSpec& spec,
                                              size_t job_index,
@@ -85,7 +106,7 @@ ExplorationService::MakeCancelledPlaceholder(const JobSpec& spec,
     result.job_index = job_index;
     result.workload = spec.workload;
     result.label = spec.label.empty() ? spec.workload : spec.label;
-    result.seed_used = DeriveJobSeed(options_.seed, job_index, spec.seed);
+    result.seed_used = SessionSeed(spec, options_.seed, job_index);
     result.status = JobStatus::kCancelled;
     result.error = error;
     result.stop_source = stop_source;
@@ -102,7 +123,7 @@ ExplorationService::RunJob(const JobSpec& spec, size_t job_index,
     result.job_index = job_index;
     result.workload = spec.workload;
     result.label = spec.label.empty() ? spec.workload : spec.label;
-    result.seed_used = DeriveJobSeed(options_.seed, job_index, spec.seed);
+    result.seed_used = SessionSeed(spec, options_.seed, job_index);
 
     const workloads::WorkloadInfo* info =
         workloads::FindWorkload(spec.workload);
@@ -286,6 +307,12 @@ ExplorationService::RunBatch(const std::vector<JobSpec>& jobs)
     }
     BatchScheduler scheduler(std::move(job_workloads), &corpus_,
                              scheduler_options);
+    {
+        // Published so NotifyYieldsChanged (remote gossip merges) can
+        // reach the in-flight batch's scheduler from other threads.
+        std::lock_guard<std::mutex> lock(scheduler_mutex_);
+        active_scheduler_ = &scheduler;
+    }
 
     auto worker = [&] {
         BatchScheduler::Dispatch dispatch;
@@ -365,6 +392,10 @@ ExplorationService::RunBatch(const std::vector<JobSpec>& jobs)
     }
     for (std::thread& thread : pool) {
         thread.join();
+    }
+    {
+        std::lock_guard<std::mutex> lock(scheduler_mutex_);
+        active_scheduler_ = nullptr;
     }
     if (streaming) {
         {

@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "cache/shared_cache.h"
@@ -122,6 +123,19 @@ class ExplorationService
     }
 
     const TestCorpus& corpus() const { return corpus_; }
+
+    /// Mutable corpus access for the shard layer, which merges remote
+    /// gossip deltas into the corpus while RunBatch is in flight (the
+    /// corpus is mutex-guarded; see TestCorpus::MergeFrom). Pair with
+    /// NotifyYieldsChanged() so the batch scheduler acts on the merge.
+    TestCorpus* mutable_corpus() { return &corpus_; }
+
+    /// Tells the in-flight batch's scheduler that corpus yield state
+    /// changed outside a job completion (a remote gossip merge): pending
+    /// jobs re-sort against the merged yields and the plateau check
+    /// re-runs. No-op when no batch is running. Safe from any thread.
+    void NotifyYieldsChanged();
+
     const ServiceStats& stats() const { return stats_; }
     const Options& options() const { return options_; }
 
@@ -150,6 +164,10 @@ class ExplorationService
     std::atomic<bool> stop_{false};
     TestCorpus corpus_;
     ServiceStats stats_;
+    /// The in-flight batch's scheduler (set for the duration of RunBatch;
+    /// guarded so NotifyYieldsChanged can't race scheduler teardown).
+    std::mutex scheduler_mutex_;
+    BatchScheduler* active_scheduler_ = nullptr;
     /// One cache per batch; rebuilt at each RunBatch entry when
     /// share_solver_cache is on (kept afterwards for inspection).
     std::unique_ptr<cache::SharedSolverCache> shared_cache_;

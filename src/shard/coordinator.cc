@@ -1,0 +1,376 @@
+#include "shard/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "service/service.h"
+#include "shard/worker.h"
+#include "support/json.h"
+
+namespace chef::shard {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+SecondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+bool
+Fail(std::string* error, const std::string& reason)
+{
+    if (error != nullptr) {
+        *error = reason;
+    }
+    return false;
+}
+
+}  // namespace
+
+ShardCoordinator::ShardCoordinator(Options options)
+    : options_(std::move(options))
+{
+}
+
+bool
+ShardCoordinator::Run(const std::vector<service::JobSpec>& jobs,
+                      const std::vector<Transport*>& transports,
+                      std::string* error)
+{
+    const auto start = Clock::now();
+    const size_t num_shards = transports.size();
+    if (num_shards == 0) {
+        return Fail(error, "no shard transports");
+    }
+
+    // Reject non-serializable specs up front, before any shard has been
+    // asked to do anything — a clear error at submit beats a worker
+    // silently running a spec with its callbacks dropped.
+    for (const service::JobSpec& spec : jobs) {
+        std::string why;
+        if (!CheckSerializable(spec, &why)) {
+            return Fail(error, why);
+        }
+    }
+
+    results_.clear();
+    results_.resize(jobs.size());
+    corpus_.Clear();
+    shards_.clear();
+    shards_.resize(num_shards);
+    cross_shard_ = CrossShardStats{};
+    merged_stats_ = service::ServiceStats{};
+
+    // Wait for every worker's hello (and check protocol versions) so a
+    // dead subprocess is caught before the batch is partitioned.
+    for (size_t shard = 0; shard < num_shards; ++shard) {
+        const auto deadline =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(
+                                   options_.hello_timeout_seconds));
+        bool greeted = false;
+        while (!greeted) {
+            const auto remaining =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - Clock::now())
+                    .count();
+            if (remaining <= 0) {
+                return Fail(error, "shard " + std::to_string(shard) +
+                                       ": no hello before timeout");
+            }
+            std::string line;
+            const Transport::RecvStatus status =
+                transports[shard]->Receive(&line,
+                                           static_cast<int>(remaining));
+            if (status == Transport::RecvStatus::kClosed) {
+                return Fail(error, "shard " + std::to_string(shard) +
+                                       ": transport closed before hello");
+            }
+            if (status != Transport::RecvStatus::kMessage) {
+                continue;
+            }
+            Message message;
+            std::string decode_error;
+            if (!DecodeMessage(line, &message, &decode_error)) {
+                return Fail(error, "shard " + std::to_string(shard) +
+                                       ": " + decode_error);
+            }
+            if (message.type == MessageType::kError) {
+                return Fail(error, "shard " + std::to_string(shard) +
+                                       ": " + message.error);
+            }
+            if (message.type != MessageType::kHello) {
+                continue;  // Stale gossip from a previous batch.
+            }
+            if (message.protocol_version != kProtocolVersion) {
+                return Fail(
+                    error,
+                    "shard " + std::to_string(shard) +
+                        ": protocol version " +
+                        std::to_string(message.protocol_version) +
+                        " != " + std::to_string(kProtocolVersion));
+            }
+            greeted = true;
+        }
+    }
+
+    // Partition round-robin by global index, deriving each job's seed
+    // from that index so the partition cannot change per-job sessions.
+    std::vector<RunRequest> requests(num_shards);
+    for (size_t shard = 0; shard < num_shards; ++shard) {
+        requests[shard].shard_id = shard;
+        requests[shard].num_shards = num_shards;
+        requests[shard].service = options_.service;
+    }
+    for (size_t index = 0; index < jobs.size(); ++index) {
+        WireJob job;
+        job.job_index = index;
+        job.spec = jobs[index];
+        if (!job.spec.exact_seed) {
+            job.spec.seed = service::ExplorationService::DeriveJobSeed(
+                options_.service.seed, index, job.spec.seed);
+            job.spec.exact_seed = true;
+        }
+        const size_t shard = ShardFor(index, num_shards);
+        requests[shard].jobs.push_back(std::move(job));
+        ++shards_[shard].jobs_assigned;
+    }
+    for (size_t shard = 0; shard < num_shards; ++shard) {
+        shards_[shard].shard_id = shard;
+        if (!transports[shard]->Send(EncodeRun(requests[shard]))) {
+            return Fail(error, "shard " + std::to_string(shard) +
+                                   ": send failed");
+        }
+    }
+
+    // Multiplex loop: forward gossip, collect results. Each sweep polls
+    // every shard without blocking (a blocking per-shard receive would
+    // serialize forwarding: a delta on the last shard's pipe would wait
+    // out every earlier shard's timeout); one idle sleep per quiet
+    // sweep bounds the spin instead.
+    std::vector<bool> reported(num_shards, false);
+    std::vector<ResultMessage> shard_results(num_shards);
+    size_t outstanding = num_shards;
+    while (outstanding > 0) {
+        bool progressed = false;
+        for (size_t shard = 0; shard < num_shards; ++shard) {
+            if (reported[shard]) {
+                continue;
+            }
+            std::string line;
+            const Transport::RecvStatus status =
+                transports[shard]->Receive(&line, /*timeout_ms=*/0);
+            if (status == Transport::RecvStatus::kClosed) {
+                return Fail(error, "shard " + std::to_string(shard) +
+                                       ": died before reporting");
+            }
+            if (status != Transport::RecvStatus::kMessage) {
+                continue;
+            }
+            progressed = true;
+            Message message;
+            std::string decode_error;
+            if (!DecodeMessage(line, &message, &decode_error)) {
+                return Fail(error, "shard " + std::to_string(shard) +
+                                       ": " + decode_error);
+            }
+            switch (message.type) {
+              case MessageType::kGossip: {
+                if (!options_.gossip) {
+                    break;
+                }
+                ++cross_shard_.gossip_messages;
+                cross_shard_.fingerprints_gossiped +=
+                    message.gossip.entries.size();
+                // Forward verbatim: receivers key remote state by
+                // delta.source, so rebroadcast order cannot skew the
+                // merged view. The producing shard never sees its own
+                // delta back.
+                const std::string line_out = EncodeGossip(message.gossip);
+                for (size_t other = 0; other < num_shards; ++other) {
+                    if (other != shard && !reported[other]) {
+                        transports[other]->Send(line_out);
+                    }
+                }
+                break;
+              }
+              case MessageType::kResult:
+                shard_results[shard] = std::move(message.result);
+                reported[shard] = true;
+                --outstanding;
+                break;
+              case MessageType::kError:
+                return Fail(error, "shard " + std::to_string(shard) +
+                                       ": " + message.error);
+              default:
+                break;
+            }
+        }
+        if (!progressed && outstanding > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(options_.poll_timeout_ms));
+        }
+    }
+
+    for (size_t shard = 0; shard < num_shards; ++shard) {
+        transports[shard]->Send(EncodeShutdown());
+    }
+
+    // Merge: results under global indices, corpora deduplicated, stats
+    // summed (wall clock is the critical path, not a sum — shards ran
+    // concurrently).
+    for (size_t shard = 0; shard < num_shards; ++shard) {
+        const ResultMessage& result = shard_results[shard];
+        ShardOutcome& outcome = shards_[shard];
+        outcome.stats = result.stats;
+        outcome.remote_entries = result.remote_entries;
+        outcome.remote_duplicate_hits = result.remote_duplicate_hits;
+        cross_shard_.remote_duplicate_hits += result.remote_duplicate_hits;
+        cross_shard_.jobs_suppressed += result.stats.jobs_plateau_cancelled;
+        for (const service::JobResult& job : result.results) {
+            if (job.job_index >= results_.size()) {
+                return Fail(error,
+                            "shard " + std::to_string(shard) +
+                                ": result for unknown job index " +
+                                std::to_string(job.job_index));
+            }
+            results_[job.job_index] = job;
+        }
+        const service::TestCorpus::MergeStats merge =
+            corpus_.MergeFrom(result.corpus);
+        outcome.corpus_contributed = merge.inserted;
+        outcome.corpus_duplicate = merge.duplicates;
+        cross_shard_.merge_duplicates += merge.duplicates;
+
+        service::ServiceStats& m = merged_stats_;
+        const service::ServiceStats& s = result.stats;
+        m.jobs_submitted += s.jobs_submitted;
+        m.jobs_completed += s.jobs_completed;
+        m.jobs_cancelled += s.jobs_cancelled;
+        m.jobs_plateau_cancelled += s.jobs_plateau_cancelled;
+        m.jobs_failed += s.jobs_failed;
+        m.ll_paths += s.ll_paths;
+        m.hl_paths += s.hl_paths;
+        m.hangs += s.hangs;
+        m.solver_queries += s.solver_queries;
+        m.solver_sliced_queries += s.solver_sliced_queries;
+        m.solver_incremental_sat_calls += s.solver_incremental_sat_calls;
+        m.solver_clauses_loaded += s.solver_clauses_loaded;
+        m.solver_seconds += s.solver_seconds;
+        m.solver_cache_shared =
+            m.solver_cache_shared || s.solver_cache_shared;
+        m.shared_cache_hits += s.shared_cache_hits;
+        m.shared_cache_misses += s.shared_cache_misses;
+        m.shared_cache_inserts += s.shared_cache_inserts;
+        m.shared_cache_evictions += s.shared_cache_evictions;
+        m.shared_cache_model_hits += s.shared_cache_model_hits;
+        m.shared_cache_bytes += s.shared_cache_bytes;
+        m.shared_cache_entries += s.shared_cache_entries;
+        m.engine_seconds += s.engine_seconds;
+        m.wall_seconds = std::max(m.wall_seconds, s.wall_seconds);
+        m.num_workers += s.num_workers;
+        m.events_delivered += s.events_delivered;
+        m.schedule_policy = s.schedule_policy;
+    }
+    merged_stats_.corpus_size = corpus_.size();
+    wall_seconds_ = SecondsSince(start);
+    merged_stats_.jobs_per_second =
+        merged_stats_.wall_seconds > 0.0
+            ? static_cast<double>(merged_stats_.jobs_completed) /
+                  merged_stats_.wall_seconds
+            : 0.0;
+    return true;
+}
+
+std::string
+ShardCoordinator::RenderMergedReport(
+    const service::ReportOptions& options) const
+{
+    support::JsonWriter json;
+    json.BeginObject();
+    json.Key("report"), json.Value("chef-shard-coordinator");
+    json.Key("protocol_version"), json.Value(kProtocolVersion);
+    json.Key("num_shards"), json.Value(shards_.size());
+    json.Key("gossip_enabled"), json.Value(options_.gossip);
+    json.Key("coordinator_wall_seconds"), json.Value(wall_seconds_);
+    json.Key("cross_shard");
+    json.BeginObject();
+    json.Key("gossip_messages"), json.Value(cross_shard_.gossip_messages);
+    json.Key("fingerprints_gossiped"),
+        json.Value(cross_shard_.fingerprints_gossiped);
+    json.Key("remote_duplicate_hits"),
+        json.Value(cross_shard_.remote_duplicate_hits);
+    json.Key("jobs_suppressed"), json.Value(cross_shard_.jobs_suppressed);
+    json.Key("merge_duplicates"),
+        json.Value(cross_shard_.merge_duplicates);
+    json.EndObject();
+    json.Key("shards");
+    json.BeginArray();
+    for (const ShardOutcome& shard : shards_) {
+        json.BeginObject();
+        json.Key("shard_id"), json.Value(shard.shard_id);
+        json.Key("jobs_assigned"), json.Value(shard.jobs_assigned);
+        json.Key("remote_entries"), json.Value(shard.remote_entries);
+        json.Key("remote_duplicate_hits"),
+            json.Value(shard.remote_duplicate_hits);
+        json.Key("corpus_contributed"),
+            json.Value(shard.corpus_contributed);
+        json.Key("corpus_duplicate"), json.Value(shard.corpus_duplicate);
+        json.Key("stats");
+        service::WriteServiceStats(json, shard.stats);
+        json.EndObject();
+    }
+    json.EndArray();
+    // The merged view reuses the single-service report schema verbatim,
+    // so existing report consumers can read a sharded batch by looking
+    // one key deeper.
+    json.Key("merged");
+    json.RawValue(
+        service::RenderJsonReport(merged_stats_, results_, corpus_,
+                                  options));
+    json.EndObject();
+    return json.Take();
+}
+
+bool
+RunLoopbackShards(ShardCoordinator* coordinator,
+                  const std::vector<service::JobSpec>& jobs,
+                  size_t num_shards, std::string* error)
+{
+    if (num_shards == 0) {
+        return Fail(error, "num_shards must be >= 1");
+    }
+    std::vector<LoopbackPair> pairs;
+    std::vector<Transport*> coordinator_side;
+    pairs.reserve(num_shards);
+    for (size_t shard = 0; shard < num_shards; ++shard) {
+        pairs.push_back(CreateLoopbackPair());
+        coordinator_side.push_back(pairs.back().a.get());
+    }
+    std::vector<std::thread> workers;
+    workers.reserve(num_shards);
+    for (size_t shard = 0; shard < num_shards; ++shard) {
+        Transport* endpoint = pairs[shard].b.get();
+        workers.emplace_back([endpoint] {
+            ShardWorker worker(ShardWorker::Options{}, endpoint);
+            worker.Serve();
+        });
+    }
+    const bool ok = coordinator->Run(jobs, coordinator_side, error);
+    for (size_t shard = 0; shard < num_shards; ++shard) {
+        // Shutdown was sent on success; closing unblocks workers in
+        // every case.
+        pairs[shard].a->Close();
+    }
+    for (std::thread& worker : workers) {
+        worker.join();
+    }
+    return ok;
+}
+
+}  // namespace chef::shard

@@ -1,0 +1,147 @@
+#ifndef CHEF_SHARD_COORDINATOR_H_
+#define CHEF_SHARD_COORDINATOR_H_
+
+/// \file
+/// The shard coordinator: one batch fanned out over N shard workers.
+///
+/// The coordinator partitions a batch round-robin over the shards,
+/// pre-deriving every job's seed from its *global* index (so the
+/// partition cannot change per-job results — see JobSpec::exact_seed),
+/// then multiplexes the transports from one thread: gossip deltas from
+/// any shard are forwarded to every other shard (receivers merge per
+/// source, so forwarding order cannot skew the merged state), and
+/// result messages are collected until the batch is accounted for.
+/// Afterwards the shard corpora merge into one deduplicated corpus
+/// (duplicate keys across shards are the residual cross-shard overlap
+/// gossip didn't suppress in time) and the per-shard reports merge into
+/// one JSON document with per-shard and cross-shard-dedup stats.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/report.h"
+#include "shard/transport.h"
+#include "shard/wire.h"
+
+namespace chef::shard {
+
+class ShardCoordinator
+{
+  public:
+    struct Options {
+        /// Per-shard service configuration (seed, workers per shard,
+        /// schedule/plateau policy, ...). The seed also feeds the
+        /// global-index seed derivation.
+        ServiceConfig service;
+        /// Forward corpus/yield gossip between shards. Off, shards only
+        /// dedup at the final merge — the ablation baseline the bench
+        /// measures against.
+        bool gossip = true;
+        /// Idle sleep after a multiplex sweep in which no shard had a
+        /// message (each sweep polls every transport without blocking).
+        int poll_timeout_ms = 10;
+        /// Seconds to wait for every worker's hello (subprocess spawn +
+        /// exec can be slow under load).
+        double hello_timeout_seconds = 30.0;
+    };
+
+    /// Per-shard outcome, kept for the merged report.
+    struct ShardOutcome {
+        size_t shard_id = 0;
+        size_t jobs_assigned = 0;
+        service::ServiceStats stats;
+        /// Cross-shard dedup counters reported by the worker.
+        size_t remote_entries = 0;
+        size_t remote_duplicate_hits = 0;
+        /// Entries this shard contributed to the merged corpus vs. ones
+        /// another shard had already merged (filled during the merge).
+        size_t corpus_contributed = 0;
+        size_t corpus_duplicate = 0;
+    };
+
+    /// Aggregated cross-shard telemetry.
+    struct CrossShardStats {
+        /// Gossip deltas forwarded between shards.
+        uint64_t gossip_messages = 0;
+        /// Fingerprints those deltas carried.
+        uint64_t fingerprints_gossiped = 0;
+        /// Local discoveries suppressed at shards by gossiped
+        /// fingerprints (summed remote_duplicate_hits).
+        uint64_t remote_duplicate_hits = 0;
+        /// Jobs cancelled before dispatch because their workload
+        /// plateaued, summed over shards. Counts *every* plateau
+        /// cancellation — purely local zero-yield streaks included —
+        /// so it is nonzero even with gossip off; gossip raises it by
+        /// feeding remote streaks into each shard's threshold earlier.
+        /// Compare a gossip-on vs gossip-off run (bench_sharding does)
+        /// to isolate the cross-shard contribution.
+        uint64_t jobs_suppressed = 0;
+        /// Duplicate keys found when merging shard corpora at the end:
+        /// overlap gossip did not suppress in time.
+        uint64_t merge_duplicates = 0;
+    };
+
+    explicit ShardCoordinator(Options options);
+
+    /// Runs \p jobs over the shard \p transports (one per worker, all
+    /// already connected). Blocks until every shard reported or died.
+    /// Returns false with \p error on non-serializable specs, protocol
+    /// errors, version mismatch, or a shard vanishing mid-batch.
+    bool Run(const std::vector<service::JobSpec>& jobs,
+             const std::vector<Transport*>& transports,
+             std::string* error);
+
+    /// Results indexed by global submission order (as if one service had
+    /// run the whole batch).
+    const std::vector<service::JobResult>& results() const
+    {
+        return results_;
+    }
+
+    /// The merged, deduplicated cross-shard corpus.
+    const service::TestCorpus& corpus() const { return corpus_; }
+
+    /// Shard stats summed (wall_seconds is the max across shards — the
+    /// batch's critical path — while engine/solver seconds sum).
+    const service::ServiceStats& merged_stats() const
+    {
+        return merged_stats_;
+    }
+
+    const std::vector<ShardOutcome>& shards() const { return shards_; }
+    const CrossShardStats& cross_shard() const { return cross_shard_; }
+
+    /// One JSON document: merged stats/jobs/corpus (the same schema as a
+    /// single service report, under "merged") plus per-shard stats and
+    /// the cross-shard dedup counters. Strict-parser valid.
+    std::string RenderMergedReport(
+        const service::ReportOptions& options = {}) const;
+
+    /// The partitioning rule (global job index -> shard), exposed so
+    /// tests and benches can reason about placement.
+    static size_t ShardFor(size_t job_index, size_t num_shards)
+    {
+        return job_index % num_shards;
+    }
+
+  private:
+    Options options_;
+    std::vector<service::JobResult> results_;
+    service::TestCorpus corpus_;
+    service::ServiceStats merged_stats_;
+    std::vector<ShardOutcome> shards_;
+    CrossShardStats cross_shard_;
+    double wall_seconds_ = 0.0;
+};
+
+/// Convenience harness: runs \p jobs over \p num_shards in-process
+/// workers, each on its own thread behind a loopback transport pair.
+/// The deterministic-transport path used by tests and bench_sharding.
+bool RunLoopbackShards(ShardCoordinator* coordinator,
+                       const std::vector<service::JobSpec>& jobs,
+                       size_t num_shards, std::string* error);
+
+}  // namespace chef::shard
+
+#endif  // CHEF_SHARD_COORDINATOR_H_

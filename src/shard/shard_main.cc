@@ -1,0 +1,406 @@
+/// \file
+/// chef_shard: the distributed shard CLI.
+///
+/// Two modes over the shard/wire.h protocol:
+///
+///   chef_shard --worker
+///     Serves one shard on stdin/stdout (spawned by a coordinator; the
+///     protocol owns stdout, diagnostics go to stderr).
+///
+///   chef_shard --coordinator --workers N [options]
+///     Spawns N `chef_shard --worker` subprocesses over pipes, fans the
+///     batch out, and writes the merged JSON report. With --smoke it
+///     additionally runs the same batch on one in-process loopback
+///     shard and asserts the multi-process merged corpus covers the
+///     single-shard corpus, the report parses strictly, and the
+///     cross-shard dedup stats are present — the CI contract.
+///
+/// Batch options (coordinator): repeat --job WORKLOAD[xCOUNT] to build
+/// the batch (default: a small mixed py/lua batch), --max-runs,
+/// --seed, --shard-workers (worker threads per shard), --budget
+/// (service seconds per shard), --plateau, --no-gossip, --report PATH.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <unistd.h>
+
+#include "service/report.h"
+#include "shard/coordinator.h"
+#include "shard/transport.h"
+#include "shard/wire.h"
+#include "shard/worker.h"
+#include "support/json.h"
+
+namespace {
+
+using chef::service::JobSpec;
+using chef::service::TestCorpus;
+using chef::shard::ShardCoordinator;
+using chef::shard::ShardWorker;
+using chef::shard::Transport;
+using chef::shard::WorkerProcess;
+
+struct CliOptions {
+    bool worker = false;
+    bool coordinator = false;
+    size_t num_workers = 2;
+    size_t shard_workers = 1;
+    uint64_t seed = 2014;
+    uint64_t max_runs = 25;
+    double budget_seconds = 0.0;
+    bool plateau = false;
+    bool gossip = true;
+    bool smoke = false;
+    std::string report_path = "chef_shard_report.json";
+    std::vector<std::pair<std::string, int>> job_specs;  // workload, count
+};
+
+void
+Usage(const char* argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --worker\n"
+        "       %s --coordinator [--workers N] [--job WORKLOAD[xCOUNT]]...\n"
+        "           [--max-runs N] [--seed S] [--shard-workers K]\n"
+        "           [--budget SECONDS] [--plateau] [--no-gossip]\n"
+        "           [--report PATH] [--smoke]\n",
+        argv0, argv0);
+}
+
+bool
+ParseArgs(int argc, char** argv, CliOptions* options)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&](const char* flag) -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a value\n", flag);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--worker") {
+            options->worker = true;
+        } else if (arg == "--coordinator") {
+            options->coordinator = true;
+        } else if (arg == "--workers") {
+            const char* value = next("--workers");
+            if (value == nullptr) {
+                return false;
+            }
+            options->num_workers =
+                static_cast<size_t>(std::strtoull(value, nullptr, 10));
+        } else if (arg == "--shard-workers") {
+            const char* value = next("--shard-workers");
+            if (value == nullptr) {
+                return false;
+            }
+            options->shard_workers =
+                static_cast<size_t>(std::strtoull(value, nullptr, 10));
+        } else if (arg == "--seed") {
+            const char* value = next("--seed");
+            if (value == nullptr) {
+                return false;
+            }
+            options->seed = std::strtoull(value, nullptr, 0);
+        } else if (arg == "--max-runs") {
+            const char* value = next("--max-runs");
+            if (value == nullptr) {
+                return false;
+            }
+            options->max_runs = std::strtoull(value, nullptr, 10);
+        } else if (arg == "--budget") {
+            const char* value = next("--budget");
+            if (value == nullptr) {
+                return false;
+            }
+            options->budget_seconds = std::atof(value);
+        } else if (arg == "--plateau") {
+            options->plateau = true;
+        } else if (arg == "--no-gossip") {
+            options->gossip = false;
+        } else if (arg == "--smoke") {
+            options->smoke = true;
+        } else if (arg == "--report") {
+            const char* value = next("--report");
+            if (value == nullptr) {
+                return false;
+            }
+            options->report_path = value;
+        } else if (arg == "--job") {
+            const char* value = next("--job");
+            if (value == nullptr) {
+                return false;
+            }
+            std::string workload = value;
+            int count = 1;
+            const size_t x = workload.rfind('x');
+            if (x != std::string::npos && x + 1 < workload.size() &&
+                workload.find('/') < x) {
+                const int parsed = std::atoi(workload.c_str() + x + 1);
+                if (parsed > 0) {
+                    count = parsed;
+                    workload.resize(x);
+                }
+            }
+            options->job_specs.emplace_back(workload, count);
+        } else {
+            std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+            return false;
+        }
+    }
+    if (options->worker == options->coordinator) {
+        Usage(argv[0]);
+        return false;
+    }
+    return true;
+}
+
+std::vector<JobSpec>
+BuildBatch(const CliOptions& options)
+{
+    std::vector<std::pair<std::string, int>> specs = options.job_specs;
+    if (specs.empty()) {
+        // A small duplicate-skewed mixed batch: enough overlap for the
+        // gossip/dedup machinery to have something to do.
+        specs = {{"py/argparse", 3},
+                 {"py/simplejson", 1},
+                 {"lua/cliargs", 1},
+                 {"lua/haml", 1}};
+    }
+    std::vector<JobSpec> jobs;
+    int copy = 0;
+    for (const auto& [workload, count] : specs) {
+        for (int i = 0; i < count; ++i) {
+            JobSpec spec;
+            spec.workload = workload;
+            spec.label = workload + "#" + std::to_string(i);
+            spec.seed = static_cast<uint64_t>(++copy);
+            spec.options.max_runs = options.max_runs;
+            spec.options.max_seconds = 1e9;
+            spec.options.collect_timeline = false;
+            jobs.push_back(std::move(spec));
+        }
+    }
+    return jobs;
+}
+
+ShardCoordinator::Options
+CoordinatorOptions(const CliOptions& options)
+{
+    ShardCoordinator::Options coordinator;
+    coordinator.service.seed = options.seed;
+    coordinator.service.num_workers = options.shard_workers;
+    coordinator.service.max_total_seconds = options.budget_seconds;
+    if (options.plateau) {
+        coordinator.service.plateau_policy.enabled = true;
+        coordinator.service.plateau_policy.deprioritize_after = 1;
+        coordinator.service.plateau_policy.cancel_after = 2;
+    }
+    coordinator.gossip = options.gossip;
+    return coordinator;
+}
+
+std::string
+SelfBinaryPath(const char* argv0)
+{
+    char buffer[4096];
+    const ssize_t n =
+        ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+    if (n > 0) {
+        buffer[n] = '\0';
+        return buffer;
+    }
+    return argv0;
+}
+
+int
+RunWorker()
+{
+    // The protocol owns stdin/stdout; stderr remains for diagnostics.
+    std::unique_ptr<Transport> transport = chef::shard::CreateFdTransport(
+        STDIN_FILENO, STDOUT_FILENO, /*owns_fds=*/false);
+    ShardWorker worker(ShardWorker::Options{}, transport.get());
+    return worker.Serve() ? 0 : 1;
+}
+
+/// True when every key of \p subset is present in \p superset.
+bool
+CoversCorpus(const std::vector<TestCorpus::Key>& superset,
+             const std::vector<TestCorpus::Key>& subset)
+{
+    size_t i = 0;
+    for (const TestCorpus::Key& key : subset) {
+        while (i < superset.size() && superset[i] < key) {
+            ++i;
+        }
+        if (i >= superset.size() || !(superset[i] == key)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+RunCoordinator(const CliOptions& options, const char* argv0)
+{
+    const std::vector<JobSpec> jobs = BuildBatch(options);
+    const std::string binary = SelfBinaryPath(argv0);
+
+    std::vector<WorkerProcess> processes;
+    std::vector<Transport*> transports;
+    for (size_t i = 0; i < options.num_workers; ++i) {
+        WorkerProcess process;
+        std::string error;
+        if (!chef::shard::SpawnWorkerProcess(binary, {"--worker"},
+                                             &process, &error)) {
+            std::fprintf(stderr, "spawn worker %zu: %s\n", i,
+                         error.c_str());
+            return 1;
+        }
+        processes.push_back(std::move(process));
+    }
+    for (WorkerProcess& process : processes) {
+        transports.push_back(process.transport.get());
+    }
+
+    ShardCoordinator coordinator(CoordinatorOptions(options));
+    std::string error;
+    const bool ok = coordinator.Run(jobs, transports, &error);
+    for (WorkerProcess& process : processes) {
+        process.transport->Close();
+        chef::shard::WaitWorkerProcess(process.pid);
+    }
+    if (!ok) {
+        std::fprintf(stderr, "coordinator: %s\n", error.c_str());
+        return 1;
+    }
+
+    const std::string report = coordinator.RenderMergedReport();
+    std::FILE* file = std::fopen(options.report_path.c_str(), "wb");
+    if (file == nullptr ||
+        std::fwrite(report.data(), 1, report.size(), file) !=
+            report.size() ||
+        std::fclose(file) != 0) {
+        std::fprintf(stderr, "failed to write %s\n",
+                     options.report_path.c_str());
+        return 1;
+    }
+
+    const ShardCoordinator::CrossShardStats& cross =
+        coordinator.cross_shard();
+    std::printf("chef_shard: %zu jobs over %zu worker processes\n",
+                jobs.size(), options.num_workers);
+    std::printf("  merged corpus: %zu entries (%llu cross-shard merge "
+                "duplicates)\n",
+                coordinator.corpus().size(),
+                static_cast<unsigned long long>(cross.merge_duplicates));
+    std::printf("  gossip: %llu messages, %llu fingerprints, %llu local "
+                "rediscoveries suppressed, %llu jobs suppressed\n",
+                static_cast<unsigned long long>(cross.gossip_messages),
+                static_cast<unsigned long long>(
+                    cross.fingerprints_gossiped),
+                static_cast<unsigned long long>(
+                    cross.remote_duplicate_hits),
+                static_cast<unsigned long long>(cross.jobs_suppressed));
+    std::printf("  report: %s\n", options.report_path.c_str());
+
+    if (!options.smoke) {
+        return 0;
+    }
+
+    // --- Smoke assertions (the CI contract) ----------------------------
+    int failures = 0;
+
+    // 1. The merged report is strict JSON with the cross-shard dedup
+    //    stats and per-shard sections present.
+    chef::support::JsonValue parsed;
+    std::string parse_error;
+    if (!chef::support::ParseJson(report, &parsed, &parse_error)) {
+        std::fprintf(stderr, "FAIL: merged report is not strict JSON: %s\n",
+                     parse_error.c_str());
+        ++failures;
+    } else {
+        const chef::support::JsonValue* cross_obj =
+            parsed.Find("cross_shard");
+        for (const char* key :
+             {"fingerprints_gossiped", "remote_duplicate_hits",
+              "jobs_suppressed", "merge_duplicates"}) {
+            uint64_t value = 0;
+            if (cross_obj == nullptr ||
+                !cross_obj->GetUint64(key, &value)) {
+                std::fprintf(stderr,
+                             "FAIL: cross_shard.%s missing from the "
+                             "merged report\n",
+                             key);
+                ++failures;
+            }
+        }
+        const chef::support::JsonValue* shards_arr = parsed.Find("shards");
+        if (shards_arr == nullptr ||
+            shards_arr->items.size() != options.num_workers) {
+            std::fprintf(stderr,
+                         "FAIL: expected %zu per-shard stats sections\n",
+                         options.num_workers);
+            ++failures;
+        }
+    }
+
+    // 2. The multi-process merged corpus covers a single-shard run of
+    //    the same batch (identical global-index seeds make the corpora
+    //    comparable key-for-key).
+    ShardCoordinator::Options single_options = CoordinatorOptions(options);
+    single_options.service.plateau_policy = {};  // Run every job.
+    ShardCoordinator single(single_options);
+    if (!chef::shard::RunLoopbackShards(&single, jobs, 1, &error)) {
+        std::fprintf(stderr, "FAIL: single-shard baseline: %s\n",
+                     error.c_str());
+        ++failures;
+    } else if (!options.plateau) {
+        const std::vector<TestCorpus::Key> merged_keys =
+            coordinator.corpus().Keys();
+        const std::vector<TestCorpus::Key> single_keys =
+            single.corpus().Keys();
+        if (!CoversCorpus(merged_keys, single_keys)) {
+            std::fprintf(stderr,
+                         "FAIL: merged corpus (%zu keys) does not cover "
+                         "the single-shard corpus (%zu keys)\n",
+                         merged_keys.size(), single_keys.size());
+            ++failures;
+        } else {
+            std::printf("  smoke: merged corpus covers the single-shard "
+                        "corpus (%zu keys)\n",
+                        single_keys.size());
+        }
+    }
+
+    if (failures > 0) {
+        std::fprintf(stderr, "chef_shard --smoke: %d failure(s)\n",
+                     failures);
+        return 1;
+    }
+    std::printf("  smoke: OK\n");
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    CliOptions options;
+    if (!ParseArgs(argc, argv, &options)) {
+        return 2;
+    }
+    if (options.worker) {
+        return RunWorker();
+    }
+    return RunCoordinator(options, argv[0]);
+}

@@ -1,0 +1,89 @@
+#ifndef CHEF_SHARD_TRANSPORT_H_
+#define CHEF_SHARD_TRANSPORT_H_
+
+/// \file
+/// Message transports for the coordinator/worker shard protocol.
+///
+/// A Transport is one bidirectional, ordered channel carrying the
+/// newline-delimited JSON messages of shard/wire.h. Two implementations:
+///
+///  - Loopback: a pair of in-process endpoints over mutex-guarded
+///    queues. Deterministic FIFO delivery, no I/O — the unit-test and
+///    single-machine-bench substrate (shards become threads).
+///  - Fd: buffered line framing over POSIX file descriptors — pipes to
+///    a spawned `chef_shard --worker` subprocess, or the worker's own
+///    stdin/stdout. Receive multiplexes with poll(2) timeouts so one
+///    coordinator thread can serve many shards.
+///
+/// Messages are single lines by construction (JsonEscape keeps payloads
+/// ASCII with no raw newlines), so framing is trivial and a partial line
+/// at EOF is a protocol error, not a message.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace chef::shard {
+
+class Transport
+{
+  public:
+    enum class RecvStatus {
+        kMessage,  ///< One message delivered.
+        kTimeout,  ///< Nothing arrived within the timeout.
+        kClosed,   ///< Peer closed; no further messages will arrive.
+    };
+
+    virtual ~Transport() = default;
+
+    /// Sends one message (the line terminator is added here). Returns
+    /// false when the peer is gone.
+    virtual bool Send(const std::string& message) = 0;
+
+    /// Receives the next message. \p timeout_ms < 0 blocks
+    /// indefinitely; 0 polls.
+    virtual RecvStatus Receive(std::string* message, int timeout_ms) = 0;
+
+    /// Closes this endpoint; the peer observes kClosed after draining.
+    virtual void Close() = 0;
+};
+
+/// Two connected in-process endpoints: whatever `a` sends, `b` receives,
+/// and vice versa. Both sides are thread-safe.
+struct LoopbackPair {
+    std::unique_ptr<Transport> a;
+    std::unique_ptr<Transport> b;
+};
+
+LoopbackPair CreateLoopbackPair();
+
+/// Line-framed transport over raw fds. With \p owns_fds the fds are
+/// closed on Close()/destruction.
+std::unique_ptr<Transport> CreateFdTransport(int read_fd, int write_fd,
+                                             bool owns_fds);
+
+/// A spawned `chef_shard --worker` subprocess with a pipe transport to
+/// its stdin/stdout (stderr passes through for diagnostics).
+struct WorkerProcess {
+    std::unique_ptr<Transport> transport;
+    pid_t pid = -1;
+};
+
+/// fork/exec \p binary with \p args (argv[0] is derived from binary).
+/// Returns false with \p error on failure. SIGPIPE is ignored
+/// process-wide on first use — a worker dying mid-send must surface as
+/// a Send() failure, not kill the coordinator.
+bool SpawnWorkerProcess(const std::string& binary,
+                        const std::vector<std::string>& args,
+                        WorkerProcess* process, std::string* error);
+
+/// Waits for the subprocess; returns its exit code, or -1 on abnormal
+/// termination.
+int WaitWorkerProcess(pid_t pid);
+
+}  // namespace chef::shard
+
+#endif  // CHEF_SHARD_TRANSPORT_H_

@@ -1,0 +1,898 @@
+#include "shard/wire.h"
+
+#include <utility>
+
+#include "service/report.h"
+#include "support/json.h"
+
+namespace chef::shard {
+
+namespace {
+
+using service::JobResult;
+using service::JobSpec;
+using service::JobStatus;
+using service::PlateauPolicy;
+using service::SchedulePolicy;
+using service::ServiceStats;
+using service::TestCorpus;
+using support::JsonValue;
+using support::JsonWriter;
+
+bool
+DecodeFail(std::string* error, const std::string& reason)
+{
+    if (error != nullptr) {
+        *error = reason;
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------------
+// Enum name round-trips. The canonical names come from the existing
+// *Name() functions; these are the reverse maps.
+// ---------------------------------------------------------------------------
+
+bool
+StrategyFromName(const std::string& name, StrategyKind* kind)
+{
+    static const StrategyKind kAll[] = {
+        StrategyKind::kRandom,        StrategyKind::kDfs,
+        StrategyKind::kBfs,           StrategyKind::kCupaPath,
+        StrategyKind::kCupaCoverage,  StrategyKind::kCupaPathInverted,
+    };
+    for (const StrategyKind candidate : kAll) {
+        if (name == StrategyKindName(candidate)) {
+            *kind = candidate;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+SchedulePolicyFromName(const std::string& name, SchedulePolicy* policy)
+{
+    for (const SchedulePolicy candidate :
+         {SchedulePolicy::kFifo, SchedulePolicy::kYieldPriority}) {
+        if (name == SchedulePolicyName(candidate)) {
+            *policy = candidate;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+JobStatusFromName(const std::string& name, JobStatus* status)
+{
+    for (const JobStatus candidate :
+         {JobStatus::kCompleted, JobStatus::kCancelled,
+          JobStatus::kFailed}) {
+        if (name == JobStatusName(candidate)) {
+            *status = candidate;
+            return true;
+        }
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------------
+// Typed field readers: decoding fails loudly on missing or mistyped
+// fields rather than defaulting, so a schema drift between coordinator
+// and worker binaries surfaces as a protocol error, not skewed results.
+// ---------------------------------------------------------------------------
+
+bool
+ReadU64(const JsonValue& object, const char* key, uint64_t* out,
+        std::string* error)
+{
+    if (!object.GetUint64(key, out)) {
+        return DecodeFail(error, std::string("missing or invalid '") +
+                                     key + "'");
+    }
+    return true;
+}
+
+bool
+ReadSize(const JsonValue& object, const char* key, size_t* out,
+         std::string* error)
+{
+    uint64_t value = 0;
+    if (!ReadU64(object, key, &value, error)) {
+        return false;
+    }
+    *out = static_cast<size_t>(value);
+    return true;
+}
+
+bool
+ReadDouble(const JsonValue& object, const char* key, double* out,
+           std::string* error)
+{
+    if (!object.GetDouble(key, out)) {
+        return DecodeFail(error, std::string("missing or invalid '") +
+                                     key + "'");
+    }
+    return true;
+}
+
+bool
+ReadBool(const JsonValue& object, const char* key, bool* out,
+         std::string* error)
+{
+    if (!object.GetBool(key, out)) {
+        return DecodeFail(error, std::string("missing or invalid '") +
+                                     key + "'");
+    }
+    return true;
+}
+
+bool
+ReadString(const JsonValue& object, const char* key, std::string* out,
+           std::string* error)
+{
+    if (!object.GetString(key, out)) {
+        return DecodeFail(error, std::string("missing or invalid '") +
+                                     key + "'");
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// JobSpec.
+// ---------------------------------------------------------------------------
+
+void
+WriteJobSpec(JsonWriter& json, const JobSpec& spec)
+{
+    json.BeginObject();
+    json.Key("workload"), json.Value(spec.workload);
+    json.Key("label"), json.Value(spec.label);
+    json.Key("seed"), json.HexValue(spec.seed);
+    json.Key("exact_seed"), json.Value(spec.exact_seed);
+    json.Key("build");
+    json.BeginObject();
+    json.Key("avoid_symbolic_pointers"),
+        json.Value(spec.build.avoid_symbolic_pointers);
+    json.Key("neutralize_hashes"), json.Value(spec.build.neutralize_hashes);
+    json.Key("eliminate_fast_paths"),
+        json.Value(spec.build.eliminate_fast_paths);
+    json.EndObject();
+    json.Key("engine");
+    json.BeginObject();
+    json.Key("strategy"),
+        json.Value(StrategyKindName(spec.options.strategy));
+    json.Key("max_runs"), json.Value(spec.options.max_runs);
+    json.Key("max_seconds"), json.Value(spec.options.max_seconds);
+    json.Key("max_steps_per_run"),
+        json.Value(spec.options.max_steps_per_run);
+    json.Key("fork_weight_decay"),
+        json.Value(spec.options.fork_weight_decay);
+    json.Key("branch_opcode_drop_fraction"),
+        json.Value(spec.options.branch_opcode_drop_fraction);
+    json.Key("collect_timeline"), json.Value(spec.options.collect_timeline);
+    const solver::Solver::Options& so = spec.options.solver_options;
+    json.Key("solver");
+    json.BeginObject();
+    json.Key("enable_query_cache"), json.Value(so.enable_query_cache);
+    json.Key("enable_model_reuse"), json.Value(so.enable_model_reuse);
+    json.Key("enable_independence_slicing"),
+        json.Value(so.enable_independence_slicing);
+    json.Key("enable_incremental_sat"),
+        json.Value(so.enable_incremental_sat);
+    json.Key("model_reuse_window"), json.Value(so.model_reuse_window);
+    json.Key("max_cache_bytes"), json.Value(so.max_cache_bytes);
+    json.Key("max_conflicts"), json.Value(so.max_conflicts);
+    json.Key("max_learned_clauses"), json.Value(so.max_learned_clauses);
+    json.EndObject();
+    json.EndObject();
+    json.EndObject();
+}
+
+bool
+DecodeJobSpec(const JsonValue& object, JobSpec* spec, std::string* error)
+{
+    if (!ReadString(object, "workload", &spec->workload, error) ||
+        !ReadString(object, "label", &spec->label, error) ||
+        !ReadU64(object, "seed", &spec->seed, error) ||
+        !ReadBool(object, "exact_seed", &spec->exact_seed, error)) {
+        return false;
+    }
+    const JsonValue* build = object.Find("build");
+    if (build == nullptr) {
+        return DecodeFail(error, "missing 'build'");
+    }
+    if (!ReadBool(*build, "avoid_symbolic_pointers",
+                  &spec->build.avoid_symbolic_pointers, error) ||
+        !ReadBool(*build, "neutralize_hashes",
+                  &spec->build.neutralize_hashes, error) ||
+        !ReadBool(*build, "eliminate_fast_paths",
+                  &spec->build.eliminate_fast_paths, error)) {
+        return false;
+    }
+    const JsonValue* engine = object.Find("engine");
+    if (engine == nullptr) {
+        return DecodeFail(error, "missing 'engine'");
+    }
+    std::string strategy;
+    if (!ReadString(*engine, "strategy", &strategy, error) ||
+        !ReadU64(*engine, "max_runs", &spec->options.max_runs, error) ||
+        !ReadDouble(*engine, "max_seconds", &spec->options.max_seconds,
+                    error) ||
+        !ReadU64(*engine, "max_steps_per_run",
+                 &spec->options.max_steps_per_run, error) ||
+        !ReadDouble(*engine, "fork_weight_decay",
+                    &spec->options.fork_weight_decay, error) ||
+        !ReadDouble(*engine, "branch_opcode_drop_fraction",
+                    &spec->options.branch_opcode_drop_fraction, error) ||
+        !ReadBool(*engine, "collect_timeline",
+                  &spec->options.collect_timeline, error)) {
+        return false;
+    }
+    if (!StrategyFromName(strategy, &spec->options.strategy)) {
+        return DecodeFail(error, "unknown strategy '" + strategy + "'");
+    }
+    const JsonValue* sol = engine->Find("solver");
+    if (sol == nullptr) {
+        return DecodeFail(error, "missing 'solver'");
+    }
+    solver::Solver::Options& so = spec->options.solver_options;
+    return ReadBool(*sol, "enable_query_cache", &so.enable_query_cache,
+                    error) &&
+           ReadBool(*sol, "enable_model_reuse", &so.enable_model_reuse,
+                    error) &&
+           ReadBool(*sol, "enable_independence_slicing",
+                    &so.enable_independence_slicing, error) &&
+           ReadBool(*sol, "enable_incremental_sat",
+                    &so.enable_incremental_sat, error) &&
+           ReadSize(*sol, "model_reuse_window", &so.model_reuse_window,
+                    error) &&
+           ReadSize(*sol, "max_cache_bytes", &so.max_cache_bytes, error) &&
+           ReadU64(*sol, "max_conflicts", &so.max_conflicts, error) &&
+           ReadSize(*sol, "max_learned_clauses", &so.max_learned_clauses,
+                    error);
+}
+
+// ---------------------------------------------------------------------------
+// Yields and corpus deltas.
+// ---------------------------------------------------------------------------
+
+void
+WriteYields(JsonWriter& json, const TestCorpus::YieldMap& yields)
+{
+    json.BeginArray();
+    for (const auto& [workload, yield] : yields) {
+        json.BeginObject();
+        json.Key("workload"), json.Value(workload);
+        json.Key("jobs_recorded"), json.Value(yield.jobs_recorded);
+        json.Key("offered_total"), json.Value(yield.offered_total);
+        json.Key("accepted_total"), json.Value(yield.accepted_total);
+        json.Key("decayed_yield"), json.Value(yield.decayed_yield);
+        json.Key("consecutive_zero_yield"),
+            json.Value(yield.consecutive_zero_yield);
+        json.EndObject();
+    }
+    json.EndArray();
+}
+
+bool
+DecodeYields(const JsonValue* array, TestCorpus::YieldMap* yields,
+             std::string* error)
+{
+    if (array == nullptr || array->kind != JsonValue::Kind::kArray) {
+        return DecodeFail(error, "missing or invalid 'yields'");
+    }
+    for (const JsonValue& item : array->items) {
+        std::string workload;
+        TestCorpus::WorkloadYield yield;
+        if (!ReadString(item, "workload", &workload, error) ||
+            !ReadU64(item, "jobs_recorded", &yield.jobs_recorded, error) ||
+            !ReadU64(item, "offered_total", &yield.offered_total, error) ||
+            !ReadU64(item, "accepted_total", &yield.accepted_total,
+                     error) ||
+            !ReadDouble(item, "decayed_yield", &yield.decayed_yield,
+                        error) ||
+            !ReadU64(item, "consecutive_zero_yield",
+                     &yield.consecutive_zero_yield, error)) {
+            return false;
+        }
+        (*yields)[workload] = yield;
+    }
+    return true;
+}
+
+void
+WriteCorpusEntryFull(JsonWriter& json, const TestCorpus::Entry& entry)
+{
+    json.BeginObject();
+    json.Key("workload"), json.Value(entry.workload);
+    json.Key("fingerprint"), json.HexValue(entry.fingerprint);
+    json.Key("job_index"), json.Value(entry.job_index);
+    json.Key("outcome_kind"), json.Value(entry.outcome_kind);
+    json.Key("outcome_detail"), json.Value(entry.outcome_detail);
+    json.Key("hl_length"), json.Value(entry.hl_length);
+    json.Key("ll_steps"), json.Value(entry.ll_steps);
+    json.Key("inputs");
+    json.BeginArray();
+    for (const auto& [var_id, value] : entry.inputs) {
+        json.BeginArray();
+        json.Value(static_cast<uint64_t>(var_id));
+        json.HexValue(value);
+        json.EndArray();
+    }
+    json.EndArray();
+    json.EndObject();
+}
+
+bool
+DecodeCorpusEntryFull(const JsonValue& object, TestCorpus::Entry* entry,
+                      std::string* error)
+{
+    if (!ReadString(object, "workload", &entry->workload, error) ||
+        !ReadU64(object, "fingerprint", &entry->fingerprint, error) ||
+        !ReadSize(object, "job_index", &entry->job_index, error) ||
+        !ReadString(object, "outcome_kind", &entry->outcome_kind, error) ||
+        !ReadString(object, "outcome_detail", &entry->outcome_detail,
+                    error) ||
+        !ReadSize(object, "hl_length", &entry->hl_length, error) ||
+        !ReadU64(object, "ll_steps", &entry->ll_steps, error)) {
+        return false;
+    }
+    const JsonValue* inputs = object.Find("inputs");
+    if (inputs == nullptr || inputs->kind != JsonValue::Kind::kArray) {
+        return DecodeFail(error, "missing or invalid 'inputs'");
+    }
+    for (const JsonValue& pair : inputs->items) {
+        if (pair.kind != JsonValue::Kind::kArray ||
+            pair.items.size() != 2) {
+            return DecodeFail(error, "malformed input pair");
+        }
+        uint64_t var_id = 0;
+        uint64_t value = 0;
+        if (!pair.items[0].AsUint64(&var_id) ||
+            !pair.items[1].AsUint64(&value)) {
+            return DecodeFail(error, "malformed input pair");
+        }
+        entry->inputs.emplace_back(static_cast<uint32_t>(var_id), value);
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// ServiceStats (numeric mirror of service::WriteServiceStats).
+// ---------------------------------------------------------------------------
+
+bool
+DecodeServiceStats(const JsonValue& object, ServiceStats* stats,
+                   std::string* error)
+{
+    std::string policy;
+    if (!ReadSize(object, "jobs_submitted", &stats->jobs_submitted,
+                  error) ||
+        !ReadSize(object, "jobs_completed", &stats->jobs_completed,
+                  error) ||
+        !ReadSize(object, "jobs_cancelled", &stats->jobs_cancelled,
+                  error) ||
+        !ReadSize(object, "jobs_plateau_cancelled",
+                  &stats->jobs_plateau_cancelled, error) ||
+        !ReadSize(object, "jobs_failed", &stats->jobs_failed, error) ||
+        !ReadU64(object, "ll_paths", &stats->ll_paths, error) ||
+        !ReadU64(object, "hl_paths", &stats->hl_paths, error) ||
+        !ReadU64(object, "hangs", &stats->hangs, error) ||
+        !ReadU64(object, "solver_queries", &stats->solver_queries,
+                 error) ||
+        !ReadU64(object, "solver_sliced_queries",
+                 &stats->solver_sliced_queries, error) ||
+        !ReadU64(object, "solver_incremental_sat_calls",
+                 &stats->solver_incremental_sat_calls, error) ||
+        !ReadU64(object, "solver_clauses_loaded",
+                 &stats->solver_clauses_loaded, error) ||
+        !ReadDouble(object, "solver_seconds", &stats->solver_seconds,
+                    error) ||
+        !ReadBool(object, "solver_cache_shared",
+                  &stats->solver_cache_shared, error) ||
+        !ReadU64(object, "shared_cache_hits", &stats->shared_cache_hits,
+                 error) ||
+        !ReadU64(object, "shared_cache_misses",
+                 &stats->shared_cache_misses, error) ||
+        !ReadU64(object, "shared_cache_inserts",
+                 &stats->shared_cache_inserts, error) ||
+        !ReadU64(object, "shared_cache_evictions",
+                 &stats->shared_cache_evictions, error) ||
+        !ReadU64(object, "shared_cache_model_hits",
+                 &stats->shared_cache_model_hits, error) ||
+        !ReadSize(object, "shared_cache_bytes", &stats->shared_cache_bytes,
+                  error) ||
+        !ReadSize(object, "shared_cache_entries",
+                  &stats->shared_cache_entries, error) ||
+        !ReadSize(object, "corpus_size", &stats->corpus_size, error) ||
+        !ReadDouble(object, "engine_seconds", &stats->engine_seconds,
+                    error) ||
+        !ReadDouble(object, "wall_seconds", &stats->wall_seconds, error) ||
+        !ReadDouble(object, "jobs_per_second", &stats->jobs_per_second,
+                    error) ||
+        !ReadSize(object, "num_workers", &stats->num_workers, error) ||
+        !ReadString(object, "schedule_policy", &policy, error) ||
+        !ReadU64(object, "events_delivered", &stats->events_delivered,
+                 error)) {
+        return false;
+    }
+    if (!SchedulePolicyFromName(policy, &stats->schedule_policy)) {
+        return DecodeFail(error, "unknown schedule policy '" + policy +
+                                     "'");
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// JobResult (numeric mirror of service::WriteJobResult).
+// ---------------------------------------------------------------------------
+
+bool
+DecodeJobResult(const JsonValue& object, JobResult* result,
+                std::string* error)
+{
+    std::string status;
+    if (!ReadSize(object, "job_index", &result->job_index, error) ||
+        !ReadString(object, "workload", &result->workload, error) ||
+        !ReadString(object, "label", &result->label, error) ||
+        !ReadString(object, "status", &status, error) ||
+        !ReadString(object, "stop_source", &result->stop_source, error) ||
+        !ReadU64(object, "seed_used", &result->seed_used, error) ||
+        !ReadSize(object, "test_cases", &result->num_test_cases, error) ||
+        !ReadSize(object, "relevant_test_cases",
+                  &result->num_relevant_test_cases, error) ||
+        !ReadSize(object, "corpus_inserted", &result->corpus_inserted,
+                  error) ||
+        !ReadU64(object, "ll_paths", &result->engine_stats.ll_paths,
+                 error) ||
+        !ReadU64(object, "hl_paths", &result->engine_stats.hl_paths,
+                 error) ||
+        !ReadU64(object, "hangs", &result->engine_stats.hangs, error) ||
+        !ReadU64(object, "solver_queries",
+                 &result->engine_stats.solver_queries, error) ||
+        !ReadU64(object, "solver_sliced_queries",
+                 &result->engine_stats.solver_sliced_queries, error) ||
+        !ReadU64(object, "solver_incremental_sat_calls",
+                 &result->engine_stats.solver_incremental_sat_calls,
+                 error) ||
+        !ReadU64(object, "solver_clauses_loaded",
+                 &result->engine_stats.solver_clauses_loaded, error) ||
+        !ReadDouble(object, "solver_seconds",
+                    &result->engine_stats.solver_seconds, error) ||
+        !ReadU64(object, "solver_shared_hits",
+                 &result->engine_stats.solver_shared_hits, error) ||
+        !ReadU64(object, "solver_shared_model_hits",
+                 &result->engine_stats.solver_shared_model_hits, error) ||
+        !ReadBool(object, "stopped", &result->engine_stats.stopped,
+                  error) ||
+        !ReadDouble(object, "elapsed_seconds",
+                    &result->engine_stats.elapsed_seconds, error)) {
+        return false;
+    }
+    if (!JobStatusFromName(status, &result->status)) {
+        return DecodeFail(error, "unknown job status '" + status + "'");
+    }
+    // WriteJobResult omits "error" when empty.
+    const JsonValue* err = object.Find("error");
+    if (err != nullptr && !err->AsString(&result->error)) {
+        return DecodeFail(error, "invalid 'error'");
+    }
+    return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API.
+// ---------------------------------------------------------------------------
+
+const char*
+MessageTypeName(MessageType type)
+{
+    switch (type) {
+      case MessageType::kHello: return "hello";
+      case MessageType::kRun: return "run";
+      case MessageType::kGossip: return "gossip";
+      case MessageType::kResult: return "result";
+      case MessageType::kShutdown: return "shutdown";
+      case MessageType::kError: return "error";
+    }
+    return "?";
+}
+
+service::ExplorationService::Options
+ServiceConfig::ToServiceOptions() const
+{
+    service::ExplorationService::Options options;
+    options.seed = seed;
+    options.num_workers = num_workers;
+    options.max_total_seconds = max_total_seconds;
+    options.record_corpus_inputs = record_corpus_inputs;
+    options.share_solver_cache = share_solver_cache;
+    options.schedule_policy = schedule_policy;
+    options.plateau_policy = plateau_policy;
+    return options;
+}
+
+ServiceConfig
+ServiceConfig::FromServiceOptions(
+    const service::ExplorationService::Options& options)
+{
+    ServiceConfig config;
+    config.seed = options.seed;
+    config.num_workers = options.num_workers;
+    config.max_total_seconds = options.max_total_seconds;
+    config.record_corpus_inputs = options.record_corpus_inputs;
+    config.share_solver_cache = options.share_solver_cache;
+    config.schedule_policy = options.schedule_policy;
+    config.plateau_policy = options.plateau_policy;
+    return config;
+}
+
+bool
+CheckSerializable(const service::JobSpec& spec, std::string* why)
+{
+    if (spec.options.stop_requested) {
+        if (why != nullptr) {
+            *why = "JobSpec '" + spec.workload +
+                   "': Engine stop_requested callback is not "
+                   "serializable; express job budgets via "
+                   "max_runs/max_seconds, service budgets via "
+                   "max_total_seconds";
+        }
+        return false;
+    }
+    if (spec.options.solver_options.shared_cache != nullptr) {
+        if (why != nullptr) {
+            *why = "JobSpec '" + spec.workload +
+                   "': solver_options.shared_cache points at process "
+                   "memory and is not serializable; enable the service "
+                   "option share_solver_cache instead (each shard builds "
+                   "its own batch cache)";
+        }
+        return false;
+    }
+    return true;
+}
+
+std::string
+EncodeHello()
+{
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("type"), json.Value("hello");
+    json.Key("protocol_version"), json.Value(kProtocolVersion);
+    json.EndObject();
+    return json.Take();
+}
+
+std::string
+EncodeRun(const RunRequest& request)
+{
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("type"), json.Value("run");
+    json.Key("shard_id"), json.Value(request.shard_id);
+    json.Key("num_shards"), json.Value(request.num_shards);
+    json.Key("service");
+    json.BeginObject();
+    json.Key("seed"), json.HexValue(request.service.seed);
+    json.Key("num_workers"), json.Value(request.service.num_workers);
+    json.Key("max_total_seconds"),
+        json.Value(request.service.max_total_seconds);
+    json.Key("record_corpus_inputs"),
+        json.Value(request.service.record_corpus_inputs);
+    json.Key("share_solver_cache"),
+        json.Value(request.service.share_solver_cache);
+    json.Key("schedule_policy"),
+        json.Value(SchedulePolicyName(request.service.schedule_policy));
+    json.Key("plateau");
+    json.BeginObject();
+    json.Key("enabled"), json.Value(request.service.plateau_policy.enabled);
+    json.Key("deprioritize_after"),
+        json.Value(request.service.plateau_policy.deprioritize_after);
+    json.Key("cancel_after"),
+        json.Value(request.service.plateau_policy.cancel_after);
+    json.EndObject();
+    json.EndObject();
+    json.Key("jobs");
+    json.BeginArray();
+    for (const WireJob& job : request.jobs) {
+        json.BeginObject();
+        json.Key("job_index"), json.Value(job.job_index);
+        json.Key("spec");
+        WriteJobSpec(json, job.spec);
+        json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+    return json.Take();
+}
+
+std::string
+EncodeGossip(const service::TestCorpus::Delta& delta)
+{
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("type"), json.Value("gossip");
+    json.Key("source"), json.Value(delta.source);
+    json.Key("sequence"), json.Value(delta.sequence);
+    // Group fingerprints by workload: entries arrive sorted by
+    // (workload, fingerprint), so one linear pass emits each group.
+    json.Key("workloads");
+    json.BeginArray();
+    size_t i = 0;
+    while (i < delta.entries.size()) {
+        const std::string& workload = delta.entries[i].workload;
+        json.BeginObject();
+        json.Key("workload"), json.Value(workload);
+        json.Key("fingerprints");
+        json.BeginArray();
+        while (i < delta.entries.size() &&
+               delta.entries[i].workload == workload) {
+            json.HexValue(delta.entries[i].fingerprint);
+            ++i;
+        }
+        json.EndArray();
+        json.EndObject();
+    }
+    json.EndArray();
+    json.Key("yields");
+    WriteYields(json, delta.yields);
+    json.EndObject();
+    return json.Take();
+}
+
+std::string
+EncodeResult(const ResultMessage& result)
+{
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("type"), json.Value("result");
+    json.Key("shard_id"), json.Value(result.shard_id);
+    json.Key("stats");
+    service::WriteServiceStats(json, result.stats);
+    json.Key("results");
+    json.BeginArray();
+    for (const JobResult& job : result.results) {
+        service::WriteJobResult(json, job);
+    }
+    json.EndArray();
+    json.Key("corpus");
+    json.BeginObject();
+    json.Key("source"), json.Value(result.corpus.source);
+    json.Key("sequence"), json.Value(result.corpus.sequence);
+    json.Key("entries");
+    json.BeginArray();
+    for (const TestCorpus::Entry& entry : result.corpus.entries) {
+        WriteCorpusEntryFull(json, entry);
+    }
+    json.EndArray();
+    json.Key("yields");
+    WriteYields(json, result.corpus.yields);
+    json.EndObject();
+    json.Key("remote_entries"), json.Value(result.remote_entries);
+    json.Key("remote_duplicate_hits"),
+        json.Value(result.remote_duplicate_hits);
+    json.EndObject();
+    return json.Take();
+}
+
+std::string
+EncodeShutdown()
+{
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("type"), json.Value("shutdown");
+    json.EndObject();
+    return json.Take();
+}
+
+std::string
+EncodeError(const std::string& reason)
+{
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("type"), json.Value("error");
+    json.Key("message"), json.Value(reason);
+    json.EndObject();
+    return json.Take();
+}
+
+bool
+DecodeMessage(const std::string& line, Message* message,
+              std::string* error)
+{
+    JsonValue root;
+    std::string parse_error;
+    if (!ParseJson(line, &root, &parse_error)) {
+        return DecodeFail(error, "malformed message: " + parse_error);
+    }
+    std::string type;
+    if (!ReadString(root, "type", &type, error)) {
+        return false;
+    }
+
+    if (type == "hello") {
+        message->type = MessageType::kHello;
+        uint64_t version = 0;
+        if (!ReadU64(root, "protocol_version", &version, error)) {
+            return false;
+        }
+        message->protocol_version = static_cast<int>(version);
+        return true;
+    }
+
+    if (type == "run") {
+        message->type = MessageType::kRun;
+        RunRequest& run = message->run;
+        if (!ReadSize(root, "shard_id", &run.shard_id, error) ||
+            !ReadSize(root, "num_shards", &run.num_shards, error)) {
+            return false;
+        }
+        const JsonValue* svc = root.Find("service");
+        if (svc == nullptr) {
+            return DecodeFail(error, "missing 'service'");
+        }
+        std::string policy;
+        if (!ReadU64(*svc, "seed", &run.service.seed, error) ||
+            !ReadSize(*svc, "num_workers", &run.service.num_workers,
+                      error) ||
+            !ReadDouble(*svc, "max_total_seconds",
+                        &run.service.max_total_seconds, error) ||
+            !ReadBool(*svc, "record_corpus_inputs",
+                      &run.service.record_corpus_inputs, error) ||
+            !ReadBool(*svc, "share_solver_cache",
+                      &run.service.share_solver_cache, error) ||
+            !ReadString(*svc, "schedule_policy", &policy, error)) {
+            return false;
+        }
+        if (!SchedulePolicyFromName(policy,
+                                    &run.service.schedule_policy)) {
+            return DecodeFail(error,
+                              "unknown schedule policy '" + policy + "'");
+        }
+        const JsonValue* plateau = svc->Find("plateau");
+        if (plateau == nullptr) {
+            return DecodeFail(error, "missing 'plateau'");
+        }
+        if (!ReadBool(*plateau, "enabled",
+                      &run.service.plateau_policy.enabled, error) ||
+            !ReadSize(*plateau, "deprioritize_after",
+                      &run.service.plateau_policy.deprioritize_after,
+                      error) ||
+            !ReadSize(*plateau, "cancel_after",
+                      &run.service.plateau_policy.cancel_after, error)) {
+            return false;
+        }
+        const JsonValue* jobs = root.Find("jobs");
+        if (jobs == nullptr || jobs->kind != JsonValue::Kind::kArray) {
+            return DecodeFail(error, "missing or invalid 'jobs'");
+        }
+        for (const JsonValue& item : jobs->items) {
+            WireJob job;
+            const JsonValue* spec = item.Find("spec");
+            if (!ReadSize(item, "job_index", &job.job_index, error)) {
+                return false;
+            }
+            if (spec == nullptr) {
+                return DecodeFail(error, "missing 'spec'");
+            }
+            if (!DecodeJobSpec(*spec, &job.spec, error)) {
+                return false;
+            }
+            run.jobs.push_back(std::move(job));
+        }
+        return true;
+    }
+
+    if (type == "gossip") {
+        message->type = MessageType::kGossip;
+        TestCorpus::Delta& delta = message->gossip;
+        if (!ReadString(root, "source", &delta.source, error) ||
+            !ReadU64(root, "sequence", &delta.sequence, error)) {
+            return false;
+        }
+        const JsonValue* workloads = root.Find("workloads");
+        if (workloads == nullptr ||
+            workloads->kind != JsonValue::Kind::kArray) {
+            return DecodeFail(error, "missing or invalid 'workloads'");
+        }
+        for (const JsonValue& group : workloads->items) {
+            std::string workload;
+            if (!ReadString(group, "workload", &workload, error)) {
+                return false;
+            }
+            const JsonValue* fingerprints = group.Find("fingerprints");
+            if (fingerprints == nullptr ||
+                fingerprints->kind != JsonValue::Kind::kArray) {
+                return DecodeFail(error,
+                                  "missing or invalid 'fingerprints'");
+            }
+            for (const JsonValue& fp : fingerprints->items) {
+                TestCorpus::Entry entry;
+                entry.workload = workload;
+                if (!fp.AsUint64(&entry.fingerprint)) {
+                    return DecodeFail(error, "invalid fingerprint");
+                }
+                // Fingerprint-only placeholder: enough to dedup local
+                // rediscovery; the discovering shard reports the full
+                // entry in its result message.
+                entry.outcome_kind = "remote";
+                delta.entries.push_back(std::move(entry));
+            }
+        }
+        return DecodeYields(root.Find("yields"), &delta.yields, error);
+    }
+
+    if (type == "result") {
+        message->type = MessageType::kResult;
+        ResultMessage& result = message->result;
+        if (!ReadSize(root, "shard_id", &result.shard_id, error)) {
+            return false;
+        }
+        const JsonValue* stats = root.Find("stats");
+        if (stats == nullptr ||
+            !DecodeServiceStats(*stats, &result.stats, error)) {
+            return stats == nullptr ? DecodeFail(error, "missing 'stats'")
+                                    : false;
+        }
+        const JsonValue* results = root.Find("results");
+        if (results == nullptr ||
+            results->kind != JsonValue::Kind::kArray) {
+            return DecodeFail(error, "missing or invalid 'results'");
+        }
+        for (const JsonValue& item : results->items) {
+            JobResult job;
+            if (!DecodeJobResult(item, &job, error)) {
+                return false;
+            }
+            result.results.push_back(std::move(job));
+        }
+        const JsonValue* corpus = root.Find("corpus");
+        if (corpus == nullptr) {
+            return DecodeFail(error, "missing 'corpus'");
+        }
+        if (!ReadString(*corpus, "source", &result.corpus.source, error) ||
+            !ReadU64(*corpus, "sequence", &result.corpus.sequence,
+                     error)) {
+            return false;
+        }
+        const JsonValue* entries = corpus->Find("entries");
+        if (entries == nullptr ||
+            entries->kind != JsonValue::Kind::kArray) {
+            return DecodeFail(error, "missing or invalid 'entries'");
+        }
+        for (const JsonValue& item : entries->items) {
+            TestCorpus::Entry entry;
+            if (!DecodeCorpusEntryFull(item, &entry, error)) {
+                return false;
+            }
+            result.corpus.entries.push_back(std::move(entry));
+        }
+        if (!DecodeYields(corpus->Find("yields"), &result.corpus.yields,
+                          error)) {
+            return false;
+        }
+        return ReadSize(root, "remote_entries", &result.remote_entries,
+                        error) &&
+               ReadSize(root, "remote_duplicate_hits",
+                        &result.remote_duplicate_hits, error);
+    }
+
+    if (type == "shutdown") {
+        message->type = MessageType::kShutdown;
+        return true;
+    }
+
+    if (type == "error") {
+        message->type = MessageType::kError;
+        return ReadString(root, "message", &message->error, error);
+    }
+
+    return DecodeFail(error, "unknown message type '" + type + "'");
+}
+
+}  // namespace chef::shard

@@ -1,0 +1,129 @@
+#ifndef CHEF_SHARD_WIRE_H_
+#define CHEF_SHARD_WIRE_H_
+
+/// \file
+/// JSON wire format for the coordinator/worker shard protocol.
+///
+/// Every message is one line of strict RFC-8259 JSON (newline-delimited
+/// framing; see shard/transport.h), built and parsed with support/json.h
+/// so the wire obeys the same grammar the report contract promises. What
+/// crosses the wire is the paper's "compact canonical artifacts" idea
+/// applied to distribution: job descriptions, corpus fingerprint deltas,
+/// and per-workload yield snapshots — never engine state or expression
+/// DAGs.
+///
+/// Only the declarative subset of a JobSpec is serializable: callbacks
+/// (Engine stop_requested hooks) and shared pointers (a pre-wired
+/// solver_options.shared_cache) cannot cross a process boundary, and
+/// CheckSerializable rejects them with a clear error at submit time
+/// rather than silently dropping behavior. 64-bit identities (seeds,
+/// fingerprints) travel as "0x..." hex strings; non-finite doubles
+/// serialize as null and decode as 0.0 (support/json.h).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/corpus.h"
+#include "service/job.h"
+#include "service/service.h"
+
+namespace chef::shard {
+
+/// Bumped on incompatible wire changes; the coordinator refuses workers
+/// announcing a different version instead of mis-decoding mid-batch.
+constexpr int kProtocolVersion = 1;
+
+enum class MessageType {
+    kHello,     ///< worker -> coordinator: ready, protocol version.
+    kRun,       ///< coordinator -> worker: run this batch partition.
+    kGossip,    ///< both directions: corpus fingerprint delta + yields.
+    kResult,    ///< worker -> coordinator: results, stats, local corpus.
+    kShutdown,  ///< coordinator -> worker: exit cleanly.
+    kError,     ///< either: fatal protocol/setup failure, with reason.
+};
+
+const char* MessageTypeName(MessageType type);
+
+/// One job with its *global* batch index. The worker runs jobs in local
+/// order but reports results under global indices, and the coordinator
+/// pre-derives each job's exact seed from the global index — so the
+/// partition cannot change any per-job result (see JobSpec::exact_seed).
+struct WireJob {
+    size_t job_index = 0;
+    service::JobSpec spec;
+};
+
+/// The serializable subset of ExplorationService::Options. Streaming
+/// sinks (on_job_event, event_queue) are coordinator-side concerns and
+/// never cross the wire.
+struct ServiceConfig {
+    uint64_t seed = 1;
+    size_t num_workers = 1;
+    double max_total_seconds = 0.0;
+    bool record_corpus_inputs = true;
+    bool share_solver_cache = false;
+    service::SchedulePolicy schedule_policy =
+        service::SchedulePolicy::kYieldPriority;
+    service::PlateauPolicy plateau_policy;
+
+    service::ExplorationService::Options ToServiceOptions() const;
+    static ServiceConfig FromServiceOptions(
+        const service::ExplorationService::Options& options);
+};
+
+/// coordinator -> worker: the shard's partition of the batch.
+struct RunRequest {
+    size_t shard_id = 0;
+    size_t num_shards = 1;
+    ServiceConfig service;
+    std::vector<WireJob> jobs;
+};
+
+/// worker -> coordinator at batch end. `corpus` carries the shard's
+/// *local-origin* entries in full (inputs included) plus its local yield
+/// view; gossip-seeded remote entries are excluded — the discovering
+/// shard reports those, so the union over shards has no echoes.
+struct ResultMessage {
+    size_t shard_id = 0;
+    service::ServiceStats stats;
+    std::vector<service::JobResult> results;
+    service::TestCorpus::Delta corpus;
+    /// Cross-shard dedup telemetry (see TestCorpus): gossip entries
+    /// merged in, and local discoveries suppressed by them.
+    size_t remote_entries = 0;
+    size_t remote_duplicate_hits = 0;
+};
+
+/// One decoded message. Tagged union as plain struct: only the payload
+/// matching `type` is meaningful.
+struct Message {
+    MessageType type = MessageType::kError;
+    int protocol_version = 0;                 ///< kHello.
+    RunRequest run;                           ///< kRun.
+    service::TestCorpus::Delta gossip;        ///< kGossip.
+    ResultMessage result;                     ///< kResult.
+    std::string error;                        ///< kError.
+};
+
+/// True iff the spec can cross a process boundary. On failure fills
+/// \p why with which field is non-serializable and what to use instead.
+bool CheckSerializable(const service::JobSpec& spec, std::string* why);
+
+std::string EncodeHello();
+std::string EncodeRun(const RunRequest& request);
+/// Gossip is the compact form of a delta: per-workload fingerprint
+/// lists and the yield snapshot — no outcomes or inputs.
+std::string EncodeGossip(const service::TestCorpus::Delta& delta);
+std::string EncodeResult(const ResultMessage& result);
+std::string EncodeShutdown();
+std::string EncodeError(const std::string& reason);
+
+/// Decodes any message type. Returns false (with \p error) on malformed
+/// JSON, unknown type, or missing/mistyped fields.
+bool DecodeMessage(const std::string& line, Message* message,
+                   std::string* error);
+
+}  // namespace chef::shard
+
+#endif  // CHEF_SHARD_WIRE_H_

@@ -1,0 +1,183 @@
+#include "shard/worker.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace chef::shard {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string
+ShardName(size_t shard_id)
+{
+    return "shard" + std::to_string(shard_id);
+}
+
+}  // namespace
+
+ShardWorker::ShardWorker(Options options, Transport* transport)
+    : options_(options), transport_(transport)
+{
+}
+
+void
+ShardWorker::HandleRun(const RunRequest& request)
+{
+    const std::string source = ShardName(request.shard_id);
+
+    service::ExplorationService service(request.service.ToServiceOptions());
+    std::vector<service::JobSpec> jobs;
+    std::vector<size_t> global_indices;
+    jobs.reserve(request.jobs.size());
+    global_indices.reserve(request.jobs.size());
+    for (const WireJob& job : request.jobs) {
+        jobs.push_back(job.spec);
+        global_indices.push_back(job.job_index);
+    }
+
+    // The batch runs on its own thread; this thread stays on the
+    // transport, merging incoming gossip into the live corpus and
+    // streaming fresh local discoveries out.
+    std::vector<service::JobResult> results;
+    std::atomic<bool> done{false};
+    std::thread batch([&] {
+        results = service.RunBatch(jobs);
+        done.store(true, std::memory_order_release);
+    });
+
+    uint64_t gossiped_sequence = 0;
+    auto last_gossip = Clock::now() - std::chrono::hours(1);
+    const auto gossip_interval = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(options_.gossip_interval_seconds));
+    bool peer_gone = false;
+
+    const auto pump_gossip_out = [&] {
+        if (peer_gone || Clock::now() - last_gossip < gossip_interval) {
+            return;
+        }
+        // Sent every interval even when no new entries exist: the yield
+        // snapshot moves on zero-yield completions (the plateau streak),
+        // and that signal is exactly what lets sibling shards cancel
+        // duplicate jobs without rediscovering the plateau themselves.
+        const service::TestCorpus::Delta delta =
+            service.corpus().Snapshot(source, gossiped_sequence);
+        last_gossip = Clock::now();
+        gossiped_sequence = delta.sequence;
+        if (!transport_->Send(EncodeGossip(delta))) {
+            peer_gone = true;
+        }
+    };
+
+    while (!done.load(std::memory_order_acquire)) {
+        std::string line;
+        const Transport::RecvStatus status =
+            peer_gone ? Transport::RecvStatus::kTimeout
+                      : transport_->Receive(&line, /*timeout_ms=*/10);
+        if (status == Transport::RecvStatus::kClosed) {
+            // Coordinator vanished: stop exploring, nobody will collect
+            // the results.
+            peer_gone = true;
+            service.RequestStop();
+        } else if (status == Transport::RecvStatus::kMessage) {
+            Message message;
+            std::string decode_error;
+            if (!DecodeMessage(line, &message, &decode_error)) {
+                transport_->Send(EncodeError(decode_error));
+            } else if (message.type == MessageType::kGossip) {
+                service.mutable_corpus()->MergeFrom(message.gossip);
+                // Remote yield can re-rank pending jobs and trip the
+                // plateau without any local completion.
+                service.NotifyYieldsChanged();
+            } else if (message.type == MessageType::kShutdown) {
+                // Abort the batch; the final (partial) results still go
+                // out below so the coordinator can account for them.
+                service.RequestStop();
+            }
+        } else if (peer_gone) {
+            // Nothing to multiplex anymore; just wait for the batch.
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+        pump_gossip_out();
+    }
+    batch.join();
+
+    if (peer_gone) {
+        return;
+    }
+
+    // Final delta (discoveries since the last pump), then the result.
+    const service::TestCorpus::Delta tail =
+        service.corpus().Snapshot(source, gossiped_sequence);
+    if (!tail.entries.empty()) {
+        transport_->Send(EncodeGossip(tail));
+    }
+
+    ResultMessage result;
+    result.shard_id = request.shard_id;
+    result.stats = service.stats();
+    result.results = std::move(results);
+    for (size_t i = 0; i < result.results.size(); ++i) {
+        // Local queue positions -> the coordinator's global indices.
+        result.results[i].job_index = global_indices[i];
+    }
+    result.corpus = service.corpus().Snapshot(source, 0);
+    for (service::TestCorpus::Entry& entry : result.corpus.entries) {
+        // Corpus entries carry their discovering job too; remap so the
+        // merged report's attribution points at the global jobs array.
+        if (entry.job_index < global_indices.size()) {
+            entry.job_index = global_indices[entry.job_index];
+        }
+    }
+    result.remote_entries = service.corpus().remote_entries();
+    result.remote_duplicate_hits =
+        service.corpus().remote_duplicate_hits();
+    transport_->Send(EncodeResult(result));
+}
+
+bool
+ShardWorker::Serve()
+{
+    if (!transport_->Send(EncodeHello())) {
+        return false;
+    }
+    for (;;) {
+        std::string line;
+        const Transport::RecvStatus status =
+            transport_->Receive(&line, /*timeout_ms=*/-1);
+        if (status == Transport::RecvStatus::kClosed) {
+            return false;
+        }
+        if (status != Transport::RecvStatus::kMessage) {
+            continue;
+        }
+        Message message;
+        std::string decode_error;
+        if (!DecodeMessage(line, &message, &decode_error)) {
+            transport_->Send(EncodeError(decode_error));
+            continue;
+        }
+        switch (message.type) {
+          case MessageType::kRun:
+            HandleRun(message.run);
+            break;
+          case MessageType::kShutdown:
+            return true;
+          case MessageType::kGossip:
+            // Gossip outside a run races a batch that already finished;
+            // it is acceleration only, so dropping it is harmless.
+            break;
+          case MessageType::kError:
+          case MessageType::kHello:
+          case MessageType::kResult:
+            // Not meaningful coordinator->worker; ignore.
+            break;
+        }
+    }
+}
+
+}  // namespace chef::shard

@@ -1,0 +1,55 @@
+#ifndef CHEF_SHARD_WORKER_H_
+#define CHEF_SHARD_WORKER_H_
+
+/// \file
+/// The shard worker: one ExplorationService served over a Transport.
+///
+/// A worker announces itself (hello), waits for its partition of a batch
+/// (run), and explores it while speaking gossip in both directions: its
+/// own fresh corpus fingerprints and yield snapshot stream out as deltas,
+/// and incoming deltas from sibling shards merge into the local corpus —
+/// pre-seeding fingerprints so a path another shard already covered
+/// dedups on discovery, and feeding remote yield into the batch
+/// scheduler so priorities (and plateau cancellation) act on the
+/// *cluster's* view of where coverage is climbing, not just the local
+/// one. When the batch drains the worker sends a result message (job
+/// results under global indices, stats, the full local-origin corpus)
+/// and waits for more work or shutdown.
+
+#include <string>
+
+#include "shard/transport.h"
+#include "shard/wire.h"
+
+namespace chef::shard {
+
+class ShardWorker
+{
+  public:
+    struct Options {
+        /// Floor between outgoing gossip deltas. Gossip is best-effort
+        /// acceleration — a longer interval only delays dedup, never
+        /// correctness (the coordinator merge dedups regardless). The
+        /// default trades ~50 small messages/second for dedup that can
+        /// keep up with millisecond-scale jobs.
+        double gossip_interval_seconds = 0.02;
+    };
+
+    ShardWorker(Options options, Transport* transport);
+
+    /// Serves the protocol until shutdown or transport close. Returns
+    /// true on clean shutdown, false when the coordinator vanished or a
+    /// protocol error occurred (the error is also sent to the peer when
+    /// possible).
+    bool Serve();
+
+  private:
+    void HandleRun(const RunRequest& request);
+
+    Options options_;
+    Transport* transport_;
+};
+
+}  // namespace chef::shard
+
+#endif  // CHEF_SHARD_WORKER_H_

@@ -146,6 +146,50 @@ Solver::Solve(const std::vector<ExprRef>& assertions, Assignment* model)
         if (slices.size() > 1) {
             ++stats_.sliced_queries;
             stats_.slices_solved += slices.size();
+            // Whole-query shared prefetch: a sibling worker that solved
+            // this exact query published it *whole* (below), so one
+            // striped-lock lookup can answer every slice at once — and
+            // on a sat hit the slice projections of the stored model
+            // prime the local per-slice caches, so follow-up queries
+            // that share a prefix slice stay entirely local.
+            cache::CanonicalQuery whole;
+            if (options_.shared_cache != nullptr) {
+                whole.hash = cache::QueryHash(live);
+                whole.sorted_assertions = cache::SortedByHash(live);
+                cache::CachedResult shared_result;
+                Assignment shared_model;
+                if (options_.shared_cache->Lookup(whole, &shared_result,
+                                                  &shared_model)) {
+                    ++stats_.shared_whole_query_hits;
+                    if (shared_result == cache::CachedResult::kUnsat) {
+                        ++stats_.unsat_results;
+                        return QueryResult::kUnsat;
+                    }
+                    Assignment whole_merged;
+                    for (const IndependentSlice& slice : slices) {
+                        Assignment slice_model;
+                        for (const uint32_t var_id : slice.var_ids) {
+                            // Get() zero-fills variables the stored
+                            // model satisfied by absence, as in the
+                            // per-slice path below.
+                            const uint64_t value =
+                                shared_model.Get(var_id);
+                            slice_model.Set(var_id, value);
+                            whole_merged.Set(var_id, value);
+                        }
+                        StoreLocal(cache::QueryHash(slice.assertions),
+                                   QueryResult::kSat, slice_model,
+                                   cache::SortedByHash(slice.assertions));
+                        ++stats_.shared_slices_primed;
+                    }
+                    ++stats_.sat_results;
+                    RememberModel(whole_merged);
+                    if (model != nullptr) {
+                        *model = std::move(whole_merged);
+                    }
+                    return QueryResult::kSat;
+                }
+            }
             Assignment merged;
             bool unknown = false;
             for (const IndependentSlice& slice : slices) {
@@ -153,6 +197,14 @@ Solver::Solve(const std::vector<ExprRef>& assertions, Assignment* model)
                 const QueryResult result =
                     SolveLeaf(slice.assertions, &slice_model);
                 if (result == QueryResult::kUnsat) {
+                    if (options_.shared_cache != nullptr) {
+                        // Any unsat slice proves the whole query unsat;
+                        // publish it so siblings short-circuit the whole
+                        // pipeline on one lookup.
+                        options_.shared_cache->Insert(
+                            whole, cache::CachedResult::kUnsat,
+                            Assignment());
+                    }
                     ++stats_.unsat_results;
                     return QueryResult::kUnsat;
                 }
@@ -178,6 +230,15 @@ Solver::Solve(const std::vector<ExprRef>& assertions, Assignment* model)
             if (unknown) {
                 ++stats_.unknown_results;
                 return QueryResult::kUnknown;
+            }
+            if (options_.shared_cache != nullptr) {
+                // Publish the *whole* sliced query (slices partition the
+                // assertions, so the union of slice models is a model of
+                // the conjunction): siblings prime all their slices from
+                // this one entry instead of paying a shared lookup per
+                // slice.
+                options_.shared_cache->Insert(
+                    whole, cache::CachedResult::kSat, merged);
             }
             ++stats_.sat_results;
             RememberModel(merged);

@@ -67,6 +67,14 @@ struct SolverStats {
     uint64_t shared_cache_hits = 0;
     /// Slices satisfied by a sibling session's published model.
     uint64_t shared_model_reuse_hits = 0;
+    /// Sliced queries answered whole by the shared cache before the
+    /// per-slice pipeline ran: a sibling published the full query, so
+    /// one striped-lock lookup replaced every per-slice probe.
+    uint64_t shared_whole_query_hits = 0;
+    /// Local per-slice cache entries primed from whole-query hits, so
+    /// follow-up queries sharing a prefix slice hit locally without
+    /// touching the shared cache at all.
+    uint64_t shared_slices_primed = 0;
     /// Queries that split into more than one independent slice, and the
     /// total number of slices those queries produced.
     uint64_t sliced_queries = 0;

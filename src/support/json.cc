@@ -1,0 +1,532 @@
+#include "support/json.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace chef::support {
+
+std::string
+JsonEscape(const std::string& text)
+{
+    std::string escaped;
+    escaped.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"': escaped += "\\\""; break;
+          case '\\': escaped += "\\\\"; break;
+          case '\b': escaped += "\\b"; break;
+          case '\f': escaped += "\\f"; break;
+          case '\n': escaped += "\\n"; break;
+          case '\r': escaped += "\\r"; break;
+          case '\t': escaped += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20 ||
+                static_cast<unsigned char>(c) >= 0x7f) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                              static_cast<unsigned char>(c));
+                escaped += buffer;
+            } else {
+                escaped += c;
+            }
+        }
+    }
+    return escaped;
+}
+
+void
+JsonWriter::AppendUnsigned(uint64_t value)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
+    Raw(buffer);
+}
+
+void
+JsonWriter::HexValue(uint64_t value)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "\"0x%016" PRIx64 "\"", value);
+    Raw(buffer);
+}
+
+void
+JsonWriter::Value(double value)
+{
+    if (!std::isfinite(value)) {
+        Raw("null");
+        return;
+    }
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.6f", value);
+    Raw(buffer);
+}
+
+// ---------------------------------------------------------------------------
+// JsonValue accessors.
+// ---------------------------------------------------------------------------
+
+const JsonValue*
+JsonValue::Find(const std::string& key) const
+{
+    if (kind != Kind::kObject) {
+        return nullptr;
+    }
+    for (const auto& [name, value] : members) {
+        if (name == key) {
+            return &value;
+        }
+    }
+    return nullptr;
+}
+
+bool
+JsonValue::AsUint64(uint64_t* out) const
+{
+    if (kind == Kind::kNumber) {
+        // Re-parse the raw token: the double alone rounds above 2^53.
+        // Negative or fractional tokens are not u64 fields.
+        if (number_token.empty() || number_token[0] == '-' ||
+            number_token.find_first_of(".eE") != std::string::npos) {
+            return false;
+        }
+        errno = 0;
+        char* end = nullptr;
+        const unsigned long long parsed =
+            std::strtoull(number_token.c_str(), &end, 10);
+        if (errno != 0 || end == nullptr || *end != '\0') {
+            return false;
+        }
+        *out = static_cast<uint64_t>(parsed);
+        return true;
+    }
+    if (kind == Kind::kString && string_value.size() > 2 &&
+        string_value[0] == '0' &&
+        (string_value[1] == 'x' || string_value[1] == 'X')) {
+        // The writer's HexValue convention for 64-bit identities.
+        errno = 0;
+        char* end = nullptr;
+        const unsigned long long parsed =
+            std::strtoull(string_value.c_str() + 2, &end, 16);
+        if (errno != 0 || end == nullptr || *end != '\0') {
+            return false;
+        }
+        *out = static_cast<uint64_t>(parsed);
+        return true;
+    }
+    return false;
+}
+
+bool
+JsonValue::AsDouble(double* out) const
+{
+    if (kind == Kind::kNumber) {
+        *out = number_value;
+        return true;
+    }
+    if (kind == Kind::kNull) {
+        // null is how the writer emits NaN/Inf ("not a measurement");
+        // reading it back as 0.0 keeps decoded structs finite.
+        *out = 0.0;
+        return true;
+    }
+    return false;
+}
+
+bool
+JsonValue::AsBool(bool* out) const
+{
+    if (kind != Kind::kBool) {
+        return false;
+    }
+    *out = bool_value;
+    return true;
+}
+
+bool
+JsonValue::AsString(std::string* out) const
+{
+    if (kind != Kind::kString) {
+        return false;
+    }
+    *out = string_value;
+    return true;
+}
+
+bool
+JsonValue::GetUint64(const std::string& key, uint64_t* out) const
+{
+    const JsonValue* value = Find(key);
+    return value != nullptr && value->AsUint64(out);
+}
+
+bool
+JsonValue::GetDouble(const std::string& key, double* out) const
+{
+    const JsonValue* value = Find(key);
+    return value != nullptr && value->AsDouble(out);
+}
+
+bool
+JsonValue::GetBool(const std::string& key, bool* out) const
+{
+    const JsonValue* value = Find(key);
+    return value != nullptr && value->AsBool(out);
+}
+
+bool
+JsonValue::GetString(const std::string& key, std::string* out) const
+{
+    const JsonValue* value = Find(key);
+    return value != nullptr && value->AsString(out);
+}
+
+// ---------------------------------------------------------------------------
+// Parser. Strict RFC 8259 value grammar: objects, arrays, strings with
+// escapes, numbers (no bare nan/inf/hex), true/false/null. Succeeds iff
+// the whole text is exactly one valid value.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Wire messages and reports nest a handful of levels; anything deeper
+/// is garbage input, not a document — bail before the recursion can
+/// overflow the stack.
+constexpr int kMaxDepth = 128;
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string& text) : text_(text) {}
+
+    bool Parse(JsonValue* value, std::string* error)
+    {
+        SkipWs();
+        if (!ParseValue(value, 0)) {
+            if (error != nullptr) {
+                char buffer[64];
+                std::snprintf(buffer, sizeof(buffer), " at offset %zu",
+                              pos_);
+                *error = reason_ + buffer;
+            }
+            return false;
+        }
+        SkipWs();
+        if (pos_ != text_.size()) {
+            if (error != nullptr) {
+                char buffer[96];
+                std::snprintf(buffer, sizeof(buffer),
+                              "trailing content at offset %zu", pos_);
+                *error = buffer;
+            }
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    bool Fail(const char* reason)
+    {
+        if (reason_.empty()) {
+            reason_ = reason;
+        }
+        return false;
+    }
+
+    char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+    bool Eat(char c)
+    {
+        if (Peek() != c) {
+            return false;
+        }
+        ++pos_;
+        return true;
+    }
+    void SkipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+    static bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+    static bool IsHexDigit(char c)
+    {
+        return IsDigit(c) || (c >= 'a' && c <= 'f') ||
+               (c >= 'A' && c <= 'F');
+    }
+    static int HexDigit(char c)
+    {
+        if (IsDigit(c)) {
+            return c - '0';
+        }
+        return (c >= 'a' ? c - 'a' : c - 'A') + 10;
+    }
+
+    bool ParseLiteral(const char* literal)
+    {
+        const size_t len = std::strlen(literal);
+        if (text_.compare(pos_, len, literal) != 0) {
+            return Fail("invalid literal");
+        }
+        pos_ += len;
+        return true;
+    }
+
+    void AppendCodepoint(std::string* out, uint32_t code)
+    {
+        // Codepoints up to 0xff decode to ONE raw byte: JsonEscape emits
+        // raw (not-necessarily-UTF-8) guest bytes as per-byte \u00xx
+        // escapes, and the round-trip contract is byte-exact. Larger
+        // codepoints (foreign documents) get standard UTF-8.
+        if (code < 0x100) {
+            *out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            *out += static_cast<char>(0xc0 | (code >> 6));
+            *out += static_cast<char>(0x80 | (code & 0x3f));
+        } else if (code < 0x10000) {
+            *out += static_cast<char>(0xe0 | (code >> 12));
+            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            *out += static_cast<char>(0x80 | (code & 0x3f));
+        } else {
+            *out += static_cast<char>(0xf0 | (code >> 18));
+            *out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
+            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            *out += static_cast<char>(0x80 | (code & 0x3f));
+        }
+    }
+
+    bool ParseHex4(uint32_t* out)
+    {
+        uint32_t code = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (!IsHexDigit(Peek())) {
+                return Fail("bad \\u escape");
+            }
+            code = code * 16 + static_cast<uint32_t>(HexDigit(Peek()));
+            ++pos_;
+        }
+        *out = code;
+        return true;
+    }
+
+    bool ParseString(std::string* out)
+    {
+        if (!Eat('"')) {
+            return Fail("expected string");
+        }
+        while (pos_ < text_.size()) {
+            const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c < 0x20) {
+                return Fail("unescaped control character");
+            }
+            if (c == '\\') {
+                ++pos_;
+                const char escape = Peek();
+                ++pos_;
+                switch (escape) {
+                  case '"': *out += '"'; break;
+                  case '\\': *out += '\\'; break;
+                  case '/': *out += '/'; break;
+                  case 'b': *out += '\b'; break;
+                  case 'f': *out += '\f'; break;
+                  case 'n': *out += '\n'; break;
+                  case 'r': *out += '\r'; break;
+                  case 't': *out += '\t'; break;
+                  case 'u': {
+                    uint32_t code = 0;
+                    if (!ParseHex4(&code)) {
+                        return false;
+                    }
+                    if (code >= 0xd800 && code < 0xdc00 &&
+                        Peek() == '\\') {
+                        // Surrogate pair.
+                        ++pos_;
+                        if (!Eat('u')) {
+                            return Fail("lone surrogate");
+                        }
+                        uint32_t low = 0;
+                        if (!ParseHex4(&low)) {
+                            return false;
+                        }
+                        if (low < 0xdc00 || low >= 0xe000) {
+                            return Fail("invalid surrogate pair");
+                        }
+                        code = 0x10000 + ((code - 0xd800) << 10) +
+                               (low - 0xdc00);
+                    }
+                    AppendCodepoint(out, code);
+                    break;
+                  }
+                  default: return Fail("bad escape");
+                }
+            } else {
+                *out += static_cast<char>(c);
+                ++pos_;
+            }
+        }
+        return Fail("unterminated string");
+    }
+
+    bool ParseNumber(JsonValue* value)
+    {
+        const size_t start = pos_;
+        Eat('-');
+        if (Peek() == '0') {
+            ++pos_;
+        } else if (IsDigit(Peek())) {
+            while (IsDigit(Peek())) {
+                ++pos_;
+            }
+        } else {
+            return Fail("expected value");  // nan/inf/hex land here.
+        }
+        if (Eat('.')) {
+            if (!IsDigit(Peek())) {
+                return Fail("digits required after decimal point");
+            }
+            while (IsDigit(Peek())) {
+                ++pos_;
+            }
+        }
+        if (Peek() == 'e' || Peek() == 'E') {
+            ++pos_;
+            if (Peek() == '+' || Peek() == '-') {
+                ++pos_;
+            }
+            if (!IsDigit(Peek())) {
+                return Fail("digits required in exponent");
+            }
+            while (IsDigit(Peek())) {
+                ++pos_;
+            }
+        }
+        value->kind = JsonValue::Kind::kNumber;
+        value->number_token = text_.substr(start, pos_ - start);
+        value->number_value = std::strtod(value->number_token.c_str(),
+                                          nullptr);
+        return true;
+    }
+
+    bool ParseObject(JsonValue* value, int depth)
+    {
+        if (!Eat('{')) {
+            return Fail("expected object");
+        }
+        value->kind = JsonValue::Kind::kObject;
+        SkipWs();
+        if (Eat('}')) {
+            return true;
+        }
+        for (;;) {
+            SkipWs();
+            std::string key;
+            if (!ParseString(&key)) {
+                return false;
+            }
+            SkipWs();
+            if (!Eat(':')) {
+                return Fail("expected ':'");
+            }
+            SkipWs();
+            JsonValue member;
+            if (!ParseValue(&member, depth + 1)) {
+                return false;
+            }
+            value->members.emplace_back(std::move(key), std::move(member));
+            SkipWs();
+            if (Eat(',')) {
+                continue;
+            }
+            if (Eat('}')) {
+                return true;
+            }
+            return Fail("expected ',' or '}'");
+        }
+    }
+
+    bool ParseArray(JsonValue* value, int depth)
+    {
+        if (!Eat('[')) {
+            return Fail("expected array");
+        }
+        value->kind = JsonValue::Kind::kArray;
+        SkipWs();
+        if (Eat(']')) {
+            return true;
+        }
+        for (;;) {
+            SkipWs();
+            JsonValue item;
+            if (!ParseValue(&item, depth + 1)) {
+                return false;
+            }
+            value->items.push_back(std::move(item));
+            SkipWs();
+            if (Eat(',')) {
+                continue;
+            }
+            if (Eat(']')) {
+                return true;
+            }
+            return Fail("expected ',' or ']'");
+        }
+    }
+
+    bool ParseValue(JsonValue* value, int depth)
+    {
+        if (depth > kMaxDepth) {
+            return Fail("nesting too deep");
+        }
+        switch (Peek()) {
+          case '{': return ParseObject(value, depth);
+          case '[': return ParseArray(value, depth);
+          case '"':
+            value->kind = JsonValue::Kind::kString;
+            return ParseString(&value->string_value);
+          case 't':
+            value->kind = JsonValue::Kind::kBool;
+            value->bool_value = true;
+            return ParseLiteral("true");
+          case 'f':
+            value->kind = JsonValue::Kind::kBool;
+            value->bool_value = false;
+            return ParseLiteral("false");
+          case 'n':
+            value->kind = JsonValue::Kind::kNull;
+            return ParseLiteral("null");
+          default: return ParseNumber(value);
+        }
+    }
+
+    const std::string& text_;
+    size_t pos_ = 0;
+    std::string reason_;
+};
+
+}  // namespace
+
+bool
+ParseJson(const std::string& text, JsonValue* value, std::string* error)
+{
+    *value = JsonValue();  // A reused output must not accumulate state.
+    Parser parser(text);
+    return parser.Parse(value, error);
+}
+
+bool
+JsonValid(const std::string& text)
+{
+    JsonValue value;
+    return ParseJson(text, &value, nullptr);
+}
+
+}  // namespace chef::support

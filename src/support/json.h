@@ -1,0 +1,194 @@
+#ifndef CHEF_SUPPORT_JSON_H_
+#define CHEF_SUPPORT_JSON_H_
+
+/// \file
+/// JSON emission, strict validation, and a small DOM parser.
+///
+/// One implementation of RFC 8259 for the whole codebase: the service's
+/// JSON report writer, the shard layer's wire format, and the tests'
+/// strict validation all go through here, so the "reports are valid
+/// strict JSON" contract is enforced by the same grammar everywhere
+/// (this used to live as a private writer in service/report.cc and a
+/// test-only parser in tests/scheduler_test.cc).
+///
+/// The grammar is exactly the RFC 8259 value grammar: objects, arrays,
+/// strings with escapes, numbers (no bare nan/inf/hex), true/false/null.
+/// ParseJson succeeds iff the whole text is exactly one valid value.
+/// Non-finite doubles are *emitted* as null ("not a measurement"), and
+/// null parses back as 0.0 through JsonValue::AsDouble — the NaN/Inf
+/// round-trip contract the wire format relies on.
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace chef::support {
+
+/// Escapes a string for embedding in a JSON document (without the
+/// surrounding quotes). Control characters and bytes >= 0x7f are emitted
+/// as \u00xx escapes: guest strings are raw byte strings (often built
+/// from symbolic input bytes), not guaranteed UTF-8, and escaping per
+/// byte keeps output pure ASCII.
+std::string JsonEscape(const std::string& text);
+
+/// Minimal append-only JSON builder. Document structures in this
+/// codebase are fixed, so a full serializer would be overkill; this
+/// keeps key order stable and escaping in one place.
+class JsonWriter
+{
+  public:
+    std::string Take() { return std::move(out_); }
+
+    void BeginObject() { Punct('{'); }
+    void EndObject()
+    {
+        out_ += '}';
+        needs_comma_ = true;
+    }
+    void BeginArray() { Punct('['); }
+    void EndArray()
+    {
+        out_ += ']';
+        needs_comma_ = true;
+    }
+
+    void Key(const char* name)
+    {
+        Comma();
+        out_ += '"';
+        out_ += name;
+        out_ += "\":";
+        needs_comma_ = false;
+    }
+
+    void Value(const std::string& text)
+    {
+        Comma();
+        out_ += '"';
+        out_ += JsonEscape(text);
+        out_ += '"';
+        needs_comma_ = true;
+    }
+
+    /// Without this, a string literal would convert to bool (pointer ->
+    /// bool beats the user-defined conversion to std::string) and
+    /// silently serialize as `true`.
+    void Value(const char* text) { Value(std::string(text)); }
+
+    /// One template for every integral width/signedness (size_t is a
+    /// distinct type from uint64_t on some ABIs; separate overloads
+    /// would be ambiguous there). All emitted fields are non-negative.
+    template <typename T,
+              typename std::enable_if<std::is_integral<T>::value &&
+                                          !std::is_same<T, bool>::value,
+                                      int>::type = 0>
+    void Value(T value)
+    {
+        AppendUnsigned(static_cast<uint64_t>(value));
+    }
+
+    /// 64-bit identities (fingerprints, seeds) go out as hex *strings*:
+    /// they routinely exceed 2^53 and would be silently rounded by
+    /// double-based JSON consumers, breaking cross-report comparison.
+    void HexValue(uint64_t value);
+
+    /// Non-finite values serialize as null — "not a measurement" —
+    /// rather than a clamped number a consumer could mistake for data
+    /// (%.6f would print bare `nan`/`inf`, which no strict parser
+    /// accepts).
+    void Value(double value);
+
+    void Value(bool value) { Raw(value ? "true" : "false"); }
+
+    void Null() { Raw("null"); }
+
+    /// Splices an already-rendered JSON value (e.g. a nested report
+    /// fragment) into the document verbatim. The caller vouches for its
+    /// validity.
+    void RawValue(const std::string& json) { Raw(json.c_str()); }
+
+  private:
+    void Comma()
+    {
+        if (needs_comma_) {
+            out_ += ',';
+        }
+    }
+    void Punct(char c)
+    {
+        Comma();
+        out_ += c;
+        needs_comma_ = false;
+    }
+    void Raw(const char* text)
+    {
+        Comma();
+        out_ += text;
+        needs_comma_ = true;
+    }
+    void AppendUnsigned(uint64_t value);
+
+    std::string out_;
+    bool needs_comma_ = false;
+};
+
+/// One parsed JSON value. Plain aggregate: the wire format reads fields
+/// through the typed accessors below, which encode the codebase's
+/// conventions (hex-string u64 identities, null-as-0.0 doubles).
+struct JsonValue {
+    enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    Kind kind = Kind::kNull;
+    bool bool_value = false;
+    /// Numbers keep both the parsed double and the raw token: u64 fields
+    /// beyond 2^53 would be silently rounded by the double alone.
+    double number_value = 0.0;
+    std::string number_token;
+    std::string string_value;
+    std::vector<JsonValue> items;  ///< kArray elements.
+    /// kObject members in document order (duplicate keys kept; Find
+    /// returns the first, matching typical first-wins consumers).
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    bool IsNull() const { return kind == Kind::kNull; }
+
+    /// First member with the given key; nullptr when absent or not an
+    /// object.
+    const JsonValue* Find(const std::string& key) const;
+
+    /// Numeric value as uint64_t. Accepts a decimal number token or a
+    /// "0x..." hex string (the writer's HexValue convention). Returns
+    /// false for anything else.
+    bool AsUint64(uint64_t* out) const;
+
+    /// Numeric value as double; null reads as 0.0 (the emitted form of
+    /// NaN/Inf — "not a measurement"). Returns false for other kinds.
+    bool AsDouble(double* out) const;
+
+    bool AsBool(bool* out) const;
+    bool AsString(std::string* out) const;
+
+    // Keyed convenience lookups: false when the key is absent or the
+    // value has the wrong type.
+    bool GetUint64(const std::string& key, uint64_t* out) const;
+    bool GetDouble(const std::string& key, double* out) const;
+    bool GetBool(const std::string& key, bool* out) const;
+    bool GetString(const std::string& key, std::string* out) const;
+};
+
+/// Parses \p text as exactly one JSON value spanning the whole input
+/// (leading/trailing whitespace allowed). On failure returns false and
+/// fills \p error (if non-null) with a byte offset and reason.
+bool ParseJson(const std::string& text, JsonValue* value,
+               std::string* error = nullptr);
+
+/// Strict RFC 8259 validation: true iff the whole text is exactly one
+/// valid JSON value. This is precisely what the report contract promises
+/// external consumers (no bare nan/inf, no trailing garbage).
+bool JsonValid(const std::string& text);
+
+}  // namespace chef::support
+
+#endif  // CHEF_SUPPORT_JSON_H_

@@ -326,6 +326,70 @@ TEST(SharedSolverCache, SiblingModelSatisfiesNewQueryWithoutSat)
     EXPECT_LT(model.Get(1), 200u);
 }
 
+/// Slice-aware prefetch: a solver that solves a multi-slice query
+/// publishes it *whole* to the shared cache, so a sibling answers every
+/// slice from one lookup and primes its local per-slice caches.
+TEST(SharedSolverCache, WholeSlicedQueryPrimesSiblings)
+{
+    SharedSolverCache cache;
+    Solver::Options options;
+    options.shared_cache = &cache;
+
+    // Two variable-disjoint slices: x1 in (10,20) and x2 in (30,40).
+    std::vector<ExprRef> query = IntervalQuery(1, 10, 20);
+    const std::vector<ExprRef> second_slice = IntervalQuery(2, 30, 40);
+    query.insert(query.end(), second_slice.begin(), second_slice.end());
+
+    Solver first(options);
+    Assignment model;
+    ASSERT_EQ(first.Solve(query, &model), QueryResult::kSat);
+    EXPECT_EQ(first.stats().sliced_queries, 1u);
+    EXPECT_EQ(first.stats().shared_whole_query_hits, 0u);
+
+    // The sibling takes the whole query from one shared entry: no SAT
+    // call, no per-slice shared probes, both slices primed locally.
+    Solver second(options);
+    Assignment sibling_model;
+    ASSERT_EQ(second.Solve(query, &sibling_model), QueryResult::kSat);
+    EXPECT_EQ(second.stats().sat_calls, 0u);
+    EXPECT_EQ(second.stats().shared_cache_hits, 0u);
+    EXPECT_EQ(second.stats().shared_whole_query_hits, 1u);
+    EXPECT_EQ(second.stats().shared_slices_primed, 2u);
+    EXPECT_GT(sibling_model.Get(1), 10u);
+    EXPECT_LT(sibling_model.Get(1), 20u);
+    EXPECT_GT(sibling_model.Get(2), 30u);
+    EXPECT_LT(sibling_model.Get(2), 40u);
+
+    // The primed local entries answer a slice sub-query without
+    // touching the shared cache again.
+    const uint64_t lookups_before = cache.stats().lookups;
+    ASSERT_EQ(second.Solve(IntervalQuery(1, 10, 20), nullptr),
+              QueryResult::kSat);
+    EXPECT_GE(second.stats().cache_hits, 1u);
+    EXPECT_EQ(cache.stats().lookups, lookups_before);
+}
+
+TEST(SharedSolverCache, WholeSlicedUnsatQueryIsPublished)
+{
+    SharedSolverCache cache;
+    Solver::Options options;
+    options.shared_cache = &cache;
+
+    // One unsat slice (x3 > 9 && x3 < 5) decides the whole query.
+    std::vector<ExprRef> query = IntervalQuery(3, 9, 5);
+    const std::vector<ExprRef> sat_slice = IntervalQuery(4, 30, 40);
+    query.insert(query.end(), sat_slice.begin(), sat_slice.end());
+
+    Solver first(options);
+    ASSERT_EQ(first.Solve(query, nullptr), QueryResult::kUnsat);
+
+    Solver second(options);
+    ASSERT_EQ(second.Solve(query, nullptr), QueryResult::kUnsat);
+    EXPECT_EQ(second.stats().sat_calls, 0u);
+    EXPECT_EQ(second.stats().shared_whole_query_hits, 1u);
+    EXPECT_EQ(second.stats().shared_slices_primed, 0u);
+}
+
 /// The determinism contract: sat/unsat outcomes are identical with and
 /// without sharing for any query sequence; only the satisfying model may
 /// differ (and always satisfies the query). The model-dependent effect is

@@ -8,10 +8,8 @@
 
 #include <gtest/gtest.h>
 
-#include <cctype>
 #include <chrono>
 #include <cmath>
-#include <cstring>
 #include <limits>
 #include <map>
 #include <string>
@@ -24,6 +22,7 @@
 #include "service/report.h"
 #include "service/scheduler.h"
 #include "service/service.h"
+#include "support/json.h"
 #include "workloads/registry.h"
 
 namespace chef::service {
@@ -32,208 +31,13 @@ namespace {
 using lowlevel::LowLevelRuntime;
 using lowlevel::SymValue;
 
+// The strict RFC-8259 validator used to live here as a test-only class;
+// it is now the production parser in support/json.h, shared with the
+// shard wire format, so the report contract and the wire format are
+// checked by the same grammar.
+using support::JsonValid;
+
 enum Opcode : uint32_t { kOpStmt = 1, kOpCmp = 2 };
-
-// ---------------------------------------------------------------------------
-// Strict JSON parser (validation only).
-//
-// RFC 8259 value grammar: objects, arrays, strings with escapes, numbers
-// (no bare nan/inf/hex), true/false/null. Succeeds iff the whole text is
-// exactly one valid value — which is precisely what the report contract
-// promises external consumers.
-// ---------------------------------------------------------------------------
-
-class StrictJson
-{
-  public:
-    static bool Valid(const std::string& text)
-    {
-        StrictJson parser(text);
-        parser.SkipWs();
-        if (!parser.ParseValue()) {
-            return false;
-        }
-        parser.SkipWs();
-        return parser.pos_ == parser.text_.size();
-    }
-
-  private:
-    explicit StrictJson(const std::string& text) : text_(text) {}
-
-    char Peek() const
-    {
-        return pos_ < text_.size() ? text_[pos_] : '\0';
-    }
-    bool Eat(char c)
-    {
-        if (Peek() != c) {
-            return false;
-        }
-        ++pos_;
-        return true;
-    }
-    void SkipWs()
-    {
-        while (pos_ < text_.size() &&
-               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-                text_[pos_] == '\n' || text_[pos_] == '\r')) {
-            ++pos_;
-        }
-    }
-
-    bool ParseLiteral(const char* literal)
-    {
-        const size_t len = std::strlen(literal);
-        if (text_.compare(pos_, len, literal) != 0) {
-            return false;
-        }
-        pos_ += len;
-        return true;
-    }
-
-    bool ParseString()
-    {
-        if (!Eat('"')) {
-            return false;
-        }
-        while (pos_ < text_.size()) {
-            const unsigned char c =
-                static_cast<unsigned char>(text_[pos_]);
-            if (c == '"') {
-                ++pos_;
-                return true;
-            }
-            if (c < 0x20) {
-                return false;  // Unescaped control character.
-            }
-            if (c == '\\') {
-                ++pos_;
-                const char escape = Peek();
-                if (escape == 'u') {
-                    ++pos_;
-                    for (int i = 0; i < 4; ++i) {
-                        if (!std::isxdigit(
-                                static_cast<unsigned char>(Peek()))) {
-                            return false;
-                        }
-                        ++pos_;
-                    }
-                } else if (std::strchr("\"\\/bfnrt", escape) != nullptr &&
-                           escape != '\0') {
-                    ++pos_;
-                } else {
-                    return false;
-                }
-            } else {
-                ++pos_;
-            }
-        }
-        return false;  // Unterminated.
-    }
-
-    bool ParseNumber()
-    {
-        Eat('-');
-        if (Peek() == '0') {
-            ++pos_;
-        } else if (std::isdigit(static_cast<unsigned char>(Peek()))) {
-            while (std::isdigit(static_cast<unsigned char>(Peek()))) {
-                ++pos_;
-            }
-        } else {
-            return false;  // nan/inf/hex land here.
-        }
-        if (Eat('.')) {
-            if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
-                return false;
-            }
-            while (std::isdigit(static_cast<unsigned char>(Peek()))) {
-                ++pos_;
-            }
-        }
-        if (Peek() == 'e' || Peek() == 'E') {
-            ++pos_;
-            if (Peek() == '+' || Peek() == '-') {
-                ++pos_;
-            }
-            if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
-                return false;
-            }
-            while (std::isdigit(static_cast<unsigned char>(Peek()))) {
-                ++pos_;
-            }
-        }
-        return true;
-    }
-
-    bool ParseObject()
-    {
-        if (!Eat('{')) {
-            return false;
-        }
-        SkipWs();
-        if (Eat('}')) {
-            return true;
-        }
-        for (;;) {
-            SkipWs();
-            if (!ParseString()) {
-                return false;
-            }
-            SkipWs();
-            if (!Eat(':')) {
-                return false;
-            }
-            SkipWs();
-            if (!ParseValue()) {
-                return false;
-            }
-            SkipWs();
-            if (Eat(',')) {
-                continue;
-            }
-            return Eat('}');
-        }
-    }
-
-    bool ParseArray()
-    {
-        if (!Eat('[')) {
-            return false;
-        }
-        SkipWs();
-        if (Eat(']')) {
-            return true;
-        }
-        for (;;) {
-            SkipWs();
-            if (!ParseValue()) {
-                return false;
-            }
-            SkipWs();
-            if (Eat(',')) {
-                continue;
-            }
-            return Eat(']');
-        }
-    }
-
-    bool ParseValue()
-    {
-        switch (Peek()) {
-          case '{': return ParseObject();
-          case '[': return ParseArray();
-          case '"': return ParseString();
-          case 't': return ParseLiteral("true");
-          case 'f': return ParseLiteral("false");
-          case 'n': return ParseLiteral("null");
-          default: return ParseNumber();
-        }
-    }
-
-    const std::string& text_;
-    size_t pos_ = 0;
-};
 
 // ---------------------------------------------------------------------------
 // Custom registry workloads.
@@ -667,7 +471,7 @@ TEST(Scheduler, PlateauPolicyCancelsAndAttributes)
     // The attribution lands in the report, which stays strictly valid.
     const std::string report =
         RenderJsonReport(service.stats(), results, service.corpus());
-    EXPECT_TRUE(StrictJson::Valid(report));
+    EXPECT_TRUE(JsonValid(report));
     EXPECT_NE(report.find("\"jobs_plateau_cancelled\":3"),
               std::string::npos);
     EXPECT_NE(report.find("\"stop_source\":\"plateau\""),
@@ -743,7 +547,7 @@ TEST(JsonReport, NonFiniteDoublesSerializeAsNull)
     TestCorpus corpus;
     const std::string report =
         RenderJsonReport(stats, {result}, corpus);
-    EXPECT_TRUE(StrictJson::Valid(report)) << report;
+    EXPECT_TRUE(JsonValid(report)) << report;
     EXPECT_NE(report.find("\"jobs_per_second\":null"), std::string::npos);
     EXPECT_NE(report.find("\"solver_seconds\":null"), std::string::npos);
     EXPECT_EQ(report.find("nan"), std::string::npos);
@@ -768,12 +572,12 @@ TEST(JsonReport, CorpusTruncatedCountsDroppedEntries)
     capped.max_corpus_entries = 1;
     const std::string capped_report =
         RenderJsonReport(stats, {}, corpus, capped);
-    EXPECT_TRUE(StrictJson::Valid(capped_report));
+    EXPECT_TRUE(JsonValid(capped_report));
     EXPECT_NE(capped_report.find("\"corpus_truncated\":2"),
               std::string::npos);
 
     const std::string full_report = RenderJsonReport(stats, {}, corpus);
-    EXPECT_TRUE(StrictJson::Valid(full_report));
+    EXPECT_TRUE(JsonValid(full_report));
     EXPECT_NE(full_report.find("\"corpus_truncated\":0"),
               std::string::npos);
 }
@@ -793,7 +597,7 @@ TEST(JsonReport, NewFieldsParseStrictOnRealBatch)
 
     const std::string report =
         RenderJsonReport(service.stats(), results, service.corpus());
-    EXPECT_TRUE(StrictJson::Valid(report)) << report;
+    EXPECT_TRUE(JsonValid(report)) << report;
     for (const char* key :
          {"\"schedule_policy\":\"yield_priority\"",
           "\"jobs_plateau_cancelled\":0", "\"events_delivered\"",
