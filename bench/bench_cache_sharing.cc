@@ -5,7 +5,7 @@
 /// baseline) and sharing on — with the same service seed and ≥4 workers,
 /// then compares total solver time and reports the shared-cache hit rate.
 /// Both configurations' full service reports are embedded in one JSON
-/// document (arg: report path, default "cache_sharing_report.json").
+/// document (arg: report path, default "BENCH_cache_sharing.json").
 ///
 /// Usage: bench_cache_sharing [--smoke] [report.json]
 ///   --smoke   tiny per-job budgets, for CI; skips the (noise-sensitive)
@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "service/report.h"
 #include "service/service.h"
 
@@ -75,47 +76,23 @@ RunConfig(const std::vector<JobSpec>& jobs, bool share)
     return outcome;
 }
 
-bool
-WriteCombinedReport(const std::string& path, const ConfigOutcome& off,
-                    const ConfigOutcome& on, double hit_rate,
-                    double solver_speedup)
-{
-    std::string combined;
-    combined += "{\"bench\":\"cache-sharing\",";
-    char buffer[128];
-    std::snprintf(buffer, sizeof(buffer),
-                  "\"shared_hit_rate\":%.4f,\"solver_time_speedup\":%.4f,",
-                  hit_rate, solver_speedup);
-    combined += buffer;
-    combined += "\"sharing_off\":";
-    combined += off.report_json;
-    combined += ",\"sharing_on\":";
-    combined += on.report_json;
-    combined += "}";
-
-    std::FILE* file = std::fopen(path.c_str(), "wb");
-    if (file == nullptr) {
-        return false;
-    }
-    const size_t written =
-        std::fwrite(combined.data(), 1, combined.size(), file);
-    const bool flushed = std::fclose(file) == 0;
-    return written == combined.size() && flushed;
-}
-
 }  // namespace
 
 int
 main(int argc, char** argv)
 {
     bool smoke = false;
-    std::string report_path = "cache_sharing_report.json";
+    std::string report_path;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
         } else {
             report_path = argv[i];
         }
+    }
+    chef::bench::BenchReport bench("cache_sharing", smoke);
+    if (report_path.empty()) {
+        report_path = bench.DefaultPath();
     }
 
     const int num_jobs = smoke ? 8 : 12;
@@ -185,11 +162,18 @@ main(int argc, char** argv)
         ok = false;
     }
 
-    if (!WriteCombinedReport(report_path, off, on, hit_rate,
-                             solver_speedup)) {
-        std::fprintf(stderr, "failed to write %s\n", report_path.c_str());
+    bench.Config("workload", kWorkload);
+    bench.Config("jobs", num_jobs);
+    bench.Config("max_runs", max_runs);
+    bench.Config("workers", 4);
+    bench.Metric("shared_hit_rate", hit_rate);
+    bench.Metric("solver_time_speedup", solver_speedup);
+    bench.Metric("shared_cache_hits", s_on.shared_cache_hits);
+    bench.Metric("shared_model_hits", s_on.shared_cache_model_hits);
+    bench.Report("sharing_off", off.report_json);
+    bench.Report("sharing_on", on.report_json);
+    if (!bench.Write(report_path)) {
         return 1;
     }
-    std::printf("report: %s\n", report_path.c_str());
     return ok ? 0 : 1;
 }

@@ -9,14 +9,17 @@
 /// default 2) and report the same rows/series so the shapes can be
 /// compared. See EXPERIMENTS.md.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <numeric>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "chef/engine.h"
+#include "support/json.h"
 #include "workloads/packages.h"
 
 namespace chef::bench {
@@ -197,6 +200,110 @@ Mean(const std::vector<double>& values)
     return std::accumulate(values.begin(), values.end(), 0.0) /
            static_cast<double>(values.size());
 }
+
+/// Uniform bench artifact. Every bench with a --smoke mode writes
+/// BENCH_<name>.json through this one helper, so CI collects artifacts
+/// with a single glob and downstream consumers parse a single schema:
+///
+///   {"bench": <name>, "smoke": <bool>, "wall_seconds": <seconds>,
+///    "config": {<knobs the bench ran with>},
+///    "metrics": {<scalar results and pass/fail booleans>},
+///    "reports": {<embedded full JSON documents>}}
+///
+/// wall_seconds spans construction to Write() — the whole bench run,
+/// every configuration included. Keys keep insertion order.
+class BenchReport
+{
+  public:
+    BenchReport(std::string name, bool smoke)
+        : name_(std::move(name)), smoke_(smoke),
+          start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    template <typename T>
+    void Config(const char* key, const T& value)
+    {
+        Add(&config_, key, value);
+    }
+
+    template <typename T>
+    void Metric(const char* key, const T& value)
+    {
+        Add(&metrics_, key, value);
+    }
+
+    /// Embeds an already-rendered JSON document (a service report, a
+    /// merged shard report) under reports.<key> verbatim.
+    void Report(const char* key, std::string json)
+    {
+        reports_.emplace_back(key, std::move(json));
+    }
+
+    /// The artifact name CI globs for.
+    std::string DefaultPath() const { return "BENCH_" + name_ + ".json"; }
+
+    /// Renders and writes the document, complaining on stderr itself so
+    /// call sites can collapse to `return report.Write(path) && ok`.
+    bool Write(const std::string& path) const
+    {
+        support::JsonWriter json;
+        json.BeginObject();
+        json.Key("bench"), json.Value(name_);
+        json.Key("smoke"), json.Value(smoke_);
+        json.Key("wall_seconds"),
+            json.Value(std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start_)
+                           .count());
+        WriteSection(&json, "config", config_);
+        WriteSection(&json, "metrics", metrics_);
+        WriteSection(&json, "reports", reports_);
+        json.EndObject();
+        const std::string document = json.Take();
+        std::FILE* file = std::fopen(path.c_str(), "wb");
+        if (file == nullptr ||
+            std::fwrite(document.data(), 1, document.size(), file) !=
+                document.size() ||
+            std::fclose(file) != 0) {
+            std::fprintf(stderr, "failed to write %s\n", path.c_str());
+            return false;
+        }
+        std::printf("report: %s\n", path.c_str());
+        return true;
+    }
+
+  private:
+    using Entries = std::vector<std::pair<std::string, std::string>>;
+
+    /// Values are rendered to JSON eagerly (one tiny writer each), so
+    /// the sections can hold mixed types without a variant.
+    template <typename T>
+    static void Add(Entries* entries, const char* key, const T& value)
+    {
+        support::JsonWriter json;
+        json.Value(value);
+        entries->emplace_back(key, json.Take());
+    }
+
+    static void WriteSection(support::JsonWriter* json, const char* key,
+                             const Entries& entries)
+    {
+        json->Key(key);
+        json->BeginObject();
+        for (const auto& [name, value] : entries) {
+            json->Key(name.c_str());
+            json->RawValue(value);
+        }
+        json->EndObject();
+    }
+
+    std::string name_;
+    bool smoke_;
+    std::chrono::steady_clock::time_point start_;
+    Entries config_;
+    Entries metrics_;
+    Entries reports_;
+};
 
 }  // namespace chef::bench
 

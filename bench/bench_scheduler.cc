@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "service/report.h"
 #include "service/scheduler.h"
 #include "service/service.h"
@@ -153,46 +154,13 @@ SameJobResults(const std::vector<JobResult>& a,
     return true;
 }
 
-bool
-WriteCombinedReport(const std::string& path, bool smoke,
-                    bool equivalence_ok, const ConfigOutcome& fifo,
-                    const ConfigOutcome& priority)
-{
-    std::string combined;
-    combined += "{\"bench\":\"scheduler\",";
-    char buffer[256];
-    std::snprintf(buffer, sizeof(buffer),
-                  "\"smoke\":%s,\"equivalence_ok\":%s,"
-                  "\"corpus_fifo\":%zu,\"corpus_priority\":%zu,"
-                  "\"wall_fifo\":%.3f,\"wall_priority\":%.3f,",
-                  smoke ? "true" : "false",
-                  equivalence_ok ? "true" : "false", fifo.corpus_size,
-                  priority.corpus_size, fifo.stats.wall_seconds,
-                  priority.stats.wall_seconds);
-    combined += buffer;
-    combined += "\"fifo\":";
-    combined += fifo.report_json;
-    combined += ",\"priority_plateau\":";
-    combined += priority.report_json;
-    combined += "}";
-
-    std::FILE* file = std::fopen(path.c_str(), "wb");
-    if (file == nullptr) {
-        return false;
-    }
-    const size_t written =
-        std::fwrite(combined.data(), 1, combined.size(), file);
-    const bool flushed = std::fclose(file) == 0;
-    return written == combined.size() && flushed;
-}
-
 }  // namespace
 
 int
 main(int argc, char** argv)
 {
     bool smoke = false;
-    std::string report_path = "BENCH_scheduler.json";
+    std::string report_path;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
@@ -202,6 +170,11 @@ main(int argc, char** argv)
     }
     const size_t workers = smoke ? 2 : 4;
     bool ok = true;
+    chef::bench::BenchReport bench("scheduler", smoke);
+    if (report_path.empty()) {
+        report_path = bench.DefaultPath();
+    }
+    bench.Config("workers", workers);
 
     // --- Phase 1: dispatch order must not change per-job results. ------
     const std::vector<JobSpec> bounded = MakeBoundedBatch(smoke);
@@ -293,11 +266,20 @@ main(int argc, char** argv)
                     static_cast<ssize_t>(fifo.corpus_size),
                 priority.stats.wall_seconds - fifo.stats.wall_seconds);
 
-    if (!WriteCombinedReport(report_path, smoke, equivalence_ok, fifo,
-                             priority)) {
-        std::fprintf(stderr, "failed to write %s\n", report_path.c_str());
+    bench.Config("bounded_jobs", bounded.size());
+    bench.Config("skewed_jobs", skewed.size());
+    bench.Config("budget_seconds", budget);
+    bench.Metric("equivalence_ok", equivalence_ok);
+    bench.Metric("corpus_fifo", fifo.corpus_size);
+    bench.Metric("corpus_priority", priority.corpus_size);
+    bench.Metric("wall_fifo", fifo.stats.wall_seconds);
+    bench.Metric("wall_priority", priority.stats.wall_seconds);
+    bench.Metric("jobs_plateau_cancelled",
+                 priority.stats.jobs_plateau_cancelled);
+    bench.Report("fifo", fifo.report_json);
+    bench.Report("priority_plateau", priority.report_json);
+    if (!bench.Write(report_path)) {
         return 1;
     }
-    std::printf("report: %s\n", report_path.c_str());
     return ok ? 0 : 1;
 }

@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "service/job.h"
 #include "shard/coordinator.h"
 #include "support/json.h"
@@ -163,7 +164,7 @@ int
 main(int argc, char** argv)
 {
     bool smoke = false;
-    std::string report_path = "BENCH_sharding.json";
+    std::string report_path;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
@@ -172,6 +173,10 @@ main(int argc, char** argv)
         }
     }
     bool ok = true;
+    chef::bench::BenchReport bench("sharding", smoke);
+    if (report_path.empty()) {
+        report_path = bench.DefaultPath();
+    }
 
     // --- Phase 1: coverage parity and per-shard wall scaling. ----------
     const std::vector<JobSpec> coverage_jobs = CoverageBatch(smoke);
@@ -269,57 +274,35 @@ main(int argc, char** argv)
     }
 
     // --- Report. -------------------------------------------------------
-    chef::support::JsonWriter json;
-    json.BeginObject();
-    json.Key("bench"), json.Value("sharding");
-    json.Key("smoke"), json.Value(smoke);
-    json.Key("coverage");
-    json.BeginObject();
-    json.Key("jobs"), json.Value(coverage_jobs.size());
-    json.Key("corpus_1"), json.Value(one.corpus_size);
-    json.Key("corpus_2"), json.Value(two.corpus_size);
-    json.Key("corpus_4"), json.Value(four.corpus_size);
-    json.Key("coverage_2_ok"), json.Value(coverage_2_ok);
-    json.Key("coverage_4_ok"), json.Value(coverage_4_ok);
-    json.Key("shard_wall_1"), json.Value(one.shard_wall);
-    json.Key("shard_wall_2"), json.Value(two.shard_wall);
-    json.Key("shard_wall_4"), json.Value(four.shard_wall);
-    json.EndObject();
-    json.Key("dedup");
-    json.BeginObject();
-    json.Key("jobs"), json.Value(dedup_jobs.size());
-    json.Key("duplicate_jobs"), json.Value(duplicate_jobs);
-    json.Key("suppressed_gossip"), json.Value(gossip_on.suppressed);
-    json.Key("suppressed_no_gossip"), json.Value(gossip_off.suppressed);
-    json.Key("remote_duplicate_hits"),
-        json.Value(gossip_on.remote_duplicate_hits);
-    json.Key("fingerprints_gossiped"),
-        json.Value(gossip_on.fingerprints_gossiped);
-    json.Key("merge_duplicates_gossip"),
-        json.Value(gossip_on.merge_duplicates);
-    json.Key("merge_duplicates_no_gossip"),
-        json.Value(gossip_off.merge_duplicates);
-    json.Key("target_met"), json.Value(target_met);
-    json.EndObject();
-    json.Key("reports");
-    json.BeginObject();
-    json.Key("shards_1"), json.RawValue(one.report);
-    json.Key("shards_2"), json.RawValue(two.report);
-    json.Key("shards_4"), json.RawValue(four.report);
-    json.Key("dedup_gossip"), json.RawValue(gossip_on.report);
-    json.Key("dedup_no_gossip"), json.RawValue(gossip_off.report);
-    json.EndObject();
-    json.EndObject();
-    const std::string report = json.Take();
-
-    std::FILE* file = std::fopen(report_path.c_str(), "wb");
-    if (file == nullptr ||
-        std::fwrite(report.data(), 1, report.size(), file) !=
-            report.size() ||
-        std::fclose(file) != 0) {
-        std::fprintf(stderr, "failed to write %s\n", report_path.c_str());
+    bench.Config("coverage_jobs", coverage_jobs.size());
+    bench.Config("dedup_jobs", dedup_jobs.size());
+    bench.Config("duplicate_jobs", duplicate_jobs);
+    bench.Metric("corpus_1", one.corpus_size);
+    bench.Metric("corpus_2", two.corpus_size);
+    bench.Metric("corpus_4", four.corpus_size);
+    bench.Metric("coverage_2_ok", coverage_2_ok);
+    bench.Metric("coverage_4_ok", coverage_4_ok);
+    bench.Metric("shard_wall_1", one.shard_wall);
+    bench.Metric("shard_wall_2", two.shard_wall);
+    bench.Metric("shard_wall_4", four.shard_wall);
+    bench.Metric("suppressed_gossip", gossip_on.suppressed);
+    bench.Metric("suppressed_no_gossip", gossip_off.suppressed);
+    bench.Metric("remote_duplicate_hits",
+                 gossip_on.remote_duplicate_hits);
+    bench.Metric("fingerprints_gossiped",
+                 gossip_on.fingerprints_gossiped);
+    bench.Metric("merge_duplicates_gossip", gossip_on.merge_duplicates);
+    bench.Metric("merge_duplicates_no_gossip",
+                 gossip_off.merge_duplicates);
+    bench.Metric("target_met", target_met);
+    bench.Report("shards_1", one.report);
+    bench.Report("shards_2", two.report);
+    bench.Report("shards_4", four.report);
+    bench.Report("dedup_gossip", gossip_on.report);
+    bench.Report("dedup_no_gossip", gossip_off.report);
+    std::printf("\n");
+    if (!bench.Write(report_path)) {
         return 1;
     }
-    std::printf("\nreport: %s\n", report_path.c_str());
     return ok ? 0 : 1;
 }

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "solver/solver.h"
 
 namespace {
@@ -132,32 +133,30 @@ RunQueries(const std::vector<Query>& queries, bool slicing,
 }
 
 void
-AppendConfigJson(std::string* out, const char* name,
-                 const RunOutcome& run)
+WriteRunOutcome(chef::support::JsonWriter* json, const char* name,
+                const RunOutcome& run)
 {
-    char buffer[512];
     const double qps =
         run.seconds > 0.0
             ? static_cast<double>(run.results.size()) / run.seconds
             : 0.0;
-    std::snprintf(
-        buffer, sizeof(buffer),
-        "\"%s\":{\"queries\":%zu,\"seconds\":%.6f,"
-        "\"queries_per_second\":%.1f,\"sat_calls\":%llu,"
-        "\"incremental_sat_calls\":%llu,\"sliced_queries\":%llu,"
-        "\"clauses_loaded\":%llu,\"clauses_loaded_per_query\":%.1f,"
-        "\"cache_hits\":%llu}",
-        name, run.results.size(), run.seconds, qps,
-        static_cast<unsigned long long>(run.stats.sat_calls),
-        static_cast<unsigned long long>(run.stats.incremental_sat_calls),
-        static_cast<unsigned long long>(run.stats.sliced_queries),
-        static_cast<unsigned long long>(run.stats.clauses_loaded),
-        run.results.empty()
-            ? 0.0
-            : static_cast<double>(run.stats.clauses_loaded) /
-                  static_cast<double>(run.results.size()),
-        static_cast<unsigned long long>(run.stats.cache_hits));
-    *out += buffer;
+    json->Key(name);
+    json->BeginObject();
+    json->Key("queries"), json->Value(run.results.size());
+    json->Key("seconds"), json->Value(run.seconds);
+    json->Key("queries_per_second"), json->Value(qps);
+    json->Key("sat_calls"), json->Value(run.stats.sat_calls);
+    json->Key("incremental_sat_calls"),
+        json->Value(run.stats.incremental_sat_calls);
+    json->Key("sliced_queries"), json->Value(run.stats.sliced_queries);
+    json->Key("clauses_loaded"), json->Value(run.stats.clauses_loaded);
+    json->Key("clauses_loaded_per_query"),
+        json->Value(run.results.empty()
+                        ? 0.0
+                        : static_cast<double>(run.stats.clauses_loaded) /
+                              static_cast<double>(run.results.size()));
+    json->Key("cache_hits"), json->Value(run.stats.cache_hits);
+    json->EndObject();
 }
 
 bool
@@ -172,13 +171,17 @@ int
 main(int argc, char** argv)
 {
     bool smoke = false;
-    std::string report_path = "BENCH_solver.json";
+    std::string report_path;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
         } else {
             report_path = argv[i];
         }
+    }
+    chef::bench::BenchReport bench("solver", smoke);
+    if (report_path.empty()) {
+        report_path = bench.DefaultPath();
     }
 
     const int depth = smoke ? 24 : 96;
@@ -195,12 +198,9 @@ main(int argc, char** argv)
                 smoke ? " [smoke]" : "");
 
     bool ok = true;
-    std::string json = "{\"bench\":\"solver-incremental\",";
-    json += smoke ? "\"mode\":\"smoke\"," : "\"mode\":\"full\",";
-    char buffer[128];
-    std::snprintf(buffer, sizeof(buffer), "\"depth\":%d,\"workloads\":[",
-                  depth);
-    json += buffer;
+    bench.Config("depth", depth);
+    chef::support::JsonWriter workloads_json;
+    workloads_json.BeginArray();
 
     for (size_t w = 0; w < workloads.size(); ++w) {
         const Workload& workload = workloads[w];
@@ -272,40 +272,29 @@ main(int argc, char** argv)
             ok = false;
         }
 
-        json += "{\"name\":\"";
-        json += workload.name;
-        json += "\",";
-        std::snprintf(buffer, sizeof(buffer),
-                      "\"speedup\":%.3f,\"clause_reduction\":%.3f,"
-                      "\"outcomes_match\":%s,",
-                      speedup, clause_reduction,
-                      outcomes_match ? "true" : "false");
-        json += buffer;
-        AppendConfigJson(&json, "baseline", baseline);
-        json += ",";
-        AppendConfigJson(&json, "slicing_only", slicing_only);
-        json += ",";
-        AppendConfigJson(&json, "incremental_only", incremental_only);
-        json += ",";
-        AppendConfigJson(&json, "optimized", optimized);
-        json += "}";
-        if (w + 1 < workloads.size()) {
-            json += ",";
-        }
+        const std::string prefix = std::string(workload.name) + "_";
+        bench.Metric((prefix + "speedup").c_str(), speedup);
+        bench.Metric((prefix + "clause_reduction").c_str(),
+                     clause_reduction);
+        bench.Metric((prefix + "outcomes_match").c_str(), outcomes_match);
+        workloads_json.BeginObject();
+        workloads_json.Key("name"), workloads_json.Value(workload.name);
+        workloads_json.Key("speedup"), workloads_json.Value(speedup);
+        workloads_json.Key("clause_reduction"),
+            workloads_json.Value(clause_reduction);
+        workloads_json.Key("outcomes_match"),
+            workloads_json.Value(outcomes_match);
+        WriteRunOutcome(&workloads_json, "baseline", baseline);
+        WriteRunOutcome(&workloads_json, "slicing_only", slicing_only);
+        WriteRunOutcome(&workloads_json, "incremental_only",
+                        incremental_only);
+        WriteRunOutcome(&workloads_json, "optimized", optimized);
+        workloads_json.EndObject();
     }
-    json += "]}";
-
-    std::FILE* file = std::fopen(report_path.c_str(), "wb");
-    if (file == nullptr) {
-        std::fprintf(stderr, "failed to open %s\n", report_path.c_str());
+    workloads_json.EndArray();
+    bench.Report("workloads", workloads_json.Take());
+    if (!bench.Write(report_path)) {
         return 1;
     }
-    const size_t written = std::fwrite(json.data(), 1, json.size(), file);
-    const bool flushed = std::fclose(file) == 0;
-    if (written != json.size() || !flushed) {
-        std::fprintf(stderr, "failed to write %s\n", report_path.c_str());
-        return 1;
-    }
-    std::printf("report: %s\n", report_path.c_str());
     return ok ? 0 : 1;
 }

@@ -18,16 +18,40 @@ StrategyKindName(StrategyKind kind)
     return "?";
 }
 
+namespace {
+
+/// The session's solver shares the engine's telemetry context unless the
+/// caller wired a distinct one into solver_options directly.
+solver::Solver::Options
+SolverOptionsFor(const Engine::Options& options)
+{
+    solver::Solver::Options solver_options = options.solver_options;
+    if (solver_options.obs.metrics == nullptr &&
+        solver_options.obs.tracer == nullptr) {
+        solver_options.obs = options.obs;
+    }
+    return solver_options;
+}
+
+}  // namespace
+
 Engine::Engine(Options options)
     : options_(options),
       rng_(options.seed),
-      solver_(options.solver_options),
+      solver_(SolverOptionsFor(options)),
       tree_(),
       runtime_(&tree_, &solver_,
                lowlevel::LowLevelRuntime::Options{
                    options.max_steps_per_run, options.fork_weight_decay}),
       tracker_()
 {
+    if (options_.obs.metrics != nullptr) {
+        obs::MetricsRegistry& registry = *options_.obs.metrics;
+        m_runs_ = registry.counter("engine.runs");
+        m_hl_paths_ = registry.counter("engine.hl_paths");
+        m_infeasible_ = registry.counter("engine.infeasible_states");
+        m_run_latency_ = registry.histogram("engine.run_seconds");
+    }
     tracker_.Attach(&runtime_);
     strategy_ = MakeStrategy();
     tree_.set_on_pending_removed(
@@ -103,11 +127,26 @@ Engine::Explore(const RunFn& run)
             stopped = true;
             break;
         }
+        // One concolic iteration: the interpreter dispatch loop runs
+        // inside run(), so this span is the "where does interpreter time
+        // go" row of the trace.
+        const auto run_start = Clock::now();
         runtime_.BeginRun(assignment);
         tracker_.BeginRun();
-        GuestOutcome outcome = run(runtime_);
+        GuestOutcome outcome;
+        {
+            CHEF_OBS_SPAN(run_span, options_.obs.tracer, "engine/run",
+                          "engine");
+            outcome = run(runtime_);
+        }
         const lowlevel::RunStats run_stats = runtime_.EndRun();
         const hll::HlPathInfo hl_info = tracker_.EndRun();
+        if (m_runs_ != nullptr) {
+            m_runs_->Add();
+            m_run_latency_->Record(
+                std::chrono::duration<double>(Clock::now() - run_start)
+                    .count());
+        }
         stats_.states_registered += run_stats.registered_states;
 
         if (run_stats.status == lowlevel::PathStatus::kAssumeViolated) {
@@ -143,6 +182,9 @@ Engine::Explore(const RunFn& run)
             ++stats_.ll_paths;
             if (hl_info.is_new_path) {
                 ++stats_.hl_paths;
+                if (m_hl_paths_ != nullptr) {
+                    m_hl_paths_->Add();
+                }
             }
             test_cases.push_back(std::move(test_case));
 
@@ -163,6 +205,8 @@ Engine::Explore(const RunFn& run)
         // applies here too: draining a large pool of infeasible states
         // (runaway loops) must not stall the session.
         bool found = false;
+        CHEF_OBS_SPAN(select_span, options_.obs.tracer, "engine/select",
+                      "engine");
         while (!strategy_->empty() && elapsed() < options_.max_seconds) {
             if (stop_requested()) {
                 stopped = true;
@@ -181,6 +225,9 @@ Engine::Explore(const RunFn& run)
             tree_.MarkInfeasible(state);
             if (result == solver::QueryResult::kUnsat) {
                 ++stats_.infeasible_states;
+                if (m_infeasible_ != nullptr) {
+                    m_infeasible_->Add();
+                }
             } else {
                 ++stats_.solver_failures;
             }

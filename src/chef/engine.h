@@ -136,6 +136,12 @@ class Engine
         /// user-requested shutdown without engine internals growing any
         /// thread-awareness.
         std::function<bool()> stop_requested;
+        /// Telemetry (obs/obs.h). Copied into solver_options.obs by the
+        /// constructor so the session's solver shares the same registry
+        /// and tracer; the engine itself emits engine/run (interpreter
+        /// dispatch) and engine/select (state selection) spans plus
+        /// engine.* counters.
+        obs::ObsContext obs;
     };
 
     /// Outcome descriptor returned by the guest adapter after one run.
@@ -167,6 +173,12 @@ class Engine
 
     Options options_;
     Rng rng_;
+    // Resolved once at construction; null when Options::obs carries no
+    // registry.
+    obs::Counter* m_runs_ = nullptr;
+    obs::Counter* m_hl_paths_ = nullptr;
+    obs::Counter* m_infeasible_ = nullptr;
+    obs::Histogram* m_run_latency_ = nullptr;
     solver::Solver solver_;
     lowlevel::ExecutionTree tree_;
     lowlevel::LowLevelRuntime runtime_;

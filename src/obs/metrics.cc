@@ -1,0 +1,365 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "support/json.h"
+
+namespace chef::obs {
+
+size_t ThisThreadStripe()
+{
+    // Round-robin assignment on first use per thread. A global counter
+    // (rather than hashing the thread id) guarantees the first
+    // kMetricStripes threads land on distinct stripes — the common case
+    // of a small fixed worker pool gets perfect spreading.
+    static std::atomic<size_t> next_stripe{0};
+    thread_local size_t stripe =
+        next_stripe.fetch_add(1, std::memory_order_relaxed) % kMetricStripes;
+    return stripe;
+}
+
+void Histogram::RecordNanos(uint64_t nanos)
+{
+    Stripe& stripe = stripes_[ThisThreadStripe()];
+    stripe.buckets[BucketFor(nanos)].fetch_add(1, std::memory_order_relaxed);
+    stripe.count.fetch_add(1, std::memory_order_relaxed);
+    stripe.sum_nanos.fetch_add(nanos, std::memory_order_relaxed);
+
+    uint64_t seen = min_nanos_.load(std::memory_order_relaxed);
+    while (nanos < seen &&
+           !min_nanos_.compare_exchange_weak(seen, nanos,
+                                             std::memory_order_relaxed)) {
+    }
+    seen = max_nanos_.load(std::memory_order_relaxed);
+    while (nanos > seen &&
+           !max_nanos_.compare_exchange_weak(seen, nanos,
+                                             std::memory_order_relaxed)) {
+    }
+}
+
+size_t Histogram::BucketFor(uint64_t nanos)
+{
+    if (nanos == 0) {
+        return 0;
+    }
+    // Bucket b >= 1 covers [2^(b-1), 2^b): b = floor(log2(nanos)) + 1.
+    size_t bucket = 0;
+    while (nanos != 0) {
+        nanos >>= 1;
+        ++bucket;
+    }
+    return std::min(bucket, kHistogramBuckets - 1);
+}
+
+uint64_t Histogram::BucketUpperNanos(size_t bucket)
+{
+    if (bucket == 0) {
+        return 0;
+    }
+    if (bucket >= kHistogramBuckets - 1) {
+        return UINT64_MAX;
+    }
+    return (uint64_t{1} << bucket) - 1;
+}
+
+double HistogramSnapshot::QuantileSeconds(double q) const
+{
+    if (count == 0) {
+        return 0.0;
+    }
+    q = std::min(std::max(q, 0.0), 1.0);
+    // Rank of the target order statistic, 1-based; ceil(q * count)
+    // computed in integer space to dodge double rounding at q = 1.
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+    if (rank < q * static_cast<double>(count)) {
+        ++rank;
+    }
+    rank = std::max<uint64_t>(rank, 1);
+
+    uint64_t seen = 0;
+    for (size_t b = 0; b < kHistogramBuckets; ++b) {
+        seen += buckets[b];
+        if (seen >= rank) {
+            // Upper edge of the target's bucket, clamped to the observed
+            // max so the last bucket's open tail can't report 2^63 ns.
+            uint64_t edge = Histogram::BucketUpperNanos(b);
+            return static_cast<double>(std::min(edge, max_nanos)) / 1e9;
+        }
+    }
+    return static_cast<double>(max_nanos) / 1e9;
+}
+
+void MetricsSnapshot::MergeFrom(const MetricsSnapshot& other)
+{
+    for (const auto& [name, value] : other.counters) {
+        auto it = std::find_if(
+            counters.begin(), counters.end(),
+            [&name = name](const auto& entry) { return entry.first == name; });
+        if (it == counters.end()) {
+            counters.emplace_back(name, value);
+        } else {
+            it->second += value;
+        }
+    }
+    for (const auto& [name, value] : other.gauges) {
+        auto it = std::find_if(
+            gauges.begin(), gauges.end(),
+            [&name = name](const auto& entry) { return entry.first == name; });
+        if (it == gauges.end()) {
+            gauges.emplace_back(name, value);
+        } else {
+            it->second += value;
+        }
+    }
+    for (const HistogramSnapshot& theirs : other.histograms) {
+        auto it = std::find_if(histograms.begin(), histograms.end(),
+                               [&theirs](const HistogramSnapshot& h) {
+                                   return h.name == theirs.name;
+                               });
+        if (it == histograms.end()) {
+            histograms.push_back(theirs);
+            continue;
+        }
+        HistogramSnapshot& ours = *it;
+        if (theirs.count != 0) {
+            ours.min_nanos = ours.count == 0
+                                 ? theirs.min_nanos
+                                 : std::min(ours.min_nanos, theirs.min_nanos);
+            ours.max_nanos = std::max(ours.max_nanos, theirs.max_nanos);
+        }
+        ours.count += theirs.count;
+        ours.sum_nanos += theirs.sum_nanos;
+        for (size_t b = 0; b < kHistogramBuckets; ++b) {
+            ours.buckets[b] += theirs.buckets[b];
+        }
+    }
+    // Keep the sorted-by-name invariant after appends.
+    std::sort(counters.begin(), counters.end());
+    std::sort(gauges.begin(), gauges.end());
+    std::sort(histograms.begin(), histograms.end(),
+              [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
+                  return a.name < b.name;
+              });
+}
+
+uint64_t MetricsSnapshot::CounterValue(const std::string& name) const
+{
+    for (const auto& [counter_name, value] : counters) {
+        if (counter_name == name) {
+            return value;
+        }
+    }
+    return 0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    const std::string& name) const
+{
+    for (const HistogramSnapshot& histogram : histograms) {
+        if (histogram.name == name) {
+            return &histogram;
+        }
+    }
+    return nullptr;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_ptr<Counter>& slot = counters_[name];
+    if (!slot) {
+        slot = std::make_unique<Counter>();
+    }
+    return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_ptr<Gauge>& slot = gauges_[name];
+    if (!slot) {
+        slot = std::make_unique<Gauge>();
+    }
+    return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_ptr<Histogram>& slot = histograms_[name];
+    if (!slot) {
+        slot = std::make_unique<Histogram>();
+    }
+    return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snapshot;
+    snapshot.counters.reserve(counters_.size());
+    for (const auto& [name, counter] : counters_) {
+        snapshot.counters.emplace_back(name, counter->Value());
+    }
+    snapshot.gauges.reserve(gauges_.size());
+    for (const auto& [name, gauge] : gauges_) {
+        snapshot.gauges.emplace_back(name, gauge->Value());
+    }
+    snapshot.histograms.reserve(histograms_.size());
+    for (const auto& [name, histogram] : histograms_) {
+        HistogramSnapshot h;
+        h.name = name;
+        for (const Histogram::Stripe& stripe : histogram->stripes_) {
+            h.count += stripe.count.load(std::memory_order_relaxed);
+            h.sum_nanos += stripe.sum_nanos.load(std::memory_order_relaxed);
+            for (size_t b = 0; b < kHistogramBuckets; ++b) {
+                h.buckets[b] +=
+                    stripe.buckets[b].load(std::memory_order_relaxed);
+            }
+        }
+        if (h.count != 0) {
+            h.min_nanos = histogram->min_nanos_.load(std::memory_order_relaxed);
+            h.max_nanos = histogram->max_nanos_.load(std::memory_order_relaxed);
+        }
+        snapshot.histograms.push_back(std::move(h));
+    }
+    return snapshot;
+}
+
+void WriteMetricsSnapshot(support::JsonWriter& json,
+                          const MetricsSnapshot& snapshot)
+{
+    json.BeginObject();
+    json.Key("counters");
+    json.BeginObject();
+    for (const auto& [name, value] : snapshot.counters) {
+        json.Key(name.c_str());
+        json.Value(value);
+    }
+    json.EndObject();
+    json.Key("gauges");
+    json.BeginObject();
+    for (const auto& [name, value] : snapshot.gauges) {
+        json.Key(name.c_str());
+        if (value < 0) {
+            // The integral Value() overload assumes non-negative; gauges
+            // are the one signed metric, so spell the sign out.
+            json.RawValue(std::to_string(value));
+        } else {
+            json.Value(static_cast<uint64_t>(value));
+        }
+    }
+    json.EndObject();
+    json.Key("histograms");
+    json.BeginArray();
+    for (const HistogramSnapshot& h : snapshot.histograms) {
+        json.BeginObject();
+        json.Key("name");
+        json.Value(h.name);
+        json.Key("count");
+        json.Value(h.count);
+        json.Key("sum_nanos");
+        json.Value(h.sum_nanos);
+        json.Key("min_nanos");
+        json.Value(h.min_nanos);
+        json.Key("max_nanos");
+        json.Value(h.max_nanos);
+        json.Key("mean_seconds");
+        json.Value(h.MeanSeconds());
+        json.Key("p50_seconds");
+        json.Value(h.QuantileSeconds(0.50));
+        json.Key("p95_seconds");
+        json.Value(h.QuantileSeconds(0.95));
+        json.Key("p99_seconds");
+        json.Value(h.QuantileSeconds(0.99));
+        json.Key("buckets");
+        json.BeginArray();
+        for (size_t b = 0; b < kHistogramBuckets; ++b) {
+            if (h.buckets[b] == 0) {
+                continue;
+            }
+            json.BeginArray();
+            json.Value(b);
+            json.Value(h.buckets[b]);
+            json.EndArray();
+        }
+        json.EndArray();
+        json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+}
+
+bool DecodeMetricsSnapshot(const support::JsonValue& object,
+                           MetricsSnapshot* snapshot, std::string* error)
+{
+    using support::JsonValue;
+    auto fail = [error](const std::string& message) {
+        if (error != nullptr) {
+            *error = "telemetry: " + message;
+        }
+        return false;
+    };
+
+    snapshot->counters.clear();
+    snapshot->gauges.clear();
+    snapshot->histograms.clear();
+
+    const JsonValue* counters = object.Find("counters");
+    if (counters == nullptr || counters->kind != JsonValue::Kind::kObject) {
+        return fail("missing counters object");
+    }
+    for (const auto& [name, value] : counters->members) {
+        uint64_t n = 0;
+        if (!value.AsUint64(&n)) {
+            return fail("counter " + name + " is not a number");
+        }
+        snapshot->counters.emplace_back(name, n);
+    }
+
+    const JsonValue* gauges = object.Find("gauges");
+    if (gauges == nullptr || gauges->kind != JsonValue::Kind::kObject) {
+        return fail("missing gauges object");
+    }
+    for (const auto& [name, value] : gauges->members) {
+        double d = 0;
+        if (!value.AsDouble(&d)) {
+            return fail("gauge " + name + " is not a number");
+        }
+        snapshot->gauges.emplace_back(name, static_cast<int64_t>(d));
+    }
+
+    const JsonValue* histograms = object.Find("histograms");
+    if (histograms == nullptr || histograms->kind != JsonValue::Kind::kArray) {
+        return fail("missing histograms array");
+    }
+    for (const JsonValue& entry : histograms->items) {
+        HistogramSnapshot h;
+        if (!entry.GetString("name", &h.name) ||
+            !entry.GetUint64("count", &h.count) ||
+            !entry.GetUint64("sum_nanos", &h.sum_nanos) ||
+            !entry.GetUint64("min_nanos", &h.min_nanos) ||
+            !entry.GetUint64("max_nanos", &h.max_nanos)) {
+            return fail("histogram entry missing scalar fields");
+        }
+        const JsonValue* buckets = entry.Find("buckets");
+        if (buckets == nullptr || buckets->kind != JsonValue::Kind::kArray) {
+            return fail("histogram " + h.name + " missing buckets");
+        }
+        for (const JsonValue& pair : buckets->items) {
+            uint64_t index = 0;
+            uint64_t bucket_count = 0;
+            if (pair.kind != JsonValue::Kind::kArray ||
+                pair.items.size() != 2 || !pair.items[0].AsUint64(&index) ||
+                !pair.items[1].AsUint64(&bucket_count) ||
+                index >= kHistogramBuckets) {
+                return fail("histogram " + h.name + " has a malformed bucket");
+            }
+            h.buckets[index] = bucket_count;
+        }
+        snapshot->histograms.push_back(std::move(h));
+    }
+    return true;
+}
+
+}  // namespace chef::obs

@@ -1,0 +1,35 @@
+#ifndef CHEF_OBS_OBS_H_
+#define CHEF_OBS_OBS_H_
+
+/// \file
+/// ObsContext: the handle every layer takes to participate in
+/// telemetry. A pair of non-owning pointers — null members mean "that
+/// facility is off", and the instrumentation sites are written so the
+/// null case costs a single branch. Default-constructed ObsContext is
+/// fully disabled, which is the default everywhere: telemetry is strictly
+/// opt-in per run.
+///
+/// Ownership: whoever creates the run scope owns the registry and
+/// tracer (a shard worker per RunRequest, chef_shard's coordinator path
+/// per invocation, a test per fixture) and keeps them alive across the
+/// run; everything downstream copies the context by value.
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace chef::obs {
+
+struct ObsContext {
+    MetricsRegistry* metrics = nullptr;
+    PhaseTracer* tracer = nullptr;
+
+    bool metrics_enabled() const { return metrics != nullptr; }
+    bool tracing_enabled() const
+    {
+        return tracer != nullptr && tracer->enabled();
+    }
+};
+
+}  // namespace chef::obs
+
+#endif  // CHEF_OBS_OBS_H_

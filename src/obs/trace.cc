@@ -1,0 +1,196 @@
+#include "obs/trace.h"
+
+#include <chrono>
+
+#include "support/json.h"
+
+namespace chef::obs {
+
+namespace {
+
+uint64_t SteadyNanos()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+}  // namespace
+
+PhaseTracer::PhaseTracer() : epoch_ns_(SteadyNanos()) {}
+
+uint64_t PhaseTracer::NowMicros() const
+{
+    return (SteadyNanos() - epoch_ns_) / 1000;
+}
+
+uint32_t PhaseTracer::ThisThreadId()
+{
+    static std::atomic<uint32_t> next_tid{1};
+    thread_local uint32_t tid =
+        next_tid.fetch_add(1, std::memory_order_relaxed);
+    return tid;
+}
+
+void PhaseTracer::RecordSpan(const char* name, const char* cat,
+                             uint64_t ts_us, uint64_t dur_us,
+                             std::string detail)
+{
+    TraceEvent event;
+    event.name = name;
+    event.detail = std::move(detail);
+    event.cat = cat;
+    event.ts_us = ts_us;
+    event.dur_us = dur_us;
+    event.tid = ThisThreadId();
+    event.pid = pid_;
+
+    Buffer& buffer = buffers_[ThisThreadId() % kBuffers];
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    buffer.events.push_back(std::move(event));
+}
+
+void PhaseTracer::RecordInstant(const char* name, const char* cat,
+                                std::string detail)
+{
+    if (!enabled()) {
+        return;
+    }
+    RecordSpan(name, cat, NowMicros(), 0, std::move(detail));
+}
+
+std::vector<TraceEvent> PhaseTracer::TakeEvents()
+{
+    std::vector<TraceEvent> drained;
+    for (Buffer& buffer : buffers_) {
+        std::lock_guard<std::mutex> lock(buffer.mutex);
+        if (drained.empty()) {
+            drained = std::move(buffer.events);
+            buffer.events.clear();
+        } else {
+            drained.insert(drained.end(),
+                           std::make_move_iterator(buffer.events.begin()),
+                           std::make_move_iterator(buffer.events.end()));
+            buffer.events.clear();
+        }
+    }
+    return drained;
+}
+
+size_t PhaseTracer::ApproxEventCount() const
+{
+    size_t total = 0;
+    for (const Buffer& buffer : buffers_) {
+        // const_cast for the lock: logically const, the mutex is not.
+        std::lock_guard<std::mutex> lock(
+            const_cast<std::mutex&>(buffer.mutex));
+        total += buffer.events.size();
+    }
+    return total;
+}
+
+namespace {
+
+void WriteOneEvent(support::JsonWriter& json, const TraceEvent& event,
+                   bool chrome_form)
+{
+    json.BeginObject();
+    json.Key("name");
+    json.Value(event.name);
+    json.Key("cat");
+    json.Value(event.cat);
+    if (chrome_form) {
+        json.Key("ph");
+        json.Value("X");
+        json.Key("ts");
+        json.Value(event.ts_us);
+        json.Key("dur");
+        json.Value(event.dur_us);
+    } else {
+        json.Key("ts_us");
+        json.Value(event.ts_us);
+        json.Key("dur_us");
+        json.Value(event.dur_us);
+    }
+    json.Key("pid");
+    json.Value(event.pid);
+    json.Key("tid");
+    json.Value(event.tid);
+    if (chrome_form) {
+        if (!event.detail.empty()) {
+            json.Key("args");
+            json.BeginObject();
+            json.Key("detail");
+            json.Value(event.detail);
+            json.EndObject();
+        }
+    } else {
+        json.Key("detail");
+        json.Value(event.detail);
+    }
+    json.EndObject();
+}
+
+}  // namespace
+
+std::string RenderChromeTrace(const std::vector<TraceEvent>& events)
+{
+    support::JsonWriter json;
+    json.BeginObject();
+    json.Key("traceEvents");
+    json.BeginArray();
+    for (const TraceEvent& event : events) {
+        WriteOneEvent(json, event, /*chrome_form=*/true);
+    }
+    json.EndArray();
+    json.Key("displayTimeUnit");
+    json.Value("ms");
+    json.EndObject();
+    return json.Take();
+}
+
+void WriteTraceEvents(support::JsonWriter& json,
+                      const std::vector<TraceEvent>& events)
+{
+    json.BeginArray();
+    for (const TraceEvent& event : events) {
+        WriteOneEvent(json, event, /*chrome_form=*/false);
+    }
+    json.EndArray();
+}
+
+bool DecodeTraceEvents(const support::JsonValue& array,
+                       std::vector<TraceEvent>* events, std::string* error)
+{
+    using support::JsonValue;
+    auto fail = [error](const std::string& message) {
+        if (error != nullptr) {
+            *error = "trace: " + message;
+        }
+        return false;
+    };
+    if (array.kind != JsonValue::Kind::kArray) {
+        return fail("events field is not an array");
+    }
+    events->reserve(events->size() + array.items.size());
+    for (const JsonValue& entry : array.items) {
+        TraceEvent event;
+        uint64_t tid = 0;
+        uint64_t pid = 0;
+        if (!entry.GetString("name", &event.name) ||
+            !entry.GetString("cat", &event.cat) ||
+            !entry.GetString("detail", &event.detail) ||
+            !entry.GetUint64("ts_us", &event.ts_us) ||
+            !entry.GetUint64("dur_us", &event.dur_us) ||
+            !entry.GetUint64("tid", &tid) || !entry.GetUint64("pid", &pid)) {
+            return fail("event missing required fields");
+        }
+        event.tid = static_cast<uint32_t>(tid);
+        event.pid = static_cast<uint32_t>(pid);
+        events->push_back(std::move(event));
+    }
+    return true;
+}
+
+}  // namespace chef::obs

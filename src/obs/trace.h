@@ -1,0 +1,194 @@
+#ifndef CHEF_OBS_TRACE_H_
+#define CHEF_OBS_TRACE_H_
+
+/// \file
+/// Phase tracing: Chrome-trace-event JSON spans for the stack's phases
+/// (job lifecycle, solver Solve/SolveLeaf/SolveViaSat, slice and cache
+/// work, SAT incremental sessions, interpreter dispatch, scheduler
+/// re-ranks and plateau decisions).
+///
+/// Cost model, because tracing rides the solver hot path:
+///
+///  - Compile-time: the CHEF_OBS_SPAN macro compiles to nothing when the
+///    build sets CHEF_OBS_TRACING=0 (CMake option). The default build
+///    keeps it in.
+///  - Runtime: tracers are *off* unless explicitly enabled. A disabled
+///    span is one null-check plus one relaxed atomic load — no clock
+///    read, no lock, no allocation. Only an enabled span reads the
+///    steady clock twice and appends one event to a striped buffer.
+///
+/// Completed spans are buffered as Chrome trace "X" (complete) events:
+/// {"name", "cat", "ph":"X", "ts", "dur", "pid", "tid"} with
+/// microsecond timestamps relative to the tracer's construction. pid
+/// identifies the shard (workers stamp shard_id + 1; 0 = local /
+/// coordinator process), tid the recording thread — chrome://tracing
+/// and Perfetto group rows by (pid, tid), which makes shard and thread
+/// structure visible for free. Buffers are striped by thread the same
+/// way the metrics registry stripes counters; TakeEvents() drains them
+/// for wire shipping or file rendering.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace chef::support {
+class JsonWriter;
+struct JsonValue;
+}  // namespace chef::support
+
+namespace chef::obs {
+
+/// One completed span (Chrome trace "X" event).
+struct TraceEvent {
+    std::string name;    ///< Phase name, e.g. "solver/solve".
+    std::string detail;  ///< Optional args.detail annotation ("" = none).
+    std::string cat;     ///< Category: layer name ("solver", "service", ...).
+    uint64_t ts_us = 0;  ///< Start, microseconds since tracer epoch.
+    uint64_t dur_us = 0;
+    uint32_t tid = 0;  ///< Recording thread (small per-process ordinal).
+    uint32_t pid = 0;  ///< Shard: shard_id + 1; 0 = local process.
+};
+
+/// Collects spans from many threads. One per scope that renders or
+/// ships a trace (one per shard worker run; one per local service run).
+class PhaseTracer
+{
+  public:
+    PhaseTracer();
+
+    /// Tracing is off by default; a disabled tracer makes every span a
+    /// couple of relaxed loads.
+    void set_enabled(bool enabled)
+    {
+        enabled_.store(enabled, std::memory_order_relaxed);
+    }
+    bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+    /// Events recorded from now on are stamped with this pid (shard
+    /// identity). Set before the run starts, not concurrently with
+    /// recording.
+    void set_pid(uint32_t pid) { pid_ = pid; }
+    uint32_t pid() const { return pid_; }
+
+    /// Microseconds since this tracer's construction.
+    uint64_t NowMicros() const;
+
+    /// Small stable ordinal for the calling thread (first-use assigned).
+    static uint32_t ThisThreadId();
+
+    /// Records one completed span. Called by ScopedSpan's destructor;
+    /// callable directly for spans whose bounds aren't a C++ scope.
+    void RecordSpan(const char* name, const char* cat, uint64_t ts_us,
+                    uint64_t dur_us, std::string detail = std::string());
+
+    /// Records a zero-duration marker (rendered as a tiny "X" slice), for
+    /// point decisions like a plateau cancellation.
+    void RecordInstant(const char* name, const char* cat,
+                       std::string detail = std::string());
+
+    /// Drains all buffered events (they stop being this tracer's to
+    /// render). Safe while recording continues; events recorded during
+    /// the drain land in the next TakeEvents().
+    std::vector<TraceEvent> TakeEvents();
+
+    size_t ApproxEventCount() const;
+
+  private:
+    struct alignas(64) Buffer {
+        std::mutex mutex;
+        std::vector<TraceEvent> events;
+    };
+    static constexpr size_t kBuffers = 8;
+
+    std::atomic<bool> enabled_{false};
+    uint32_t pid_ = 0;
+    uint64_t epoch_ns_ = 0;  ///< steady_clock at construction.
+    Buffer buffers_[kBuffers];
+};
+
+/// RAII span: stamps the start time at construction, records the
+/// completed event at destruction. When the tracer is null or disabled
+/// at construction, both ends are no-ops (the enabled decision is
+/// latched at open so a span can't half-record across a toggle).
+class ScopedSpan
+{
+  public:
+    ScopedSpan(PhaseTracer* tracer, const char* name, const char* cat)
+        : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr),
+          name_(name), cat_(cat),
+          start_us_(tracer_ != nullptr ? tracer_->NowMicros() : 0)
+    {
+    }
+
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+    /// Attaches an annotation rendered as args.detail (e.g. a slice
+    /// count or cache outcome decided mid-span).
+    void set_detail(std::string detail)
+    {
+        if (tracer_ != nullptr) {
+            detail_ = std::move(detail);
+        }
+    }
+
+    ~ScopedSpan()
+    {
+        if (tracer_ != nullptr) {
+            tracer_->RecordSpan(name_, cat_, start_us_,
+                                tracer_->NowMicros() - start_us_,
+                                std::move(detail_));
+        }
+    }
+
+  private:
+    PhaseTracer* tracer_;
+    const char* name_;
+    const char* cat_;
+    uint64_t start_us_;
+    std::string detail_;
+};
+
+/// Renders events as one Chrome trace document:
+/// {"traceEvents":[{"name":...,"cat":...,"ph":"X","ts":n,"dur":n,
+///                  "pid":n,"tid":n,("args":{"detail":...})},...]}
+/// — loadable in chrome://tracing and Perfetto, and strict RFC 8259
+/// (validated by the trace smoke test).
+std::string RenderChromeTrace(const std::vector<TraceEvent>& events);
+
+/// Serializes events as a JSON array of flat objects (the shard wire
+/// form — same fields as TraceEvent, with ts/dur in microseconds).
+void WriteTraceEvents(support::JsonWriter& json,
+                      const std::vector<TraceEvent>& events);
+
+/// Inverse of WriteTraceEvents; appends to \p events.
+bool DecodeTraceEvents(const support::JsonValue& array,
+                       std::vector<TraceEvent>* events, std::string* error);
+
+}  // namespace chef::obs
+
+/// Span macro: the instrumentation sites use this so a build with
+/// -DCHEF_OBS_TRACING=OFF compiles every site out entirely. `tracer` is
+/// a PhaseTracer* (may be null).
+#ifndef CHEF_OBS_TRACING
+#define CHEF_OBS_TRACING 1
+#endif
+
+#if CHEF_OBS_TRACING
+#define CHEF_OBS_SPAN(var, tracer, name, cat) \
+    ::chef::obs::ScopedSpan var(tracer, name, cat)
+#else
+#define CHEF_OBS_SPAN(var, tracer, name, cat) \
+    ::chef::obs::NullSpan var
+namespace chef::obs {
+/// Stand-in so `var.set_detail(...)` still compiles when spans are
+/// compiled out.
+struct NullSpan {
+    void set_detail(const std::string&) {}
+};
+}  // namespace chef::obs
+#endif
+
+#endif  // CHEF_OBS_TRACE_H_

@@ -24,6 +24,7 @@ JobEventKindName(JobEvent::Kind kind)
       case JobEvent::Kind::kJobStarted: return "job_started";
       case JobEvent::Kind::kJobCompleted: return "job_completed";
       case JobEvent::Kind::kBatchProgress: return "batch_progress";
+      case JobEvent::Kind::kMetrics: return "metrics";
     }
     return "?";
 }
@@ -86,6 +87,10 @@ BatchScheduler::BatchScheduler(std::vector<std::string> workloads,
 void
 BatchScheduler::Resort()
 {
+    CHEF_OBS_SPAN(span, options_.obs.tracer, "sched/resort", "service");
+    if (options_.obs.metrics != nullptr) {
+        options_.obs.metrics->counter("scheduler.resorts")->Add();
+    }
     // Rank each distinct workload once per sort (YieldFor locks the
     // corpus; don't pay that inside the comparator). Lower tier beats
     // higher; within a tier, higher decayed yield beats lower; the job
@@ -161,7 +166,21 @@ BatchScheduler::OnJobCompleted(const std::string& workload, size_t offered,
     dirty_ = true;
     if (options_.plateau.enabled && options_.plateau.cancel_after > 0 &&
         yield.consecutive_zero_yield >= options_.plateau.cancel_after) {
-        cancelled_workloads_.insert(workload);
+        if (cancelled_workloads_.insert(workload).second) {
+            MarkPlateauCancelled(workload);
+        }
+    }
+}
+
+void
+BatchScheduler::MarkPlateauCancelled(const std::string& workload)
+{
+    if (options_.obs.metrics != nullptr) {
+        options_.obs.metrics->counter("scheduler.plateau_cancels")->Add();
+    }
+    if (options_.obs.tracer != nullptr) {
+        options_.obs.tracer->RecordInstant("sched/plateau_cancel", "service",
+                                           workload);
     }
 }
 
@@ -183,7 +202,9 @@ BatchScheduler::NotifyYieldsChanged()
         const TestCorpus::WorkloadYield yield =
             corpus_->YieldFor(workload);
         if (yield.consecutive_zero_yield >= options_.plateau.cancel_after) {
-            cancelled_workloads_.insert(workload);
+            if (cancelled_workloads_.insert(workload).second) {
+                MarkPlateauCancelled(workload);
+            }
         }
     }
 }

@@ -29,6 +29,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/obs.h"
 #include "service/corpus.h"
 #include "service/job.h"
 
@@ -64,6 +65,9 @@ class BatchScheduler
     struct Options {
         SchedulePolicy policy = SchedulePolicy::kYieldPriority;
         PlateauPolicy plateau;
+        /// Telemetry (obs/obs.h): sched/resort spans, instant markers on
+        /// plateau cancellations, scheduler.* counters.
+        obs::ObsContext obs;
     };
 
     struct Dispatch {
@@ -105,6 +109,10 @@ class BatchScheduler
   private:
     /// Re-sorts pending_ so the back holds the next job to dispatch.
     void Resort();
+
+    /// Telemetry for a workload newly crossing cancel_after (counter +
+    /// instant trace marker). Called with mutex_ held.
+    void MarkPlateauCancelled(const std::string& workload);
 
     Options options_;
     std::vector<std::string> workloads_;

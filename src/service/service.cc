@@ -10,6 +10,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/obs.h"
+#include "support/json.h"
 #include "support/strings.h"
 #include "workloads/registry.h"
 
@@ -139,6 +141,10 @@ ExplorationService::RunJob(const JobSpec& spec, size_t job_index,
     // "completed".
     Engine::Options engine_options = spec.options;
     engine_options.seed = result.seed_used;
+    if (engine_options.obs.metrics == nullptr &&
+        engine_options.obs.tracer == nullptr) {
+        engine_options.obs = options_.obs;
+    }
     if (shared_cache_ != nullptr) {
         // Batch-level sharing overrides any cache the spec carried: one
         // cache per batch is the unit the stats and report describe.
@@ -172,6 +178,11 @@ ExplorationService::RunJob(const JobSpec& spec, size_t job_index,
     };
 
     try {
+        // The job span is the root of each worker thread's trace row:
+        // every engine/* and solver/* span of the session nests inside it
+        // (the trace-validity test leans on this).
+        CHEF_OBS_SPAN(job_span, options_.obs.tracer, "job", "service");
+        job_span.set_detail(result.label);
         Engine engine(engine_options);
         const Engine::RunFn run = info->make_run(spec.build);
         const std::vector<TestCase> tests = engine.Explore(run);
@@ -217,6 +228,10 @@ ExplorationService::RunJob(const JobSpec& spec, size_t job_index,
     } catch (const std::exception& error) {
         result.status = JobStatus::kFailed;
         result.error = error.what();
+    }
+    if (options_.obs.metrics != nullptr) {
+        options_.obs.metrics->histogram("service.job_seconds")
+            ->Record(SecondsSince(start));
     }
     return result;
 }
@@ -283,6 +298,13 @@ ExplorationService::RunBatch(const std::vector<JobSpec>& jobs)
         });
     }
     std::atomic<size_t> jobs_finished{0};
+    // Periodic kMetrics emission is piggybacked on job completions: the
+    // completing worker that first observes the interval elapsed wins the
+    // CAS and renders one snapshot. No ticker thread, so cadence is
+    // bounded below by job duration.
+    std::atomic<double> last_metrics_emit{0.0};
+    const bool metrics_events = options_.obs.metrics != nullptr &&
+                                options_.metrics_interval_seconds > 0.0;
     auto emit = [&](JobEvent event) {
         if (!streaming) {
             return;
@@ -300,6 +322,7 @@ ExplorationService::RunBatch(const std::vector<JobSpec>& jobs)
     BatchScheduler::Options scheduler_options;
     scheduler_options.policy = options_.schedule_policy;
     scheduler_options.plateau = options_.plateau_policy;
+    scheduler_options.obs = options_.obs;
     std::vector<std::string> job_workloads;
     job_workloads.reserve(jobs.size());
     for (const JobSpec& spec : jobs) {
@@ -379,6 +402,24 @@ ExplorationService::RunBatch(const std::vector<JobSpec>& jobs)
             progress.workload = result.workload;
             progress.jobs_finished = finished;
             emit(std::move(progress));
+            if (streaming && metrics_events) {
+                const double now = SecondsSince(batch_start);
+                double last =
+                    last_metrics_emit.load(std::memory_order_relaxed);
+                if (now - last >= options_.metrics_interval_seconds &&
+                    last_metrics_emit.compare_exchange_strong(last, now)) {
+                    support::JsonWriter json;
+                    obs::WriteMetricsSnapshot(
+                        json, options_.obs.metrics->Snapshot());
+                    JobEvent metrics;
+                    metrics.kind = JobEvent::Kind::kMetrics;
+                    metrics.job_index = index;
+                    metrics.workload = result.workload;
+                    metrics.jobs_finished = finished;
+                    metrics.metrics_json = json.Take();
+                    emit(std::move(metrics));
+                }
+            }
         }
     };
 
@@ -408,11 +449,34 @@ ExplorationService::RunBatch(const std::vector<JobSpec>& jobs)
     }
 
     stats_.jobs_submitted += jobs.size();
+    obs::Counter* m_completed = nullptr;
+    obs::Counter* m_cancelled = nullptr;
+    obs::Counter* m_failed = nullptr;
+    if (options_.obs.metrics != nullptr) {
+        m_completed = options_.obs.metrics->counter("service.jobs_completed");
+        m_cancelled = options_.obs.metrics->counter("service.jobs_cancelled");
+        m_failed = options_.obs.metrics->counter("service.jobs_failed");
+    }
     for (const JobResult& result : results) {
         switch (result.status) {
-          case JobStatus::kCompleted: ++stats_.jobs_completed; break;
-          case JobStatus::kCancelled: ++stats_.jobs_cancelled; break;
-          case JobStatus::kFailed: ++stats_.jobs_failed; break;
+          case JobStatus::kCompleted:
+            ++stats_.jobs_completed;
+            if (m_completed != nullptr) {
+                m_completed->Add();
+            }
+            break;
+          case JobStatus::kCancelled:
+            ++stats_.jobs_cancelled;
+            if (m_cancelled != nullptr) {
+                m_cancelled->Add();
+            }
+            break;
+          case JobStatus::kFailed:
+            ++stats_.jobs_failed;
+            if (m_failed != nullptr) {
+                m_failed->Add();
+            }
+            break;
         }
         if (result.stop_source == "plateau") {
             ++stats_.jobs_plateau_cancelled;

@@ -93,6 +93,17 @@ class ExplorationService
         /// Caller-owned pollable queue receiving the same events (either
         /// or both sinks may be set). Must outlive RunBatch.
         JobEventQueue* event_queue = nullptr;
+        /// Telemetry (obs/obs.h). Propagated into every job's engine (and
+        /// through it the solver) unless the spec wired its own context.
+        /// The service itself emits service/job spans and service.jobs_*
+        /// counters, and — when metrics_interval_seconds is set and
+        /// events are streaming — periodic kMetrics JobEvents carrying a
+        /// rendered registry snapshot.
+        obs::ObsContext obs;
+        /// Cadence for streamed kMetrics events, in seconds. 0 disables
+        /// them. Snapshots are taken on the worker that completes a job
+        /// once the interval has elapsed (no dedicated ticker thread).
+        double metrics_interval_seconds = 0.0;
     };
 
     explicit ExplorationService(Options options);

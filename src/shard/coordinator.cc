@@ -65,6 +65,9 @@ ShardCoordinator::Run(const std::vector<service::JobSpec>& jobs,
     shards_.resize(num_shards);
     cross_shard_ = CrossShardStats{};
     merged_stats_ = service::ServiceStats{};
+    cluster_telemetry_ = obs::MetricsSnapshot{};
+    trace_events_.clear();
+    solver_seconds_max_shard_ = 0.0;
 
     // Wait for every worker's hello (and check protocol versions) so a
     // dead subprocess is caught before the batch is partitioned.
@@ -181,6 +184,12 @@ ShardCoordinator::Run(const std::vector<service::JobSpec>& jobs,
             }
             switch (message.type) {
               case MessageType::kGossip: {
+                // Telemetry piggybacked on the delta keeps the cluster
+                // view live mid-batch; it is coordinator-local and never
+                // forwarded to sibling shards.
+                if (message.has_telemetry) {
+                    shards_[shard].telemetry = std::move(message.telemetry);
+                }
                 if (!options_.gossip) {
                     break;
                 }
@@ -230,6 +239,13 @@ ShardCoordinator::Run(const std::vector<service::JobSpec>& jobs,
         outcome.stats = result.stats;
         outcome.remote_entries = result.remote_entries;
         outcome.remote_duplicate_hits = result.remote_duplicate_hits;
+        // The final snapshot supersedes whatever gossip delivered live;
+        // the cluster view merges finals only, so every shard weighs in
+        // exactly once.
+        outcome.telemetry = result.telemetry;
+        cluster_telemetry_.MergeFrom(result.telemetry);
+        trace_events_.insert(trace_events_.end(), result.trace.begin(),
+                             result.trace.end());
         cross_shard_.remote_duplicate_hits += result.remote_duplicate_hits;
         cross_shard_.jobs_suppressed += result.stats.jobs_plateau_cancelled;
         for (const service::JobResult& job : result.results) {
@@ -262,6 +278,8 @@ ShardCoordinator::Run(const std::vector<service::JobSpec>& jobs,
         m.solver_incremental_sat_calls += s.solver_incremental_sat_calls;
         m.solver_clauses_loaded += s.solver_clauses_loaded;
         m.solver_seconds += s.solver_seconds;
+        solver_seconds_max_shard_ =
+            std::max(solver_seconds_max_shard_, s.solver_seconds);
         m.solver_cache_shared =
             m.solver_cache_shared || s.solver_cache_shared;
         m.shared_cache_hits += s.shared_cache_hits;
@@ -298,6 +316,15 @@ ShardCoordinator::RenderMergedReport(
     json.Key("num_shards"), json.Value(shards_.size());
     json.Key("gossip_enabled"), json.Value(options_.gossip);
     json.Key("coordinator_wall_seconds"), json.Value(wall_seconds_);
+    // Two labeled views of solver time, because shards run concurrently:
+    // the total is aggregate solver work across the cluster (it grows
+    // with shard count), the max is the largest single shard's share —
+    // the one comparable against a single service's solver_seconds.
+    // merged.stats.solver_seconds equals the total.
+    json.Key("solver_seconds_total"),
+        json.Value(merged_stats_.solver_seconds);
+    json.Key("solver_seconds_max_shard"),
+        json.Value(solver_seconds_max_shard_);
     json.Key("cross_shard");
     json.BeginObject();
     json.Key("gossip_messages"), json.Value(cross_shard_.gossip_messages);
@@ -326,6 +353,25 @@ ShardCoordinator::RenderMergedReport(
         json.EndObject();
     }
     json.EndArray();
+    // Cluster telemetry: per-shard metrics snapshots (final, or the
+    // latest gossiped one for a shard that never reported) plus their
+    // merge. Schema per snapshot: obs::WriteMetricsSnapshot.
+    json.Key("telemetry");
+    json.BeginObject();
+    json.Key("shards");
+    json.BeginArray();
+    for (const ShardOutcome& shard : shards_) {
+        json.BeginObject();
+        json.Key("shard_id"), json.Value(shard.shard_id);
+        json.Key("metrics");
+        obs::WriteMetricsSnapshot(json, shard.telemetry);
+        json.EndObject();
+    }
+    json.EndArray();
+    json.Key("cluster");
+    obs::WriteMetricsSnapshot(json, cluster_telemetry_);
+    json.Key("trace_events"), json.Value(trace_events_.size());
+    json.EndObject();
     // The merged view reuses the single-service report schema verbatim,
     // so existing report consumers can read a sharded batch by looking
     // one key deeper.

@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/report.h"
 #include "shard/transport.h"
 #include "shard/wire.h"
@@ -58,6 +60,10 @@ class ShardCoordinator
         /// another shard had already merged (filled during the merge).
         size_t corpus_contributed = 0;
         size_t corpus_duplicate = 0;
+        /// Latest metrics snapshot: updated live from telemetry-bearing
+        /// gossip mid-batch, then replaced by the final result's
+        /// snapshot when the shard reports.
+        obs::MetricsSnapshot telemetry;
     };
 
     /// Aggregated cross-shard telemetry.
@@ -112,6 +118,30 @@ class ShardCoordinator
     const std::vector<ShardOutcome>& shards() const { return shards_; }
     const CrossShardStats& cross_shard() const { return cross_shard_; }
 
+    /// Every shard's final snapshot merged into one cluster view:
+    /// counters and gauges sum, histograms add bucket-wise (so cluster
+    /// quantiles reflect every shard's latency samples). Live mid-batch
+    /// reads see whatever gossip has delivered so far.
+    const obs::MetricsSnapshot& cluster_telemetry() const
+    {
+        return cluster_telemetry_;
+    }
+
+    /// Trace spans shipped back by tracing-enabled workers, pid-stamped
+    /// shard_id + 1 (pid 0 stays free for a coordinator-side tracer).
+    const std::vector<obs::TraceEvent>& trace_events() const
+    {
+        return trace_events_;
+    }
+
+    /// Chrome trace-event JSON ("traceEvents" array form) of every span
+    /// collected from the workers — load in chrome://tracing or
+    /// Perfetto. Strict-parser valid.
+    std::string RenderTrace() const
+    {
+        return obs::RenderChromeTrace(trace_events_);
+    }
+
     /// One JSON document: merged stats/jobs/corpus (the same schema as a
     /// single service report, under "merged") plus per-shard stats and
     /// the cross-shard dedup counters. Strict-parser valid.
@@ -132,6 +162,14 @@ class ShardCoordinator
     service::ServiceStats merged_stats_;
     std::vector<ShardOutcome> shards_;
     CrossShardStats cross_shard_;
+    obs::MetricsSnapshot cluster_telemetry_;
+    std::vector<obs::TraceEvent> trace_events_;
+    /// Largest single-shard solver time, kept alongside the summed
+    /// merged_stats_.solver_seconds: the sum is aggregate work, the max
+    /// is the concurrent batch's critical-path contribution. Reporting
+    /// only the sum made sharded solver time look worse than one
+    /// service's (it grows with shard count even at fixed wall time).
+    double solver_seconds_max_shard_ = 0.0;
     double wall_seconds_ = 0.0;
 };
 

@@ -19,6 +19,14 @@
 /// the batch (default: a small mixed py/lua batch), --max-runs,
 /// --seed, --shard-workers (worker threads per shard), --budget
 /// (service seconds per shard), --plateau, --no-gossip, --report PATH.
+///
+/// Telemetry options: --trace-out PATH turns on phase tracing in every
+/// worker and writes the merged Chrome trace-event JSON (load in
+/// chrome://tracing or Perfetto); --metrics-interval MS sets the
+/// cadence of live metrics snapshots piggybacked on gossip. Both accept
+/// --flag=value and --flag value forms. The merged report always
+/// carries a "telemetry" section with per-shard and cluster-merged
+/// metrics snapshots.
 
 #include <cstdio>
 #include <cstdlib>
@@ -58,6 +66,11 @@ struct CliOptions {
     bool gossip = true;
     bool smoke = false;
     std::string report_path = "chef_shard_report.json";
+    /// Non-empty enables worker phase tracing; the merged trace lands
+    /// here as Chrome trace-event JSON.
+    std::string trace_path;
+    /// Live telemetry cadence in milliseconds; 0 = final snapshot only.
+    double metrics_interval_ms = 0.0;
     std::vector<std::pair<std::string, int>> job_specs;  // workload, count
 };
 
@@ -70,7 +83,8 @@ Usage(const char* argv0)
         "       %s --coordinator [--workers N] [--job WORKLOAD[xCOUNT]]...\n"
         "           [--max-runs N] [--seed S] [--shard-workers K]\n"
         "           [--budget SECONDS] [--plateau] [--no-gossip]\n"
-        "           [--report PATH] [--smoke]\n",
+        "           [--report PATH] [--trace-out PATH]\n"
+        "           [--metrics-interval MS] [--smoke]\n",
         argv0, argv0);
 }
 
@@ -86,6 +100,42 @@ ParseArgs(int argc, char** argv, CliOptions* options)
             }
             return argv[++i];
         };
+        // --flag=value form (telemetry flags accept both forms; the
+        // older batch flags keep their space form only).
+        std::string inline_value;
+        bool flag_error = false;
+        const auto match = [&](const char* flag) {
+            if (arg == flag) {
+                const char* value = next(flag);
+                if (value == nullptr) {
+                    flag_error = true;
+                    return false;
+                }
+                inline_value = value;
+                return true;
+            }
+            const std::string prefix = std::string(flag) + "=";
+            if (arg.compare(0, prefix.size(), prefix) == 0) {
+                inline_value = arg.substr(prefix.size());
+                return true;
+            }
+            return false;
+        };
+        if (match("--trace-out")) {
+            if (inline_value.empty()) {
+                std::fprintf(stderr, "--trace-out requires a path\n");
+                return false;
+            }
+            options->trace_path = inline_value;
+            continue;
+        }
+        if (match("--metrics-interval")) {
+            options->metrics_interval_ms = std::atof(inline_value.c_str());
+            continue;
+        }
+        if (flag_error) {
+            return false;
+        }
         if (arg == "--worker") {
             options->worker = true;
         } else if (arg == "--coordinator") {
@@ -205,7 +255,24 @@ CoordinatorOptions(const CliOptions& options)
         coordinator.service.plateau_policy.cancel_after = 2;
     }
     coordinator.gossip = options.gossip;
+    coordinator.service.tracing = !options.trace_path.empty();
+    coordinator.service.metrics_interval_seconds =
+        options.metrics_interval_ms / 1000.0;
     return coordinator;
+}
+
+bool
+WriteFileOrComplain(const std::string& path, const std::string& contents)
+{
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    if (file == nullptr ||
+        std::fwrite(contents.data(), 1, contents.size(), file) !=
+            contents.size() ||
+        std::fclose(file) != 0) {
+        std::fprintf(stderr, "failed to write %s\n", path.c_str());
+        return false;
+    }
+    return true;
 }
 
 std::string
@@ -284,14 +351,15 @@ RunCoordinator(const CliOptions& options, const char* argv0)
     }
 
     const std::string report = coordinator.RenderMergedReport();
-    std::FILE* file = std::fopen(options.report_path.c_str(), "wb");
-    if (file == nullptr ||
-        std::fwrite(report.data(), 1, report.size(), file) !=
-            report.size() ||
-        std::fclose(file) != 0) {
-        std::fprintf(stderr, "failed to write %s\n",
-                     options.report_path.c_str());
+    if (!WriteFileOrComplain(options.report_path, report)) {
         return 1;
+    }
+    std::string trace;
+    if (!options.trace_path.empty()) {
+        trace = coordinator.RenderTrace();
+        if (!WriteFileOrComplain(options.trace_path, trace)) {
+            return 1;
+        }
     }
 
     const ShardCoordinator::CrossShardStats& cross =
@@ -311,6 +379,11 @@ RunCoordinator(const CliOptions& options, const char* argv0)
                     cross.remote_duplicate_hits),
                 static_cast<unsigned long long>(cross.jobs_suppressed));
     std::printf("  report: %s\n", options.report_path.c_str());
+    if (!options.trace_path.empty()) {
+        std::printf("  trace: %s (%zu events)\n",
+                    options.trace_path.c_str(),
+                    coordinator.trace_events().size());
+    }
 
     if (!options.smoke) {
         return 0;
@@ -350,6 +423,113 @@ RunCoordinator(const CliOptions& options, const char* argv0)
                          "FAIL: expected %zu per-shard stats sections\n",
                          options.num_workers);
             ++failures;
+        }
+        // Telemetry section: per-shard snapshots plus the cluster merge,
+        // each with counters/histograms objects, and the cluster's
+        // solver.queries equal to the sum over shards (MergeFrom sums
+        // name-keyed counters, so a drift here means a shard's snapshot
+        // was dropped or double-merged).
+        const chef::support::JsonValue* telemetry =
+            parsed.Find("telemetry");
+        const chef::support::JsonValue* tele_shards =
+            telemetry != nullptr ? telemetry->Find("shards") : nullptr;
+        const chef::support::JsonValue* cluster =
+            telemetry != nullptr ? telemetry->Find("cluster") : nullptr;
+        if (tele_shards == nullptr ||
+            tele_shards->items.size() != options.num_workers ||
+            cluster == nullptr || cluster->Find("counters") == nullptr ||
+            cluster->Find("histograms") == nullptr) {
+            std::fprintf(stderr,
+                         "FAIL: telemetry section missing per-shard or "
+                         "cluster snapshots\n");
+            ++failures;
+        } else {
+            uint64_t shard_queries = 0;
+            for (const chef::support::JsonValue& entry :
+                 tele_shards->items) {
+                const chef::support::JsonValue* counters =
+                    entry.Find("metrics") != nullptr
+                        ? entry.Find("metrics")->Find("counters")
+                        : nullptr;
+                uint64_t value = 0;
+                if (counters != nullptr) {
+                    counters->GetUint64("solver.queries", &value);
+                }
+                shard_queries += value;
+            }
+            uint64_t cluster_queries = 0;
+            cluster->Find("counters")->GetUint64("solver.queries",
+                                                 &cluster_queries);
+            if (cluster_queries == 0 ||
+                cluster_queries != shard_queries) {
+                std::fprintf(stderr,
+                             "FAIL: cluster solver.queries %llu != "
+                             "per-shard sum %llu (or zero)\n",
+                             static_cast<unsigned long long>(
+                                 cluster_queries),
+                             static_cast<unsigned long long>(
+                                 shard_queries));
+                ++failures;
+            }
+        }
+        // Labeled solver-time views: total (aggregate work) and
+        // max-shard (critical-path share) must both be present and
+        // ordered total >= max.
+        double solver_total = 0.0;
+        double solver_max = 0.0;
+        if (!parsed.GetDouble("solver_seconds_total", &solver_total) ||
+            !parsed.GetDouble("solver_seconds_max_shard", &solver_max) ||
+            solver_total + 1e-12 < solver_max) {
+            std::fprintf(stderr,
+                         "FAIL: solver_seconds_total/max_shard missing "
+                         "or inconsistent\n");
+            ++failures;
+        }
+    }
+
+    // 1b. With tracing on: the trace file is strict JSON, and spans
+    //     arrived from every worker shard (pids 1..N; pid 0 would be a
+    //     coordinator-side tracer).
+    if (!options.trace_path.empty()) {
+        chef::support::JsonValue trace_doc;
+        std::string trace_error;
+        if (!chef::support::ParseJson(trace, &trace_doc, &trace_error)) {
+            std::fprintf(stderr,
+                         "FAIL: trace is not strict JSON: %s\n",
+                         trace_error.c_str());
+            ++failures;
+        } else {
+            const chef::support::JsonValue* events =
+                trace_doc.Find("traceEvents");
+            std::vector<bool> seen(options.num_workers + 1, false);
+            size_t spans = 0;
+            if (events != nullptr) {
+                for (const chef::support::JsonValue& event :
+                     events->items) {
+                    uint64_t pid = 0;
+                    if (event.GetUint64("pid", &pid) &&
+                        pid < seen.size()) {
+                        seen[pid] = true;
+                        ++spans;
+                    }
+                }
+            }
+            bool all_shards = true;
+            for (size_t shard = 1; shard <= options.num_workers;
+                 ++shard) {
+                all_shards = all_shards && seen[shard];
+            }
+            if (events == nullptr || spans == 0 || !all_shards) {
+                std::fprintf(stderr,
+                             "FAIL: trace lacks spans from every worker "
+                             "shard (%zu spans)\n",
+                             spans);
+                ++failures;
+            } else {
+                std::printf("  smoke: trace has %zu spans from all %zu "
+                            "shards\n",
+                            spans, options.num_workers);
+            }
         }
     }
 

@@ -513,6 +513,10 @@ ServiceConfig::ToServiceOptions() const
     options.share_solver_cache = share_solver_cache;
     options.schedule_policy = schedule_policy;
     options.plateau_policy = plateau_policy;
+    options.metrics_interval_seconds = metrics_interval_seconds;
+    // Options::obs is deliberately left null: telemetry scopes never
+    // cross the wire. The worker builds its own registry/tracer per run
+    // (see ShardWorker::HandleRun) and wires them in there.
     return options;
 }
 
@@ -528,6 +532,8 @@ ServiceConfig::FromServiceOptions(
     config.share_solver_cache = options.share_solver_cache;
     config.schedule_policy = options.schedule_policy;
     config.plateau_policy = options.plateau_policy;
+    config.tracing = options.obs.tracing_enabled();
+    config.metrics_interval_seconds = options.metrics_interval_seconds;
     return config;
 }
 
@@ -588,6 +594,9 @@ EncodeRun(const RunRequest& request)
         json.Value(request.service.share_solver_cache);
     json.Key("schedule_policy"),
         json.Value(SchedulePolicyName(request.service.schedule_policy));
+    json.Key("tracing"), json.Value(request.service.tracing);
+    json.Key("metrics_interval_seconds"),
+        json.Value(request.service.metrics_interval_seconds);
     json.Key("plateau");
     json.BeginObject();
     json.Key("enabled"), json.Value(request.service.plateau_policy.enabled);
@@ -612,13 +621,18 @@ EncodeRun(const RunRequest& request)
 }
 
 std::string
-EncodeGossip(const service::TestCorpus::Delta& delta)
+EncodeGossip(const service::TestCorpus::Delta& delta,
+             const obs::MetricsSnapshot* telemetry)
 {
     JsonWriter json;
     json.BeginObject();
     json.Key("type"), json.Value("gossip");
     json.Key("source"), json.Value(delta.source);
     json.Key("sequence"), json.Value(delta.sequence);
+    if (telemetry != nullptr) {
+        json.Key("telemetry");
+        obs::WriteMetricsSnapshot(json, *telemetry);
+    }
     // Group fingerprints by workload: entries arrive sorted by
     // (workload, fingerprint), so one linear pass emits each group.
     json.Key("workloads");
@@ -676,6 +690,10 @@ EncodeResult(const ResultMessage& result)
     json.Key("remote_entries"), json.Value(result.remote_entries);
     json.Key("remote_duplicate_hits"),
         json.Value(result.remote_duplicate_hits);
+    json.Key("telemetry");
+    obs::WriteMetricsSnapshot(json, result.telemetry);
+    json.Key("trace");
+    obs::WriteTraceEvents(json, result.trace);
     json.EndObject();
     return json.Take();
 }
@@ -746,7 +764,10 @@ DecodeMessage(const std::string& line, Message* message,
                       &run.service.record_corpus_inputs, error) ||
             !ReadBool(*svc, "share_solver_cache",
                       &run.service.share_solver_cache, error) ||
-            !ReadString(*svc, "schedule_policy", &policy, error)) {
+            !ReadString(*svc, "schedule_policy", &policy, error) ||
+            !ReadBool(*svc, "tracing", &run.service.tracing, error) ||
+            !ReadDouble(*svc, "metrics_interval_seconds",
+                        &run.service.metrics_interval_seconds, error)) {
             return false;
         }
         if (!SchedulePolicyFromName(policy,
@@ -794,6 +815,14 @@ DecodeMessage(const std::string& line, Message* message,
         if (!ReadString(root, "source", &delta.source, error) ||
             !ReadU64(root, "sequence", &delta.sequence, error)) {
             return false;
+        }
+        const JsonValue* telemetry = root.Find("telemetry");
+        if (telemetry != nullptr) {
+            if (!obs::DecodeMetricsSnapshot(*telemetry,
+                                            &message->telemetry, error)) {
+                return false;
+            }
+            message->has_telemetry = true;
         }
         const JsonValue* workloads = root.Find("workloads");
         if (workloads == nullptr ||
@@ -876,10 +905,27 @@ DecodeMessage(const std::string& line, Message* message,
                           error)) {
             return false;
         }
-        return ReadSize(root, "remote_entries", &result.remote_entries,
-                        error) &&
-               ReadSize(root, "remote_duplicate_hits",
-                        &result.remote_duplicate_hits, error);
+        if (!ReadSize(root, "remote_entries", &result.remote_entries,
+                      error) ||
+            !ReadSize(root, "remote_duplicate_hits",
+                      &result.remote_duplicate_hits, error)) {
+            return false;
+        }
+        const JsonValue* telemetry = root.Find("telemetry");
+        if (telemetry == nullptr ||
+            !obs::DecodeMetricsSnapshot(*telemetry, &result.telemetry,
+                                        error)) {
+            return telemetry == nullptr
+                       ? DecodeFail(error, "missing 'telemetry'")
+                       : false;
+        }
+        const JsonValue* trace = root.Find("trace");
+        if (trace == nullptr ||
+            !obs::DecodeTraceEvents(*trace, &result.trace, error)) {
+            return trace == nullptr ? DecodeFail(error, "missing 'trace'")
+                                    : false;
+        }
+        return true;
     }
 
     if (type == "shutdown") {

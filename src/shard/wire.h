@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.h"
 #include "service/corpus.h"
 #include "service/job.h"
 #include "service/service.h"
@@ -32,7 +33,9 @@ namespace chef::shard {
 
 /// Bumped on incompatible wire changes; the coordinator refuses workers
 /// announcing a different version instead of mis-decoding mid-batch.
-constexpr int kProtocolVersion = 1;
+/// v2: telemetry config in kRun, optional telemetry snapshots on
+/// kGossip, telemetry + trace events in kResult.
+constexpr int kProtocolVersion = 2;
 
 enum class MessageType {
     kHello,     ///< worker -> coordinator: ready, protocol version.
@@ -66,6 +69,13 @@ struct ServiceConfig {
     service::SchedulePolicy schedule_policy =
         service::SchedulePolicy::kYieldPriority;
     service::PlateauPolicy plateau_policy;
+    /// Workers run their batch with phase tracing on and ship the spans
+    /// back in the result message (obs contexts themselves never cross
+    /// the wire — each worker builds its own registry/tracer).
+    bool tracing = false;
+    /// Cadence for telemetry snapshots piggybacked on gossip (and for
+    /// local kMetrics events); 0 means final-result telemetry only.
+    double metrics_interval_seconds = 0.0;
 
     service::ExplorationService::Options ToServiceOptions() const;
     static ServiceConfig FromServiceOptions(
@@ -93,6 +103,12 @@ struct ResultMessage {
     /// merged in, and local discoveries suppressed by them.
     size_t remote_entries = 0;
     size_t remote_duplicate_hits = 0;
+    /// Final metrics snapshot of the shard's run (always present; empty
+    /// when the worker recorded nothing).
+    obs::MetricsSnapshot telemetry;
+    /// Completed trace spans, pid-stamped shard_id + 1 (present only
+    /// when the run request asked for tracing).
+    std::vector<obs::TraceEvent> trace;
 };
 
 /// One decoded message. Tagged union as plain struct: only the payload
@@ -102,6 +118,10 @@ struct Message {
     int protocol_version = 0;                 ///< kHello.
     RunRequest run;                           ///< kRun.
     service::TestCorpus::Delta gossip;        ///< kGossip.
+    /// kGossip: live telemetry piggybacked on the delta (worker ->
+    /// coordinator only, at the configured metrics interval).
+    bool has_telemetry = false;
+    obs::MetricsSnapshot telemetry;
     ResultMessage result;                     ///< kResult.
     std::string error;                        ///< kError.
 };
@@ -113,8 +133,11 @@ bool CheckSerializable(const service::JobSpec& spec, std::string* why);
 std::string EncodeHello();
 std::string EncodeRun(const RunRequest& request);
 /// Gossip is the compact form of a delta: per-workload fingerprint
-/// lists and the yield snapshot — no outcomes or inputs.
-std::string EncodeGossip(const service::TestCorpus::Delta& delta);
+/// lists and the yield snapshot — no outcomes or inputs. A worker may
+/// piggyback a live metrics snapshot (\p telemetry non-null) so the
+/// coordinator's cluster view stays current mid-batch.
+std::string EncodeGossip(const service::TestCorpus::Delta& delta,
+                         const obs::MetricsSnapshot* telemetry = nullptr);
 std::string EncodeResult(const ResultMessage& result);
 std::string EncodeShutdown();
 std::string EncodeError(const std::string& reason);

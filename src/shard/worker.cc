@@ -30,7 +30,20 @@ ShardWorker::HandleRun(const RunRequest& request)
 {
     const std::string source = ShardName(request.shard_id);
 
-    service::ExplorationService service(request.service.ToServiceOptions());
+    // Per-run telemetry scope. The registry is always on (snapshot cost
+    // is paid only when rendered); the tracer exists only when the
+    // coordinator asked for tracing. pid = shard_id + 1 keeps shard 0
+    // distinct from the coordinator process (pid 0) in merged traces.
+    obs::MetricsRegistry metrics;
+    obs::PhaseTracer tracer;
+    tracer.set_pid(static_cast<uint32_t>(request.shard_id) + 1);
+    tracer.set_enabled(request.service.tracing);
+    service::ExplorationService::Options service_options =
+        request.service.ToServiceOptions();
+    service_options.obs.metrics = &metrics;
+    service_options.obs.tracer = request.service.tracing ? &tracer : nullptr;
+
+    service::ExplorationService service(service_options);
     std::vector<service::JobSpec> jobs;
     std::vector<size_t> global_indices;
     jobs.reserve(request.jobs.size());
@@ -52,8 +65,17 @@ ShardWorker::HandleRun(const RunRequest& request)
 
     uint64_t gossiped_sequence = 0;
     auto last_gossip = Clock::now() - std::chrono::hours(1);
+    auto last_telemetry = Clock::now();
     const auto gossip_interval = std::chrono::duration_cast<Clock::duration>(
         std::chrono::duration<double>(options_.gossip_interval_seconds));
+    // Telemetry rides the gossip stream at its own (coarser) cadence;
+    // 0 disables mid-batch snapshots (the result carries the final one).
+    const bool live_telemetry =
+        request.service.metrics_interval_seconds > 0.0;
+    const auto telemetry_interval =
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(
+                request.service.metrics_interval_seconds));
     bool peer_gone = false;
 
     const auto pump_gossip_out = [&] {
@@ -68,7 +90,15 @@ ShardWorker::HandleRun(const RunRequest& request)
             service.corpus().Snapshot(source, gossiped_sequence);
         last_gossip = Clock::now();
         gossiped_sequence = delta.sequence;
-        if (!transport_->Send(EncodeGossip(delta))) {
+        obs::MetricsSnapshot snapshot;
+        const obs::MetricsSnapshot* telemetry = nullptr;
+        if (live_telemetry &&
+            Clock::now() - last_telemetry >= telemetry_interval) {
+            last_telemetry = Clock::now();
+            snapshot = metrics.Snapshot();
+            telemetry = &snapshot;
+        }
+        if (!transport_->Send(EncodeGossip(delta, telemetry))) {
             peer_gone = true;
         }
     };
@@ -136,6 +166,10 @@ ShardWorker::HandleRun(const RunRequest& request)
     result.remote_entries = service.corpus().remote_entries();
     result.remote_duplicate_hits =
         service.corpus().remote_duplicate_hits();
+    result.telemetry = metrics.Snapshot();
+    if (request.service.tracing) {
+        result.trace = tracer.TakeEvents();
+    }
     transport_->Send(EncodeResult(result));
 }
 

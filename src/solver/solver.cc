@@ -15,27 +15,51 @@ namespace chef::solver {
 namespace {
 
 /// Accumulates the enclosing scope's wall time into a stats field on every
-/// exit path (Solve returns from many places).
+/// exit path (Solve returns from many places), and optionally mirrors the
+/// sample into a latency histogram.
 class ScopedTimer
 {
   public:
-    explicit ScopedTimer(double* total) : total_(total) {}
+    explicit ScopedTimer(double* total, obs::Histogram* histogram = nullptr)
+        : total_(total), histogram_(histogram)
+    {
+    }
     ~ScopedTimer()
     {
-        *total_ += std::chrono::duration<double>(
-                       std::chrono::steady_clock::now() - start_)
-                       .count();
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start_)
+                .count();
+        *total_ += elapsed;
+        if (histogram_ != nullptr) {
+            histogram_->Record(elapsed);
+        }
     }
 
   private:
     double* total_;
+    obs::Histogram* histogram_;
     std::chrono::steady_clock::time_point start_ =
         std::chrono::steady_clock::now();
 };
 
 }  // namespace
 
-Solver::Solver(Options options) : options_(options) {}
+Solver::Solver(Options options) : options_(options)
+{
+    if (options_.obs.metrics != nullptr) {
+        obs::MetricsRegistry& registry = *options_.obs.metrics;
+        m_queries_ = registry.counter("solver.queries");
+        m_cache_hits_ = registry.counter("solver.cache_hits");
+        m_shared_cache_hits_ = registry.counter("solver.shared_cache_hits");
+        m_model_reuse_hits_ = registry.counter("solver.model_reuse_hits");
+        m_sat_calls_ = registry.counter("solver.sat_calls");
+        m_incremental_sat_calls_ =
+            registry.counter("solver.incremental_sat_calls");
+        m_solve_latency_ = registry.histogram("solver.solve_seconds");
+        m_sat_latency_ = registry.histogram("solver.sat_seconds");
+    }
+}
 
 void
 Solver::StoreLocal(uint64_t key, QueryResult result,
@@ -96,8 +120,12 @@ Solver::RememberModel(const Assignment& model)
 QueryResult
 Solver::Solve(const std::vector<ExprRef>& assertions, Assignment* model)
 {
-    const ScopedTimer timer(&stats_.solve_seconds);
+    const ScopedTimer timer(&stats_.solve_seconds, m_solve_latency_);
+    CHEF_OBS_SPAN(span, options_.obs.tracer, "solver/solve", "solver");
     ++stats_.queries;
+    if (m_queries_ != nullptr) {
+        m_queries_->Add();
+    }
 
     // Constant-folded outcomes never reach the backend.
     std::vector<ExprRef> live;
@@ -144,6 +172,9 @@ Solver::Solve(const std::vector<ExprRef>& assertions, Assignment* model)
     if (options_.enable_independence_slicing) {
         std::vector<IndependentSlice> slices = PartitionIndependent(live);
         if (slices.size() > 1) {
+            CHEF_OBS_SPAN(slice_span, options_.obs.tracer, "solver/slices",
+                          "solver");
+            slice_span.set_detail(std::to_string(slices.size()) + " slices");
             ++stats_.sliced_queries;
             stats_.slices_solved += slices.size();
             // Whole-query shared prefetch: a sibling worker that solved
@@ -276,6 +307,7 @@ Solver::Solve(const std::vector<ExprRef>& assertions, Assignment* model)
 QueryResult
 Solver::SolveLeaf(const std::vector<ExprRef>& live, Assignment* model)
 {
+    CHEF_OBS_SPAN(span, options_.obs.tracer, "solver/leaf", "solver");
     const uint64_t key = cache::QueryHash(live);
     const std::vector<ExprRef> sorted_live = cache::SortedByHash(live);
     if (options_.enable_query_cache) {
@@ -283,6 +315,9 @@ Solver::SolveLeaf(const std::vector<ExprRef>& live, Assignment* model)
         if (it != cache_.end() &&
             cache::SameAssertions(it->second.key_assertions, sorted_live)) {
             ++stats_.cache_hits;
+            if (m_cache_hits_ != nullptr) {
+                m_cache_hits_->Add();
+            }
             lru_.splice(lru_.begin(), lru_, it->second.lru_it);
             if (it->second.result == QueryResult::kSat && model != nullptr) {
                 *model = it->second.model;
@@ -308,6 +343,9 @@ Solver::SolveLeaf(const std::vector<ExprRef>& live, Assignment* model)
         if (options_.shared_cache->Lookup(canonical, &shared_result,
                                           &shared_model)) {
             ++stats_.shared_cache_hits;
+            if (m_shared_cache_hits_ != nullptr) {
+                m_shared_cache_hits_->Add();
+            }
             const QueryResult result =
                 shared_result == cache::CachedResult::kSat
                     ? QueryResult::kSat
@@ -327,6 +365,9 @@ Solver::SolveLeaf(const std::vector<ExprRef>& live, Assignment* model)
         for (const Assignment& candidate : recent_models_) {
             if (cache::ModelSatisfies(live, candidate)) {
                 ++stats_.model_reuse_hits;
+                if (m_model_reuse_hits_ != nullptr) {
+                    m_model_reuse_hits_->Add();
+                }
                 if (model != nullptr) {
                     *model = candidate;
                 }
@@ -359,6 +400,20 @@ Solver::SolveViaSat(const std::vector<ExprRef>& live, uint64_t key,
                     const std::vector<ExprRef>& sorted_live,
                     Assignment* model)
 {
+    // stats_.solve_seconds already covers this scope (SolveViaSat runs
+    // inside Solve's timer); the discard double only feeds the histogram.
+    double sat_seconds_discard = 0.0;
+    const ScopedTimer sat_timer(&sat_seconds_discard, m_sat_latency_);
+    CHEF_OBS_SPAN(span, options_.obs.tracer, "solver/sat", "solver");
+    span.set_detail(options_.enable_incremental_sat ? "incremental"
+                                                    : "fresh");
+    if (m_sat_calls_ != nullptr) {
+        m_sat_calls_->Add();
+        if (options_.enable_incremental_sat) {
+            m_incremental_sat_calls_->Add();
+        }
+    }
+
     SatStatus status;
     Assignment extracted;
 

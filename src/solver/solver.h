@@ -36,6 +36,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/obs.h"
 #include "solver/bitblast.h"
 #include "solver/expr.h"
 #include "solver/sat.h"
@@ -146,6 +147,11 @@ class Solver
         /// makes exploration order model-dependent — see
         /// cache/shared_cache.h for the determinism contract.
         cache::SharedSolverCache* shared_cache = nullptr;
+        /// Telemetry (obs/obs.h). Default-disabled; when set, the solver
+        /// mirrors its hot counters into the registry (handles resolved
+        /// once at construction) and emits solver/solve, solver/leaf and
+        /// solver/sat trace spans.
+        obs::ObsContext obs;
     };
 
     Solver() : Solver(Options{}) {}
@@ -219,6 +225,17 @@ class Solver
 
     Options options_;
     SolverStats stats_;
+    // Metric handles, resolved once at construction (null when
+    // Options::obs carries no registry) so the hot path never touches
+    // the registry's name map.
+    obs::Counter* m_queries_ = nullptr;
+    obs::Counter* m_cache_hits_ = nullptr;
+    obs::Counter* m_shared_cache_hits_ = nullptr;
+    obs::Counter* m_model_reuse_hits_ = nullptr;
+    obs::Counter* m_sat_calls_ = nullptr;
+    obs::Counter* m_incremental_sat_calls_ = nullptr;
+    obs::Histogram* m_solve_latency_ = nullptr;
+    obs::Histogram* m_sat_latency_ = nullptr;
     std::unordered_map<uint64_t, CacheEntry> cache_;
     /// Cache keys, most-recently-used first.
     std::list<uint64_t> lru_;
