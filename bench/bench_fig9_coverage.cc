@@ -4,16 +4,50 @@
 /// relevant test case on the vanilla interpreter build, exactly like the
 /// paper replays on the host Python/Lua. Set CHEF_FIG9_ABLATE_P=1 to
 /// sweep the fork-weight decay p (paper fixes p = 0.75).
+///
+/// The per-package progress curves (new high-level paths vs runs and vs
+/// wall time, the temporal axis of the paper's figure) go through the
+/// obs time-series machinery rather than ad-hoc collection: each
+/// aggregate-config run's engine timeline feeds a TimeSeriesRecorder
+/// (tier coarsening bounds memory on long runs), the recorders merge
+/// into a ClusterSeries keyed by package, and the standard
+/// coverage_curves CSV (obs::RenderCoverageCurvesCsv — the same
+/// artifact `chef_shard --curves-out` writes) lands next to the bench
+/// output as coverage_curves_fig9.csv. In that CSV "jobs_finished"
+/// carries completed engine runs (one run = one low-level path).
 
 #include "bench_common.h"
+#include "obs/timeseries.h"
 
 namespace chef::bench {
 namespace {
 
+/// Replays one run's engine timeline into the recorder/series pipeline
+/// under counter names the coverage-curves renderer knows.
+void
+CollectCurve(obs::ClusterSeries* curves, const std::string& workload,
+             const RunOutcome& outcome)
+{
+    obs::TimeSeriesRecorder recorder;
+    for (const EngineStats::Sample& sample : outcome.timeline) {
+        obs::MetricsSnapshot snapshot;
+        snapshot.counters = {
+            {obs::kFingerprintsNewCounter, sample.hl_paths},
+            {std::string(obs::kFingerprintsNewCounter) + "." + workload,
+             sample.hl_paths},
+            {obs::kJobsFinishedCounter, sample.ll_paths},
+            {std::string(obs::kJobsFinishedCounter) + "." + workload,
+             sample.ll_paths},
+        };
+        recorder.Record(sample.t, std::move(snapshot));
+    }
+    curves->Update(workload, recorder.Retained());
+}
+
 template <typename Package, typename Runner>
 void
 RunSuite(const char* language, const std::vector<Package>& packages,
-         Runner&& runner)
+         Runner&& runner, obs::ClusterSeries* curves)
 {
     const Budget budget = DefaultBudget();
     std::printf("\n-- Figure 9 (%s): line coverage [%%] --\n", language);
@@ -30,6 +64,16 @@ RunSuite(const char* language, const std::vector<Package>& packages,
                     BuildFor(config), budget,
                     static_cast<uint64_t>(rep + 1));
                 coverages.push_back(outcome.coverage_fraction * 100.0);
+                // Curves track the paper's aggregate configuration;
+                // one rep per package keeps the CSV deterministic.
+                if (std::string(config.name) == "cupa+opt" && rep == 0) {
+                    CollectCurve(curves,
+                                 std::string(language == std::string("Python")
+                                                 ? "py/"
+                                                 : "lua/") +
+                                     package.name,
+                                 outcome);
+                }
             }
             std::printf(" %9.1f%%", Mean(coverages));
         }
@@ -93,18 +137,34 @@ main()
     std::printf("(paper: noticeable improvement in 6/11 packages; "
                 "simplejson ~80%% and xlrd ~40%% with the aggregate "
                 "config)\n");
+    chef::obs::ClusterSeries curves;
     RunSuite("Python", PyPackages(),
              [](const PyPackage& p, StrategyKind s,
                 interp::InterpBuildOptions b, const Budget& budget,
                 uint64_t seed) {
                  return RunPy(p, s, b, budget, seed, true);
-             });
+             },
+             &curves);
     RunSuite("Lua", LuaPackages(),
              [](const LuaPackage& p, StrategyKind s,
                 interp::InterpBuildOptions b, const Budget& budget,
                 uint64_t seed) {
                  return RunLua(p, s, b, budget, seed, true);
-             });
+             },
+             &curves);
+    {
+        const std::string csv = chef::obs::RenderCoverageCurvesCsv(curves);
+        const char* path = "coverage_curves_fig9.csv";
+        std::FILE* file = std::fopen(path, "wb");
+        if (file != nullptr) {
+            std::fwrite(csv.data(), 1, csv.size(), file);
+            std::fclose(file);
+            std::printf("\ncoverage curves: %s (%zu packages)\n", path,
+                        curves.Sources().size());
+        } else {
+            std::fprintf(stderr, "failed to write %s\n", path);
+        }
+    }
     if (std::getenv("CHEF_FIG9_ABLATE_P") != nullptr) {
         AblateForkWeightDecay();
     }

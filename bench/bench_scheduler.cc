@@ -15,6 +15,11 @@
 ///    so it must reach at least the FIFO corpus (typically more, or the
 ///    same corpus in less wall time when plateau cancellation drains the
 ///    duplicates early).
+/// 3. Recorder overhead: the bounded batch again, with and without a
+///    TimeSeriesRecorder sampling at the default 100 ms cadence, best
+///    wall time of a few repetitions each. The recorder must be cheap
+///    enough to leave on in production (the regression gate holds this
+///    bench's total wall time to the checked-in baseline).
 ///
 /// Emits one JSON document (default BENCH_scheduler.json) embedding both
 /// configurations' full service reports.
@@ -24,12 +29,15 @@
 ///             corpus_fifo (full mode additionally requires a strict
 ///             corpus or wall-time win).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "service/report.h"
 #include "service/scheduler.h"
 #include "service/service.h"
@@ -266,6 +274,43 @@ main(int argc, char** argv)
                     static_cast<ssize_t>(fifo.corpus_size),
                 priority.stats.wall_seconds - fifo.stats.wall_seconds);
 
+    // --- Phase 3: time-series recorder overhead at 100 ms. -------------
+    const int overhead_reps = smoke ? 2 : 3;
+    const auto run_bounded = [&](bool with_recorder, uint64_t* samples) {
+        chef::obs::MetricsRegistry metrics;
+        chef::obs::TimeSeriesRecorder recorder;  // 100 ms default.
+        JobEventQueue events;
+        ExplorationService::Options options;
+        options.num_workers = workers;
+        options.seed = 2014;
+        options.schedule_policy = SchedulePolicy::kYieldPriority;
+        options.event_queue = &events;
+        options.obs.metrics = &metrics;
+        if (with_recorder) {
+            options.obs.timeseries = &recorder;
+        }
+        ExplorationService service(options);
+        service.RunBatch(bounded);
+        if (samples != nullptr) {
+            *samples = recorder.total_recorded();
+        }
+        return service.stats().wall_seconds;
+    };
+    double wall_off = 1e9;
+    double wall_on = 1e9;
+    uint64_t recorder_samples = 0;
+    for (int rep = 0; rep < overhead_reps; ++rep) {
+        wall_off = std::min(wall_off, run_bounded(false, nullptr));
+        wall_on = std::min(wall_on, run_bounded(true, &recorder_samples));
+    }
+    const double overhead_fraction =
+        wall_off > 0.0 ? (wall_on - wall_off) / wall_off : 0.0;
+    std::printf(
+        "\nrecorder overhead (100ms cadence, best of %d): off %.3fs, "
+        "on %.3fs (%+.1f%%, %llu samples)\n",
+        overhead_reps, wall_off, wall_on, overhead_fraction * 100.0,
+        static_cast<unsigned long long>(recorder_samples));
+
     bench.Config("bounded_jobs", bounded.size());
     bench.Config("skewed_jobs", skewed.size());
     bench.Config("budget_seconds", budget);
@@ -276,6 +321,10 @@ main(int argc, char** argv)
     bench.Metric("wall_priority", priority.stats.wall_seconds);
     bench.Metric("jobs_plateau_cancelled",
                  priority.stats.jobs_plateau_cancelled);
+    bench.Metric("recorder_wall_off", wall_off);
+    bench.Metric("recorder_wall_on", wall_on);
+    bench.Metric("recorder_overhead_fraction", overhead_fraction);
+    bench.Metric("recorder_samples", recorder_samples);
     bench.Report("fifo", fifo.report_json);
     bench.Report("priority_plateau", priority.report_json);
     if (!bench.Write(report_path)) {

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Gate bench wall-time regressions against checked-in baselines.
+
+Compares freshly produced BENCH_<name>.json reports (written by every
+bench target via BenchReport::Write) against the committed baselines in
+bench/baselines/. A bench regresses when its wall_seconds exceeds the
+baseline by more than the relative tolerance AND the absolute slack —
+both must trip, so micro-benches whose wall time is noise-dominated
+don't flap the gate.
+
+Usage:
+    check_bench_regression.py [--baselines DIR] [REPORT...]
+
+With no REPORT arguments, globs BENCH_*.json in the current directory.
+Benches without a baseline (or baselines without a fresh report) are
+reported but never fail the gate, so adding a new bench does not
+require updating baselines in the same change. A baseline only
+compares against a report with the same smoke flag: full-budget runs
+and --smoke runs measure different workloads.
+
+Environment:
+    CHEF_BENCH_TOLERANCE  relative slowdown allowed (default 0.25)
+    CHEF_BENCH_ABS_SLACK  absolute seconds always allowed (default 2.0)
+
+Exit status: 0 when no comparable bench regressed, 1 otherwise.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_report(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"error: unreadable bench report {path}: {error}")
+        return None
+    if "bench" not in report or "wall_seconds" not in report:
+        print(f"error: {path} is not a bench report "
+              "(missing 'bench'/'wall_seconds')")
+        return None
+    return report
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="compare BENCH_*.json against bench/baselines/")
+    parser.add_argument(
+        "reports", nargs="*",
+        help="fresh bench reports (default: ./BENCH_*.json)")
+    parser.add_argument(
+        "--baselines",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             "baselines"),
+        help="directory of committed baseline reports")
+    args = parser.parse_args(argv)
+
+    tolerance = float(os.environ.get("CHEF_BENCH_TOLERANCE", "0.25"))
+    abs_slack = float(os.environ.get("CHEF_BENCH_ABS_SLACK", "2.0"))
+
+    paths = args.reports or sorted(glob.glob("BENCH_*.json"))
+    if not paths:
+        print("error: no fresh BENCH_*.json reports found")
+        return 1
+
+    baselines = {}
+    for path in sorted(glob.glob(os.path.join(args.baselines, "*.json"))):
+        baseline = load_report(path)
+        if baseline is not None:
+            baselines[baseline["bench"]] = baseline
+
+    failures = 0
+    compared = 0
+    for path in paths:
+        report = load_report(path)
+        if report is None:
+            failures += 1
+            continue
+        name = report["bench"]
+        baseline = baselines.pop(name, None)
+        if baseline is None:
+            print(f"  skip {name}: no baseline (seed one from this run)")
+            continue
+        if bool(report.get("smoke")) != bool(baseline.get("smoke")):
+            print(f"  skip {name}: smoke flag differs from baseline")
+            continue
+        fresh = float(report["wall_seconds"])
+        base = float(baseline["wall_seconds"])
+        limit = base * (1.0 + tolerance) + abs_slack
+        verdict = "ok" if fresh <= limit else "REGRESSED"
+        print(f"  {verdict:9s} {name}: {fresh:.3f}s vs baseline "
+              f"{base:.3f}s (limit {limit:.3f}s)")
+        compared += 1
+        if fresh > limit:
+            failures += 1
+
+    for name in sorted(baselines):
+        print(f"  skip {name}: baseline present but no fresh report")
+
+    if compared == 0 and failures == 0:
+        print("warning: nothing compared; gate passes vacuously")
+    if failures:
+        print(f"{failures} bench(es) regressed beyond "
+              f"{tolerance * 100:.0f}% + {abs_slack:.1f}s")
+        return 1
+    print(f"bench regression gate: {compared} compared, all within "
+          f"{tolerance * 100:.0f}% + {abs_slack:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

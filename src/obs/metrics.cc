@@ -89,6 +89,37 @@ double HistogramSnapshot::QuantileSeconds(double q) const
     return static_cast<double>(max_nanos) / 1e9;
 }
 
+namespace {
+
+bool EndsWith(const std::string& text, const char* suffix)
+{
+    const size_t n = std::char_traits<char>::length(suffix);
+    return text.size() >= n &&
+           text.compare(text.size() - n, n, suffix) == 0;
+}
+
+// Folds one gauge entry into the labeled-merge map. A plain name splits
+// into `<name>_max` (combined by max) and `<name>_total` (combined by
+// sum); already-labeled names keep combining under their own rule, so
+// repeated merges stay associative, commutative, and order-independent.
+void FoldGauge(std::map<std::string, int64_t>* merged,
+               const std::string& name, int64_t value)
+{
+    if (EndsWith(name, "_max")) {
+        auto [it, inserted] = merged->emplace(name, value);
+        if (!inserted) {
+            it->second = std::max(it->second, value);
+        }
+    } else if (EndsWith(name, "_total")) {
+        (*merged)[name] += value;
+    } else {
+        FoldGauge(merged, name + "_max", value);
+        FoldGauge(merged, name + "_total", value);
+    }
+}
+
+}  // namespace
+
 void MetricsSnapshot::MergeFrom(const MetricsSnapshot& other)
 {
     for (const auto& [name, value] : other.counters) {
@@ -101,15 +132,21 @@ void MetricsSnapshot::MergeFrom(const MetricsSnapshot& other)
             it->second += value;
         }
     }
-    for (const auto& [name, value] : other.gauges) {
-        auto it = std::find_if(
-            gauges.begin(), gauges.end(),
-            [&name = name](const auto& entry) { return entry.first == name; });
-        if (it == gauges.end()) {
-            gauges.emplace_back(name, value);
-        } else {
-            it->second += value;
+    // Gauges are point-in-time levels, not flows: summing two shards'
+    // "corpus.size" fabricates a level nobody observed. Merging instead
+    // normalizes every gauge into the labeled space — `<name>_max` and
+    // `<name>_total` — so a merged snapshot says which aggregation each
+    // value carries. (`*_total` rather than `*_last` because "last"
+    // depends on arrival order; the merge must stay order-independent.)
+    if (!gauges.empty() || !other.gauges.empty()) {
+        std::map<std::string, int64_t> merged_gauges;
+        for (const auto& [name, value] : gauges) {
+            FoldGauge(&merged_gauges, name, value);
         }
+        for (const auto& [name, value] : other.gauges) {
+            FoldGauge(&merged_gauges, name, value);
+        }
+        gauges.assign(merged_gauges.begin(), merged_gauges.end());
     }
     for (const HistogramSnapshot& theirs : other.histograms) {
         auto it = std::find_if(histograms.begin(), histograms.end(),

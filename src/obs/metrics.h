@@ -177,11 +177,16 @@ struct MetricsSnapshot {
     std::vector<std::pair<std::string, int64_t>> gauges;
     std::vector<HistogramSnapshot> histograms;
 
-    /// Name-keyed merge: counters and gauges sum, histograms add
-    /// bucket-wise and combine min/max. Entries only one side has are
-    /// kept. This is the cluster-aggregation operation — order- and
-    /// grouping-independent, so the coordinator can fold shard
-    /// snapshots in any arrival order.
+    /// Name-keyed merge: counters sum, histograms add bucket-wise and
+    /// combine min/max. Gauges are point-in-time *levels*, so they do
+    /// not sum: merging normalizes every gauge into the labeled pair
+    /// `<name>_max` (combined by max across sources) and `<name>_total`
+    /// (combined by sum — meaningful for capacity-style gauges like
+    /// byte budgets), and already-labeled entries keep folding under
+    /// their own rule. Entries only one side has are kept. This is the
+    /// cluster-aggregation operation — order- and grouping-independent
+    /// (hence `_total`, not an arrival-order-dependent `_last`), so the
+    /// coordinator can fold shard snapshots in any arrival order.
     void MergeFrom(const MetricsSnapshot& other);
 
     /// 0 when absent — counters that never incremented are typically

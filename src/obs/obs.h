@@ -19,14 +19,25 @@
 
 namespace chef::obs {
 
+class TimeSeriesRecorder;
+
 struct ObsContext {
     MetricsRegistry* metrics = nullptr;
     PhaseTracer* tracer = nullptr;
+    /// Interval sampler over `metrics` (see obs/timeseries.h). When
+    /// set alongside `metrics`, ExplorationService::RunBatch runs a
+    /// sampler thread at the recorder's cadence for the life of the
+    /// batch.
+    TimeSeriesRecorder* timeseries = nullptr;
 
     bool metrics_enabled() const { return metrics != nullptr; }
     bool tracing_enabled() const
     {
         return tracer != nullptr && tracer->enabled();
+    }
+    bool timeseries_enabled() const
+    {
+        return timeseries != nullptr && metrics != nullptr;
     }
 };
 

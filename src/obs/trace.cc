@@ -1,6 +1,7 @@
 #include "obs/trace.h"
 
 #include <chrono>
+#include <cstdio>
 
 #include "support/json.h"
 
@@ -148,6 +149,36 @@ std::string RenderChromeTrace(const std::vector<TraceEvent>& events)
     json.Value("ms");
     json.EndObject();
     return json.Take();
+}
+
+bool WriteChromeTraceFile(const std::string& path,
+                          const std::vector<TraceEvent>& events,
+                          std::string* error)
+{
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+        if (error != nullptr) {
+            *error = "trace: cannot open " + path + " for writing";
+        }
+        return false;
+    }
+    bool ok = std::fputs("{\"traceEvents\":[", file) >= 0;
+    for (size_t i = 0; ok && i < events.size(); ++i) {
+        support::JsonWriter json;
+        WriteOneEvent(json, events[i], /*chrome_form=*/true);
+        const std::string one = json.Take();
+        if (i != 0) {
+            ok = std::fputc(',', file) != EOF;
+        }
+        ok = ok &&
+             std::fwrite(one.data(), 1, one.size(), file) == one.size();
+    }
+    ok = ok && std::fputs("],\"displayTimeUnit\":\"ms\"}", file) >= 0;
+    ok = (std::fclose(file) == 0) && ok;
+    if (!ok && error != nullptr) {
+        *error = "trace: short write to " + path;
+    }
+    return ok;
 }
 
 void WriteTraceEvents(support::JsonWriter& json,

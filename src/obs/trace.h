@@ -158,6 +158,15 @@ class ScopedSpan
 /// (validated by the trace smoke test).
 std::string RenderChromeTrace(const std::vector<TraceEvent>& events);
 
+/// Streams the same document RenderChromeTrace builds straight to
+/// \p path, one event at a time — peak memory is one rendered event,
+/// not the whole trace, which matters for long traced batches (a few
+/// hundred bytes instead of O(total-trace) at flush time). Returns
+/// false (with \p error) on I/O failure.
+bool WriteChromeTraceFile(const std::string& path,
+                          const std::vector<TraceEvent>& events,
+                          std::string* error = nullptr);
+
 /// Serializes events as a JSON array of flat objects (the shard wire
 /// form — same fields as TraceEvent, with ts/dur in microseconds).
 void WriteTraceEvents(support::JsonWriter& json,

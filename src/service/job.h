@@ -82,6 +82,25 @@ struct PlateauPolicy {
     /// outright (status kCancelled, stop_source "plateau"). 0 keeps
     /// deprioritizing without ever cancelling.
     size_t cancel_after = 4;
+    /// Opt-in rate-based cancellation: instead of counting consecutive
+    /// zero-yield jobs, cancel a workload when its windowed
+    /// new-fingerprint *rate* — accepted corpus candidates per second,
+    /// merged across local completions and gossiped remote yields —
+    /// stays below min_yield_per_second over a full
+    /// rate_window_seconds. The count-based deprioritize_after rule
+    /// still applies for ordering; cancel_after is ignored in rate
+    /// mode. Thresholds are calibrated from the recorded Figure-9
+    /// coverage curves (see README).
+    bool rate_mode = false;
+    /// Cancel when the windowed yield rate drops below this (accepted
+    /// fingerprints per second).
+    double min_yield_per_second = 0.1;
+    /// The window must span at least this long before the rate rule
+    /// can trigger (protects short-lived workloads from a cold start).
+    double rate_window_seconds = 5.0;
+    /// And at least this many jobs must have completed for the
+    /// workload (locally or remotely) before cancelling on rate.
+    size_t rate_min_jobs = 2;
 };
 
 /// One streamed batch notification, delivered while RunBatch is still

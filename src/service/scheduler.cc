@@ -70,7 +70,8 @@ BatchScheduler::BatchScheduler(std::vector<std::string> workloads,
                                TestCorpus* corpus, Options options)
     : options_(options),
       workloads_(std::move(workloads)),
-      corpus_(corpus)
+      corpus_(corpus),
+      epoch_(std::chrono::steady_clock::now())
 {
     pending_.reserve(workloads_.size());
     // Next-to-dispatch lives at the back, so seed in reverse submission
@@ -164,8 +165,62 @@ BatchScheduler::OnJobCompleted(const std::string& workload, size_t offered,
     const TestCorpus::WorkloadYield yield = corpus_->YieldFor(workload);
     std::lock_guard<std::mutex> lock(mutex_);
     dirty_ = true;
-    if (options_.plateau.enabled && options_.plateau.cancel_after > 0 &&
-        yield.consecutive_zero_yield >= options_.plateau.cancel_after) {
+    if (!options_.plateau.enabled) {
+        return;
+    }
+    if (options_.plateau.rate_mode) {
+        // Rate mode replaces the consecutive-zero-yield cancel rule
+        // (deprioritization in Resort stays count-based either way).
+        UpdateRateLocked(workload, yield);
+    } else if (options_.plateau.cancel_after > 0 &&
+               yield.consecutive_zero_yield >=
+                   options_.plateau.cancel_after) {
+        if (cancelled_workloads_.insert(workload).second) {
+            MarkPlateauCancelled(workload);
+        }
+    }
+}
+
+double
+BatchScheduler::NowSeconds() const
+{
+    if (options_.now_seconds) {
+        return options_.now_seconds();
+    }
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+}
+
+void
+BatchScheduler::UpdateRateLocked(const std::string& workload,
+                                 const TestCorpus::WorkloadYield& yield)
+{
+    if (cancelled_workloads_.count(workload) != 0) {
+        return;
+    }
+    const double now = NowSeconds();
+    std::deque<RateObservation>& window = rate_windows_[workload];
+    window.push_back(RateObservation{now, yield.accepted_total});
+    // Keep the front as the *newest* observation at least a full
+    // window old, so the measured span is as close to the window as
+    // the data allows (never shorter).
+    while (window.size() >= 2 &&
+           now - window[1].t >= options_.plateau.rate_window_seconds) {
+        window.pop_front();
+    }
+    const RateObservation& baseline = window.front();
+    const double dt = now - baseline.t;
+    if (dt < options_.plateau.rate_window_seconds ||
+        yield.jobs_recorded < options_.plateau.rate_min_jobs) {
+        return;  // Not enough history to judge the rate yet.
+    }
+    const uint64_t gained =
+        yield.accepted_total > baseline.accepted_total
+            ? yield.accepted_total - baseline.accepted_total
+            : 0;
+    if (static_cast<double>(gained) / dt <
+        options_.plateau.min_yield_per_second) {
         if (cancelled_workloads_.insert(workload).second) {
             MarkPlateauCancelled(workload);
         }
@@ -189,19 +244,28 @@ BatchScheduler::NotifyYieldsChanged()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     dirty_ = true;
-    if (!options_.plateau.enabled || options_.plateau.cancel_after == 0) {
+    if (!options_.plateau.enabled) {
         return;
     }
-    // Remote yield can push a pending workload past cancel_after without
-    // any local job completing; OnJobCompleted would never see it.
+    if (!options_.plateau.rate_mode && options_.plateau.cancel_after == 0) {
+        return;
+    }
+    // Remote yield can push a pending workload past its plateau
+    // threshold without any local job completing; OnJobCompleted would
+    // never see it.
+    std::unordered_set<std::string> seen;
     for (const size_t index : pending_) {
         const std::string& workload = workloads_[index];
-        if (cancelled_workloads_.count(workload) != 0) {
+        if (cancelled_workloads_.count(workload) != 0 ||
+            !seen.insert(workload).second) {
             continue;
         }
         const TestCorpus::WorkloadYield yield =
             corpus_->YieldFor(workload);
-        if (yield.consecutive_zero_yield >= options_.plateau.cancel_after) {
+        if (options_.plateau.rate_mode) {
+            UpdateRateLocked(workload, yield);
+        } else if (yield.consecutive_zero_yield >=
+                   options_.plateau.cancel_after) {
             if (cancelled_workloads_.insert(workload).second) {
                 MarkPlateauCancelled(workload);
             }

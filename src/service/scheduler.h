@@ -22,10 +22,13 @@
 /// callers on any thread can poll or drain the queue while RunBatch is
 /// still blocked.
 
+#include <chrono>
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -68,6 +71,11 @@ class BatchScheduler
         /// Telemetry (obs/obs.h): sched/resort spans, instant markers on
         /// plateau cancellations, scheduler.* counters.
         obs::ObsContext obs;
+        /// Clock for the rate-based plateau mode, in monotone seconds.
+        /// Defaults to the steady clock (seconds since scheduler
+        /// construction); tests inject a fake to drive the rate window
+        /// deterministically.
+        std::function<double()> now_seconds;
     };
 
     struct Dispatch {
@@ -114,9 +122,23 @@ class BatchScheduler
     /// instant trace marker). Called with mutex_ held.
     void MarkPlateauCancelled(const std::string& workload);
 
+    double NowSeconds() const;
+
+    /// Rate-mode plateau check: records (now, merged accepted_total)
+    /// for \p workload, then cancels it once the windowed
+    /// new-fingerprint rate stays below PlateauPolicy::
+    /// min_yield_per_second across a full rate_window_seconds (and
+    /// rate_min_jobs completions). \p yield is the *merged* view from
+    /// TestCorpus::YieldFor, so gossiped remote completions move the
+    /// rate too. Called with mutex_ held.
+    void UpdateRateLocked(const std::string& workload,
+                          const TestCorpus::WorkloadYield& yield);
+
     Options options_;
     std::vector<std::string> workloads_;
     TestCorpus* corpus_;
+    /// Steady-clock epoch for the default now_seconds.
+    std::chrono::steady_clock::time_point epoch_;
 
     mutable std::mutex mutex_;
     /// Pending job indices, next-to-dispatch at the back.
@@ -126,6 +148,15 @@ class BatchScheduler
     /// Workloads past PlateauPolicy::cancel_after; their pending jobs
     /// pop as plateau_cancelled.
     std::unordered_set<std::string> cancelled_workloads_;
+    /// Rate mode: per-workload (t, merged accepted_total) observations,
+    /// pruned so the front is the newest observation at least
+    /// rate_window_seconds old.
+    struct RateObservation {
+        double t = 0.0;
+        uint64_t accepted_total = 0;
+    };
+    std::unordered_map<std::string, std::deque<RateObservation>>
+        rate_windows_;
 };
 
 }  // namespace chef::service

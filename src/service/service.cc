@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "obs/obs.h"
+#include "obs/timeseries.h"
 #include "support/json.h"
 #include "support/strings.h"
 #include "workloads/registry.h"
@@ -337,6 +338,48 @@ ExplorationService::RunBatch(const std::vector<JobSpec>& jobs)
         active_scheduler_ = &scheduler;
     }
 
+    if (options_.obs.metrics != nullptr) {
+        // Pre-register the time-series instruments (and each workload's
+        // variants) so the first recorder sample already carries them
+        // at zero — coverage curves start at the origin instead of at
+        // the first completion.
+        obs::MetricsRegistry* metrics = options_.obs.metrics;
+        metrics->counter(obs::kJobsFinishedCounter);
+        metrics->counter(obs::kFingerprintsNewCounter);
+        metrics->gauge(obs::kCorpusSizeGauge)
+            ->Set(static_cast<int64_t>(corpus_.size()));
+        for (const JobSpec& spec : jobs) {
+            metrics->counter(std::string(obs::kJobsFinishedCounter) + "." +
+                             spec.workload);
+            metrics->counter(std::string(obs::kFingerprintsNewCounter) +
+                             "." + spec.workload);
+        }
+    }
+    // Time-series sampling: when the caller supplied a recorder, a
+    // ticker thread samples the registry at the recorder's cadence for
+    // the life of the batch. One sample lands before any job runs and a
+    // final one after all accounting, so the curve spans the whole
+    // batch and its last point equals the final counters.
+    obs::TimeSeriesRecorder* recorder =
+        options_.obs.timeseries_enabled() ? options_.obs.timeseries
+                                          : nullptr;
+    std::thread sampler;
+    std::mutex sampler_mutex;
+    std::condition_variable sampler_cv;
+    bool sampler_done = false;
+    if (recorder != nullptr) {
+        recorder->SampleNow(*options_.obs.metrics);
+        sampler = std::thread([&] {
+            const auto interval = std::chrono::duration<double>(
+                recorder->options().interval_seconds);
+            std::unique_lock<std::mutex> lock(sampler_mutex);
+            while (!sampler_cv.wait_for(lock, interval,
+                                        [&] { return sampler_done; })) {
+                recorder->SampleNow(*options_.obs.metrics);
+            }
+        });
+    }
+
     auto worker = [&] {
         BatchScheduler::Dispatch dispatch;
         while (scheduler.Acquire(&dispatch)) {
@@ -386,6 +429,27 @@ ExplorationService::RunBatch(const std::vector<JobSpec>& jobs)
             const size_t finished =
                 jobs_finished.fetch_add(1, std::memory_order_relaxed) + 1;
             const JobResult& result = results[index];
+            if (options_.obs.metrics != nullptr) {
+                // Per-completion counters, bumped as results land (the
+                // post-batch service.jobs_* totals only move once the
+                // whole batch drains — useless for a time series).
+                obs::MetricsRegistry* metrics = options_.obs.metrics;
+                metrics->counter(obs::kJobsFinishedCounter)->Add();
+                metrics
+                    ->counter(std::string(obs::kJobsFinishedCounter) + "." +
+                              result.workload)
+                    ->Add();
+                if (result.corpus_inserted > 0) {
+                    metrics->counter(obs::kFingerprintsNewCounter)
+                        ->Add(result.corpus_inserted);
+                    metrics
+                        ->counter(std::string(obs::kFingerprintsNewCounter) +
+                                  "." + result.workload)
+                        ->Add(result.corpus_inserted);
+                }
+                metrics->gauge(obs::kCorpusSizeGauge)
+                    ->Set(static_cast<int64_t>(corpus_.size()));
+            }
             JobEvent completed;
             completed.kind = JobEvent::Kind::kJobCompleted;
             completed.job_index = index;
@@ -433,6 +497,14 @@ ExplorationService::RunBatch(const std::vector<JobSpec>& jobs)
     }
     for (std::thread& thread : pool) {
         thread.join();
+    }
+    if (sampler.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(sampler_mutex);
+            sampler_done = true;
+        }
+        sampler_cv.notify_one();
+        sampler.join();
     }
     {
         std::lock_guard<std::mutex> lock(scheduler_mutex_);
@@ -515,6 +587,12 @@ ExplorationService::RunBatch(const std::vector<JobSpec>& jobs)
             ? static_cast<double>(stats_.jobs_completed) /
                   stats_.wall_seconds
             : 0.0;
+    if (recorder != nullptr) {
+        // Final sample after all accounting: the series' last point
+        // matches the batch's final counters exactly, which the
+        // coverage-CSV-vs-report smoke assertion relies on.
+        recorder->SampleNow(*options_.obs.metrics);
+    }
     return results;
 }
 

@@ -66,6 +66,7 @@ ShardCoordinator::Run(const std::vector<service::JobSpec>& jobs,
     cross_shard_ = CrossShardStats{};
     merged_stats_ = service::ServiceStats{};
     cluster_telemetry_ = obs::MetricsSnapshot{};
+    cluster_series_.Clear();
     trace_events_.clear();
     solver_seconds_max_shard_ = 0.0;
 
@@ -190,6 +191,12 @@ ShardCoordinator::Run(const std::vector<service::JobSpec>& jobs,
                 if (message.has_telemetry) {
                     shards_[shard].telemetry = std::move(message.telemetry);
                 }
+                if (!message.series.empty() &&
+                    cluster_series_.Update("shard" + std::to_string(shard),
+                                           message.series) > 0 &&
+                    options_.on_series_update) {
+                    options_.on_series_update(shard);
+                }
                 if (!options_.gossip) {
                     break;
                 }
@@ -209,6 +216,14 @@ ShardCoordinator::Run(const std::vector<service::JobSpec>& jobs,
                 break;
               }
               case MessageType::kResult:
+                // The result's series tail closes the shard's curve at
+                // its final counter totals.
+                if (!message.result.series.empty() &&
+                    cluster_series_.Update("shard" + std::to_string(shard),
+                                           message.result.series) > 0 &&
+                    options_.on_series_update) {
+                    options_.on_series_update(shard);
+                }
                 shard_results[shard] = std::move(message.result);
                 reported[shard] = true;
                 --outstanding;
@@ -313,6 +328,7 @@ ShardCoordinator::RenderMergedReport(
     json.BeginObject();
     json.Key("report"), json.Value("chef-shard-coordinator");
     json.Key("protocol_version"), json.Value(kProtocolVersion);
+    json.Key("protocol_minor"), json.Value(kProtocolVersionMinor);
     json.Key("num_shards"), json.Value(shards_.size());
     json.Key("gossip_enabled"), json.Value(options_.gossip);
     json.Key("coordinator_wall_seconds"), json.Value(wall_seconds_);
@@ -371,6 +387,54 @@ ShardCoordinator::RenderMergedReport(
     json.Key("cluster");
     obs::WriteMetricsSnapshot(json, cluster_telemetry_);
     json.Key("trace_events"), json.Value(trace_events_.size());
+    // Time-series summary: how many samples each shard shipped, plus
+    // the merged coverage/progress curves as [t_seconds, value] pairs.
+    // The full per-sample dump is available via RenderClusterSeriesJson
+    // (chef_shard --series-out); the report keeps the bounded view.
+    json.Key("series");
+    json.BeginObject();
+    json.Key("samples_per_source");
+    json.BeginObject();
+    for (const std::string& source : cluster_series_.Sources()) {
+        const std::vector<obs::SeriesSample>* samples =
+            cluster_series_.SeriesFor(source);
+        json.Key(source.c_str());
+        json.Value(samples != nullptr ? samples->size() : 0);
+    }
+    json.EndObject();
+    json.Key("curves");
+    json.BeginObject();
+    {
+        // Every fingerprint/jobs counter the merged view knows about:
+        // the unsuffixed cluster totals and each per-workload variant.
+        const obs::MetricsSnapshot merged = cluster_series_.MergedLatest();
+        const std::string fp_prefix = obs::kFingerprintsNewCounter;
+        const std::string jobs_prefix = obs::kJobsFinishedCounter;
+        for (const auto& [name, value] : merged.counters) {
+            (void)value;
+            const bool curve_counter =
+                name == fp_prefix || name == jobs_prefix ||
+                name.compare(0, fp_prefix.size() + 1, fp_prefix + ".") ==
+                    0 ||
+                name.compare(0, jobs_prefix.size() + 1,
+                             jobs_prefix + ".") == 0;
+            if (!curve_counter) {
+                continue;
+            }
+            json.Key(name.c_str());
+            json.BeginArray();
+            for (const auto& [t, v] :
+                 cluster_series_.MergedCounterCurve(name)) {
+                json.BeginArray();
+                json.Value(t);
+                json.Value(v);
+                json.EndArray();
+            }
+            json.EndArray();
+        }
+    }
+    json.EndObject();
+    json.EndObject();
     json.EndObject();
     // The merged view reuses the single-service report schema verbatim,
     // so existing report consumers can read a sharded batch by looking

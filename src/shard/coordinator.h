@@ -17,10 +17,12 @@
 /// one JSON document with per-shard and cross-shard-dedup stats.
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "service/report.h"
 #include "shard/transport.h"
@@ -46,6 +48,12 @@ class ShardCoordinator
         /// Seconds to wait for every worker's hello (subprocess spawn +
         /// exec can be slow under load).
         double hello_timeout_seconds = 30.0;
+        /// Invoked (on the coordinator's Run thread) after fresh
+        /// time-series samples from \p shard_id merged into
+        /// cluster_series() — the live monitor / NDJSON streaming hook.
+        /// Reading cluster_series() from inside is safe; Run() is
+        /// blocked while the callback executes.
+        std::function<void(size_t shard_id)> on_series_update;
     };
 
     /// Per-shard outcome, kept for the merged report.
@@ -127,6 +135,15 @@ class ShardCoordinator
         return cluster_telemetry_;
     }
 
+    /// Merged cluster time-series: one series per shard ("shard<N>"),
+    /// fed live from v2.1 gossip and completed by each result's tail.
+    /// Mid-batch reads are only safe from Options::on_series_update
+    /// (same thread as Run); after Run returns, any thread may read.
+    const obs::ClusterSeries& cluster_series() const
+    {
+        return cluster_series_;
+    }
+
     /// Trace spans shipped back by tracing-enabled workers, pid-stamped
     /// shard_id + 1 (pid 0 stays free for a coordinator-side tracer).
     const std::vector<obs::TraceEvent>& trace_events() const
@@ -140,6 +157,15 @@ class ShardCoordinator
     std::string RenderTrace() const
     {
         return obs::RenderChromeTrace(trace_events_);
+    }
+
+    /// Streams the collected trace spans to \p path without building the
+    /// whole document in memory (obs::WriteChromeTraceFile). False with
+    /// \p error on I/O failure.
+    bool WriteTraceFile(const std::string& path,
+                        std::string* error = nullptr) const
+    {
+        return obs::WriteChromeTraceFile(path, trace_events_, error);
     }
 
     /// One JSON document: merged stats/jobs/corpus (the same schema as a
@@ -163,6 +189,7 @@ class ShardCoordinator
     std::vector<ShardOutcome> shards_;
     CrossShardStats cross_shard_;
     obs::MetricsSnapshot cluster_telemetry_;
+    obs::ClusterSeries cluster_series_;
     std::vector<obs::TraceEvent> trace_events_;
     /// Largest single-shard solver time, kept alongside the summed
     /// merged_stats_.solver_seconds: the sum is aggregate work, the max

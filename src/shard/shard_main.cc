@@ -27,10 +27,22 @@
 /// --flag=value and --flag value forms. The merged report always
 /// carries a "telemetry" section with per-shard and cluster-merged
 /// metrics snapshots.
+///
+/// Time-series options (coordinator; all force a 100 ms metrics
+/// interval when none was set): --stats-out PATH streams one NDJSON
+/// line per shard sample (windowed jobs/s, fingerprints/s, solver p95,
+/// cluster totals) as gossip delivers them; --curves-out PATH writes
+/// the per-workload coverage_curves CSV (the Figure-9 reproduction);
+/// --series-out PATH dumps every retained cluster sample as JSON;
+/// --monitor renders an in-place ANSI dashboard to stderr while the
+/// batch runs.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -38,6 +50,8 @@
 
 #include <unistd.h>
 
+#include "obs/monitor.h"
+#include "obs/timeseries.h"
 #include "service/report.h"
 #include "shard/coordinator.h"
 #include "shard/transport.h"
@@ -69,8 +83,17 @@ struct CliOptions {
     /// Non-empty enables worker phase tracing; the merged trace lands
     /// here as Chrome trace-event JSON.
     std::string trace_path;
-    /// Live telemetry cadence in milliseconds; 0 = final snapshot only.
+    /// Live telemetry cadence in milliseconds; 0 = final snapshot only
+    /// (unless a time-series sink below forces the 100 ms default).
     double metrics_interval_ms = 0.0;
+    /// NDJSON stream of per-shard series samples.
+    std::string stats_path;
+    /// Per-workload coverage-curves CSV (Figure 9).
+    std::string curves_path;
+    /// Full cluster series dump as JSON.
+    std::string series_path;
+    /// Render the live ANSI dashboard to stderr.
+    bool monitor = false;
     std::vector<std::pair<std::string, int>> job_specs;  // workload, count
 };
 
@@ -84,7 +107,9 @@ Usage(const char* argv0)
         "           [--max-runs N] [--seed S] [--shard-workers K]\n"
         "           [--budget SECONDS] [--plateau] [--no-gossip]\n"
         "           [--report PATH] [--trace-out PATH]\n"
-        "           [--metrics-interval MS] [--smoke]\n",
+        "           [--metrics-interval MS] [--stats-out PATH]\n"
+        "           [--curves-out PATH] [--series-out PATH]\n"
+        "           [--monitor] [--smoke]\n",
         argv0, argv0);
 }
 
@@ -133,6 +158,30 @@ ParseArgs(int argc, char** argv, CliOptions* options)
             options->metrics_interval_ms = std::atof(inline_value.c_str());
             continue;
         }
+        if (match("--stats-out")) {
+            if (inline_value.empty()) {
+                std::fprintf(stderr, "--stats-out requires a path\n");
+                return false;
+            }
+            options->stats_path = inline_value;
+            continue;
+        }
+        if (match("--curves-out")) {
+            if (inline_value.empty()) {
+                std::fprintf(stderr, "--curves-out requires a path\n");
+                return false;
+            }
+            options->curves_path = inline_value;
+            continue;
+        }
+        if (match("--series-out")) {
+            if (inline_value.empty()) {
+                std::fprintf(stderr, "--series-out requires a path\n");
+                return false;
+            }
+            options->series_path = inline_value;
+            continue;
+        }
         if (flag_error) {
             return false;
         }
@@ -172,6 +221,8 @@ ParseArgs(int argc, char** argv, CliOptions* options)
                 return false;
             }
             options->budget_seconds = std::atof(value);
+        } else if (arg == "--monitor") {
+            options->monitor = true;
         } else if (arg == "--plateau") {
             options->plateau = true;
         } else if (arg == "--no-gossip") {
@@ -258,7 +309,34 @@ CoordinatorOptions(const CliOptions& options)
     coordinator.service.tracing = !options.trace_path.empty();
     coordinator.service.metrics_interval_seconds =
         options.metrics_interval_ms / 1000.0;
+    // The time-series sinks are useless without samples; force the
+    // 100 ms default cadence when none was requested explicitly.
+    const bool wants_series = options.monitor ||
+                              !options.stats_path.empty() ||
+                              !options.curves_path.empty() ||
+                              !options.series_path.empty();
+    if (wants_series && coordinator.service.metrics_interval_seconds <= 0.0) {
+        coordinator.service.metrics_interval_seconds = 0.1;
+    }
     return coordinator;
+}
+
+bool
+ReadFileOrComplain(const std::string& path, std::string* contents)
+{
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) {
+        std::fprintf(stderr, "failed to read %s\n", path.c_str());
+        return false;
+    }
+    contents->clear();
+    char buffer[65536];
+    size_t n = 0;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+        contents->append(buffer, n);
+    }
+    std::fclose(file);
+    return true;
 }
 
 bool
@@ -338,12 +416,82 @@ RunCoordinator(const CliOptions& options, const char* argv0)
         transports.push_back(process.transport.get());
     }
 
-    ShardCoordinator coordinator(CoordinatorOptions(options));
+    ShardCoordinator::Options coordinator_options =
+        CoordinatorOptions(options);
+    const double stats_window = std::max(
+        2.0, 4.0 * coordinator_options.service.metrics_interval_seconds);
+
+    // Live time-series sinks, driven from the coordinator's Run thread
+    // via on_series_update: an NDJSON line per fresh sample, and a
+    // throttled in-place dashboard frame.
+    std::FILE* stats_file = nullptr;
+    if (!options.stats_path.empty()) {
+        stats_file = std::fopen(options.stats_path.c_str(), "w");
+        if (stats_file == nullptr) {
+            std::fprintf(stderr, "failed to open %s\n",
+                         options.stats_path.c_str());
+            return 1;
+        }
+    }
+    ShardCoordinator* running = nullptr;
+    std::map<std::string, uint64_t> streamed;  // source -> last index
+    size_t ndjson_lines = 0;
+    auto last_frame = std::chrono::steady_clock::now();
+    bool first_frame = true;
+    coordinator_options.on_series_update = [&](size_t shard_id) {
+        const chef::obs::ClusterSeries& series = running->cluster_series();
+        const std::string source = "shard" + std::to_string(shard_id);
+        const std::vector<chef::obs::SeriesSample>* samples =
+            series.SeriesFor(source);
+        if (samples != nullptr) {
+            uint64_t& rendered = streamed[source];
+            for (const chef::obs::SeriesSample& sample : *samples) {
+                if (sample.index <= rendered) {
+                    continue;
+                }
+                rendered = sample.index;
+                ++ndjson_lines;
+                if (stats_file != nullptr) {
+                    const std::string line =
+                        chef::obs::RenderSeriesSampleNdjson(
+                            series, source, sample, stats_window);
+                    std::fwrite(line.data(), 1, line.size(), stats_file);
+                }
+            }
+            if (stats_file != nullptr) {
+                std::fflush(stats_file);
+            }
+        }
+        if (options.monitor) {
+            const auto now = std::chrono::steady_clock::now();
+            if (first_frame ||
+                now - last_frame >= std::chrono::milliseconds(250)) {
+                first_frame = false;
+                last_frame = now;
+                const std::string frame =
+                    chef::obs::RenderMonitorFrame(series, stats_window);
+                std::fprintf(stderr, "\x1b[H\x1b[2J%s", frame.c_str());
+            }
+        }
+    };
+
+    ShardCoordinator coordinator(coordinator_options);
+    running = &coordinator;
     std::string error;
     const bool ok = coordinator.Run(jobs, transports, &error);
     for (WorkerProcess& process : processes) {
         process.transport->Close();
         chef::shard::WaitWorkerProcess(process.pid);
+    }
+    if (stats_file != nullptr) {
+        std::fclose(stats_file);
+    }
+    if (options.monitor) {
+        // One final frame from the complete series, then drop out of the
+        // in-place redraw so subsequent stderr output scrolls normally.
+        const std::string frame = chef::obs::RenderMonitorFrame(
+            coordinator.cluster_series(), stats_window);
+        std::fprintf(stderr, "\x1b[H\x1b[2J%s\n", frame.c_str());
     }
     if (!ok) {
         std::fprintf(stderr, "coordinator: %s\n", error.c_str());
@@ -354,12 +502,28 @@ RunCoordinator(const CliOptions& options, const char* argv0)
     if (!WriteFileOrComplain(options.report_path, report)) {
         return 1;
     }
-    std::string trace;
     if (!options.trace_path.empty()) {
-        trace = coordinator.RenderTrace();
-        if (!WriteFileOrComplain(options.trace_path, trace)) {
+        // Streamed span-by-span rather than rendered whole in memory.
+        std::string trace_error;
+        if (!coordinator.WriteTraceFile(options.trace_path, &trace_error)) {
+            std::fprintf(stderr, "%s\n", trace_error.c_str());
             return 1;
         }
+    }
+    std::string curves_csv;
+    if (!options.curves_path.empty()) {
+        curves_csv =
+            chef::obs::RenderCoverageCurvesCsv(coordinator.cluster_series());
+        if (!WriteFileOrComplain(options.curves_path, curves_csv)) {
+            return 1;
+        }
+    }
+    if (!options.series_path.empty() &&
+        !WriteFileOrComplain(
+            options.series_path,
+            chef::obs::RenderClusterSeriesJson(
+                coordinator.cluster_series()))) {
+        return 1;
     }
 
     const ShardCoordinator::CrossShardStats& cross =
@@ -383,6 +547,19 @@ RunCoordinator(const CliOptions& options, const char* argv0)
         std::printf("  trace: %s (%zu events)\n",
                     options.trace_path.c_str(),
                     coordinator.trace_events().size());
+    }
+    if (!options.stats_path.empty()) {
+        std::printf("  stats: %s (%zu NDJSON samples)\n",
+                    options.stats_path.c_str(), ndjson_lines);
+    }
+    if (!options.curves_path.empty()) {
+        std::printf("  curves: %s\n", options.curves_path.c_str());
+    }
+    if (!options.series_path.empty()) {
+        std::printf("  series: %s (%zu samples over %zu sources)\n",
+                    options.series_path.c_str(),
+                    coordinator.cluster_series().total_samples(),
+                    coordinator.cluster_series().Sources().size());
     }
 
     if (!options.smoke) {
@@ -491,9 +668,14 @@ RunCoordinator(const CliOptions& options, const char* argv0)
     //     arrived from every worker shard (pids 1..N; pid 0 would be a
     //     coordinator-side tracer).
     if (!options.trace_path.empty()) {
+        // Validate exactly what the streaming writer put on disk.
+        std::string trace;
         chef::support::JsonValue trace_doc;
         std::string trace_error;
-        if (!chef::support::ParseJson(trace, &trace_doc, &trace_error)) {
+        if (!ReadFileOrComplain(options.trace_path, &trace)) {
+            ++failures;
+        } else if (!chef::support::ParseJson(trace, &trace_doc,
+                                             &trace_error)) {
             std::fprintf(stderr,
                          "FAIL: trace is not strict JSON: %s\n",
                          trace_error.c_str());
@@ -530,6 +712,123 @@ RunCoordinator(const CliOptions& options, const char* argv0)
                             "shards\n",
                             spans, options.num_workers);
             }
+        }
+    }
+
+    // 1c. With --stats-out: the stream on disk is valid NDJSON — every
+    //     line strict-parses with the per-sample schema — and at least 5
+    //     samples arrived (2 shards at a 100 ms cadence cross that in
+    //     well under a second of batch time).
+    if (!options.stats_path.empty()) {
+        std::string ndjson;
+        size_t valid_lines = 0;
+        bool malformed = false;
+        if (!ReadFileOrComplain(options.stats_path, &ndjson)) {
+            ++failures;
+        } else {
+            size_t begin = 0;
+            while (begin < ndjson.size()) {
+                size_t end = ndjson.find('\n', begin);
+                if (end == std::string::npos) {
+                    end = ndjson.size();
+                }
+                const std::string line = ndjson.substr(begin, end - begin);
+                begin = end + 1;
+                if (line.empty()) {
+                    continue;
+                }
+                chef::support::JsonValue sample;
+                std::string sample_error;
+                if (!chef::support::ParseJson(line, &sample,
+                                              &sample_error) ||
+                    sample.Find("source") == nullptr ||
+                    sample.Find("index") == nullptr ||
+                    sample.Find("t_seconds") == nullptr ||
+                    sample.Find("jobs_per_second") == nullptr ||
+                    sample.Find("fingerprints_per_second") == nullptr ||
+                    sample.Find("cluster") == nullptr) {
+                    malformed = true;
+                    std::fprintf(stderr,
+                                 "FAIL: invalid NDJSON sample: %.120s\n",
+                                 line.c_str());
+                    break;
+                }
+                ++valid_lines;
+            }
+            if (malformed || valid_lines < 5) {
+                std::fprintf(stderr,
+                             "FAIL: --stats-out produced %zu valid NDJSON "
+                             "samples (need >= 5)\n",
+                             valid_lines);
+                ++failures;
+            } else {
+                std::printf("  smoke: %zu valid NDJSON samples streamed\n",
+                            valid_lines);
+            }
+        }
+    }
+
+    // 1d. With --curves-out: the cluster "__all__" coverage curve is
+    //     monotone and ends exactly at the report's cluster telemetry
+    //     totals (the recorder's final sample is taken after all batch
+    //     accounting, so the curve and the report must agree).
+    if (!options.curves_path.empty()) {
+        uint64_t last_jobs = 0;
+        uint64_t last_fp = 0;
+        bool monotone = true;
+        size_t all_rows = 0;
+        size_t begin = curves_csv.find('\n');  // Skip the header.
+        begin = begin == std::string::npos ? curves_csv.size() : begin + 1;
+        while (begin < curves_csv.size()) {
+            size_t end = curves_csv.find('\n', begin);
+            if (end == std::string::npos) {
+                end = curves_csv.size();
+            }
+            const std::string row = curves_csv.substr(begin, end - begin);
+            begin = end + 1;
+            if (row.compare(0, 8, "__all__,") != 0) {
+                continue;
+            }
+            unsigned long long jobs = 0;
+            unsigned long long fp = 0;
+            double t = 0.0;
+            if (std::sscanf(row.c_str(), "__all__,%lf,%llu,%llu", &t,
+                            &jobs, &fp) == 3) {
+                monotone = monotone && jobs >= last_jobs && fp >= last_fp;
+                last_jobs = jobs;
+                last_fp = fp;
+                ++all_rows;
+            }
+        }
+        uint64_t cluster_jobs = 0;
+        uint64_t cluster_fp = 0;
+        const chef::support::JsonValue* telemetry = parsed.Find("telemetry");
+        const chef::support::JsonValue* cluster =
+            telemetry != nullptr ? telemetry->Find("cluster") : nullptr;
+        const chef::support::JsonValue* counters =
+            cluster != nullptr ? cluster->Find("counters") : nullptr;
+        if (counters != nullptr) {
+            counters->GetUint64("service.jobs_finished", &cluster_jobs);
+            counters->GetUint64("corpus.fingerprints_new", &cluster_fp);
+        }
+        if (all_rows == 0 || !monotone || last_jobs != cluster_jobs ||
+            last_fp != cluster_fp) {
+            std::fprintf(stderr,
+                         "FAIL: coverage CSV disagrees with the report "
+                         "(%zu rows, monotone=%d, jobs %llu vs %llu, "
+                         "fingerprints %llu vs %llu)\n",
+                         all_rows, monotone ? 1 : 0,
+                         static_cast<unsigned long long>(last_jobs),
+                         static_cast<unsigned long long>(cluster_jobs),
+                         static_cast<unsigned long long>(last_fp),
+                         static_cast<unsigned long long>(cluster_fp));
+            ++failures;
+        } else {
+            std::printf("  smoke: coverage CSV matches the report "
+                        "(%llu jobs, %llu fingerprints over %zu points)\n",
+                        static_cast<unsigned long long>(last_jobs),
+                        static_cast<unsigned long long>(last_fp),
+                        all_rows);
         }
     }
 

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/timeseries.h"
 #include "service/report.h"
 #include "support/json.h"
 
@@ -570,6 +571,7 @@ EncodeHello()
     json.BeginObject();
     json.Key("type"), json.Value("hello");
     json.Key("protocol_version"), json.Value(kProtocolVersion);
+    json.Key("protocol_minor"), json.Value(kProtocolVersionMinor);
     json.EndObject();
     return json.Take();
 }
@@ -604,6 +606,15 @@ EncodeRun(const RunRequest& request)
         json.Value(request.service.plateau_policy.deprioritize_after);
     json.Key("cancel_after"),
         json.Value(request.service.plateau_policy.cancel_after);
+    // v2.1 rate-mode fields; old decoders ignore unknown keys.
+    json.Key("rate_mode"),
+        json.Value(request.service.plateau_policy.rate_mode);
+    json.Key("min_yield_per_second"),
+        json.Value(request.service.plateau_policy.min_yield_per_second);
+    json.Key("rate_window_seconds"),
+        json.Value(request.service.plateau_policy.rate_window_seconds);
+    json.Key("rate_min_jobs"),
+        json.Value(request.service.plateau_policy.rate_min_jobs);
     json.EndObject();
     json.EndObject();
     json.Key("jobs");
@@ -622,7 +633,8 @@ EncodeRun(const RunRequest& request)
 
 std::string
 EncodeGossip(const service::TestCorpus::Delta& delta,
-             const obs::MetricsSnapshot* telemetry)
+             const obs::MetricsSnapshot* telemetry,
+             const std::vector<obs::SeriesSample>* series)
 {
     JsonWriter json;
     json.BeginObject();
@@ -632,6 +644,10 @@ EncodeGossip(const service::TestCorpus::Delta& delta,
     if (telemetry != nullptr) {
         json.Key("telemetry");
         obs::WriteMetricsSnapshot(json, *telemetry);
+    }
+    if (series != nullptr && !series->empty()) {
+        json.Key("series");
+        obs::WriteSeriesSamples(json, *series);
     }
     // Group fingerprints by workload: entries arrive sorted by
     // (workload, fingerprint), so one linear pass emits each group.
@@ -692,6 +708,10 @@ EncodeResult(const ResultMessage& result)
         json.Value(result.remote_duplicate_hits);
     json.Key("telemetry");
     obs::WriteMetricsSnapshot(json, result.telemetry);
+    if (!result.series.empty()) {
+        json.Key("series");
+        obs::WriteSeriesSamples(json, result.series);
+    }
     json.Key("trace");
     obs::WriteTraceEvents(json, result.trace);
     json.EndObject();
@@ -740,6 +760,13 @@ DecodeMessage(const std::string& line, Message* message,
             return false;
         }
         message->protocol_version = static_cast<int>(version);
+        // v2.0 peers never announce a minor; default 0.
+        uint64_t minor = 0;
+        if (root.Find("protocol_minor") != nullptr &&
+            !ReadU64(root, "protocol_minor", &minor, error)) {
+            return false;
+        }
+        message->protocol_minor = static_cast<int>(minor);
         return true;
     }
 
@@ -788,6 +815,22 @@ DecodeMessage(const std::string& line, Message* message,
                       &run.service.plateau_policy.cancel_after, error)) {
             return false;
         }
+        // v2.1 rate-mode fields: optional, keep PlateauPolicy defaults
+        // when a v2.0 coordinator omits them.
+        PlateauPolicy& pp = run.service.plateau_policy;
+        if ((plateau->Find("rate_mode") != nullptr &&
+             !ReadBool(*plateau, "rate_mode", &pp.rate_mode, error)) ||
+            (plateau->Find("min_yield_per_second") != nullptr &&
+             !ReadDouble(*plateau, "min_yield_per_second",
+                         &pp.min_yield_per_second, error)) ||
+            (plateau->Find("rate_window_seconds") != nullptr &&
+             !ReadDouble(*plateau, "rate_window_seconds",
+                         &pp.rate_window_seconds, error)) ||
+            (plateau->Find("rate_min_jobs") != nullptr &&
+             !ReadSize(*plateau, "rate_min_jobs", &pp.rate_min_jobs,
+                       error))) {
+            return false;
+        }
         const JsonValue* jobs = root.Find("jobs");
         if (jobs == nullptr || jobs->kind != JsonValue::Kind::kArray) {
             return DecodeFail(error, "missing or invalid 'jobs'");
@@ -823,6 +866,11 @@ DecodeMessage(const std::string& line, Message* message,
                 return false;
             }
             message->has_telemetry = true;
+        }
+        const JsonValue* series = root.Find("series");
+        if (series != nullptr &&
+            !obs::DecodeSeriesSamples(*series, &message->series, error)) {
+            return false;
         }
         const JsonValue* workloads = root.Find("workloads");
         if (workloads == nullptr ||
@@ -924,6 +972,12 @@ DecodeMessage(const std::string& line, Message* message,
             !obs::DecodeTraceEvents(*trace, &result.trace, error)) {
             return trace == nullptr ? DecodeFail(error, "missing 'trace'")
                                     : false;
+        }
+        // v2.1: optional tail of unshipped time-series samples.
+        const JsonValue* series = root.Find("series");
+        if (series != nullptr &&
+            !obs::DecodeSeriesSamples(*series, &result.series, error)) {
+            return false;
         }
         return true;
     }

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "obs/obs.h"
+#include "obs/timeseries.h"
 #include "service/corpus.h"
 #include "service/job.h"
 #include "service/service.h"
@@ -36,6 +37,13 @@ namespace chef::shard {
 /// v2: telemetry config in kRun, optional telemetry snapshots on
 /// kGossip, telemetry + trace events in kResult.
 constexpr int kProtocolVersion = 2;
+
+/// Bumped on *compatible* additions within a major version; peers never
+/// refuse a different minor. v2.1: optional "series" sample arrays on
+/// kGossip and kResult (time-series telemetry), optional rate-mode
+/// plateau fields in kRun. A v2.0 peer ignores unknown optional fields
+/// and omits them on send; decoders default every v2.1 field.
+constexpr int kProtocolVersionMinor = 1;
 
 enum class MessageType {
     kHello,     ///< worker -> coordinator: ready, protocol version.
@@ -109,6 +117,10 @@ struct ResultMessage {
     /// Completed trace spans, pid-stamped shard_id + 1 (present only
     /// when the run request asked for tracing).
     std::vector<obs::TraceEvent> trace;
+    /// v2.1: time-series samples not yet shipped via gossip (the tail of
+    /// the worker's recorder). Empty from v2.0 workers or when the run
+    /// disabled the metrics interval.
+    std::vector<obs::SeriesSample> series;
 };
 
 /// One decoded message. Tagged union as plain struct: only the payload
@@ -116,12 +128,18 @@ struct ResultMessage {
 struct Message {
     MessageType type = MessageType::kError;
     int protocol_version = 0;                 ///< kHello.
+    /// kHello: minor protocol revision; 0 from pre-v2.1 peers that
+    /// never announce one.
+    int protocol_minor = 0;
     RunRequest run;                           ///< kRun.
     service::TestCorpus::Delta gossip;        ///< kGossip.
     /// kGossip: live telemetry piggybacked on the delta (worker ->
     /// coordinator only, at the configured metrics interval).
     bool has_telemetry = false;
     obs::MetricsSnapshot telemetry;
+    /// kGossip/kResult (v2.1): incremental time-series samples from the
+    /// sender's recorder; empty from v2.0 peers.
+    std::vector<obs::SeriesSample> series;
     ResultMessage result;                     ///< kResult.
     std::string error;                        ///< kError.
 };
@@ -134,10 +152,13 @@ std::string EncodeHello();
 std::string EncodeRun(const RunRequest& request);
 /// Gossip is the compact form of a delta: per-workload fingerprint
 /// lists and the yield snapshot — no outcomes or inputs. A worker may
-/// piggyback a live metrics snapshot (\p telemetry non-null) so the
-/// coordinator's cluster view stays current mid-batch.
-std::string EncodeGossip(const service::TestCorpus::Delta& delta,
-                         const obs::MetricsSnapshot* telemetry = nullptr);
+/// piggyback a live metrics snapshot (\p telemetry non-null) and/or
+/// incremental time-series samples (\p series non-null and non-empty)
+/// so the coordinator's cluster view stays current mid-batch.
+std::string EncodeGossip(
+    const service::TestCorpus::Delta& delta,
+    const obs::MetricsSnapshot* telemetry = nullptr,
+    const std::vector<obs::SeriesSample>* series = nullptr);
 std::string EncodeResult(const ResultMessage& result);
 std::string EncodeShutdown();
 std::string EncodeError(const std::string& reason);

@@ -42,6 +42,20 @@ ShardWorker::HandleRun(const RunRequest& request)
         request.service.ToServiceOptions();
     service_options.obs.metrics = &metrics;
     service_options.obs.tracer = request.service.tracing ? &tracer : nullptr;
+    // Time-series recorder, sampled by the service's ticker thread at
+    // the telemetry cadence; this thread drains it incrementally onto
+    // the gossip stream (wire v2.1 "series").
+    const bool live_telemetry =
+        request.service.metrics_interval_seconds > 0.0;
+    obs::TimeSeriesRecorder::Options recorder_options;
+    if (live_telemetry) {
+        recorder_options.interval_seconds =
+            request.service.metrics_interval_seconds;
+    }
+    obs::TimeSeriesRecorder recorder(recorder_options);
+    if (live_telemetry) {
+        service_options.obs.timeseries = &recorder;
+    }
 
     service::ExplorationService service(service_options);
     std::vector<service::JobSpec> jobs;
@@ -64,14 +78,13 @@ ShardWorker::HandleRun(const RunRequest& request)
     });
 
     uint64_t gossiped_sequence = 0;
+    uint64_t shipped_series_index = 0;
     auto last_gossip = Clock::now() - std::chrono::hours(1);
     auto last_telemetry = Clock::now();
     const auto gossip_interval = std::chrono::duration_cast<Clock::duration>(
         std::chrono::duration<double>(options_.gossip_interval_seconds));
     // Telemetry rides the gossip stream at its own (coarser) cadence;
     // 0 disables mid-batch snapshots (the result carries the final one).
-    const bool live_telemetry =
-        request.service.metrics_interval_seconds > 0.0;
     const auto telemetry_interval =
         std::chrono::duration_cast<Clock::duration>(
             std::chrono::duration<double>(
@@ -92,13 +105,23 @@ ShardWorker::HandleRun(const RunRequest& request)
         gossiped_sequence = delta.sequence;
         obs::MetricsSnapshot snapshot;
         const obs::MetricsSnapshot* telemetry = nullptr;
+        std::vector<obs::SeriesSample> fresh_series;
+        const std::vector<obs::SeriesSample>* series = nullptr;
         if (live_telemetry &&
             Clock::now() - last_telemetry >= telemetry_interval) {
             last_telemetry = Clock::now();
             snapshot = metrics.Snapshot();
             telemetry = &snapshot;
+            // Ship every sample recorded since the last gossip that
+            // carried series; the coordinator dedups by index, so a
+            // resend after a dropped send is harmless.
+            fresh_series = recorder.SamplesSince(shipped_series_index);
+            if (!fresh_series.empty()) {
+                shipped_series_index = fresh_series.back().index;
+                series = &fresh_series;
+            }
         }
-        if (!transport_->Send(EncodeGossip(delta, telemetry))) {
+        if (!transport_->Send(EncodeGossip(delta, telemetry, series))) {
             peer_gone = true;
         }
     };
@@ -169,6 +192,12 @@ ShardWorker::HandleRun(const RunRequest& request)
     result.telemetry = metrics.Snapshot();
     if (request.service.tracing) {
         result.trace = tracer.TakeEvents();
+    }
+    // Samples the gossip stream never shipped — including the final one
+    // RunBatch records after all accounting, so the cluster series ends
+    // exactly at the reported totals.
+    if (live_telemetry) {
+        result.series = recorder.SamplesSince(shipped_series_index);
     }
     transport_->Send(EncodeResult(result));
 }

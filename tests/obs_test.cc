@@ -251,6 +251,21 @@ TEST(MetricsTest, MergeSumsAndIsOrderIndependent)
     EXPECT_EQ(ab.CounterValue("x"), 1u);
     EXPECT_EQ(ab.CounterValue("y"), 5u);
     EXPECT_EQ(ab.CounterValue("z"), 4u);
+    // Gauges are levels, not flows: the merge normalizes them into the
+    // labeled space instead of silently summing, so a cluster snapshot
+    // says which aggregation each value carries.
+    ASSERT_EQ(ab.gauges.size(), 2u);
+    EXPECT_EQ(ab.gauges[0].first, "depth_max");
+    EXPECT_EQ(ab.gauges[0].second, 6);
+    EXPECT_EQ(ab.gauges[1].first, "depth_total");
+    EXPECT_EQ(ab.gauges[1].second, 10);
+    // Re-merging an already-labeled snapshot keeps combining under each
+    // label's own rule (max stays max, total keeps summing).
+    MetricsSnapshot again = ab;
+    again.MergeFrom(ra.Snapshot());
+    ASSERT_EQ(again.gauges.size(), 2u);
+    EXPECT_EQ(again.gauges[0].second, 6);
+    EXPECT_EQ(again.gauges[1].second, 14);
     const HistogramSnapshot* h = ab.FindHistogram("h");
     ASSERT_NE(h, nullptr);
     EXPECT_EQ(h->count, 2u);

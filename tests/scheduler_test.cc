@@ -18,6 +18,7 @@
 
 #include "lowlevel/runtime.h"
 #include "lowlevel/symvalue.h"
+#include "obs/metrics.h"
 #include "service/corpus.h"
 #include "service/report.h"
 #include "service/scheduler.h"
@@ -242,6 +243,104 @@ TEST(BatchScheduler, PlateauDeprioritizesThenCancels)
     EXPECT_TRUE(dispatch.plateau_cancelled);
     ASSERT_TRUE(scheduler.Acquire(&dispatch));
     EXPECT_EQ(dispatch.job_index, 3u);
+    EXPECT_TRUE(dispatch.plateau_cancelled);
+    EXPECT_FALSE(scheduler.Acquire(&dispatch));
+}
+
+TEST(BatchScheduler, RatePlateauCancelsDuplicateSkewedWorkload)
+{
+    // Rate mode on a fake clock: "dup" yields once then flatlines (the
+    // duplicate-skewed shape), "fresh" keeps yielding. Only "dup" may
+    // be cancelled, and only after its windowed rate stayed under the
+    // threshold for a full window.
+    TestCorpus corpus;
+    obs::MetricsRegistry metrics;
+    double now = 0.0;
+    BatchScheduler::Options options;
+    options.plateau.enabled = true;
+    options.plateau.deprioritize_after = 1;
+    options.plateau.rate_mode = true;
+    options.plateau.min_yield_per_second = 1.0;
+    options.plateau.rate_window_seconds = 5.0;
+    options.plateau.rate_min_jobs = 2;
+    options.obs.metrics = &metrics;
+    options.now_seconds = [&now] { return now; };
+    // Jobs: 0-4 = dup, 5-6 = fresh.
+    BatchScheduler scheduler(
+        {"dup", "dup", "dup", "dup", "dup", "fresh", "fresh"}, &corpus,
+        options);
+
+    BatchScheduler::Dispatch dispatch;
+    ASSERT_TRUE(scheduler.Acquire(&dispatch));
+    EXPECT_EQ(dispatch.job_index, 0u);   // FIFO while all untried.
+    scheduler.OnJobCompleted("dup", 10, 8);  // t=0: dup's only yield.
+
+    ASSERT_TRUE(scheduler.Acquire(&dispatch));
+    EXPECT_EQ(dispatch.job_index, 5u);   // fresh is untried.
+    now = 1.0;
+    scheduler.OnJobCompleted("fresh", 10, 6);
+
+    ASSERT_TRUE(scheduler.Acquire(&dispatch));
+    EXPECT_EQ(dispatch.job_index, 1u);   // dup yield 8 > fresh 6.
+    EXPECT_FALSE(dispatch.plateau_cancelled);
+    now = 3.0;
+    scheduler.OnJobCompleted("dup", 10, 0);
+    // Window spans only 3s of the required 5: no judgment yet, and the
+    // zero-yield count must NOT cancel (rate mode replaces it).
+
+    ASSERT_TRUE(scheduler.Acquire(&dispatch));
+    EXPECT_EQ(dispatch.job_index, 6u);   // dup deprioritized (streak 1).
+    EXPECT_FALSE(dispatch.plateau_cancelled);
+    now = 4.0;
+    scheduler.OnJobCompleted("fresh", 10, 6);  // fresh rate stays high.
+
+    ASSERT_TRUE(scheduler.Acquire(&dispatch));
+    EXPECT_EQ(dispatch.job_index, 2u);
+    EXPECT_FALSE(dispatch.plateau_cancelled);
+    now = 6.0;
+    scheduler.OnJobCompleted("dup", 10, 0);
+    // dup's window now spans 6s >= 5 with 0 accepted: rate 0 < 1.0/s.
+
+    // The remaining dup jobs pop as plateau cancellations; fresh never
+    // tripped the rule.
+    ASSERT_TRUE(scheduler.Acquire(&dispatch));
+    EXPECT_EQ(dispatch.job_index, 3u);
+    EXPECT_TRUE(dispatch.plateau_cancelled);
+    ASSERT_TRUE(scheduler.Acquire(&dispatch));
+    EXPECT_EQ(dispatch.job_index, 4u);
+    EXPECT_TRUE(dispatch.plateau_cancelled);
+    EXPECT_FALSE(scheduler.Acquire(&dispatch));
+    // One cancellation event per workload, not per job.
+    EXPECT_EQ(metrics.Snapshot().CounterValue("scheduler.plateau_cancels"),
+              1u);
+}
+
+TEST(BatchScheduler, RatePlateauTriggersFromRemoteYieldGossip)
+{
+    // The same rule must fire from NotifyYieldsChanged alone: remote
+    // shards' gossiped completions flatten a workload's merged rate
+    // without any local job finishing.
+    TestCorpus corpus;
+    double now = 0.0;
+    BatchScheduler::Options options;
+    options.plateau.enabled = true;
+    options.plateau.rate_mode = true;
+    options.plateau.min_yield_per_second = 1.0;
+    options.plateau.rate_window_seconds = 5.0;
+    options.plateau.rate_min_jobs = 2;
+    options.now_seconds = [&now] { return now; };
+    BatchScheduler scheduler({"remote", "remote"}, &corpus, options);
+
+    corpus.RecordJobYield("remote", 10, 4);  // t=0, as merged by gossip.
+    scheduler.NotifyYieldsChanged();
+    now = 6.0;
+    corpus.RecordJobYield("remote", 10, 0);  // Flat across the window.
+    scheduler.NotifyYieldsChanged();
+
+    BatchScheduler::Dispatch dispatch;
+    ASSERT_TRUE(scheduler.Acquire(&dispatch));
+    EXPECT_TRUE(dispatch.plateau_cancelled);
+    ASSERT_TRUE(scheduler.Acquire(&dispatch));
     EXPECT_TRUE(dispatch.plateau_cancelled);
     EXPECT_FALSE(scheduler.Acquire(&dispatch));
 }
