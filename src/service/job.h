@@ -11,6 +11,7 @@
 /// outcomes into JobResult / ServiceStats.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "chef/engine.h"
@@ -103,6 +104,8 @@ struct PlateauPolicy {
     size_t rate_min_jobs = 2;
 };
 
+struct JobResult;
+
 /// One streamed batch notification, delivered while RunBatch is still
 /// blocked: to Options::on_job_event (on the dispatcher thread) and/or
 /// a caller-polled JobEventQueue. Every job produces exactly one
@@ -122,6 +125,13 @@ struct JobEvent {
     JobStatus status = JobStatus::kCompleted;
     std::string stop_source;
     size_t corpus_inserted = 0;
+    /// kJobCompleted only: the job's full result, shared so the event
+    /// stays cheap to copy through the dispatcher queue. The shard
+    /// worker streams these over heartbeats so a dying shard's finished
+    /// work survives it; by emit time the result's corpus inserts are
+    /// already visible in the shared corpus (RunJob inserts before the
+    /// completion event fires).
+    std::shared_ptr<const JobResult> result;
     /// Batch snapshot at emit time (every kind).
     size_t jobs_finished = 0;
     size_t jobs_total = 0;

@@ -459,6 +459,9 @@ ExplorationService::RunBatch(const std::vector<JobSpec>& jobs)
             completed.stop_source = result.stop_source;
             completed.corpus_inserted = result.corpus_inserted;
             completed.jobs_finished = finished;
+            if (streaming) {
+                completed.result = std::make_shared<JobResult>(result);
+            }
             emit(std::move(completed));
             JobEvent progress;
             progress.kind = JobEvent::Kind::kBatchProgress;

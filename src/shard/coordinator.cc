@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -21,6 +23,13 @@ SecondsSince(Clock::time_point start)
     return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+Clock::duration
+DurationFrom(double seconds)
+{
+    return std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(seconds));
+}
+
 bool
 Fail(std::string* error, const std::string& reason)
 {
@@ -28,6 +37,44 @@ Fail(std::string* error, const std::string& reason)
         *error = reason;
     }
     return false;
+}
+
+/// Folds one requeue round's worker stats into a shard's running total.
+/// Work counters and clocks sum (rounds run back-to-back on the same
+/// shard); gauge-like fields keep the latest round's value.
+void
+AccumulateShardStats(service::ServiceStats* into,
+                     const service::ServiceStats& s)
+{
+    into->jobs_submitted += s.jobs_submitted;
+    into->jobs_completed += s.jobs_completed;
+    into->jobs_cancelled += s.jobs_cancelled;
+    into->jobs_plateau_cancelled += s.jobs_plateau_cancelled;
+    into->jobs_failed += s.jobs_failed;
+    into->ll_paths += s.ll_paths;
+    into->hl_paths += s.hl_paths;
+    into->hangs += s.hangs;
+    into->solver_queries += s.solver_queries;
+    into->solver_sliced_queries += s.solver_sliced_queries;
+    into->solver_incremental_sat_calls += s.solver_incremental_sat_calls;
+    into->solver_clauses_loaded += s.solver_clauses_loaded;
+    into->solver_seconds += s.solver_seconds;
+    into->solver_cache_shared =
+        into->solver_cache_shared || s.solver_cache_shared;
+    into->shared_cache_hits += s.shared_cache_hits;
+    into->shared_cache_misses += s.shared_cache_misses;
+    into->shared_cache_inserts += s.shared_cache_inserts;
+    into->shared_cache_evictions += s.shared_cache_evictions;
+    into->shared_cache_model_hits += s.shared_cache_model_hits;
+    into->shared_cache_bytes = s.shared_cache_bytes;
+    into->shared_cache_entries = s.shared_cache_entries;
+    into->engine_seconds += s.engine_seconds;
+    into->wall_seconds += s.wall_seconds;
+    into->num_workers = std::max(into->num_workers, s.num_workers);
+    into->events_delivered += s.events_delivered;
+    into->corpus_size = s.corpus_size;
+    into->jobs_per_second = s.jobs_per_second;
+    into->schedule_policy = s.schedule_policy;
 }
 
 }  // namespace
@@ -65,72 +112,83 @@ ShardCoordinator::Run(const std::vector<service::JobSpec>& jobs,
     shards_.resize(num_shards);
     cross_shard_ = CrossShardStats{};
     merged_stats_ = service::ServiceStats{};
+    degraded_ = false;
+    fault_ = FaultStats{};
+    coordinator_telemetry_ = obs::MetricsSnapshot{};
     cluster_telemetry_ = obs::MetricsSnapshot{};
     cluster_series_.Clear();
     trace_events_.clear();
     solver_seconds_max_shard_ = 0.0;
 
-    // Wait for every worker's hello (and check protocol versions) so a
-    // dead subprocess is caught before the batch is partitioned.
+    // Coordinator-side fault telemetry: counters for the merged report
+    // plus a pid-0 tracer, so death instants and requeue spans line up
+    // against the workers' spans (pid shard_id + 1) in one timeline.
+    obs::MetricsRegistry metrics;
+    obs::Counter* deaths_total = metrics.counter("shard.deaths_total");
+    obs::Counter* jobs_requeued_total =
+        metrics.counter("shard.jobs_requeued_total");
+    obs::Counter* heartbeats_missed =
+        metrics.counter("shard.heartbeats_missed");
+    obs::Counter* respawns_total = metrics.counter("shard.respawns_total");
+    obs::PhaseTracer tracer;
+    tracer.set_pid(0);
+    tracer.set_enabled(options_.service.tracing);
+
+    const bool heartbeats = options_.heartbeat_interval_seconds > 0.0;
+    const auto heartbeat_interval =
+        DurationFrom(options_.heartbeat_interval_seconds);
+    const auto heartbeat_timeout =
+        DurationFrom(options_.heartbeat_timeout_seconds);
+    const size_t quorum = std::max<size_t>(1, options_.min_live_shards);
+
+    // Per-shard runtime state machine. kIdle means greeted and between
+    // runs — the dispatch step below hands idle shards work.
+    enum class State { kAwaitingHello, kBusy, kIdle, kDead };
+    struct Runtime {
+        State state = State::kAwaitingHello;
+        Transport* transport = nullptr;
+        Clock::time_point last_heard;
+        Clock::time_point hello_deadline;
+        /// Heartbeat intervals of current silence already counted into
+        /// shard.heartbeats_missed (resets on any message).
+        uint64_t silent_intervals = 0;
+        /// Whether this shard has sent any heartbeat for the current
+        /// run. Missed-beat telemetry only counts gaps after the first
+        /// beat: run startup (service construction, thread spawn) is
+        /// legitimately silent and beats have not begun yet. The
+        /// heartbeat *timeout* still applies from dispatch, so a worker
+        /// that hangs before its first beat is still declared dead.
+        bool beat_seen = false;
+        /// Jobs dispatched in the current run, not yet reported.
+        std::vector<WireJob> inflight;
+        bool reported_once = false;
+        bool respawn_scheduled = false;
+        Clock::time_point respawn_at;
+        /// Every fingerprint this shard gossiped. If the shard dies,
+        /// these placeholders are all that remains of its completed-
+        /// but-unreported discoveries; merging them at the end keeps
+        /// the merged corpus key set identical to an undisturbed run.
+        service::TestCorpus::Delta retained;
+    };
+    std::vector<Runtime> runtime(num_shards);
+
+    // One *global* hello deadline shared by every shard: the workers
+    // spawn concurrently and their waits overlap, so per-shard serial
+    // deadlines would let total patience grow with shard count.
+    const auto hello_deadline =
+        start + DurationFrom(options_.hello_timeout_seconds);
     for (size_t shard = 0; shard < num_shards; ++shard) {
-        const auto deadline =
-            Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                               std::chrono::duration<double>(
-                                   options_.hello_timeout_seconds));
-        bool greeted = false;
-        while (!greeted) {
-            const auto remaining =
-                std::chrono::duration_cast<std::chrono::milliseconds>(
-                    deadline - Clock::now())
-                    .count();
-            if (remaining <= 0) {
-                return Fail(error, "shard " + std::to_string(shard) +
-                                       ": no hello before timeout");
-            }
-            std::string line;
-            const Transport::RecvStatus status =
-                transports[shard]->Receive(&line,
-                                           static_cast<int>(remaining));
-            if (status == Transport::RecvStatus::kClosed) {
-                return Fail(error, "shard " + std::to_string(shard) +
-                                       ": transport closed before hello");
-            }
-            if (status != Transport::RecvStatus::kMessage) {
-                continue;
-            }
-            Message message;
-            std::string decode_error;
-            if (!DecodeMessage(line, &message, &decode_error)) {
-                return Fail(error, "shard " + std::to_string(shard) +
-                                       ": " + decode_error);
-            }
-            if (message.type == MessageType::kError) {
-                return Fail(error, "shard " + std::to_string(shard) +
-                                       ": " + message.error);
-            }
-            if (message.type != MessageType::kHello) {
-                continue;  // Stale gossip from a previous batch.
-            }
-            if (message.protocol_version != kProtocolVersion) {
-                return Fail(
-                    error,
-                    "shard " + std::to_string(shard) +
-                        ": protocol version " +
-                        std::to_string(message.protocol_version) +
-                        " != " + std::to_string(kProtocolVersion));
-            }
-            greeted = true;
-        }
+        shards_[shard].shard_id = shard;
+        runtime[shard].transport = transports[shard];
+        runtime[shard].last_heard = start;
+        runtime[shard].hello_deadline = hello_deadline;
+        runtime[shard].retained.source = "shard" + std::to_string(shard);
     }
 
     // Partition round-robin by global index, deriving each job's seed
-    // from that index so the partition cannot change per-job sessions.
-    std::vector<RunRequest> requests(num_shards);
-    for (size_t shard = 0; shard < num_shards; ++shard) {
-        requests[shard].shard_id = shard;
-        requests[shard].num_shards = num_shards;
-        requests[shard].service = options_.service;
-    }
+    // from that index so neither the partition nor a later requeue onto
+    // a different shard can change per-job results.
+    std::vector<std::vector<WireJob>> partitions(num_shards);
     for (size_t index = 0; index < jobs.size(); ++index) {
         WireJob job;
         job.job_index = index;
@@ -140,146 +198,469 @@ ShardCoordinator::Run(const std::vector<service::JobSpec>& jobs,
                 options_.service.seed, index, job.spec.seed);
             job.spec.exact_seed = true;
         }
-        const size_t shard = ShardFor(index, num_shards);
-        requests[shard].jobs.push_back(std::move(job));
-        ++shards_[shard].jobs_assigned;
-    }
-    for (size_t shard = 0; shard < num_shards; ++shard) {
-        shards_[shard].shard_id = shard;
-        if (!transports[shard]->Send(EncodeRun(requests[shard]))) {
-            return Fail(error, "shard " + std::to_string(shard) +
-                                   ": send failed");
-        }
+        partitions[ShardFor(index, num_shards)].push_back(std::move(job));
     }
 
-    // Multiplex loop: forward gossip, collect results. Each sweep polls
-    // every shard without blocking (a blocking per-shard receive would
-    // serialize forwarding: a delta on the last shard's pipe would wait
-    // out every earlier shard's timeout); one idle sleep per quiet
-    // sweep bounds the spin instead.
-    std::vector<bool> reported(num_shards, false);
-    std::vector<ResultMessage> shard_results(num_shards);
-    size_t outstanding = num_shards;
-    while (outstanding > 0) {
-        bool progressed = false;
-        for (size_t shard = 0; shard < num_shards; ++shard) {
-            if (reported[shard]) {
-                continue;
-            }
-            std::string line;
-            const Transport::RecvStatus status =
-                transports[shard]->Receive(&line, /*timeout_ms=*/0);
-            if (status == Transport::RecvStatus::kClosed) {
-                return Fail(error, "shard " + std::to_string(shard) +
-                                       ": died before reporting");
-            }
-            if (status != Transport::RecvStatus::kMessage) {
-                continue;
-            }
-            progressed = true;
-            Message message;
-            std::string decode_error;
-            if (!DecodeMessage(line, &message, &decode_error)) {
-                return Fail(error, "shard " + std::to_string(shard) +
-                                       ": " + decode_error);
-            }
-            switch (message.type) {
-              case MessageType::kGossip: {
-                // Telemetry piggybacked on the delta keeps the cluster
-                // view live mid-batch; it is coordinator-local and never
-                // forwarded to sibling shards.
-                if (message.has_telemetry) {
-                    shards_[shard].telemetry = std::move(message.telemetry);
-                }
-                if (!message.series.empty() &&
-                    cluster_series_.Update("shard" + std::to_string(shard),
-                                           message.series) > 0 &&
-                    options_.on_series_update) {
-                    options_.on_series_update(shard);
-                }
-                if (!options_.gossip) {
-                    break;
-                }
-                ++cross_shard_.gossip_messages;
-                cross_shard_.fingerprints_gossiped +=
-                    message.gossip.entries.size();
-                // Forward verbatim: receivers key remote state by
-                // delta.source, so rebroadcast order cannot skew the
-                // merged view. The producing shard never sees its own
-                // delta back.
-                const std::string line_out = EncodeGossip(message.gossip);
-                for (size_t other = 0; other < num_shards; ++other) {
-                    if (other != shard && !reported[other]) {
-                        transports[other]->Send(line_out);
-                    }
-                }
-                break;
-              }
-              case MessageType::kResult:
-                // The result's series tail closes the shard's curve at
-                // its final counter totals.
-                if (!message.result.series.empty() &&
-                    cluster_series_.Update("shard" + std::to_string(shard),
-                                           message.result.series) > 0 &&
-                    options_.on_series_update) {
-                    options_.on_series_update(shard);
-                }
-                shard_results[shard] = std::move(message.result);
-                reported[shard] = true;
-                --outstanding;
-                break;
-              case MessageType::kError:
-                return Fail(error, "shard " + std::to_string(shard) +
-                                       ": " + message.error);
-              default:
-                break;
-            }
-        }
-        if (!progressed && outstanding > 0) {
-            std::this_thread::sleep_for(
-                std::chrono::milliseconds(options_.poll_timeout_ms));
-        }
-    }
+    // Which global jobs already have a result — final, or streamed over
+    // a heartbeat by a shard that died later.
+    std::vector<char> have_result(jobs.size(), 0);
+    std::vector<WireJob> pending_requeue;
+    size_t live_shards = num_shards;
+    bool quorum_broken = false;
 
-    for (size_t shard = 0; shard < num_shards; ++shard) {
-        transports[shard]->Send(EncodeShutdown());
-    }
+    const auto record_result = [&](service::JobResult&& job) {
+        if (job.job_index >= results_.size()) {
+            return false;  // Corrupt index; drop rather than crash.
+        }
+        have_result[job.job_index] = 1;
+        results_[job.job_index] = std::move(job);
+        return true;
+    };
 
-    // Merge: results under global indices, corpora deduplicated, stats
-    // summed (wall clock is the critical path, not a sum — shards ran
-    // concurrently).
-    for (size_t shard = 0; shard < num_shards; ++shard) {
-        const ResultMessage& result = shard_results[shard];
+    ServiceConfig shipped = options_.service;
+    shipped.heartbeat_interval_seconds =
+        heartbeats ? options_.heartbeat_interval_seconds : 0.0;
+
+    // send_run can kill (send failure) and mark_dead requeues what
+    // send_run dispatched — std::function closes the cycle.
+    std::function<void(size_t, const std::string&)> mark_dead;
+
+    const auto send_run = [&](size_t shard, std::vector<WireJob> batch) {
+        Runtime& rt = runtime[shard];
+        RunRequest request;
+        request.shard_id = shard;
+        request.num_shards = num_shards;
+        request.service = shipped;
+        request.jobs = std::move(batch);
+        const std::string line = EncodeRun(request);
+        rt.inflight = std::move(request.jobs);
+        shards_[shard].jobs_assigned += rt.inflight.size();
+        rt.state = State::kBusy;
+        rt.last_heard = Clock::now();
+        rt.silent_intervals = 0;
+        rt.beat_seen = false;
+        if (!rt.transport->Send(line)) {
+            mark_dead(shard, "send failed");
+        }
+    };
+
+    mark_dead = [&](size_t shard, const std::string& cause) {
+        Runtime& rt = runtime[shard];
+        if (rt.state == State::kDead) {
+            return;
+        }
+        rt.state = State::kDead;
+        rt.transport->Close();
+        degraded_ = true;
+        ++fault_.deaths;
+        deaths_total->Add();
+        shards_[shard].dead = true;
+        shards_[shard].death_cause = cause;
+        tracer.RecordInstant(
+            "shard_death", "fault",
+            "shard " + std::to_string(shard) + ": " + cause);
+        // Requeue the remainder. With gossip on, a heartbeat-
+        // acknowledged job's discoveries are already covered by this
+        // shard's retained fingerprints, so only genuinely unfinished
+        // jobs rerun; with gossip off nothing covers them, so every
+        // inflight job reruns — bit-identical thanks to global-index
+        // seeds, which makes overwriting a streamed result harmless.
+        size_t requeued = 0;
+        const auto requeue = [&](std::vector<WireJob>* batch) {
+            for (WireJob& job : *batch) {
+                if (options_.gossip && have_result[job.job_index]) {
+                    continue;
+                }
+                pending_requeue.push_back(std::move(job));
+                ++requeued;
+            }
+            batch->clear();
+        };
+        requeue(&rt.inflight);
+        requeue(&partitions[shard]);  // Died before its first dispatch.
+        shards_[shard].jobs_requeued += requeued;
+        fault_.jobs_requeued += requeued;
+        jobs_requeued_total->Add(requeued);
+        if (options_.on_shard_death) {
+            options_.on_shard_death(shard, cause);
+        }
+        if (options_.supervisor != nullptr &&
+            shards_[shard].respawns < options_.max_respawns) {
+            // Exponential backoff keyed on attempts already burned.
+            rt.respawn_scheduled = true;
+            rt.respawn_at =
+                Clock::now() +
+                DurationFrom(options_.respawn_backoff_seconds *
+                             static_cast<double>(
+                                 uint64_t{1} << std::min<size_t>(
+                                     shards_[shard].respawns, 16)));
+        } else {
+            --live_shards;
+        }
+    };
+
+    const auto merge_result = [&](size_t shard, ResultMessage&& result) {
         ShardOutcome& outcome = shards_[shard];
-        outcome.stats = result.stats;
-        outcome.remote_entries = result.remote_entries;
-        outcome.remote_duplicate_hits = result.remote_duplicate_hits;
+        Runtime& rt = runtime[shard];
+        // The result's series tail closes the shard's curve at its
+        // final counter totals.
+        if (!result.series.empty() &&
+            cluster_series_.Update("shard" + std::to_string(shard),
+                                   result.series) > 0 &&
+            options_.on_series_update) {
+            options_.on_series_update(shard);
+        }
+        AccumulateShardStats(&outcome.stats, result.stats);
+        outcome.remote_entries += result.remote_entries;
+        outcome.remote_duplicate_hits += result.remote_duplicate_hits;
         // The final snapshot supersedes whatever gossip delivered live;
-        // the cluster view merges finals only, so every shard weighs in
-        // exactly once.
-        outcome.telemetry = result.telemetry;
+        // a requeue-round report merges on top of the first so counters
+        // stay cumulative.
+        if (rt.reported_once) {
+            outcome.telemetry.MergeFrom(result.telemetry);
+        } else {
+            outcome.telemetry = result.telemetry;
+        }
+        rt.reported_once = true;
         cluster_telemetry_.MergeFrom(result.telemetry);
         trace_events_.insert(trace_events_.end(), result.trace.begin(),
                              result.trace.end());
-        cross_shard_.remote_duplicate_hits += result.remote_duplicate_hits;
-        cross_shard_.jobs_suppressed += result.stats.jobs_plateau_cancelled;
-        for (const service::JobResult& job : result.results) {
-            if (job.job_index >= results_.size()) {
-                return Fail(error,
-                            "shard " + std::to_string(shard) +
-                                ": result for unknown job index " +
-                                std::to_string(job.job_index));
-            }
-            results_[job.job_index] = job;
+        for (service::JobResult& job : result.results) {
+            record_result(std::move(job));
         }
         const service::TestCorpus::MergeStats merge =
             corpus_.MergeFrom(result.corpus);
-        outcome.corpus_contributed = merge.inserted;
-        outcome.corpus_duplicate = merge.duplicates;
+        outcome.corpus_contributed += merge.inserted;
+        outcome.corpus_duplicate += merge.duplicates;
         cross_shard_.merge_duplicates += merge.duplicates;
+        rt.inflight.clear();
+        rt.state = State::kIdle;
+    };
 
+    const auto handle_message = [&](size_t shard, Message&& message) {
+        Runtime& rt = runtime[shard];
+        rt.last_heard = Clock::now();
+        rt.silent_intervals = 0;
+        switch (message.type) {
+          case MessageType::kHello:
+            if (rt.state != State::kAwaitingHello) {
+                break;  // Stale re-hello; ignore.
+            }
+            if (message.protocol_version != kProtocolVersion) {
+                mark_dead(shard,
+                          "protocol version " +
+                              std::to_string(message.protocol_version) +
+                              " != " + std::to_string(kProtocolVersion));
+                break;
+            }
+            rt.state = State::kIdle;
+            break;
+          case MessageType::kGossip: {
+            // Telemetry piggybacked on the delta keeps the cluster view
+            // live mid-batch; it is coordinator-local and never
+            // forwarded to sibling shards.
+            if (message.has_telemetry) {
+                shards_[shard].telemetry = std::move(message.telemetry);
+            }
+            if (!message.series.empty() &&
+                cluster_series_.Update("shard" + std::to_string(shard),
+                                       message.series) > 0 &&
+                options_.on_series_update) {
+                options_.on_series_update(shard);
+            }
+            if (!options_.gossip) {
+                break;
+            }
+            ++cross_shard_.gossip_messages;
+            cross_shard_.fingerprints_gossiped +=
+                message.gossip.entries.size();
+            rt.retained.entries.insert(rt.retained.entries.end(),
+                                       message.gossip.entries.begin(),
+                                       message.gossip.entries.end());
+            // Forward verbatim: receivers key remote state by
+            // delta.source, so rebroadcast order cannot skew the merged
+            // view. The producing shard never sees its own delta back.
+            const std::string line_out = EncodeGossip(message.gossip);
+            for (size_t other = 0; other < num_shards; ++other) {
+                if (other == shard ||
+                    runtime[other].state != State::kBusy) {
+                    continue;
+                }
+                if (!runtime[other].transport->Send(line_out)) {
+                    mark_dead(other, "send failed");
+                }
+            }
+            break;
+          }
+          case MessageType::kHeartbeat:
+            // Liveness (last_heard above) plus the streamed-results
+            // channel: anything acknowledged here survives this shard's
+            // later death without a rerun.
+            rt.beat_seen = true;
+            for (service::JobResult& job : message.heartbeat.results) {
+                record_result(std::move(job));
+            }
+            if (options_.on_heartbeat) {
+                options_.on_heartbeat(shard);
+            }
+            break;
+          case MessageType::kResult:
+            merge_result(shard, std::move(message.result));
+            break;
+          case MessageType::kError:
+            mark_dead(shard, "worker error: " + message.error);
+            break;
+          default:
+            break;
+        }
+    };
+
+    // The unified multiplex loop: respawn due shards, drain every live
+    // transport without blocking, enforce deadlines, dispatch work to
+    // idle shards. One idle sleep per quiet sweep bounds the spin.
+    const int idle_sleep_ms = std::max(1, options_.poll_timeout_ms);
+    for (;;) {
+        const auto now = Clock::now();
+        bool progressed = false;
+
+        // Respawns whose backoff expired.
+        for (size_t shard = 0; shard < num_shards; ++shard) {
+            Runtime& rt = runtime[shard];
+            if (rt.state != State::kDead || !rt.respawn_scheduled ||
+                now < rt.respawn_at) {
+                continue;
+            }
+            rt.respawn_scheduled = false;
+            ++shards_[shard].respawns;
+            ++fault_.respawns;
+            respawns_total->Add();
+            Transport* fresh = options_.supervisor->Respawn(shard);
+            if (fresh == nullptr) {
+                --live_shards;  // Respawn failed: given up for good.
+                continue;
+            }
+            rt.transport = fresh;
+            rt.state = State::kAwaitingHello;
+            rt.last_heard = Clock::now();
+            rt.hello_deadline =
+                Clock::now() + DurationFrom(options_.hello_timeout_seconds);
+            // Alive again; death_cause stays as the latest obituary.
+            shards_[shard].dead = false;
+            tracer.RecordInstant("shard_respawn", "fault",
+                                 "shard " + std::to_string(shard));
+            progressed = true;
+        }
+
+        for (size_t shard = 0; shard < num_shards; ++shard) {
+            Runtime& rt = runtime[shard];
+            if (rt.state == State::kDead) {
+                continue;
+            }
+            // Drain everything queued on this transport so one chatty
+            // shard cannot add a sweep of latency per message.
+            for (;;) {
+                std::string line;
+                const Transport::RecvStatus status =
+                    rt.transport->Receive(&line, /*timeout_ms=*/0);
+                if (status == Transport::RecvStatus::kTimeout) {
+                    break;
+                }
+                if (status == Transport::RecvStatus::kClosed) {
+                    std::string cause = rt.state == State::kAwaitingHello
+                                            ? "transport closed before hello"
+                                            : "transport closed";
+                    std::string probed;
+                    if (options_.supervisor != nullptr &&
+                        !options_.supervisor->Probe(shard, &probed) &&
+                        !probed.empty()) {
+                        cause += " (" + probed + ")";
+                    }
+                    mark_dead(shard, cause);
+                    break;
+                }
+                progressed = true;
+                Message message;
+                std::string decode_error;
+                if (!DecodeMessage(line, &message, &decode_error)) {
+                    // Garbage on the wire condemns the shard, not the
+                    // batch; keep a snippet for the post-mortem.
+                    std::string snippet = line.substr(0, 96);
+                    if (line.size() > 96) {
+                        snippet += "...";
+                    }
+                    mark_dead(shard, "malformed message (" + decode_error +
+                                         "): '" + snippet + "'");
+                    break;
+                }
+                handle_message(shard, std::move(message));
+                if (rt.state == State::kDead) {
+                    break;
+                }
+            }
+            if (rt.state == State::kDead) {
+                progressed = true;
+                continue;
+            }
+
+            if (rt.state == State::kAwaitingHello &&
+                now >= rt.hello_deadline) {
+                mark_dead(shard, "no hello before timeout");
+                progressed = true;
+                continue;
+            }
+            if (heartbeats && rt.state == State::kBusy &&
+                heartbeat_interval.count() > 0) {
+                const auto silent = now - rt.last_heard;
+                // One interval of silence is ordinary cadence jitter (a
+                // beat in flight); only silence beyond that counts as
+                // skipped beats.
+                const uint64_t overdue =
+                    static_cast<uint64_t>(silent / heartbeat_interval);
+                const uint64_t missed_now = overdue > 1 ? overdue - 1 : 0;
+                if (rt.beat_seen && missed_now > rt.silent_intervals) {
+                    const uint64_t missed =
+                        missed_now - rt.silent_intervals;
+                    rt.silent_intervals = missed_now;
+                    fault_.heartbeats_missed += missed;
+                    heartbeats_missed->Add(missed);
+                }
+                if (silent >= heartbeat_timeout) {
+                    mark_dead(
+                        shard,
+                        "heartbeat timeout after " +
+                            std::to_string(
+                                std::chrono::duration<double>(silent)
+                                    .count()) +
+                            "s");
+                    progressed = true;
+                    continue;
+                }
+            }
+            // Process-level probe: a pipe can buffer past its process's
+            // death, and a SIGSTOPped worker never closes anything.
+            if (options_.supervisor != nullptr) {
+                std::string probed;
+                if (!options_.supervisor->Probe(shard, &probed)) {
+                    mark_dead(shard, probed.empty() ? "process gone"
+                                                    : probed);
+                    progressed = true;
+                    continue;
+                }
+            }
+        }
+
+        // Dispatch: initial partitions to freshly greeted shards, then
+        // the requeue backlog to the first idle survivor.
+        for (size_t shard = 0; shard < num_shards; ++shard) {
+            Runtime& rt = runtime[shard];
+            if (rt.state != State::kIdle) {
+                continue;
+            }
+            if (!partitions[shard].empty()) {
+                std::vector<WireJob> batch = std::move(partitions[shard]);
+                partitions[shard].clear();
+                send_run(shard, std::move(batch));
+                progressed = true;
+            } else if (!pending_requeue.empty() && !quorum_broken) {
+                const uint64_t t0 = tracer.NowMicros();
+                const size_t count = pending_requeue.size();
+                std::vector<WireJob> batch = std::move(pending_requeue);
+                pending_requeue.clear();
+                send_run(shard, std::move(batch));
+                tracer.RecordSpan("requeue_dispatch", "fault", t0,
+                                  tracer.NowMicros() - t0,
+                                  std::to_string(count) + " jobs -> shard " +
+                                      std::to_string(shard));
+                progressed = true;
+            }
+        }
+
+        quorum_broken = live_shards < quorum;
+
+        // Done once nothing is running, greeting, or pending respawn,
+        // and the backlog is empty (or undispatchable: quorum broke).
+        bool waiting = false;
+        for (const Runtime& rt : runtime) {
+            if (rt.state == State::kAwaitingHello ||
+                rt.state == State::kBusy ||
+                (rt.state == State::kDead && rt.respawn_scheduled)) {
+                waiting = true;
+                break;
+            }
+        }
+        if (!waiting && (pending_requeue.empty() || quorum_broken)) {
+            break;
+        }
+        if (!progressed) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(idle_sleep_ms));
+        }
+    }
+
+    // Below-quorum leftovers become cancelled placeholders so every
+    // global index still resolves — a degraded partial report, not an
+    // error.
+    for (const WireJob& job : pending_requeue) {
+        service::JobResult placeholder;
+        placeholder.job_index = job.job_index;
+        placeholder.workload = job.spec.workload;
+        placeholder.label = job.spec.label.empty() ? job.spec.workload
+                                                   : job.spec.label;
+        placeholder.status = service::JobStatus::kCancelled;
+        placeholder.error = "insufficient live shards (" +
+                            std::to_string(live_shards) + " < " +
+                            std::to_string(quorum) + ")";
+        placeholder.stop_source = "shard_death";
+        placeholder.seed_used = job.spec.seed;
+        record_result(std::move(placeholder));
+    }
+    // Defensive: any remaining hole (a worker under-reported its batch)
+    // also fills in, rather than passing off a default-constructed
+    // "completed" result as real.
+    for (size_t index = 0; index < jobs.size(); ++index) {
+        if (have_result[index]) {
+            continue;
+        }
+        service::JobResult placeholder;
+        placeholder.job_index = index;
+        placeholder.workload = jobs[index].workload;
+        placeholder.label = jobs[index].label.empty()
+                                ? jobs[index].workload
+                                : jobs[index].label;
+        placeholder.status = service::JobStatus::kCancelled;
+        placeholder.error = "lost to shard death";
+        placeholder.stop_source = "shard_death";
+        record_result(std::move(placeholder));
+    }
+
+    // Dead shards' retained gossip merges last: fingerprints only, so a
+    // full entry reported by any survivor wins, and only discoveries
+    // nobody re-ran land as placeholders. This is what keeps the merged
+    // corpus key set equal to an undisturbed run's even when a shard
+    // dies after finishing (but before reporting) some of its jobs.
+    for (size_t shard = 0; shard < num_shards; ++shard) {
+        Runtime& rt = runtime[shard];
+        if (rt.state != State::kDead || rt.retained.entries.empty()) {
+            continue;
+        }
+        const service::TestCorpus::MergeStats merge =
+            corpus_.MergeFrom(rt.retained);
+        shards_[shard].corpus_contributed += merge.inserted;
+        shards_[shard].corpus_duplicate += merge.duplicates;
+    }
+
+    for (size_t shard = 0; shard < num_shards; ++shard) {
+        if (runtime[shard].state != State::kDead) {
+            runtime[shard].transport->Send(EncodeShutdown());
+        }
+    }
+
+    // Merge per-shard totals into the batch view. Shards ran
+    // concurrently: wall clock takes the max (the critical path), work
+    // counters sum.
+    for (const ShardOutcome& outcome : shards_) {
+        const service::ServiceStats& s = outcome.stats;
         service::ServiceStats& m = merged_stats_;
-        const service::ServiceStats& s = result.stats;
         m.jobs_submitted += s.jobs_submitted;
         m.jobs_completed += s.jobs_completed;
         m.jobs_cancelled += s.jobs_cancelled;
@@ -309,7 +690,19 @@ ShardCoordinator::Run(const std::vector<service::JobSpec>& jobs,
         m.num_workers += s.num_workers;
         m.events_delivered += s.events_delivered;
         m.schedule_policy = s.schedule_policy;
+        cross_shard_.remote_duplicate_hits += outcome.remote_duplicate_hits;
+        cross_shard_.jobs_suppressed += s.jobs_plateau_cancelled;
     }
+
+    // The coordinator's own counters join the cluster view (all zero in
+    // a fault-free run — cheap, and the report schema stays uniform).
+    coordinator_telemetry_ = metrics.Snapshot();
+    cluster_telemetry_.MergeFrom(coordinator_telemetry_);
+    {
+        std::vector<obs::TraceEvent> own = tracer.TakeEvents();
+        trace_events_.insert(trace_events_.end(), own.begin(), own.end());
+    }
+
     merged_stats_.corpus_size = corpus_.size();
     wall_seconds_ = SecondsSince(start);
     merged_stats_.jobs_per_second =
@@ -331,6 +724,11 @@ ShardCoordinator::RenderMergedReport(
     json.Key("protocol_minor"), json.Value(kProtocolVersionMinor);
     json.Key("num_shards"), json.Value(shards_.size());
     json.Key("gossip_enabled"), json.Value(options_.gossip);
+    // True when any shard died mid-batch: results may mix reruns,
+    // heartbeat-streamed entries, and (below quorum) cancelled
+    // placeholders. The "fault" section and per-shard death causes say
+    // why.
+    json.Key("degraded"), json.Value(degraded_);
     json.Key("coordinator_wall_seconds"), json.Value(wall_seconds_);
     // Two labeled views of solver time, because shards run concurrently:
     // the total is aggregate solver work across the cluster (it grows
@@ -341,6 +739,13 @@ ShardCoordinator::RenderMergedReport(
         json.Value(merged_stats_.solver_seconds);
     json.Key("solver_seconds_max_shard"),
         json.Value(solver_seconds_max_shard_);
+    json.Key("fault");
+    json.BeginObject();
+    json.Key("deaths"), json.Value(fault_.deaths);
+    json.Key("jobs_requeued"), json.Value(fault_.jobs_requeued);
+    json.Key("heartbeats_missed"), json.Value(fault_.heartbeats_missed);
+    json.Key("respawns"), json.Value(fault_.respawns);
+    json.EndObject();
     json.Key("cross_shard");
     json.BeginObject();
     json.Key("gossip_messages"), json.Value(cross_shard_.gossip_messages);
@@ -358,6 +763,10 @@ ShardCoordinator::RenderMergedReport(
         json.BeginObject();
         json.Key("shard_id"), json.Value(shard.shard_id);
         json.Key("jobs_assigned"), json.Value(shard.jobs_assigned);
+        json.Key("dead"), json.Value(shard.dead);
+        json.Key("death_cause"), json.Value(shard.death_cause);
+        json.Key("respawns"), json.Value(shard.respawns);
+        json.Key("jobs_requeued"), json.Value(shard.jobs_requeued);
         json.Key("remote_entries"), json.Value(shard.remote_entries);
         json.Key("remote_duplicate_hits"),
             json.Value(shard.remote_duplicate_hits);
@@ -384,6 +793,10 @@ ShardCoordinator::RenderMergedReport(
         json.EndObject();
     }
     json.EndArray();
+    // The coordinator's own fault counters (shard.deaths_total & co.),
+    // also merged into "cluster".
+    json.Key("coordinator");
+    obs::WriteMetricsSnapshot(json, coordinator_telemetry_);
     json.Key("cluster");
     obs::WriteMetricsSnapshot(json, cluster_telemetry_);
     json.Key("trace_events"), json.Value(trace_events_.size());

@@ -15,6 +15,19 @@
 /// (duplicate keys across shards are the residual cross-shard overlap
 /// gossip didn't suppress in time) and the per-shard reports merge into
 /// one JSON document with per-shard and cross-shard-dedup stats.
+///
+/// The batch survives shard death. A shard is declared dead on EOF, a
+/// failed send, a malformed wire line, a worker-announced error, a
+/// supervisor probe (waitpid), or heartbeat silence past the deadline;
+/// its unfinished jobs — everything inflight minus the results already
+/// streamed over heartbeats — requeue onto the next idle survivor, and
+/// because every seed derives from the *global* job index, the rerun is
+/// bit-identical to what the dead shard would have produced. Completed-
+/// but-unreported discoveries survive as gossip fingerprints the
+/// coordinator retains per shard. An optional ShardSupervisor can
+/// respawn dead pipe workers with bounded exponential backoff; below
+/// Options::min_live_shards the batch stops requeueing and degrades to
+/// a partial report (degraded() == true) instead of failing.
 
 #include <cstdint>
 #include <functional>
@@ -29,6 +42,29 @@
 #include "shard/wire.h"
 
 namespace chef::shard {
+
+/// Hook the coordinator uses to check on and revive shard processes it
+/// does not itself own (the CLI owns the fork/exec side). Both calls
+/// happen on the coordinator's Run thread.
+class ShardSupervisor
+{
+  public:
+    virtual ~ShardSupervisor() = default;
+
+    /// Liveness probe for \p shard_id (e.g. waitpid(WNOHANG)). Returns
+    /// false when the underlying process is gone, filling \p cause with
+    /// a human-readable reason ("killed by signal 9"). Transports can
+    /// buffer past a peer's death, so the probe catches corpses whose
+    /// pipes still read clean.
+    virtual bool Probe(size_t shard_id, std::string* cause) = 0;
+
+    /// Replaces a dead shard with a fresh process and returns its
+    /// transport (owned by the supervisor, valid until the next Respawn
+    /// of the same shard or supervisor destruction). nullptr when the
+    /// respawn itself failed — the coordinator then gives the shard up
+    /// for good.
+    virtual Transport* Respawn(size_t shard_id) = 0;
+};
 
 class ShardCoordinator
 {
@@ -54,6 +90,39 @@ class ShardCoordinator
         /// Reading cluster_series() from inside is safe; Run() is
         /// blocked while the callback executes.
         std::function<void(size_t shard_id)> on_series_update;
+        /// Cadence at which busy workers must beat (wire v2.2); each
+        /// beat also streams the results completed since the last one,
+        /// which is what narrows requeue to the unfinished remainder.
+        /// 0 disables heartbeats entirely — the kRun encoding is then
+        /// byte-identical to v2.1 and death is detected by EOF / failed
+        /// send / supervisor probe only.
+        double heartbeat_interval_seconds = 0.25;
+        /// Silence from a *busy* shard beyond this declares it dead
+        /// (hung worker, wedged pipe). Only meaningful with heartbeats
+        /// on; generous by default because a beat can legitimately
+        /// lag behind a long solver query.
+        double heartbeat_timeout_seconds = 10.0;
+        /// Quorum: once fewer shards than this are live, the batch
+        /// stops requeueing, fills the missing results with cancelled
+        /// placeholders (stop_source "shard_death") and returns a
+        /// degraded partial report instead of an error. The floor of 1
+        /// is implicit — with zero live shards nothing can run.
+        size_t min_live_shards = 1;
+        /// Respawn budget per shard (0 = never respawn). Needs a
+        /// supervisor; each attempt backs off exponentially from
+        /// respawn_backoff_seconds.
+        size_t max_respawns = 0;
+        double respawn_backoff_seconds = 0.25;
+        /// Optional process-level liveness/revival hook (not owned).
+        ShardSupervisor* supervisor = nullptr;
+        /// Invoked (on the Run thread) when a shard is declared dead,
+        /// after its remainder moved to the requeue list.
+        std::function<void(size_t shard_id, const std::string& cause)>
+            on_shard_death;
+        /// Invoked (on the Run thread) for every heartbeat received —
+        /// the chaos harness's trigger point ("kill the victim once it
+        /// is provably mid-batch").
+        std::function<void(size_t shard_id)> on_heartbeat;
     };
 
     /// Per-shard outcome, kept for the merged report.
@@ -70,8 +139,27 @@ class ShardCoordinator
         size_t corpus_duplicate = 0;
         /// Latest metrics snapshot: updated live from telemetry-bearing
         /// gossip mid-batch, then replaced by the final result's
-        /// snapshot when the shard reports.
+        /// snapshot when the shard reports (merged across requeue
+        /// rounds when the shard reported more than once).
         obs::MetricsSnapshot telemetry;
+        /// Fault-tolerance outcome. dead reflects the shard's *final*
+        /// state — a successfully respawned shard is not dead, but
+        /// death_cause keeps its latest obituary for the report.
+        bool dead = false;
+        std::string death_cause;
+        size_t respawns = 0;
+        /// Jobs this shard's deaths sent back to the requeue list.
+        size_t jobs_requeued = 0;
+    };
+
+    /// Batch-wide fault counters (mirrored into coordinator telemetry
+    /// as shard.deaths_total / shard.jobs_requeued_total /
+    /// shard.heartbeats_missed / shard.respawns_total).
+    struct FaultStats {
+        uint64_t deaths = 0;
+        uint64_t jobs_requeued = 0;
+        uint64_t heartbeats_missed = 0;
+        uint64_t respawns = 0;
     };
 
     /// Aggregated cross-shard telemetry.
@@ -99,9 +187,13 @@ class ShardCoordinator
     explicit ShardCoordinator(Options options);
 
     /// Runs \p jobs over the shard \p transports (one per worker, all
-    /// already connected). Blocks until every shard reported or died.
-    /// Returns false with \p error on non-serializable specs, protocol
-    /// errors, version mismatch, or a shard vanishing mid-batch.
+    /// already connected). Blocks until every job is accounted for —
+    /// by a surviving shard's result, a streamed heartbeat result from
+    /// a shard that died later, a deterministic rerun on a survivor,
+    /// or (below the quorum) a cancelled placeholder. Returns false
+    /// with \p error only on caller mistakes (no transports,
+    /// non-serializable specs); shard deaths degrade the report
+    /// (degraded() == true) rather than fail the batch.
     bool Run(const std::vector<service::JobSpec>& jobs,
              const std::vector<Transport*>& transports,
              std::string* error);
@@ -125,6 +217,19 @@ class ShardCoordinator
 
     const std::vector<ShardOutcome>& shards() const { return shards_; }
     const CrossShardStats& cross_shard() const { return cross_shard_; }
+
+    /// True when any shard died during the last Run (even if a respawn
+    /// or requeue fully recovered the work — the report still flags
+    /// that the batch did not execute as planned).
+    bool degraded() const { return degraded_; }
+    const FaultStats& fault() const { return fault_; }
+
+    /// Coordinator-side telemetry (fault counters), pid 0 in traces.
+    /// Also merged into cluster_telemetry().
+    const obs::MetricsSnapshot& coordinator_telemetry() const
+    {
+        return coordinator_telemetry_;
+    }
 
     /// Every shard's final snapshot merged into one cluster view:
     /// counters and gauges sum, histograms add bucket-wise (so cluster
@@ -188,6 +293,9 @@ class ShardCoordinator
     service::ServiceStats merged_stats_;
     std::vector<ShardOutcome> shards_;
     CrossShardStats cross_shard_;
+    bool degraded_ = false;
+    FaultStats fault_;
+    obs::MetricsSnapshot coordinator_telemetry_;
     obs::MetricsSnapshot cluster_telemetry_;
     obs::ClusterSeries cluster_series_;
     std::vector<obs::TraceEvent> trace_events_;

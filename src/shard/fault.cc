@@ -1,0 +1,117 @@
+#include "shard/fault.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace chef::shard {
+
+FaultInjectingTransport::FaultInjectingTransport(
+    Transport* inner, std::vector<FaultRule> rules, uint64_t seed)
+    : inner_(inner),
+      rules_(std::move(rules)),
+      fired_(rules_.size(), false),
+      // splitmix64's recommended non-zero scrambling of the seed.
+      rng_state_(seed ^ 0x9e3779b97f4a7c15ULL)
+{
+}
+
+uint64_t
+FaultInjectingTransport::NextRandom()
+{
+    // splitmix64: tiny, seedable, and good enough to pick corruption
+    // offsets — statistical quality is irrelevant, replayability is not.
+    uint64_t z = (rng_state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+bool
+FaultInjectingTransport::Apply(FaultRule::Point point, uint64_t ordinal,
+                               std::string* message)
+{
+    bool pass = true;
+    for (size_t i = 0; i < rules_.size(); ++i) {
+        const FaultRule& rule = rules_[i];
+        if (fired_[i] || rule.point != point || rule.nth != ordinal) {
+            continue;
+        }
+        fired_[i] = true;
+        ++faults_fired_;
+        switch (rule.action) {
+          case FaultRule::Action::kDrop:
+            pass = false;
+            break;
+          case FaultRule::Action::kDelay:
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                rule.delay_seconds));
+            break;
+          case FaultRule::Action::kTruncate:
+            // Keep a strict prefix: long enough to look like the start
+            // of a frame, never the whole line — the peer must see a
+            // malformed message, not a short valid one.
+            if (message->size() > 1) {
+                message->resize(
+                    1 + NextRandom() % (message->size() - 1));
+            }
+            break;
+          case FaultRule::Action::kCorrupt: {
+            // Flip a few seeded bytes to printable garbage. Printable
+            // keeps the line framing intact (no injected newlines), so
+            // the peer reads exactly one garbage frame.
+            if (!message->empty()) {
+                const size_t flips = 1 + NextRandom() % 3;
+                for (size_t f = 0; f < flips; ++f) {
+                    const size_t at = NextRandom() % message->size();
+                    (*message)[at] =
+                        static_cast<char>('#' + NextRandom() % 60);
+                }
+            }
+            break;
+          }
+          case FaultRule::Action::kClose:
+            inner_->Close();
+            pass = false;
+            break;
+        }
+    }
+    return pass;
+}
+
+bool
+FaultInjectingTransport::Send(const std::string& message)
+{
+    const uint64_t ordinal = ++sends_;
+    std::string mangled = message;
+    if (!Apply(FaultRule::Point::kSend, ordinal, &mangled)) {
+        // Dropped: a lost datagram looks like success to the sender.
+        // Closed: the next send on the inner transport fails anyway.
+        return true;
+    }
+    return inner_->Send(mangled);
+}
+
+Transport::RecvStatus
+FaultInjectingTransport::Receive(std::string* message, int timeout_ms)
+{
+    const RecvStatus status = inner_->Receive(message, timeout_ms);
+    if (status != RecvStatus::kMessage) {
+        return status;
+    }
+    const uint64_t ordinal = ++receives_;
+    if (!Apply(FaultRule::Point::kReceive, ordinal, message)) {
+        // Dropped on the receive path: the caller sees a quiet poll.
+        message->clear();
+        return RecvStatus::kTimeout;
+    }
+    return RecvStatus::kMessage;
+}
+
+void
+FaultInjectingTransport::Close()
+{
+    inner_->Close();
+}
+
+}  // namespace chef::shard

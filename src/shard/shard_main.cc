@@ -35,7 +35,19 @@
 /// the per-workload coverage_curves CSV (the Figure-9 reproduction);
 /// --series-out PATH dumps every retained cluster sample as JSON;
 /// --monitor renders an in-place ANSI dashboard to stderr while the
-/// batch runs.
+/// batch runs. Shard deaths additionally appear on the --stats-out
+/// stream as {"event":"shard_death",...} records.
+///
+/// Fault-tolerance options (coordinator): --heartbeat-interval MS sets
+/// the worker heartbeat cadence (v2.2; 0 disables), --respawns N lets
+/// the coordinator respawn each dead worker up to N times,
+/// --min-live-shards K degrades the batch to a partial report below K
+/// live shards, and --chaos kill-one SIGKILLs the first shard to
+/// heartbeat — a built-in crash drill: the run must still complete,
+/// flagged "degraded" with the dead shard's jobs requeued onto
+/// survivors. With --smoke the chaos run additionally asserts the
+/// merged corpus is key-for-key identical to an undisturbed
+/// single-shard run.
 
 #include <algorithm>
 #include <chrono>
@@ -48,6 +60,7 @@
 #include <utility>
 #include <vector>
 
+#include <signal.h>
 #include <unistd.h>
 
 #include "obs/monitor.h"
@@ -94,6 +107,16 @@ struct CliOptions {
     std::string series_path;
     /// Render the live ANSI dashboard to stderr.
     bool monitor = false;
+    /// Fault-injection drill: "" (off) or "kill-one" (SIGKILL the first
+    /// shard that heartbeats — provably mid-batch).
+    std::string chaos;
+    /// Worker heartbeat cadence in milliseconds (0 disables v2.2
+    /// heartbeats and the streamed-results channel).
+    double heartbeat_interval_ms = 250.0;
+    /// Respawn budget per dead worker.
+    size_t max_respawns = 0;
+    /// Quorum below which the batch degrades instead of requeueing.
+    size_t min_live_shards = 1;
     std::vector<std::pair<std::string, int>> job_specs;  // workload, count
 };
 
@@ -109,6 +132,8 @@ Usage(const char* argv0)
         "           [--report PATH] [--trace-out PATH]\n"
         "           [--metrics-interval MS] [--stats-out PATH]\n"
         "           [--curves-out PATH] [--series-out PATH]\n"
+        "           [--heartbeat-interval MS] [--respawns N]\n"
+        "           [--min-live-shards K] [--chaos kill-one]\n"
         "           [--monitor] [--smoke]\n",
         argv0, argv0);
 }
@@ -180,6 +205,32 @@ ParseArgs(int argc, char** argv, CliOptions* options)
                 return false;
             }
             options->series_path = inline_value;
+            continue;
+        }
+        if (match("--heartbeat-interval")) {
+            options->heartbeat_interval_ms =
+                std::atof(inline_value.c_str());
+            continue;
+        }
+        if (match("--respawns")) {
+            options->max_respawns = static_cast<size_t>(
+                std::strtoull(inline_value.c_str(), nullptr, 10));
+            continue;
+        }
+        if (match("--min-live-shards")) {
+            options->min_live_shards = static_cast<size_t>(
+                std::strtoull(inline_value.c_str(), nullptr, 10));
+            continue;
+        }
+        if (match("--chaos")) {
+            if (inline_value != "kill-one") {
+                std::fprintf(stderr,
+                             "--chaos supports only 'kill-one' (got "
+                             "'%s')\n",
+                             inline_value.c_str());
+                return false;
+            }
+            options->chaos = inline_value;
             continue;
         }
         if (flag_error) {
@@ -318,6 +369,10 @@ CoordinatorOptions(const CliOptions& options)
     if (wants_series && coordinator.service.metrics_interval_seconds <= 0.0) {
         coordinator.service.metrics_interval_seconds = 0.1;
     }
+    coordinator.heartbeat_interval_seconds =
+        options.heartbeat_interval_ms / 1000.0;
+    coordinator.max_respawns = options.max_respawns;
+    coordinator.min_live_shards = options.min_live_shards;
     return coordinator;
 }
 
@@ -365,6 +420,67 @@ SelfBinaryPath(const char* argv0)
     }
     return argv0;
 }
+
+/// ShardSupervisor over the coordinator's pipe-worker subprocesses:
+/// waitpid(WNOHANG) liveness probes and fork/exec respawns that replace
+/// the dead WorkerProcess slot in place.
+class PipeShardSupervisor : public chef::shard::ShardSupervisor
+{
+  public:
+    PipeShardSupervisor(std::string binary,
+                        std::vector<WorkerProcess>* processes)
+        : binary_(std::move(binary)), processes_(processes)
+    {
+    }
+
+    bool Probe(size_t shard_id, std::string* cause) override
+    {
+        if (shard_id >= processes_->size()) {
+            return true;
+        }
+        WorkerProcess& process = (*processes_)[shard_id];
+        if (process.pid < 0) {
+            if (cause != nullptr) {
+                *cause = "process gone";
+            }
+            return false;
+        }
+        if (!chef::shard::ProbeWorkerProcess(process.pid, cause)) {
+            process.pid = -1;  // Reaped by the probe; don't wait again.
+            return false;
+        }
+        return true;
+    }
+
+    Transport* Respawn(size_t shard_id) override
+    {
+        if (shard_id >= processes_->size()) {
+            return nullptr;
+        }
+        WorkerProcess& slot = (*processes_)[shard_id];
+        if (slot.pid >= 0) {
+            // Dead to the protocol but the process survives (hung, or
+            // spoke garbage): reap it before replacing the slot.
+            ::kill(slot.pid, SIGKILL);
+            chef::shard::WaitWorkerProcess(slot.pid);
+            slot.pid = -1;
+        }
+        WorkerProcess fresh;
+        std::string error;
+        if (!chef::shard::SpawnWorkerProcess(binary_, {"--worker"},
+                                             &fresh, &error)) {
+            std::fprintf(stderr, "respawn shard %zu: %s\n", shard_id,
+                         error.c_str());
+            return nullptr;
+        }
+        slot = std::move(fresh);
+        return slot.transport.get();
+    }
+
+  private:
+    std::string binary_;
+    std::vector<WorkerProcess>* processes_;
+};
 
 int
 RunWorker()
@@ -418,6 +534,11 @@ RunCoordinator(const CliOptions& options, const char* argv0)
 
     ShardCoordinator::Options coordinator_options =
         CoordinatorOptions(options);
+    // Pipe workers always get the process-level supervisor: waitpid
+    // probes catch corpses whose pipes still read clean, and --respawns
+    // turns on revival through the same object.
+    PipeShardSupervisor supervisor(binary, &processes);
+    coordinator_options.supervisor = &supervisor;
     const double stats_window = std::max(
         2.0, 4.0 * coordinator_options.service.metrics_interval_seconds);
 
@@ -436,6 +557,52 @@ RunCoordinator(const CliOptions& options, const char* argv0)
     ShardCoordinator* running = nullptr;
     std::map<std::string, uint64_t> streamed;  // source -> last index
     size_t ndjson_lines = 0;
+    const auto run_start = std::chrono::steady_clock::now();
+
+    // Shard deaths: one stderr obituary each, plus an NDJSON event
+    // record on the stats stream (consumers skip records carrying an
+    // "event" key when computing rates).
+    coordinator_options.on_shard_death = [&](size_t shard,
+                                             const std::string& cause) {
+        std::fprintf(stderr, "chef_shard: shard %zu died: %s\n", shard,
+                     cause.c_str());
+        if (stats_file != nullptr) {
+            chef::support::JsonWriter json;
+            json.BeginObject();
+            json.Key("event"), json.Value("shard_death");
+            json.Key("shard"), json.Value(shard);
+            json.Key("cause"), json.Value(cause);
+            json.Key("t_seconds"),
+                json.Value(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - run_start)
+                               .count());
+            json.EndObject();
+            std::string line = json.Take();
+            line += '\n';
+            std::fwrite(line.data(), 1, line.size(), stats_file);
+            std::fflush(stats_file);
+        }
+    };
+
+    // The kill-one drill: SIGKILL the first shard to heartbeat. A
+    // heartbeat only flows while RunBatch is still executing, so the
+    // victim is provably mid-batch — the hard case, where requeue and
+    // retained-gossip recovery must both engage.
+    bool chaos_killed = false;
+    if (options.chaos == "kill-one") {
+        coordinator_options.on_heartbeat = [&](size_t shard) {
+            if (chaos_killed || shard >= processes.size() ||
+                processes[shard].pid < 0) {
+                return;
+            }
+            chaos_killed = true;
+            std::fprintf(stderr,
+                         "chef_shard: chaos kill-one: SIGKILL shard %zu "
+                         "(pid %d) on its first heartbeat\n",
+                         shard, static_cast<int>(processes[shard].pid));
+            ::kill(processes[shard].pid, SIGKILL);
+        };
+    }
     auto last_frame = std::chrono::steady_clock::now();
     bool first_frame = true;
     coordinator_options.on_series_update = [&](size_t shard_id) {
@@ -481,7 +648,9 @@ RunCoordinator(const CliOptions& options, const char* argv0)
     const bool ok = coordinator.Run(jobs, transports, &error);
     for (WorkerProcess& process : processes) {
         process.transport->Close();
-        chef::shard::WaitWorkerProcess(process.pid);
+        if (process.pid >= 0) {  // Dead shards were reaped by the probe.
+            chef::shard::WaitWorkerProcess(process.pid);
+        }
     }
     if (stats_file != nullptr) {
         std::fclose(stats_file);
@@ -542,6 +711,16 @@ RunCoordinator(const CliOptions& options, const char* argv0)
                 static_cast<unsigned long long>(
                     cross.remote_duplicate_hits),
                 static_cast<unsigned long long>(cross.jobs_suppressed));
+    if (coordinator.degraded()) {
+        const ShardCoordinator::FaultStats& fault = coordinator.fault();
+        std::printf("  fault: DEGRADED — %llu death(s), %llu jobs "
+                    "requeued, %llu heartbeats missed, %llu respawn(s)\n",
+                    static_cast<unsigned long long>(fault.deaths),
+                    static_cast<unsigned long long>(fault.jobs_requeued),
+                    static_cast<unsigned long long>(
+                        fault.heartbeats_missed),
+                    static_cast<unsigned long long>(fault.respawns));
+    }
     std::printf("  report: %s\n", options.report_path.c_str());
     if (!options.trace_path.empty()) {
         std::printf("  trace: %s (%zu events)\n",
@@ -621,9 +800,19 @@ RunCoordinator(const CliOptions& options, const char* argv0)
                          "cluster snapshots\n");
             ++failures;
         } else {
+            // Dead shards never report, so their (gossiped, partial)
+            // snapshots are excluded from the cluster merge: sum the
+            // survivors only, and on a degraded run accept cluster >=
+            // sum (requeue rounds from since-dead shards may have
+            // merged work no surviving per-shard snapshot shows).
             uint64_t shard_queries = 0;
-            for (const chef::support::JsonValue& entry :
-                 tele_shards->items) {
+            for (size_t i = 0; i < tele_shards->items.size(); ++i) {
+                if (i < coordinator.shards().size() &&
+                    coordinator.shards()[i].dead) {
+                    continue;
+                }
+                const chef::support::JsonValue& entry =
+                    tele_shards->items[i];
                 const chef::support::JsonValue* counters =
                     entry.Find("metrics") != nullptr
                         ? entry.Find("metrics")->Find("counters")
@@ -637,8 +826,11 @@ RunCoordinator(const CliOptions& options, const char* argv0)
             uint64_t cluster_queries = 0;
             cluster->Find("counters")->GetUint64("solver.queries",
                                                  &cluster_queries);
-            if (cluster_queries == 0 ||
-                cluster_queries != shard_queries) {
+            const bool consistent =
+                coordinator.degraded()
+                    ? cluster_queries >= shard_queries
+                    : cluster_queries == shard_queries;
+            if (cluster_queries == 0 || !consistent) {
                 std::fprintf(stderr,
                              "FAIL: cluster solver.queries %llu != "
                              "per-shard sum %llu (or zero)\n",
@@ -696,9 +888,15 @@ RunCoordinator(const CliOptions& options, const char* argv0)
                     }
                 }
             }
+            // A dead shard's spans die with it (they ship in the final
+            // result), so only surviving shards owe spans.
             bool all_shards = true;
             for (size_t shard = 1; shard <= options.num_workers;
                  ++shard) {
+                if (shard - 1 < coordinator.shards().size() &&
+                    coordinator.shards()[shard - 1].dead) {
+                    continue;
+                }
                 all_shards = all_shards && seen[shard];
             }
             if (events == nullptr || spans == 0 || !all_shards) {
@@ -722,6 +920,7 @@ RunCoordinator(const CliOptions& options, const char* argv0)
     if (!options.stats_path.empty()) {
         std::string ndjson;
         size_t valid_lines = 0;
+        size_t event_lines = 0;
         bool malformed = false;
         if (!ReadFileOrComplain(options.stats_path, &ndjson)) {
             ++failures;
@@ -740,8 +939,29 @@ RunCoordinator(const CliOptions& options, const char* argv0)
                 chef::support::JsonValue sample;
                 std::string sample_error;
                 if (!chef::support::ParseJson(line, &sample,
-                                              &sample_error) ||
-                    sample.Find("source") == nullptr ||
+                                              &sample_error)) {
+                    malformed = true;
+                    std::fprintf(stderr,
+                                 "FAIL: invalid NDJSON sample: %.120s\n",
+                                 line.c_str());
+                    break;
+                }
+                // Fault events share the stream with samples; they
+                // carry "event" instead of the sample schema.
+                if (sample.Find("event") != nullptr) {
+                    if (sample.Find("shard") == nullptr ||
+                        sample.Find("cause") == nullptr) {
+                        malformed = true;
+                        std::fprintf(
+                            stderr,
+                            "FAIL: invalid NDJSON event: %.120s\n",
+                            line.c_str());
+                        break;
+                    }
+                    ++event_lines;
+                    continue;
+                }
+                if (sample.Find("source") == nullptr ||
                     sample.Find("index") == nullptr ||
                     sample.Find("t_seconds") == nullptr ||
                     sample.Find("jobs_per_second") == nullptr ||
@@ -755,15 +975,26 @@ RunCoordinator(const CliOptions& options, const char* argv0)
                 }
                 ++valid_lines;
             }
-            if (malformed || valid_lines < 5) {
+            // A degraded run can cut sample volume (a shard died early),
+            // but every shard death must have left an event record.
+            const size_t need_samples = coordinator.degraded() ? 1 : 5;
+            const bool events_accounted =
+                event_lines >=
+                static_cast<size_t>(coordinator.fault().deaths);
+            if (malformed || valid_lines < need_samples ||
+                !events_accounted) {
                 std::fprintf(stderr,
                              "FAIL: --stats-out produced %zu valid NDJSON "
-                             "samples (need >= 5)\n",
-                             valid_lines);
+                             "samples + %zu events (need >= %zu samples, "
+                             ">= %llu events)\n",
+                             valid_lines, event_lines, need_samples,
+                             static_cast<unsigned long long>(
+                                 coordinator.fault().deaths));
                 ++failures;
             } else {
-                std::printf("  smoke: %zu valid NDJSON samples streamed\n",
-                            valid_lines);
+                std::printf("  smoke: %zu valid NDJSON samples + %zu "
+                            "event records streamed\n",
+                            valid_lines, event_lines);
             }
         }
     }
@@ -772,7 +1003,13 @@ RunCoordinator(const CliOptions& options, const char* argv0)
     //     monotone and ends exactly at the report's cluster telemetry
     //     totals (the recorder's final sample is taken after all batch
     //     accounting, so the curve and the report must agree).
-    if (!options.curves_path.empty()) {
+    if (!options.curves_path.empty() && coordinator.degraded()) {
+        // A dead shard's curve ends at its last gossiped sample while
+        // the cluster totals include survivors' reruns; the tail-match
+        // contract only holds for undisturbed runs.
+        std::printf("  smoke: degraded run — skipping the coverage-CSV "
+                    "tail match\n");
+    } else if (!options.curves_path.empty()) {
         uint64_t last_jobs = 0;
         uint64_t last_fp = 0;
         bool monotone = true;
@@ -838,7 +1075,9 @@ RunCoordinator(const CliOptions& options, const char* argv0)
     ShardCoordinator::Options single_options = CoordinatorOptions(options);
     single_options.service.plateau_policy = {};  // Run every job.
     ShardCoordinator single(single_options);
-    if (!chef::shard::RunLoopbackShards(&single, jobs, 1, &error)) {
+    const bool baseline_ok =
+        chef::shard::RunLoopbackShards(&single, jobs, 1, &error);
+    if (!baseline_ok) {
         std::fprintf(stderr, "FAIL: single-shard baseline: %s\n",
                      error.c_str());
         ++failures;
@@ -857,6 +1096,67 @@ RunCoordinator(const CliOptions& options, const char* argv0)
             std::printf("  smoke: merged corpus covers the single-shard "
                         "corpus (%zu keys)\n",
                         single_keys.size());
+        }
+    }
+
+    // 3. Chaos contract: the injected kill must have actually degraded
+    //    the batch (death + requeue recorded, report flagged), and the
+    //    recovery must be *lossless* — the merged corpus key set equals
+    //    the undisturbed single-shard run's exactly, in both directions.
+    if (!options.chaos.empty()) {
+        const ShardCoordinator::FaultStats& fault = coordinator.fault();
+        bool report_degraded = false;
+        parsed.GetBool("degraded", &report_degraded);
+        if (!chaos_killed || !coordinator.degraded() ||
+            !report_degraded || fault.deaths < 1) {
+            std::fprintf(stderr,
+                         "FAIL: chaos kill-one did not degrade the batch "
+                         "(killed=%d, degraded=%d, report=%d, deaths="
+                         "%llu)\n",
+                         chaos_killed ? 1 : 0,
+                         coordinator.degraded() ? 1 : 0,
+                         report_degraded ? 1 : 0,
+                         static_cast<unsigned long long>(fault.deaths));
+            ++failures;
+        }
+        if (fault.jobs_requeued < 1) {
+            std::fprintf(stderr,
+                         "FAIL: chaos kill-one left no jobs to requeue "
+                         "(victim killed too late?)\n");
+            ++failures;
+        }
+        bool victim_attributed = false;
+        for (const ShardCoordinator::ShardOutcome& shard :
+             coordinator.shards()) {
+            victim_attributed =
+                victim_attributed || !shard.death_cause.empty();
+        }
+        if (!victim_attributed) {
+            std::fprintf(stderr,
+                         "FAIL: no shard carries a death cause\n");
+            ++failures;
+        }
+        if (baseline_ok && !options.plateau) {
+            const std::vector<TestCorpus::Key> merged_keys =
+                coordinator.corpus().Keys();
+            const std::vector<TestCorpus::Key> single_keys =
+                single.corpus().Keys();
+            if (!CoversCorpus(merged_keys, single_keys) ||
+                !CoversCorpus(single_keys, merged_keys)) {
+                std::fprintf(stderr,
+                             "FAIL: chaos corpus parity broken — merged "
+                             "%zu keys vs undisturbed %zu keys\n",
+                             merged_keys.size(), single_keys.size());
+                ++failures;
+            } else {
+                std::printf("  smoke: chaos corpus parity holds (%zu "
+                            "keys, %llu jobs requeued, %llu death(s))\n",
+                            merged_keys.size(),
+                            static_cast<unsigned long long>(
+                                fault.jobs_requeued),
+                            static_cast<unsigned long long>(
+                                fault.deaths));
+            }
         }
     }
 

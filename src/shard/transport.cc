@@ -318,6 +318,41 @@ SpawnWorkerProcess(const std::string& binary,
     return true;
 }
 
+bool
+ProbeWorkerProcess(pid_t pid, std::string* cause)
+{
+    int status = 0;
+    for (;;) {
+        const pid_t waited = ::waitpid(pid, &status, WNOHANG);
+        if (waited == 0) {
+            return true;  // Still running.
+        }
+        if (waited < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            // ECHILD: already reaped (a prior probe or wait saw it die).
+            if (cause != nullptr) {
+                *cause = std::string("waitpid: ") + std::strerror(errno);
+            }
+            return false;
+        }
+        break;
+    }
+    if (cause != nullptr) {
+        if (WIFEXITED(status)) {
+            *cause = "exited with status " +
+                     std::to_string(WEXITSTATUS(status));
+        } else if (WIFSIGNALED(status)) {
+            *cause =
+                "killed by signal " + std::to_string(WTERMSIG(status));
+        } else {
+            *cause = "terminated abnormally";
+        }
+    }
+    return false;
+}
+
 int
 WaitWorkerProcess(pid_t pid)
 {

@@ -84,6 +84,13 @@ bool SpawnWorkerProcess(const std::string& binary,
 /// termination.
 int WaitWorkerProcess(pid_t pid);
 
+/// Non-blocking liveness probe (waitpid WNOHANG). Returns true while
+/// the subprocess is still running; false once it terminated, with a
+/// human-readable cause ("exited with status 1", "killed by signal 9")
+/// in \p cause. A terminated child is reaped by the probe — callers
+/// must not double-wait the same pid expecting its status again.
+bool ProbeWorkerProcess(pid_t pid, std::string* cause);
+
 }  // namespace chef::shard
 
 #endif  // CHEF_SHARD_TRANSPORT_H_

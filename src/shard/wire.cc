@@ -496,6 +496,7 @@ MessageTypeName(MessageType type)
       case MessageType::kHello: return "hello";
       case MessageType::kRun: return "run";
       case MessageType::kGossip: return "gossip";
+      case MessageType::kHeartbeat: return "heartbeat";
       case MessageType::kResult: return "result";
       case MessageType::kShutdown: return "shutdown";
       case MessageType::kError: return "error";
@@ -599,6 +600,13 @@ EncodeRun(const RunRequest& request)
     json.Key("tracing"), json.Value(request.service.tracing);
     json.Key("metrics_interval_seconds"),
         json.Value(request.service.metrics_interval_seconds);
+    // v2.2 heartbeat cadence; old decoders ignore unknown keys, and
+    // omitting the field at 0 keeps the encoding of a heartbeat-free
+    // run byte-identical to a v2.1 coordinator's.
+    if (request.service.heartbeat_interval_seconds > 0.0) {
+        json.Key("heartbeat_interval_seconds"),
+            json.Value(request.service.heartbeat_interval_seconds);
+    }
     json.Key("plateau");
     json.BeginObject();
     json.Key("enabled"), json.Value(request.service.plateau_policy.enabled);
@@ -671,6 +679,24 @@ EncodeGossip(const service::TestCorpus::Delta& delta,
     json.EndArray();
     json.Key("yields");
     WriteYields(json, delta.yields);
+    json.EndObject();
+    return json.Take();
+}
+
+std::string
+EncodeHeartbeat(const HeartbeatMessage& heartbeat)
+{
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("type"), json.Value("heartbeat");
+    json.Key("shard_id"), json.Value(heartbeat.shard_id);
+    json.Key("sequence"), json.Value(heartbeat.sequence);
+    json.Key("results");
+    json.BeginArray();
+    for (const JobResult& job : heartbeat.results) {
+        service::WriteJobResult(json, job);
+    }
+    json.EndArray();
     json.EndObject();
     return json.Take();
 }
@@ -797,6 +823,13 @@ DecodeMessage(const std::string& line, Message* message,
                         &run.service.metrics_interval_seconds, error)) {
             return false;
         }
+        // v2.2 heartbeat cadence: optional, default 0 (no heartbeats)
+        // when a pre-v2.2 coordinator omits it.
+        if (svc->Find("heartbeat_interval_seconds") != nullptr &&
+            !ReadDouble(*svc, "heartbeat_interval_seconds",
+                        &run.service.heartbeat_interval_seconds, error)) {
+            return false;
+        }
         if (!SchedulePolicyFromName(policy,
                                     &run.service.schedule_policy)) {
             return DecodeFail(error,
@@ -902,6 +935,28 @@ DecodeMessage(const std::string& line, Message* message,
             }
         }
         return DecodeYields(root.Find("yields"), &delta.yields, error);
+    }
+
+    if (type == "heartbeat") {
+        message->type = MessageType::kHeartbeat;
+        HeartbeatMessage& heartbeat = message->heartbeat;
+        if (!ReadSize(root, "shard_id", &heartbeat.shard_id, error) ||
+            !ReadU64(root, "sequence", &heartbeat.sequence, error)) {
+            return false;
+        }
+        const JsonValue* results = root.Find("results");
+        if (results == nullptr ||
+            results->kind != JsonValue::Kind::kArray) {
+            return DecodeFail(error, "missing or invalid 'results'");
+        }
+        for (const JsonValue& item : results->items) {
+            JobResult job;
+            if (!DecodeJobResult(item, &job, error)) {
+                return false;
+            }
+            heartbeat.results.push_back(std::move(job));
+        }
+        return true;
     }
 
     if (type == "result") {

@@ -41,17 +41,22 @@ constexpr int kProtocolVersion = 2;
 /// Bumped on *compatible* additions within a major version; peers never
 /// refuse a different minor. v2.1: optional "series" sample arrays on
 /// kGossip and kResult (time-series telemetry), optional rate-mode
-/// plateau fields in kRun. A v2.0 peer ignores unknown optional fields
-/// and omits them on send; decoders default every v2.1 field.
-constexpr int kProtocolVersionMinor = 1;
+/// plateau fields in kRun. v2.2: optional "heartbeat_interval_seconds"
+/// in kRun and the kHeartbeat message — a worker only emits heartbeats
+/// when the run request asked for them, so a v2.1 coordinator (which
+/// never asks) never sees the new message type. A v2.0 peer ignores
+/// unknown optional fields and omits them on send; decoders default
+/// every v2.1/v2.2 field.
+constexpr int kProtocolVersionMinor = 2;
 
 enum class MessageType {
-    kHello,     ///< worker -> coordinator: ready, protocol version.
-    kRun,       ///< coordinator -> worker: run this batch partition.
-    kGossip,    ///< both directions: corpus fingerprint delta + yields.
-    kResult,    ///< worker -> coordinator: results, stats, local corpus.
-    kShutdown,  ///< coordinator -> worker: exit cleanly.
-    kError,     ///< either: fatal protocol/setup failure, with reason.
+    kHello,      ///< worker -> coordinator: ready, protocol version.
+    kRun,        ///< coordinator -> worker: run this batch partition.
+    kGossip,     ///< both directions: corpus fingerprint delta + yields.
+    kHeartbeat,  ///< worker -> coordinator: liveness + streamed results.
+    kResult,     ///< worker -> coordinator: results, stats, local corpus.
+    kShutdown,   ///< coordinator -> worker: exit cleanly.
+    kError,      ///< either: fatal protocol/setup failure, with reason.
 };
 
 const char* MessageTypeName(MessageType type);
@@ -84,6 +89,12 @@ struct ServiceConfig {
     /// Cadence for telemetry snapshots piggybacked on gossip (and for
     /// local kMetrics events); 0 means final-result telemetry only.
     double metrics_interval_seconds = 0.0;
+    /// v2.2: cadence for worker heartbeats while a batch runs; 0 (the
+    /// pre-v2.2 behavior) disables them. Heartbeats double as the
+    /// streamed-result channel: each one carries the jobs completed
+    /// since the previous beat, so the coordinator can requeue only the
+    /// genuinely unfinished remainder when the shard later dies.
+    double heartbeat_interval_seconds = 0.0;
 
     service::ExplorationService::Options ToServiceOptions() const;
     static ServiceConfig FromServiceOptions(
@@ -96,6 +107,21 @@ struct RunRequest {
     size_t num_shards = 1;
     ServiceConfig service;
     std::vector<WireJob> jobs;
+};
+
+/// worker -> coordinator while a batch runs (v2.2, only when the run
+/// request set heartbeat_interval_seconds > 0). Liveness signal plus
+/// the completed results since the previous beat, already remapped to
+/// global job indices. The worker's pump sends the covering corpus
+/// gossip delta *before* the heartbeat on the same ordered transport,
+/// so any job a received heartbeat lists has its discoveries'
+/// fingerprints already at the coordinator — the invariant that keeps
+/// the corpus complete when the shard dies after the beat.
+struct HeartbeatMessage {
+    size_t shard_id = 0;
+    /// Monotonic per-run beat counter (diagnostic only).
+    uint64_t sequence = 0;
+    std::vector<service::JobResult> results;
 };
 
 /// worker -> coordinator at batch end. `corpus` carries the shard's
@@ -140,6 +166,7 @@ struct Message {
     /// kGossip/kResult (v2.1): incremental time-series samples from the
     /// sender's recorder; empty from v2.0 peers.
     std::vector<obs::SeriesSample> series;
+    HeartbeatMessage heartbeat;               ///< kHeartbeat.
     ResultMessage result;                     ///< kResult.
     std::string error;                        ///< kError.
 };
@@ -159,6 +186,7 @@ std::string EncodeGossip(
     const service::TestCorpus::Delta& delta,
     const obs::MetricsSnapshot* telemetry = nullptr,
     const std::vector<obs::SeriesSample>* series = nullptr);
+std::string EncodeHeartbeat(const HeartbeatMessage& heartbeat);
 std::string EncodeResult(const ResultMessage& result);
 std::string EncodeShutdown();
 std::string EncodeError(const std::string& reason);

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -25,7 +27,7 @@ ShardWorker::ShardWorker(Options options, Transport* transport)
 {
 }
 
-void
+bool
 ShardWorker::HandleRun(const RunRequest& request)
 {
     const std::string source = ShardName(request.shard_id);
@@ -55,6 +57,28 @@ ShardWorker::HandleRun(const RunRequest& request)
     obs::TimeSeriesRecorder recorder(recorder_options);
     if (live_telemetry) {
         service_options.obs.timeseries = &recorder;
+    }
+
+    // Heartbeats (v2.2) double as the streamed-result channel: every
+    // completed job's full result is captured off the service's event
+    // dispatcher and shipped on the next beat, so the coordinator can
+    // requeue only the genuinely unfinished remainder if this process
+    // dies later. Gated on the coordinator asking — streaming costs a
+    // dispatcher thread the plain path doesn't need.
+    const bool heartbeats =
+        request.service.heartbeat_interval_seconds > 0.0;
+    std::mutex completed_mutex;
+    std::vector<std::shared_ptr<const service::JobResult>> completed;
+    if (heartbeats) {
+        service_options.on_job_event =
+            [&](const service::JobEvent& event) {
+                if (event.kind ==
+                        service::JobEvent::Kind::kJobCompleted &&
+                    event.result != nullptr) {
+                    std::lock_guard<std::mutex> lock(completed_mutex);
+                    completed.push_back(event.result);
+                }
+            };
     }
 
     service::ExplorationService service(service_options);
@@ -91,8 +115,17 @@ ShardWorker::HandleRun(const RunRequest& request)
                 request.service.metrics_interval_seconds));
     bool peer_gone = false;
 
-    const auto pump_gossip_out = [&] {
-        if (peer_gone || Clock::now() - last_gossip < gossip_interval) {
+    // The coordinator is gone: nobody will collect results, so cancel
+    // the in-flight batch instead of finishing doomed work (the worker
+    // lambdas observe the stop source between runs).
+    const auto on_peer_gone = [&] {
+        peer_gone = true;
+        service.RequestStop();
+    };
+
+    const auto pump_gossip_out = [&](bool force) {
+        if (peer_gone ||
+            (!force && Clock::now() - last_gossip < gossip_interval)) {
             return;
         }
         // Sent every interval even when no new entries exist: the yield
@@ -122,7 +155,53 @@ ShardWorker::HandleRun(const RunRequest& request)
             }
         }
         if (!transport_->Send(EncodeGossip(delta, telemetry, series))) {
-            peer_gone = true;
+            on_peer_gone();
+        }
+    };
+
+    auto last_heartbeat = Clock::now();
+    uint64_t heartbeat_sequence = 0;
+    const auto heartbeat_interval =
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(
+                request.service.heartbeat_interval_seconds));
+    const auto pump_heartbeat = [&] {
+        if (!heartbeats || peer_gone ||
+            Clock::now() - last_heartbeat < heartbeat_interval) {
+            return;
+        }
+        // Drain first, gossip second: a drained result's corpus inserts
+        // happened before its completion event fired, so the delta cut
+        // below covers them, and the transport is ordered — by the time
+        // the coordinator reads this beat's results, it already holds
+        // every fingerprint they discovered. That ordering is what lets
+        // the coordinator skip requeueing heartbeat-acknowledged jobs
+        // without losing corpus entries when this shard dies.
+        HeartbeatMessage beat;
+        beat.shard_id = request.shard_id;
+        beat.sequence = ++heartbeat_sequence;
+        {
+            std::lock_guard<std::mutex> lock(completed_mutex);
+            beat.results.reserve(completed.size());
+            for (const auto& result : completed) {
+                beat.results.push_back(*result);
+            }
+            completed.clear();
+        }
+        for (service::JobResult& result : beat.results) {
+            // Local queue position -> the coordinator's global index,
+            // same remap the final result message applies.
+            if (result.job_index < global_indices.size()) {
+                result.job_index = global_indices[result.job_index];
+            }
+        }
+        if (!beat.results.empty()) {
+            pump_gossip_out(/*force=*/true);
+        }
+        last_heartbeat = Clock::now();
+        if (!peer_gone &&
+            !transport_->Send(EncodeHeartbeat(beat))) {
+            on_peer_gone();
         }
     };
 
@@ -132,10 +211,7 @@ ShardWorker::HandleRun(const RunRequest& request)
             peer_gone ? Transport::RecvStatus::kTimeout
                       : transport_->Receive(&line, /*timeout_ms=*/10);
         if (status == Transport::RecvStatus::kClosed) {
-            // Coordinator vanished: stop exploring, nobody will collect
-            // the results.
-            peer_gone = true;
-            service.RequestStop();
+            on_peer_gone();
         } else if (status == Transport::RecvStatus::kMessage) {
             Message message;
             std::string decode_error;
@@ -152,15 +228,17 @@ ShardWorker::HandleRun(const RunRequest& request)
                 service.RequestStop();
             }
         } else if (peer_gone) {
-            // Nothing to multiplex anymore; just wait for the batch.
+            // Nothing to multiplex anymore; just wait for the (now
+            // cancelling) batch to unwind.
             std::this_thread::sleep_for(std::chrono::milliseconds(20));
         }
-        pump_gossip_out();
+        pump_gossip_out(/*force=*/false);
+        pump_heartbeat();
     }
     batch.join();
 
     if (peer_gone) {
-        return;
+        return false;
     }
 
     // Final delta (discoveries since the last pump), then the result.
@@ -199,7 +277,7 @@ ShardWorker::HandleRun(const RunRequest& request)
     if (live_telemetry) {
         result.series = recorder.SamplesSince(shipped_series_index);
     }
-    transport_->Send(EncodeResult(result));
+    return transport_->Send(EncodeResult(result));
 }
 
 bool
@@ -226,7 +304,11 @@ ShardWorker::Serve()
         }
         switch (message.type) {
           case MessageType::kRun:
-            HandleRun(message.run);
+            if (!HandleRun(message.run)) {
+                // Coordinator vanished mid-run; exit nonzero promptly
+                // rather than blocking on a transport nobody serves.
+                return false;
+            }
             break;
           case MessageType::kShutdown:
             return true;
@@ -236,6 +318,7 @@ ShardWorker::Serve()
             break;
           case MessageType::kError:
           case MessageType::kHello:
+          case MessageType::kHeartbeat:
           case MessageType::kResult:
             // Not meaningful coordinator->worker; ignore.
             break;

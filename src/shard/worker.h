@@ -40,11 +40,16 @@ class ShardWorker
     /// Serves the protocol until shutdown or transport close. Returns
     /// true on clean shutdown, false when the coordinator vanished or a
     /// protocol error occurred (the error is also sent to the peer when
-    /// possible).
+    /// possible). A coordinator that vanishes mid-batch cancels the
+    /// in-flight exploration via the service stop source and makes
+    /// Serve() return false promptly — finishing doomed work would only
+    /// burn cores nobody collects from.
     bool Serve();
 
   private:
-    void HandleRun(const RunRequest& request);
+    /// Runs one batch partition. Returns false when the coordinator
+    /// vanished mid-run (transport closed or a send failed).
+    bool HandleRun(const RunRequest& request);
 
     Options options_;
     Transport* transport_;
