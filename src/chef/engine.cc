@@ -1,5 +1,10 @@
 #include "chef/engine.h"
 
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
 #include "support/diagnostics.h"
 
 namespace chef {
@@ -20,6 +25,8 @@ StrategyKindName(StrategyKind kind)
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
 /// The session's solver shares the engine's telemetry context unless the
 /// caller wired a distinct one into solver_options directly.
 solver::Solver::Options
@@ -33,7 +40,115 @@ SolverOptionsFor(const Engine::Options& options)
     return solver_options;
 }
 
+/// A persistent pool of exploration worker threads dispatching one round of
+/// indexed jobs at a time. Run() blocks until every job of the round has
+/// completed (the round barrier).
+class RoundPool
+{
+  public:
+    explicit RoundPool(size_t threads)
+    {
+        workers_.reserve(threads);
+        for (size_t i = 0; i < threads; ++i) {
+            workers_.emplace_back([this, i] { WorkerLoop(i); });
+        }
+    }
+
+    ~RoundPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        for (std::thread& worker : workers_) {
+            worker.join();
+        }
+    }
+
+    /// Executes job(worker_id, index) for index in [0, count); returns once
+    /// all have finished.
+    void Run(size_t count, const std::function<void(size_t, size_t)>& job)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        job_ = &job;
+        count_ = count;
+        next_ = 0;
+        done_ = 0;
+        ++generation_;
+        cv_.notify_all();
+        done_cv_.wait(lock, [this] { return done_ == count_; });
+        job_ = nullptr;
+    }
+
+  private:
+    void WorkerLoop(size_t id)
+    {
+        uint64_t seen = 0;
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (;;) {
+            cv_.wait(lock, [&] {
+                return stop_ || (generation_ != seen && job_ != nullptr);
+            });
+            if (stop_) {
+                return;
+            }
+            seen = generation_;
+            while (next_ < count_) {
+                const size_t index = next_++;
+                lock.unlock();
+                (*job_)(id, index);
+                lock.lock();
+                if (++done_ == count_) {
+                    done_cv_.notify_all();
+                }
+            }
+        }
+    }
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::condition_variable done_cv_;
+    std::vector<std::thread> workers_;
+    const std::function<void(size_t, size_t)>* job_ = nullptr;
+    size_t count_ = 0;
+    size_t next_ = 0;
+    size_t done_ = 0;
+    uint64_t generation_ = 0;
+    bool stop_ = false;
+};
+
 }  // namespace
+
+/// Per-exploration-thread context: own solver (with its own persistent SAT
+/// session) and own runtime used in recording mode, sharing the engine's
+/// tree (untouched while recording) and shared solver cache (if any).
+struct Engine::WorkerContext {
+    explicit WorkerContext(Engine& engine)
+        : solver(SolverOptionsFor(engine.options_)),
+          runtime(&engine.tree_, &solver,
+                  lowlevel::LowLevelRuntime::Options{
+                      engine.options_.max_steps_per_run,
+                      engine.options_.fork_weight_decay})
+    {
+    }
+
+    solver::Solver solver;
+    lowlevel::LowLevelRuntime runtime;
+};
+
+/// One unit of parallel work: the assignment to run under, the claimed
+/// state it came from (if any), and the recorded results.
+struct Engine::RoundItem {
+    solver::Assignment assignment;
+    bool from_pending = false;
+    lowlevel::AlternateState claimed;
+    lowlevel::RunLog log;
+    lowlevel::RunStats run_stats;
+    GuestOutcome outcome;
+    solver::Assignment complete_inputs;
+    bool ran = false;
+};
 
 Engine::Engine(Options options)
     : options_(options),
@@ -51,12 +166,19 @@ Engine::Engine(Options options)
         m_hl_paths_ = registry.counter("engine.hl_paths");
         m_infeasible_ = registry.counter("engine.infeasible_states");
         m_run_latency_ = registry.histogram("engine.run_seconds");
+        m_par_in_flight_ = registry.gauge("engine.parallel.states_in_flight");
+        m_par_claims_ = registry.counter("engine.parallel.claims");
+        m_par_contention_ =
+            registry.counter("engine.parallel.claim_contention");
+        m_par_rounds_ = registry.counter("engine.parallel.rounds");
+        m_par_barrier_wait_ =
+            registry.histogram("engine.parallel.barrier_wait_seconds");
     }
     tracker_.Attach(&runtime_);
     strategy_ = MakeStrategy();
     tree_.set_on_pending_removed(
         [this](lowlevel::StateId id) { strategy_->OnStateRemoved(id); });
-    runtime_.set_state_added_hook(
+    tree_.set_on_state_added(
         [this](const lowlevel::AlternateState& state) {
             strategy_->OnStateAdded(state);
         });
@@ -86,16 +208,16 @@ Engine::MakeStrategy()
 }
 
 solver::Assignment
-Engine::CompleteInputs() const
+Engine::CompleteInputsFor(const lowlevel::LowLevelRuntime& runtime)
 {
     // Merge the run's assignment over the per-variable defaults so that a
     // test case report always lists a concrete value for every input.
     solver::Assignment complete;
-    const auto& variables = runtime_.variables();
+    const auto& variables = runtime.variables();
     for (size_t i = 0; i < variables.size(); ++i) {
         const uint32_t var_id = static_cast<uint32_t>(i + 1);
-        complete.Set(var_id, runtime_.inputs().Has(var_id)
-                                 ? runtime_.inputs().Get(var_id)
+        complete.Set(var_id, runtime.inputs().Has(var_id)
+                                 ? runtime.inputs().Get(var_id)
                                  : variables[i].default_value);
     }
     return complete;
@@ -104,7 +226,18 @@ Engine::CompleteInputs() const
 std::vector<TestCase>
 Engine::Explore(const RunFn& run)
 {
-    using Clock = std::chrono::steady_clock;
+    if (options_.exploration_threads <= 1) {
+        return ExploreSerial(run);
+    }
+    if (options_.free_running) {
+        return ExploreFreeRunning(run);
+    }
+    return ExploreRounds(run);
+}
+
+std::vector<TestCase>
+Engine::ExploreSerial(const RunFn& run)
+{
     const auto start = Clock::now();
     auto elapsed = [&start] {
         return std::chrono::duration<double>(Clock::now() - start).count();
@@ -154,7 +287,7 @@ Engine::Explore(const RunFn& run)
             // path condition (which includes the assumption) and rerun.
             ++stats_.assume_retries;
             solver::Assignment model;
-            if (solver_.Solve(tree_.current_path_condition(), &model) !=
+            if (solver_.Solve(runtime_.current_path_condition(), &model) !=
                 solver::QueryResult::kSat) {
                 // The symbolic test's assumptions are unsatisfiable on
                 // this path prefix; fall through to state selection.
@@ -164,7 +297,7 @@ Engine::Explore(const RunFn& run)
             }
         } else {
             TestCase test_case;
-            test_case.inputs = CompleteInputs();
+            test_case.inputs = CompleteInputsFor(runtime_);
             test_case.status = run_stats.status;
             test_case.new_hl_path = hl_info.is_new_path;
             test_case.hl_final_node = hl_info.final_node;
@@ -212,12 +345,21 @@ Engine::Explore(const RunFn& run)
                 stopped = true;
                 break;
             }
-            const lowlevel::StateId id = strategy_->SelectState();
-            lowlevel::AlternateState state = tree_.TakePending(id);
+            // Claim through the tree even though there is no competing
+            // worker: every strategy call site then holds the tree lock
+            // first, the one lock order the parallel modes rely on
+            // (strategy selection may re-enter the tree to read state
+            // attributes).
+            lowlevel::AlternateState state;
+            if (!tree_.ClaimState(
+                    [this] { return strategy_->ClaimState(); }, &state)) {
+                break;
+            }
             solver::Assignment model;
             const solver::QueryResult result =
                 solver_.Solve(state.path_condition, &model);
             if (result == solver::QueryResult::kSat) {
+                tree_.CompleteClaim(state.id);
                 assignment = model;
                 found = true;
                 break;
@@ -237,6 +379,449 @@ Engine::Explore(const RunFn& run)
         }
     }
     stats_.stopped = stopped;
+    FinalizeStats(elapsed(), {});
+    return test_cases;
+}
+
+bool
+Engine::CommitRun(const RoundItem& item, double t_now,
+                  std::vector<TestCase>* test_cases,
+                  solver::Solver* retry_solver, solver::Assignment* retry)
+{
+    tracker_.BeginRun();
+    const lowlevel::RunStats replay = runtime_.CommitRecordedRun(item.log);
+    const hll::HlPathInfo hl_info = tracker_.EndRun();
+    stats_.states_registered += replay.registered_states;
+    if (item.from_pending) {
+        tree_.CompleteClaim(item.claimed.id);
+    }
+
+    if (item.run_stats.status == lowlevel::PathStatus::kAssumeViolated) {
+        ++stats_.assume_retries;
+        solver::Assignment model;
+        if (retry_solver->Solve(runtime_.current_path_condition(), &model) ==
+            solver::QueryResult::kSat) {
+            *retry = std::move(model);
+            return true;
+        }
+        // The symbolic test's assumptions are unsatisfiable on this path
+        // prefix; the chain ends here, as in the serial loop.
+        return false;
+    }
+
+    TestCase test_case;
+    test_case.inputs = item.complete_inputs;
+    test_case.status = item.run_stats.status;
+    test_case.new_hl_path = hl_info.is_new_path;
+    test_case.hl_final_node = hl_info.final_node;
+    test_case.hl_path_fingerprint = hl_info.path_hash;
+    test_case.hl_length = hl_info.length;
+    test_case.ll_steps = item.run_stats.steps;
+    if (item.run_stats.status == lowlevel::PathStatus::kHang) {
+        ++stats_.hangs;
+        test_case.outcome_kind = "hang";
+        test_case.outcome_detail = item.outcome.detail;
+    } else {
+        test_case.outcome_kind = item.outcome.kind;
+        test_case.outcome_detail = item.outcome.detail;
+    }
+    ++stats_.ll_paths;
+    if (hl_info.is_new_path) {
+        ++stats_.hl_paths;
+        if (m_hl_paths_ != nullptr) {
+            m_hl_paths_->Add();
+        }
+    }
+    test_cases->push_back(std::move(test_case));
+    if (options_.collect_timeline) {
+        stats_.timeline.push_back({t_now, stats_.ll_paths, stats_.hl_paths});
+    }
+    return false;
+}
+
+std::vector<TestCase>
+Engine::ExploreRounds(const RunFn& run)
+{
+    const auto start = Clock::now();
+    auto elapsed = [&start] {
+        return std::chrono::duration<double>(Clock::now() - start).count();
+    };
+    auto stop_requested = [this] {
+        return options_.stop_requested && options_.stop_requested();
+    };
+
+    const uint32_t threads = options_.exploration_threads;
+    const uint32_t width = std::max<uint32_t>(1, options_.round_width);
+    stats_.threads_used = threads;
+
+    std::vector<std::unique_ptr<WorkerContext>> workers;
+    workers.reserve(threads);
+    for (uint32_t i = 0; i < threads; ++i) {
+        workers.push_back(std::make_unique<WorkerContext>(*this));
+    }
+    RoundPool pool(threads);
+
+    std::vector<TestCase> test_cases;
+    // Assignments that enter the next round without consuming a claim: the
+    // initial defaults run, then assume-retry reruns.
+    std::vector<solver::Assignment> carryover;
+    carryover.emplace_back();
+    bool stopped = false;
+
+    for (;;) {
+        if (stats_.ll_paths >= options_.max_runs ||
+            elapsed() >= options_.max_seconds) {
+            break;
+        }
+        if (stop_requested()) {
+            stopped = true;
+            break;
+        }
+
+        // -- Selection phase: serial, on the session solver, in strategy
+        //    order. Deterministic regardless of the thread count.
+        std::vector<RoundItem> round;
+        for (solver::Assignment& assignment : carryover) {
+            RoundItem item;
+            item.assignment = std::move(assignment);
+            round.push_back(std::move(item));
+        }
+        carryover.clear();
+        {
+            CHEF_OBS_SPAN(select_span, options_.obs.tracer, "engine/select",
+                          "engine");
+            while (round.size() < width &&
+                   stats_.ll_paths + round.size() < options_.max_runs &&
+                   elapsed() < options_.max_seconds) {
+                if (stop_requested()) {
+                    stopped = true;
+                    break;
+                }
+                lowlevel::AlternateState state;
+                const bool claimed = tree_.ClaimState(
+                    [this] {
+                        return strategy_->empty()
+                                   ? lowlevel::StateId(0)
+                                   : strategy_->ClaimState();
+                    },
+                    &state);
+                if (!claimed) {
+                    break;  // Nothing pending.
+                }
+                ++stats_.claims;
+                if (m_par_claims_ != nullptr) {
+                    m_par_claims_->Add();
+                }
+                solver::Assignment model;
+                const solver::QueryResult result =
+                    solver_.Solve(state.path_condition, &model);
+                if (result == solver::QueryResult::kSat) {
+                    RoundItem item;
+                    item.assignment = std::move(model);
+                    item.from_pending = true;
+                    item.claimed = std::move(state);
+                    round.push_back(std::move(item));
+                } else {
+                    tree_.MarkInfeasible(state);
+                    if (result == solver::QueryResult::kUnsat) {
+                        ++stats_.infeasible_states;
+                        if (m_infeasible_ != nullptr) {
+                            m_infeasible_->Add();
+                        }
+                    } else {
+                        ++stats_.solver_failures;
+                    }
+                }
+            }
+        }
+        if (round.empty()) {
+            break;  // Exploration exhausted (or stopped with no work left).
+        }
+
+        // -- Run phase: the guest runs execute in parallel, purely as a
+        //    function of their assignment (recording mode).
+        std::atomic<bool> round_stop{stopped};
+        std::vector<Clock::time_point> last_finish(threads);
+        std::vector<char> worker_ran(threads, 0);
+        pool.Run(round.size(), [&](size_t worker, size_t index) {
+            RoundItem& item = round[index];
+            if (round_stop.load(std::memory_order_relaxed)) {
+                return;
+            }
+            if (stop_requested()) {
+                round_stop.store(true, std::memory_order_relaxed);
+                return;
+            }
+            WorkerContext& context = *workers[worker];
+            if (m_par_in_flight_ != nullptr) {
+                m_par_in_flight_->Add(1);
+            }
+            const auto run_start = Clock::now();
+            context.runtime.BeginRecordedRun(item.assignment, &item.log);
+            {
+                CHEF_OBS_SPAN(run_span, options_.obs.tracer,
+                              "engine/parallel_run", "engine");
+                item.outcome = run(context.runtime);
+            }
+            item.run_stats = context.runtime.EndRun();
+            item.complete_inputs = CompleteInputsFor(context.runtime);
+            item.ran = true;
+            if (m_runs_ != nullptr) {
+                m_runs_->Add();
+                m_run_latency_->Record(
+                    std::chrono::duration<double>(Clock::now() - run_start)
+                        .count());
+            }
+            if (m_par_in_flight_ != nullptr) {
+                m_par_in_flight_->Add(-1);
+            }
+            last_finish[worker] = Clock::now();
+            worker_ran[worker] = 1;
+        });
+        const auto round_end = Clock::now();
+        for (uint32_t worker = 0; worker < threads; ++worker) {
+            if (worker_ran[worker] == 0) {
+                continue;
+            }
+            const double wait = std::chrono::duration<double>(
+                                    round_end - last_finish[worker])
+                                    .count();
+            stats_.barrier_wait_seconds += wait;
+            if (m_par_barrier_wait_ != nullptr) {
+                m_par_barrier_wait_->Record(wait);
+            }
+        }
+        if (round_stop.load(std::memory_order_relaxed)) {
+            stopped = true;
+        }
+
+        // -- Commit phase: serial, in selection order. Identical shared
+        //    state evolution no matter how the run phase was scheduled.
+        for (RoundItem& item : round) {
+            if (!item.ran) {
+                // Skipped by a mid-round stop: hand the lease back so the
+                // tree's bookkeeping stays consistent.
+                if (item.from_pending) {
+                    tree_.ReleaseClaim(item.claimed);
+                }
+                continue;
+            }
+            solver::Assignment retry;
+            if (CommitRun(item, elapsed(), &test_cases, &solver_, &retry)) {
+                carryover.push_back(std::move(retry));
+            }
+        }
+        // Coverage-optimized CUPA consults CFG distances; refresh once per
+        // round with the newly observed edges.
+        if (options_.strategy == StrategyKind::kCupaCoverage) {
+            tracker_.cfg().RecomputeAnalysis(
+                options_.branch_opcode_drop_fraction);
+        }
+        ++stats_.rounds;
+        if (m_par_rounds_ != nullptr) {
+            m_par_rounds_->Add();
+        }
+        if (stopped) {
+            break;
+        }
+    }
+    stats_.stopped = stopped;
+    FinalizeStats(elapsed(), workers);
+    return test_cases;
+}
+
+std::vector<TestCase>
+Engine::ExploreFreeRunning(const RunFn& run)
+{
+    const auto start = Clock::now();
+    auto elapsed = [&start] {
+        return std::chrono::duration<double>(Clock::now() - start).count();
+    };
+    auto stop_requested = [this] {
+        return options_.stop_requested && options_.stop_requested();
+    };
+
+    const uint32_t threads = options_.exploration_threads;
+    stats_.threads_used = threads;
+    std::vector<std::unique_ptr<WorkerContext>> workers;
+    workers.reserve(threads);
+    for (uint32_t i = 0; i < threads; ++i) {
+        workers.push_back(std::make_unique<WorkerContext>(*this));
+    }
+
+    std::vector<TestCase> test_cases;
+    // Coordination: commits, stats, the tracker and the commit runtime are
+    // all guarded by coord; busy counts workers holding unfinished work so
+    // exhaustion ("strategy empty and nobody running") is detected exactly.
+    std::mutex coord;
+    std::condition_variable cv;
+    size_t busy = 0;
+    bool initial_dispatched = false;
+    bool stopped = false;  // Guarded by coord.
+    std::atomic<bool> wind_down{false};
+
+    auto worker_fn = [&](size_t worker_index) {
+        WorkerContext& context = *workers[worker_index];
+        for (;;) {
+            solver::Assignment assignment;
+            bool from_pending = false;
+            lowlevel::AlternateState claimed;
+            {
+                std::unique_lock<std::mutex> lock(coord);
+                for (;;) {
+                    if (wind_down.load(std::memory_order_relaxed)) {
+                        return;
+                    }
+                    if (stop_requested()) {
+                        stopped = true;
+                        wind_down.store(true, std::memory_order_relaxed);
+                        cv.notify_all();
+                        return;
+                    }
+                    if (stats_.ll_paths >= options_.max_runs ||
+                        elapsed() >= options_.max_seconds) {
+                        wind_down.store(true, std::memory_order_relaxed);
+                        cv.notify_all();
+                        return;
+                    }
+                    if (!initial_dispatched) {
+                        initial_dispatched = true;
+                        ++busy;
+                        break;
+                    }
+                    if (tree_.ClaimState(
+                            [this] {
+                                return strategy_->empty()
+                                           ? lowlevel::StateId(0)
+                                           : strategy_->ClaimState();
+                            },
+                            &claimed)) {
+                        ++stats_.claims;
+                        if (m_par_claims_ != nullptr) {
+                            m_par_claims_->Add();
+                        }
+                        from_pending = true;
+                        ++busy;
+                        break;
+                    }
+                    if (busy == 0) {
+                        // Nothing pending and nobody running: exhausted.
+                        cv.notify_all();
+                        return;
+                    }
+                    cv.wait_for(lock, std::chrono::milliseconds(20));
+                }
+            }
+
+            // Work acquired (busy held until the chain below finishes).
+            bool chain = true;
+            while (chain) {
+                chain = false;
+                if (from_pending) {
+                    // Solve on this worker's own solver, in parallel with
+                    // other workers' solves and runs.
+                    solver::Assignment model;
+                    const solver::QueryResult result =
+                        context.solver.Solve(claimed.path_condition, &model);
+                    if (result != solver::QueryResult::kSat) {
+                        std::lock_guard<std::mutex> lock(coord);
+                        tree_.MarkInfeasible(claimed);
+                        if (result == solver::QueryResult::kUnsat) {
+                            ++stats_.infeasible_states;
+                            if (m_infeasible_ != nullptr) {
+                                m_infeasible_->Add();
+                            }
+                        } else {
+                            ++stats_.solver_failures;
+                        }
+                        break;
+                    }
+                    assignment = std::move(model);
+                }
+                if (wind_down.load(std::memory_order_relaxed)) {
+                    if (from_pending) {
+                        std::lock_guard<std::mutex> lock(coord);
+                        tree_.ReleaseClaim(claimed);
+                    }
+                    break;
+                }
+
+                RoundItem item;
+                item.from_pending = from_pending;
+                item.claimed = claimed;
+                if (m_par_in_flight_ != nullptr) {
+                    m_par_in_flight_->Add(1);
+                }
+                const auto run_start = Clock::now();
+                context.runtime.BeginRecordedRun(assignment, &item.log);
+                {
+                    CHEF_OBS_SPAN(run_span, options_.obs.tracer,
+                                  "engine/parallel_run", "engine");
+                    item.outcome = run(context.runtime);
+                }
+                item.run_stats = context.runtime.EndRun();
+                item.complete_inputs = CompleteInputsFor(context.runtime);
+                item.ran = true;
+                if (m_runs_ != nullptr) {
+                    m_runs_->Add();
+                    m_run_latency_->Record(std::chrono::duration<double>(
+                                               Clock::now() - run_start)
+                                               .count());
+                }
+                if (m_par_in_flight_ != nullptr) {
+                    m_par_in_flight_->Add(-1);
+                }
+
+                solver::Assignment retry;
+                bool has_retry = false;
+                {
+                    std::lock_guard<std::mutex> lock(coord);
+                    has_retry = CommitRun(item, elapsed(), &test_cases,
+                                          &context.solver, &retry);
+                    if (options_.strategy == StrategyKind::kCupaCoverage) {
+                        tracker_.cfg().RecomputeAnalysis(
+                            options_.branch_opcode_drop_fraction);
+                    }
+                    // The commit may have registered new pending states.
+                    cv.notify_all();
+                }
+                if (has_retry &&
+                    !wind_down.load(std::memory_order_relaxed)) {
+                    // Assume-retry: rerun under the repaired assignment
+                    // without releasing the work token.
+                    assignment = std::move(retry);
+                    from_pending = false;
+                    chain = true;
+                }
+            }
+
+            {
+                std::lock_guard<std::mutex> lock(coord);
+                --busy;
+                cv.notify_all();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (uint32_t i = 0; i < threads; ++i) {
+        pool.emplace_back(worker_fn, i);
+    }
+    for (std::thread& worker : pool) {
+        worker.join();
+    }
+
+    stats_.stopped = stopped;
+    FinalizeStats(elapsed(), workers);
+    return test_cases;
+}
+
+void
+Engine::FinalizeStats(
+    double elapsed_seconds,
+    const std::vector<std::unique_ptr<WorkerContext>>& workers)
+{
     stats_.solver_queries = solver_.stats().queries;
     stats_.solver_shared_hits = solver_.stats().shared_cache_hits;
     stats_.solver_shared_model_hits =
@@ -246,8 +831,23 @@ Engine::Explore(const RunFn& run)
         solver_.stats().incremental_sat_calls;
     stats_.solver_clauses_loaded = solver_.stats().clauses_loaded;
     stats_.solver_seconds = solver_.stats().solve_seconds;
-    stats_.elapsed_seconds = elapsed();
-    return test_cases;
+    for (const std::unique_ptr<WorkerContext>& worker : workers) {
+        const solver::SolverStats& solver_stats = worker->solver.stats();
+        stats_.solver_queries += solver_stats.queries;
+        stats_.solver_shared_hits += solver_stats.shared_cache_hits;
+        stats_.solver_shared_model_hits +=
+            solver_stats.shared_model_reuse_hits;
+        stats_.solver_sliced_queries += solver_stats.sliced_queries;
+        stats_.solver_incremental_sat_calls +=
+            solver_stats.incremental_sat_calls;
+        stats_.solver_clauses_loaded += solver_stats.clauses_loaded;
+        stats_.solver_seconds += solver_stats.solve_seconds;
+    }
+    stats_.claim_contention = tree_.claim_contention();
+    if (m_par_contention_ != nullptr && stats_.claim_contention > 0) {
+        m_par_contention_->Add(stats_.claim_contention);
+    }
+    stats_.elapsed_seconds = elapsed_seconds;
 }
 
 }  // namespace chef

@@ -11,6 +11,23 @@
 /// classify the run's high-level path, then ask the search strategy for the
 /// next alternate state, validate its path condition with the solver, and
 /// re-run under the satisfying assignment.
+///
+/// With Options::exploration_threads > 1 one session is explored by several
+/// worker threads over the shared execution tree. Two modes:
+///
+///  - Deterministic round mode (default): the driver claims up to
+///    round_width states in strategy order and solves them serially on the
+///    session solver, the workers execute the guest runs in parallel in
+///    recording mode, and the driver commits the recorded logs serially in
+///    selection order, then barriers and repeats. Because round_width is
+///    independent of the thread count and all shared-state mutation is
+///    serial and canonically ordered, the produced test cases, fingerprints
+///    and stats are bit-identical for any exploration_threads >= 2 (and
+///    exploration_threads = 1 bypasses all of this, running the classic
+///    serial loop).
+///  - Free-running mode (Options::free_running): workers claim, solve (on
+///    their own solver), run and commit continuously with no barrier —
+///    maximum throughput, nondeterministic interleaving.
 
 #include <chrono>
 #include <cstdint>
@@ -71,9 +88,10 @@ struct EngineStats {
     uint64_t infeasible_states = 0;
     uint64_t solver_failures = 0;
     uint64_t states_registered = 0;
-    /// Total solver queries issued during the session (copied from the
-    /// solver at the end of Explore so callers can aggregate per-session
-    /// totals without reaching into the solver).
+    /// Total solver queries issued during the session (aggregated over the
+    /// session solver and every per-worker solver at the end of Explore so
+    /// callers can total per-session work without reaching into the
+    /// solvers).
     uint64_t solver_queries = 0;
     /// Queries answered by the batch-shared solver cache / satisfied by a
     /// sibling session's published model (0 unless
@@ -82,17 +100,32 @@ struct EngineStats {
     uint64_t solver_shared_model_hits = 0;
     /// Queries that independence slicing split into multiple slices, SAT
     /// calls served by the persistent incremental session, and CNF
-    /// clauses loaded into the CDCL backend (all copied from the solver
-    /// at the end of Explore, like solver_queries).
+    /// clauses loaded into the CDCL backend (aggregated like
+    /// solver_queries).
     uint64_t solver_sliced_queries = 0;
     uint64_t solver_incremental_sat_calls = 0;
     uint64_t solver_clauses_loaded = 0;
-    /// Wall time this session spent inside the solver (copied from the
-    /// solver, like solver_queries).
+    /// Time spent inside the solver (aggregated over all solvers; with
+    /// parallel workers this is a CPU-time-like sum, not wall time).
     double solver_seconds = 0.0;
     /// True if Explore() returned because Options::stop_requested fired.
     bool stopped = false;
     double elapsed_seconds = 0.0;
+
+    // -- Parallel exploration (all 0 / 1 when exploration_threads == 1) ----
+
+    /// Exploration threads actually used.
+    uint32_t threads_used = 1;
+    /// Deterministic rounds executed (round mode only).
+    uint64_t rounds = 0;
+    /// States leased to workers via the claim protocol.
+    uint64_t claims = 0;
+    /// Times a claim found the tree lock contended (from the tree).
+    uint64_t claim_contention = 0;
+    /// Total worker-idle time at round barriers (sum over workers of the
+    /// gap between finishing their last run of a round and the round
+    /// completing).
+    double barrier_wait_seconds = 0.0;
 
     struct Sample {
         double t = 0.0;
@@ -112,7 +145,11 @@ class Engine
         uint64_t seed = 1;
         /// Exploration stops after this many completed low-level runs.
         uint64_t max_runs = 2000;
-        /// ... or after this much wall time.
+        /// ... or after this much wall time. Checked between concolic
+        /// iterations, between state-selection solver calls, and — under
+        /// parallel exploration — between claims and between rounds;
+        /// in-flight guest runs are never interrupted (the per-run step
+        /// budget bounds them), so the overshoot is at most one run.
         double max_seconds = 30.0;
         /// Per-run low-level step budget (hang detector). Also bounds the
         /// depth of loop-carried symbolic expression chains, which are
@@ -125,22 +162,47 @@ class Engine
         /// solver_options.shared_cache at a cache::SharedSolverCache to
         /// share query results and counterexamples with sibling sessions
         /// (the exploration service does this per batch when its
-        /// share_solver_cache option is on).
+        /// share_solver_cache option is on). Note: a shared cache makes
+        /// round-mode results depend on what sibling sessions have
+        /// published, so cross-run bit-reproducibility only holds without
+        /// one (or with a cold, private one).
         solver::Solver::Options solver_options = {};
         bool collect_timeline = true;
+        /// Intra-session parallelism: number of exploration worker
+        /// threads driving this session's shared execution tree. 1 (the
+        /// default) runs the classic serial loop, bit-identical to
+        /// pre-parallel engines. >= 2 selects deterministic round mode
+        /// unless free_running is set.
+        uint32_t exploration_threads = 1;
+        /// With exploration_threads >= 2: opt out of deterministic round
+        /// mode into free-running mode (workers claim/solve/run/commit
+        /// continuously; nondeterministic, maximum throughput).
+        bool free_running = false;
+        /// Round mode: maximum states claimed + solved per round. Kept
+        /// independent of exploration_threads so results are invariant in
+        /// the thread count.
+        uint32_t round_width = 8;
         /// Cooperative cancellation hook. Checked between concolic
-        /// iterations and between state-selection solver calls; when it
-        /// returns true the exploration loop winds down and Explore()
-        /// returns the test cases produced so far. Used by the exploration
-        /// service to enforce service-wide wall-clock budgets and
-        /// user-requested shutdown without engine internals growing any
-        /// thread-awareness.
+        /// iterations and between state-selection solver calls; under
+        /// parallel exploration it is additionally polled between claims,
+        /// between rounds, and by each worker before starting a queued
+        /// run (so a mid-round stop lets in-flight guest runs finish,
+        /// skips the rest, commits what completed, and winds down).
+        /// When exploration_threads > 1 the hook must be thread-safe.
+        /// When it returns true the exploration winds down and Explore()
+        /// returns the test cases produced so far. Used by the
+        /// exploration service to enforce service-wide wall-clock budgets
+        /// and user-requested shutdown without engine internals growing
+        /// any thread-awareness beyond this.
         std::function<bool()> stop_requested;
         /// Telemetry (obs/obs.h). Copied into solver_options.obs by the
         /// constructor so the session's solver shares the same registry
         /// and tracer; the engine itself emits engine/run (interpreter
         /// dispatch) and engine/select (state selection) spans plus
-        /// engine.* counters.
+        /// engine.* counters, and under parallel exploration
+        /// engine/parallel_run per-worker spans plus engine.parallel.*
+        /// counters (states in flight, claims, claim contention, round
+        /// barrier wait).
         obs::ObsContext obs;
     };
 
@@ -151,7 +213,9 @@ class Engine
     };
 
     /// Executes the target program once under the given runtime; called by
-    /// the engine for every concolic iteration.
+    /// the engine for every concolic iteration. Under parallel exploration
+    /// this is invoked concurrently on distinct runtimes, so it must not
+    /// mutate shared state of its own.
     using RunFn = std::function<GuestOutcome(lowlevel::LowLevelRuntime&)>;
 
     Engine() : Engine(Options{}) {}
@@ -168,8 +232,28 @@ class Engine
     const Options& options() const { return options_; }
 
   private:
+    struct WorkerContext;
+    struct RoundItem;
+
     std::unique_ptr<cupa::SearchStrategy> MakeStrategy();
-    solver::Assignment CompleteInputs() const;
+    static solver::Assignment CompleteInputsFor(
+        const lowlevel::LowLevelRuntime& runtime);
+
+    std::vector<TestCase> ExploreSerial(const RunFn& run);
+    std::vector<TestCase> ExploreRounds(const RunFn& run);
+    std::vector<TestCase> ExploreFreeRunning(const RunFn& run);
+
+    /// Serial commit of one recorded run: replays the log into the shared
+    /// tree + tracker, produces the test case or queues the assume-retry
+    /// assignment, and updates stats. Returns true if the commit produced
+    /// an assume-retry assignment in *retry.
+    bool CommitRun(const RoundItem& item, double t_now,
+                   std::vector<TestCase>* test_cases,
+                   solver::Solver* retry_solver, solver::Assignment* retry);
+
+    void FinalizeStats(
+        double elapsed_seconds,
+        const std::vector<std::unique_ptr<WorkerContext>>& workers);
 
     Options options_;
     Rng rng_;
@@ -179,6 +263,11 @@ class Engine
     obs::Counter* m_hl_paths_ = nullptr;
     obs::Counter* m_infeasible_ = nullptr;
     obs::Histogram* m_run_latency_ = nullptr;
+    obs::Gauge* m_par_in_flight_ = nullptr;
+    obs::Counter* m_par_claims_ = nullptr;
+    obs::Counter* m_par_contention_ = nullptr;
+    obs::Counter* m_par_rounds_ = nullptr;
+    obs::Histogram* m_par_barrier_wait_ = nullptr;
     solver::Solver solver_;
     lowlevel::ExecutionTree tree_;
     lowlevel::LowLevelRuntime runtime_;

@@ -20,7 +20,7 @@ CupaStrategy::CupaStrategy(
 }
 
 void
-CupaStrategy::OnStateAdded(const AlternateState& state)
+CupaStrategy::AddLocked(const AlternateState& state)
 {
     std::vector<uint64_t> keys;
     keys.reserve(levels_.size());
@@ -41,7 +41,7 @@ CupaStrategy::OnStateAdded(const AlternateState& state)
 }
 
 void
-CupaStrategy::OnStateRemoved(StateId id)
+CupaStrategy::RemoveLocked(StateId id)
 {
     auto it = membership_.find(id);
     if (it == membership_.end()) {
@@ -74,9 +74,9 @@ CupaStrategy::OnStateRemoved(StateId id)
 }
 
 StateId
-CupaStrategy::SelectState()
+CupaStrategy::ClaimLocked()
 {
-    CHEF_CHECK(!empty());
+    CHEF_CHECK(!membership_.empty());
     ClassNode* node = &root_;
     for (const LevelSpec& level : levels_) {
         CHEF_CHECK(!node->children.empty());
@@ -107,14 +107,14 @@ CupaStrategy::SelectState()
 }
 
 void
-RandomStrategy::OnStateAdded(const AlternateState& state)
+RandomStrategy::AddLocked(const AlternateState& state)
 {
     index_[state.id] = states_.size();
     states_.push_back(state.id);
 }
 
 void
-RandomStrategy::OnStateRemoved(StateId id)
+RandomStrategy::RemoveLocked(StateId id)
 {
     auto it = index_.find(id);
     if (it == index_.end()) {
@@ -129,45 +129,45 @@ RandomStrategy::OnStateRemoved(StateId id)
 }
 
 StateId
-RandomStrategy::SelectState()
+RandomStrategy::ClaimLocked()
 {
     CHEF_CHECK(!states_.empty());
     return states_[rng_->NextBelow(states_.size())];
 }
 
 void
-DfsStrategy::OnStateAdded(const AlternateState& state)
+DfsStrategy::AddLocked(const AlternateState& state)
 {
     ids_.emplace(state.id, true);
 }
 
 void
-DfsStrategy::OnStateRemoved(StateId id)
+DfsStrategy::RemoveLocked(StateId id)
 {
     ids_.erase(id);
 }
 
 StateId
-DfsStrategy::SelectState()
+DfsStrategy::ClaimLocked()
 {
     CHEF_CHECK(!ids_.empty());
     return ids_.rbegin()->first;
 }
 
 void
-BfsStrategy::OnStateAdded(const AlternateState& state)
+BfsStrategy::AddLocked(const AlternateState& state)
 {
     ids_.emplace(state.id, true);
 }
 
 void
-BfsStrategy::OnStateRemoved(StateId id)
+BfsStrategy::RemoveLocked(StateId id)
 {
     ids_.erase(id);
 }
 
 StateId
-BfsStrategy::SelectState()
+BfsStrategy::ClaimLocked()
 {
     CHEF_CHECK(!ids_.empty());
     return ids_.begin()->first;

@@ -12,32 +12,37 @@ ExecutionTree::ExecutionTree()
 void
 ExecutionTree::Reset()
 {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
     nodes_.clear();
     // Node 0 is a sentinel whose child[0] slot holds the first real branch.
     nodes_.push_back(Node{});
     pending_.clear();
+    in_flight_.clear();
     next_state_id_ = 1;
-    BeginRun();
+    BeginRun(default_cursor_);
 }
 
 void
-ExecutionTree::BeginRun()
+ExecutionTree::BeginRun(Cursor& cursor)
 {
-    cursor_ = 0;
-    at_root_ = true;
-    current_pc_.clear();
-    current_depth_ = 0;
+    cursor.node = 0;
+    cursor.at_root = true;
+    cursor.path_condition_.clear();
+    cursor.depth_ = 0;
 }
 
 ExecutionTree::AdvanceResult
-ExecutionTree::Advance(uint64_t llpc, bool taken,
+ExecutionTree::Advance(Cursor& cursor, uint64_t llpc, bool taken,
                        const solver::ExprRef& taken_constraint,
-                       const solver::ExprRef& negated_constraint)
+                       const solver::ExprRef& negated_constraint,
+                       const HlPosition& hl)
 {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+
     // The next branch lives in the child slot reached by the last decision
     // (or the sentinel's slot 0 at the start of a run).
-    const int32_t parent = cursor_;
-    const int dir_index = at_root_ ? 0 : (last_direction_ ? 1 : 0);
+    const int32_t parent = cursor.node;
+    const int dir_index = cursor.at_root ? 0 : (cursor.last_direction ? 1 : 0);
     int32_t slot = nodes_[parent].child[dir_index];
     if (slot < 0) {
         slot = static_cast<int32_t>(nodes_.size());
@@ -58,9 +63,11 @@ ExecutionTree::Advance(uint64_t llpc, bool taken,
     // The taken direction is now explored; a stale pending alternate for it
     // (if the strategy had not picked it yet) is dropped.
     if (node.status[taken_index] == EdgeStatus::kRegistered) {
-        if (pending_.erase(node.pending_id[taken_index]) > 0 &&
-            on_pending_removed_) {
-            on_pending_removed_(node.pending_id[taken_index]);
+        if (pending_.erase(node.pending_id[taken_index]) > 0) {
+            states_overtaken_.fetch_add(1, std::memory_order_relaxed);
+            if (on_pending_removed_) {
+                on_pending_removed_(node.pending_id[taken_index]);
+            }
         }
     }
     node.status[taken_index] = EdgeStatus::kExplored;
@@ -69,36 +76,37 @@ ExecutionTree::Advance(uint64_t llpc, bool taken,
     if (node.status[other_index] == EdgeStatus::kUnknown) {
         AlternateState state;
         state.id = next_state_id_++;
-        state.path_condition = current_pc_;
+        state.path_condition = cursor.path_condition_;
         state.path_condition.push_back(negated_constraint);
         state.node = static_cast<uint32_t>(slot);
         state.direction = !taken;
         state.llpc = llpc;
-        state.depth = current_depth_;
+        state.static_hlpc = hl.static_hlpc;
+        state.dynamic_hlpc = hl.dynamic_hlpc;
+        state.hl_opcode = hl.opcode;
+        state.depth = cursor.depth_;
         node.status[other_index] = EdgeStatus::kRegistered;
         node.pending_id[other_index] = state.id;
         auto [it, inserted] = pending_.emplace(state.id, std::move(state));
         CHEF_CHECK(inserted);
-        result.registered = &it->second;
+        result.registered = it->first;
+        if (on_state_added_) {
+            on_state_added_(it->second);
+        }
     }
 
-    current_pc_.push_back(taken_constraint);
-    ++current_depth_;
-    cursor_ = slot;
-    at_root_ = false;
-    last_direction_ = taken;
+    cursor.path_condition_.push_back(taken_constraint);
+    ++cursor.depth_;
+    cursor.node = slot;
+    cursor.at_root = false;
+    cursor.last_direction = taken;
     return result;
-}
-
-void
-ExecutionTree::AddConstraint(const solver::ExprRef& constraint)
-{
-    current_pc_.push_back(constraint);
 }
 
 AlternateState
 ExecutionTree::TakePending(StateId id)
 {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
     auto it = pending_.find(id);
     CHEF_CHECK_MSG(it != pending_.end(), "unknown pending state id");
     AlternateState state = std::move(it->second);
@@ -109,18 +117,65 @@ ExecutionTree::TakePending(StateId id)
     return state;
 }
 
+bool
+ExecutionTree::ClaimState(const std::function<StateId()>& select,
+                          AlternateState* out)
+{
+    std::unique_lock<std::recursive_mutex> lock(mutex_, std::try_to_lock);
+    if (!lock.owns_lock()) {
+        claim_contention_.fetch_add(1, std::memory_order_relaxed);
+        lock.lock();
+    }
+    const StateId id = select();
+    if (id == 0) {
+        return false;
+    }
+    *out = TakePending(id);
+    in_flight_.insert(id);
+    return true;
+}
+
+void
+ExecutionTree::ReleaseClaim(const AlternateState& state)
+{
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    in_flight_.erase(state.id);
+    auto [it, inserted] = pending_.emplace(state.id, state);
+    CHEF_CHECK_MSG(inserted, "released state was still pending");
+    if (on_state_added_) {
+        on_state_added_(it->second);
+    }
+}
+
+void
+ExecutionTree::CompleteClaim(StateId id)
+{
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    in_flight_.erase(id);
+}
+
 void
 ExecutionTree::MarkInfeasible(const AlternateState& state)
 {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    in_flight_.erase(state.id);
     Node& node = nodes_[state.node];
     const int index = state.direction ? 1 : 0;
     node.status[index] = EdgeStatus::kInfeasible;
     node.pending_id[index] = 0;
 }
 
+size_t
+ExecutionTree::states_in_flight() const
+{
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    return in_flight_.size();
+}
+
 const AlternateState*
 ExecutionTree::FindPending(StateId id) const
 {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
     auto it = pending_.find(id);
     return it == pending_.end() ? nullptr : &it->second;
 }
@@ -128,10 +183,25 @@ ExecutionTree::FindPending(StateId id) const
 void
 ExecutionTree::ScaleForkWeight(StateId id, double factor)
 {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
     auto it = pending_.find(id);
     if (it != pending_.end()) {
         it->second.fork_weight *= factor;
     }
+}
+
+size_t
+ExecutionTree::num_nodes() const
+{
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    return nodes_.size();
+}
+
+uint64_t
+ExecutionTree::total_registered() const
+{
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    return next_state_id_ - 1;
 }
 
 }  // namespace chef::lowlevel

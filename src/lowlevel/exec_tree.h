@@ -10,10 +10,24 @@
 /// pending as a registered alternate state, or proven infeasible. Alternate
 /// states carry the bookkeeping CUPA needs: the forking low-level PC, the
 /// static and dynamic high-level PC at the fork, and the fork weight.
+///
+/// Concurrency model: one ExecutionTree may be shared by several exploration
+/// workers. All shared structures (nodes, the pending pool, the in-flight
+/// lease set) are guarded by an internal lock; per-run traversal state lives
+/// in a Cursor owned by each worker's runtime, so concurrent runs never
+/// share mutable cursor state. A pending state is *leased* to a worker via
+/// ClaimState (which runs the strategy's selection under the tree lock, so
+/// selection and removal are atomic); leased states are out of the pending
+/// pool and therefore excluded from further selection until the worker
+/// either commits the run that explores them (CompleteClaim), proves them
+/// infeasible (MarkInfeasible), or hands them back (ReleaseClaim).
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "solver/expr.h"
@@ -57,46 +71,106 @@ enum class EdgeStatus : uint8_t {
     kInfeasible,  ///< Solver proved the direction's path condition UNSAT.
 };
 
+/// High-level position of the run at a fork, recorded into the alternate
+/// state registered there (filled by the runtime from the tracker's
+/// write-back).
+struct HlPosition {
+    uint64_t static_hlpc = 0;
+    uint64_t dynamic_hlpc = 0;
+    uint32_t opcode = 0;
+};
+
 /// The concolic execution tree plus the pool of pending alternate states.
 class ExecutionTree
 {
   public:
+    /// Per-run traversal state. Each concurrent run owns one cursor; the
+    /// tree never stores per-run state, so runs only contend on the shared
+    /// node/pending structures inside Advance.
+    class Cursor
+    {
+      public:
+        /// The path condition of the run so far.
+        const std::vector<solver::ExprRef>& path_condition() const
+        {
+            return path_condition_;
+        }
+
+        /// Number of symbolic branches the run has passed.
+        uint32_t depth() const { return depth_; }
+
+      private:
+        friend class ExecutionTree;
+
+        int32_t node = 0;
+        bool at_root = true;
+        bool last_direction = false;
+        std::vector<solver::ExprRef> path_condition_;
+        uint32_t depth_ = 0;
+    };
+
     ExecutionTree();
 
     /// Drops all nodes and pending states.
     void Reset();
 
-    /// Starts a new run from the root. Returns a cursor used by Advance.
-    void BeginRun();
+    /// Resets \p cursor to the root for a new run.
+    void BeginRun(Cursor& cursor);
 
-    /// Result of advancing the run cursor through a symbolic branch.
+    /// Legacy form: resets the tree's built-in default cursor (used by
+    /// single-threaded callers and tests).
+    void BeginRun() { BeginRun(default_cursor_); }
+
+    /// Result of advancing a run cursor through a symbolic branch.
     struct AdvanceResult {
-        /// Non-null when a new alternate state was registered for the
-        /// not-taken direction; the caller fills in the HL bookkeeping.
-        AlternateState* registered = nullptr;
+        /// Non-zero when a new alternate state was registered for the
+        /// not-taken direction.
+        StateId registered = 0;
     };
 
-    /// Records that the current run took direction \p taken at a symbolic
-    /// branch with the given site \p llpc and branch condition (already in
-    /// taken-form, i.e. the constraint that holds on this run). The
-    /// alternate's path condition is the current prefix plus the negated
-    /// constraint.
+    /// Records that the run behind \p cursor took direction \p taken at a
+    /// symbolic branch with the given site \p llpc and branch condition
+    /// (already in taken-form, i.e. the constraint that holds on this run).
+    /// The alternate's path condition is the cursor's prefix plus the
+    /// negated constraint; \p hl stamps the alternate with the run's
+    /// high-level position. A newly registered state is announced through
+    /// the state-added hook while still holding the tree lock, so observers
+    /// see it fully constructed and exactly once.
+    AdvanceResult Advance(Cursor& cursor, uint64_t llpc, bool taken,
+                          const solver::ExprRef& taken_constraint,
+                          const solver::ExprRef& negated_constraint,
+                          const HlPosition& hl);
+
+    /// Legacy form: default cursor, empty high-level position.
     AdvanceResult Advance(uint64_t llpc, bool taken,
                           const solver::ExprRef& taken_constraint,
-                          const solver::ExprRef& negated_constraint);
-
-    /// The path condition of the current run so far.
-    const std::vector<solver::ExprRef>& current_path_condition() const
+                          const solver::ExprRef& negated_constraint)
     {
-        return current_pc_;
+        return Advance(default_cursor_, llpc, taken, taken_constraint,
+                       negated_constraint, HlPosition{});
     }
 
-    /// Adds an assumption to the current run's path condition (not a
-    /// branch; no forking).
-    void AddConstraint(const solver::ExprRef& constraint);
+    /// The path condition of the default cursor's current run.
+    const std::vector<solver::ExprRef>& current_path_condition() const
+    {
+        return default_cursor_.path_condition();
+    }
 
-    /// Number of symbolic branches the current run has passed.
-    uint32_t current_depth() const { return current_depth_; }
+    /// Adds an assumption to a run's path condition (not a branch; no
+    /// forking, no shared state touched).
+    void AddConstraint(Cursor& cursor, const solver::ExprRef& constraint)
+    {
+        cursor.path_condition_.push_back(constraint);
+    }
+
+    /// Legacy form: default cursor.
+    void AddConstraint(const solver::ExprRef& constraint)
+    {
+        AddConstraint(default_cursor_, constraint);
+    }
+
+    /// Number of symbolic branches the default cursor's run has passed.
+    uint32_t current_depth() const { return default_cursor_.depth(); }
 
     /// Removes and returns a pending state (strategy selected it).
     /// The state stays recorded as kRegistered in the tree until the caller
@@ -104,13 +178,61 @@ class ExecutionTree
     /// it.
     AlternateState TakePending(StateId id);
 
-    /// Marks a previously taken state's direction as infeasible.
+    // -- Claim/lease protocol (parallel exploration) ------------------------
+
+    /// Atomically runs \p select (typically SearchStrategy::ClaimState)
+    /// under the tree lock and, if it returns a non-zero id, leases that
+    /// state to the caller: the state leaves the pending pool (firing the
+    /// pending-removed hook) and is tracked as in flight. Returns false
+    /// when \p select returned 0 (nothing selectable). The leased state
+    /// must be resolved with CompleteClaim, MarkInfeasible, or
+    /// ReleaseClaim.
+    bool ClaimState(const std::function<StateId()>& select,
+                    AlternateState* out);
+
+    /// Hands a leased state back untouched: re-inserts it into the pending
+    /// pool and re-announces it through the state-added hook (so the
+    /// strategy re-queues it).
+    void ReleaseClaim(const AlternateState& state);
+
+    /// Marks a leased state's run as committed (the exploring run advanced
+    /// through its node, so the tree already records the direction as
+    /// explored); drops the in-flight lease.
+    void CompleteClaim(StateId id);
+
+    /// Marks a previously taken or leased state's direction as infeasible.
     void MarkInfeasible(const AlternateState& state);
 
-    /// Looks up a pending state (for strategies). Null if absent.
+    /// Number of leased (claimed, not yet resolved) states.
+    size_t states_in_flight() const;
+
+    /// Times a claim found the tree lock already held (lock contention
+    /// between exploration workers).
+    uint64_t claim_contention() const
+    {
+        return claim_contention_.load(std::memory_order_relaxed);
+    }
+
+    /// Pending states dropped because a run explored their direction
+    /// before the strategy picked them (Advance's stale-alternate path).
+    /// With concurrent runs the count depends on interleaving: every
+    /// registered state ends up exactly one of finalized, still pending,
+    /// or overtaken.
+    uint64_t states_overtaken() const
+    {
+        return states_overtaken_.load(std::memory_order_relaxed);
+    }
+
+    // -----------------------------------------------------------------------
+
+    /// Looks up a pending state (for strategies). Null if absent. Only
+    /// meaningful under the tree lock (i.e. from within a ClaimState
+    /// selection callback or single-threaded use); the pointer is
+    /// invalidated by any concurrent mutation.
     const AlternateState* FindPending(StateId id) const;
 
-    /// All pending states (insertion order not guaranteed).
+    /// All pending states (insertion order not guaranteed). Requires
+    /// external quiescence; used by single-threaded callers and tests.
     const std::unordered_map<StateId, AlternateState>& pending() const
     {
         return pending_;
@@ -119,15 +241,25 @@ class ExecutionTree
     /// Multiplies the fork weight of a pending state (fork streak decay).
     void ScaleForkWeight(StateId id, double factor);
 
-    size_t num_nodes() const { return nodes_.size(); }
-    uint64_t total_registered() const { return next_state_id_ - 1; }
+    size_t num_nodes() const;
+    uint64_t total_registered() const;
 
     /// Observer invoked whenever a pending state disappears from the pool
     /// (selected by the strategy, overtaken by natural exploration, or
     /// proven infeasible). Used by search strategies for bookkeeping.
+    /// Invoked under the tree lock.
     void set_on_pending_removed(std::function<void(StateId)> hook)
     {
         on_pending_removed_ = std::move(hook);
+    }
+
+    /// Observer invoked when a state enters (or re-enters, after
+    /// ReleaseClaim) the pending pool, fully constructed. Invoked under the
+    /// tree lock.
+    void set_on_state_added(
+        std::function<void(const AlternateState&)> hook)
+    {
+        on_state_added_ = std::move(hook);
     }
 
   private:
@@ -138,17 +270,21 @@ class ExecutionTree
         StateId pending_id[2] = {0, 0};
     };
 
+    // Recursive because strategy callbacks run under the tree lock and may
+    // legitimately re-enter read accessors (CupaStrategy reads pending
+    // fork weights through FindPending while selecting).
+    mutable std::recursive_mutex mutex_;
+
     std::vector<Node> nodes_;
     std::unordered_map<StateId, AlternateState> pending_;
+    std::unordered_set<StateId> in_flight_;
     StateId next_state_id_ = 1;
+    std::atomic<uint64_t> claim_contention_{0};
+    std::atomic<uint64_t> states_overtaken_{0};
     std::function<void(StateId)> on_pending_removed_;
+    std::function<void(const AlternateState&)> on_state_added_;
 
-    // Run cursor state.
-    int32_t cursor_ = 0;
-    bool at_root_ = true;
-    bool last_direction_ = false;
-    std::vector<solver::ExprRef> current_pc_;
-    uint32_t current_depth_ = 0;
+    Cursor default_cursor_;
 };
 
 }  // namespace chef::lowlevel

@@ -38,7 +38,18 @@ LowLevelRuntime::BeginRun(const solver::Assignment& inputs)
     hl_opcode_ = 0;
     streak_active_ = false;
     streak_ids_.clear();
-    tree_->BeginRun();
+    recording_ = nullptr;
+    tree_->BeginRun(cursor_);
+}
+
+void
+LowLevelRuntime::BeginRecordedRun(const solver::Assignment& inputs,
+                                  RunLog* log)
+{
+    CHEF_CHECK(log != nullptr);
+    BeginRun(inputs);
+    log->events.clear();
+    recording_ = log;
 }
 
 RunStats
@@ -46,6 +57,39 @@ LowLevelRuntime::EndRun()
 {
     if (stats_.status == PathStatus::kRunning) {
         stats_.status = PathStatus::kFinished;
+    }
+    recording_ = nullptr;
+    return stats_;
+}
+
+RunStats
+LowLevelRuntime::CommitRecordedRun(const RunLog& log)
+{
+    stats_ = RunStats();
+    hl_static_ = 0;
+    hl_dynamic_ = 0;
+    hl_opcode_ = 0;
+    streak_active_ = false;
+    streak_ids_.clear();
+    recording_ = nullptr;
+    tree_->BeginRun(cursor_);
+    for (const RunEvent& event : log.events) {
+        switch (event.kind) {
+          case RunEvent::Kind::kLogPc:
+            if (log_pc_hook_) {
+                log_pc_hook_(event.pc, event.opcode);
+            } else {
+                SetHlPosition(event.pc, event.pc, event.opcode);
+            }
+            break;
+          case RunEvent::Kind::kConstraint:
+            tree_->AddConstraint(cursor_, event.constraint);
+            break;
+          case RunEvent::Kind::kBranch:
+            ++stats_.symbolic_branches;
+            ApplyBranch(event.pc, event.taken, event.constraint);
+            break;
+        }
     }
     return stats_;
 }
@@ -72,37 +116,24 @@ LowLevelRuntime::MakeSymbolicValue(const std::string& name, int width,
                     solver::MakeVar(var_id, name, width));
 }
 
-bool
-LowLevelRuntime::Branch(const SymValue& cond, uint64_t llpc)
+void
+LowLevelRuntime::ApplyBranch(uint64_t llpc, bool taken,
+                             const solver::ExprRef& taken_constraint)
 {
-    CHEF_CHECK(cond.width() == 1);
-    CountStep();
-    if (!cond.IsSymbolic() || !running()) {
-        return cond.ConcreteTruth();
-    }
-    const bool taken = cond.ConcreteTruth();
     if (stats_.registered_states >= options_.max_registered_per_run) {
         // Pool-pressure throttle: keep executing concretely, but record
         // the constraint so the path condition stays sound.
-        tree_->AddConstraint(taken ? cond.ToExpr()
-                                   : solver::MakeBoolNot(cond.ToExpr()));
-        ++stats_.symbolic_branches;
-        return taken;
+        tree_->AddConstraint(cursor_, taken_constraint);
+        return;
     }
-    const solver::ExprRef taken_constraint =
-        taken ? cond.ToExpr() : solver::MakeBoolNot(cond.ToExpr());
     const solver::ExprRef negated_constraint =
         solver::MakeBoolNot(taken_constraint);
 
-    ++stats_.symbolic_branches;
-    ExecutionTree::AdvanceResult advance =
-        tree_->Advance(llpc, taken, taken_constraint, negated_constraint);
+    ExecutionTree::AdvanceResult advance = tree_->Advance(
+        cursor_, llpc, taken, taken_constraint, negated_constraint,
+        HlPosition{hl_static_, hl_dynamic_, hl_opcode_});
 
-    if (advance.registered != nullptr) {
-        AlternateState* state = advance.registered;
-        state->static_hlpc = hl_static_;
-        state->dynamic_hlpc = hl_dynamic_;
-        state->hl_opcode = hl_opcode_;
+    if (advance.registered != 0) {
         ++stats_.registered_states;
 
         // Fork-weight streak (§3.4): consecutive forks at one LLPC decay
@@ -116,16 +147,61 @@ LowLevelRuntime::Branch(const SymValue& cond, uint64_t llpc)
             streak_llpc_ = llpc;
             streak_active_ = true;
         }
-        streak_ids_.push_back(state->id);
+        streak_ids_.push_back(advance.registered);
         if (state_added_hook_) {
-            state_added_hook_(*state);
+            const AlternateState* state =
+                tree_->FindPending(advance.registered);
+            if (state != nullptr) {
+                state_added_hook_(*state);
+            }
         }
     } else if (!streak_active_ || streak_llpc_ != llpc) {
         // A branch at a different site interrupts the streak.
         streak_active_ = false;
         streak_ids_.clear();
     }
+}
+
+bool
+LowLevelRuntime::Branch(const SymValue& cond, uint64_t llpc)
+{
+    CHEF_CHECK(cond.width() == 1);
+    CountStep();
+    if (!cond.IsSymbolic() || !running()) {
+        return cond.ConcreteTruth();
+    }
+    const bool taken = cond.ConcreteTruth();
+    const solver::ExprRef taken_constraint =
+        taken ? cond.ToExpr() : solver::MakeBoolNot(cond.ToExpr());
+    ++stats_.symbolic_branches;
+    if (recording_ != nullptr) {
+        RunEvent event;
+        event.kind = RunEvent::Kind::kBranch;
+        event.pc = llpc;
+        event.taken = taken;
+        event.constraint = taken_constraint;
+        recording_->events.push_back(std::move(event));
+        // The local cursor still tracks the path condition so that
+        // UpperBound works mid-run; the shared tree is untouched.
+        tree_->AddConstraint(cursor_, taken_constraint);
+        return taken;
+    }
+    ApplyBranch(llpc, taken, taken_constraint);
     return taken;
+}
+
+void
+LowLevelRuntime::AddPathConstraint(const solver::ExprRef& constraint)
+{
+    if (recording_ != nullptr) {
+        RunEvent event;
+        event.kind = RunEvent::Kind::kConstraint;
+        event.constraint = constraint;
+        recording_->events.push_back(std::move(event));
+        tree_->AddConstraint(cursor_, constraint);
+        return;
+    }
+    tree_->AddConstraint(cursor_, constraint);
 }
 
 void
@@ -136,7 +212,7 @@ LowLevelRuntime::Assume(const SymValue& cond)
         return;
     }
     if (cond.IsSymbolic()) {
-        tree_->AddConstraint(cond.ToExpr());
+        AddPathConstraint(cond.ToExpr());
     }
     if (!cond.ConcreteTruth()) {
         if (!cond.IsSymbolic()) {
@@ -151,7 +227,7 @@ uint64_t
 LowLevelRuntime::Concretize(const SymValue& value)
 {
     if (value.IsSymbolic() && running()) {
-        tree_->AddConstraint(solver::MakeEq(
+        AddPathConstraint(solver::MakeEq(
             value.ToExpr(),
             solver::MakeConst(value.concrete(), value.width())));
     }
@@ -165,8 +241,8 @@ LowLevelRuntime::UpperBound(const SymValue& value)
         return value.concrete();
     }
     uint64_t bound = 0;
-    if (!solver_->UpperBound(tree_->current_path_condition(),
-                             value.ToExpr(), &bound)) {
+    if (!solver_->UpperBound(cursor_.path_condition(), value.ToExpr(),
+                             &bound)) {
         // The current path condition should always be satisfiable (the run
         // is executing under a witness); fall back to the concrete value.
         return value.concrete();
@@ -178,6 +254,14 @@ void
 LowLevelRuntime::LogPc(uint64_t hlpc, uint32_t opcode)
 {
     CountStep();
+    if (recording_ != nullptr) {
+        RunEvent event;
+        event.kind = RunEvent::Kind::kLogPc;
+        event.pc = hlpc;
+        event.opcode = opcode;
+        recording_->events.push_back(std::move(event));
+        return;
+    }
     if (log_pc_hook_) {
         log_pc_hook_(hlpc, opcode);
     } else {

@@ -12,6 +12,19 @@
 /// log_pc) is provided as methods. A run executes concretely under the
 /// current input assignment while the runtime records the path condition
 /// and registers alternate states in the ExecutionTree.
+///
+/// Two execution modes support intra-session parallel exploration:
+///
+///  - Live mode (BeginRun): branches advance the shared ExecutionTree
+///    immediately. This is the classic single-threaded path.
+///  - Recording mode (BeginRecordedRun): the run appends its symbolic
+///    events (branches, assumptions, log_pc) to a RunLog and touches no
+///    shared structure; a run is a pure function of its input assignment.
+///    A worker thread executes the guest in recording mode, then the
+///    engine replays the log into the shared tree + tracker serially via
+///    CommitRecordedRun on its commit runtime — making every registration,
+///    throttle, fork-streak, and HL-position decision exactly as a live
+///    run would have.
 
 #include <cstdint>
 #include <functional>
@@ -41,6 +54,27 @@ struct RunStats {
     uint32_t registered_states = 0;
 };
 
+/// One symbolic event of a recorded run (see RunLog).
+struct RunEvent {
+    enum class Kind : uint8_t {
+        kBranch,      ///< Symbolic branch: pc = llpc, taken, constraint.
+        kConstraint,  ///< assume/concretize constraint (no forking).
+        kLogPc,       ///< log_pc: pc = hlpc, opcode.
+    };
+    Kind kind = Kind::kBranch;
+    uint64_t pc = 0;
+    uint32_t opcode = 0;
+    bool taken = false;
+    /// kBranch: the taken-form branch constraint. kConstraint: the
+    /// constraint itself.
+    solver::ExprRef constraint;
+};
+
+/// The symbolic trace of one recorded run; replayed at commit time.
+struct RunLog {
+    std::vector<RunEvent> events;
+};
+
 /// Declares one symbolic input variable (stable across runs of a test).
 struct VarDecl {
     std::string name;
@@ -54,7 +88,8 @@ uint64_t LlpcFromLocation(const char* file, int line);
 
 #define CHEF_LLPC (::chef::lowlevel::LlpcFromLocation(__FILE__, __LINE__))
 
-/// Guest-facing concolic runtime; one instance per symbolic test session.
+/// Guest-facing concolic runtime; one instance per symbolic test session
+/// (or per exploration worker of a parallel session).
 class LowLevelRuntime
 {
   public:
@@ -77,12 +112,26 @@ class LowLevelRuntime
 
     // -- Run lifecycle (driven by the engine) -------------------------------
 
-    /// Starts a new run under the given input assignment (values override
-    /// the per-variable defaults).
+    /// Starts a new live run under the given input assignment (values
+    /// override the per-variable defaults).
     void BeginRun(const solver::Assignment& inputs);
+
+    /// Starts a recorded run: symbolic events are appended to \p log and
+    /// no shared structure is touched until the log is committed.
+    void BeginRecordedRun(const solver::Assignment& inputs, RunLog* log);
 
     /// Finalizes the run; a still-running status becomes kFinished.
     RunStats EndRun();
+
+    /// Replays a recorded run's log into the shared tree (and, through the
+    /// log_pc hook, the tracker) on this runtime, exactly as a live run
+    /// would have: registration, throttling, fork-weight streaks and
+    /// HL-position stamping all happen here. Must be called serially (the
+    /// engine commits one run at a time). Returns stats whose
+    /// registered_states is meaningful; status and steps belong to the
+    /// recorded run. Leaves the cursor at the end of the replayed path, so
+    /// current_path_condition() can seed an assume-retry solve.
+    RunStats CommitRecordedRun(const RunLog& log);
 
     // -- Guest API (paper Table 1) ------------------------------------------
 
@@ -114,7 +163,8 @@ class LowLevelRuntime
     }
 
     /// log_pc: interpreter dispatch-loop instrumentation. Forwarded to the
-    /// registered hook (the high-level tracker).
+    /// registered hook (the high-level tracker), or recorded for commit
+    /// time.
     void LogPc(uint64_t hlpc, uint32_t opcode);
 
     /// Accounts low-level work; returns false once the step budget is
@@ -132,17 +182,27 @@ class LowLevelRuntime
     PathStatus status() const { return stats_.status; }
     bool running() const { return stats_.status == PathStatus::kRunning; }
 
+    /// The path condition of this runtime's current run (its own cursor;
+    /// valid in live, recording, and just-replayed states).
+    const std::vector<solver::ExprRef>& current_path_condition() const
+    {
+        return cursor_.path_condition();
+    }
+
     // -- Wiring ---------------------------------------------------------------
 
     using LogPcHook = std::function<void(uint64_t hlpc, uint32_t opcode)>;
 
-    /// Installs the high-level tracker hook, invoked on every LogPc call.
+    /// Installs the high-level tracker hook, invoked on every LogPc call
+    /// (live mode) or replayed log_pc event (commit).
     void set_log_pc_hook(LogPcHook hook) { log_pc_hook_ = std::move(hook); }
 
     using StateAddedHook = std::function<void(const AlternateState&)>;
 
     /// Invoked after a freshly registered alternate state has its
     /// high-level bookkeeping filled in (search strategies subscribe).
+    /// Prefer ExecutionTree::set_on_state_added for shared-tree setups;
+    /// this runtime-level hook is kept for single-runtime callers.
     void set_state_added_hook(StateAddedHook hook)
     {
         state_added_hook_ = std::move(hook);
@@ -163,6 +223,15 @@ class LowLevelRuntime
     void ResetSession();
 
   private:
+    /// Registration half of Branch (shared by live mode and replay):
+    /// throttle, tree advance, fork-weight streak, state-added hook.
+    void ApplyBranch(uint64_t llpc, bool taken,
+                     const solver::ExprRef& taken_constraint);
+
+    /// Adds a non-forking constraint to the path (records it in recording
+    /// mode).
+    void AddPathConstraint(const solver::ExprRef& constraint);
+
     ExecutionTree* tree_;
     solver::Solver* solver_;
     Options options_;
@@ -174,6 +243,9 @@ class LowLevelRuntime
     RunStats stats_;
     LogPcHook log_pc_hook_;
     StateAddedHook state_added_hook_;
+
+    ExecutionTree::Cursor cursor_;
+    RunLog* recording_ = nullptr;
 
     uint64_t hl_static_ = 0;
     uint64_t hl_dynamic_ = 0;

@@ -90,6 +90,51 @@ ExplorationService::DeriveJobSeed(uint64_t service_seed, size_t job_index,
     return FnvHash(parts, sizeof(parts));
 }
 
+ExplorationService::ThreadGrant
+ExplorationService::GrantExplorationThreads(const JobSpec& spec) const
+{
+    ThreadGrant grant;
+    const uint32_t requested =
+        spec.options.exploration_threads > 1
+            ? spec.options.exploration_threads
+            : std::max<uint32_t>(1, options_.engine_threads);
+    if (requested <= 1) {
+        return grant;
+    }
+    size_t budget = options_.core_budget;
+    if (budget == 0) {
+        budget = std::thread::hardware_concurrency();
+        if (budget == 0) {
+            budget = 1;
+        }
+    }
+    const size_t workers = std::max<size_t>(1, options_.num_workers);
+    const uint32_t fair =
+        static_cast<uint32_t>(std::max<size_t>(1, budget / workers));
+    if (requested <= fair) {
+        grant.threads = requested;
+        return grant;
+    }
+    // Above the fair share: only high-yield workloads get a wide
+    // session. A workload with no recorded yield counts as high (its
+    // yield is unknown, so exploring it fast dominates — mirroring the
+    // batch scheduler's priority rule); otherwise the decayed
+    // accepted-fingerprints-per-job must still be >= 1. The wide cap
+    // leaves one core for every other worker.
+    const TestCorpus::WorkloadYield yield = corpus_.YieldFor(spec.workload);
+    const bool high_yield =
+        yield.jobs_recorded == 0 || yield.decayed_yield >= 1.0;
+    if (!high_yield) {
+        grant.threads = fair;
+        return grant;
+    }
+    const size_t wide_cap = budget > workers ? budget - (workers - 1) : 1;
+    grant.threads = static_cast<uint32_t>(
+        std::min<size_t>(requested, std::max<size_t>(fair, wide_cap)));
+    grant.wide = grant.threads > fair;
+    return grant;
+}
+
 void
 ExplorationService::NotifyYieldsChanged()
 {
@@ -142,6 +187,11 @@ ExplorationService::RunJob(const JobSpec& spec, size_t job_index,
     // "completed".
     Engine::Options engine_options = spec.options;
     engine_options.seed = result.seed_used;
+    const ThreadGrant grant = GrantExplorationThreads(spec);
+    engine_options.exploration_threads = grant.threads;
+    if (grant.wide) {
+        wide_sessions_.fetch_add(1, std::memory_order_relaxed);
+    }
     if (engine_options.obs.metrics == nullptr &&
         engine_options.obs.tracer == nullptr) {
         engine_options.obs = options_.obs;
@@ -299,6 +349,10 @@ ExplorationService::RunBatch(const std::vector<JobSpec>& jobs)
         });
     }
     std::atomic<size_t> jobs_finished{0};
+    // Serializes the finished-counter increment with the enqueue of the
+    // events that snapshot it, so streamed kBatchProgress events are
+    // monotone in jobs_finished even when workers complete back-to-back.
+    std::mutex completion_order_mutex;
     // Periodic kMetrics emission is piggybacked on job completions: the
     // completing worker that first observes the interval elapsed wins the
     // CAS and renders one snapshot. No ticker thread, so cadence is
@@ -426,6 +480,8 @@ ExplorationService::RunBatch(const std::vector<JobSpec>& jobs)
                         results[index].corpus_inserted);
                 }
             }
+            std::unique_lock<std::mutex> completion_order(
+                completion_order_mutex);
             const size_t finished =
                 jobs_finished.fetch_add(1, std::memory_order_relaxed) + 1;
             const JobResult& result = results[index];
@@ -469,6 +525,7 @@ ExplorationService::RunBatch(const std::vector<JobSpec>& jobs)
             progress.workload = result.workload;
             progress.jobs_finished = finished;
             emit(std::move(progress));
+            completion_order.unlock();
             if (streaming && metrics_events) {
                 const double now = SecondsSince(batch_start);
                 double last =
@@ -584,6 +641,9 @@ ExplorationService::RunBatch(const std::vector<JobSpec>& jobs)
     stats_.corpus_size = corpus_.size();
     stats_.wall_seconds += SecondsSince(batch_start);
     stats_.num_workers = options_.num_workers;
+    stats_.engine_threads = std::max<uint32_t>(1, options_.engine_threads);
+    stats_.wide_sessions_granted +=
+        wide_sessions_.exchange(0, std::memory_order_relaxed);
     stats_.schedule_policy = options_.schedule_policy;
     stats_.jobs_per_second =
         stats_.wall_seconds > 0.0

@@ -61,6 +61,20 @@ class ExplorationService
         /// cooperatively stopped (they still report their partial
         /// results) and queued jobs are marked cancelled.
         double max_total_seconds = 0.0;
+        /// Default intra-session parallelism granted to each job
+        /// (Engine::Options::exploration_threads). A spec whose own
+        /// options.exploration_threads is > 1 overrides this for that
+        /// job. Effective grants are clamped so num_workers x threads
+        /// stays within core_budget — see GrantExplorationThreads.
+        uint32_t engine_threads = 1;
+        /// Global core budget shared by inter-job workers and
+        /// intra-session exploration threads. 0 means
+        /// std::thread::hardware_concurrency(). Each job's grant is
+        /// clamped to its fair share (budget / num_workers); the
+        /// scheduler may exceed that for high-yield workloads as long
+        /// as every other worker keeps at least one core (a "wide
+        /// session" — counted in ServiceStats::wide_sessions_granted).
+        size_t core_budget = 0;
         /// Store concrete inputs in corpus entries (disable to shrink
         /// memory for very large corpora).
         bool record_corpus_inputs = true;
@@ -161,6 +175,16 @@ class ExplorationService
     static uint64_t DeriveJobSeed(uint64_t service_seed, size_t job_index,
                                   uint64_t spec_seed);
 
+    /// Exploration threads granted to one job under the global core
+    /// budget (exposed for tests). `wide` marks a grant above the fair
+    /// per-worker share, given to workloads with unknown or high corpus
+    /// yield.
+    struct ThreadGrant {
+        uint32_t threads = 1;
+        bool wide = false;
+    };
+    ThreadGrant GrantExplorationThreads(const JobSpec& spec) const;
+
   private:
     JobResult RunJob(const JobSpec& spec, size_t job_index,
                      double remaining_seconds);
@@ -173,6 +197,9 @@ class ExplorationService
 
     Options options_;
     std::atomic<bool> stop_{false};
+    /// Wide-session grants handed out by the in-flight batch; folded
+    /// into stats_ when the batch drains.
+    std::atomic<size_t> wide_sessions_{0};
     TestCorpus corpus_;
     ServiceStats stats_;
     /// The in-flight batch's scheduler (set for the duration of RunBatch;

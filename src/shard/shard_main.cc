@@ -86,6 +86,9 @@ struct CliOptions {
     bool coordinator = false;
     size_t num_workers = 2;
     size_t shard_workers = 1;
+    /// Intra-session exploration threads granted to each job's engine
+    /// (deterministic round mode; 1 = classic serial sessions).
+    uint32_t engine_threads = 1;
     uint64_t seed = 2014;
     uint64_t max_runs = 25;
     double budget_seconds = 0.0;
@@ -128,6 +131,7 @@ Usage(const char* argv0)
         "usage: %s --worker\n"
         "       %s --coordinator [--workers N] [--job WORKLOAD[xCOUNT]]...\n"
         "           [--max-runs N] [--seed S] [--shard-workers K]\n"
+        "           [--engine-threads N]\n"
         "           [--budget SECONDS] [--plateau] [--no-gossip]\n"
         "           [--report PATH] [--trace-out PATH]\n"
         "           [--metrics-interval MS] [--stats-out PATH]\n"
@@ -254,6 +258,16 @@ ParseArgs(int argc, char** argv, CliOptions* options)
             }
             options->shard_workers =
                 static_cast<size_t>(std::strtoull(value, nullptr, 10));
+        } else if (arg == "--engine-threads") {
+            const char* value = next("--engine-threads");
+            if (value == nullptr) {
+                return false;
+            }
+            options->engine_threads =
+                static_cast<uint32_t>(std::strtoull(value, nullptr, 10));
+            if (options->engine_threads == 0) {
+                options->engine_threads = 1;
+            }
         } else if (arg == "--seed") {
             const char* value = next("--seed");
             if (value == nullptr) {
@@ -350,6 +364,7 @@ CoordinatorOptions(const CliOptions& options)
     ShardCoordinator::Options coordinator;
     coordinator.service.seed = options.seed;
     coordinator.service.num_workers = options.shard_workers;
+    coordinator.service.engine_threads = options.engine_threads;
     coordinator.service.max_total_seconds = options.budget_seconds;
     if (options.plateau) {
         coordinator.service.plateau_policy.enabled = true;
@@ -1096,6 +1111,43 @@ RunCoordinator(const CliOptions& options, const char* argv0)
             std::printf("  smoke: merged corpus covers the single-shard "
                         "corpus (%zu keys)\n",
                         single_keys.size());
+        }
+    }
+
+    // 2b. Intra-session parallelism parity: deterministic round mode
+    //    must produce exactly the corpus a single-threaded run of the
+    //    same batch does (sessions are bounded by max_runs, so their
+    //    results are thread-count-invariant).
+    if (baseline_ok && !options.plateau && options.engine_threads > 1) {
+        ShardCoordinator::Options serial_options =
+            CoordinatorOptions(options);
+        serial_options.service.plateau_policy = {};
+        serial_options.service.engine_threads = 1;
+        ShardCoordinator serial(serial_options);
+        if (!chef::shard::RunLoopbackShards(&serial, jobs, 1, &error)) {
+            std::fprintf(stderr,
+                         "FAIL: engine-threads=1 parity baseline: %s\n",
+                         error.c_str());
+            ++failures;
+        } else {
+            const std::vector<TestCorpus::Key> wide_keys =
+                single.corpus().Keys();
+            const std::vector<TestCorpus::Key> serial_keys =
+                serial.corpus().Keys();
+            if (!CoversCorpus(wide_keys, serial_keys) ||
+                !CoversCorpus(serial_keys, wide_keys)) {
+                std::fprintf(stderr,
+                             "FAIL: engine-threads corpus parity broken "
+                             "— %u threads: %zu keys vs 1 thread: %zu "
+                             "keys\n",
+                             options.engine_threads, wide_keys.size(),
+                             serial_keys.size());
+                ++failures;
+            } else {
+                std::printf("  smoke: engine-threads corpus parity holds "
+                            "(%u threads, %zu keys)\n",
+                            options.engine_threads, serial_keys.size());
+            }
         }
     }
 

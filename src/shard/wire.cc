@@ -173,6 +173,12 @@ WriteJobSpec(JsonWriter& json, const JobSpec& spec)
     json.Key("branch_opcode_drop_fraction"),
         json.Value(spec.options.branch_opcode_drop_fraction);
     json.Key("collect_timeline"), json.Value(spec.options.collect_timeline);
+    // v2.3: per-job exploration-thread request, omitted at the default.
+    if (spec.options.exploration_threads > 1) {
+        json.Key("exploration_threads"),
+            json.Value(static_cast<uint64_t>(
+                spec.options.exploration_threads));
+    }
     const solver::Solver::Options& so = spec.options.solver_options;
     json.Key("solver");
     json.BeginObject();
@@ -233,6 +239,16 @@ DecodeJobSpec(const JsonValue& object, JobSpec* spec, std::string* error)
     }
     if (!StrategyFromName(strategy, &spec->options.strategy)) {
         return DecodeFail(error, "unknown strategy '" + strategy + "'");
+    }
+    // v2.3: optional per-job exploration-thread request, default 1.
+    if (engine->Find("exploration_threads") != nullptr) {
+        uint64_t exploration_threads = 1;
+        if (!ReadU64(*engine, "exploration_threads", &exploration_threads,
+                     error)) {
+            return false;
+        }
+        spec->options.exploration_threads =
+            static_cast<uint32_t>(exploration_threads);
     }
     const JsonValue* sol = engine->Find("solver");
     if (sol == nullptr) {
@@ -419,6 +435,19 @@ DecodeServiceStats(const JsonValue& object, ServiceStats* stats,
                  error)) {
         return false;
     }
+    // v2.3 additions: absent from pre-v2.3 peers, default to 1 / 0.
+    if (object.Find("engine_threads") != nullptr) {
+        uint64_t engine_threads = 1;
+        if (!ReadU64(object, "engine_threads", &engine_threads, error)) {
+            return false;
+        }
+        stats->engine_threads = static_cast<uint32_t>(engine_threads);
+    }
+    if (object.Find("wide_sessions_granted") != nullptr &&
+        !ReadSize(object, "wide_sessions_granted",
+                  &stats->wide_sessions_granted, error)) {
+        return false;
+    }
     if (!SchedulePolicyFromName(policy, &stats->schedule_policy)) {
         return DecodeFail(error, "unknown schedule policy '" + policy +
                                      "'");
@@ -472,6 +501,15 @@ DecodeJobResult(const JsonValue& object, JobResult* result,
                     &result->engine_stats.elapsed_seconds, error)) {
         return false;
     }
+    // v2.3 addition: absent from pre-v2.3 peers, default 1.
+    if (object.Find("threads_used") != nullptr) {
+        uint64_t threads_used = 1;
+        if (!ReadU64(object, "threads_used", &threads_used, error)) {
+            return false;
+        }
+        result->engine_stats.threads_used =
+            static_cast<uint32_t>(threads_used);
+    }
     if (!JobStatusFromName(status, &result->status)) {
         return DecodeFail(error, "unknown job status '" + status + "'");
     }
@@ -516,6 +554,7 @@ ServiceConfig::ToServiceOptions() const
     options.schedule_policy = schedule_policy;
     options.plateau_policy = plateau_policy;
     options.metrics_interval_seconds = metrics_interval_seconds;
+    options.engine_threads = engine_threads;
     // Options::obs is deliberately left null: telemetry scopes never
     // cross the wire. The worker builds its own registry/tracer per run
     // (see ShardWorker::HandleRun) and wires them in there.
@@ -536,6 +575,7 @@ ServiceConfig::FromServiceOptions(
     config.plateau_policy = options.plateau_policy;
     config.tracing = options.obs.tracing_enabled();
     config.metrics_interval_seconds = options.metrics_interval_seconds;
+    config.engine_threads = options.engine_threads;
     return config;
 }
 
@@ -606,6 +646,13 @@ EncodeRun(const RunRequest& request)
     if (request.service.heartbeat_interval_seconds > 0.0) {
         json.Key("heartbeat_interval_seconds"),
             json.Value(request.service.heartbeat_interval_seconds);
+    }
+    // v2.3 intra-session parallelism; omitted at the default of 1 so a
+    // single-threaded run encodes byte-identically to a v2.2 one.
+    if (request.service.engine_threads > 1) {
+        json.Key("engine_threads"),
+            json.Value(static_cast<uint64_t>(
+                request.service.engine_threads));
     }
     json.Key("plateau");
     json.BeginObject();
@@ -829,6 +876,16 @@ DecodeMessage(const std::string& line, Message* message,
             !ReadDouble(*svc, "heartbeat_interval_seconds",
                         &run.service.heartbeat_interval_seconds, error)) {
             return false;
+        }
+        // v2.3 intra-session parallelism: optional, default 1 when a
+        // pre-v2.3 coordinator omits it.
+        if (svc->Find("engine_threads") != nullptr) {
+            uint64_t engine_threads = 1;
+            if (!ReadU64(*svc, "engine_threads", &engine_threads, error)) {
+                return false;
+            }
+            run.service.engine_threads =
+                static_cast<uint32_t>(engine_threads);
         }
         if (!SchedulePolicyFromName(policy,
                                     &run.service.schedule_policy)) {

@@ -46,8 +46,11 @@ constexpr int kProtocolVersion = 2;
 /// when the run request asked for them, so a v2.1 coordinator (which
 /// never asks) never sees the new message type. A v2.0 peer ignores
 /// unknown optional fields and omits them on send; decoders default
-/// every v2.1/v2.2 field.
-constexpr int kProtocolVersionMinor = 2;
+/// every v2.1/v2.2 field. v2.3: optional "engine_threads" in the kRun
+/// service config and optional "exploration_threads" per job spec
+/// (intra-session parallel exploration); both omitted at their default
+/// of 1, so a single-threaded run encodes byte-identically to v2.2.
+constexpr int kProtocolVersionMinor = 3;
 
 enum class MessageType {
     kHello,      ///< worker -> coordinator: ready, protocol version.
@@ -95,6 +98,10 @@ struct ServiceConfig {
     /// since the previous beat, so the coordinator can requeue only the
     /// genuinely unfinished remainder when the shard later dies.
     double heartbeat_interval_seconds = 0.0;
+    /// v2.3: default intra-session exploration threads per job on the
+    /// worker (clamped there against its core budget); 1 (the pre-v2.3
+    /// behavior) keeps sessions single-threaded.
+    uint32_t engine_threads = 1;
 
     service::ExplorationService::Options ToServiceOptions() const;
     static ServiceConfig FromServiceOptions(

@@ -4,7 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
+#include <set>
+#include <thread>
+#include <vector>
 
 #include "cupa/strategy.h"
 #include "lowlevel/runtime.h"
@@ -35,7 +39,7 @@ TEST(RandomStrategy, AddRemoveSelect)
     strategy.OnStateAdded(MakeState(2, 0, 0));
     EXPECT_EQ(strategy.size(), 2u);
     strategy.OnStateRemoved(1);
-    EXPECT_EQ(strategy.SelectState(), 2u);
+    EXPECT_EQ(strategy.ClaimState(), 2u);
     strategy.OnStateRemoved(2);
     EXPECT_TRUE(strategy.empty());
     // Removing an unknown id is a no-op.
@@ -48,7 +52,7 @@ TEST(DfsStrategy, PicksNewest)
     strategy.OnStateAdded(MakeState(5, 0, 0));
     strategy.OnStateAdded(MakeState(9, 0, 0));
     strategy.OnStateAdded(MakeState(7, 0, 0));
-    EXPECT_EQ(strategy.SelectState(), 9u);
+    EXPECT_EQ(strategy.ClaimState(), 9u);
 }
 
 TEST(BfsStrategy, PicksOldest)
@@ -57,7 +61,7 @@ TEST(BfsStrategy, PicksOldest)
     strategy.OnStateAdded(MakeState(5, 0, 0));
     strategy.OnStateAdded(MakeState(9, 0, 0));
     strategy.OnStateAdded(MakeState(3, 0, 0));
-    EXPECT_EQ(strategy.SelectState(), 3u);
+    EXPECT_EQ(strategy.ClaimState(), 3u);
 }
 
 TEST(CupaStrategy, SelectsFromSingleClass)
@@ -66,7 +70,7 @@ TEST(CupaStrategy, SelectsFromSingleClass)
     Rng rng(7);
     auto strategy = MakePathOptimizedCupa(&tree, &rng);
     strategy->OnStateAdded(MakeState(1, 10, 100));
-    EXPECT_EQ(strategy->SelectState(), 1u);
+    EXPECT_EQ(strategy->ClaimState(), 1u);
 }
 
 TEST(CupaStrategy, RemovalPrunesClasses)
@@ -78,7 +82,7 @@ TEST(CupaStrategy, RemovalPrunesClasses)
     strategy->OnStateAdded(MakeState(2, 20, 100));
     strategy->OnStateRemoved(1);
     EXPECT_EQ(strategy->size(), 1u);
-    EXPECT_EQ(strategy->SelectState(), 2u);
+    EXPECT_EQ(strategy->ClaimState(), 2u);
     strategy->OnStateRemoved(2);
     EXPECT_TRUE(strategy->empty());
 }
@@ -102,7 +106,7 @@ TEST(CupaStrategy, ClassUniformityHoldsUnderSkewedPopulation)
     int class_b = 0;
     const int trials = 4000;
     for (int i = 0; i < trials; ++i) {
-        const StateId picked = strategy->SelectState();
+        const StateId picked = strategy->ClaimState();
         if (picked == 1) {
             ++class_a;
         } else {
@@ -128,7 +132,7 @@ TEST(RandomStrategy, UniformOverStatesIsBiasedTowardBigClasses)
     int class_a = 0;
     const int trials = 4000;
     for (int i = 0; i < trials; ++i) {
-        if (strategy.SelectState() == 1) {
+        if (strategy.ClaimState() == 1) {
             ++class_a;
         }
     }
@@ -149,7 +153,7 @@ TEST(CupaStrategy, SecondLevelPartitionsByLlpc)
     int site_a = 0;
     const int trials = 3000;
     for (int i = 0; i < trials; ++i) {
-        if (strategy->SelectState() == 1) {
+        if (strategy->ClaimState() == 1) {
             ++site_a;
         }
     }
@@ -172,7 +176,7 @@ TEST(CoverageCupa, WeighsClassesByDistance)
     int near = 0;
     const int trials = 4000;
     for (int i = 0; i < trials; ++i) {
-        if (strategy->SelectState() == 1) {
+        if (strategy->ClaimState() == 1) {
             ++near;
         }
     }
@@ -210,13 +214,108 @@ TEST(CoverageCupa, WeighsStatesByForkWeightFromTree)
     int recent = 0;
     const int trials = 4000;
     for (int i = 0; i < trials; ++i) {
-        if (strategy->SelectState() == 2) {
+        if (strategy->ClaimState() == 2) {
             ++recent;
         }
     }
     // Expected share = 1 / (1 + 0.75) ~= 0.571.
     EXPECT_GT(recent, trials * 0.50);
     EXPECT_LT(recent, trials * 0.65);
+}
+
+
+// ---------------------------------------------------------------------------
+// Concurrent claim/release protocol (run under ThreadSanitizer in CI).
+// ---------------------------------------------------------------------------
+
+// Several worker threads concurrently register states on a shared tree
+// (each along its own path) and drive the strategy through the tree's
+// claim protocol, occasionally handing claims back or marking them
+// infeasible. Every registered state must be finalized at most once and
+// the pending/finalized accounting must balance.
+TEST(StrategyConcurrency, ClaimReleaseCompleteAcrossThreads)
+{
+    lowlevel::ExecutionTree tree;
+    Rng rng(7);
+    std::unique_ptr<CupaStrategy> strategy =
+        MakePathOptimizedCupa(&tree, &rng);
+    tree.set_on_pending_removed(
+        [&strategy](StateId id) { strategy->OnStateRemoved(id); });
+    tree.set_on_state_added([&strategy](const AlternateState& state) {
+        strategy->OnStateAdded(state);
+    });
+
+    constexpr int kThreads = 4;
+    constexpr int kBranchesPerThread = 32;
+    const solver::ExprRef cond = solver::MakeVar(1, "v", 1);
+    const solver::ExprRef negated = solver::MakeBoolNot(cond);
+
+    std::vector<std::vector<StateId>> finalized(kThreads);
+    std::atomic<uint64_t> infeasible{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            // Produce: walk a thread-unique path (the first two branch
+            // directions encode the thread id) registering alternates.
+            lowlevel::ExecutionTree::Cursor cursor;
+            tree.BeginRun(cursor);
+            for (int k = 0; k < kBranchesPerThread; ++k) {
+                const bool taken = k < 2 ? ((t >> k) & 1) != 0 : true;
+                tree.Advance(cursor, 1000 + static_cast<uint64_t>(k), taken,
+                             cond, negated,
+                             lowlevel::HlPosition{
+                                 static_cast<uint64_t>(k),
+                                 static_cast<uint64_t>(k), 1});
+            }
+            // Consume: claim through the tree, resolving each lease.
+            int releases_left = kBranchesPerThread;
+            int claimed_count = 0;
+            AlternateState state;
+            while (tree.ClaimState(
+                [&strategy] {
+                    return strategy->empty() ? StateId(0)
+                                             : strategy->ClaimState();
+                },
+                &state)) {
+                ++claimed_count;
+                if (releases_left > 0 && claimed_count % 4 == 0) {
+                    --releases_left;
+                    tree.ReleaseClaim(state);
+                    continue;
+                }
+                if (state.id % 7 == 0) {
+                    tree.MarkInfeasible(state);
+                    infeasible.fetch_add(1);
+                } else {
+                    tree.CompleteClaim(state.id);
+                }
+                finalized[t].push_back(state.id);
+            }
+        });
+    }
+    for (std::thread& thread : threads) {
+        thread.join();
+    }
+
+    std::set<StateId> unique;
+    size_t total_finalized = 0;
+    for (const std::vector<StateId>& ids : finalized) {
+        for (StateId id : ids) {
+            EXPECT_TRUE(unique.insert(id).second)
+                << "state " << id << " finalized twice";
+            ++total_finalized;
+        }
+    }
+    EXPECT_EQ(tree.states_in_flight(), 0u);
+    // Quiescent now: every registered state was finalized exactly once,
+    // is still pending (a thread may exit while a release from another
+    // thread is about to re-announce a state), or was overtaken — dropped
+    // by Advance when a concurrent run explored its direction before any
+    // consumer claimed it.
+    EXPECT_EQ(total_finalized + tree.pending().size() +
+                  tree.states_overtaken(),
+              tree.total_registered());
+    EXPECT_EQ(strategy->size(), tree.pending().size());
 }
 
 }  // namespace

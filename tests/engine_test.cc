@@ -7,9 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <set>
+#include <thread>
 
 #include "chef/engine.h"
+#include "support/strings.h"
 
 namespace chef {
 namespace {
@@ -302,6 +306,251 @@ TEST(Engine, DeterministicUnderSeed)
         return inputs_flat;
     };
     EXPECT_EQ(run_once(42), run_once(42));
+}
+
+
+// ---------------------------------------------------------------------------
+// Parallel exploration: determinism contract + wind-down behavior.
+// ---------------------------------------------------------------------------
+
+/// Golden guest for the bit-identity regression: a mix of branch streaks at
+/// one site, an assume-retry path, and input-dependent control flow.
+/// Literal LLPCs (not CHEF_LLPC) so the digest is independent of this
+/// file's path and line numbers.
+Engine::GuestOutcome
+GoldenGuest(LowLevelRuntime& rt)
+{
+    SymValue a = rt.MakeSymbolicValue("a", 8, 10);
+    SymValue b = rt.MakeSymbolicValue("b", 8, 200);
+    SymValue c = rt.MakeSymbolicValue("c", 8, 3);
+    rt.LogPc(1, 2);
+    uint64_t acc = 0;
+    for (int i = 0; i < 4; ++i) {
+        rt.LogPc(10 + static_cast<uint64_t>(i), 3);
+        if (rt.Branch(
+                lowlevel::SvUlt(
+                    lowlevel::SvAdd(a, SymValue(
+                                           static_cast<uint64_t>(i) * 17, 8)),
+                    b),
+                7777)) {
+            acc += 1;
+            rt.LogPc(20 + static_cast<uint64_t>(i), 1);
+        } else {
+            rt.LogPc(30 + static_cast<uint64_t>(i), 1);
+        }
+    }
+    rt.LogPc(50, 2);
+    if (rt.Branch(lowlevel::SvEq(c, SymValue(acc & 0xff, 8)), 8888)) {
+        rt.LogPc(51, 1);
+        rt.Assume(lowlevel::SvUgt(a, SymValue(2, 8)));
+        rt.LogPc(52, 1);
+    } else {
+        rt.LogPc(53, 1);
+    }
+    rt.LogPc(60, 2);
+    if (rt.Branch(lowlevel::SvUlt(lowlevel::SvXor(a, c), b), 9999)) {
+        rt.LogPc(61, 1);
+    } else {
+        rt.LogPc(62, 1);
+    }
+    return {};
+}
+
+/// Digests everything the determinism contract pins: per-test HL
+/// fingerprints, statuses, lengths and complete inputs, plus the
+/// exploration-shape stats. Timeline and wall-clock stats are excluded.
+uint64_t
+SessionDigest(StrategyKind strategy, uint64_t seed, uint32_t threads,
+              bool free_running = false)
+{
+    Engine::Options options;
+    options.strategy = strategy;
+    options.seed = seed;
+    options.max_runs = 64;
+    options.max_seconds = 60.0;
+    options.collect_timeline = false;
+    options.exploration_threads = threads;
+    options.free_running = free_running;
+    Engine engine(options);
+    const std::vector<TestCase> tests = engine.Explore(GoldenGuest);
+    uint64_t digest = 0xcbf29ce484222325ull;
+    for (const TestCase& test : tests) {
+        digest = HashCombine(digest, test.hl_path_fingerprint);
+        digest = HashCombine(digest, static_cast<uint64_t>(test.status));
+        digest = HashCombine(digest, test.hl_length);
+        for (const auto& [var, value] : test.inputs.entries()) {
+            digest = HashCombine(digest, var);
+            digest = HashCombine(digest, value);
+        }
+    }
+    const EngineStats& stats = engine.stats();
+    digest = HashCombine(digest, stats.ll_paths);
+    digest = HashCombine(digest, stats.hl_paths);
+    digest = HashCombine(digest, stats.states_registered);
+    digest = HashCombine(digest, stats.infeasible_states);
+    digest = HashCombine(digest, stats.assume_retries);
+    return digest;
+}
+
+// Golden digests captured from the pre-refactor serial engine (PR 8 tree).
+// exploration_threads = 1 must keep reproducing these bit-for-bit.
+TEST(EngineParallel, SerialPathBitIdenticalToPreRefactorEngine)
+{
+    const struct {
+        StrategyKind strategy;
+        uint64_t seed;
+        uint64_t digest;
+    } kGolden[] = {
+        {StrategyKind::kRandom, 1ull, 0x068784a2759f82a0ull},
+        {StrategyKind::kRandom, 42ull, 0xca2b00389b6274a4ull},
+        {StrategyKind::kDfs, 1ull, 0x2f07e68b3918b941ull},
+        {StrategyKind::kDfs, 42ull, 0x2f07e68b3918b941ull},
+        {StrategyKind::kBfs, 1ull, 0x98643f5de6c71e91ull},
+        {StrategyKind::kBfs, 42ull, 0x98643f5de6c71e91ull},
+        {StrategyKind::kCupaPath, 1ull, 0x3f4f124163cce5deull},
+        {StrategyKind::kCupaPath, 42ull, 0x2cbd7864cb409844ull},
+        {StrategyKind::kCupaCoverage, 1ull, 0xcae8f67f9c61359bull},
+        {StrategyKind::kCupaCoverage, 42ull, 0x726b7dae98c97713ull},
+    };
+    for (const auto& golden : kGolden) {
+        EXPECT_EQ(SessionDigest(golden.strategy, golden.seed, 1),
+                  golden.digest)
+            << StrategyKindName(golden.strategy) << " seed " << golden.seed;
+    }
+}
+
+// Deterministic round mode: the full digest (inputs, fingerprints, stats)
+// is invariant in the number of exploration threads, for every strategy.
+TEST(EngineParallel, RoundModeInvariantInThreadCount)
+{
+    const StrategyKind kinds[] = {
+        StrategyKind::kRandom,
+        StrategyKind::kDfs,
+        StrategyKind::kBfs,
+        StrategyKind::kCupaPath,
+        StrategyKind::kCupaCoverage,
+    };
+    for (const StrategyKind kind : kinds) {
+        const uint64_t two = SessionDigest(kind, 42, 2);
+        const uint64_t three = SessionDigest(kind, 42, 3);
+        const uint64_t four = SessionDigest(kind, 42, 4);
+        EXPECT_EQ(two, three) << StrategyKindName(kind);
+        EXPECT_EQ(two, four) << StrategyKindName(kind);
+    }
+}
+
+// On an exhaustively explorable guest, round mode reaches exactly the
+// serial engine's HL-path fingerprint set (the corpus-parity contract).
+TEST(EngineParallel, RoundModeReachesSerialFingerprintSet)
+{
+    auto fingerprints = [](uint32_t threads) {
+        Engine::Options options;
+        options.max_runs = 100;
+        options.strategy = StrategyKind::kCupaPath;
+        options.exploration_threads = threads;
+        Engine engine(options);
+        std::set<uint64_t> set;
+        for (const TestCase& test : engine.Explore(ThreeBranchGuest)) {
+            set.insert(test.hl_path_fingerprint);
+        }
+        EXPECT_EQ(engine.stats().ll_paths, 8u);
+        return set;
+    };
+    EXPECT_EQ(fingerprints(1), fingerprints(4));
+}
+
+// Free-running mode gives up ordering determinism but must still explore
+// the same path set when the guest is exhaustible.
+TEST(EngineParallel, FreeRunningReachesSerialFingerprintSet)
+{
+    Engine::Options options;
+    options.max_runs = 100;
+    options.strategy = StrategyKind::kCupaPath;
+    options.exploration_threads = 4;
+    options.free_running = true;
+    Engine engine(options);
+    std::set<uint64_t> parallel_set;
+    for (const TestCase& test : engine.Explore(ThreeBranchGuest)) {
+        parallel_set.insert(test.hl_path_fingerprint);
+    }
+    EXPECT_EQ(engine.stats().ll_paths, 8u);
+    EXPECT_EQ(engine.stats().threads_used, 4u);
+
+    Engine::Options serial_options;
+    serial_options.max_runs = 100;
+    serial_options.strategy = StrategyKind::kCupaPath;
+    Engine serial_engine(serial_options);
+    std::set<uint64_t> serial_set;
+    for (const TestCase& test : serial_engine.Explore(ThreeBranchGuest)) {
+        serial_set.insert(test.hl_path_fingerprint);
+    }
+    EXPECT_EQ(parallel_set, serial_set);
+}
+
+// Free-running assume-retry: the retry chain must keep the worker's work
+// token so exhaustion is not declared while a retry is about to rerun.
+TEST(EngineParallel, FreeRunningHandlesAssumeRetries)
+{
+    Engine::Options options;
+    options.max_runs = 100;
+    options.exploration_threads = 3;
+    options.free_running = true;
+    Engine engine(options);
+    const std::vector<TestCase> tests =
+        engine.Explore(AssumeViolatedByDefaultGuest);
+    EXPECT_GE(engine.stats().assume_retries, 1u);
+    ASSERT_EQ(tests.size(), 1u);
+    EXPECT_GT(tests[0].inputs.Get(1), 100u);
+    EXPECT_NE(tests[0].status, PathStatus::kAssumeViolated);
+}
+
+/// Guest with plenty of states whose runs take a measurable ~10ms each, so
+/// a stop request provably lands mid-round.
+Engine::GuestOutcome
+SlowDeepGuest(LowLevelRuntime& rt)
+{
+    SymValue x = rt.MakeSymbolicValue("x", 8, 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    uint64_t hlpc = 1;
+    for (int i = 0; i < 6; ++i) {
+        rt.LogPc(hlpc++, kOpCmp);
+        rt.Branch(SvUgt(x, SymValue(static_cast<uint64_t>(i) * 20, 8)),
+                  1000 + static_cast<uint64_t>(i));
+    }
+    rt.LogPc(hlpc, kOpStmt);
+    return {};
+}
+
+// A stop request fired mid-round lets in-flight runs finish, skips queued
+// ones, commits what completed, and returns promptly — it does not run the
+// session anywhere near its budget.
+TEST(EngineParallel, MidRoundStopWindsDownWorkersPromptly)
+{
+    std::atomic<uint64_t> runs_started{0};
+    Engine::Options options;
+    options.max_runs = 500;
+    options.max_seconds = 60.0;
+    options.exploration_threads = 4;
+    options.round_width = 8;
+    options.stop_requested = [&runs_started] {
+        return runs_started.load() >= 3;
+    };
+    Engine engine(options);
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<TestCase> tests =
+        engine.Explore([&runs_started](LowLevelRuntime& rt) {
+            runs_started.fetch_add(1);
+            return SlowDeepGuest(rt);
+        });
+    const double took =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_TRUE(engine.stats().stopped);
+    // Far below the 500-run / 60s budget: a handful of runs at most.
+    EXPECT_LT(engine.stats().ll_paths, 50u);
+    EXPECT_LT(took, 10.0);
+    // Committed completed runs survive the stop.
+    EXPECT_EQ(tests.size(), engine.stats().ll_paths);
 }
 
 }  // namespace

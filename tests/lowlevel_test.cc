@@ -83,10 +83,12 @@ TEST(ExecTree, RegistersAlternateOnFirstBranch)
                                      solver::MakeConst(1, 8));
     tree.BeginRun();
     auto result = tree.Advance(100, true, cond, solver::MakeBoolNot(cond));
-    ASSERT_NE(result.registered, nullptr);
-    EXPECT_EQ(result.registered->llpc, 100u);
-    EXPECT_FALSE(result.registered->direction);
-    EXPECT_EQ(result.registered->path_condition.size(), 1u);
+    ASSERT_NE(result.registered, 0u);
+    const AlternateState* state = tree.FindPending(result.registered);
+    ASSERT_NE(state, nullptr);
+    EXPECT_EQ(state->llpc, 100u);
+    EXPECT_FALSE(state->direction);
+    EXPECT_EQ(state->path_condition.size(), 1u);
     EXPECT_EQ(tree.pending().size(), 1u);
 }
 
@@ -101,7 +103,7 @@ TEST(ExecTree, NoDuplicateRegistration)
     // Second run takes the same direction: no new registration.
     tree.BeginRun();
     auto result = tree.Advance(100, true, cond, negated);
-    EXPECT_EQ(result.registered, nullptr);
+    EXPECT_EQ(result.registered, 0u);
     EXPECT_EQ(tree.pending().size(), 1u);
 }
 
@@ -116,12 +118,12 @@ TEST(ExecTree, NaturalExplorationRemovesPending)
     const auto negated = solver::MakeBoolNot(cond);
     tree.BeginRun();
     auto first = tree.Advance(100, true, cond, negated);
-    const StateId pending_id = first.registered->id;
+    const StateId pending_id = first.registered;
     // A later run takes the other direction without the strategy ever
     // selecting the alternate: the pending state is consumed.
     tree.BeginRun();
     auto second = tree.Advance(100, false, negated, cond);
-    EXPECT_EQ(second.registered, nullptr);
+    EXPECT_EQ(second.registered, 0u);
     EXPECT_TRUE(tree.pending().empty());
     ASSERT_EQ(removed.size(), 1u);
     EXPECT_EQ(removed[0], pending_id);
@@ -138,10 +140,11 @@ TEST(ExecTree, PathConditionAccumulates)
     auto result = tree.Advance(2, true, c2, solver::MakeBoolNot(c2));
     // The alternate at the second branch carries the first constraint plus
     // the negation of the second.
-    ASSERT_NE(result.registered, nullptr);
-    ASSERT_EQ(result.registered->path_condition.size(), 2u);
-    EXPECT_TRUE(solver::Expr::Equal(result.registered->path_condition[0],
-                                    c1));
+    ASSERT_NE(result.registered, 0u);
+    const AlternateState* alternate = tree.FindPending(result.registered);
+    ASSERT_NE(alternate, nullptr);
+    ASSERT_EQ(alternate->path_condition.size(), 2u);
+    EXPECT_TRUE(solver::Expr::Equal(alternate->path_condition[0], c1));
     EXPECT_EQ(tree.current_path_condition().size(), 2u);
 }
 
@@ -152,7 +155,7 @@ TEST(ExecTree, TakePendingAndMarkInfeasible)
                                      solver::MakeConst(1, 8));
     tree.BeginRun();
     auto result = tree.Advance(7, true, cond, solver::MakeBoolNot(cond));
-    const StateId id = result.registered->id;
+    const StateId id = result.registered;
     AlternateState state = tree.TakePending(id);
     EXPECT_TRUE(tree.pending().empty());
     tree.MarkInfeasible(state);
@@ -160,7 +163,7 @@ TEST(ExecTree, TakePendingAndMarkInfeasible)
     // infeasible direction.
     tree.BeginRun();
     auto again = tree.Advance(7, true, cond, solver::MakeBoolNot(cond));
-    EXPECT_EQ(again.registered, nullptr);
+    EXPECT_EQ(again.registered, 0u);
 }
 
 class RuntimeFixture : public ::testing::Test
@@ -218,7 +221,7 @@ TEST_F(RuntimeFixture, AssumeViolationAbortsPath)
     runtime_.Assume(SvUgt(x, SymValue(100, 8)));  // Concretely false.
     EXPECT_EQ(runtime_.status(), PathStatus::kAssumeViolated);
     // The assumption is still in the path condition for re-solving.
-    EXPECT_EQ(tree_.current_path_condition().size(), 1u);
+    EXPECT_EQ(runtime_.current_path_condition().size(), 1u);
 }
 
 TEST_F(RuntimeFixture, ConcretizeAddsEqualityConstraint)
@@ -226,10 +229,10 @@ TEST_F(RuntimeFixture, ConcretizeAddsEqualityConstraint)
     runtime_.BeginRun(Assignment());
     SymValue x = runtime_.MakeSymbolicValue("x", 8, 33);
     EXPECT_EQ(runtime_.Concretize(x), 33u);
-    ASSERT_EQ(tree_.current_path_condition().size(), 1u);
+    ASSERT_EQ(runtime_.current_path_condition().size(), 1u);
     // The constraint pins x to 33.
     Assignment model;
-    ASSERT_EQ(solver_.Solve(tree_.current_path_condition(), &model),
+    ASSERT_EQ(solver_.Solve(runtime_.current_path_condition(), &model),
               QueryResult::kSat);
     EXPECT_EQ(model.Get(1), 33u);
 }

@@ -406,6 +406,71 @@ TEST(ExplorationService, SolverCacheSharingIsOptIn)
     EXPECT_EQ(service.stats().shared_cache_hits, 0u);
 }
 
+TEST(ExplorationService, GrantExplorationThreadsClampsToBudget)
+{
+    ExplorationService::Options options;
+    options.num_workers = 2;
+    options.core_budget = 8;  // fair share = 4 per worker.
+    ExplorationService service(options);
+
+    JobSpec spec;
+    spec.workload = "py/argparse";
+
+    // Default request (1 thread) passes through untouched.
+    ExplorationService::ThreadGrant grant =
+        service.GrantExplorationThreads(spec);
+    EXPECT_EQ(grant.threads, 1u);
+    EXPECT_FALSE(grant.wide);
+
+    // A request within the fair share is granted verbatim.
+    spec.options.exploration_threads = 3;
+    grant = service.GrantExplorationThreads(spec);
+    EXPECT_EQ(grant.threads, 3u);
+    EXPECT_FALSE(grant.wide);
+
+    // Above the fair share, a workload with no recorded yield counts as
+    // high-yield and gets a wide session, capped so every other worker
+    // keeps one core: budget 8 - (2 - 1) = 7.
+    spec.options.exploration_threads = 16;
+    grant = service.GrantExplorationThreads(spec);
+    EXPECT_EQ(grant.threads, 7u);
+    EXPECT_TRUE(grant.wide);
+}
+
+TEST(ExplorationService, GrantExplorationThreadsOversubscribedBudget)
+{
+    // More workers than cores: everyone gets exactly one thread, no
+    // matter how many the spec asks for.
+    ExplorationService::Options options;
+    options.num_workers = 4;
+    options.core_budget = 2;
+    ExplorationService service(options);
+
+    JobSpec spec;
+    spec.workload = "py/argparse";
+    spec.options.exploration_threads = 8;
+    const ExplorationService::ThreadGrant grant =
+        service.GrantExplorationThreads(spec);
+    EXPECT_EQ(grant.threads, 1u);
+    EXPECT_FALSE(grant.wide);
+}
+
+TEST(ExplorationService, ServiceDefaultEngineThreadsAppliesWhenSpecSilent)
+{
+    ExplorationService::Options options;
+    options.num_workers = 1;
+    options.core_budget = 4;
+    options.engine_threads = 2;
+    ExplorationService service(options);
+
+    JobSpec spec;
+    spec.workload = "py/argparse";
+    const ExplorationService::ThreadGrant grant =
+        service.GrantExplorationThreads(spec);
+    EXPECT_EQ(grant.threads, 2u);
+    EXPECT_FALSE(grant.wide);
+}
+
 // ---------------------------------------------------------------------------
 // Registry.
 // ---------------------------------------------------------------------------

@@ -142,6 +142,11 @@ RandomSpec(Rng& rng)
     spec.options.branch_opcode_drop_fraction =
         static_cast<double>(rng.Next() % 1000) / 1000.0;
     spec.options.collect_timeline = (rng.Next() & 1) != 0;
+    // 1 half the time (the omitted-on-wire default), 2..8 otherwise.
+    spec.options.exploration_threads =
+        (rng.Next() & 1) != 0
+            ? 1
+            : static_cast<uint32_t>(2 + rng.Next() % 7);
     spec.options.solver_options.enable_query_cache =
         (rng.Next() & 1) != 0;
     spec.options.solver_options.enable_model_reuse =
@@ -178,6 +183,8 @@ ExpectSpecsEqual(const JobSpec& a, const JobSpec& b)
     EXPECT_NEAR(a.options.branch_opcode_drop_fraction,
                 b.options.branch_opcode_drop_fraction, 1e-6);
     EXPECT_EQ(a.options.collect_timeline, b.options.collect_timeline);
+    EXPECT_EQ(a.options.exploration_threads,
+              b.options.exploration_threads);
     const auto& sa = a.options.solver_options;
     const auto& sb = b.options.solver_options;
     EXPECT_EQ(sa.enable_query_cache, sb.enable_query_cache);
@@ -210,6 +217,8 @@ TEST(Wire, RunRequestRoundTripsRandomSpecs)
         request.service.plateau_policy.deprioritize_after =
             rng.Next() % 5;
         request.service.plateau_policy.cancel_after = rng.Next() % 9;
+        request.service.engine_threads =
+            static_cast<uint32_t>(1 + rng.Next() % 4);
         const size_t jobs = 1 + rng.Next() % 5;
         for (size_t i = 0; i < jobs; ++i) {
             WireJob job;
@@ -230,6 +239,8 @@ TEST(Wire, RunRequestRoundTripsRandomSpecs)
         EXPECT_EQ(decoded.service.seed, request.service.seed);
         EXPECT_EQ(decoded.service.num_workers,
                   request.service.num_workers);
+        EXPECT_EQ(decoded.service.engine_threads,
+                  request.service.engine_threads);
         EXPECT_EQ(decoded.service.schedule_policy,
                   request.service.schedule_policy);
         EXPECT_EQ(decoded.service.plateau_policy.enabled,
@@ -328,6 +339,8 @@ TEST(Wire, ResultRoundTripsEntriesStatsAndNonFiniteDoubles)
     result.stats.solver_seconds =
         std::numeric_limits<double>::infinity();
     result.stats.wall_seconds = 2.25;
+    result.stats.engine_threads = 4;
+    result.stats.wide_sessions_granted = 2;
 
     JobResult job;
     job.job_index = 7;
@@ -340,6 +353,7 @@ TEST(Wire, ResultRoundTripsEntriesStatsAndNonFiniteDoubles)
     job.engine_stats.elapsed_seconds =
         -std::numeric_limits<double>::infinity();
     job.engine_stats.hl_paths = 5;
+    job.engine_stats.threads_used = 3;
     result.results.push_back(job);
 
     TestCorpus::Entry entry;
@@ -373,6 +387,8 @@ TEST(Wire, ResultRoundTripsEntriesStatsAndNonFiniteDoubles)
     EXPECT_DOUBLE_EQ(decoded.stats.jobs_per_second, 0.0);
     EXPECT_DOUBLE_EQ(decoded.stats.solver_seconds, 0.0);
     EXPECT_DOUBLE_EQ(decoded.stats.wall_seconds, 2.25);
+    EXPECT_EQ(decoded.stats.engine_threads, 4u);
+    EXPECT_EQ(decoded.stats.wide_sessions_granted, 2u);
     ASSERT_EQ(decoded.results.size(), 1u);
     EXPECT_EQ(decoded.results[0].job_index, 7u);
     EXPECT_EQ(decoded.results[0].status, JobStatus::kCancelled);
@@ -382,6 +398,7 @@ TEST(Wire, ResultRoundTripsEntriesStatsAndNonFiniteDoubles)
     EXPECT_DOUBLE_EQ(decoded.results[0].engine_stats.elapsed_seconds,
                      0.0);
     EXPECT_EQ(decoded.results[0].engine_stats.hl_paths, 5u);
+    EXPECT_EQ(decoded.results[0].engine_stats.threads_used, 3u);
     ASSERT_EQ(decoded.corpus.entries.size(), 1u);
     const TestCorpus::Entry& roundtripped = decoded.corpus.entries[0];
     EXPECT_EQ(roundtripped.workload, entry.workload);
