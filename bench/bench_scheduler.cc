@@ -20,6 +20,10 @@
 ///    wall time of a few repetitions each. The recorder must be cheap
 ///    enough to leave on in production (the regression gate holds this
 ///    bench's total wall time to the checked-in baseline).
+/// 4. Attribution overhead: the bounded batch with the per-location
+///    attribution profiler off vs. on (its default), best of the same
+///    repetition count. Attribution ships enabled, so its cost rides
+///    the same wall-time regression gate as the recorder's.
 ///
 /// Emits one JSON document (default BENCH_scheduler.json) embedding both
 /// configurations' full service reports.
@@ -311,6 +315,55 @@ main(int argc, char** argv)
         overhead_reps, wall_off, wall_on, overhead_fraction * 100.0,
         static_cast<unsigned long long>(recorder_samples));
 
+    // --- Phase 4: attribution profiler overhead. -----------------------
+    const auto run_attributed = [&](bool attribution,
+                                    uint64_t* locations) {
+        ExplorationService::Options options;
+        options.num_workers = workers;
+        options.seed = 2014;
+        options.schedule_policy = SchedulePolicy::kYieldPriority;
+        options.attribution = attribution;
+        ExplorationService service(options);
+        service.RunBatch(bounded);
+        if (locations != nullptr) {
+            *locations = 0;
+            const chef::obs::AttributionSnapshot table =
+                service.attribution();
+            for (const auto& [workload, rows] : table.workloads) {
+                (void)workload;
+                *locations += rows.size();
+            }
+        }
+        return service.stats().wall_seconds;
+    };
+    double attribution_wall_off = 1e9;
+    double attribution_wall_on = 1e9;
+    uint64_t attribution_locations = 0;
+    for (int rep = 0; rep < overhead_reps; ++rep) {
+        attribution_wall_off =
+            std::min(attribution_wall_off, run_attributed(false, nullptr));
+        attribution_wall_on = std::min(
+            attribution_wall_on,
+            run_attributed(true, &attribution_locations));
+    }
+    const double attribution_overhead_fraction =
+        attribution_wall_off > 0.0
+            ? (attribution_wall_on - attribution_wall_off) /
+                  attribution_wall_off
+            : 0.0;
+    std::printf(
+        "attribution overhead (best of %d): off %.3fs, on %.3fs "
+        "(%+.1f%%, %llu locations)\n",
+        overhead_reps, attribution_wall_off, attribution_wall_on,
+        attribution_overhead_fraction * 100.0,
+        static_cast<unsigned long long>(attribution_locations));
+    if (attribution_locations == 0) {
+        std::fprintf(stderr,
+                     "FAIL: attribution-enabled run charged no "
+                     "locations\n");
+        ok = false;
+    }
+
     bench.Config("bounded_jobs", bounded.size());
     bench.Config("skewed_jobs", skewed.size());
     bench.Config("budget_seconds", budget);
@@ -325,6 +378,11 @@ main(int argc, char** argv)
     bench.Metric("recorder_wall_on", wall_on);
     bench.Metric("recorder_overhead_fraction", overhead_fraction);
     bench.Metric("recorder_samples", recorder_samples);
+    bench.Metric("attribution_wall_off", attribution_wall_off);
+    bench.Metric("attribution_wall_on", attribution_wall_on);
+    bench.Metric("attribution_overhead_fraction",
+                 attribution_overhead_fraction);
+    bench.Metric("attribution_locations", attribution_locations);
     bench.Report("fifo", fifo.report_json);
     bench.Report("priority_plateau", priority.report_json);
     if (!bench.Write(report_path)) {

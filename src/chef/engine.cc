@@ -181,6 +181,18 @@ Engine::Engine(Options options)
     tree_.set_on_state_added(
         [this](const lowlevel::AlternateState& state) {
             strategy_->OnStateAdded(state);
+            // Fork attribution: state ids are monotone, so the
+            // high-water mark charges each registered state exactly
+            // once (ReleaseClaim re-announces with an old id). The
+            // hook runs under the tree lock; in round mode all
+            // registrations happen on the serial commit path, so the
+            // charge order is thread-count-invariant.
+            if (options_.obs.attribution != nullptr &&
+                state.id > attr_last_fork_id_) {
+                attr_last_fork_id_ = state.id;
+                options_.obs.attribution->Charge(
+                    state.static_hlpc, obs::AttributionProfiler::kForks);
+            }
         });
 }
 
@@ -248,6 +260,10 @@ Engine::ExploreSerial(const RunFn& run)
 
     std::vector<TestCase> test_cases;
     solver::Assignment assignment;  // First run uses declared defaults.
+    // Attribution origin of the upcoming run: the hl_pc of the claimed
+    // state it explores, 0 for the defaults run and assume retries —
+    // matching round mode, where carryover items carry no claim.
+    uint64_t run_origin = 0;
     // Whether the loop actually exited because of the cancellation hook
     // (recorded at the exit points: re-evaluating the hook after the loop
     // would misreport a naturally completed session whose budget expires
@@ -281,18 +297,23 @@ Engine::ExploreSerial(const RunFn& run)
                     .count());
         }
         stats_.states_registered += run_stats.registered_states;
+        ChargeRunAttribution(
+            run_origin, hl_info.is_new_path,
+            run_stats.status == lowlevel::PathStatus::kAssumeViolated);
 
         if (run_stats.status == lowlevel::PathStatus::kAssumeViolated) {
             // The inputs violate a test assumption. Re-solve the current
             // path condition (which includes the assumption) and rerun.
             ++stats_.assume_retries;
             solver::Assignment model;
+            const obs::ScopedLocation solve_location(LastTraceLocation());
             if (solver_.Solve(runtime_.current_path_condition(), &model) !=
                 solver::QueryResult::kSat) {
                 // The symbolic test's assumptions are unsatisfiable on
                 // this path prefix; fall through to state selection.
             } else {
                 assignment = model;
+                run_origin = 0;
                 continue;
             }
         } else {
@@ -355,12 +376,20 @@ Engine::ExploreSerial(const RunFn& run)
                     [this] { return strategy_->ClaimState(); }, &state)) {
                 break;
             }
+            frontier_inspector_.RecordPick(
+                StrategyKindName(options_.strategy), state.static_hlpc,
+                state.depth);
             solver::Assignment model;
-            const solver::QueryResult result =
-                solver_.Solve(state.path_condition, &model);
+            solver::QueryResult result;
+            {
+                const obs::ScopedLocation solve_location(
+                    state.static_hlpc);
+                result = solver_.Solve(state.path_condition, &model);
+            }
             if (result == solver::QueryResult::kSat) {
                 tree_.CompleteClaim(state.id);
                 assignment = model;
+                run_origin = state.static_hlpc;
                 found = true;
                 break;
             }
@@ -383,6 +412,41 @@ Engine::ExploreSerial(const RunFn& run)
     return test_cases;
 }
 
+void
+Engine::ChargeRunAttribution(uint64_t origin_hlpc, bool new_hl_path,
+                             bool assume_violated)
+{
+    obs::AttributionProfiler* profiler = options_.obs.attribution;
+    if (profiler == nullptr) {
+        return;
+    }
+    // One step per trace entry, linked to its predecessor so the
+    // folded-stack export can reconstruct discovery chains.
+    uint64_t previous = obs::kAttributionNoParent;
+    for (const uint64_t hl_pc : tracker_.current_trace()) {
+        profiler->ChargeWithParent(hl_pc, previous,
+                                   obs::AttributionProfiler::kSteps);
+        previous = hl_pc;
+    }
+    profiler->Charge(origin_hlpc, obs::AttributionProfiler::kRuns);
+    if (assume_violated) {
+        profiler->Charge(LastTraceLocation(),
+                         obs::AttributionProfiler::kAssumeFailures);
+    } else if (new_hl_path) {
+        // Yield: the fingerprint is credited to the location whose
+        // alternate state led to this run.
+        profiler->Charge(origin_hlpc,
+                         obs::AttributionProfiler::kNewFingerprints);
+    }
+}
+
+uint64_t
+Engine::LastTraceLocation() const
+{
+    const std::vector<uint64_t>& trace = tracker_.current_trace();
+    return trace.empty() ? 0 : trace.back();
+}
+
 bool
 Engine::CommitRun(const RoundItem& item, double t_now,
                   std::vector<TestCase>* test_cases,
@@ -392,6 +456,10 @@ Engine::CommitRun(const RoundItem& item, double t_now,
     const lowlevel::RunStats replay = runtime_.CommitRecordedRun(item.log);
     const hll::HlPathInfo hl_info = tracker_.EndRun();
     stats_.states_registered += replay.registered_states;
+    ChargeRunAttribution(
+        item.from_pending ? item.claimed.static_hlpc : 0,
+        hl_info.is_new_path,
+        item.run_stats.status == lowlevel::PathStatus::kAssumeViolated);
     if (item.from_pending) {
         tree_.CompleteClaim(item.claimed.id);
     }
@@ -399,6 +467,7 @@ Engine::CommitRun(const RoundItem& item, double t_now,
     if (item.run_stats.status == lowlevel::PathStatus::kAssumeViolated) {
         ++stats_.assume_retries;
         solver::Assignment model;
+        const obs::ScopedLocation solve_location(LastTraceLocation());
         if (retry_solver->Solve(runtime_.current_path_condition(), &model) ==
             solver::QueryResult::kSat) {
             *retry = std::move(model);
@@ -512,9 +581,16 @@ Engine::ExploreRounds(const RunFn& run)
                 if (m_par_claims_ != nullptr) {
                     m_par_claims_->Add();
                 }
+                frontier_inspector_.RecordPick(
+                    StrategyKindName(options_.strategy),
+                    state.static_hlpc, state.depth);
                 solver::Assignment model;
-                const solver::QueryResult result =
-                    solver_.Solve(state.path_condition, &model);
+                solver::QueryResult result;
+                {
+                    const obs::ScopedLocation solve_location(
+                        state.static_hlpc);
+                    result = solver_.Solve(state.path_condition, &model);
+                }
                 if (result == solver::QueryResult::kSat) {
                     RoundItem item;
                     item.assignment = std::move(model);
@@ -700,6 +776,9 @@ Engine::ExploreFreeRunning(const RunFn& run)
                         if (m_par_claims_ != nullptr) {
                             m_par_claims_->Add();
                         }
+                        frontier_inspector_.RecordPick(
+                            StrategyKindName(options_.strategy),
+                            claimed.static_hlpc, claimed.depth);
                         from_pending = true;
                         ++busy;
                         break;
@@ -721,8 +800,13 @@ Engine::ExploreFreeRunning(const RunFn& run)
                     // Solve on this worker's own solver, in parallel with
                     // other workers' solves and runs.
                     solver::Assignment model;
-                    const solver::QueryResult result =
-                        context.solver.Solve(claimed.path_condition, &model);
+                    solver::QueryResult result;
+                    {
+                        const obs::ScopedLocation solve_location(
+                            claimed.static_hlpc);
+                        result = context.solver.Solve(
+                            claimed.path_condition, &model);
+                    }
                     if (result != solver::QueryResult::kSat) {
                         std::lock_guard<std::mutex> lock(coord);
                         tree_.MarkInfeasible(claimed);
@@ -848,6 +932,11 @@ Engine::FinalizeStats(
         m_par_contention_->Add(stats_.claim_contention);
     }
     stats_.elapsed_seconds = elapsed_seconds;
+    if (options_.obs.attribution != nullptr) {
+        stats_.attribution = options_.obs.attribution->Snapshot();
+    }
+    stats_.frontier = tree_.SnapshotFrontier();
+    stats_.frontier.strategy_picks = frontier_inspector_.PickCounts();
 }
 
 }  // namespace chef

@@ -40,6 +40,7 @@
 #include "hll/hl_tracker.h"
 #include "lowlevel/exec_tree.h"
 #include "lowlevel/runtime.h"
+#include "obs/attribution.h"
 #include "solver/solver.h"
 #include "support/rng.h"
 
@@ -133,6 +134,18 @@ struct EngineStats {
         uint64_t hl_paths = 0;
     };
     std::vector<Sample> timeline;
+
+    /// Per-location cost/yield table (obs/attribution.h). Empty unless
+    /// Options::obs.attribution was set; the engine charges steps,
+    /// forks, runs, assume-failures and new fingerprints on the serial
+    /// commit path (thread-count-invariant in round mode) and the
+    /// solver charges wall time per query, then FinalizeStats snapshots
+    /// the profiler here.
+    obs::AttributionSnapshot attribution;
+    /// Frontier view at session end: pending depth histogram, tree
+    /// branching factor, lease ages, and per-strategy pick counts from
+    /// the strategy-decision audit ring.
+    obs::FrontierSnapshot frontier;
 };
 
 /// The engine. Owns the execution tree, solver, runtime, tracker, and
@@ -251,6 +264,18 @@ class Engine
                    std::vector<TestCase>* test_cases,
                    solver::Solver* retry_solver, solver::Assignment* retry);
 
+    /// Charges one committed run to the attribution profiler: a step
+    /// per trace entry (with discovery-parent links), the run and its
+    /// fingerprint yield to the originating location, assume-failures
+    /// to the violation site. Called on the serial commit path only, so
+    /// the charges are thread-count-invariant in round mode. No-op
+    /// without Options::obs.attribution.
+    void ChargeRunAttribution(uint64_t origin_hlpc, bool new_hl_path,
+                              bool assume_violated);
+    /// The last high-level location of the just-committed trace (0 when
+    /// the run recorded none) — the assume-violation site.
+    uint64_t LastTraceLocation() const;
+
     void FinalizeStats(
         double elapsed_seconds,
         const std::vector<std::unique_ptr<WorkerContext>>& workers);
@@ -274,6 +299,14 @@ class Engine
     hll::HlpcTracker tracker_;
     std::unique_ptr<cupa::SearchStrategy> strategy_;
     EngineStats stats_;
+    /// Strategy-decision audit ring (claims record strategy, hl_pc,
+    /// depth); folded into stats_.frontier at FinalizeStats.
+    obs::FrontierInspector frontier_inspector_;
+    /// High-water mark over announced state ids: ReleaseClaim
+    /// re-announces a state through the state-added hook, so fork
+    /// charges fire only for ids above the mark (exactly once per
+    /// registered state; the hook runs under the tree lock).
+    lowlevel::StateId attr_last_fork_id_ = 0;
 };
 
 }  // namespace chef

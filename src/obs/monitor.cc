@@ -71,4 +71,17 @@ std::string RenderMonitorFrame(const ClusterSeries& series,
     return out;
 }
 
+std::string RenderMonitorFrame(const ClusterSeries& series,
+                               double window_seconds,
+                               const AttributionSnapshot* attribution,
+                               size_t top_locations)
+{
+    std::string out = RenderMonitorFrame(series, window_seconds);
+    if (attribution != nullptr && !attribution->empty()) {
+        out += "\n";
+        out += RenderHotLocations(*attribution, top_locations);
+    }
+    return out;
+}
+
 }  // namespace chef::obs

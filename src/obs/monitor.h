@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "obs/attribution.h"
 #include "obs/timeseries.h"
 
 namespace chef::obs {
@@ -24,6 +25,16 @@ namespace chef::obs {
 /// hits zero).
 std::string RenderMonitorFrame(const ClusterSeries& series,
                                double window_seconds);
+
+/// Same frame plus a "hot locations" panel (obs::RenderHotLocations on
+/// \p attribution): top locations by solver cost and by fingerprint
+/// yield per solver second. \p attribution may be null or empty — the
+/// panel is simply omitted, so callers can pass whatever the cluster
+/// view currently holds.
+std::string RenderMonitorFrame(const ClusterSeries& series,
+                               double window_seconds,
+                               const AttributionSnapshot* attribution,
+                               size_t top_locations = 5);
 
 }  // namespace chef::obs
 

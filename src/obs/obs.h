@@ -19,6 +19,7 @@
 
 namespace chef::obs {
 
+class AttributionProfiler;
 class TimeSeriesRecorder;
 
 struct ObsContext {
@@ -29,6 +30,10 @@ struct ObsContext {
     /// sampler thread at the recorder's cadence for the life of the
     /// batch.
     TimeSeriesRecorder* timeseries = nullptr;
+    /// Per-location cost/yield accounting (see obs/attribution.h).
+    /// Installed per job by ExplorationService::RunJob; Solver::Solve
+    /// charges wall time to the ambient location through it.
+    AttributionProfiler* attribution = nullptr;
 
     bool metrics_enabled() const { return metrics != nullptr; }
     bool tracing_enabled() const
@@ -39,6 +44,7 @@ struct ObsContext {
     {
         return timeseries != nullptr && metrics != nullptr;
     }
+    bool attribution_enabled() const { return attribution != nullptr; }
 };
 
 }  // namespace chef::obs

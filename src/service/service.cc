@@ -10,6 +10,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/attribution.h"
 #include "obs/obs.h"
 #include "obs/timeseries.h"
 #include "support/json.h"
@@ -196,6 +197,16 @@ ExplorationService::RunJob(const JobSpec& spec, size_t job_index,
         engine_options.obs.tracer == nullptr) {
         engine_options.obs = options_.obs;
     }
+    // One profiler per job, bound to the job's workload. Stack-owned:
+    // the engine snapshots it into its stats before Explore returns,
+    // and the solver pointers it flows to die with the engine.
+    std::unique_ptr<obs::AttributionProfiler> profiler;
+    if (options_.attribution &&
+        engine_options.obs.attribution == nullptr) {
+        profiler =
+            std::make_unique<obs::AttributionProfiler>(spec.workload);
+        engine_options.obs.attribution = profiler.get();
+    }
     if (shared_cache_ != nullptr) {
         // Batch-level sharing overrides any cache the spec carried: one
         // cache per batch is the unit the stats and report describe.
@@ -284,7 +295,18 @@ ExplorationService::RunJob(const JobSpec& spec, size_t job_index,
         options_.obs.metrics->histogram("service.job_seconds")
             ->Record(SecondsSince(start));
     }
+    if (!result.engine_stats.attribution.empty()) {
+        std::lock_guard<std::mutex> lock(attribution_mutex_);
+        attribution_.MergeFrom(result.engine_stats.attribution);
+    }
     return result;
+}
+
+obs::AttributionSnapshot
+ExplorationService::attribution() const
+{
+    std::lock_guard<std::mutex> lock(attribution_mutex_);
+    return attribution_;
 }
 
 std::vector<JobResult>

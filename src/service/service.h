@@ -118,6 +118,14 @@ class ExplorationService
         /// them. Snapshots are taken on the worker that completes a job
         /// once the interval has elapsed (no dedicated ticker thread).
         double metrics_interval_seconds = 0.0;
+        /// Per-location attribution profiling (obs/attribution.h): each
+        /// job gets a profiler bound to its workload, the engine and
+        /// solver charge work to high-level locations through it, and
+        /// the per-job tables land in JobResult::engine_stats and the
+        /// service-wide aggregate (attribution()). On by default — the
+        /// hot path is a couple of relaxed atomic adds per charge (see
+        /// bench_scheduler's overhead phase).
+        bool attribution = true;
     };
 
     explicit ExplorationService(Options options);
@@ -164,6 +172,12 @@ class ExplorationService
     const ServiceStats& stats() const { return stats_; }
     const Options& options() const { return options_; }
 
+    /// Aggregate attribution table over every job completed so far
+    /// (empty when Options::attribution is off). Safe to call while
+    /// RunBatch is in flight: completed jobs' tables merge in under a
+    /// mutex, so a mid-batch read sees a consistent prefix.
+    obs::AttributionSnapshot attribution() const;
+
     /// The last batch's shared solver cache (null when sharing is off or
     /// no batch has run). Exposed for stats inspection and tests.
     const cache::SharedSolverCache* shared_solver_cache() const
@@ -209,6 +223,10 @@ class ExplorationService
     /// One cache per batch; rebuilt at each RunBatch entry when
     /// share_solver_cache is on (kept afterwards for inspection).
     std::unique_ptr<cache::SharedSolverCache> shared_cache_;
+    /// Aggregate of completed jobs' attribution tables (order-independent
+    /// merge, so worker scheduling cannot change it).
+    mutable std::mutex attribution_mutex_;
+    obs::AttributionSnapshot attribution_;
 };
 
 }  // namespace chef::service

@@ -318,8 +318,12 @@ ShardCoordinator::Run(const std::vector<service::JobSpec>& jobs,
         // stay cumulative.
         if (rt.reported_once) {
             outcome.telemetry.MergeFrom(result.telemetry);
+            outcome.attribution.MergeFrom(result.attribution);
         } else {
             outcome.telemetry = result.telemetry;
+            // Authoritative final table: supersedes the live gossip
+            // snapshots (which are cumulative prefixes of it).
+            outcome.attribution = std::move(result.attribution);
         }
         rt.reported_once = true;
         cluster_telemetry_.MergeFrom(result.telemetry);
@@ -361,6 +365,15 @@ ShardCoordinator::Run(const std::vector<service::JobSpec>& jobs,
             // forwarded to sibling shards.
             if (message.has_telemetry) {
                 shards_[shard].telemetry = std::move(message.telemetry);
+            }
+            // Attribution snapshots are cumulative: replace-by-latest,
+            // so a redelivered or out-of-cadence snapshot is idempotent.
+            // Once the shard has reported a final table, later gossip
+            // (a requeue round's fresh prefix) must not clobber it —
+            // merge_result folds those rounds in instead.
+            if (message.has_attribution && !rt.reported_once) {
+                shards_[shard].attribution =
+                    std::move(message.attribution);
             }
             if (!message.series.empty() &&
                 cluster_series_.Update("shard" + std::to_string(shard),
@@ -713,6 +726,16 @@ ShardCoordinator::Run(const std::vector<service::JobSpec>& jobs,
     return true;
 }
 
+obs::AttributionSnapshot
+ShardCoordinator::ClusterAttribution() const
+{
+    obs::AttributionSnapshot cluster;
+    for (const ShardOutcome& shard : shards_) {
+        cluster.MergeFrom(shard.attribution);
+    }
+    return cluster;
+}
+
 std::string
 ShardCoordinator::RenderMergedReport(
     const service::ReportOptions& options) const
@@ -799,6 +822,25 @@ ShardCoordinator::RenderMergedReport(
     obs::WriteMetricsSnapshot(json, coordinator_telemetry_);
     json.Key("cluster");
     obs::WriteMetricsSnapshot(json, cluster_telemetry_);
+    // Per-location attribution: each shard's latest table plus the
+    // order-independent cluster fold. Schema per table:
+    // obs::WriteAttributionSnapshot. Tables are empty (no workloads)
+    // when the run disabled attribution.
+    json.Key("attribution");
+    json.BeginObject();
+    json.Key("shards");
+    json.BeginArray();
+    for (const ShardOutcome& shard : shards_) {
+        json.BeginObject();
+        json.Key("shard_id"), json.Value(shard.shard_id);
+        json.Key("table");
+        obs::WriteAttributionSnapshot(json, shard.attribution);
+        json.EndObject();
+    }
+    json.EndArray();
+    json.Key("cluster");
+    obs::WriteAttributionSnapshot(json, ClusterAttribution());
+    json.EndObject();
     json.Key("trace_events"), json.Value(trace_events_.size());
     // Time-series summary: how many samples each shard shipped, plus
     // the merged coverage/progress curves as [t_seconds, value] pairs.

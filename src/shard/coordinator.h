@@ -142,6 +142,12 @@ class ShardCoordinator
         /// snapshot when the shard reports (merged across requeue
         /// rounds when the shard reported more than once).
         obs::MetricsSnapshot telemetry;
+        /// Latest per-location attribution table (wire v2.4), same
+        /// lifecycle as `telemetry`: replace-by-latest from gossip
+        /// (snapshots are cumulative, so redelivery is idempotent),
+        /// authoritative final from the result message, merged across
+        /// requeue rounds.
+        obs::AttributionSnapshot attribution;
         /// Fault-tolerance outcome. dead reflects the shard's *final*
         /// state — a successfully respawned shard is not dead, but
         /// death_cause keeps its latest obituary for the report.
@@ -239,6 +245,13 @@ class ShardCoordinator
     {
         return cluster_telemetry_;
     }
+
+    /// Cluster-wide attribution table: every shard's latest snapshot
+    /// folded at call time (AttributionSnapshot::MergeFrom is
+    /// commutative, so the fold is order-independent regardless of
+    /// which shards reported when). Mid-batch reads follow the same
+    /// thread rules as cluster_telemetry().
+    obs::AttributionSnapshot ClusterAttribution() const;
 
     /// Merged cluster time-series: one series per shard ("shard<N>"),
     /// fed live from v2.1 gossip and completed by each result's tail.

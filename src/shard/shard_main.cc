@@ -38,6 +38,17 @@
 /// batch runs. Shard deaths additionally appear on the --stats-out
 /// stream as {"event":"shard_death",...} records.
 ///
+/// Attribution options (coordinator): --attr-out PATH writes the
+/// cluster per-location attribution table (solver seconds, steps,
+/// forks, new fingerprints, ... charged to each high-level location)
+/// as strict JSON; --flame-out PATH writes the same table as folded
+/// stacks ("workload;0xroot;...;0xleaf value" lines) ready for
+/// flamegraph.pl or speedscope. --monitor appends a "hot locations"
+/// panel ranked by solver cost and by fingerprint yield per solver
+/// second. Attribution is on by default in every worker; the tables
+/// ride gossip at the metrics cadence (wire v2.4) and always arrive
+/// with the final result.
+///
 /// Fault-tolerance options (coordinator): --heartbeat-interval MS sets
 /// the worker heartbeat cadence (v2.2; 0 disables), --respawns N lets
 /// the coordinator respawn each dead worker up to N times,
@@ -51,6 +62,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -110,6 +122,10 @@ struct CliOptions {
     std::string series_path;
     /// Render the live ANSI dashboard to stderr.
     bool monitor = false;
+    /// Cluster attribution table as strict JSON.
+    std::string attr_path;
+    /// Cluster attribution table as folded stacks (flamegraph input).
+    std::string flame_path;
     /// Fault-injection drill: "" (off) or "kill-one" (SIGKILL the first
     /// shard that heartbeats — provably mid-batch).
     std::string chaos;
@@ -136,6 +152,7 @@ Usage(const char* argv0)
         "           [--report PATH] [--trace-out PATH]\n"
         "           [--metrics-interval MS] [--stats-out PATH]\n"
         "           [--curves-out PATH] [--series-out PATH]\n"
+        "           [--attr-out PATH] [--flame-out PATH]\n"
         "           [--heartbeat-interval MS] [--respawns N]\n"
         "           [--min-live-shards K] [--chaos kill-one]\n"
         "           [--monitor] [--smoke]\n",
@@ -209,6 +226,22 @@ ParseArgs(int argc, char** argv, CliOptions* options)
                 return false;
             }
             options->series_path = inline_value;
+            continue;
+        }
+        if (match("--attr-out")) {
+            if (inline_value.empty()) {
+                std::fprintf(stderr, "--attr-out requires a path\n");
+                return false;
+            }
+            options->attr_path = inline_value;
+            continue;
+        }
+        if (match("--flame-out")) {
+            if (inline_value.empty()) {
+                std::fprintf(stderr, "--flame-out requires a path\n");
+                return false;
+            }
+            options->flame_path = inline_value;
             continue;
         }
         if (match("--heartbeat-interval")) {
@@ -650,9 +683,16 @@ RunCoordinator(const CliOptions& options, const char* argv0)
                 now - last_frame >= std::chrono::milliseconds(250)) {
                 first_frame = false;
                 last_frame = now;
-                const std::string frame =
-                    chef::obs::RenderMonitorFrame(series, stats_window);
-                std::fprintf(stderr, "\x1b[H\x1b[2J%s", frame.c_str());
+                const chef::obs::AttributionSnapshot attribution =
+                    running->ClusterAttribution();
+                const std::string frame = chef::obs::RenderMonitorFrame(
+                    series, stats_window, &attribution);
+                // Home, repaint, then clear from the cursor to the end
+                // of the screen: clearing *after* the frame (ESC[0J)
+                // instead of before it (ESC[2J) erases exactly the rows
+                // a shrinking panel no longer covers, without leaving
+                // stale lines below the new frame.
+                std::fprintf(stderr, "\x1b[H%s\x1b[0J", frame.c_str());
             }
         }
     };
@@ -673,9 +713,13 @@ RunCoordinator(const CliOptions& options, const char* argv0)
     if (options.monitor) {
         // One final frame from the complete series, then drop out of the
         // in-place redraw so subsequent stderr output scrolls normally.
+        // Same clear-after-repaint as the live path, so a final frame
+        // shorter than the last live one leaves no stale rows behind.
+        const chef::obs::AttributionSnapshot attribution =
+            coordinator.ClusterAttribution();
         const std::string frame = chef::obs::RenderMonitorFrame(
-            coordinator.cluster_series(), stats_window);
-        std::fprintf(stderr, "\x1b[H\x1b[2J%s\n", frame.c_str());
+            coordinator.cluster_series(), stats_window, &attribution);
+        std::fprintf(stderr, "\x1b[H%s\x1b[0J\n", frame.c_str());
     }
     if (!ok) {
         std::fprintf(stderr, "coordinator: %s\n", error.c_str());
@@ -708,6 +752,25 @@ RunCoordinator(const CliOptions& options, const char* argv0)
             chef::obs::RenderClusterSeriesJson(
                 coordinator.cluster_series()))) {
         return 1;
+    }
+    const chef::obs::AttributionSnapshot cluster_attribution =
+        coordinator.ClusterAttribution();
+    std::string attr_json;
+    if (!options.attr_path.empty()) {
+        chef::support::JsonWriter json;
+        chef::obs::WriteAttributionSnapshot(json, cluster_attribution);
+        attr_json = json.Take();
+        if (!WriteFileOrComplain(options.attr_path, attr_json)) {
+            return 1;
+        }
+    }
+    std::string flame_stacks;
+    if (!options.flame_path.empty()) {
+        flame_stacks =
+            chef::obs::RenderAttributionFoldedStacks(cluster_attribution);
+        if (!WriteFileOrComplain(options.flame_path, flame_stacks)) {
+            return 1;
+        }
     }
 
     const ShardCoordinator::CrossShardStats& cross =
@@ -754,6 +817,23 @@ RunCoordinator(const CliOptions& options, const char* argv0)
                     options.series_path.c_str(),
                     coordinator.cluster_series().total_samples(),
                     coordinator.cluster_series().Sources().size());
+    }
+    if (!options.attr_path.empty() || !options.flame_path.empty()) {
+        size_t locations = 0;
+        for (const auto& [workload, rows] :
+             cluster_attribution.workloads) {
+            (void)workload;
+            locations += rows.size();
+        }
+        if (!options.attr_path.empty()) {
+            std::printf("  attribution: %s (%zu locations, %.3f solver "
+                        "seconds attributed)\n",
+                        options.attr_path.c_str(), locations,
+                        cluster_attribution.SolverSecondsTotal());
+        }
+        if (!options.flame_path.empty()) {
+            std::printf("  flame: %s\n", options.flame_path.c_str());
+        }
     }
 
     if (!options.smoke) {
@@ -855,6 +935,23 @@ RunCoordinator(const CliOptions& options, const char* argv0)
                                  shard_queries));
                 ++failures;
             }
+        }
+        // Attribution section: one table per shard plus the cluster
+        // fold, always present (tables are empty when attribution is
+        // off, never absent).
+        const chef::support::JsonValue* attr_section =
+            telemetry != nullptr ? telemetry->Find("attribution")
+                                 : nullptr;
+        const chef::support::JsonValue* attr_shards =
+            attr_section != nullptr ? attr_section->Find("shards")
+                                    : nullptr;
+        if (attr_shards == nullptr ||
+            attr_shards->items.size() != options.num_workers ||
+            attr_section->Find("cluster") == nullptr) {
+            std::fprintf(stderr,
+                         "FAIL: telemetry.attribution missing per-shard "
+                         "tables or the cluster fold\n");
+            ++failures;
         }
         // Labeled solver-time views: total (aggregate work) and
         // max-shard (critical-path share) must both be present and
@@ -1084,6 +1181,85 @@ RunCoordinator(const CliOptions& options, const char* argv0)
         }
     }
 
+    // 1e. With --attr-out: the attribution table on disk is strict JSON
+    //     with at least one charged location, its cluster solver-seconds
+    //     total agrees with the report's solver_seconds_total (both sides
+    //     measure the very same Solve calls — the profiler charges the
+    //     ScopedTimer's own elapsed reading — so only double-vs-nanos
+    //     rounding separates them), and the folded-stack file is
+    //     non-empty.
+    if (!options.attr_path.empty()) {
+        chef::support::JsonValue attr_doc;
+        std::string attr_error;
+        size_t attr_locations = 0;
+        if (!chef::support::ParseJson(attr_json, &attr_doc,
+                                      &attr_error)) {
+            std::fprintf(stderr,
+                         "FAIL: attribution table is not strict JSON: "
+                         "%s\n",
+                         attr_error.c_str());
+            ++failures;
+        } else {
+            const chef::support::JsonValue* workloads =
+                attr_doc.Find("workloads");
+            if (workloads != nullptr) {
+                for (const chef::support::JsonValue& group :
+                     workloads->items) {
+                    const chef::support::JsonValue* locations =
+                        group.Find("locations");
+                    attr_locations +=
+                        locations != nullptr ? locations->items.size()
+                                             : 0;
+                }
+            }
+            if (attr_locations == 0) {
+                std::fprintf(stderr,
+                             "FAIL: attribution table charged no "
+                             "locations\n");
+                ++failures;
+            }
+        }
+        double report_solver_total = 0.0;
+        parsed.GetDouble("solver_seconds_total", &report_solver_total);
+        const double attr_solver_total =
+            cluster_attribution.SolverSecondsTotal();
+        const double tolerance = 0.05 * report_solver_total + 0.05;
+        // A dead shard's stats never merge but its last gossiped table
+        // may linger: the totals only owe agreement on a clean run.
+        if (!coordinator.degraded() &&
+            std::abs(attr_solver_total - report_solver_total) >
+                tolerance) {
+            std::fprintf(stderr,
+                         "FAIL: attributed solver seconds %.6f disagree "
+                         "with solver_seconds_total %.6f (tolerance "
+                         "%.6f)\n",
+                         attr_solver_total, report_solver_total,
+                         tolerance);
+            ++failures;
+        } else {
+            std::printf("  smoke: attribution table has %zu locations; "
+                        "%.3fs attributed vs %.3fs reported\n",
+                        attr_locations, attr_solver_total,
+                        report_solver_total);
+        }
+    }
+    if (!options.flame_path.empty()) {
+        if (flame_stacks.empty() ||
+            flame_stacks.find(';') == std::string::npos ||
+            flame_stacks.back() != '\n') {
+            std::fprintf(stderr,
+                         "FAIL: folded-stack file is empty or malformed\n");
+            ++failures;
+        } else {
+            size_t stack_lines = 0;
+            for (const char c : flame_stacks) {
+                stack_lines += c == '\n' ? 1 : 0;
+            }
+            std::printf("  smoke: %zu folded stacks written\n",
+                        stack_lines);
+        }
+    }
+
     // 2. The multi-process merged corpus covers a single-shard run of
     //    the same batch (identical global-index seeds make the corpora
     //    comparable key-for-key).
@@ -1147,6 +1323,25 @@ RunCoordinator(const CliOptions& options, const char* argv0)
                 std::printf("  smoke: engine-threads corpus parity holds "
                             "(%u threads, %zu keys)\n",
                             options.engine_threads, serial_keys.size());
+            }
+            // 2c. Attribution thread parity: every count column of the
+            //    table (steps, forks, runs, fingerprints, ...) is
+            //    charged on serial commit paths, so deterministic round
+            //    mode must produce *identical* counts at any thread
+            //    width. Solver wall-nanos are real time and excluded
+            //    (AttributionCountsEqual compares counts only).
+            if (!chef::obs::AttributionCountsEqual(
+                    single.ClusterAttribution(),
+                    serial.ClusterAttribution())) {
+                std::fprintf(stderr,
+                             "FAIL: attribution counts differ between "
+                             "%u engine threads and 1\n",
+                             options.engine_threads);
+                ++failures;
+            } else {
+                std::printf("  smoke: attribution tables identical at "
+                            "%u threads vs 1 (count columns)\n",
+                            options.engine_threads);
             }
         }
     }

@@ -689,7 +689,8 @@ EncodeRun(const RunRequest& request)
 std::string
 EncodeGossip(const service::TestCorpus::Delta& delta,
              const obs::MetricsSnapshot* telemetry,
-             const std::vector<obs::SeriesSample>* series)
+             const std::vector<obs::SeriesSample>* series,
+             const obs::AttributionSnapshot* attribution)
 {
     JsonWriter json;
     json.BeginObject();
@@ -703,6 +704,12 @@ EncodeGossip(const service::TestCorpus::Delta& delta,
     if (series != nullptr && !series->empty()) {
         json.Key("series");
         obs::WriteSeriesSamples(json, *series);
+    }
+    // v2.4: cumulative attribution table, omitted when empty so a run
+    // without attribution encodes byte-identically to v2.3.
+    if (attribution != nullptr && !attribution->empty()) {
+        json.Key("attribution");
+        obs::WriteAttributionSnapshot(json, *attribution);
     }
     // Group fingerprints by workload: entries arrive sorted by
     // (workload, fingerprint), so one linear pass emits each group.
@@ -784,6 +791,12 @@ EncodeResult(const ResultMessage& result)
     if (!result.series.empty()) {
         json.Key("series");
         obs::WriteSeriesSamples(json, result.series);
+    }
+    // v2.4: final attribution table, omitted when empty (byte-compat
+    // with v2.3 when attribution is off).
+    if (!result.attribution.empty()) {
+        json.Key("attribution");
+        obs::WriteAttributionSnapshot(json, result.attribution);
     }
     json.Key("trace");
     obs::WriteTraceEvents(json, result.trace);
@@ -962,6 +975,15 @@ DecodeMessage(const std::string& line, Message* message,
             !obs::DecodeSeriesSamples(*series, &message->series, error)) {
             return false;
         }
+        // v2.4: optional cumulative attribution table.
+        const JsonValue* attribution = root.Find("attribution");
+        if (attribution != nullptr) {
+            if (!obs::DecodeAttributionSnapshot(
+                    *attribution, &message->attribution, error)) {
+                return false;
+            }
+            message->has_attribution = true;
+        }
         const JsonValue* workloads = root.Find("workloads");
         if (workloads == nullptr ||
             workloads->kind != JsonValue::Kind::kArray) {
@@ -1089,6 +1111,13 @@ DecodeMessage(const std::string& line, Message* message,
         const JsonValue* series = root.Find("series");
         if (series != nullptr &&
             !obs::DecodeSeriesSamples(*series, &result.series, error)) {
+            return false;
+        }
+        // v2.4: optional final attribution table.
+        const JsonValue* attribution = root.Find("attribution");
+        if (attribution != nullptr &&
+            !obs::DecodeAttributionSnapshot(*attribution,
+                                            &result.attribution, error)) {
             return false;
         }
         return true;

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/attribution.h"
 #include "obs/obs.h"
 #include "obs/timeseries.h"
 #include "service/corpus.h"
@@ -50,7 +51,11 @@ constexpr int kProtocolVersion = 2;
 /// service config and optional "exploration_threads" per job spec
 /// (intra-session parallel exploration); both omitted at their default
 /// of 1, so a single-threaded run encodes byte-identically to v2.2.
-constexpr int kProtocolVersionMinor = 3;
+/// v2.4: optional "attribution" per-location cost/yield snapshot on
+/// kGossip and kResult (obs/attribution.h); omitted when the sender has
+/// no table, so a run without attribution encodes byte-identically to
+/// v2.3, and pre-v2.4 decoders ignore the key when present.
+constexpr int kProtocolVersionMinor = 4;
 
 enum class MessageType {
     kHello,      ///< worker -> coordinator: ready, protocol version.
@@ -154,6 +159,9 @@ struct ResultMessage {
     /// the worker's recorder). Empty from v2.0 workers or when the run
     /// disabled the metrics interval.
     std::vector<obs::SeriesSample> series;
+    /// v2.4: the shard's final per-location attribution table. Empty
+    /// from pre-v2.4 workers or when the run disabled attribution.
+    obs::AttributionSnapshot attribution;
 };
 
 /// One decoded message. Tagged union as plain struct: only the payload
@@ -173,6 +181,13 @@ struct Message {
     /// kGossip/kResult (v2.1): incremental time-series samples from the
     /// sender's recorder; empty from v2.0 peers.
     std::vector<obs::SeriesSample> series;
+    /// kGossip (v2.4): cumulative attribution table piggybacked on the
+    /// delta at the metrics cadence. Replace-by-latest at the receiver
+    /// (each snapshot supersedes the previous one from that shard), so
+    /// redelivery is idempotent. For kResult the table lives in
+    /// `result.attribution`.
+    bool has_attribution = false;
+    obs::AttributionSnapshot attribution;
     HeartbeatMessage heartbeat;               ///< kHeartbeat.
     ResultMessage result;                     ///< kResult.
     std::string error;                        ///< kError.
@@ -188,11 +203,14 @@ std::string EncodeRun(const RunRequest& request);
 /// lists and the yield snapshot — no outcomes or inputs. A worker may
 /// piggyback a live metrics snapshot (\p telemetry non-null) and/or
 /// incremental time-series samples (\p series non-null and non-empty)
-/// so the coordinator's cluster view stays current mid-batch.
+/// so the coordinator's cluster view stays current mid-batch, and/or a
+/// cumulative attribution table (\p attribution non-null and non-empty;
+/// v2.4).
 std::string EncodeGossip(
     const service::TestCorpus::Delta& delta,
     const obs::MetricsSnapshot* telemetry = nullptr,
-    const std::vector<obs::SeriesSample>* series = nullptr);
+    const std::vector<obs::SeriesSample>* series = nullptr,
+    const obs::AttributionSnapshot* attribution = nullptr);
 std::string EncodeHeartbeat(const HeartbeatMessage& heartbeat);
 std::string EncodeResult(const ResultMessage& result);
 std::string EncodeShutdown();

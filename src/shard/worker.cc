@@ -140,6 +140,8 @@ ShardWorker::HandleRun(const RunRequest& request)
         const obs::MetricsSnapshot* telemetry = nullptr;
         std::vector<obs::SeriesSample> fresh_series;
         const std::vector<obs::SeriesSample>* series = nullptr;
+        obs::AttributionSnapshot attr_snapshot;
+        const obs::AttributionSnapshot* attribution = nullptr;
         if (live_telemetry &&
             Clock::now() - last_telemetry >= telemetry_interval) {
             last_telemetry = Clock::now();
@@ -153,8 +155,16 @@ ShardWorker::HandleRun(const RunRequest& request)
                 shipped_series_index = fresh_series.back().index;
                 series = &fresh_series;
             }
+            // v2.4: cumulative attribution table at the same cadence.
+            // The coordinator replaces its per-shard latest, so a resend
+            // is idempotent.
+            attr_snapshot = service.attribution();
+            if (!attr_snapshot.empty()) {
+                attribution = &attr_snapshot;
+            }
         }
-        if (!transport_->Send(EncodeGossip(delta, telemetry, series))) {
+        if (!transport_->Send(
+                EncodeGossip(delta, telemetry, series, attribution))) {
             on_peer_gone();
         }
     };
@@ -268,6 +278,9 @@ ShardWorker::HandleRun(const RunRequest& request)
     result.remote_duplicate_hits =
         service.corpus().remote_duplicate_hits();
     result.telemetry = metrics.Snapshot();
+    // v2.4: the shard's final attribution table (empty when attribution
+    // is off — the encoder then omits the key entirely).
+    result.attribution = service.attribution();
     if (request.service.tracing) {
         result.trace = tracer.TakeEvents();
     }

@@ -5,6 +5,7 @@
 
 #include "cache/canonical.h"
 #include "cache/shared_cache.h"
+#include "obs/attribution.h"
 #include "solver/bitblast.h"
 #include "solver/independence.h"
 #include "support/diagnostics.h"
@@ -16,29 +17,39 @@ namespace {
 
 /// Accumulates the enclosing scope's wall time into a stats field on every
 /// exit path (Solve returns from many places), and optionally mirrors the
-/// sample into a latency histogram.
+/// sample into a latency histogram and the attribution profiler (which
+/// charges the same duration to the thread's ambient location, so the
+/// attribution table's solver totals agree with solve_seconds).
 class ScopedTimer
 {
   public:
-    explicit ScopedTimer(double* total, obs::Histogram* histogram = nullptr)
-        : total_(total), histogram_(histogram)
+    explicit ScopedTimer(double* total, obs::Histogram* histogram = nullptr,
+                         obs::AttributionProfiler* attribution = nullptr)
+        : total_(total), histogram_(histogram), attribution_(attribution)
     {
     }
     ~ScopedTimer()
     {
-        const double elapsed =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          start_)
+        const auto elapsed_nanos =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start_)
                 .count();
+        const double elapsed =
+            static_cast<double>(elapsed_nanos) / 1e9;
         *total_ += elapsed;
         if (histogram_ != nullptr) {
             histogram_->Record(elapsed);
+        }
+        if (attribution_ != nullptr) {
+            attribution_->ChargeSolver(
+                static_cast<uint64_t>(elapsed_nanos));
         }
     }
 
   private:
     double* total_;
     obs::Histogram* histogram_;
+    obs::AttributionProfiler* attribution_;
     std::chrono::steady_clock::time_point start_ =
         std::chrono::steady_clock::now();
 };
@@ -120,7 +131,8 @@ Solver::RememberModel(const Assignment& model)
 QueryResult
 Solver::Solve(const std::vector<ExprRef>& assertions, Assignment* model)
 {
-    const ScopedTimer timer(&stats_.solve_seconds, m_solve_latency_);
+    const ScopedTimer timer(&stats_.solve_seconds, m_solve_latency_,
+                            options_.obs.attribution);
     CHEF_OBS_SPAN(span, options_.obs.tracer, "solver/solve", "solver");
     ++stats_.queries;
     if (m_queries_ != nullptr) {

@@ -413,6 +413,165 @@ TEST(Wire, ResultRoundTripsEntriesStatsAndNonFiniteDoubles)
     EXPECT_EQ(decoded.remote_duplicate_hits, 3u);
 }
 
+// ---------------------------------------------------------------------------
+// v2.4 attribution snapshots and forward compatibility.
+// ---------------------------------------------------------------------------
+
+obs::AttributionSnapshot
+SampleAttribution()
+{
+    obs::AttributionSnapshot snapshot;
+    obs::AttributionRow& a = snapshot.workloads["py/argparse"][0x10];
+    a.solver_nanos = 1'500'000;
+    a.solver_queries = 3;
+    a.steps = 42;
+    a.new_fingerprints = 2;
+    a.runs = 1;
+    obs::AttributionRow& b = snapshot.workloads["py/argparse"][0x20];
+    b.steps = 7;
+    b.forks = 2;
+    b.parent = 0x10;
+    snapshot.workloads["lua/JSON"][0x99].assume_failures = 1;
+    snapshot.dropped_locations = 5;
+    return snapshot;
+}
+
+TEST(Wire, GossipCarriesAttributionWhenNonEmpty)
+{
+    TestCorpus corpus;
+    const TestCorpus::Delta delta = corpus.Snapshot("shard0", 0);
+
+    // Omitted when absent or empty: byte-compat with v2.3.
+    const obs::AttributionSnapshot empty;
+    EXPECT_EQ(EncodeGossip(delta), EncodeGossip(delta, nullptr, nullptr,
+                                                &empty));
+    EXPECT_EQ(EncodeGossip(delta).find("attribution"), std::string::npos);
+
+    const obs::AttributionSnapshot attribution = SampleAttribution();
+    const std::string line =
+        EncodeGossip(delta, nullptr, nullptr, &attribution);
+    ASSERT_TRUE(JsonValid(line)) << line;
+    Message message;
+    std::string error;
+    ASSERT_TRUE(DecodeMessage(line, &message, &error)) << error;
+    ASSERT_TRUE(message.has_attribution);
+    const obs::AttributionRow& row =
+        message.attribution.workloads.at("py/argparse").at(0x10);
+    EXPECT_EQ(row.solver_nanos, 1'500'000u);
+    EXPECT_EQ(row.solver_queries, 3u);
+    EXPECT_EQ(row.steps, 42u);
+    EXPECT_EQ(row.new_fingerprints, 2u);
+    EXPECT_EQ(
+        message.attribution.workloads.at("py/argparse").at(0x20).parent,
+        0x10u);
+    EXPECT_EQ(message.attribution.dropped_locations, 5u);
+}
+
+TEST(Wire, ResultRoundTripsAttribution)
+{
+    ResultMessage result;
+    result.shard_id = 0;
+    result.corpus.source = "shard0";
+    result.attribution = SampleAttribution();
+    const std::string line = EncodeResult(result);
+    ASSERT_TRUE(JsonValid(line)) << line;
+    Message message;
+    std::string error;
+    ASSERT_TRUE(DecodeMessage(line, &message, &error)) << error;
+    EXPECT_TRUE(obs::AttributionCountsEqual(message.result.attribution,
+                                            result.attribution));
+    EXPECT_EQ(message.result.attribution.workloads.at("py/argparse")
+                  .at(0x10)
+                  .solver_nanos,
+              1'500'000u);
+
+    // Empty table: the key is omitted entirely (a v2.3 run's result
+    // encodes byte-identically).
+    ResultMessage plain;
+    plain.corpus.source = "shard0";
+    EXPECT_EQ(EncodeResult(plain).find("attribution"), std::string::npos);
+}
+
+// The forward-compatibility regression: a v2.3-shaped decoder is one
+// that does not know the v2.4 "attribution" key — and tomorrow's v2.5
+// will add keys today's decoder does not know. Every wire decoder and
+// DecodeMetricsSnapshot must ignore unknown keys rather than fail, so
+// mixed-minor clusters keep talking. Simulate the future by splicing
+// unknown keys into otherwise-valid frames.
+TEST(Wire, DecodersIgnoreUnknownKeysFromNewerMinors)
+{
+    TestCorpus corpus;
+    TestCorpus::Entry entry;
+    entry.workload = "py/argparse";
+    entry.fingerprint = 0x1234;
+    entry.outcome_kind = "ok";
+    ASSERT_TRUE(corpus.Insert(entry));
+    const TestCorpus::Delta delta = corpus.Snapshot("shard0", 0);
+    const obs::AttributionSnapshot attribution = SampleAttribution();
+
+    const auto splice = [](std::string line, const std::string& extra) {
+        // After the opening '{' of the top-level object.
+        return "{" + extra + "," + line.substr(1);
+    };
+    const std::string unknown =
+        "\"v25_hint\":{\"nested\":[1,2,3]},\"v25_flag\":true";
+
+    Message message;
+    std::string error;
+
+    // Gossip with unknown top-level keys, carrying v2.4 attribution a
+    // v2.3 decoder would also have skipped over.
+    const std::string gossip = splice(
+        EncodeGossip(delta, nullptr, nullptr, &attribution), unknown);
+    ASSERT_TRUE(JsonValid(gossip));
+    ASSERT_TRUE(DecodeMessage(gossip, &message, &error)) << error;
+    EXPECT_EQ(message.type, MessageType::kGossip);
+    ASSERT_EQ(message.gossip.entries.size(), 1u);
+    EXPECT_EQ(message.gossip.entries[0].fingerprint, 0x1234u);
+    EXPECT_TRUE(message.has_attribution);
+
+    // Result with unknown keys at top level.
+    ResultMessage result;
+    result.shard_id = 2;
+    result.corpus.source = "shard2";
+    result.attribution = attribution;
+    message = Message();
+    const std::string result_line = splice(EncodeResult(result), unknown);
+    ASSERT_TRUE(JsonValid(result_line));
+    ASSERT_TRUE(DecodeMessage(result_line, &message, &error)) << error;
+    EXPECT_EQ(message.result.shard_id, 2u);
+    EXPECT_TRUE(obs::AttributionCountsEqual(message.result.attribution,
+                                            attribution));
+
+    // A metrics snapshot with unknown keys (as a future minor might
+    // embed) must decode its known fields and skip the rest.
+    const std::string metrics_doc =
+        "{\"future_section\":{\"x\":1},"
+        "\"counters\":{\"solver.queries\":7},"
+        "\"gauges\":{},\"histograms\":[]}";
+    JsonValue metrics_value;
+    ASSERT_TRUE(ParseJson(metrics_doc, &metrics_value));
+    obs::MetricsSnapshot metrics;
+    ASSERT_TRUE(
+        obs::DecodeMetricsSnapshot(metrics_value, &metrics, &error))
+        << error;
+    EXPECT_EQ(metrics.CounterValue("solver.queries"), 7u);
+
+    // Same for an attribution table whose locations grow new columns.
+    const std::string attr_doc =
+        "{\"schema_rev\":9,\"dropped_locations\":0,"
+        "\"workloads\":[{\"workload\":\"w\",\"future\":true,"
+        "\"locations\":[{\"hl_pc\":\"0x5\",\"steps\":3,"
+        "\"v25_column\":17}]}]}";
+    JsonValue attr_value;
+    ASSERT_TRUE(ParseJson(attr_doc, &attr_value));
+    obs::AttributionSnapshot decoded;
+    ASSERT_TRUE(
+        obs::DecodeAttributionSnapshot(attr_value, &decoded, &error))
+        << error;
+    EXPECT_EQ(decoded.workloads.at("w").at(0x5).steps, 3u);
+}
+
 TEST(Wire, MalformedAndUnknownMessagesFailLoudly)
 {
     Message message;
